@@ -1,0 +1,92 @@
+//! Order-preserving binary encoding of service keys.
+//!
+//! PHT and P-Grid are defined over fixed-depth binary key spaces,
+//! while the DLPT works on raw identifier strings. To compare the
+//! three on the same corpus, service names are encoded as bit strings
+//! (`'0'`/`'1'` characters, so the result is again a
+//! [`Key`] and all the prefix algebra applies):
+//! each byte contributes its 8 bits, names are zero-padded to a fixed
+//! byte depth. Zero is below every printable digit, so padding
+//! preserves lexicographic order — ranges translate verbatim.
+
+use dlpt_core::key::Key;
+
+/// Encodes `key` into a bit string of exactly `depth_bytes * 8`
+/// binary digits. Longer keys are truncated (callers pick
+/// `depth_bytes` ≥ the corpus maximum to avoid collisions).
+pub fn to_bits(key: &Key, depth_bytes: usize) -> Key {
+    let mut out = Vec::with_capacity(depth_bytes * 8);
+    for i in 0..depth_bytes {
+        let byte = key.as_bytes().get(i).copied().unwrap_or(0);
+        for bit in (0..8).rev() {
+            out.push(if byte >> bit & 1 == 1 { b'1' } else { b'0' });
+        }
+    }
+    Key::from_bytes(out)
+}
+
+/// Decodes a full-depth bit string back to the original key (trailing
+/// zero padding stripped).
+pub fn from_bits(bits: &Key) -> Key {
+    let raw = bits.as_bytes();
+    let mut out = Vec::with_capacity(raw.len() / 8);
+    for chunk in raw.chunks_exact(8) {
+        let mut byte = 0u8;
+        for &c in chunk {
+            byte = (byte << 1) | u8::from(c == b'1');
+        }
+        out.push(byte);
+    }
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    Key::from_bytes(out)
+}
+
+/// The smallest byte depth covering every key of a corpus.
+pub fn required_depth<'a>(keys: impl IntoIterator<Item = &'a Key>) -> usize {
+    keys.into_iter().map(|k| k.len()).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> Key {
+        Key::from(s)
+    }
+
+    #[test]
+    fn roundtrip() {
+        for name in ["DGEMM", "S3L_mat_mult", "PSGESV", "", "A"] {
+            let bits = to_bits(&k(name), 16);
+            assert_eq!(bits.len(), 128);
+            assert_eq!(from_bits(&bits), k(name), "{name}");
+        }
+    }
+
+    #[test]
+    fn order_is_preserved() {
+        let names = ["CAXPY", "DGEMM", "DGEMV", "DGETRF", "S3L_fft", "ZTRSM"];
+        let mut encoded: Vec<Key> = names.iter().map(|n| to_bits(&k(n), 16)).collect();
+        let sorted = encoded.clone();
+        encoded.sort();
+        assert_eq!(encoded, sorted, "encoding must preserve order");
+    }
+
+    #[test]
+    fn prefix_relation_survives_encoding_per_byte() {
+        // A key that byte-prefixes another bit-prefixes its encoding
+        // up to the shared length.
+        let a = to_bits(&k("S3L"), 16);
+        let b = to_bits(&k("S3L_fft"), 16);
+        assert_eq!(&a.as_bytes()[..24], &b.as_bytes()[..24]);
+    }
+
+    #[test]
+    fn required_depth_covers_corpus() {
+        let keys = [k("DGEMM"), k("S3L_set_array_element")];
+        assert_eq!(required_depth(keys.iter()), 21);
+        assert_eq!(required_depth(std::iter::empty::<&Key>()), 0);
+    }
+}

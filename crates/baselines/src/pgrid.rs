@@ -1,0 +1,389 @@
+//! P-Grid (Aberer et al.; the range-query variant of Datta et al.,
+//! P2P 2005) — the second comparator of Table 2.
+//!
+//! "P-Grid builds a trie on the whole key-space, each leaf
+//! corresponding to a subset of the key-space" (Section 5). Every peer
+//! owns one leaf — a binary *path* — and keeps, for each level `l` of
+//! its path, references to peers whose path agrees on the first `l`
+//! bits and flips bit `l`. Routing resolves at least one more prefix
+//! bit per hop, giving the `O(log |Π|)` of Table 2, and the local
+//! state is one reference list per path bit — also `O(log |Π|)`.
+//!
+//! Construction here is the converged state of P-Grid's pairwise
+//! exchange protocol: the key space is split recursively (largest
+//! partition first) until there are as many partitions as peers, which
+//! is what the bootstrap converges to under uniform exchanges.
+
+use crate::encoding::to_bits;
+use dlpt_core::key::Key;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// One peer of the P-Grid overlay.
+#[derive(Debug, Clone)]
+pub struct PGridPeer {
+    /// The binary path (key-space partition) this peer is responsible
+    /// for.
+    pub path: Key,
+    /// `routing[l]` — peers whose path flips bit `l` of ours (and
+    /// agrees before it). P-Grid keeps a few references per level for
+    /// fault tolerance.
+    pub routing: Vec<Vec<usize>>,
+    /// Keys whose encoding extends `path`.
+    pub store: Vec<Key>,
+}
+
+impl PGridPeer {
+    /// Total routing references — the "local state" row of Table 2.
+    pub fn state_size(&self) -> usize {
+        self.routing.iter().map(Vec::len).sum()
+    }
+}
+
+/// Counters for Table 2.
+#[derive(Debug, Clone, Default)]
+pub struct PGridStats {
+    /// Lookups routed.
+    pub lookups: u64,
+    /// Total overlay hops.
+    pub hops: u64,
+}
+
+/// A P-Grid overlay over a fixed corpus.
+#[derive(Debug)]
+pub struct PGrid {
+    peers: Vec<PGridPeer>,
+    /// Partition path → peer indices owning it (sorted by path, which
+    /// is also key order — range queries walk this).
+    partitions: BTreeMap<Key, Vec<usize>>,
+    depth_bytes: usize,
+    rng: StdRng,
+    /// Lookup counters.
+    pub stats: PGridStats,
+}
+
+impl PGrid {
+    /// Builds the converged overlay: `peers` peers partitioning the
+    /// corpus, `refs_per_level` routing references per path bit.
+    pub fn build(
+        keys: &[Key],
+        peers: usize,
+        refs_per_level: usize,
+        depth_bytes: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(peers >= 1, "need at least one peer");
+        let rng = StdRng::seed_from_u64(seed);
+        let encoded: Vec<(Key, Key)> = keys
+            .iter()
+            .map(|k| (to_bits(k, depth_bytes), k.clone()))
+            .collect();
+
+        // Recursive splitting, largest partition first, until the
+        // partition count reaches the peer count (or partitions stop
+        // being splittable).
+        let mut parts: Vec<(Key, Vec<(Key, Key)>)> = vec![(Key::epsilon(), encoded)];
+        while parts.len() < peers {
+            // Find the largest splittable partition.
+            let Some((idx, _)) = parts
+                .iter()
+                .enumerate()
+                .filter(|(_, (path, ks))| ks.len() > 1 && path.len() < depth_bytes * 8)
+                .max_by_key(|(_, (_, ks))| ks.len())
+            else {
+                break;
+            };
+            let (path, ks) = parts.swap_remove(idx);
+            let bit = path.len();
+            let (zeros, ones): (Vec<_>, Vec<_>) = ks
+                .into_iter()
+                .partition(|(bits, _)| bits.as_bytes()[bit] == b'0');
+            // A split where one side is empty still refines the path —
+            // P-Grid does the same when data is skewed.
+            parts.push((path.child(b'0'), zeros));
+            parts.push((path.child(b'1'), ones));
+        }
+        parts.sort_by(|a, b| a.0.cmp(&b.0));
+
+        // Assign peers to partitions round-robin (replicas when there
+        // are more peers than partitions).
+        let mut peer_list: Vec<PGridPeer> = Vec::with_capacity(peers);
+        let mut partitions: BTreeMap<Key, Vec<usize>> = BTreeMap::new();
+        for i in 0..peers {
+            let (path, ks) = &parts[i % parts.len()];
+            partitions.entry(path.clone()).or_default().push(i);
+            peer_list.push(PGridPeer {
+                path: path.clone(),
+                routing: Vec::new(),
+                store: ks.iter().map(|(_, k)| k.clone()).collect(),
+            });
+        }
+
+        // Fill routing tables: for each level, sample peers from the
+        // flipped-prefix side.
+        let mut grid = PGrid {
+            peers: peer_list,
+            partitions,
+            depth_bytes,
+            rng,
+            stats: PGridStats::default(),
+        };
+        for i in 0..grid.peers.len() {
+            let path = grid.peers[i].path.clone();
+            let mut routing = Vec::with_capacity(path.len());
+            for l in 0..path.len() {
+                let mut flipped = path.truncated(l).as_bytes().to_vec();
+                flipped.push(if path.as_bytes()[l] == b'0' { b'1' } else { b'0' });
+                let flipped = Key::from_bytes(flipped);
+                let candidates: Vec<usize> = grid
+                    .partitions
+                    .range(flipped.clone()..)
+                    .take_while(|(p, _)| flipped.is_prefix_of(p))
+                    .flat_map(|(_, idxs)| idxs.iter().copied())
+                    .collect();
+                let mut level = Vec::new();
+                for _ in 0..refs_per_level.min(candidates.len()).max(usize::from(
+                    !candidates.is_empty(),
+                )) {
+                    level.push(candidates[grid.rng.gen_range(0..candidates.len())]);
+                }
+                level.sort_unstable();
+                level.dedup();
+                routing.push(level);
+            }
+            grid.peers[i].routing = routing;
+        }
+        grid
+    }
+
+    /// Number of peers.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Number of distinct partitions `|Π|`.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Borrow a peer.
+    pub fn peer(&self, i: usize) -> &PGridPeer {
+        &self.peers[i]
+    }
+
+    /// Mean local state (routing references) per peer — Table 2's
+    /// `O(log |Π|)` row, measured.
+    pub fn mean_state(&self) -> f64 {
+        if self.peers.is_empty() {
+            return 0.0;
+        }
+        self.peers.iter().map(|p| p.state_size() as f64).sum::<f64>() / self.peers.len() as f64
+    }
+
+    /// Exact lookup from a random entry peer. Returns
+    /// `(found, overlay hops)`.
+    pub fn lookup(&mut self, key: &Key) -> (bool, u32) {
+        let entry = self.rng.gen_range(0..self.peers.len());
+        self.lookup_from(entry, key)
+    }
+
+    /// Exact lookup from a chosen entry peer.
+    pub fn lookup_from(&mut self, entry: usize, key: &Key) -> (bool, u32) {
+        let bits = to_bits(key, self.depth_bytes);
+        let mut cur = entry;
+        let mut hops = 0u32;
+        self.stats.lookups += 1;
+        // Each hop resolves at least one more bit; the path length
+        // bounds the walk.
+        for _ in 0..=self.depth_bytes * 8 {
+            let peer = &self.peers[cur];
+            if peer.path.is_prefix_of(&bits) {
+                self.stats.hops += hops as u64;
+                return (peer.store.contains(key), hops);
+            }
+            let l = peer.path.gcp_len(&bits);
+            let next = peer
+                .routing
+                .get(l)
+                .and_then(|refs| {
+                    if refs.is_empty() {
+                        None
+                    } else {
+                        Some(refs[self.rng.gen_range(0..refs.len())])
+                    }
+                });
+            match next {
+                Some(n) => {
+                    cur = n;
+                    hops += 1;
+                }
+                None => {
+                    // No reference (empty flipped side): the key's
+                    // region holds nothing.
+                    self.stats.hops += hops as u64;
+                    return (false, hops);
+                }
+            }
+        }
+        self.stats.hops += hops as u64;
+        (false, hops)
+    }
+
+    /// Range query `[lo, hi]`: route to `lo`'s partition, then walk
+    /// partitions in key order. Returns `(keys, overlay hops)`.
+    pub fn range(&mut self, lo: &Key, hi: &Key) -> (Vec<Key>, u32) {
+        let lo_bits = to_bits(lo, self.depth_bytes);
+        let hi_bits = to_bits(hi, self.depth_bytes);
+        // Route to the partition covering lo (or the first after it).
+        let entry = self.rng.gen_range(0..self.peers.len());
+        let (_, mut hops) = self.lookup_from(entry, lo);
+        let mut out = Vec::new();
+        for (path, idxs) in self.partitions.iter() {
+            // Partition covers bit strings extending `path`.
+            if path > &hi_bits {
+                break;
+            }
+            let below = path < &lo_bits && !path.is_prefix_of(&lo_bits);
+            if below {
+                continue;
+            }
+            // One hop to each subsequent partition (sibling walk).
+            hops += 1;
+            let owner = idxs[0];
+            out.extend(
+                self.peers[owner]
+                    .store
+                    .iter()
+                    .filter(|k| *k >= lo && *k <= hi)
+                    .cloned(),
+            );
+        }
+        out.sort();
+        out.dedup();
+        (out, hops.saturating_sub(1))
+    }
+
+    /// Mean overlay hops per lookup so far.
+    pub fn mean_hops(&self) -> f64 {
+        if self.stats.lookups == 0 {
+            0.0
+        } else {
+            self.stats.hops as f64 / self.stats.lookups as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> Key {
+        Key::from(s)
+    }
+
+    fn corpus() -> Vec<Key> {
+        [
+            "CAXPY", "CGEMM", "DGEMM", "DGEMV", "DGETRF", "DTRSM", "PSGESV", "PDGEMM",
+            "S3L_fft", "S3L_sort", "SGEMM", "ZTRSM",
+        ]
+        .iter()
+        .map(|s| k(s))
+        .collect()
+    }
+
+    #[test]
+    fn partitions_cover_all_keys_once() {
+        let keys = corpus();
+        let g = PGrid::build(&keys, 8, 2, 16, 1);
+        assert!(g.partition_count() <= 8);
+        let mut stored: Vec<Key> = Vec::new();
+        let mut seen_paths = std::collections::BTreeSet::new();
+        for (path, idxs) in g.partitions.iter() {
+            seen_paths.insert(path.clone());
+            stored.extend(g.peer(idxs[0]).store.iter().cloned());
+        }
+        stored.sort();
+        let mut want = keys.clone();
+        want.sort();
+        assert_eq!(stored, want, "partitioning must cover every key once");
+        // Paths must be prefix-free.
+        let paths: Vec<Key> = seen_paths.into_iter().collect();
+        for (i, a) in paths.iter().enumerate() {
+            for b in &paths[i + 1..] {
+                assert!(!a.is_prefix_of(b), "{a} prefixes {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_finds_every_key() {
+        let keys = corpus();
+        let mut g = PGrid::build(&keys, 8, 2, 16, 2);
+        for key in &keys {
+            let (found, hops) = g.lookup(key);
+            assert!(found, "{key}");
+            assert!(hops as usize <= 16 * 8);
+        }
+        assert!(!g.lookup(&k("NOPE")).0);
+    }
+
+    #[test]
+    fn hops_scale_logarithmically() {
+        // 256 synthetic keys, 64 peers: average hops should be near
+        // log2(|Π|) ≈ 6, certainly below 12.
+        let keys: Vec<Key> = (0..256)
+            .map(|i| Key::from(format!("K{i:03}")))
+            .collect();
+        let mut g = PGrid::build(&keys, 64, 2, 8, 3);
+        let mut total = 0u32;
+        for key in &keys {
+            let (found, hops) = g.lookup(key);
+            assert!(found);
+            total += hops;
+        }
+        let mean = total as f64 / keys.len() as f64;
+        assert!(mean < 12.0, "mean hops {mean}");
+        assert!(g.mean_state() > 0.0);
+    }
+
+    #[test]
+    fn more_peers_than_partitions_replicates() {
+        let keys: Vec<Key> = vec![k("A"), k("B")];
+        let mut g = PGrid::build(&keys, 10, 2, 4, 4);
+        assert_eq!(g.peer_count(), 10);
+        assert!(g.partition_count() <= 10);
+        for key in &keys {
+            assert!(g.lookup(key).0);
+        }
+    }
+
+    #[test]
+    fn range_query_matches_filter() {
+        let keys = corpus();
+        let mut g = PGrid::build(&keys, 8, 2, 16, 5);
+        let (got, _) = g.range(&k("DGEMM"), &k("SGEMM"));
+        let mut want: Vec<Key> = keys
+            .iter()
+            .filter(|x| **x >= k("DGEMM") && **x <= k("SGEMM"))
+            .cloned()
+            .collect();
+        want.sort();
+        assert_eq!(got, want);
+        let (empty, _) = g.range(&k("AA"), &k("AB"));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn state_grows_with_partitions() {
+        let keys: Vec<Key> = (0..128).map(|i| Key::from(format!("K{i:03}"))).collect();
+        let small = PGrid::build(&keys, 8, 1, 8, 6);
+        let large = PGrid::build(&keys, 64, 1, 8, 6);
+        assert!(
+            large.mean_state() > small.mean_state(),
+            "{} vs {}",
+            large.mean_state(),
+            small.mean_state()
+        );
+    }
+}

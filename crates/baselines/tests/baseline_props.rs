@@ -1,0 +1,89 @@
+//! Property tests of the comparators: the binary encoding preserves
+//! order, and PHT/P-Grid behave as sets over arbitrary corpora.
+
+use dlpt_baselines::encoding::{from_bits, to_bits};
+use dlpt_baselines::pht::{PhtConfig, PrefixHashTree};
+use dlpt_baselines::PGrid;
+use dlpt_core::key::Key;
+use proptest::prelude::*;
+
+fn name() -> impl Strategy<Value = String> {
+    "[A-Z][A-Z0-9_]{0,9}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Encoding preserves lexicographic order and roundtrips.
+    #[test]
+    fn encoding_preserves_order(a in name(), b in name()) {
+        let (ka, kb) = (Key::from(a.as_str()), Key::from(b.as_str()));
+        let (ea, eb) = (to_bits(&ka, 12), to_bits(&kb, 12));
+        prop_assert_eq!(ka.cmp(&kb), ea.cmp(&eb));
+        prop_assert_eq!(from_bits(&ea), ka);
+    }
+
+    /// PHT stores exactly the inserted key set, whatever the order and
+    /// the split threshold.
+    #[test]
+    fn pht_is_a_set(
+        keys in proptest::collection::btree_set(name(), 1..25),
+        leaf_capacity in 1usize..6,
+        probe in name(),
+    ) {
+        let mut pht = PrefixHashTree::new(
+            PhtConfig { leaf_capacity, depth_bytes: 12, succ_list_len: 3 },
+            8,
+            1,
+        );
+        for k in &keys {
+            pht.insert(&Key::from(k.as_str()));
+        }
+        prop_assert_eq!(pht.key_count(), keys.len());
+        for k in &keys {
+            prop_assert!(pht.lookup(&Key::from(k.as_str())).0, "{}", k);
+        }
+        let probe_key = Key::from(probe.as_str());
+        prop_assert_eq!(pht.lookup(&probe_key).0, keys.contains(&probe));
+        // Binary-search lookup agrees with the linear descent.
+        prop_assert_eq!(pht.lookup_binary(&probe_key).0, keys.contains(&probe));
+    }
+
+    /// PHT range queries equal a filter.
+    #[test]
+    fn pht_range_equals_filter(
+        keys in proptest::collection::btree_set(name(), 1..20),
+        a in name(),
+        b in name(),
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let (lo, hi) = (Key::from(lo.as_str()), Key::from(hi.as_str()));
+        let mut pht = PrefixHashTree::new(PhtConfig::default(), 8, 2);
+        for k in &keys {
+            pht.insert(&Key::from(k.as_str()));
+        }
+        let want: Vec<Key> = keys
+            .iter()
+            .map(|k| Key::from(k.as_str()))
+            .filter(|k| *k >= lo && *k <= hi)
+            .collect();
+        prop_assert_eq!(pht.range(&lo, &hi), want);
+    }
+
+    /// P-Grid finds every stored key and rejects absent probes, for
+    /// arbitrary corpora and peer counts.
+    #[test]
+    fn pgrid_is_a_set(
+        keys in proptest::collection::btree_set(name(), 1..25),
+        peers in 1usize..20,
+        probe in name(),
+    ) {
+        let corpus: Vec<Key> = keys.iter().map(|k| Key::from(k.as_str())).collect();
+        let mut g = PGrid::build(&corpus, peers, 2, 12, 3);
+        for k in &corpus {
+            prop_assert!(g.lookup(k).0, "{}", k);
+        }
+        let probe_key = Key::from(probe.as_str());
+        prop_assert_eq!(g.lookup(&probe_key).0, keys.contains(&probe));
+    }
+}

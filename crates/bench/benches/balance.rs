@@ -1,0 +1,101 @@
+//! Load-balancing micro-benchmarks: the O(m) MLT boundary sweep
+//! (Section 3.3 claims linear time — verified by scaling), one full
+//! rebalance step, and KC candidate scoring. Plus an ablation of the
+//! MLT trigger fraction (a knob the paper fixes without studying).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlpt_core::balance::mlt::{best_split, rebalance_pair};
+use dlpt_core::balance::KChoices;
+use dlpt_core::{DlptSystem, Key};
+use dlpt_sim::config::{CorpusKind, ExperimentConfig, LbKind, PopKind};
+use dlpt_sim::run::run_once;
+use dlpt_workloads::churn::ChurnModel;
+use dlpt_workloads::corpus::Corpus;
+use std::hint::black_box;
+
+fn sweep_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mlt_sweep");
+    for m in [16usize, 256, 4096] {
+        let loads: Vec<u64> = (0..m as u64).map(|i| (i * 37) % 100).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &loads, |b, loads| {
+            b.iter(|| black_box(best_split(loads, 500, 700, loads.len() / 2)))
+        });
+    }
+    group.finish();
+}
+
+fn loaded_system() -> DlptSystem {
+    let keys = Corpus::grid().take_spread(300);
+    let mut sys = DlptSystem::builder()
+        .seed(3)
+        .default_capacity(50)
+        .bootstrap_peers(24)
+        .build();
+    for k in &keys {
+        sys.insert_data(k.clone()).unwrap();
+    }
+    for i in 0..400 {
+        sys.lookup(&keys[i % keys.len()]);
+    }
+    sys.end_time_unit();
+    sys
+}
+
+fn rebalance_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("balance_step");
+    group.sample_size(10);
+    group.bench_function("mlt_rebalance_pair", |b| {
+        b.iter_batched(
+            loaded_system,
+            |mut sys| {
+                let id = sys.peer_ids()[5].clone();
+                black_box(rebalance_pair(&mut sys, &id))
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    let sys = loaded_system();
+    group.bench_function("kc_score_candidate", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i += 1;
+            let candidate = Key::from(format!("CAND{i:06}"));
+            black_box(KChoices::score_candidate(&sys, &candidate, 40))
+        })
+    });
+    group.finish();
+}
+
+/// Ablation: fraction of peers running MLT per unit vs steady-state
+/// satisfied requests (printed via throughput of one full run).
+fn mlt_fraction_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mlt_fraction_ablation");
+    group.sample_size(10);
+    for fraction in [0.25, 1.0] {
+        let cfg = ExperimentConfig {
+            name: format!("ablation-mlt-{fraction}"),
+            peers: 20,
+            corpus: CorpusKind::GridSubset(150),
+            time_units: 12,
+            growth_units: 4,
+            load: 0.16,
+            route_cost: 9.0,
+            base_capacity: 10,
+            capacity_ratio: 4,
+            churn: ChurnModel::stable(),
+            lb: LbKind::Mlt { fraction },
+            popularity: PopKind::Uniform,
+            runs: 1,
+            base_seed: 77,
+            peer_id_len: 10,
+            track_mapping_hops: false,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(fraction), &cfg, |b, cfg| {
+            b.iter(|| black_box(run_once(cfg, 0).total_satisfied(4)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sweep_scaling, rebalance_step, mlt_fraction_ablation);
+criterion_main!(benches);

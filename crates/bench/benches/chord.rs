@@ -1,0 +1,67 @@
+//! Chord substrate micro-benchmarks: lookup scaling (the log P factor
+//! Table 2 charges PHT with), joins and stabilization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlpt_dht::ChordNetwork;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn network(n: usize, seed: u64) -> (ChordNetwork, Vec<u64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = ChordNetwork::new(4);
+    let mut ids = Vec::new();
+    while ids.len() < n {
+        let id: u64 = rng.gen();
+        if net.join(id) {
+            ids.push(id);
+        }
+    }
+    net.stabilize();
+    (net, ids)
+}
+
+fn lookup_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chord_lookup");
+    group.sample_size(30);
+    for n in [64usize, 256, 1024] {
+        let (mut net, ids) = network(n, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let target: u64 = rng.gen();
+                let entry = ids[rng.gen_range(0..ids.len())];
+                black_box(net.find_successor(entry, target).hops)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn membership(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chord_membership");
+    group.sample_size(10);
+    group.bench_function("join_into_256", |b| {
+        b.iter_batched(
+            || network(256, 3).0,
+            |mut net| {
+                black_box(net.join(0xDEADBEEF));
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("stabilize_256", |b| {
+        b.iter_batched(
+            || network(256, 4).0,
+            |mut net| {
+                net.stabilize();
+                black_box(net.len())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, lookup_scaling, membership);
+criterion_main!(benches);

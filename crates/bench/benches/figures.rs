@@ -1,0 +1,105 @@
+//! Scaled-down versions of the paper's figures, under criterion: each
+//! bench times one seeded run of the experiment, and on the first
+//! invocation asserts the figure's qualitative claim (the ordering the
+//! paper argues), so `cargo bench` doubles as a reproduction check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlpt_sim::config::{ExperimentConfig, PopKind};
+use dlpt_sim::experiments as exp;
+use dlpt_sim::run::run_once;
+use std::hint::black_box;
+
+/// Scale a figure config to bench size: small platform, few units,
+/// single run (criterion provides the repetition).
+fn bench_size(mut cfg: ExperimentConfig, units: u32) -> ExperimentConfig {
+    cfg = cfg.scaled_down(5);
+    cfg.time_units = units;
+    cfg.runs = 1;
+    cfg
+}
+
+fn satisfaction_figures(c: &mut Criterion) {
+    for (name, configs, strict) in [
+        // Low-load bench-scale runs issue only a handful of requests
+        // per unit, so the ordering check allows sampling noise; the
+        // overload figures give a robust signal even at this scale.
+        // The binding full-scale checks live in the `fig*` binaries.
+        ("fig4_stable_low", exp::fig4_configs(), false),
+        ("fig5_stable_high", exp::fig5_configs(), true),
+        ("fig6_dynamic_low", exp::fig6_configs(), false),
+        ("fig7_dynamic_high", exp::fig7_configs(), true),
+    ] {
+        // Qualitative check once per figure: MLT vs NoLB over a few
+        // averaged seeds.
+        let scaled: Vec<ExperimentConfig> = configs
+            .iter()
+            .map(|c| bench_size(c.clone(), 16))
+            .collect();
+        let total = |cfg: &ExperimentConfig| -> u64 {
+            (0..4).map(|i| run_once(cfg, i).total_satisfied(4)).sum()
+        };
+        let mlt = total(&scaled[0]);
+        let none = total(&scaled[2]);
+        let floor = if strict { none } else { none * 85 / 100 };
+        assert!(
+            mlt >= floor,
+            "{name}: MLT ({mlt}) must not lose to NoLB ({none})"
+        );
+
+        let mut group = c.benchmark_group(name);
+        group.sample_size(10);
+        for cfg in scaled {
+            let label = cfg.lb.label();
+            group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+                b.iter(|| black_box(run_once(cfg, 0).total_satisfied(4)))
+            });
+        }
+        group.finish();
+    }
+}
+
+fn hotspot_figure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_hotspots");
+    group.sample_size(10);
+    for cfg in exp::fig8_configs() {
+        let mut cfg = bench_size(cfg, 60); // keep burst phase at 40
+        cfg.popularity = PopKind::Figure8 { hot_fraction: 0.85 };
+        let label = cfg.lb.label();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            b.iter(|| black_box(run_once(cfg, 0).total_satisfied(10)))
+        });
+    }
+    group.finish();
+}
+
+fn mapping_figure(c: &mut Criterion) {
+    // Figure 9's claim, asserted at bench scale: lexicographic mapping
+    // needs far fewer physical hops than the hash mapping.
+    let mut cfg = bench_size(exp::fig9_config(), 24);
+    cfg.track_mapping_hops = true;
+    let r = run_once(&cfg, 0);
+    let sum = |f: fn(&dlpt_sim::run::UnitMetrics) -> u64| -> u64 {
+        r.units.iter().map(f).sum()
+    };
+    let lexico = sum(|u| u.physical_lexico_sum);
+    let random = sum(|u| u.physical_random_sum);
+    assert!(
+        2 * lexico < random,
+        "fig9: lexicographic ({lexico}) must be well below random ({random})"
+    );
+
+    let mut group = c.benchmark_group("fig9_mapping");
+    group.sample_size(10);
+    group.bench_function("mlt_with_hop_replay", |b| {
+        b.iter(|| black_box(run_once(&cfg, 0).total_satisfied(4)))
+    });
+    let mut no_replay = cfg.clone();
+    no_replay.track_mapping_hops = false;
+    group.bench_function("mlt_without_hop_replay", |b| {
+        b.iter(|| black_box(run_once(&no_replay, 0).total_satisfied(4)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, satisfaction_figures, hotspot_figure, mapping_figure);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Routing cost of the three trie overlays on an identical corpus —
+//! the micro-benchmark behind Table 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlpt_baselines::pht::{PhtConfig, PrefixHashTree};
+use dlpt_baselines::PGrid;
+use dlpt_core::messages::QueryKind;
+use dlpt_core::DlptSystem;
+use dlpt_workloads::corpus::Corpus;
+use std::hint::black_box;
+
+fn routing(c: &mut Criterion) {
+    let keys = Corpus::grid().take_spread(300);
+    let peers = 32;
+
+    let mut dlpt = DlptSystem::builder().seed(9).bootstrap_peers(peers).build();
+    for k in &keys {
+        dlpt.insert_data(k.clone()).unwrap();
+    }
+    let mut pht = PrefixHashTree::new(
+        PhtConfig {
+            leaf_capacity: 4,
+            depth_bytes: 24,
+            succ_list_len: 4,
+        },
+        peers,
+        9,
+    );
+    for k in &keys {
+        pht.insert(k);
+    }
+    let mut pgrid = PGrid::build(&keys, peers, 2, 24, 9);
+
+    let mut group = c.benchmark_group("lookup_routing");
+    group.sample_size(30);
+    group.bench_function("dlpt", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 11) % keys.len();
+            dlpt.end_time_unit();
+            black_box(
+                dlpt.request(QueryKind::Exact(keys[i].clone()))
+                    .unwrap()
+                    .logical_hops(),
+            )
+        })
+    });
+    group.bench_function("pht", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 11) % keys.len();
+            black_box(pht.lookup(&keys[i]).1)
+        })
+    });
+    group.bench_function("pht_binary_search", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 11) % keys.len();
+            black_box(pht.lookup_binary(&keys[i]).1)
+        })
+    });
+    group.bench_function("pgrid", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 11) % keys.len();
+            black_box(pgrid.lookup(&keys[i]).1)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, routing);
+criterion_main!(benches);

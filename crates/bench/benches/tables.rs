@@ -1,0 +1,56 @@
+//! Scaled-down versions of the paper's tables under criterion:
+//! Table 1 (one gain cell) and Table 2 (the three-system measurement),
+//! with the qualitative orderings asserted.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlpt_sim::experiments::{table1_row, table2_measure};
+use std::hint::black_box;
+
+fn table1_cell(c: &mut Criterion) {
+    // Assert the Table 1 shape once at bench scale: the MLT gain on
+    // the stable network is positive and grows with load.
+    let low = table1_row(0.10, 8);
+    let high = table1_row(0.40, 8);
+    assert!(
+        low.stable_mlt > 0.0,
+        "MLT must gain at 10% load (got {:.1}%)",
+        low.stable_mlt
+    );
+    assert!(
+        high.stable_mlt > low.stable_mlt * 0.5,
+        "MLT gain must not collapse with load ({:.1}% -> {:.1}%)",
+        low.stable_mlt,
+        high.stable_mlt
+    );
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("gain_row_scaled", |b| {
+        b.iter(|| black_box(table1_row(0.16, 8).stable_mlt))
+    });
+    group.finish();
+}
+
+fn table2_rows(c: &mut Criterion) {
+    // Assert the Table 2 ordering at bench scale.
+    let rows = table2_measure(24, 150, 100, 7);
+    let get = |name: &str| rows.iter().find(|r| r.system == name).unwrap();
+    assert!(
+        get("DLPT").routing_hops < get("PHT").routing_hops,
+        "DLPT must out-route PHT"
+    );
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for (peers, keys, lookups) in [(16usize, 100usize, 50usize), (32, 200, 100)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{peers}p_{keys}k")),
+            &(peers, keys, lookups),
+            |b, &(p, k, l)| b.iter(|| black_box(table2_measure(p, k, l, 7).len())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1_cell, table2_rows);
+criterion_main!(benches);

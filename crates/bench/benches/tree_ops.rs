@@ -1,0 +1,91 @@
+//! Micro-benchmarks of the PGCP tree: sequential oracle vs the
+//! distributed overlay, over the paper's grid corpus.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlpt_core::messages::QueryKind;
+use dlpt_core::{DlptSystem, Key, PgcpTrie};
+use dlpt_workloads::corpus::Corpus;
+use std::hint::black_box;
+
+fn oracle_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trie_insert");
+    group.sample_size(20);
+    for n in [100usize, 500, 1000] {
+        let keys = Corpus::grid().take_spread(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &keys, |b, keys| {
+            b.iter(|| {
+                let mut t = PgcpTrie::new();
+                for k in keys {
+                    t.insert(k.clone());
+                }
+                black_box(t.node_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn oracle_queries(c: &mut Criterion) {
+    let keys = Corpus::grid().keys;
+    let mut t = PgcpTrie::new();
+    for k in &keys {
+        t.insert(k.clone());
+    }
+    let mut group = c.benchmark_group("trie_query");
+    group.sample_size(30);
+    group.bench_function("lookup", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7) % keys.len();
+            black_box(t.lookup(&keys[i]).found)
+        })
+    });
+    group.bench_function("complete_S3L", |b| {
+        b.iter(|| black_box(t.complete(&Key::from("S3L")).len()))
+    });
+    group.bench_function("range_D_to_E", |b| {
+        b.iter(|| black_box(t.range(&Key::from("D"), &Key::from("E")).len()))
+    });
+    group.finish();
+}
+
+fn overlay_ops(c: &mut Criterion) {
+    let keys = Corpus::grid().take_spread(400);
+    let mut group = c.benchmark_group("overlay");
+    group.sample_size(10);
+    group.bench_function("build_400_keys_16_peers", |b| {
+        b.iter(|| {
+            let mut sys = DlptSystem::builder().seed(1).bootstrap_peers(16).build();
+            for k in &keys {
+                sys.insert_data(k.clone()).unwrap();
+            }
+            black_box(sys.node_count())
+        })
+    });
+    let mut sys = DlptSystem::builder().seed(1).bootstrap_peers(16).build();
+    for k in &keys {
+        sys.insert_data(k.clone()).unwrap();
+    }
+    group.bench_function("lookup", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 13) % keys.len();
+            sys.end_time_unit();
+            black_box(
+                sys.request(QueryKind::Exact(keys[i].clone()))
+                    .unwrap()
+                    .satisfied,
+            )
+        })
+    });
+    group.bench_function("completion_scatter", |b| {
+        b.iter(|| {
+            sys.end_time_unit();
+            black_box(sys.complete(&Key::from("S3L")).results.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, oracle_insert, oracle_queries, overlay_ops);
+criterion_main!(benches);

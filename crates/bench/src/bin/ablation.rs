@@ -1,0 +1,125 @@
+//! Ablations of the design choices DESIGN.md calls out — knobs the
+//! paper fixes without studying:
+//!
+//! * the MLT trigger fraction (paper: "a fixed fraction of the peers");
+//! * KC's candidate count k (paper: k = 4);
+//! * the platform's capacity heterogeneity ratio (paper: 4);
+//! * request-popularity skew (paper: uniform outside the hot spots).
+//!
+//! `cargo run --release -p dlpt-bench --bin ablation [-- --scale N]`
+
+use dlpt_bench::scale_from_args;
+use dlpt_sim::config::{ExperimentConfig, LbKind, PopKind};
+use dlpt_sim::report::{ascii_table, results_dir};
+use dlpt_sim::runner::run_experiment;
+use dlpt_workloads::churn::ChurnModel;
+use std::io::Write;
+
+fn base(scale: usize) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig {
+        name: "ablation".into(),
+        load: 0.16,
+        churn: ChurnModel::stable(),
+        runs: 12,
+        ..ExperimentConfig::default()
+    };
+    if scale > 1 {
+        cfg = cfg.scaled_down(scale);
+        cfg.time_units = 30;
+    }
+    cfg
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let mut csv = String::from("ablation,setting,steady_satisfaction_pct\n");
+    let mut rows = Vec::new();
+
+    // --- MLT trigger fraction ------------------------------------------
+    for fraction in [0.1, 0.25, 0.5, 1.0] {
+        let mut cfg = base(scale);
+        cfg.name = format!("mlt-fraction-{fraction}");
+        cfg.lb = LbKind::Mlt { fraction };
+        let s = run_experiment(&cfg);
+        eprintln!("[ablation] MLT fraction {fraction}: {:.1}%", s.steady_satisfaction());
+        csv.push_str(&format!("mlt_fraction,{fraction},{:.2}\n", s.steady_satisfaction()));
+        rows.push(vec![
+            "MLT fraction".into(),
+            format!("{fraction}"),
+            format!("{:.1}%", s.steady_satisfaction()),
+        ]);
+    }
+
+    // --- KC candidate count (under churn, where KC acts) ----------------
+    for k in [1usize, 2, 4, 8, 16] {
+        let mut cfg = base(scale);
+        cfg.name = format!("kc-k-{k}");
+        cfg.churn = ChurnModel::dynamic();
+        cfg.lb = LbKind::Kc { k };
+        let s = run_experiment(&cfg);
+        eprintln!("[ablation] KC k={k}: {:.1}%", s.steady_satisfaction());
+        csv.push_str(&format!("kc_k,{k},{:.2}\n", s.steady_satisfaction()));
+        rows.push(vec![
+            "KC candidates k".into(),
+            format!("{k}"),
+            format!("{:.1}%", s.steady_satisfaction()),
+        ]);
+    }
+
+    // --- Capacity heterogeneity ratio (MLT's raison d'être) -------------
+    for ratio in [1u32, 2, 4, 8] {
+        for (label, lb) in [("MLT", LbKind::Mlt { fraction: 1.0 }), ("NoLB", LbKind::None)] {
+            let mut cfg = base(scale);
+            cfg.name = format!("ratio-{ratio}-{label}");
+            cfg.capacity_ratio = ratio;
+            // Keep aggregate capacity roughly constant across ratios.
+            cfg.base_capacity = (50 / (1 + ratio)).max(2);
+            cfg.lb = lb;
+            let s = run_experiment(&cfg);
+            eprintln!(
+                "[ablation] ratio {ratio} {label}: {:.1}%",
+                s.steady_satisfaction()
+            );
+            csv.push_str(&format!(
+                "capacity_ratio_{label},{ratio},{:.2}\n",
+                s.steady_satisfaction()
+            ));
+            rows.push(vec![
+                format!("capacity ratio ({label})"),
+                format!("{ratio}"),
+                format!("{:.1}%", s.steady_satisfaction()),
+            ]);
+        }
+    }
+
+    // --- Popularity skew -------------------------------------------------
+    for (label, pop) in [
+        ("uniform", PopKind::Uniform),
+        ("zipf-0.8", PopKind::Zipf(0.8)),
+        ("zipf-1.2", PopKind::Zipf(1.2)),
+    ] {
+        let mut cfg = base(scale);
+        cfg.name = format!("pop-{label}");
+        cfg.lb = LbKind::Mlt { fraction: 1.0 };
+        cfg.popularity = pop;
+        let s = run_experiment(&cfg);
+        eprintln!("[ablation] popularity {label}: {:.1}%", s.steady_satisfaction());
+        csv.push_str(&format!("popularity,{label},{:.2}\n", s.steady_satisfaction()));
+        rows.push(vec![
+            "popularity (MLT)".into(),
+            label.into(),
+            format!("{:.1}%", s.steady_satisfaction()),
+        ]);
+    }
+
+    println!("Ablations: steady-state satisfaction");
+    println!(
+        "{}",
+        ascii_table(&["Ablation", "Setting", "Satisfaction"], &rows)
+    );
+    let path = results_dir().join("ablation.csv");
+    std::fs::File::create(&path)
+        .and_then(|mut f| f.write_all(csv.as_bytes()))
+        .expect("write results CSV");
+    println!("  CSV: {}", path.display());
+}

@@ -1,0 +1,124 @@
+//! Regenerates every figure and table of the paper in one go.
+//!
+//! `cargo run --release --bin all [-- --scale N]`
+//!
+//! At paper scale this takes minutes; `--scale 4` finishes in tens of
+//! seconds with the same qualitative shapes.
+
+use dlpt_bench::{apply_scale, run_satisfaction_figure, scale_from_args};
+use dlpt_sim::experiments as exp;
+use dlpt_sim::report::{ascii_chart, ascii_table, results_dir, write_csv};
+use dlpt_sim::runner::run_experiment;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("== DLPT reproduction: all figures and tables (scale {scale}) ==\n");
+
+    for (name, configs, title) in [
+        (
+            "fig4",
+            exp::fig4_configs(),
+            "Figure 4: stable network, low load",
+        ),
+        (
+            "fig5",
+            exp::fig5_configs(),
+            "Figure 5: stable network, high load",
+        ),
+        (
+            "fig6",
+            exp::fig6_configs(),
+            "Figure 6: dynamic network, low load",
+        ),
+        (
+            "fig7",
+            exp::fig7_configs(),
+            "Figure 7: dynamic network, high load",
+        ),
+    ] {
+        run_satisfaction_figure(name, apply_scale(configs, scale), title);
+        println!();
+    }
+
+    // Figure 8 keeps its 160-unit hot-spot timeline at any scale.
+    let fig8 = apply_scale(exp::fig8_configs(), scale)
+        .into_iter()
+        .map(|mut c| {
+            c.time_units = 160;
+            c
+        })
+        .collect();
+    run_satisfaction_figure(
+        "fig8",
+        fig8,
+        "Figure 8: dynamic network with hot spots (S3L @40, P @80, uniform @120)",
+    );
+    println!();
+
+    // Figure 9.
+    let mut cfg9 = exp::fig9_config();
+    if scale > 1 {
+        cfg9 = cfg9.scaled_down(scale);
+        cfg9.time_units = 160;
+        cfg9.track_mapping_hops = true;
+    }
+    eprintln!("[fig9] running ({} runs)…", cfg9.runs);
+    let s9 = run_experiment(&cfg9);
+    let cols: Vec<(&str, &[f64])> = vec![
+        ("logical", s9.logical_hops.as_slice()),
+        ("physical_random", s9.physical_random.as_slice()),
+        ("physical_lexico_mlt", s9.physical_lexico.as_slice()),
+    ];
+    write_csv(&results_dir().join("fig9.csv"), &s9.time, &cols).expect("csv");
+    println!(
+        "{}",
+        ascii_chart("Figure 9: hops per request", &cols, None, 18, 80)
+    );
+
+    // Table 1.
+    println!("Table 1: gains over no load balancing");
+    let mut rows = Vec::new();
+    for load in exp::TABLE1_LOADS {
+        eprintln!("[table1] load {:.0}%…", load * 100.0);
+        let r = exp::table1_row(load, scale);
+        rows.push(vec![
+            format!("{:.0}%", r.load * 100.0),
+            format!("{:+.1}%", r.stable_mlt),
+            format!("{:+.1}%", r.stable_kc),
+            format!("{:+.1}%", r.dynamic_mlt),
+            format!("{:+.1}%", r.dynamic_kc),
+        ]);
+    }
+    println!(
+        "{}",
+        ascii_table(
+            &["Load", "Stable MLT", "Stable KC", "Dynamic MLT", "Dynamic KC"],
+            &rows
+        )
+    );
+
+    // Table 2.
+    let (peers, keys, lookups) = if scale > 1 {
+        (100 / scale.min(4), 1000 / scale, 2000 / scale)
+    } else {
+        (100, 1000, 2000)
+    };
+    let t2 = exp::table2_measure(peers, keys, lookups, 0xD1B2);
+    let rows: Vec<Vec<String>> = t2
+        .iter()
+        .map(|r| {
+            vec![
+                r.system.to_string(),
+                format!("{:.2}", r.routing_hops),
+                format!("{:.2}", r.local_state),
+                r.theory_routing.to_string(),
+            ]
+        })
+        .collect();
+    println!("\nTable 2: measured trie-overlay complexities");
+    println!(
+        "{}",
+        ascii_table(&["System", "Routing hops", "State/peer", "Theory"], &rows)
+    );
+    println!("\nAll CSVs in {}", results_dir().display());
+}

@@ -1,0 +1,19 @@
+//! Figure 4 — "Load balancing, stable network, no overload":
+//! percentage of satisfied requests over 50 time units, MLT vs KC vs
+//! no load balancing, 30 runs.
+//!
+//! Run at paper scale: `cargo run --release --bin fig4`
+//! Scaled down:       `cargo run --release --bin fig4 -- --scale 4`
+
+use dlpt_bench::{apply_scale, run_satisfaction_figure, scale_from_args};
+use dlpt_sim::experiments::fig4_configs;
+
+fn main() {
+    let scale = scale_from_args();
+    let configs = apply_scale(fig4_configs(), scale);
+    run_satisfaction_figure(
+        "fig4",
+        configs,
+        "Figure 4: stable network, low load — % satisfied requests",
+    );
+}

@@ -1,0 +1,17 @@
+//! Figure 5 — "Load balancing, stable network, overload": the Figure 4
+//! experiment under a very high request rate.
+//!
+//! `cargo run --release --bin fig5 [-- --scale N]`
+
+use dlpt_bench::{apply_scale, run_satisfaction_figure, scale_from_args};
+use dlpt_sim::experiments::fig5_configs;
+
+fn main() {
+    let scale = scale_from_args();
+    let configs = apply_scale(fig5_configs(), scale);
+    run_satisfaction_figure(
+        "fig5",
+        configs,
+        "Figure 5: stable network, high load — % satisfied requests",
+    );
+}

@@ -1,0 +1,17 @@
+//! Figure 6 — "Comparing LB algorithms, dynamic network, no overload":
+//! 10% of the peers replaced every unit.
+//!
+//! `cargo run --release --bin fig6 [-- --scale N]`
+
+use dlpt_bench::{apply_scale, run_satisfaction_figure, scale_from_args};
+use dlpt_sim::experiments::fig6_configs;
+
+fn main() {
+    let scale = scale_from_args();
+    let configs = apply_scale(fig6_configs(), scale);
+    run_satisfaction_figure(
+        "fig6",
+        configs,
+        "Figure 6: dynamic network, low load — % satisfied requests",
+    );
+}

@@ -1,0 +1,16 @@
+//! Figure 7 — "Comparing LB algorithms, dynamic network, overload".
+//!
+//! `cargo run --release --bin fig7 [-- --scale N]`
+
+use dlpt_bench::{apply_scale, run_satisfaction_figure, scale_from_args};
+use dlpt_sim::experiments::fig7_configs;
+
+fn main() {
+    let scale = scale_from_args();
+    let configs = apply_scale(fig7_configs(), scale);
+    run_satisfaction_figure(
+        "fig7",
+        configs,
+        "Figure 7: dynamic network, high load — % satisfied requests",
+    );
+}

@@ -1,0 +1,29 @@
+//! Figure 8 — "Load balancing, dynamic network, hot spots": 160 time
+//! units, 50 runs; uniform traffic, then a burst on the S3L library
+//! (units 40–80), then on ScaLAPACK's "P" routines (80–120), then
+//! uniform again.
+//!
+//! `cargo run --release --bin fig8 [-- --scale N]`
+
+use dlpt_bench::{apply_scale, run_satisfaction_figure, scale_from_args};
+use dlpt_sim::experiments::fig8_configs;
+
+fn main() {
+    let scale = scale_from_args();
+    let mut configs = fig8_configs();
+    if scale > 1 {
+        // Keep the 160-unit hot-spot timeline; shrink the platform.
+        configs = apply_scale(configs, scale)
+            .into_iter()
+            .map(|mut c| {
+                c.time_units = 160;
+                c
+            })
+            .collect();
+    }
+    run_satisfaction_figure(
+        "fig8",
+        configs,
+        "Figure 8: dynamic network with hot spots (S3L @40, P @80, uniform @120)",
+    );
+}

@@ -1,0 +1,49 @@
+//! Figure 9 — "Reduction of the communication by the lexicographic
+//! mapping": average hops per satisfied request over the Figure 8
+//! timeline, 100 runs. Three curves: logical hops in the tree,
+//! physical hops under the original random (DHT/hash) mapping, and
+//! physical hops under the paper's lexicographic mapping with MLT.
+//!
+//! `cargo run --release --bin fig9 [-- --scale N]`
+
+use dlpt_bench::scale_from_args;
+use dlpt_sim::experiments::fig9_config;
+use dlpt_sim::report::{ascii_chart, results_dir, write_csv};
+use dlpt_sim::runner::run_experiment;
+
+fn main() {
+    let scale = scale_from_args();
+    let mut cfg = fig9_config();
+    if scale > 1 {
+        cfg = cfg.scaled_down(scale);
+        cfg.time_units = 160;
+        cfg.track_mapping_hops = true;
+    }
+    eprintln!(
+        "[fig9] running {} ({} runs x {} units, {} peers)…",
+        cfg.name, cfg.runs, cfg.time_units, cfg.peers
+    );
+    let s = run_experiment(&cfg);
+    let cols: Vec<(&str, &[f64])> = vec![
+        ("logical", s.logical_hops.as_slice()),
+        ("physical_random", s.physical_random.as_slice()),
+        ("physical_lexico_mlt", s.physical_lexico.as_slice()),
+    ];
+    let path = results_dir().join("fig9.csv");
+    write_csv(&path, &s.time, &cols).expect("write results CSV");
+    println!(
+        "{}",
+        ascii_chart(
+            "Figure 9: communication gain of the lexicographic mapping (hops/request)",
+            &cols,
+            None,
+            18,
+            80
+        )
+    );
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!("  mean logical hops:            {:.2}", mean(&s.logical_hops));
+    println!("  mean physical (random map):   {:.2}", mean(&s.physical_random));
+    println!("  mean physical (lexico + MLT): {:.2}", mean(&s.physical_lexico));
+    println!("  CSV: {}", path.display());
+}

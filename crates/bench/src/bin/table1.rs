@@ -1,0 +1,47 @@
+//! Table 1 — "Summary of gains of KC and MLT heuristics": percentage
+//! improvement in steady-state satisfied requests over the no-LB
+//! baseline, for loads of 5/10/16/24/40/80% of the aggregated
+//! capacity, on the stable and the dynamic network.
+//!
+//! Full scale (≈36 experiments of 30 runs each — minutes):
+//! `cargo run --release --bin table1`
+//! Quick pass: `cargo run --release --bin table1 -- --scale 8`
+
+use dlpt_bench::scale_from_args;
+use dlpt_sim::experiments::{table1_row, TABLE1_LOADS};
+use dlpt_sim::report::{ascii_table, results_dir};
+use std::io::Write;
+
+fn main() {
+    let scale = scale_from_args();
+    let mut rows = Vec::new();
+    let mut csv = String::from("load,stable_mlt,stable_kc,dynamic_mlt,dynamic_kc\n");
+    for load in TABLE1_LOADS {
+        eprintln!("[table1] load {:.0}%…", load * 100.0);
+        let r = table1_row(load, scale);
+        csv.push_str(&format!(
+            "{:.2},{:.2},{:.2},{:.2},{:.2}\n",
+            r.load, r.stable_mlt, r.stable_kc, r.dynamic_mlt, r.dynamic_kc
+        ));
+        rows.push(vec![
+            format!("{:.0}%", r.load * 100.0),
+            format!("{:+.2}%", r.stable_mlt),
+            format!("{:+.2}%", r.stable_kc),
+            format!("{:+.2}%", r.dynamic_mlt),
+            format!("{:+.2}%", r.dynamic_kc),
+        ]);
+    }
+    println!("Table 1: gains of MLT and KC over no load balancing");
+    println!(
+        "{}",
+        ascii_table(
+            &["Load", "Stable MLT", "Stable KC", "Dynamic MLT", "Dynamic KC"],
+            &rows
+        )
+    );
+    let path = results_dir().join("table1.csv");
+    std::fs::File::create(&path)
+        .and_then(|mut f| f.write_all(csv.as_bytes()))
+        .expect("write results CSV");
+    println!("  CSV: {}", path.display());
+}

@@ -1,0 +1,59 @@
+//! Table 2 — "Complexities of close trie-structured approaches":
+//! P-Grid vs PHT vs DLPT, measured on an identical corpus instead of
+//! transcribed. Routing = mean physical hops per exact lookup; state =
+//! mean references per peer. The paper's asymptotic claims are shown
+//! alongside the measurements.
+//!
+//! `cargo run --release --bin table2 [-- --scale N]`
+
+use dlpt_bench::scale_from_args;
+use dlpt_sim::experiments::table2_measure;
+use dlpt_sim::report::{ascii_table, results_dir};
+use std::io::Write;
+
+fn main() {
+    let scale = scale_from_args();
+    let (peers, keys, lookups) = if scale > 1 {
+        (100 / scale.min(4), 1000 / scale, 2000 / scale)
+    } else {
+        (100, 1000, 2000)
+    };
+    eprintln!("[table2] {peers} peers, {keys} keys, {lookups} lookups per system…");
+    let rows = table2_measure(peers, keys, lookups, 0xD1B2);
+    let mut table = Vec::new();
+    let mut csv = String::from("system,routing_hops,logical_levels,local_state\n");
+    for r in &rows {
+        csv.push_str(&format!(
+            "{},{:.2},{:.2},{:.2}\n",
+            r.system, r.routing_hops, r.logical_levels, r.local_state
+        ));
+        table.push(vec![
+            r.system.to_string(),
+            format!("{:.2}", r.routing_hops),
+            format!("{:.2}", r.logical_levels),
+            format!("{:.2}", r.local_state),
+            r.theory_routing.to_string(),
+            r.theory_state.to_string(),
+        ]);
+    }
+    println!("Table 2: measured complexities of trie-structured approaches");
+    println!(
+        "{}",
+        ascii_table(
+            &[
+                "System",
+                "Routing hops",
+                "Logical levels",
+                "State/peer",
+                "Theory (routing)",
+                "Theory (state)"
+            ],
+            &table
+        )
+    );
+    let path = results_dir().join("table2.csv");
+    std::fs::File::create(&path)
+        .and_then(|mut f| f.write_all(csv.as_bytes()))
+        .expect("write results CSV");
+    println!("  CSV: {}", path.display());
+}

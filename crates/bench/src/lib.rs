@@ -1,0 +1,77 @@
+//! # dlpt-bench — shared harness code for the reproduction binaries
+//! and criterion benches.
+//!
+//! Each figure/table of the paper has a binary in `src/bin/` that runs
+//! the full-scale experiment (`cargo run --release --bin fig4`), emits
+//! the series as CSV under `results/` and renders an ASCII chart; the
+//! criterion benches in `benches/` run scaled-down versions so
+//! `cargo bench` both times the machinery and re-checks the paper's
+//! orderings.
+
+use dlpt_sim::config::ExperimentConfig;
+use dlpt_sim::report::{ascii_chart, results_dir, write_csv};
+use dlpt_sim::runner::{run_experiment, AveragedSeries};
+
+/// Scale factor parsed from `--scale N` (default 1 = paper scale).
+pub fn scale_from_args() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--scale" {
+            if let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) {
+                return n.max(1);
+            }
+        }
+    }
+    1
+}
+
+/// Applies a scale factor to every curve of a figure.
+pub fn apply_scale(configs: Vec<ExperimentConfig>, scale: usize) -> Vec<ExperimentConfig> {
+    if scale <= 1 {
+        return configs;
+    }
+    configs
+        .into_iter()
+        .map(|c| c.scaled_down(scale))
+        .collect()
+}
+
+/// Runs every curve of a satisfaction figure, writes
+/// `results/<name>.csv` and prints the chart. Returns the series for
+/// further assertions.
+pub fn run_satisfaction_figure(
+    name: &str,
+    configs: Vec<ExperimentConfig>,
+    title: &str,
+) -> Vec<AveragedSeries> {
+    let mut series = Vec::with_capacity(configs.len());
+    for cfg in &configs {
+        eprintln!(
+            "[{name}] running {} ({} runs x {} units, {} peers)…",
+            cfg.name, cfg.runs, cfg.time_units, cfg.peers
+        );
+        series.push(run_experiment(cfg));
+    }
+    let time = series[0].time.clone();
+    let labels: Vec<&str> = configs.iter().map(|c| c.lb.label()).collect();
+    let cols: Vec<(&str, &[f64])> = labels
+        .iter()
+        .zip(&series)
+        .map(|(l, s)| (*l, s.satisfaction.as_slice()))
+        .collect();
+    let path = results_dir().join(format!("{name}.csv"));
+    write_csv(&path, &time, &cols).expect("write results CSV");
+    println!(
+        "{}",
+        ascii_chart(title, &cols, Some(100.0), 18, 80)
+    );
+    for (l, s) in labels.iter().zip(&series) {
+        println!(
+            "  {l:>5}: steady-state satisfaction {:.1}% ({} runs)",
+            s.steady_satisfaction(),
+            s.runs
+        );
+    }
+    println!("  CSV: {}", path.display());
+    series
+}

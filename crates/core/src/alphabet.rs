@@ -1,0 +1,283 @@
+//! Digit alphabets `A` for the identifier space.
+//!
+//! Section 2 of the paper defines identifiers as finite sequences of
+//! digits over a finite set `A` (the running example uses `A = {0, 1}`;
+//! the evaluation uses names of linear-algebra routines, i.e. an ASCII
+//! subset). The alphabet determines which bytes are valid in a
+//! [`Key`], how random peer identifiers are drawn, and
+//! how an identifier strictly between two others is synthesized for
+//! load-balancing boundary moves.
+
+use crate::error::{DlptError, Result};
+use crate::key::Key;
+use rand::Rng;
+
+/// An ordered, finite set of digits.
+///
+/// Digits are bytes; their order is plain byte order so that the
+/// lexicographic order on [`Key`]s agrees with `Ord` on the underlying
+/// byte slices. Construction sorts and deduplicates the digit set.
+#[derive(Clone)]
+pub struct Alphabet {
+    digits: Vec<u8>,
+    /// `index_of[b]` is `Some(i)` iff `digits[i] == b`.
+    index_of: [Option<u8>; 256],
+    name: &'static str,
+}
+
+impl std::fmt::Debug for Alphabet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Alphabet")
+            .field("name", &self.name)
+            .field("size", &self.digits.len())
+            .finish()
+    }
+}
+
+impl PartialEq for Alphabet {
+    fn eq(&self, other: &Self) -> bool {
+        self.digits == other.digits
+    }
+}
+impl Eq for Alphabet {}
+
+impl Alphabet {
+    /// Builds an alphabet from the given digits (sorted, deduplicated).
+    ///
+    /// # Panics
+    /// Panics if `digits` is empty or has more than 255 distinct bytes
+    /// (a digit index must fit in a `u8`).
+    pub fn new(digits: &[u8], name: &'static str) -> Self {
+        assert!(!digits.is_empty(), "alphabet must have at least one digit");
+        let mut sorted: Vec<u8> = digits.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert!(
+            sorted.len() < 256,
+            "alphabet must have fewer than 256 digits"
+        );
+        let mut index_of = [None; 256];
+        for (i, &b) in sorted.iter().enumerate() {
+            index_of[b as usize] = Some(i as u8);
+        }
+        Alphabet {
+            digits: sorted,
+            index_of,
+            name,
+        }
+    }
+
+    /// The binary alphabet `{0, 1}` used by Figure 1(a) of the paper.
+    pub fn binary() -> Self {
+        Alphabet::new(b"01", "binary")
+    }
+
+    /// Decimal digits `{0..9}`.
+    pub fn decimal() -> Self {
+        Alphabet::new(b"0123456789", "decimal")
+    }
+
+    /// The alphabet of grid service names: digits, uppercase letters,
+    /// underscore and lowercase letters — enough for BLAS ("DGEMM"),
+    /// Sun S3L ("S3L_mat_mult") and ScaLAPACK ("PSGESV") routine names
+    /// as used in Section 4 of the paper.
+    pub fn grid() -> Self {
+        let mut digits: Vec<u8> = Vec::with_capacity(64);
+        digits.extend(b'0'..=b'9');
+        digits.extend(b'A'..=b'Z');
+        digits.push(b'_');
+        digits.extend(b'a'..=b'z');
+        Alphabet::new(&digits, "grid")
+    }
+
+    /// Short human-readable name for reports.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of digits `|A|`.
+    pub fn len(&self) -> usize {
+        self.digits.len()
+    }
+
+    /// True iff the alphabet has exactly one digit (degenerate but legal).
+    pub fn is_empty(&self) -> bool {
+        false // constructor enforces at least one digit
+    }
+
+    /// The digits in ascending order.
+    pub fn digits(&self) -> &[u8] {
+        &self.digits
+    }
+
+    /// Smallest digit.
+    pub fn min_digit(&self) -> u8 {
+        self.digits[0]
+    }
+
+    /// Largest digit.
+    pub fn max_digit(&self) -> u8 {
+        *self.digits.last().expect("non-empty")
+    }
+
+    /// True iff `b` is a digit of this alphabet.
+    pub fn contains(&self, b: u8) -> bool {
+        self.index_of[b as usize].is_some()
+    }
+
+    /// Index of digit `b`, if it belongs to the alphabet.
+    pub fn index_of(&self, b: u8) -> Option<usize> {
+        self.index_of[b as usize].map(|i| i as usize)
+    }
+
+    /// The digit following `b`, if any.
+    pub fn next_digit(&self, b: u8) -> Option<u8> {
+        let i = self.index_of(b)?;
+        self.digits.get(i + 1).copied()
+    }
+
+    /// Validates that every byte of `key` is a digit of this alphabet.
+    pub fn validate(&self, key: &Key) -> Result<()> {
+        for (position, &byte) in key.as_bytes().iter().enumerate() {
+            if !self.contains(byte) {
+                return Err(DlptError::InvalidDigit { byte, position });
+            }
+        }
+        Ok(())
+    }
+
+    /// Draws a uniformly random identifier of exactly `len` digits.
+    pub fn random_id<R: Rng + ?Sized>(&self, rng: &mut R, len: usize) -> Key {
+        let bytes: Vec<u8> = (0..len)
+            .map(|_| self.digits[rng.gen_range(0..self.digits.len())])
+            .collect();
+        Key::from_bytes(bytes)
+    }
+
+    /// Synthesizes an identifier strictly between `a` and `b`
+    /// (`a < result < b` lexicographically), if one exists in this
+    /// alphabet. Used when a load-balancing boundary move needs to park
+    /// a peer just above its predecessor without colliding with any
+    /// node identifier.
+    ///
+    /// Strategy: try `a` extended by one digit (any extension of `a`
+    /// is `> a`); pick the smallest extension and check it is `< b`.
+    /// If `b` is exactly `a` followed by a run of minimal digits, keep
+    /// extending.
+    pub fn id_between(&self, a: &Key, b: &Key) -> Option<Key> {
+        if a >= b {
+            return None;
+        }
+        // Candidate: `a` extended by the minimal digit — the smallest
+        // identifier strictly above `a`. If even that is not below `b`
+        // (i.e. b == a + min_digit), nothing fits: every other
+        // extension of `a` is larger still, and everything else is
+        // outside (a, b).
+        let mut candidate = a.as_bytes().to_vec();
+        candidate.push(self.min_digit());
+        let key = Key::from_bytes(candidate);
+        if &key < b {
+            Some(key)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn binary_alphabet_basics() {
+        let a = Alphabet::binary();
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(b'0'));
+        assert!(a.contains(b'1'));
+        assert!(!a.contains(b'2'));
+        assert_eq!(a.min_digit(), b'0');
+        assert_eq!(a.max_digit(), b'1');
+        assert_eq!(a.next_digit(b'0'), Some(b'1'));
+        assert_eq!(a.next_digit(b'1'), None);
+    }
+
+    #[test]
+    fn grid_alphabet_accepts_routine_names() {
+        let a = Alphabet::grid();
+        for name in ["DGEMM", "S3L_mat_mult", "PSGESV", "dtrsm_0"] {
+            assert!(a.validate(&Key::from(name)).is_ok(), "{name}");
+        }
+        assert!(a.validate(&Key::from("BAD-NAME")).is_err());
+    }
+
+    #[test]
+    fn validate_reports_position() {
+        let a = Alphabet::binary();
+        let err = a.validate(&Key::from("0102")).unwrap_err();
+        assert_eq!(
+            err,
+            DlptError::InvalidDigit {
+                byte: b'2',
+                position: 3
+            }
+        );
+    }
+
+    #[test]
+    fn digits_are_sorted_and_deduplicated() {
+        let a = Alphabet::new(b"zba1a", "test");
+        assert_eq!(a.digits(), b"1abz");
+    }
+
+    #[test]
+    fn random_ids_are_valid_and_deterministic() {
+        let a = Alphabet::grid();
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let k1 = a.random_id(&mut r1, 12);
+        let k2 = a.random_id(&mut r2, 12);
+        assert_eq!(k1, k2);
+        assert_eq!(k1.len(), 12);
+        a.validate(&k1).unwrap();
+    }
+
+    #[test]
+    fn id_between_simple() {
+        let a = Alphabet::binary();
+        let lo = Key::from("0");
+        let hi = Key::from("1");
+        let mid = a.id_between(&lo, &hi).unwrap();
+        assert!(lo < mid && mid < hi);
+    }
+
+    #[test]
+    fn id_between_extension_chain() {
+        let a = Alphabet::binary();
+        // Between "0" and "00" nothing fits: "00" is the minimal
+        // extension of "0".
+        assert_eq!(a.id_between(&Key::from("0"), &Key::from("00")), None);
+        // Between "0" and "01" fits "00".
+        assert_eq!(
+            a.id_between(&Key::from("0"), &Key::from("01")),
+            Some(Key::from("00"))
+        );
+    }
+
+    #[test]
+    fn id_between_rejects_unordered() {
+        let a = Alphabet::binary();
+        assert_eq!(a.id_between(&Key::from("1"), &Key::from("0")), None);
+        assert_eq!(a.id_between(&Key::from("1"), &Key::from("1")), None);
+    }
+
+    #[test]
+    fn id_between_from_empty() {
+        let a = Alphabet::binary();
+        let eps = Key::epsilon();
+        let hi = Key::from("1");
+        let mid = a.id_between(&eps, &hi).unwrap();
+        assert!(eps < mid && mid < hi);
+    }
+}

@@ -1,0 +1,78 @@
+//! Load balancing (Section 3.3 of the paper).
+//!
+//! "The routing follows a top-down traversal. Therefore, the upper a
+//! node is, the more times it will be visited by a request. Moreover,
+//! due to the sudden popularity of some data, the nodes storing the
+//! corresponding keys […] may become overloaded."
+//!
+//! Three strategies are provided behind the [`LoadBalancer`] trait:
+//!
+//! * [`NoBalancing`] — the baseline ("No LB" in Figures 4–8);
+//! * [`MaxLocalThroughput`] (MLT) — the paper's heuristic: each peer
+//!   periodically renegotiates the ring boundary with its predecessor
+//!   so the pair's aggregated throughput is maximal for the loads of
+//!   the last time unit;
+//! * [`KChoices`] (KC) — the adaptation of Ledlie & Seltzer's
+//!   k-choices algorithm: a *joining* peer evaluates `k` candidate
+//!   identifiers and picks the one yielding the best local balance.
+
+pub mod kc;
+pub mod mlt;
+pub mod none;
+
+pub use kc::KChoices;
+pub use mlt::MaxLocalThroughput;
+pub use none::NoBalancing;
+
+use crate::key::Key;
+use crate::system::DlptSystem;
+use rand::RngCore;
+
+/// A pluggable load-balancing strategy for the DLPT.
+pub trait LoadBalancer {
+    /// Short name for reports ("MLT", "KC", "none").
+    fn name(&self) -> &'static str;
+
+    /// Step (1) of each simulated time unit: an opportunity to
+    /// redistribute nodes based on the previous unit's loads.
+    fn before_unit(&mut self, sys: &mut DlptSystem, rng: &mut dyn RngCore);
+
+    /// Chooses the ring position (identifier) for a peer about to join
+    /// with the given capacity.
+    fn choose_join_id(&self, sys: &DlptSystem, rng: &mut dyn RngCore, capacity: u32) -> Key;
+}
+
+/// Draws a random identifier that collides with no current peer —
+/// the placement every strategy except KC uses.
+pub fn random_peer_id(sys: &DlptSystem, rng: &mut dyn RngCore) -> Key {
+    let alphabet = sys.config().alphabet.clone();
+    let len = sys.config().peer_id_len;
+    loop {
+        let id = alphabet.random_id(rng, len);
+        if sys.shard(&id).is_none() {
+            return id;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_peer_id_avoids_collisions() {
+        let sys = DlptSystem::builder()
+            .seed(5)
+            .peer_id_len(2)
+            .bootstrap_peers(20)
+            .build();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let id = random_peer_id(&sys, &mut rng);
+            assert!(sys.shard(&id).is_none());
+            assert_eq!(id.len(), 2);
+        }
+    }
+}

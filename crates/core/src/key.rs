@@ -1,0 +1,323 @@
+//! Identifiers over a digit alphabet and their prefix algebra.
+//!
+//! Section 2 of the paper ("Greatest Common Prefix Tree") defines the
+//! identifier space `I`: finite sequences of digits of an alphabet `A`,
+//! ordered lexicographically, with the empty identifier `ε`. Both
+//! *peers* (physical machines) and *nodes* (logical tree vertices) draw
+//! their identifiers from `I`, which is what lets one structure serve
+//! as both the tree and its mapping onto the ring.
+//!
+//! The two basic functions assumed by the protocol are implemented
+//! here:
+//!
+//! * [`Key::proper_prefixes`] — the paper's `Prefixes(k)`, every proper
+//!   prefix of `k` including `ε`;
+//! * [`Key::gcp`] — the paper's `GCP(k1, k2)`, the greatest common
+//!   prefix of two identifiers.
+
+use std::borrow::Borrow;
+use std::fmt;
+
+/// An identifier: a finite (possibly empty) sequence of digits.
+///
+/// `Key` is an immutable byte string with lexicographic `Ord`. Cloning
+/// is a heap copy; keys in this system are short (service-name length),
+/// so this is cheap in practice.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Key(Box<[u8]>);
+
+impl Key {
+    /// The empty identifier `ε` (`|ε| = 0`), neutral for concatenation.
+    pub fn epsilon() -> Self {
+        Key(Box::default())
+    }
+
+    /// Builds a key from raw digit bytes.
+    pub fn from_bytes(bytes: impl Into<Vec<u8>>) -> Self {
+        Key(bytes.into().into_boxed_slice())
+    }
+
+    /// The underlying digits.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length `|w|`: the number of digits (0 for `ε`).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True iff this is `ε`.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Concatenation `uv` of two identifiers.
+    pub fn concat(&self, other: &Key) -> Key {
+        let mut v = Vec::with_capacity(self.len() + other.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Key::from_bytes(v)
+    }
+
+    /// The key extended by one digit.
+    pub fn child(&self, digit: u8) -> Key {
+        let mut v = Vec::with_capacity(self.len() + 1);
+        v.extend_from_slice(&self.0);
+        v.push(digit);
+        Key::from_bytes(v)
+    }
+
+    /// The first `n` digits as a new key (`n` capped at `len`).
+    pub fn truncated(&self, n: usize) -> Key {
+        Key::from_bytes(&self.0[..n.min(self.len())])
+    }
+
+    /// True iff `self` is a prefix of `other` (possibly equal).
+    pub fn is_prefix_of(&self, other: &Key) -> bool {
+        other.0.starts_with(&self.0)
+    }
+
+    /// True iff `self` is a *proper* prefix of `other`
+    /// (prefix and `self != other`).
+    pub fn is_proper_prefix_of(&self, other: &Key) -> bool {
+        self.len() < other.len() && self.is_prefix_of(other)
+    }
+
+    /// The paper's `Prefixes(k)`: all proper prefixes of `k`, from `ε`
+    /// up to `k` minus its last digit.
+    ///
+    /// `Prefixes(10101) = {ε, 1, 10, 101, 1010}`.
+    pub fn proper_prefixes(&self) -> impl Iterator<Item = Key> + '_ {
+        (0..self.len()).map(move |n| self.truncated(n))
+    }
+
+    /// The paper's `GCP(k1, k2)`: longest common prefix of the two keys.
+    ///
+    /// `GCP(101, 100) = 10`.
+    pub fn gcp(&self, other: &Key) -> Key {
+        self.truncated(self.gcp_len(other))
+    }
+
+    /// Length of the greatest common prefix, `|GCP(self, other)|`,
+    /// without allocating.
+    pub fn gcp_len(&self, other: &Key) -> usize {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
+    /// Greatest common prefix of a whole collection (`GCP(w1, w2, …)`).
+    /// Returns `None` for an empty collection.
+    pub fn gcp_all<I, K>(keys: I) -> Option<Key>
+    where
+        I: IntoIterator<Item = K>,
+        K: Borrow<Key>,
+    {
+        let mut iter = keys.into_iter();
+        let first = iter.next()?.borrow().clone();
+        let mut len = first.len();
+        for k in iter {
+            len = len.min(first.gcp_len(k.borrow()));
+            if len == 0 {
+                break;
+            }
+        }
+        Some(first.truncated(len))
+    }
+
+    /// The digit of `self` at position `|prefix|`, i.e. the digit that
+    /// distinguishes this key within the subtree rooted at `prefix`.
+    /// `None` if `self` is not longer than the prefix.
+    pub fn digit_after(&self, prefix: &Key) -> Option<u8> {
+        self.0.get(prefix.len()).copied()
+    }
+
+    /// Renders the key for display; `ε` shows as `"ε"`.
+    pub fn display(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "ε");
+        }
+        match std::str::from_utf8(&self.0) {
+            Ok(s) => f.write_str(s),
+            Err(_) => {
+                for b in self.0.iter() {
+                    write!(f, "\\x{b:02x}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Key({self})")
+    }
+}
+
+impl From<&str> for Key {
+    fn from(s: &str) -> Self {
+        Key::from_bytes(s.as_bytes().to_vec())
+    }
+}
+
+impl From<String> for Key {
+    fn from(s: String) -> Self {
+        Key::from_bytes(s.into_bytes())
+    }
+}
+
+impl From<&[u8]> for Key {
+    fn from(b: &[u8]) -> Self {
+        Key::from_bytes(b.to_vec())
+    }
+}
+
+impl AsRef<[u8]> for Key {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Circular-interval membership on the identifier ring.
+///
+/// The ring closes the total lexicographic order: the successor of the
+/// greatest identifier wraps to the least. `in_ring_interval(x, a, b)`
+/// is true iff walking clockwise (ascending) from just above `a` one
+/// meets `x` no later than `b` — i.e. `x ∈ (a, b]` circularly. When
+/// `a == b` the interval is the whole ring (every `x` qualifies),
+/// matching the one-peer case where that peer owns everything.
+pub fn in_ring_interval(x: &Key, a: &Key, b: &Key) -> bool {
+    use std::cmp::Ordering::*;
+    match a.cmp(b) {
+        Less => x > a && x <= b,
+        Greater => x > a || x <= b,
+        Equal => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> Key {
+        Key::from(s)
+    }
+
+    #[test]
+    fn epsilon_is_neutral_for_concat() {
+        let w = k("10101");
+        assert_eq!(Key::epsilon().concat(&w), w);
+        assert_eq!(w.concat(&Key::epsilon()), w);
+        assert_eq!(Key::epsilon().len(), 0);
+        assert!(Key::epsilon().is_empty());
+    }
+
+    #[test]
+    fn prefixes_matches_paper_example() {
+        // Prefixes(10101) = {ε, 1, 10, 101, 1010}
+        let got: Vec<Key> = k("10101").proper_prefixes().collect();
+        let want = vec![Key::epsilon(), k("1"), k("10"), k("101"), k("1010")];
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn gcp_matches_paper_example() {
+        // GCP(101, 100) = 10
+        assert_eq!(k("101").gcp(&k("100")), k("10"));
+        assert_eq!(k("101").gcp_len(&k("100")), 2);
+    }
+
+    #[test]
+    fn gcp_is_commutative_and_idempotent() {
+        let a = k("10111");
+        let b = k("101");
+        assert_eq!(a.gcp(&b), b.gcp(&a));
+        assert_eq!(a.gcp(&a), a);
+        assert_eq!(a.gcp(&Key::epsilon()), Key::epsilon());
+    }
+
+    #[test]
+    fn gcp_all_over_collection() {
+        let keys = [k("10101"), k("10111"), k("101111")];
+        assert_eq!(Key::gcp_all(keys.iter()), Some(k("101")));
+        assert_eq!(Key::gcp_all(std::iter::empty::<Key>()), None);
+        assert_eq!(Key::gcp_all([k("01"), k("10101")]), Some(Key::epsilon()));
+        assert_eq!(Key::gcp_all([k("abc")]), Some(k("abc")));
+    }
+
+    #[test]
+    fn prefix_predicates() {
+        assert!(k("10").is_prefix_of(&k("10")));
+        assert!(!k("10").is_proper_prefix_of(&k("10")));
+        assert!(k("10").is_proper_prefix_of(&k("101")));
+        assert!(Key::epsilon().is_prefix_of(&k("0")));
+        assert!(!k("11").is_prefix_of(&k("10")));
+    }
+
+    #[test]
+    fn lexicographic_order_includes_prefix_rule() {
+        // A proper prefix sorts strictly before its extensions.
+        assert!(k("10") < k("101"));
+        assert!(k("101") < k("11"));
+        assert!(Key::epsilon() < k("0"));
+        assert!(k("DGEMM") < k("DTRSM"));
+    }
+
+    #[test]
+    fn digit_after_prefix() {
+        assert_eq!(k("10101").digit_after(&k("10")), Some(b'1'));
+        assert_eq!(k("10").digit_after(&k("10")), None);
+        assert_eq!(k("0").digit_after(&Key::epsilon()), Some(b'0'));
+    }
+
+    #[test]
+    fn truncated_and_child() {
+        assert_eq!(k("10101").truncated(3), k("101"));
+        assert_eq!(k("10101").truncated(99), k("10101"));
+        assert_eq!(k("10").child(b'1'), k("101"));
+    }
+
+    #[test]
+    fn display_shows_epsilon() {
+        assert_eq!(Key::epsilon().to_string(), "ε");
+        assert_eq!(k("DGEMM").to_string(), "DGEMM");
+        assert_eq!(format!("{:?}", k("01")), "Key(01)");
+    }
+
+    #[test]
+    fn ring_interval_linear_case() {
+        let (a, b) = (k("B"), k("M"));
+        assert!(in_ring_interval(&k("C"), &a, &b));
+        assert!(in_ring_interval(&k("M"), &a, &b)); // right-closed
+        assert!(!in_ring_interval(&k("B"), &a, &b)); // left-open
+        assert!(!in_ring_interval(&k("Z"), &a, &b));
+    }
+
+    #[test]
+    fn ring_interval_wrapping_case() {
+        let (a, b) = (k("M"), k("B")); // wraps through the maximum
+        assert!(in_ring_interval(&k("Z"), &a, &b));
+        assert!(in_ring_interval(&k("A"), &a, &b));
+        assert!(in_ring_interval(&k("B"), &a, &b));
+        assert!(!in_ring_interval(&k("C"), &a, &b));
+        assert!(!in_ring_interval(&k("M"), &a, &b));
+    }
+
+    #[test]
+    fn ring_interval_degenerate_is_full_ring() {
+        let a = k("Q");
+        assert!(in_ring_interval(&k("A"), &a, &a));
+        assert!(in_ring_interval(&k("Q"), &a, &a));
+        assert!(in_ring_interval(&k("Z"), &a, &a));
+    }
+}

@@ -1,0 +1,71 @@
+//! Counters describing runtime behaviour of the overlay.
+//!
+//! These feed the experiment harness (`dlpt-sim`) and the benches; the
+//! overlay itself never reads them back.
+
+/// Message and maintenance counters of a [`crate::system::DlptSystem`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SystemStats {
+    /// `PeerJoin` / `NewPredecessor` / `YourInformation` /
+    /// `UpdateSuccessor` / `UpdatePredecessor` messages processed.
+    pub join_messages: u64,
+    /// `DataInsertion` / `UpdateChild` messages processed.
+    pub insert_messages: u64,
+    /// `SearchingHost` / `Host` messages processed.
+    pub host_messages: u64,
+    /// Discovery visits processed (accepted by capacity).
+    pub discovery_messages: u64,
+    /// Discovery visits ignored by exhausted peers.
+    pub discovery_drops: u64,
+    /// `TakeOver` and other departure messages processed.
+    pub maintenance_messages: u64,
+    /// Envelopes requeued because their destination was in flight.
+    pub requeues: u64,
+    /// Envelopes abandoned after exhausting the requeue budget.
+    pub undeliverable: u64,
+    /// Nodes migrated between peers by load balancing.
+    pub balance_migrations: u64,
+    /// Peer identifier changes performed by MLT boundary moves.
+    pub peer_renames: u64,
+    /// Tree nodes lost to peer crashes.
+    pub nodes_lost: u64,
+    /// Orphaned nodes re-attached by tree repair.
+    pub nodes_reattached: u64,
+}
+
+impl SystemStats {
+    /// Total protocol messages processed (excluding client responses).
+    pub fn total_messages(&self) -> u64 {
+        self.join_messages
+            + self.insert_messages
+            + self.host_messages
+            + self.discovery_messages
+            + self.maintenance_messages
+    }
+
+    /// Resets every counter; the simulator calls this between phases
+    /// when it wants per-phase message costs.
+    pub fn reset(&mut self) {
+        *self = SystemStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_reset() {
+        let mut s = SystemStats {
+            join_messages: 2,
+            insert_messages: 3,
+            host_messages: 4,
+            discovery_messages: 5,
+            maintenance_messages: 6,
+            ..Default::default()
+        };
+        assert_eq!(s.total_messages(), 20);
+        s.reset();
+        assert_eq!(s, SystemStats::default());
+    }
+}

@@ -1,0 +1,236 @@
+//! Data removal — an extension over the paper (which only ever adds).
+//!
+//! `<DataRemoval, k>` routes exactly like `<DataInsertion, k>` (the
+//! four cases of Algorithm 3 minus all creation): up while the key is
+//! a prefix of the father or shares no more with us than with the
+//! father, down along the child extending the key. At the owning node
+//! the datum is dropped; a node left *redundant* — no data and fewer
+//! than two children, so Definition 1 no longer needs it — dissolves:
+//!
+//! * a childless node asks its father to `RemoveChild` it;
+//! * a one-child node lifts the child (`SetFather` to the child,
+//!   `UpdateChild` to the father) and vanishes.
+//!
+//! `RemoveChild` can leave the *father* redundant in turn; the cascade
+//! is at most one level deep (lifting keeps the grandfather's child
+//! count unchanged), mirroring `PgcpTrie::remove`'s cleanup, which is
+//! the oracle these semantics are property-tested against.
+
+use crate::key::Key;
+use crate::messages::{Envelope, NodeMsg};
+use crate::peer::PeerShard;
+use crate::protocol::Effects;
+
+/// `<DataRemoval, k>` on node `p`.
+pub fn on_data_removal(shard: &mut PeerShard, node_label: &Key, key: Key, fx: &mut Effects) {
+    let p = shard
+        .nodes
+        .get_mut(node_label)
+        .expect("routed to hosted node");
+    let p_label = p.label.clone();
+
+    if p_label == key {
+        p.data.remove(&key);
+        dissolve_if_redundant(shard, &p_label, fx);
+        return;
+    }
+    if p_label.is_proper_prefix_of(&key) {
+        if let Some(q) = p.child_extending(&key).cloned() {
+            fx.send(Envelope::to_node(q, NodeMsg::DataRemoval { key }));
+        }
+        // No extending child: the key is not registered; nothing to do.
+        return;
+    }
+    // The owner is not below us: climb. (Both the `key prefixes us`
+    // and the divergence case end up at an ancestor; if the key is
+    // absent the walk stops harmlessly at the root region.)
+    let father = p.father.clone();
+    if let Some(f) = father {
+        let own = p_label.gcp_len(&key);
+        if key.is_prefix_of(&f) || own <= f.len() {
+            fx.send(Envelope::to_node(f, NodeMsg::DataRemoval { key }));
+        }
+        // Divergence below the father with no matching sibling: the
+        // key is not registered.
+    }
+}
+
+/// `<RemoveChild, c>` on node `p`: a child dissolved; `p` may now be
+/// redundant itself.
+pub fn on_remove_child(shard: &mut PeerShard, node_label: &Key, child: Key, fx: &mut Effects) {
+    let p = shard
+        .nodes
+        .get_mut(node_label)
+        .expect("routed to hosted node");
+    p.children.remove(&child);
+    let label = p.label.clone();
+    dissolve_if_redundant(shard, &label, fx);
+}
+
+/// Dissolves `label` if it holds no data and fewer than two children
+/// (Definition 1 only requires nodes that separate at least two
+/// children or carry data).
+fn dissolve_if_redundant(shard: &mut PeerShard, label: &Key, fx: &mut Effects) {
+    let node = shard.nodes.get(label).expect("present");
+    if !node.data.is_empty() || node.children.len() >= 2 {
+        return;
+    }
+    let father = node.father.clone();
+    let only_child = node.children.iter().next().cloned();
+    match (father, only_child) {
+        (father, Some(c)) => {
+            // Lift the only child into our place.
+            fx.send(Envelope::to_node(
+                c.clone(),
+                NodeMsg::SetFather {
+                    father: father.clone(),
+                },
+            ));
+            if let Some(f) = father {
+                fx.send(Envelope::to_node(
+                    f,
+                    NodeMsg::UpdateChild {
+                        old: label.clone(),
+                        new: c,
+                    },
+                ));
+            }
+        }
+        (Some(f), None) => {
+            fx.send(Envelope::to_node(f, NodeMsg::RemoveChild {
+                child: label.clone(),
+            }));
+        }
+        (None, None) => {
+            // Last node of the tree.
+        }
+    }
+    shard.evict(label);
+    fx.removed.push(label.clone());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::{Address, Message};
+    use crate::node::NodeState;
+
+    fn k(s: &str) -> Key {
+        Key::from(s)
+    }
+
+    fn shard_with(nodes: &[(&str, Option<&str>, &[&str], bool)]) -> PeerShard {
+        let mut s = PeerShard::new(k("ZZZZ"), 1000);
+        for (label, father, children, data) in nodes {
+            let mut n = NodeState::new(k(label));
+            n.father = father.map(k);
+            for c in *children {
+                n.children.insert(k(c));
+            }
+            if *data {
+                n.data.insert(k(label));
+            }
+            s.install(n);
+        }
+        s
+    }
+
+    fn sent<'a>(fx: &'a Effects, label: &str) -> Vec<&'a NodeMsg> {
+        fx.out
+            .iter()
+            .filter_map(|e| match (&e.to, &e.msg) {
+                (Address::Node(n), Message::Node(m)) if n == &k(label) => Some(m),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn removal_with_siblings_keeps_the_structure() {
+        // 101 has two data children; removing one leaves a still-valid
+        // pair? No — one child of a structural node remains: dissolve.
+        let mut s = shard_with(&[("10101", Some("101"), &[], true)]);
+        let mut fx = Effects::default();
+        on_data_removal(&mut s, &k("10101"), k("10101"), &mut fx);
+        assert!(!s.nodes.contains_key(&k("10101")), "leaf dissolves");
+        assert_eq!(fx.removed, vec![k("10101")]);
+        let msgs = sent(&fx, "101");
+        assert!(matches!(msgs[0], NodeMsg::RemoveChild { child } if child == &k("10101")));
+    }
+
+    #[test]
+    fn node_with_two_children_stays_as_structural() {
+        let mut s = shard_with(&[("101", Some(""), &["10101", "10111"], true)]);
+        let mut fx = Effects::default();
+        on_data_removal(&mut s, &k("101"), k("101"), &mut fx);
+        let n = &s.nodes[&k("101")];
+        assert!(n.data.is_empty());
+        assert!(fx.removed.is_empty(), "still separates two children");
+        assert!(fx.out.is_empty());
+    }
+
+    #[test]
+    fn one_child_node_lifts_the_child() {
+        let mut s = shard_with(&[("10111", Some("101"), &["101111"], true)]);
+        let mut fx = Effects::default();
+        on_data_removal(&mut s, &k("10111"), k("10111"), &mut fx);
+        assert!(!s.nodes.contains_key(&k("10111")));
+        let to_child = sent(&fx, "101111");
+        assert!(
+            matches!(to_child[0], NodeMsg::SetFather { father: Some(f) } if f == &k("101"))
+        );
+        let to_father = sent(&fx, "101");
+        assert!(matches!(
+            to_father[0],
+            NodeMsg::UpdateChild { old, new } if old == &k("10111") && new == &k("101111")
+        ));
+    }
+
+    #[test]
+    fn root_with_one_child_hands_over_the_root() {
+        let mut s = shard_with(&[("1", None, &["10101"], true)]);
+        let mut fx = Effects::default();
+        on_data_removal(&mut s, &k("1"), k("1"), &mut fx);
+        assert!(!s.nodes.contains_key(&k("1")));
+        let msgs = sent(&fx, "10101");
+        assert!(matches!(msgs[0], NodeMsg::SetFather { father: None }));
+    }
+
+    #[test]
+    fn remove_child_cascades_one_level() {
+        // Structural node left with one child after RemoveChild: lift.
+        let mut s = shard_with(&[("101", Some(""), &["10101", "10111"], false)]);
+        let mut fx = Effects::default();
+        on_remove_child(&mut s, &k("101"), k("10101"), &mut fx);
+        assert!(!s.nodes.contains_key(&k("101")), "structural node lifts away");
+        assert!(matches!(
+            sent(&fx, "10111")[0],
+            NodeMsg::SetFather { father: Some(f) } if f == &Key::epsilon()
+        ));
+        assert!(matches!(
+            sent(&fx, "")[0],
+            NodeMsg::UpdateChild { old, new } if old == &k("101") && new == &k("10111")
+        ));
+    }
+
+    #[test]
+    fn removal_of_absent_key_is_a_noop() {
+        let mut s = shard_with(&[("101", Some(""), &["10101", "10111"], true)]);
+        let mut fx = Effects::default();
+        // "10199" diverges from both children below 101.
+        on_data_removal(&mut s, &k("101"), k("10199"), &mut fx);
+        assert!(fx.out.is_empty());
+        assert!(fx.removed.is_empty());
+        assert!(s.nodes[&k("101")].data.contains(&k("101")));
+    }
+
+    #[test]
+    fn removal_routes_up_from_unrelated_entry() {
+        let mut s = shard_with(&[("10101", Some("101"), &[], true)]);
+        let mut fx = Effects::default();
+        on_data_removal(&mut s, &k("10101"), k("01"), &mut fx);
+        let msgs = sent(&fx, "101");
+        assert_eq!(msgs.len(), 1);
+        assert!(matches!(msgs[0], NodeMsg::DataRemoval { key } if key == &k("01")));
+    }
+}

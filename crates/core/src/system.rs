@@ -1,0 +1,1545 @@
+//! The synchronous DLPT runtime: all shards in one process, one FIFO
+//! message pump.
+//!
+//! [`DlptSystem`] owns every peer shard, a delivery directory
+//! (node label → hosting peer) and a message queue. Protocol logic
+//! lives entirely in [`crate::protocol`]; this runtime only routes
+//! envelopes, charges discovery capacity at delivery (Section 4's
+//! model) and aggregates scatter/gather responses. Processing is
+//! strictly FIFO and all randomness comes from one seeded generator, so
+//! every run is a pure function of (operations, seed) — the property
+//! the experiment harness relies on for its 30/50/100-run averages.
+
+use crate::alphabet::Alphabet;
+use crate::error::{DlptError, Result};
+use crate::key::Key;
+use crate::mapping::{self, MappingViolation};
+use crate::messages::{
+    Address, DiscoveryOutcome, Envelope, Message, NodeMsg, PeerMsg, QueryKind,
+};
+use crate::metrics::SystemStats;
+use crate::node::NodeState;
+use crate::peer::PeerShard;
+use crate::protocol::{self, discovery, maintenance, Effects};
+use crate::trie::{PgcpTrie, TrieViolation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Tunables of the runtime.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Digit alphabet shared by peers, nodes and service keys.
+    pub alphabet: Alphabet,
+    /// Length of randomly drawn peer identifiers.
+    pub peer_id_len: usize,
+    /// Capacity assigned to peers created without an explicit one.
+    /// The default is effectively unbounded so functional use is never
+    /// throttled; experiments set real capacities.
+    pub default_capacity: u32,
+    /// Upper bound on envelopes processed by one drain — a tripwire
+    /// for routing loops, which the protocol makes impossible.
+    pub drain_budget: usize,
+    /// How many times one envelope may be requeued while its
+    /// destination is still in flight.
+    pub requeue_budget: u32,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            alphabet: Alphabet::grid(),
+            peer_id_len: 16,
+            default_capacity: u32::MAX >> 1,
+            drain_budget: 4_000_000,
+            requeue_budget: 256,
+        }
+    }
+}
+
+/// Builder for [`DlptSystem`].
+#[derive(Debug, Clone)]
+pub struct SystemBuilder {
+    config: SystemConfig,
+    seed: u64,
+    bootstrap_peers: usize,
+}
+
+impl Default for SystemBuilder {
+    fn default() -> Self {
+        SystemBuilder {
+            config: SystemConfig::default(),
+            seed: 0xD1_97,
+            bootstrap_peers: 0,
+        }
+    }
+}
+
+impl SystemBuilder {
+    /// Sets the digit alphabet (default: [`Alphabet::grid`]).
+    pub fn alphabet(mut self, a: Alphabet) -> Self {
+        self.config.alphabet = a;
+        self
+    }
+    /// Seeds the system RNG (entry-node choice, identifier drawing).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+    /// Length of randomly drawn peer identifiers.
+    pub fn peer_id_len(mut self, len: usize) -> Self {
+        self.config.peer_id_len = len;
+        self
+    }
+    /// Capacity for peers added without an explicit one.
+    pub fn default_capacity(mut self, c: u32) -> Self {
+        self.config.default_capacity = c;
+        self
+    }
+    /// Joins `n` peers with random identifiers during `build`.
+    pub fn bootstrap_peers(mut self, n: usize) -> Self {
+        self.bootstrap_peers = n;
+        self
+    }
+    /// Overrides the whole configuration.
+    pub fn config(mut self, c: SystemConfig) -> Self {
+        self.config = c;
+        self
+    }
+
+    /// Builds the system (and bootstraps peers if requested).
+    pub fn build(self) -> DlptSystem {
+        let mut sys = DlptSystem::new(self.config, self.seed);
+        for _ in 0..self.bootstrap_peers {
+            let cap = sys.config.default_capacity;
+            sys.add_peer(cap).expect("bootstrap join cannot fail");
+        }
+        sys
+    }
+}
+
+/// Result of a completed discovery request, as seen by the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupOutcome {
+    /// The paper's satisfaction criterion: the request reached its
+    /// final destination (and, for exact queries, the key was
+    /// registered there), with no visit ignored for lack of capacity.
+    pub satisfied: bool,
+    /// Exact queries: whether the key was found. Range/completion:
+    /// whether the region was reached.
+    pub found: bool,
+    /// True iff any visit was ignored by an exhausted peer.
+    pub dropped: bool,
+    /// Matching keys, sorted.
+    pub results: Vec<Key>,
+    /// Node labels along the up/down route (entry first).
+    pub path: Vec<Key>,
+    /// Hosting peer of each `path` entry at completion time.
+    pub host_path: Vec<Key>,
+    /// Extra node visits performed by the scatter phase of
+    /// range/completion queries.
+    pub gather_visits: usize,
+}
+
+impl LookupOutcome {
+    /// Tree edges traversed on the up/down route.
+    pub fn logical_hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+
+    /// Physical messages on the up/down route: consecutive visits
+    /// hosted by different peers (the quantity of Figure 9).
+    pub fn physical_hops(&self) -> usize {
+        self.host_path
+            .windows(2)
+            .filter(|w| w[0] != w[1])
+            .count()
+    }
+}
+
+/// Aggregation state of one in-flight request.
+#[derive(Debug)]
+struct GatherAgg {
+    outstanding: i64,
+    satisfied: bool,
+    dropped: bool,
+    results: Vec<Key>,
+    best_path: Vec<Key>,
+    responses: usize,
+}
+
+/// A report of what [`DlptSystem::repair_tree`] did after crashes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Dangling child links removed.
+    pub pruned_links: usize,
+    /// Orphaned subtree roots re-attached.
+    pub reattached: usize,
+    /// Structural nodes created while re-attaching.
+    pub created_nodes: usize,
+}
+
+/// The whole overlay in one process. See the module docs.
+#[derive(Debug)]
+pub struct DlptSystem {
+    config: SystemConfig,
+    rng: StdRng,
+    pub(crate) shards: BTreeMap<Key, PeerShard>,
+    /// node label → hosting peer id.
+    pub(crate) directory: BTreeMap<Key, Key>,
+    queue: VecDeque<(u32, Envelope)>,
+    gathers: BTreeMap<u64, GatherAgg>,
+    finished: BTreeMap<u64, LookupOutcome>,
+    next_request: u64,
+    root: Option<Key>,
+    node_cache: Vec<Key>,
+    node_cache_dirty: bool,
+    /// Runtime counters.
+    pub stats: SystemStats,
+}
+
+impl DlptSystem {
+    /// Creates an empty system.
+    pub fn new(config: SystemConfig, seed: u64) -> Self {
+        DlptSystem {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            shards: BTreeMap::new(),
+            directory: BTreeMap::new(),
+            queue: VecDeque::new(),
+            gathers: BTreeMap::new(),
+            finished: BTreeMap::new(),
+            next_request: 1,
+            root: None,
+            node_cache: Vec::new(),
+            node_cache_dirty: false,
+            stats: SystemStats::default(),
+        }
+    }
+
+    /// Starts a builder.
+    pub fn builder() -> SystemBuilder {
+        SystemBuilder::default()
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Number of peers in the ring.
+    pub fn peer_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of logical tree nodes.
+    pub fn node_count(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Peer identifiers in ring order.
+    pub fn peer_ids(&self) -> Vec<Key> {
+        self.shards.keys().cloned().collect()
+    }
+
+    /// All node labels, ascending.
+    pub fn node_labels(&self) -> Vec<Key> {
+        self.directory.keys().cloned().collect()
+    }
+
+    /// Borrow a peer shard.
+    pub fn shard(&self, id: &Key) -> Option<&PeerShard> {
+        self.shards.get(id)
+    }
+
+    /// The peer hosting node `label`, per the delivery directory.
+    pub fn host_of(&self, label: &Key) -> Option<&Key> {
+        self.directory.get(label)
+    }
+
+    /// Borrow a node's state wherever it is hosted.
+    pub fn node(&self, label: &Key) -> Option<&NodeState> {
+        let host = self.directory.get(label)?;
+        self.shards.get(host)?.nodes.get(label)
+    }
+
+    /// Label of the current tree root.
+    pub fn root(&self) -> Option<&Key> {
+        self.root.as_ref()
+    }
+
+    /// Every registered service key, ascending.
+    pub fn registered_keys(&self) -> Vec<Key> {
+        let mut out = Vec::new();
+        for shard in self.shards.values() {
+            for node in shard.nodes.values() {
+                out.extend(node.data.iter().cloned());
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// A uniformly random node label (the "random node of the tree"
+    /// every request and registration enters through).
+    pub fn random_node(&mut self) -> Option<Key> {
+        if self.node_cache_dirty {
+            self.node_cache = self.directory.keys().cloned().collect();
+            self.node_cache_dirty = false;
+        }
+        if self.node_cache.is_empty() {
+            return None;
+        }
+        let i = self.rng.gen_range(0..self.node_cache.len());
+        Some(self.node_cache[i].clone())
+    }
+
+    /// Draws a fresh peer identifier not colliding with existing ones.
+    pub fn draw_peer_id(&mut self) -> Key {
+        loop {
+            let id = self
+                .config
+                .alphabet
+                .random_id(&mut self.rng, self.config.peer_id_len);
+            if !self.shards.contains_key(&id) {
+                return id;
+            }
+        }
+    }
+
+    /// Access to the system RNG (experiments thread all randomness
+    /// through the system for reproducibility).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    // ------------------------------------------------------------------
+    // Peer membership
+    // ------------------------------------------------------------------
+
+    /// Joins a peer under a freshly drawn random identifier.
+    pub fn add_peer(&mut self, capacity: u32) -> Result<Key> {
+        let id = self.draw_peer_id();
+        self.add_peer_with_id(id.clone(), capacity)?;
+        Ok(id)
+    }
+
+    /// Joins a peer under the given identifier, routing the join
+    /// through the tree (Algorithms 1 and 2) when the overlay is
+    /// already populated.
+    pub fn add_peer_with_id(&mut self, id: Key, capacity: u32) -> Result<()> {
+        self.config.alphabet.validate(&id)?;
+        if self.shards.contains_key(&id) {
+            return Err(DlptError::DuplicatePeer(id.to_string()));
+        }
+        let shard = PeerShard::new(id.clone(), capacity);
+        if self.shards.is_empty() {
+            self.shards.insert(id, shard);
+            return Ok(());
+        }
+        self.shards.insert(id.clone(), shard);
+        let entry = self.random_node();
+        match entry {
+            Some(node) => {
+                // The normal path: route <PeerJoin, P, 0> through the
+                // tree from a random node.
+                self.enqueue(Envelope::to_node(
+                    node,
+                    NodeMsg::PeerJoin {
+                        joining: id,
+                        phase: crate::messages::JoinPhase::Up,
+                    },
+                ));
+            }
+            None => {
+                // No tree yet: contact an arbitrary peer and let the
+                // ring walk of Algorithm 2 place us.
+                let contact = self
+                    .shards
+                    .keys()
+                    .find(|k| **k != id)
+                    .cloned()
+                    .expect("at least one other peer");
+                self.enqueue(Envelope::to_peer(
+                    contact,
+                    PeerMsg::NewPredecessor { joining: id },
+                ));
+            }
+        }
+        self.drain()
+    }
+
+    /// Graceful departure: the peer hands its nodes to its successor
+    /// and splices itself out (Section 4's churn model).
+    pub fn leave_peer(&mut self, id: &Key) -> Result<()> {
+        let mut shard = self
+            .shards
+            .remove(id)
+            .ok_or_else(|| DlptError::UnknownPeer(id.to_string()))?;
+        if self.shards.is_empty() {
+            // Last peer: the overlay disappears with it.
+            self.directory.clear();
+            self.node_cache_dirty = true;
+            self.root = None;
+            return Ok(());
+        }
+        let mut fx = Effects::default();
+        maintenance::leave(&mut shard, &mut fx);
+        self.stats.maintenance_messages += fx.out.len() as u64;
+        self.apply_effects(fx);
+        self.drain()
+    }
+
+    /// Non-graceful departure: the peer vanishes, its nodes (and their
+    /// registered data) are lost, and the ring heals around it. Returns
+    /// the labels of the lost nodes. Call [`DlptSystem::repair_tree`]
+    /// afterwards to re-attach orphaned subtrees.
+    pub fn crash_peer(&mut self, id: &Key) -> Result<Vec<Key>> {
+        let shard = self
+            .shards
+            .remove(id)
+            .ok_or_else(|| DlptError::UnknownPeer(id.to_string()))?;
+        let lost: Vec<Key> = shard.nodes.keys().cloned().collect();
+        for l in &lost {
+            self.directory.remove(l);
+        }
+        self.stats.nodes_lost += lost.len() as u64;
+        self.node_cache_dirty = true;
+        if self.root.as_ref().map(|r| lost.contains(r)).unwrap_or(false) {
+            self.root = None;
+        }
+        // Failure-detector stand-in: neighbours notice and heal.
+        let (pred, succ) = (shard.peer.pred.clone(), shard.peer.succ.clone());
+        if let Some(p) = self.shards.get_mut(&pred) {
+            p.peer.succ = if succ == *id { pred.clone() } else { succ.clone() };
+        }
+        if let Some(s) = self.shards.get_mut(&succ) {
+            s.peer.pred = if pred == *id { succ.clone() } else { pred.clone() };
+        }
+        Ok(lost)
+    }
+
+    // ------------------------------------------------------------------
+    // Data plane
+    // ------------------------------------------------------------------
+
+    /// Registers a service key, entering the tree at a random node
+    /// (Algorithm 3).
+    pub fn insert_data(&mut self, key: impl Into<Key>) -> Result<()> {
+        let key = key.into();
+        match self.random_node() {
+            Some(entry) => self.insert_data_at(&entry, key),
+            None => self.insert_first(key),
+        }
+    }
+
+    /// Registers a service key entering at a chosen node.
+    pub fn insert_data_at(&mut self, entry: &Key, key: impl Into<Key>) -> Result<()> {
+        let key = key.into();
+        self.config.alphabet.validate(&key)?;
+        if self.shards.is_empty() {
+            return Err(DlptError::EmptyRing);
+        }
+        if !self.directory.contains_key(entry) {
+            return Err(DlptError::UnknownNode(entry.to_string()));
+        }
+        self.enqueue(Envelope::to_node(
+            entry.clone(),
+            NodeMsg::DataInsertion { key },
+        ));
+        self.drain()
+    }
+
+    /// First registration: creates the root node directly on the peer
+    /// the mapping rule designates (there is no tree to route through
+    /// yet).
+    fn insert_first(&mut self, key: Key) -> Result<()> {
+        self.config.alphabet.validate(&key)?;
+        if self.shards.is_empty() {
+            return Err(DlptError::EmptyRing);
+        }
+        let peers: std::collections::BTreeSet<Key> = self.shards.keys().cloned().collect();
+        let host = mapping::host_of(&peers, &key).expect("non-empty ring");
+        let mut node = NodeState::new(key.clone());
+        node.data.insert(key.clone());
+        self.shards
+            .get_mut(&host)
+            .expect("host exists")
+            .install(node);
+        self.directory.insert(key.clone(), host);
+        self.node_cache_dirty = true;
+        self.root = Some(key);
+        Ok(())
+    }
+
+    /// Deregisters a service key (extension over the paper — see
+    /// `protocol::data_removal`). Nodes left redundant dissolve, so
+    /// the overlay keeps converging to the sequential oracle of the
+    /// remaining keys. No-op if the key is absent.
+    pub fn remove_data(&mut self, key: &Key) -> Result<()> {
+        if self.shards.is_empty() {
+            return Err(DlptError::EmptyRing);
+        }
+        let Some(entry) = self.random_node() else {
+            return Ok(()); // empty tree: nothing registered
+        };
+        self.enqueue(Envelope::to_node(
+            entry,
+            NodeMsg::DataRemoval { key: key.clone() },
+        ));
+        self.drain()?;
+        if self.root.is_none() {
+            self.recompute_root();
+        }
+        Ok(())
+    }
+
+    /// Issues a discovery request from a random entry node and runs it
+    /// to completion.
+    pub fn request(&mut self, query: QueryKind) -> Result<LookupOutcome> {
+        let entry = self.random_node().ok_or(DlptError::EmptyTree)?;
+        self.request_from(&entry, query)
+    }
+
+    /// Issues a discovery request from a chosen entry node.
+    pub fn request_from(&mut self, entry: &Key, query: QueryKind) -> Result<LookupOutcome> {
+        if !self.directory.contains_key(entry) {
+            return Err(DlptError::UnknownNode(entry.to_string()));
+        }
+        let id = self.next_request;
+        self.next_request += 1;
+        self.gathers.insert(
+            id,
+            GatherAgg {
+                outstanding: 1,
+                satisfied: true,
+                dropped: false,
+                results: Vec::new(),
+                best_path: Vec::new(),
+                responses: 0,
+            },
+        );
+        self.enqueue(discovery::entry_envelope(entry.clone(), id, query));
+        self.drain()?;
+        self.finished
+            .remove(&id)
+            .ok_or(DlptError::Undeliverable(format!("request {id}")))
+    }
+
+    /// Exact lookup of one key.
+    pub fn lookup(&mut self, key: &Key) -> LookupOutcome {
+        self.request(QueryKind::Exact(key.clone()))
+            .unwrap_or_else(|_| empty_outcome())
+    }
+
+    /// Range query over `[lo, hi]`.
+    pub fn range(&mut self, lo: &Key, hi: &Key) -> LookupOutcome {
+        self.request(QueryKind::Range(lo.clone(), hi.clone()))
+            .unwrap_or_else(|_| empty_outcome())
+    }
+
+    /// Automatic completion of a partial search string.
+    pub fn complete(&mut self, prefix: &Key) -> LookupOutcome {
+        self.request(QueryKind::Complete(prefix.clone()))
+            .unwrap_or_else(|_| empty_outcome())
+    }
+
+    /// Closes the current time unit: every peer's capacity counter
+    /// resets and every node's offered load is archived for the
+    /// balancers (Section 3.3's "recent history").
+    pub fn end_time_unit(&mut self) {
+        for shard in self.shards.values_mut() {
+            shard.peer.roll_unit();
+            for node in shard.nodes.values_mut() {
+                node.roll_unit();
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Load-balancing support (used by `crate::balance`)
+    // ------------------------------------------------------------------
+
+    /// Moves one node to another peer, updating the directory. Used by
+    /// the balancers; counted as balance traffic.
+    pub fn migrate_node(&mut self, label: &Key, to: &Key) -> Result<()> {
+        let from = self
+            .directory
+            .get(label)
+            .cloned()
+            .ok_or_else(|| DlptError::UnknownNode(label.to_string()))?;
+        if &from == to {
+            return Ok(());
+        }
+        if !self.shards.contains_key(to) {
+            return Err(DlptError::UnknownPeer(to.to_string()));
+        }
+        let node = self
+            .shards
+            .get_mut(&from)
+            .expect("directory points at live peers")
+            .evict(label)
+            .expect("directory is consistent");
+        self.shards.get_mut(to).expect("checked").install(node);
+        self.directory.insert(label.clone(), to.clone());
+        self.stats.balance_migrations += 1;
+        Ok(())
+    }
+
+    /// Changes a peer's identifier in place (the MLT boundary move:
+    /// "finding the best distribution is equivalent to find the best
+    /// position of P moving along the ring"). Ring links of both
+    /// neighbours and the directory entries of hosted nodes follow.
+    pub fn rename_peer(&mut self, old: &Key, new: Key) -> Result<()> {
+        if old == &new {
+            return Ok(());
+        }
+        self.config.alphabet.validate(&new)?;
+        if self.shards.contains_key(&new) {
+            return Err(DlptError::DuplicatePeer(new.to_string()));
+        }
+        let mut shard = self
+            .shards
+            .remove(old)
+            .ok_or_else(|| DlptError::UnknownPeer(old.to_string()))?;
+        let (pred, succ) = (shard.peer.pred.clone(), shard.peer.succ.clone());
+        shard.peer.id = new.clone();
+        if pred == *old {
+            shard.peer.pred = new.clone();
+        }
+        if succ == *old {
+            shard.peer.succ = new.clone();
+        }
+        for label in shard.nodes.keys() {
+            self.directory.insert(label.clone(), new.clone());
+        }
+        self.shards.insert(new.clone(), shard);
+        if let Some(p) = self.shards.get_mut(&pred) {
+            if p.peer.succ == *old {
+                p.peer.succ = new.clone();
+            }
+        }
+        if let Some(s) = self.shards.get_mut(&succ) {
+            if s.peer.pred == *old {
+                s.peer.pred = new.clone();
+            }
+        }
+        self.stats.peer_renames += 1;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Validation against the paper's invariants
+    // ------------------------------------------------------------------
+
+    /// Verifies `host(n) = min {P : P >= n}` for every node.
+    pub fn check_mapping(&self) -> std::result::Result<(), MappingViolation> {
+        let peers: std::collections::BTreeSet<Key> = self.shards.keys().cloned().collect();
+        for (label, actual) in &self.directory {
+            let expected = mapping::host_of(&peers, label).expect("ring non-empty");
+            if *actual != expected {
+                return Err(MappingViolation::WrongHost {
+                    node: label.clone(),
+                    actual: actual.clone(),
+                    expected,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies that every peer's pred/succ links agree with the ring
+    /// order of identifiers.
+    pub fn check_ring(&self) -> std::result::Result<(), MappingViolation> {
+        let peers: std::collections::BTreeSet<Key> = self.shards.keys().cloned().collect();
+        for (id, shard) in &self.shards {
+            let want_pred = mapping::pred_of(&peers, id).expect("non-empty");
+            let want_succ = mapping::succ_of(&peers, id).expect("non-empty");
+            if shard.peer.pred != want_pred {
+                return Err(MappingViolation::BrokenRingLink {
+                    peer: id.clone(),
+                    detail: format!(
+                        "pred is {}, ring order says {}",
+                        shard.peer.pred, want_pred
+                    ),
+                });
+            }
+            if shard.peer.succ != want_succ {
+                return Err(MappingViolation::BrokenRingLink {
+                    peer: id.clone(),
+                    detail: format!(
+                        "succ is {}, ring order says {}",
+                        shard.peer.succ, want_succ
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies Definition 1 over the distributed tree: bidirectional
+    /// father/child links and pairwise-GCP labels.
+    pub fn check_tree(&self) -> std::result::Result<(), TrieViolation> {
+        for shard in self.shards.values() {
+            for node in shard.nodes.values() {
+                for d in &node.data {
+                    if d != &node.label {
+                        return Err(TrieViolation::DataLabelMismatch {
+                            node: node.label.clone(),
+                            data: d.clone(),
+                        });
+                    }
+                }
+                if let Some(f) = &node.father {
+                    let father = self
+                        .node(f)
+                        .ok_or_else(|| TrieViolation::BrokenParentLink {
+                            node: node.label.clone(),
+                        })?;
+                    if !father.children.contains(&node.label) {
+                        return Err(TrieViolation::BrokenParentLink {
+                            node: node.label.clone(),
+                        });
+                    }
+                }
+                let children: Vec<&Key> = node.children.iter().collect();
+                for c in &children {
+                    let child = self
+                        .node(c)
+                        .ok_or_else(|| TrieViolation::BrokenParentLink {
+                            node: (*c).clone(),
+                        })?;
+                    if child.father.as_ref() != Some(&node.label) {
+                        return Err(TrieViolation::BrokenParentLink {
+                            node: (*c).clone(),
+                        });
+                    }
+                    if !node.label.is_proper_prefix_of(c) {
+                        return Err(TrieViolation::ChildNotExtension {
+                            parent: node.label.clone(),
+                            child: (*c).clone(),
+                        });
+                    }
+                }
+                for (i, a) in children.iter().enumerate() {
+                    for b in &children[i + 1..] {
+                        if a.gcp_len(b) != node.label.len() {
+                            return Err(TrieViolation::PairGcpMismatch {
+                                parent: node.label.clone(),
+                                a: (*a).clone(),
+                                b: (*b).clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the sequential oracle for the currently registered keys.
+    /// A correct overlay has exactly the oracle's node labels.
+    pub fn oracle(&self) -> PgcpTrie {
+        let mut t = PgcpTrie::new();
+        for k in self.registered_keys() {
+            t.insert(k);
+        }
+        t
+    }
+
+    // ------------------------------------------------------------------
+    // Crash repair (extension over the paper)
+    // ------------------------------------------------------------------
+
+    /// Re-attaches subtrees orphaned by crashes and prunes dangling
+    /// links. System-level surgery standing in for the re-registration
+    /// traffic a deployment would see; see DESIGN.md.
+    pub fn repair_tree(&mut self) -> RepairReport {
+        let mut report = RepairReport::default();
+        // 1. Prune children pointers to dead nodes.
+        let live: std::collections::BTreeSet<Key> = self.directory.keys().cloned().collect();
+        for shard in self.shards.values_mut() {
+            for node in shard.nodes.values_mut() {
+                let before = node.children.len();
+                node.children.retain(|c| live.contains(c));
+                report.pruned_links += before - node.children.len();
+            }
+        }
+        // 2. Find orphans: nodes whose father is dead, plus a missing
+        //    root.
+        let mut orphans: Vec<Key> = Vec::new();
+        let mut root: Option<Key> = None;
+        for shard in self.shards.values() {
+            for node in shard.nodes.values() {
+                match &node.father {
+                    None => root = Some(node.label.clone()),
+                    Some(f) if !live.contains(f) => orphans.push(node.label.clone()),
+                    Some(_) => {}
+                }
+            }
+        }
+        orphans.sort(); // lexicographic = ancestors first
+        for o in orphans {
+            match &root {
+                None => {
+                    self.set_father(&o, None);
+                    root = Some(o);
+                    report.reattached += 1;
+                }
+                Some(r) => {
+                    let r = r.clone();
+                    let created = self.reattach(&r, &o, &mut root);
+                    report.created_nodes += created;
+                    report.reattached += 1;
+                }
+            }
+        }
+        self.root = root;
+        self.stats.nodes_reattached += report.reattached as u64;
+        report
+    }
+
+    fn set_father(&mut self, label: &Key, father: Option<Key>) {
+        let host = self.directory.get(label).expect("live node").clone();
+        let node = self
+            .shards
+            .get_mut(&host)
+            .expect("live")
+            .nodes
+            .get_mut(label)
+            .expect("live");
+        node.father = father;
+    }
+
+    fn add_child(&mut self, parent: &Key, child: Key) {
+        let host = self.directory.get(parent).expect("live node").clone();
+        let node = self
+            .shards
+            .get_mut(&host)
+            .expect("live")
+            .nodes
+            .get_mut(parent)
+            .expect("live");
+        node.children.insert(child);
+    }
+
+    fn replace_child_of(&mut self, parent: &Key, old: &Key, new: Key) {
+        let host = self.directory.get(parent).expect("live node").clone();
+        let node = self
+            .shards
+            .get_mut(&host)
+            .expect("live")
+            .nodes
+            .get_mut(parent)
+            .expect("live");
+        node.replace_child(old, new);
+    }
+
+    /// Creates a structural node directly on its mapped host (repair
+    /// path only).
+    fn create_structural(&mut self, label: Key, father: Option<Key>, children: Vec<Key>) {
+        let peers: std::collections::BTreeSet<Key> = self.shards.keys().cloned().collect();
+        let host = mapping::host_of(&peers, &label).expect("non-empty ring");
+        let mut node = NodeState::new(label.clone());
+        node.father = father;
+        node.children = children.into_iter().collect();
+        self.shards.get_mut(&host).expect("live").install(node);
+        self.directory.insert(label, host);
+        self.node_cache_dirty = true;
+    }
+
+    /// Walks from `root` and links the orphan `o` (whose own subtree is
+    /// intact) back into the tree, mirroring the four insertion cases.
+    /// Returns how many structural nodes were created.
+    fn reattach(&mut self, root: &Key, o: &Key, root_slot: &mut Option<Key>) -> usize {
+        let mut cur = root.clone();
+        loop {
+            let node = self.node(&cur).expect("walk stays on live nodes");
+            let label = node.label.clone();
+            if &label == o {
+                // The orphan *is* this label — can't happen (labels are
+                // unique and o is unattached); treat as attached.
+                return 0;
+            }
+            if label.is_proper_prefix_of(o) {
+                match node.child_extending(o).cloned() {
+                    Some(q) if q.is_proper_prefix_of(o) => {
+                        cur = q;
+                    }
+                    Some(q) if o.is_proper_prefix_of(&q) => {
+                        // o slots between label and q.
+                        self.replace_child_of(&label, &q, o.clone());
+                        self.set_father(&q, Some(o.clone()));
+                        self.add_child(o, q);
+                        self.set_father(o, Some(label));
+                        return 0;
+                    }
+                    Some(q) => {
+                        // Sibling split under a new structural node.
+                        let g = q.gcp(o);
+                        self.replace_child_of(&label, &q, g.clone());
+                        self.set_father(&q, Some(g.clone()));
+                        self.set_father(o, Some(g.clone()));
+                        self.create_structural(
+                            g.clone(),
+                            Some(label),
+                            vec![q, o.clone()],
+                        );
+                        return 1;
+                    }
+                    None => {
+                        self.add_child(&label, o.clone());
+                        self.set_father(o, Some(label));
+                        return 0;
+                    }
+                }
+            } else if o.is_proper_prefix_of(&label) {
+                // Only at the root: o becomes the new root above it.
+                self.set_father(&label, Some(o.clone()));
+                self.add_child(o, label);
+                self.set_father(o, None);
+                *root_slot = Some(o.clone());
+                return 0;
+            } else {
+                // Divergent at the root: new structural root.
+                let g = label.gcp(o);
+                self.set_father(&label, Some(g.clone()));
+                self.set_father(o, Some(g.clone()));
+                self.create_structural(g.clone(), None, vec![label, o.clone()]);
+                *root_slot = Some(g);
+                return 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The pump
+    // ------------------------------------------------------------------
+
+    fn enqueue(&mut self, env: Envelope) {
+        self.queue.push_back((0, env));
+    }
+
+    fn apply_effects(&mut self, fx: Effects) {
+        for (label, host) in fx.relocated {
+            self.directory.insert(label, host);
+            self.node_cache_dirty = true;
+        }
+        for label in fx.removed {
+            self.directory.remove(&label);
+            self.node_cache_dirty = true;
+            if self.root.as_ref() == Some(&label) {
+                self.root = None; // recomputed after the drain
+            }
+        }
+        for env in fx.out {
+            self.enqueue(env);
+        }
+    }
+
+    fn recompute_root(&mut self) {
+        self.root = self
+            .shards
+            .values()
+            .flat_map(|s| s.nodes.values())
+            .find(|n| n.father.is_none())
+            .map(|n| n.label.clone());
+    }
+
+    /// Processes the queue to quiescence.
+    fn drain(&mut self) -> Result<()> {
+        let debug = std::env::var_os("DLPT_DEBUG_DRAIN").is_some();
+        let mut trace: VecDeque<String> = VecDeque::new();
+        let mut steps = 0usize;
+        while let Some((requeues, env)) = self.queue.pop_front() {
+            steps += 1;
+            if steps > self.config.drain_budget {
+                if debug {
+                    eprintln!("drain budget exhausted; trace of last dispatches:");
+                    for line in &trace {
+                        eprintln!("  {line}");
+                    }
+                    eprintln!("current: {env:?}");
+                    if let Address::Node(l) = &env.to {
+                        if let Some(n) = self.node(l) {
+                            eprintln!("node state: {n:?}");
+                            if let Some(f) = &n.father {
+                                eprintln!("father state: {:?}", self.node(f));
+                            }
+                        }
+                    }
+                }
+                return Err(DlptError::HopBudgetExhausted {
+                    budget: self.config.drain_budget,
+                });
+            }
+            if debug {
+                trace.push_back(format!("{env:?}"));
+                if trace.len() > 30 {
+                    trace.pop_front();
+                }
+            }
+            self.dispatch(requeues, env)?;
+        }
+        Ok(())
+    }
+
+    fn requeue(&mut self, requeues: u32, env: Envelope) -> Result<()> {
+        if requeues >= self.config.requeue_budget {
+            self.stats.undeliverable += 1;
+            // A lost discovery message must still resolve its request.
+            if let Message::Node(NodeMsg::Discovery(m)) = &env.msg {
+                self.client_response(DiscoveryOutcome {
+                    request_id: m.request_id,
+                    satisfied: false,
+                    dropped: true,
+                    results: Vec::new(),
+                    path: m.path.clone(),
+                    pending_children: 0,
+                });
+                return Ok(());
+            }
+            return Err(DlptError::Undeliverable(format!("{:?}", env.to)));
+        }
+        self.stats.requeues += 1;
+        self.queue.push_back((requeues + 1, env));
+        Ok(())
+    }
+
+    fn count_message(&mut self, msg: &Message) {
+        match msg {
+            Message::Node(NodeMsg::PeerJoin { .. }) => self.stats.join_messages += 1,
+            Message::Node(NodeMsg::DataInsertion { .. })
+            | Message::Node(NodeMsg::UpdateChild { .. })
+            | Message::Node(NodeMsg::DataRemoval { .. })
+            | Message::Node(NodeMsg::RemoveChild { .. })
+            | Message::Node(NodeMsg::SetFather { .. }) => self.stats.insert_messages += 1,
+            Message::Node(NodeMsg::SearchingHost { .. }) => self.stats.host_messages += 1,
+            Message::Node(NodeMsg::Discovery(_)) => self.stats.discovery_messages += 1,
+            Message::Peer(PeerMsg::Host { .. }) => self.stats.host_messages += 1,
+            Message::Peer(PeerMsg::TakeOver { .. }) => self.stats.maintenance_messages += 1,
+            Message::Peer(_) => self.stats.join_messages += 1,
+            Message::ClientResponse(_) => {}
+        }
+    }
+
+    fn dispatch(&mut self, requeues: u32, env: Envelope) -> Result<()> {
+        match env.to.clone() {
+            Address::Client(_) => {
+                if let Message::ClientResponse(outcome) = env.msg {
+                    self.client_response(outcome);
+                    Ok(())
+                } else {
+                    Err(DlptError::Undeliverable("client".into()))
+                }
+            }
+            Address::Peer(id) => {
+                if !self.shards.contains_key(&id) {
+                    return self.requeue(requeues, env);
+                }
+                self.count_message(&env.msg);
+                // Track a freshly created root before the seed moves.
+                let new_root = match &env.msg {
+                    Message::Peer(PeerMsg::Host { seed }) if seed.father.is_none() => {
+                        Some(seed.label.clone())
+                    }
+                    _ => None,
+                };
+                let mut fx = Effects::default();
+                let shard = self.shards.get_mut(&id).expect("checked");
+                match env.msg {
+                    Message::Peer(m) => protocol::handle_peer_msg(shard, m, &mut fx),
+                    _ => return Err(DlptError::Undeliverable(format!("{id}"))),
+                }
+                if let Some(label) = new_root {
+                    if fx.relocated.iter().any(|(l, _)| l == &label) {
+                        self.root = Some(label);
+                    }
+                }
+                self.apply_effects(fx);
+                Ok(())
+            }
+            Address::Node(label) => {
+                let Some(host) = self.directory.get(&label).cloned() else {
+                    return self.requeue(requeues, env);
+                };
+                let Some(shard) = self.shards.get_mut(&host) else {
+                    return self.requeue(requeues, env);
+                };
+                if !shard.nodes.contains_key(&label) {
+                    // In flight between shards (hand-off under way).
+                    return self.requeue(requeues, env);
+                }
+                // Capacity model (Section 4): a peer's capacity bounds
+                // the requests it can process per unit, and processing
+                // includes routing — "the upper a node is, the more
+                // times it will be visited by a request" is exactly
+                // what makes load balancing matter (Section 3.3), so
+                // every visit charges the hosting peer one unit and
+                // counts toward the node's offered load l_n.
+                if let Message::Node(NodeMsg::Discovery(m)) = &env.msg {
+                    let shard = self.shards.get_mut(&host).expect("checked");
+                    if !discovery::charge_visit(shard, &label) {
+                        self.stats.discovery_drops += 1;
+                        let mut path = m.path.clone();
+                        path.push(label.clone());
+                        self.client_response(DiscoveryOutcome {
+                            request_id: m.request_id,
+                            satisfied: false,
+                            dropped: true,
+                            results: Vec::new(),
+                            path,
+                            pending_children: 0,
+                        });
+                        return Ok(());
+                    }
+                }
+                self.count_message(&env.msg);
+                let mut fx = Effects::default();
+                let shard = self.shards.get_mut(&host).expect("checked");
+                match env.msg {
+                    Message::Node(m) => protocol::handle_node_msg(shard, &label, m, &mut fx),
+                    _ => return Err(DlptError::Undeliverable(format!("{label}"))),
+                }
+                self.apply_effects(fx);
+                Ok(())
+            }
+        }
+    }
+
+    fn client_response(&mut self, outcome: DiscoveryOutcome) {
+        let Some(agg) = self.gathers.get_mut(&outcome.request_id) else {
+            return; // stale response after request already finalized
+        };
+        agg.outstanding += outcome.pending_children as i64 - 1;
+        agg.satisfied &= outcome.satisfied;
+        agg.dropped |= outcome.dropped;
+        agg.responses += 1;
+        agg.results.extend(outcome.results);
+        if outcome.path.len() > agg.best_path.len() {
+            agg.best_path = outcome.path;
+        }
+        if agg.outstanding <= 0 {
+            let agg = self
+                .gathers
+                .remove(&outcome.request_id)
+                .expect("present above");
+            let mut results = agg.results;
+            results.sort();
+            results.dedup();
+            let host_path: Vec<Key> = agg
+                .best_path
+                .iter()
+                .filter_map(|l| self.directory.get(l).cloned())
+                .collect();
+            let found = !results.is_empty() || (agg.satisfied && !agg.dropped);
+            self.finished.insert(
+                outcome.request_id,
+                LookupOutcome {
+                    satisfied: agg.satisfied && !agg.dropped,
+                    found,
+                    dropped: agg.dropped,
+                    results,
+                    gather_visits: agg.responses.saturating_sub(1),
+                    host_path,
+                    path: agg.best_path,
+                },
+            );
+        }
+    }
+}
+
+fn empty_outcome() -> LookupOutcome {
+    LookupOutcome {
+        satisfied: false,
+        found: false,
+        dropped: false,
+        results: Vec::new(),
+        path: Vec::new(),
+        host_path: Vec::new(),
+        gather_visits: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> Key {
+        Key::from(s)
+    }
+
+    fn small_system(peers: usize) -> DlptSystem {
+        DlptSystem::builder()
+            .seed(42)
+            .peer_id_len(8)
+            .bootstrap_peers(peers)
+            .build()
+    }
+
+    const PAPER_KEYS: [&str; 4] = ["01", "10101", "10111", "101111"];
+
+    fn binary_system(peers: usize, seed: u64) -> DlptSystem {
+        let mut sys = DlptSystem::builder()
+            .alphabet(Alphabet::binary())
+            .seed(seed)
+            .peer_id_len(10)
+            .bootstrap_peers(peers)
+            .build();
+        for s in PAPER_KEYS {
+            sys.insert_data(k(s)).unwrap();
+        }
+        sys
+    }
+
+    #[test]
+    fn bootstrap_builds_consistent_ring() {
+        let sys = small_system(10);
+        assert_eq!(sys.peer_count(), 10);
+        sys.check_ring().unwrap();
+    }
+
+    #[test]
+    fn paper_tree_matches_oracle() {
+        let sys = binary_system(4, 7);
+        let oracle = sys.oracle();
+        assert_eq!(sys.node_labels(), oracle.labels());
+        sys.check_tree().unwrap();
+        sys.check_mapping().unwrap();
+    }
+
+    #[test]
+    fn insertion_is_order_invariant_across_entries() {
+        // Same keys, different seeds (=> different entry nodes) must
+        // converge to the same tree.
+        let reference = binary_system(4, 1).node_labels();
+        for seed in 2..10 {
+            let sys = binary_system(4, seed);
+            assert_eq!(sys.node_labels(), reference, "seed {seed}");
+            sys.check_tree().unwrap();
+            sys.check_mapping().unwrap();
+        }
+    }
+
+    #[test]
+    fn lookup_finds_registered_keys() {
+        let mut sys = binary_system(4, 7);
+        for s in PAPER_KEYS {
+            let out = sys.lookup(&k(s));
+            assert!(out.satisfied, "{s}");
+            assert_eq!(out.results, vec![k(s)]);
+            assert!(out.logical_hops() < 12);
+        }
+        let out = sys.lookup(&k("11"));
+        assert!(!out.satisfied);
+        assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn range_and_completion_work_end_to_end() {
+        let mut sys = binary_system(4, 7);
+        let out = sys.range(&k("10"), &k("10111"));
+        assert!(out.satisfied);
+        assert_eq!(out.results, vec![k("10101"), k("10111")]);
+        let out = sys.complete(&k("101"));
+        assert!(out.satisfied);
+        assert_eq!(out.results, vec![k("10101"), k("10111"), k("101111")]);
+    }
+
+    #[test]
+    fn peers_join_after_data_exists() {
+        let mut sys = binary_system(3, 7);
+        for _ in 0..5 {
+            sys.add_peer(100).unwrap();
+        }
+        sys.check_ring().unwrap();
+        sys.check_mapping().unwrap();
+        sys.check_tree().unwrap();
+        assert_eq!(sys.peer_count(), 8);
+    }
+
+    #[test]
+    fn graceful_leave_preserves_everything() {
+        let mut sys = binary_system(6, 7);
+        let victims: Vec<Key> = sys.peer_ids().into_iter().take(3).collect();
+        for v in victims {
+            sys.leave_peer(&v).unwrap();
+            sys.check_ring().unwrap();
+            sys.check_mapping().unwrap();
+            sys.check_tree().unwrap();
+        }
+        assert_eq!(sys.peer_count(), 3);
+        let mut sys2 = sys;
+        for s in PAPER_KEYS {
+            assert!(sys2.lookup(&k(s)).satisfied, "{s}");
+        }
+    }
+
+    #[test]
+    fn reinserting_every_key_from_random_entries_is_idempotent() {
+        // Regression for the father == key corruption: re-registering
+        // an existing key entering at an arbitrary node must route to
+        // the existing node, not seed a duplicate.
+        let mut sys = small_system(6);
+        let names: Vec<String> = (0..30).map(|i| format!("PDGEL{i:02}")).collect();
+        for n in &names {
+            sys.insert_data(k(n)).unwrap();
+        }
+        let labels = sys.node_labels();
+        for _ in 0..4 {
+            for n in &names {
+                sys.insert_data(k(n)).unwrap();
+            }
+        }
+        assert_eq!(sys.node_labels(), labels);
+        sys.check_tree().unwrap();
+        sys.check_mapping().unwrap();
+        // No node may ever be its own father.
+        for l in sys.node_labels() {
+            let node = sys.node(&l).unwrap();
+            assert_ne!(node.father.as_ref(), Some(&l), "{l} is its own father");
+        }
+    }
+
+    #[test]
+    fn removal_converges_to_oracle_of_remaining_keys() {
+        let mut sys = binary_system(4, 61);
+        // Remove two of the paper keys; the overlay must equal the
+        // oracle built from the remaining two.
+        sys.remove_data(&k("10101")).unwrap();
+        sys.remove_data(&k("101111")).unwrap();
+        sys.check_tree().unwrap();
+        sys.check_mapping().unwrap();
+        assert_eq!(sys.node_labels(), sys.oracle().labels());
+        assert!(!sys.lookup(&k("10101")).found);
+        assert!(sys.lookup(&k("10111")).satisfied);
+        assert!(sys.lookup(&k("01")).satisfied);
+        // Removing an absent key is a no-op.
+        let labels = sys.node_labels();
+        sys.remove_data(&k("111")).unwrap();
+        assert_eq!(sys.node_labels(), labels);
+    }
+
+    #[test]
+    fn removing_everything_empties_the_tree() {
+        let mut sys = binary_system(3, 67);
+        for s in PAPER_KEYS {
+            sys.remove_data(&k(s)).unwrap();
+        }
+        assert_eq!(sys.node_count(), 0);
+        assert!(sys.root().is_none());
+        // The overlay still works afterwards.
+        sys.insert_data(k("1100")).unwrap();
+        assert!(sys.lookup(&k("1100")).satisfied);
+        assert_eq!(sys.root(), Some(&k("1100")));
+    }
+
+    #[test]
+    fn insert_remove_interleaving_tracks_oracle() {
+        let mut sys = small_system(5);
+        let names: Vec<Key> = (0..24).map(|i| k(&format!("SVC{:02}", i))).collect();
+        let mut live = std::collections::BTreeSet::new();
+        for round in 0..3 {
+            for (i, n) in names.iter().enumerate() {
+                if (i + round) % 3 == 0 {
+                    sys.insert_data(n.clone()).unwrap();
+                    live.insert(n.clone());
+                } else if live.contains(n) {
+                    sys.remove_data(n).unwrap();
+                    live.remove(n);
+                }
+            }
+            sys.check_tree().unwrap();
+            sys.check_mapping().unwrap();
+            let mut oracle = PgcpTrie::new();
+            for n in &live {
+                oracle.insert(n.clone());
+            }
+            assert_eq!(sys.node_labels(), oracle.labels(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn grid_names_register_and_resolve() {
+        let mut sys = small_system(6);
+        for name in ["DGEMM", "DGEMV", "DTRSM", "S3L_mat_mult", "PSGESV"] {
+            sys.insert_data(k(name)).unwrap();
+        }
+        sys.check_tree().unwrap();
+        sys.check_mapping().unwrap();
+        assert_eq!(sys.node_labels(), sys.oracle().labels());
+        let out = sys.complete(&k("DGE"));
+        assert_eq!(out.results, vec![k("DGEMM"), k("DGEMV")]);
+    }
+
+    #[test]
+    fn capacity_exhaustion_drops_requests() {
+        let mut sys = DlptSystem::builder()
+            .seed(3)
+            .peer_id_len(8)
+            .default_capacity(2)
+            .bootstrap_peers(1)
+            .build();
+        sys.insert_data(k("DGEMM")).unwrap();
+        // Two visits fit (single-node tree → 1 visit per lookup).
+        assert!(sys.lookup(&k("DGEMM")).satisfied);
+        assert!(sys.lookup(&k("DGEMM")).satisfied);
+        let out = sys.lookup(&k("DGEMM"));
+        assert!(out.dropped);
+        assert!(!out.satisfied);
+        // New unit: capacity refreshes, demand was recorded.
+        sys.end_time_unit();
+        assert_eq!(sys.node(&k("DGEMM")).unwrap().prev_load, 3);
+        assert!(sys.lookup(&k("DGEMM")).satisfied);
+    }
+
+    #[test]
+    fn rename_peer_keeps_invariants() {
+        let mut sys = binary_system(4, 11);
+        let ids = sys.peer_ids();
+        let victim = ids[1].clone();
+        // Rename to an id still inside (pred, victim]'s arc-safe zone:
+        // use a node label hosted by the victim if any, else skip.
+        let shard = sys.shard(&victim).unwrap();
+        if let Some(node_label) = shard.nodes.keys().next_back().cloned() {
+            sys.rename_peer(&victim, node_label.clone()).unwrap();
+            assert!(sys.shard(&node_label).is_some());
+            sys.check_ring().unwrap();
+            sys.check_mapping().unwrap();
+        }
+    }
+
+    #[test]
+    fn crash_and_repair_restores_tree_shape() {
+        let mut sys = binary_system(5, 13);
+        let loaded: Vec<Key> = sys
+            .peer_ids()
+            .into_iter()
+            .filter(|p| sys.shard(p).map(|s| s.node_count() > 0).unwrap_or(false))
+            .collect();
+        let victim = loaded[0].clone();
+        let lost = sys.crash_peer(&victim).unwrap();
+        assert!(!lost.is_empty());
+        sys.repair_tree();
+        sys.check_tree().unwrap();
+        sys.check_ring().unwrap();
+        // Lost keys can be re-registered and found again.
+        let mut sys2 = sys;
+        for l in &lost {
+            // Only data keys need re-registration (structural labels
+            // reappear on their own as needed).
+            sys2.insert_data(l.clone()).unwrap();
+        }
+        sys2.check_tree().unwrap();
+        for s in PAPER_KEYS {
+            assert!(sys2.lookup(&k(s)).satisfied, "{s}");
+        }
+    }
+
+    #[test]
+    fn migrate_node_moves_and_counts() {
+        let mut sys = binary_system(4, 17);
+        let label = sys.node_labels()[0].clone();
+        let from = sys.host_of(&label).unwrap().clone();
+        let to = sys
+            .peer_ids()
+            .into_iter()
+            .find(|p| *p != from)
+            .expect("more than one peer");
+        sys.migrate_node(&label, &to).unwrap();
+        assert_eq!(sys.host_of(&label), Some(&to));
+        assert_eq!(sys.stats.balance_migrations, 1);
+        // Mapping is now intentionally violated (that is what the
+        // balancers repair by renaming); the node is still reachable.
+        let out = sys.lookup(&k("10101"));
+        assert!(out.satisfied);
+    }
+
+    #[test]
+    fn hop_accounting_matches_oracle_depth() {
+        let mut sys = binary_system(3, 19);
+        let out = sys.lookup(&k("101111"));
+        assert!(out.satisfied);
+        assert_eq!(out.path.len(), out.host_path.len());
+        assert!(out.physical_hops() <= out.logical_hops());
+    }
+
+    #[test]
+    fn empty_states_error_cleanly() {
+        let mut sys = DlptSystem::builder().build();
+        assert!(matches!(
+            sys.insert_data(k("DGEMM")),
+            Err(DlptError::EmptyRing)
+        ));
+        assert!(matches!(
+            sys.request(QueryKind::Exact(k("DGEMM"))),
+            Err(DlptError::EmptyTree)
+        ));
+        sys.add_peer(10).unwrap();
+        assert!(matches!(
+            sys.request(QueryKind::Exact(k("DGEMM"))),
+            Err(DlptError::EmptyTree)
+        ));
+    }
+
+    #[test]
+    fn duplicate_peer_rejected() {
+        let mut sys = small_system(2);
+        let id = sys.peer_ids()[0].clone();
+        assert!(matches!(
+            sys.add_peer_with_id(id, 5),
+            Err(DlptError::DuplicatePeer(_))
+        ));
+    }
+
+    #[test]
+    fn last_peer_leaving_empties_the_overlay() {
+        let mut sys = small_system(1);
+        sys.insert_data(k("DGEMM")).unwrap();
+        let id = sys.peer_ids()[0].clone();
+        sys.leave_peer(&id).unwrap();
+        assert_eq!(sys.peer_count(), 0);
+        assert_eq!(sys.node_count(), 0);
+        assert!(sys.root().is_none());
+    }
+
+    #[test]
+    fn stats_count_messages() {
+        let mut sys = binary_system(4, 23);
+        assert!(sys.stats.join_messages > 0);
+        assert!(sys.stats.insert_messages > 0);
+        assert!(sys.stats.host_messages > 0);
+        sys.lookup(&k("10101"));
+        assert!(sys.stats.discovery_messages > 0);
+    }
+
+    #[test]
+    fn many_keys_many_peers_converge_to_oracle() {
+        let mut sys = DlptSystem::builder()
+            .seed(29)
+            .peer_id_len(8)
+            .bootstrap_peers(12)
+            .build();
+        let names: Vec<String> = ["DGEMM", "DGEMV", "DTRSM", "DTRMM", "SGEMM", "SGEMV"]
+            .iter()
+            .map(|s| s.to_string())
+            .chain((0..40).map(|i| format!("S3L_op_{i:02}")))
+            .chain((0..40).map(|i| format!("PSROUTINE{i:02}")))
+            .collect();
+        for n in &names {
+            sys.insert_data(k(n)).unwrap();
+        }
+        assert_eq!(sys.node_labels(), sys.oracle().labels());
+        sys.check_tree().unwrap();
+        sys.check_mapping().unwrap();
+        for n in &names {
+            assert!(sys.lookup(&k(n)).satisfied, "{n}");
+        }
+        let out = sys.complete(&k("S3L"));
+        assert_eq!(out.results.len(), 40);
+    }
+}

@@ -1,0 +1,924 @@
+//! Sequential Proper Greatest Common Prefix tree (Definition 1).
+//!
+//! > **Definition 1 (PGCP Tree).** A Proper Greatest Common Prefix Tree
+//! > is a labeled rooted tree such that the label of each node of the
+//! > tree is the Proper Greatest Common Prefix of the labels of every
+//! > pair of its children.
+//!
+//! [`PgcpTrie`] is the in-memory, single-owner realization of that
+//! structure. It serves three roles in the workspace:
+//!
+//! 1. **Correctness oracle** — the distributed overlay
+//!    ([`crate::system::DlptSystem`]) must converge to exactly the tree
+//!    this structure builds for the same key set (property-tested);
+//! 2. **Local engine** — range queries and completions over a node's
+//!    subtree reuse this code;
+//! 3. **Illustration** — `examples/tree_visualization.rs` renders
+//!    Figure 1 of the paper from it.
+//!
+//! The arena representation (indices, not `Rc`) keeps nodes cache-
+//! friendly and makes invariant checking and traversal trivial.
+
+use crate::key::Key;
+use std::collections::BTreeSet;
+
+/// Index of a node inside the arena.
+pub type TrieNodeId = usize;
+
+/// One vertex of the PGCP tree.
+#[derive(Debug, Clone)]
+pub struct TrieNode {
+    /// Full label of the node (not an edge fragment): the greatest
+    /// common prefix of all keys stored in its subtree.
+    pub label: Key,
+    /// Parent link (`None` for the root).
+    pub parent: Option<TrieNodeId>,
+    /// Children, kept sorted by label; pairwise GCP of their labels is
+    /// exactly `label`.
+    pub children: Vec<TrieNodeId>,
+    /// The data set `δ` — service keys registered at this node. A key
+    /// `k` is always stored on the node labeled `k`, so `data` is
+    /// non-empty only when this node's label was inserted.
+    pub data: BTreeSet<Key>,
+    /// Tombstone marker used by the arena on removal.
+    live: bool,
+}
+
+/// A sequential PGCP tree over an arbitrary digit alphabet.
+///
+/// ```
+/// use dlpt_core::{PgcpTrie, Key};
+/// let mut t = PgcpTrie::new();
+/// for k in ["01", "10101", "10111", "101111"] {
+///     t.insert(Key::from(k));
+/// }
+/// // Figure 1(a): the non-filled nodes ε and 101 were created to
+/// // maintain Definition 1.
+/// assert_eq!(t.node_count(), 6);
+/// assert!(t.contains(&Key::from("10101")));
+/// assert!(!t.contains(&Key::from("101"))); // structural, no data
+/// t.check_invariants().unwrap();
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PgcpTrie {
+    arena: Vec<TrieNode>,
+    root: Option<TrieNodeId>,
+    live_count: usize,
+    key_count: usize,
+}
+
+/// A violation of Definition 1 or of basic tree shape, reported by
+/// [`PgcpTrie::check_invariants`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrieViolation {
+    /// A child's label does not properly extend its parent's label.
+    ChildNotExtension {
+        /// Parent label.
+        parent: Key,
+        /// Offending child label.
+        child: Key,
+    },
+    /// Two children of the same node share a longer prefix than the
+    /// node's label — their PGCP is not the parent label.
+    PairGcpMismatch {
+        /// Parent label.
+        parent: Key,
+        /// First child.
+        a: Key,
+        /// Second child.
+        b: Key,
+    },
+    /// A parent pointer does not match the tree structure.
+    BrokenParentLink {
+        /// Node with the inconsistent link.
+        node: Key,
+    },
+    /// A node stores a data key different from its label.
+    DataLabelMismatch {
+        /// Node label.
+        node: Key,
+        /// Foreign key found in its data set.
+        data: Key,
+    },
+    /// The same label appears on two nodes.
+    DuplicateLabel {
+        /// The duplicated label.
+        label: Key,
+    },
+}
+
+impl std::fmt::Display for TrieViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrieViolation::ChildNotExtension { parent, child } => {
+                write!(f, "child {child} does not properly extend parent {parent}")
+            }
+            TrieViolation::PairGcpMismatch { parent, a, b } => write!(
+                f,
+                "children {a}, {b} of {parent} share a prefix longer than the parent label"
+            ),
+            TrieViolation::BrokenParentLink { node } => {
+                write!(f, "broken parent link at {node}")
+            }
+            TrieViolation::DataLabelMismatch { node, data } => {
+                write!(f, "node {node} stores foreign key {data}")
+            }
+            TrieViolation::DuplicateLabel { label } => {
+                write!(f, "label {label} appears twice")
+            }
+        }
+    }
+}
+
+/// Statistics of a lookup walk, used for hop accounting in experiments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalkStats {
+    /// Labels of nodes visited, in order (entry node first).
+    pub path: Vec<Key>,
+    /// Whether the walk ended on the node owning the key.
+    pub found: bool,
+}
+
+impl WalkStats {
+    /// Number of tree edges traversed.
+    pub fn logical_hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+}
+
+impl PgcpTrie {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        PgcpTrie::default()
+    }
+
+    /// The root node id, if the tree is non-empty.
+    pub fn root(&self) -> Option<TrieNodeId> {
+        self.root
+    }
+
+    /// Number of live nodes (including structural nodes).
+    pub fn node_count(&self) -> usize {
+        self.live_count
+    }
+
+    /// Number of registered keys (data entries).
+    pub fn key_count(&self) -> usize {
+        self.key_count
+    }
+
+    /// True iff no key has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// Borrow a node by id.
+    pub fn node(&self, id: TrieNodeId) -> &TrieNode {
+        &self.arena[id]
+    }
+
+    fn alloc(&mut self, label: Key, parent: Option<TrieNodeId>) -> TrieNodeId {
+        let id = self.arena.len();
+        self.arena.push(TrieNode {
+            label,
+            parent,
+            children: Vec::new(),
+            data: BTreeSet::new(),
+            live: true,
+        });
+        self.live_count += 1;
+        id
+    }
+
+    fn kill(&mut self, id: TrieNodeId) {
+        debug_assert!(self.arena[id].live);
+        self.arena[id].live = false;
+        self.live_count -= 1;
+    }
+
+    fn sort_children(&mut self, id: TrieNodeId) {
+        let mut kids = std::mem::take(&mut self.arena[id].children);
+        kids.sort_by(|&a, &b| self.arena[a].label.cmp(&self.arena[b].label));
+        self.arena[id].children = kids;
+    }
+
+    /// Finds the node labeled exactly `label`, if it exists.
+    pub fn find(&self, label: &Key) -> Option<TrieNodeId> {
+        let mut cur = self.root?;
+        loop {
+            let node = &self.arena[cur];
+            if &node.label == label {
+                return Some(cur);
+            }
+            if !node.label.is_proper_prefix_of(label) {
+                return None;
+            }
+            // At most one child can extend the shared prefix: children
+            // differ pairwise at the digit right after the label.
+            let next = node.children.iter().copied().find(|&c| {
+                self.arena[c].label.gcp_len(label) > node.label.len()
+            });
+            match next {
+                Some(c) => cur = c,
+                None => return None,
+            }
+        }
+    }
+
+    /// True iff `key` is registered (has data on its node).
+    pub fn contains(&self, key: &Key) -> bool {
+        self.find(key)
+            .map(|id| self.arena[id].data.contains(key))
+            .unwrap_or(false)
+    }
+
+    /// Inserts `key` into the tree, creating at most two nodes
+    /// (the key's node and, for a sibling split, their common parent
+    /// labeled `GCP`), exactly as the distributed Algorithm 3 does.
+    /// Returns the id of the node now owning `key`.
+    pub fn insert(&mut self, key: Key) -> TrieNodeId {
+        let Some(root) = self.root else {
+            let id = self.alloc(key.clone(), None);
+            self.arena[id].data.insert(key);
+            self.root = Some(id);
+            self.key_count = 1;
+            return id;
+        };
+
+        let mut cur = root;
+        loop {
+            let cur_label = self.arena[cur].label.clone();
+            if cur_label == key {
+                // Case 1 (line 3.03): the node exists; add the data.
+                if self.arena[cur].data.insert(key) {
+                    self.key_count += 1;
+                }
+                return cur;
+            }
+            if cur_label.is_proper_prefix_of(&key) {
+                // Case 2 (lines 3.04–3.09): the key belongs in this
+                // subtree. Find the unique child sharing a longer
+                // prefix, if any.
+                let next = self.arena[cur]
+                    .children
+                    .iter()
+                    .copied()
+                    .find(|&c| self.arena[c].label.gcp_len(&key) > cur_label.len());
+                match next {
+                    Some(c) => {
+                        let c_label = &self.arena[c].label;
+                        if c_label.is_prefix_of(&key) {
+                            cur = c; // descend; handles c == key at top of loop
+                        } else if key.is_proper_prefix_of(c_label) {
+                            // key sits between cur and c.
+                            return self.splice_above(c, key);
+                        } else {
+                            // Siblings under a new GCP node.
+                            return self.split_sibling(c, key);
+                        }
+                    }
+                    None => {
+                        // New leaf child of cur.
+                        let id = self.alloc(key.clone(), Some(cur));
+                        self.arena[id].data.insert(key);
+                        self.key_count += 1;
+                        self.arena[cur].children.push(id);
+                        self.sort_children(cur);
+                        return id;
+                    }
+                }
+            } else if key.is_proper_prefix_of(&cur_label) {
+                // Case 3 (lines 3.10–3.20): only reachable at the root
+                // when walking down — the new key becomes an ancestor.
+                debug_assert_eq!(cur, root);
+                return self.splice_above(cur, key);
+            } else {
+                // Case 4 (lines 3.21–3.31): diverging siblings; only
+                // reachable at the root when walking down.
+                debug_assert_eq!(cur, root);
+                return self.split_sibling(cur, key);
+            }
+        }
+    }
+
+    /// Inserts node `key` between `below` and its parent; `key` must be
+    /// a proper prefix of `below`'s label.
+    fn splice_above(&mut self, below: TrieNodeId, key: Key) -> TrieNodeId {
+        debug_assert!(key.is_proper_prefix_of(&self.arena[below].label));
+        let parent = self.arena[below].parent;
+        let id = self.alloc(key.clone(), parent);
+        self.arena[id].data.insert(key);
+        self.key_count += 1;
+        self.arena[id].children.push(below);
+        self.arena[below].parent = Some(id);
+        match parent {
+            Some(p) => {
+                let slot = self.arena[p]
+                    .children
+                    .iter()
+                    .position(|&c| c == below)
+                    .expect("below must be a child of its parent");
+                self.arena[p].children[slot] = id;
+                self.sort_children(p);
+            }
+            None => self.root = Some(id),
+        }
+        id
+    }
+
+    /// Makes `key` a sibling of `at` under a fresh structural node
+    /// labeled `GCP(at.label, key)` that takes `at`'s place.
+    fn split_sibling(&mut self, at: TrieNodeId, key: Key) -> TrieNodeId {
+        let at_label = self.arena[at].label.clone();
+        let gcp = at_label.gcp(&key);
+        debug_assert!(gcp.len() < at_label.len() && gcp.len() < key.len());
+        let parent = self.arena[at].parent;
+        let mid = self.alloc(gcp, parent);
+        let leaf = self.alloc(key.clone(), Some(mid));
+        self.arena[leaf].data.insert(key);
+        self.key_count += 1;
+        self.arena[at].parent = Some(mid);
+        self.arena[mid].children.push(at);
+        self.arena[mid].children.push(leaf);
+        self.sort_children(mid);
+        match parent {
+            Some(p) => {
+                let slot = self.arena[p]
+                    .children
+                    .iter()
+                    .position(|&c| c == at)
+                    .expect("at must be a child of its parent");
+                self.arena[p].children[slot] = mid;
+                self.sort_children(p);
+            }
+            None => self.root = Some(mid),
+        }
+        leaf
+    }
+
+    /// Removes a registered key. Structural cleanup (an extension over
+    /// the paper, which never deletes): a node left with no data and
+    /// fewer than two children is dissolved so the canonical PGCP shape
+    /// is preserved. Returns true iff the key was present.
+    pub fn remove(&mut self, key: &Key) -> bool {
+        let Some(id) = self.find(key) else {
+            return false;
+        };
+        if !self.arena[id].data.remove(key) {
+            return false;
+        }
+        self.key_count -= 1;
+        self.dissolve_if_redundant(id);
+        true
+    }
+
+    /// Dissolves `id` if it is structural (no data) with < 2 children,
+    /// then retries on the parent (removal can cascade one level).
+    fn dissolve_if_redundant(&mut self, id: TrieNodeId) {
+        if !self.arena[id].live || !self.arena[id].data.is_empty() {
+            return;
+        }
+        let nchildren = self.arena[id].children.len();
+        if nchildren >= 2 {
+            return;
+        }
+        let parent = self.arena[id].parent;
+        if nchildren == 1 {
+            // Lift the only child into our place.
+            let child = self.arena[id].children[0];
+            self.arena[child].parent = parent;
+            match parent {
+                Some(p) => {
+                    let slot = self.arena[p]
+                        .children
+                        .iter()
+                        .position(|&c| c == id)
+                        .expect("parent link");
+                    self.arena[p].children[slot] = child;
+                    self.sort_children(p);
+                }
+                None => self.root = Some(child),
+            }
+        } else {
+            // Leaf: unlink entirely.
+            match parent {
+                Some(p) => {
+                    self.arena[p].children.retain(|&c| c != id);
+                }
+                None => self.root = None,
+            }
+        }
+        self.kill(id);
+        if let Some(p) = parent {
+            self.dissolve_if_redundant(p);
+        }
+    }
+
+    /// Exact lookup following the paper's routing: from `entry`
+    /// (defaults to the root) move **upward** until the current node's
+    /// label prefixes the key, then **downward** to the owning node.
+    /// Returns the visited path for hop accounting.
+    pub fn lookup_from(&self, entry: TrieNodeId, key: &Key) -> WalkStats {
+        let mut path = Vec::new();
+        let mut cur = entry;
+        // Upward phase.
+        loop {
+            path.push(self.arena[cur].label.clone());
+            if self.arena[cur].label.is_prefix_of(key) {
+                break;
+            }
+            match self.arena[cur].parent {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        // Downward phase.
+        loop {
+            let node = &self.arena[cur];
+            if &node.label == key {
+                return WalkStats {
+                    path,
+                    found: node.data.contains(key),
+                };
+            }
+            if !node.label.is_prefix_of(key) {
+                return WalkStats { path, found: false };
+            }
+            let next = node
+                .children
+                .iter()
+                .copied()
+                .find(|&c| self.arena[c].label.gcp_len(key) > node.label.len());
+            match next {
+                Some(c)
+                    if self.arena[c].label.is_prefix_of(key)
+                        || key.is_proper_prefix_of(&self.arena[c].label) =>
+                {
+                    // Descend while the child stays on the key's path;
+                    // a child that merely shares a longer prefix but
+                    // diverges proves the key is absent.
+                    if self.arena[c].label.is_prefix_of(key) {
+                        cur = c;
+                        path.push(self.arena[cur].label.clone());
+                    } else {
+                        path.push(self.arena[c].label.clone());
+                        return WalkStats { path, found: false };
+                    }
+                }
+                _ => return WalkStats { path, found: false },
+            }
+        }
+    }
+
+    /// Exact lookup from the root.
+    pub fn lookup(&self, key: &Key) -> WalkStats {
+        match self.root {
+            Some(r) => self.lookup_from(r, key),
+            None => WalkStats {
+                path: Vec::new(),
+                found: false,
+            },
+        }
+    }
+
+    /// All registered keys in `[lo, hi]` (inclusive), in order.
+    /// Subtrees whose label interval cannot intersect the range are
+    /// pruned, which is the flexibility argument for trie overlays in
+    /// the paper's introduction.
+    pub fn range(&self, lo: &Key, hi: &Key) -> Vec<Key> {
+        let mut out = Vec::new();
+        if let Some(root) = self.root {
+            self.range_rec(root, lo, hi, &mut out);
+        }
+        out
+    }
+
+    fn range_rec(&self, id: TrieNodeId, lo: &Key, hi: &Key, out: &mut Vec<Key>) {
+        let node = &self.arena[id];
+        // Keys in this subtree all have `node.label` as prefix, hence
+        // lie in [label, label·maxdigit^∞). Prune on both sides.
+        if &node.label > hi {
+            return;
+        }
+        // If label < lo and label is not a prefix of lo, the whole
+        // subtree is below lo.
+        if &node.label < lo && !node.label.is_prefix_of(lo) {
+            return;
+        }
+        for k in node.data.iter() {
+            if k >= lo && k <= hi {
+                out.push(k.clone());
+            }
+        }
+        for &c in &node.children {
+            self.range_rec(c, lo, hi, out);
+        }
+    }
+
+    /// Automatic completion of a partial search string: every
+    /// registered key having `prefix` as a prefix.
+    pub fn complete(&self, prefix: &Key) -> Vec<Key> {
+        let mut out = Vec::new();
+        let Some(root) = self.root else {
+            return out;
+        };
+        // Descend to the highest node whose subtree covers `prefix`.
+        let mut cur = root;
+        loop {
+            let node = &self.arena[cur];
+            if prefix.is_prefix_of(&node.label) {
+                // Entire subtree matches.
+                self.collect_subtree(cur, &mut out);
+                return out;
+            }
+            if !node.label.is_proper_prefix_of(prefix) {
+                return out; // diverged: nothing matches
+            }
+            let next = node
+                .children
+                .iter()
+                .copied()
+                .find(|&c| self.arena[c].label.gcp_len(prefix) > node.label.len());
+            match next {
+                Some(c) => cur = c,
+                None => return out,
+            }
+        }
+    }
+
+    fn collect_subtree(&self, id: TrieNodeId, out: &mut Vec<Key>) {
+        let node = &self.arena[id];
+        out.extend(node.data.iter().cloned());
+        for &c in &node.children {
+            self.collect_subtree(c, out);
+        }
+    }
+
+    /// All registered keys, ascending.
+    pub fn keys(&self) -> Vec<Key> {
+        let mut out = Vec::with_capacity(self.key_count);
+        if let Some(root) = self.root {
+            self.collect_subtree(root, &mut out);
+        }
+        out
+    }
+
+    /// All node labels (including structural nodes), ascending.
+    pub fn labels(&self) -> Vec<Key> {
+        let mut out: Vec<Key> = self
+            .arena
+            .iter()
+            .filter(|n| n.live)
+            .map(|n| n.label.clone())
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Depth of the tree (root = depth 0); 0 for an empty tree.
+    pub fn depth(&self) -> usize {
+        fn rec(t: &PgcpTrie, id: TrieNodeId) -> usize {
+            t.arena[id]
+                .children
+                .iter()
+                .map(|&c| 1 + rec(t, c))
+                .max()
+                .unwrap_or(0)
+        }
+        self.root.map(|r| rec(self, r)).unwrap_or(0)
+    }
+
+    /// Verifies Definition 1 and structural sanity over the whole tree.
+    pub fn check_invariants(&self) -> std::result::Result<(), TrieViolation> {
+        let Some(root) = self.root else {
+            return Ok(());
+        };
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let node = &self.arena[id];
+            if !seen.insert(node.label.clone()) {
+                return Err(TrieViolation::DuplicateLabel {
+                    label: node.label.clone(),
+                });
+            }
+            for d in node.data.iter() {
+                if d != &node.label {
+                    return Err(TrieViolation::DataLabelMismatch {
+                        node: node.label.clone(),
+                        data: d.clone(),
+                    });
+                }
+            }
+            for &c in &node.children {
+                let child = &self.arena[c];
+                if child.parent != Some(id) {
+                    return Err(TrieViolation::BrokenParentLink {
+                        node: child.label.clone(),
+                    });
+                }
+                if !node.label.is_proper_prefix_of(&child.label) {
+                    return Err(TrieViolation::ChildNotExtension {
+                        parent: node.label.clone(),
+                        child: child.label.clone(),
+                    });
+                }
+                stack.push(c);
+            }
+            // Definition 1: the label is the PGCP of every *pair* of
+            // children — equivalently every two children diverge right
+            // after the label.
+            for (i, &a) in node.children.iter().enumerate() {
+                for &b in &node.children[i + 1..] {
+                    let (la, lb) = (&self.arena[a].label, &self.arena[b].label);
+                    if la.gcp_len(lb) != node.label.len() {
+                        return Err(TrieViolation::PairGcpMismatch {
+                            parent: node.label.clone(),
+                            a: la.clone(),
+                            b: lb.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the tree as ASCII art (Figure 1 style). Structural
+    /// nodes (no data) are shown in parentheses.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        match self.root {
+            Some(root) => {
+                let node = &self.arena[root];
+                out.push_str(&self.node_tag(root));
+                out.push('\n');
+                let n = node.children.len();
+                for (i, &c) in node.children.iter().enumerate() {
+                    self.render_rec(c, "", i + 1 == n, &mut out);
+                }
+            }
+            None => out.push_str("(empty)\n"),
+        }
+        out
+    }
+
+    fn node_tag(&self, id: TrieNodeId) -> String {
+        let node = &self.arena[id];
+        if node.data.is_empty() {
+            format!("({})", node.label)
+        } else {
+            node.label.to_string()
+        }
+    }
+
+    fn render_rec(&self, id: TrieNodeId, indent: &str, last: bool, out: &mut String) {
+        out.push_str(indent);
+        out.push_str(if last { "└── " } else { "├── " });
+        out.push_str(&self.node_tag(id));
+        out.push('\n');
+        let child_indent = format!("{indent}{}", if last { "    " } else { "│   " });
+        let node = &self.arena[id];
+        let n = node.children.len();
+        for (i, &c) in node.children.iter().enumerate() {
+            self.render_rec(c, &child_indent, i + 1 == n, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> Key {
+        Key::from(s)
+    }
+
+    fn paper_tree() -> PgcpTrie {
+        // Figure 1(a): keys 01, 10101, 10111, 101111.
+        let mut t = PgcpTrie::new();
+        for s in ["01", "10101", "10111", "101111"] {
+            t.insert(k(s));
+        }
+        t
+    }
+
+    #[test]
+    fn figure_1a_structure() {
+        let t = paper_tree();
+        // Nodes: ε, 01, 101, 10101, 10111, 101111 (ε and 101 structural).
+        assert_eq!(t.node_count(), 6);
+        assert_eq!(t.key_count(), 4);
+        let labels = t.labels();
+        assert_eq!(
+            labels,
+            vec![
+                Key::epsilon(),
+                k("01"),
+                k("101"),
+                k("10101"),
+                k("10111"),
+                k("101111")
+            ]
+        );
+        assert!(!t.contains(&k("101")));
+        assert!(!t.contains(&Key::epsilon()));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn figure_1a_insertion_order_invariance() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let base = paper_tree().labels();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut keys = vec!["01", "10101", "10111", "101111"];
+        for _ in 0..20 {
+            keys.shuffle(&mut rng);
+            let mut t = PgcpTrie::new();
+            for s in &keys {
+                t.insert(k(s));
+            }
+            assert_eq!(t.labels(), base, "order {keys:?}");
+            t.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn blas_tree_like_figure_1b() {
+        let mut t = PgcpTrie::new();
+        for s in ["DTRSM", "DTRMM", "DGEMM", "DGEMV", "DGETRF"] {
+            t.insert(k(s));
+        }
+        t.check_invariants().unwrap();
+        // Shared prefixes D, DTR, DGE, DGEM materialize as structural
+        // nodes (DTRSM/DTRMM diverge right after "DTR").
+        let labels = t.labels();
+        assert!(labels.contains(&k("D")));
+        assert!(labels.contains(&k("DTR")));
+        assert!(labels.contains(&k("DGE")));
+        assert!(labels.contains(&k("DGEM")));
+        assert_eq!(t.key_count(), 5);
+    }
+
+    #[test]
+    fn single_key_is_root() {
+        let mut t = PgcpTrie::new();
+        t.insert(k("DGEMM"));
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.node(t.root().unwrap()).label, k("DGEMM"));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reinsert_is_idempotent() {
+        let mut t = paper_tree();
+        let (n, kc) = (t.node_count(), t.key_count());
+        t.insert(k("10101"));
+        assert_eq!(t.node_count(), n);
+        assert_eq!(t.key_count(), kc);
+    }
+
+    #[test]
+    fn inserting_existing_structural_label_fills_it() {
+        let mut t = paper_tree();
+        assert!(!t.contains(&k("101")));
+        let n = t.node_count();
+        t.insert(k("101"));
+        assert!(t.contains(&k("101")));
+        assert_eq!(t.node_count(), n, "no new node needed");
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn key_prefixing_existing_root_becomes_ancestor() {
+        let mut t = PgcpTrie::new();
+        t.insert(k("10101"));
+        t.insert(k("10"));
+        assert_eq!(t.node(t.root().unwrap()).label, k("10"));
+        assert!(t.contains(&k("10")));
+        assert!(t.contains(&k("10101")));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn splice_between_parent_and_child() {
+        let mut t = PgcpTrie::new();
+        t.insert(k("1"));
+        t.insert(k("10101"));
+        t.insert(k("101")); // between 1 and 10101
+        let labels = t.labels();
+        assert_eq!(labels, vec![k("1"), k("101"), k("10101")]);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn lookup_finds_all_inserted_keys() {
+        let t = paper_tree();
+        for s in ["01", "10101", "10111", "101111"] {
+            let w = t.lookup(&k(s));
+            assert!(w.found, "{s}");
+        }
+        assert!(!t.lookup(&k("111")).found);
+        assert!(!t.lookup(&k("1010")).found);
+        assert!(!t.lookup(&k("101")).found, "structural node has no data");
+    }
+
+    #[test]
+    fn lookup_from_entry_goes_up_then_down() {
+        let t = paper_tree();
+        let entry = t.find(&k("01")).unwrap();
+        let w = t.lookup_from(entry, &k("101111"));
+        assert!(w.found);
+        // Path: 01 → ε (up) → 101 → 10111 → 101111 (down).
+        assert_eq!(
+            w.path,
+            vec![k("01"), Key::epsilon(), k("101"), k("10111"), k("101111")]
+        );
+        assert_eq!(w.logical_hops(), 4);
+    }
+
+    #[test]
+    fn range_query_inclusive() {
+        let t = paper_tree();
+        assert_eq!(
+            t.range(&k("10"), &k("10111")),
+            vec![k("10101"), k("10111")]
+        );
+        assert_eq!(t.range(&k("0"), &k("1")), vec![k("01")]);
+        assert_eq!(
+            t.range(&Key::epsilon(), &k("2")),
+            vec![k("01"), k("10101"), k("10111"), k("101111")]
+        );
+        assert!(t.range(&k("11"), &k("2")).is_empty());
+    }
+
+    #[test]
+    fn completion_matches_prefix() {
+        let t = paper_tree();
+        assert_eq!(
+            t.complete(&k("101")),
+            vec![k("10101"), k("10111"), k("101111")]
+        );
+        assert_eq!(t.complete(&k("10111")), vec![k("10111"), k("101111")]);
+        assert_eq!(t.complete(&k("0")), vec![k("01")]);
+        assert!(t.complete(&k("2")).is_empty());
+        assert_eq!(t.complete(&Key::epsilon()).len(), 4);
+    }
+
+    #[test]
+    fn remove_cleans_structural_nodes() {
+        let mut t = paper_tree();
+        assert!(t.remove(&k("10101")));
+        t.check_invariants().unwrap();
+        // 101 now has a single child chain 10111; it dissolves.
+        assert!(!t.labels().contains(&k("101")));
+        assert!(t.remove(&k("10111")));
+        assert!(t.remove(&k("101111")));
+        t.check_invariants().unwrap();
+        // Only 01 remains; ε dissolved, root is 01.
+        assert_eq!(t.labels(), vec![k("01")]);
+        assert!(t.remove(&k("01")));
+        assert!(t.is_empty());
+        assert!(!t.remove(&k("01")));
+    }
+
+    #[test]
+    fn depth_counts_edges() {
+        assert_eq!(PgcpTrie::new().depth(), 0);
+        let t = paper_tree();
+        // ε → 101 → 10111 → 101111
+        assert_eq!(t.depth(), 3);
+    }
+
+    #[test]
+    fn render_contains_all_labels() {
+        let t = paper_tree();
+        let art = t.render();
+        for s in ["01", "10101", "10111", "101111"] {
+            assert!(art.contains(s), "{art}");
+        }
+        assert!(art.contains("(ε)"), "structural root in parens: {art}");
+    }
+
+    #[test]
+    fn invariant_checker_catches_violation() {
+        let mut t = paper_tree();
+        // Sabotage: move a node's data key.
+        let id = t.find(&k("10101")).unwrap();
+        t.arena[id].data.insert(k("zzz"));
+        assert!(matches!(
+            t.check_invariants(),
+            Err(TrieViolation::DataLabelMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn keys_are_sorted_unique() {
+        let mut t = PgcpTrie::new();
+        for s in ["B", "A", "C", "A", "AB"] {
+            t.insert(k(s));
+        }
+        assert_eq!(t.keys(), vec![k("A"), k("AB"), k("B"), k("C")]);
+    }
+}

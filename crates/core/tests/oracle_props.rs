@@ -1,0 +1,131 @@
+//! Property tests of the sequential PGCP oracle and the key algebra —
+//! the foundations everything else is checked against.
+
+use dlpt_core::alphabet::Alphabet;
+use dlpt_core::key::{in_ring_interval, Key};
+use dlpt_core::trie::PgcpTrie;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn short_key() -> impl Strategy<Value = Key> {
+    proptest::collection::vec(prop_oneof![Just(b'0'), Just(b'1'), Just(b'2')], 1..8)
+        .prop_map(Key::from_bytes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Insert order never changes the resulting tree.
+    #[test]
+    fn trie_is_insert_order_invariant(keys in proptest::collection::vec(short_key(), 1..25), rot in 0usize..25) {
+        let mut a = PgcpTrie::new();
+        for k in &keys {
+            a.insert(k.clone());
+        }
+        let mut rotated = keys.clone();
+        rotated.rotate_left(rot % keys.len());
+        let mut b = PgcpTrie::new();
+        for k in &rotated {
+            b.insert(k.clone());
+        }
+        prop_assert_eq!(a.labels(), b.labels());
+        prop_assert!(a.check_invariants().is_ok());
+    }
+
+    /// Insert/remove sequences behave like a set, and the tree stays
+    /// canonical (structural nodes dissolve with their need).
+    #[test]
+    fn trie_insert_remove_is_a_set(ops in proptest::collection::vec((short_key(), any::<bool>()), 1..40)) {
+        let mut t = PgcpTrie::new();
+        let mut model: BTreeSet<Key> = BTreeSet::new();
+        for (k, insert) in ops {
+            if insert {
+                t.insert(k.clone());
+                model.insert(k);
+            } else {
+                let removed = t.remove(&k);
+                prop_assert_eq!(removed, model.remove(&k));
+            }
+            prop_assert!(t.check_invariants().is_ok());
+        }
+        prop_assert_eq!(t.keys(), model.iter().cloned().collect::<Vec<_>>());
+        // Canonical shape: rebuilding from the surviving keys gives
+        // the identical label set.
+        let mut rebuilt = PgcpTrie::new();
+        for k in &model {
+            rebuilt.insert(k.clone());
+        }
+        prop_assert_eq!(t.labels(), rebuilt.labels());
+    }
+
+    /// Range and completion agree with plain filters.
+    #[test]
+    fn trie_queries_agree_with_filters(
+        keys in proptest::collection::vec(short_key(), 1..25),
+        a in short_key(),
+        b in short_key(),
+    ) {
+        let (lo, hi) = if a <= b { (a.clone(), b) } else { (b, a.clone()) };
+        let mut t = PgcpTrie::new();
+        let mut model = BTreeSet::new();
+        for k in keys {
+            t.insert(k.clone());
+            model.insert(k);
+        }
+        let want_range: Vec<Key> = model.iter().filter(|k| **k >= lo && **k <= hi).cloned().collect();
+        prop_assert_eq!(t.range(&lo, &hi), want_range);
+        let want_complete: Vec<Key> = model.iter().filter(|k| a.is_prefix_of(k)).cloned().collect();
+        prop_assert_eq!(t.complete(&a), want_complete);
+    }
+
+    /// Node count is bounded by 2·|keys| − 1 (each insertion creates
+    /// at most one structural node beyond the key's own).
+    #[test]
+    fn trie_size_bound(keys in proptest::collection::btree_set(short_key(), 1..30)) {
+        let mut t = PgcpTrie::new();
+        for k in &keys {
+            t.insert(k.clone());
+        }
+        prop_assert!(t.node_count() < 2 * keys.len(),
+            "{} nodes for {} keys", t.node_count(), keys.len());
+        prop_assert_eq!(t.key_count(), keys.len());
+    }
+
+    /// Lookup from any entry node terminates at the same verdict as
+    /// lookup from the root.
+    #[test]
+    fn lookup_entry_invariance(
+        keys in proptest::collection::btree_set(short_key(), 1..20),
+        probe in short_key(),
+        entry_choice in any::<u32>(),
+    ) {
+        let mut t = PgcpTrie::new();
+        for k in &keys {
+            t.insert(k.clone());
+        }
+        let labels = t.labels();
+        let entry_label = &labels[entry_choice as usize % labels.len()];
+        let entry = t.find(entry_label).unwrap();
+        prop_assert_eq!(t.lookup_from(entry, &probe).found, t.lookup(&probe).found);
+    }
+
+    /// `id_between` really produces strictly-between identifiers
+    /// whenever it claims to.
+    #[test]
+    fn id_between_is_between(a in short_key(), b in short_key()) {
+        let alphabet = Alphabet::new(b"012", "test");
+        if let Some(mid) = alphabet.id_between(&a, &b) {
+            prop_assert!(a < mid && mid < b, "{a} < {mid} < {b}");
+            prop_assert!(alphabet.validate(&mid).is_ok());
+        }
+    }
+
+    /// Ring arcs over any four distinct points partition the circle.
+    #[test]
+    fn four_arc_partition(ids in proptest::collection::btree_set(short_key(), 4..5), x in short_key()) {
+        let v: Vec<Key> = ids.into_iter().collect();
+        let arcs = [(&v[3], &v[0]), (&v[0], &v[1]), (&v[1], &v[2]), (&v[2], &v[3])];
+        let hits = arcs.iter().filter(|(a, b)| in_ring_interval(&x, a, b)).count();
+        prop_assert_eq!(hits, 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! The original DLPT placement: tree nodes hashed onto a Chord ring of
+//! peers.
+//!
+//! Figure 2 of the paper shows the 2006 design: every logical tree
+//! node's label is hashed and the node is "mapped on the peer with the
+//! lowest identifier higher than the key" — over *hashed* identifiers,
+//! which scatters lexicographic neighbours uniformly over the peers.
+//! Figure 9 quantifies the cost: with this mapping nearly every tree
+//! edge crosses a peer boundary, while the 2008 paper's lexicographic
+//! mapping keeps subtrees co-located.
+//!
+//! [`RandomMapping`] reproduces that baseline placement for any peer
+//! set, so the simulator can replay one logical route under both
+//! mappings and count physical hops for each.
+
+use crate::hash::ring_hash;
+use dlpt_core::key::Key;
+use std::collections::BTreeMap;
+
+/// Hash-based node→peer placement over a fixed peer set.
+#[derive(Debug, Clone)]
+pub struct RandomMapping {
+    /// Ring of (hash point, peer id), ordered by point.
+    ring: BTreeMap<u64, Key>,
+}
+
+impl RandomMapping {
+    /// Places each peer on the hash ring at the hash of its
+    /// identifier.
+    pub fn new<'a>(peers: impl IntoIterator<Item = &'a Key>) -> Self {
+        let mut ring = BTreeMap::new();
+        for p in peers {
+            ring.insert(ring_hash(p.as_bytes()), p.clone());
+        }
+        RandomMapping { ring }
+    }
+
+    /// Number of distinct ring points (collisions collapse).
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True iff no peer was supplied.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// The peer hosting a tree node under the hashed mapping: the
+    /// first peer point at or after `hash(label)`, wrapping.
+    pub fn host_of(&self, label: &Key) -> Option<&Key> {
+        let h = ring_hash(label.as_bytes());
+        self.ring
+            .range(h..)
+            .next()
+            .or_else(|| self.ring.iter().next())
+            .map(|(_, p)| p)
+    }
+
+    /// Physical hops a logical route costs under this mapping:
+    /// consecutive nodes hosted by different peers.
+    pub fn physical_hops(&self, route: &[Key]) -> usize {
+        route
+            .windows(2)
+            .filter(|w| self.host_of(&w[0]) != self.host_of(&w[1]))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> Key {
+        Key::from(s)
+    }
+
+    fn peers(names: &[&str]) -> Vec<Key> {
+        names.iter().map(|s| k(s)).collect()
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_total() {
+        let ps = peers(&["peerA", "peerB", "peerC", "peerD"]);
+        let m = RandomMapping::new(&ps);
+        assert_eq!(m.len(), 4);
+        for label in ["", "0", "101", "DGEMM", "S3L_mat_mult"] {
+            let h1 = m.host_of(&k(label)).unwrap().clone();
+            let h2 = m.host_of(&k(label)).unwrap().clone();
+            assert_eq!(h1, h2);
+            assert!(ps.contains(&h1));
+        }
+    }
+
+    #[test]
+    fn scatters_lexicographic_neighbours() {
+        // 26 peers; a chain of 40 sibling labels sharing a long prefix
+        // should land on many distinct peers — the locality loss the
+        // paper argues against.
+        let ps: Vec<Key> = (0..26).map(|i| Key::from(format!("peer{i:02}"))).collect();
+        let m = RandomMapping::new(&ps);
+        let mut distinct = std::collections::BTreeSet::new();
+        for i in 0..40 {
+            let label = Key::from(format!("S3L_routine_{i:02}"));
+            distinct.insert(m.host_of(&label).unwrap().clone());
+        }
+        assert!(
+            distinct.len() >= 10,
+            "hashing should scatter: only {} peers hit",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn physical_hops_counts_host_changes() {
+        let ps = peers(&["pA", "pB", "pC", "pD", "pE", "pF", "pG", "pH"]);
+        let m = RandomMapping::new(&ps);
+        let route: Vec<Key> = ["", "1", "10", "101", "1010"].iter().map(|s| k(s)).collect();
+        let hops = m.physical_hops(&route);
+        assert!(hops <= 4);
+        // Same node repeated costs nothing.
+        assert_eq!(m.physical_hops(&[k("x"), k("x"), k("x")]), 0);
+        assert_eq!(m.physical_hops(&[]), 0);
+        assert_eq!(m.physical_hops(&[k("x")]), 0);
+    }
+
+    #[test]
+    fn empty_mapping() {
+        let m = RandomMapping::new(std::iter::empty::<&Key>().collect::<Vec<_>>());
+        assert!(m.is_empty());
+        assert_eq!(m.host_of(&k("x")), None);
+    }
+}

@@ -1,0 +1,88 @@
+//! Arithmetic on the 64-bit identifier circle.
+//!
+//! Chord's correctness arguments are phrased over half-open circular
+//! intervals; getting the wrap cases right once, here, keeps the
+//! protocol code readable.
+
+/// `x ∈ (a, b]` on the circle. When `a == b` the interval is the whole
+/// circle (the single-node degenerate case).
+pub fn in_interval_oc(x: u64, a: u64, b: u64) -> bool {
+    use std::cmp::Ordering::*;
+    match a.cmp(&b) {
+        Less => x > a && x <= b,
+        Greater => x > a || x <= b,
+        Equal => true,
+    }
+}
+
+/// `x ∈ (a, b)` on the circle. When `a == b` the interval is the whole
+/// circle minus the point itself.
+pub fn in_interval_oo(x: u64, a: u64, b: u64) -> bool {
+    use std::cmp::Ordering::*;
+    match a.cmp(&b) {
+        Less => x > a && x < b,
+        Greater => x > a || x < b,
+        Equal => x != a,
+    }
+}
+
+/// `a + 2^k` on the circle — the start of the `k`-th finger interval.
+pub fn finger_start(a: u64, k: u32) -> u64 {
+    a.wrapping_add(1u64.wrapping_shl(k))
+}
+
+/// Clockwise distance from `a` to `b`.
+pub fn distance(a: u64, b: u64) -> u64 {
+    b.wrapping_sub(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oc_linear_and_wrap() {
+        assert!(in_interval_oc(5, 1, 10));
+        assert!(in_interval_oc(10, 1, 10));
+        assert!(!in_interval_oc(1, 1, 10));
+        assert!(!in_interval_oc(11, 1, 10));
+        // Wrap: (u64::MAX - 1, 5]
+        assert!(in_interval_oc(0, u64::MAX - 1, 5));
+        assert!(in_interval_oc(u64::MAX, u64::MAX - 1, 5));
+        assert!(in_interval_oc(5, u64::MAX - 1, 5));
+        assert!(!in_interval_oc(6, u64::MAX - 1, 5));
+        assert!(!in_interval_oc(u64::MAX - 1, u64::MAX - 1, 5));
+    }
+
+    #[test]
+    fn oo_excludes_endpoints() {
+        assert!(in_interval_oo(5, 1, 10));
+        assert!(!in_interval_oo(10, 1, 10));
+        assert!(!in_interval_oo(1, 1, 10));
+        assert!(in_interval_oo(0, 10, 1));
+        assert!(!in_interval_oo(1, 10, 1));
+    }
+
+    #[test]
+    fn degenerate_intervals() {
+        assert!(in_interval_oc(123, 7, 7), "(a,a] is the full circle");
+        assert!(in_interval_oc(7, 7, 7));
+        assert!(in_interval_oo(123, 7, 7));
+        assert!(!in_interval_oo(7, 7, 7), "(a,a) excludes a itself");
+    }
+
+    #[test]
+    fn finger_starts_wrap() {
+        assert_eq!(finger_start(0, 0), 1);
+        assert_eq!(finger_start(0, 63), 1 << 63);
+        assert_eq!(finger_start(u64::MAX, 0), 0);
+        assert_eq!(finger_start(u64::MAX - 1, 1), 0);
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(distance(1, 10), 9);
+        assert_eq!(distance(10, 1), u64::MAX - 8);
+        assert_eq!(distance(5, 5), 0);
+    }
+}

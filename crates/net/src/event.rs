@@ -1,0 +1,152 @@
+//! A deterministic discrete-event queue.
+//!
+//! Events fire in timestamp order; ties break by insertion sequence,
+//! so two runs that push the same events pop the same order — the
+//! property every simulation in this workspace leans on.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulated time in abstract ticks.
+pub type SimTime = u64;
+
+#[derive(Debug)]
+struct Scheduled<T> {
+    at: SimTime,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Scheduled<T> {}
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Min-heap of timestamped events with deterministic tie-breaking.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Scheduled<T>>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+        }
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue at time 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time (time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True iff nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `item` at absolute time `at` (clamped to now).
+    pub fn push_at(&mut self, at: SimTime, item: T) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, item }));
+    }
+
+    /// Schedules `item` `delay` ticks from now.
+    pub fn push_after(&mut self, delay: SimTime, item: T) {
+        self.push_at(self.now.saturating_add(delay), item);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        let Reverse(s) = self.heap.pop()?;
+        self.now = s.at;
+        Some((s.at, s.item))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push_at(30, "c");
+        q.push_at(10, "a");
+        q.push_at(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.now(), 20);
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push_at(5, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn push_after_is_relative() {
+        let mut q = EventQueue::new();
+        q.push_at(100, "x");
+        q.pop();
+        q.push_after(5, "y");
+        assert_eq!(q.pop(), Some((105, "y")));
+    }
+
+    #[test]
+    fn past_schedules_clamp_to_now() {
+        let mut q = EventQueue::new();
+        q.push_at(50, "x");
+        q.pop();
+        q.push_at(10, "late");
+        assert_eq!(q.pop(), Some((50, "late")), "no time travel");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        q.push_at(1, 1);
+        q.push_at(2, 2);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

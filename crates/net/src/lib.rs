@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! # dlpt-net — transports for the DLPT protocol
+//!
+//! The protocol handlers in `dlpt-core::protocol` are pure functions
+//! over one peer shard; this crate supplies the runtimes that carry
+//! their envelopes:
+//!
+//! * [`event`] — a deterministic discrete-event queue;
+//! * [`sim::LatencyNet`] — a message-level simulator that delivers
+//!   envelopes after randomized latencies. Because deliveries
+//!   interleave arbitrarily, it exercises the protocol's tolerance to
+//!   out-of-order messages — something the synchronous FIFO pump of
+//!   `DlptSystem` never does;
+//! * [`codec`] — a length-prefixed binary wire format for every
+//!   protocol message (what a deployment would put on TCP);
+//! * [`threaded::ThreadedDlpt`] — a live in-process runtime: every
+//!   peer is an OS thread, envelopes travel encoded over crossbeam
+//!   channels, and a router thread plays the role the delivery
+//!   directory plays in the simulator. This is the substitution for
+//!   the paper's never-evaluated Grid'5000 prototype (see DESIGN.md).
+
+pub mod codec;
+pub mod event;
+pub mod sim;
+pub mod threaded;
+
+pub use event::EventQueue;
+pub use sim::{LatencyModel, LatencyNet};
+pub use threaded::ThreadedDlpt;

@@ -1,0 +1,485 @@
+//! Message-level simulation with randomized latencies.
+//!
+//! [`LatencyNet`] drives the same protocol handlers as the synchronous
+//! pump, but every envelope is delivered after a sampled delay, so
+//! messages from one operation interleave in arbitrary order. The
+//! protocol is supposed to converge to the same tree regardless — the
+//! tests here check exactly that, against the sequential oracle.
+//!
+//! Peer capacity is not modelled (the experiment harness owns that
+//! concern); this runtime answers the orthogonal question "is the
+//! protocol correct under asynchrony?".
+
+use crate::event::EventQueue;
+use dlpt_core::key::Key;
+use dlpt_core::mapping;
+use dlpt_core::messages::{
+    Address, DiscoveryOutcome, Envelope, JoinPhase, Message, NodeMsg, NodeSeed, PeerMsg,
+    QueryKind,
+};
+use dlpt_core::node::NodeState;
+use dlpt_core::peer::PeerShard;
+use dlpt_core::protocol::{self, discovery, Effects};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// How long a message takes from send to delivery.
+#[derive(Debug, Clone, Copy)]
+pub enum LatencyModel {
+    /// Every message takes exactly this many ticks.
+    Constant(u64),
+    /// Uniformly sampled delay (inclusive bounds).
+    Uniform(u64, u64),
+}
+
+impl LatencyModel {
+    fn sample(&self, rng: &mut StdRng) -> u64 {
+        match self {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::Uniform(lo, hi) => rng.gen_range(*lo..=*hi.max(lo)),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Pending {
+    outstanding: i64,
+    satisfied: bool,
+    results: Vec<Key>,
+}
+
+/// The asynchronous runtime.
+#[derive(Debug)]
+pub struct LatencyNet {
+    shards: BTreeMap<Key, PeerShard>,
+    directory: BTreeMap<Key, Key>,
+    queue: EventQueue<(u32, Envelope)>,
+    latency: LatencyModel,
+    rng: StdRng,
+    pending: BTreeMap<u64, Pending>,
+    finished: BTreeMap<u64, (bool, Vec<Key>)>,
+    next_request: u64,
+    requeue_budget: u32,
+    /// Messages delivered so far.
+    pub deliveries: u64,
+}
+
+impl LatencyNet {
+    /// An empty network.
+    pub fn new(latency: LatencyModel, seed: u64) -> Self {
+        LatencyNet {
+            shards: BTreeMap::new(),
+            directory: BTreeMap::new(),
+            queue: EventQueue::new(),
+            latency,
+            rng: StdRng::seed_from_u64(seed),
+            pending: BTreeMap::new(),
+            finished: BTreeMap::new(),
+            next_request: 1,
+            requeue_budget: 4096,
+            deliveries: 0,
+        }
+    }
+
+    /// Peer count.
+    pub fn peer_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// All node labels, ascending.
+    pub fn node_labels(&self) -> Vec<Key> {
+        self.directory.keys().cloned().collect()
+    }
+
+    /// Every registered service key.
+    pub fn registered_keys(&self) -> Vec<Key> {
+        let mut out: Vec<Key> = self
+            .shards
+            .values()
+            .flat_map(|s| s.nodes.values().flat_map(|n| n.data.iter().cloned()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn send(&mut self, env: Envelope) {
+        let delay = self.latency.sample(&mut self.rng);
+        self.queue.push_after(delay, (0, env));
+    }
+
+    fn random_node(&mut self) -> Option<Key> {
+        if self.directory.is_empty() {
+            return None;
+        }
+        let i = self.rng.gen_range(0..self.directory.len());
+        self.directory.keys().nth(i).cloned()
+    }
+
+    /// Adds a peer, routing the join through the tree, and runs the
+    /// network to quiescence.
+    pub fn add_peer(&mut self, id: Key) {
+        assert!(!self.shards.contains_key(&id), "duplicate peer id");
+        let shard = PeerShard::new(id.clone(), u32::MAX >> 1);
+        if self.shards.is_empty() {
+            self.shards.insert(id, shard);
+            return;
+        }
+        self.shards.insert(id.clone(), shard);
+        match self.random_node() {
+            Some(entry) => self.send(Envelope::to_node(
+                entry,
+                NodeMsg::PeerJoin {
+                    joining: id,
+                    phase: JoinPhase::Up,
+                },
+            )),
+            None => {
+                let contact = self
+                    .shards
+                    .keys()
+                    .find(|k| **k != id)
+                    .cloned()
+                    .expect("another peer exists");
+                self.send(Envelope::to_peer(
+                    contact,
+                    PeerMsg::NewPredecessor { joining: id },
+                ));
+            }
+        }
+        self.run_to_quiescence();
+    }
+
+    /// Registers a key and runs to quiescence.
+    pub fn insert_data(&mut self, key: Key) {
+        assert!(!self.shards.is_empty(), "need at least one peer");
+        match self.random_node() {
+            Some(entry) => {
+                self.send(Envelope::to_node(entry, NodeMsg::DataInsertion { key }))
+            }
+            None => {
+                // First node: seed it through the peer layer; the Host
+                // ring-forwarding places it per the mapping rule.
+                let contact = self.shards.keys().next().cloned().expect("non-empty");
+                self.send(Envelope::to_peer(
+                    contact,
+                    PeerMsg::Host {
+                        seed: NodeSeed {
+                            label: key.clone(),
+                            father: None,
+                            children: Vec::new(),
+                            data: vec![key],
+                        },
+                    },
+                ));
+            }
+        }
+        self.run_to_quiescence();
+    }
+
+    /// Deregisters a key and runs to quiescence.
+    pub fn remove_data(&mut self, key: &Key) {
+        if let Some(entry) = self.random_node() {
+            self.send(Envelope::to_node(
+                entry,
+                NodeMsg::DataRemoval { key: key.clone() },
+            ));
+            self.run_to_quiescence();
+        }
+    }
+
+    /// Exact lookup; returns `(found, results)`.
+    pub fn lookup(&mut self, key: &Key) -> (bool, Vec<Key>) {
+        self.request(QueryKind::Exact(key.clone()))
+    }
+
+    /// Range query.
+    pub fn range(&mut self, lo: &Key, hi: &Key) -> (bool, Vec<Key>) {
+        self.request(QueryKind::Range(lo.clone(), hi.clone()))
+    }
+
+    /// Completion query.
+    pub fn complete(&mut self, prefix: &Key) -> (bool, Vec<Key>) {
+        self.request(QueryKind::Complete(prefix.clone()))
+    }
+
+    fn request(&mut self, query: QueryKind) -> (bool, Vec<Key>) {
+        let Some(entry) = self.random_node() else {
+            return (false, Vec::new());
+        };
+        let id = self.next_request;
+        self.next_request += 1;
+        self.pending.insert(
+            id,
+            Pending {
+                outstanding: 1,
+                satisfied: true,
+                results: Vec::new(),
+            },
+        );
+        self.send(discovery::entry_envelope(entry, id, query));
+        self.run_to_quiescence();
+        self.finished
+            .remove(&id)
+            .unwrap_or((false, Vec::new()))
+    }
+
+    /// Delivers events until none remain.
+    pub fn run_to_quiescence(&mut self) {
+        while let Some((_, (requeues, env))) = self.queue.pop() {
+            self.deliver(requeues, env);
+        }
+    }
+
+    fn requeue(&mut self, requeues: u32, env: Envelope) {
+        if requeues >= self.requeue_budget {
+            panic!("undeliverable under latency: {env:?}");
+        }
+        // Retry shortly; the message that creates the destination is
+        // already in flight.
+        self.queue.push_after(1, (requeues + 1, env));
+    }
+
+    fn deliver(&mut self, requeues: u32, env: Envelope) {
+        self.deliveries += 1;
+        match env.to.clone() {
+            Address::Client(_) => {
+                if let Message::ClientResponse(o) = env.msg {
+                    self.client_response(o);
+                }
+            }
+            Address::Peer(id) => {
+                let new_root = match &env.msg {
+                    Message::Peer(PeerMsg::Host { seed }) if seed.father.is_none() => {
+                        Some(seed.label.clone())
+                    }
+                    _ => None,
+                };
+                let Some(shard) = self.shards.get_mut(&id) else {
+                    self.requeue(requeues, env);
+                    return;
+                };
+                let mut fx = Effects::default();
+                match env.msg {
+                    Message::Peer(m) => protocol::handle_peer_msg(shard, m, &mut fx),
+                    _ => unreachable!("peer address carries peer message"),
+                }
+                let _ = new_root; // root tracking is not needed here
+                self.apply(fx);
+            }
+            Address::Node(label) => {
+                let Some(host) = self.directory.get(&label).cloned() else {
+                    self.requeue(requeues, env);
+                    return;
+                };
+                let Some(shard) = self.shards.get_mut(&host) else {
+                    self.requeue(requeues, env);
+                    return;
+                };
+                if !shard.nodes.contains_key(&label) {
+                    self.requeue(requeues, env);
+                    return;
+                }
+                let mut fx = Effects::default();
+                match env.msg {
+                    Message::Node(m) => {
+                        protocol::handle_node_msg(shard, &label, m, &mut fx)
+                    }
+                    _ => unreachable!("node address carries node message"),
+                }
+                self.apply(fx);
+            }
+        }
+    }
+
+    fn apply(&mut self, fx: Effects) {
+        for (label, host) in fx.relocated {
+            self.directory.insert(label, host);
+        }
+        for label in fx.removed {
+            self.directory.remove(&label);
+        }
+        for env in fx.out {
+            self.send(env);
+        }
+    }
+
+    fn client_response(&mut self, o: DiscoveryOutcome) {
+        let Some(p) = self.pending.get_mut(&o.request_id) else {
+            return;
+        };
+        p.outstanding += o.pending_children as i64 - 1;
+        p.satisfied &= o.satisfied && !o.dropped;
+        p.results.extend(o.results);
+        if p.outstanding <= 0 {
+            let p = self.pending.remove(&o.request_id).expect("present");
+            let mut results = p.results;
+            results.sort();
+            results.dedup();
+            self.finished
+                .insert(o.request_id, (p.satisfied, results));
+        }
+    }
+
+    /// Checks the successor-mapping invariant over the whole network.
+    pub fn check_mapping(&self) -> Result<(), String> {
+        let peers: std::collections::BTreeSet<Key> = self.shards.keys().cloned().collect();
+        for (label, actual) in &self.directory {
+            let expected = mapping::host_of(&peers, label).expect("non-empty");
+            if *actual != expected {
+                return Err(format!(
+                    "node {label} hosted on {actual}, rule demands {expected}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks tree-link consistency (bidirectional father/children and
+    /// the PGCP label property).
+    pub fn check_tree(&self) -> Result<(), String> {
+        let node = |l: &Key| -> Option<&NodeState> {
+            let host = self.directory.get(l)?;
+            self.shards.get(host)?.nodes.get(l)
+        };
+        for shard in self.shards.values() {
+            for n in shard.nodes.values() {
+                if let Some(f) = &n.father {
+                    let father = node(f).ok_or(format!("{}: father {f} missing", n.label))?;
+                    if !father.children.contains(&n.label) {
+                        return Err(format!("{}: father {f} does not list it", n.label));
+                    }
+                }
+                let children: Vec<&Key> = n.children.iter().collect();
+                for c in &children {
+                    let child = node(c).ok_or(format!("{}: child {c} missing", n.label))?;
+                    if child.father.as_ref() != Some(&n.label) {
+                        return Err(format!("{c}: father is not {}", n.label));
+                    }
+                    if !n.label.is_proper_prefix_of(c) {
+                        return Err(format!("{c} does not extend {}", n.label));
+                    }
+                }
+                for (i, a) in children.iter().enumerate() {
+                    for b in &children[i + 1..] {
+                        if a.gcp_len(b) != n.label.len() {
+                            return Err(format!(
+                                "children {a}, {b} of {} violate the PGCP property",
+                                n.label
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlpt_core::alphabet::Alphabet;
+    use dlpt_core::trie::PgcpTrie;
+
+    fn build(latency: LatencyModel, seed: u64, peers: usize, keys: &[&str]) -> LatencyNet {
+        let mut net = LatencyNet::new(latency, seed);
+        let alphabet = Alphabet::grid();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFEED);
+        for _ in 0..peers {
+            loop {
+                let id = alphabet.random_id(&mut rng, 10);
+                if !net.shards.contains_key(&id) {
+                    net.add_peer(id);
+                    break;
+                }
+            }
+        }
+        for k in keys {
+            net.insert_data(Key::from(*k));
+        }
+        net
+    }
+
+    const KEYS: [&str; 10] = [
+        "DGEMM", "DGEMV", "DTRSM", "DTRMM", "SGEMM", "S3L_fft", "S3L_sort", "PSGESV",
+        "PDGEMM", "ZTRSM",
+    ];
+
+    #[test]
+    fn converges_to_oracle_under_uniform_latency() {
+        let mut oracle = PgcpTrie::new();
+        for k in KEYS {
+            oracle.insert(Key::from(k));
+        }
+        for seed in 0..8 {
+            let net = build(LatencyModel::Uniform(1, 50), seed, 8, &KEYS);
+            assert_eq!(
+                net.node_labels(),
+                oracle.labels(),
+                "seed {seed}: async construction must match the oracle"
+            );
+            net.check_tree().unwrap();
+            net.check_mapping().unwrap();
+        }
+    }
+
+    #[test]
+    fn constant_latency_matches_uniform_result() {
+        let a = build(LatencyModel::Constant(1), 3, 6, &KEYS);
+        let b = build(LatencyModel::Uniform(1, 100), 3, 6, &KEYS);
+        assert_eq!(a.node_labels(), b.node_labels());
+        assert_eq!(a.registered_keys(), b.registered_keys());
+    }
+
+    #[test]
+    fn lookups_work_after_async_construction() {
+        let mut net = build(LatencyModel::Uniform(1, 30), 11, 10, &KEYS);
+        for k in KEYS {
+            let (found, results) = net.lookup(&Key::from(k));
+            assert!(found, "{k}");
+            assert_eq!(results, vec![Key::from(k)]);
+        }
+        let (found, _) = net.lookup(&Key::from("MISSING"));
+        assert!(!found);
+    }
+
+    #[test]
+    fn range_and_completion_under_latency() {
+        let mut net = build(LatencyModel::Uniform(1, 30), 13, 6, &KEYS);
+        let (ok, results) = net.complete(&Key::from("S3L"));
+        assert!(ok);
+        assert_eq!(
+            results,
+            vec![Key::from("S3L_fft"), Key::from("S3L_sort")]
+        );
+        let (ok, results) = net.range(&Key::from("D"), &Key::from("E"));
+        assert!(ok);
+        assert_eq!(results.len(), 4, "{results:?}");
+    }
+
+    #[test]
+    fn peers_joining_after_data_keep_invariants() {
+        let mut net = build(LatencyModel::Uniform(1, 40), 17, 4, &KEYS);
+        let alphabet = Alphabet::grid();
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..6 {
+            loop {
+                let id = alphabet.random_id(&mut rng, 10);
+                if !net.shards.contains_key(&id) {
+                    net.add_peer(id);
+                    break;
+                }
+            }
+            net.check_mapping().unwrap();
+            net.check_tree().unwrap();
+        }
+        assert_eq!(net.peer_count(), 10);
+    }
+
+    #[test]
+    fn deliveries_are_counted() {
+        let net = build(LatencyModel::Constant(1), 19, 4, &KEYS[..4]);
+        assert!(net.deliveries > 10);
+    }
+}

@@ -1,0 +1,491 @@
+//! The live threaded runtime: every peer is an OS thread.
+//!
+//! This is the workspace's substitution for the paper's Grid'5000
+//! prototype (announced as future work there): the same protocol
+//! handlers, but each peer shard owned by its own thread, envelopes
+//! travelling as encoded byte frames ([`crate::codec`]) over crossbeam
+//! channels. A router owns the delivery directory (node label →
+//! peer), plays the failure-free network, and aggregates
+//! scatter/gather responses — the role `DlptSystem`'s pump plays in
+//! the simulator.
+//!
+//! Scheduling is nondeterministic; the protocol's convergence is not.
+//! The tests build overlays under real thread interleavings and check
+//! the resulting tree against the sequential oracle.
+//!
+//! Scope: joins, registrations and queries (the live operations a
+//! discovery service serves). Capacity accounting and churn are
+//! experiment-harness concerns and stay in `dlpt-sim`.
+
+use crate::codec::{decode, encode};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use dlpt_core::alphabet::Alphabet;
+use dlpt_core::key::Key;
+use dlpt_core::messages::{
+    Address, DiscoveryOutcome, Envelope, JoinPhase, Message, NodeMsg, NodeSeed, PeerMsg,
+    QueryKind,
+};
+use dlpt_core::peer::PeerShard;
+use dlpt_core::protocol::{self, discovery, Effects};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Message to a peer thread.
+enum ToPeer {
+    /// Deliver a frame; `retries` echoes back on failure.
+    Frame { retries: u32, frame: Bytes },
+    /// Terminate the thread.
+    Shutdown,
+}
+
+/// Reply from a peer thread to the router.
+struct PeerReply {
+    /// Encoded outgoing envelopes.
+    frames: Vec<Bytes>,
+    /// Directory updates.
+    relocated: Vec<(Key, Key)>,
+    /// Nodes that dissolved (removal protocol).
+    removed: Vec<Key>,
+    /// A frame the peer could not handle yet (node not hosted here),
+    /// with its retry count.
+    undelivered: Option<(u32, Bytes)>,
+}
+
+/// Counters shared with the peer threads.
+#[derive(Debug, Default)]
+pub struct ThreadedStats {
+    /// Frames handled by peer threads.
+    pub frames_handled: Mutex<u64>,
+    /// Frames bounced back for retry.
+    pub frames_bounced: Mutex<u64>,
+}
+
+/// A live DLPT overlay over OS threads.
+pub struct ThreadedDlpt {
+    alphabet: Alphabet,
+    rng: StdRng,
+    directory: BTreeMap<Key, Key>,
+    peers: HashMap<Key, Sender<ToPeer>>,
+    handles: Vec<JoinHandle<PeerShard>>,
+    reply_tx: Sender<PeerReply>,
+    reply_rx: Receiver<PeerReply>,
+    queue: VecDeque<(u32, Bytes)>,
+    inflight: usize,
+    next_request: u64,
+    /// Shared counters.
+    pub stats: Arc<ThreadedStats>,
+    retry_budget: u32,
+}
+
+impl ThreadedDlpt {
+    /// An empty live overlay.
+    pub fn new(alphabet: Alphabet, seed: u64) -> Self {
+        let (reply_tx, reply_rx) = unbounded();
+        ThreadedDlpt {
+            alphabet,
+            rng: StdRng::seed_from_u64(seed),
+            directory: BTreeMap::new(),
+            peers: HashMap::new(),
+            handles: Vec::new(),
+            reply_tx,
+            reply_rx,
+            queue: VecDeque::new(),
+            inflight: 0,
+            next_request: 1,
+            stats: Arc::new(ThreadedStats::default()),
+            retry_budget: 10_000,
+        }
+    }
+
+    /// Number of live peer threads.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// All node labels, ascending.
+    pub fn node_labels(&self) -> Vec<Key> {
+        self.directory.keys().cloned().collect()
+    }
+
+    fn spawn_peer(&mut self, id: Key) {
+        let (tx, rx) = unbounded::<ToPeer>();
+        let reply = self.reply_tx.clone();
+        let stats = Arc::clone(&self.stats);
+        let shard_id = id.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("peer-{shard_id}"))
+            .spawn(move || peer_loop(PeerShard::new(shard_id, u32::MAX >> 1), rx, reply, stats))
+            .expect("spawn peer thread");
+        self.peers.insert(id, tx);
+        self.handles.push(handle);
+    }
+
+    /// Joins a peer under a fresh random identifier; returns it.
+    pub fn add_peer(&mut self) -> Key {
+        let id = loop {
+            let id = self.alphabet.random_id(&mut self.rng, 12);
+            if !self.peers.contains_key(&id) {
+                break id;
+            }
+        };
+        self.add_peer_with_id(id.clone());
+        id
+    }
+
+    /// Joins a peer under a chosen identifier, routing through the
+    /// tree when one exists.
+    pub fn add_peer_with_id(&mut self, id: Key) {
+        assert!(!self.peers.contains_key(&id), "duplicate peer id");
+        let first = self.peers.is_empty();
+        self.spawn_peer(id.clone());
+        if first {
+            return;
+        }
+        let env = match self.random_node() {
+            Some(entry) => Envelope::to_node(
+                entry,
+                NodeMsg::PeerJoin {
+                    joining: id,
+                    phase: JoinPhase::Up,
+                },
+            ),
+            None => {
+                let contact = self
+                    .peers
+                    .keys()
+                    .find(|k| **k != id)
+                    .cloned()
+                    .expect("another peer exists");
+                Envelope::to_peer(contact, PeerMsg::NewPredecessor { joining: id })
+            }
+        };
+        self.queue.push_back((0, encode(&env)));
+        self.run_to_quiescence(|_| {});
+    }
+
+    fn random_node(&mut self) -> Option<Key> {
+        if self.directory.is_empty() {
+            return None;
+        }
+        let i = self.rng.gen_range(0..self.directory.len());
+        self.directory.keys().nth(i).cloned()
+    }
+
+    /// Registers a service key.
+    pub fn insert_data(&mut self, key: impl Into<Key>) {
+        let key = key.into();
+        assert!(!self.peers.is_empty(), "need at least one peer");
+        let env = match self.random_node() {
+            Some(entry) => Envelope::to_node(entry, NodeMsg::DataInsertion { key }),
+            None => {
+                let contact = self.peers.keys().next().cloned().expect("non-empty");
+                Envelope::to_peer(
+                    contact,
+                    PeerMsg::Host {
+                        seed: NodeSeed {
+                            label: key.clone(),
+                            father: None,
+                            children: Vec::new(),
+                            data: vec![key],
+                        },
+                    },
+                )
+            }
+        };
+        self.queue.push_back((0, encode(&env)));
+        self.run_to_quiescence(|_| {});
+    }
+
+    /// Deregisters a service key.
+    pub fn remove_data(&mut self, key: &Key) {
+        if let Some(entry) = self.random_node() {
+            let env = Envelope::to_node(entry, NodeMsg::DataRemoval { key: key.clone() });
+            self.queue.push_back((0, encode(&env)));
+            self.run_to_quiescence(|_| {});
+        }
+    }
+
+    /// Exact lookup; returns `(found, results)`.
+    pub fn lookup(&mut self, key: &Key) -> (bool, Vec<Key>) {
+        self.request(QueryKind::Exact(key.clone()))
+    }
+
+    /// Automatic completion of a partial string.
+    pub fn complete(&mut self, prefix: &Key) -> (bool, Vec<Key>) {
+        self.request(QueryKind::Complete(prefix.clone()))
+    }
+
+    /// Range query over `[lo, hi]`.
+    pub fn range(&mut self, lo: &Key, hi: &Key) -> (bool, Vec<Key>) {
+        self.request(QueryKind::Range(lo.clone(), hi.clone()))
+    }
+
+    fn request(&mut self, query: QueryKind) -> (bool, Vec<Key>) {
+        let Some(entry) = self.random_node() else {
+            return (false, Vec::new());
+        };
+        let id = self.next_request;
+        self.next_request += 1;
+        let env = discovery::entry_envelope(entry, id, query);
+        self.queue.push_back((0, encode(&env)));
+        let mut outstanding = 1i64;
+        let mut satisfied = true;
+        let mut results = Vec::new();
+        self.run_to_quiescence(|o: &DiscoveryOutcome| {
+            if o.request_id == id {
+                outstanding += o.pending_children as i64 - 1;
+                satisfied &= o.satisfied && !o.dropped;
+                results.extend(o.results.iter().cloned());
+            }
+        });
+        debug_assert!(outstanding <= 0 || results.is_empty());
+        results.sort();
+        results.dedup();
+        (satisfied && outstanding <= 0, results)
+    }
+
+    /// Pumps the router until no frame is queued or in flight.
+    ///
+    /// Frames whose destination is not resolvable yet (a node still in
+    /// flight between peers) are parked until the next peer reply —
+    /// only replies can change the directory, so spinning on the queue
+    /// would burn retries without progress.
+    fn run_to_quiescence(&mut self, mut on_outcome: impl FnMut(&DiscoveryOutcome)) {
+        let mut parked: VecDeque<(u32, Bytes)> = VecDeque::new();
+        loop {
+            while let Some((retries, frame)) = self.queue.pop_front() {
+                if let Some(deferred) = self.dispatch(retries, frame, &mut on_outcome) {
+                    parked.push_back(deferred);
+                }
+            }
+            if self.inflight == 0 {
+                if parked.is_empty() {
+                    return;
+                }
+                // Nothing in flight can unblock the parked frames.
+                let (retries, frame) = parked.front().expect("non-empty");
+                let env = decode(frame).expect("self-produced");
+                panic!(
+                    "deadlock: {} frame(s) parked after {retries} rounds, first: {:?}",
+                    parked.len(),
+                    env.to
+                );
+            }
+            let reply = self.reply_rx.recv().expect("peer threads alive");
+            self.inflight -= 1;
+            for (label, host) in reply.relocated {
+                self.directory.insert(label, host);
+            }
+            for label in reply.removed {
+                self.directory.remove(&label);
+            }
+            for f in reply.frames {
+                self.queue.push_back((0, f));
+            }
+            if let Some((retries, frame)) = reply.undelivered {
+                if retries >= self.retry_budget {
+                    panic!("frame undeliverable after {retries} retries");
+                }
+                self.queue.push_back((retries + 1, frame));
+            }
+            // The directory may have changed: parked frames get
+            // another chance.
+            while let Some((retries, frame)) = parked.pop_front() {
+                self.queue.push_back((retries + 1, frame));
+            }
+        }
+    }
+
+    /// Tries to deliver one frame. Returns the frame when its
+    /// destination cannot be resolved yet.
+    fn dispatch(
+        &mut self,
+        retries: u32,
+        frame: Bytes,
+        on_outcome: &mut impl FnMut(&DiscoveryOutcome),
+    ) -> Option<(u32, Bytes)> {
+        let env = decode(&frame).expect("frames are self-produced");
+        match env.to {
+            Address::Client(_) => {
+                if let Message::ClientResponse(o) = env.msg {
+                    on_outcome(&o);
+                }
+                None
+            }
+            Address::Peer(id) => match self.peers.get(&id) {
+                Some(tx) => {
+                    tx.send(ToPeer::Frame { retries, frame }).expect("peer alive");
+                    self.inflight += 1;
+                    None
+                }
+                None => Some((retries, frame)),
+            },
+            Address::Node(label) => match self.directory.get(&label) {
+                Some(host) => {
+                    let tx = self.peers.get(host).expect("directory points at peers");
+                    tx.send(ToPeer::Frame { retries, frame }).expect("peer alive");
+                    self.inflight += 1;
+                    None
+                }
+                None => Some((retries, frame)),
+            },
+        }
+    }
+
+    /// Stops every peer thread and returns their final shards
+    /// (for inspection/validation).
+    pub fn shutdown(mut self) -> Vec<PeerShard> {
+        for tx in self.peers.values() {
+            let _ = tx.send(ToPeer::Shutdown);
+        }
+        self.handles
+            .drain(..)
+            .map(|h| h.join().expect("peer thread exits cleanly"))
+            .collect()
+    }
+}
+
+/// The peer thread: decode, handle, encode, reply.
+fn peer_loop(
+    mut shard: PeerShard,
+    rx: Receiver<ToPeer>,
+    reply: Sender<PeerReply>,
+    stats: Arc<ThreadedStats>,
+) -> PeerShard {
+    while let Ok(msg) = rx.recv() {
+        let (retries, frame) = match msg {
+            ToPeer::Shutdown => break,
+            ToPeer::Frame { retries, frame } => (retries, frame),
+        };
+        let env = decode(&frame).expect("router sends valid frames");
+        let mut fx = Effects::default();
+        let undelivered = match &env.msg {
+            Message::Node(_) => {
+                let Address::Node(label) = &env.to else {
+                    unreachable!("node message to node address")
+                };
+                if shard.nodes.contains_key(label) {
+                    let Message::Node(m) = env.msg else { unreachable!() };
+                    protocol::handle_node_msg(&mut shard, label, m, &mut fx);
+                    None
+                } else {
+                    // Not hosted here (migration or creation still in
+                    // flight): bounce back for retry.
+                    *stats.frames_bounced.lock() += 1;
+                    Some((retries, frame))
+                }
+            }
+            Message::Peer(_) => {
+                let Message::Peer(m) = env.msg else { unreachable!() };
+                protocol::handle_peer_msg(&mut shard, m, &mut fx);
+                None
+            }
+            Message::ClientResponse(_) => None, // router handles these
+        };
+        *stats.frames_handled.lock() += 1;
+        let frames: Vec<Bytes> = fx.out.iter().map(encode).collect();
+        reply
+            .send(PeerReply {
+                frames,
+                relocated: fx.relocated,
+                removed: fx.removed,
+                undelivered,
+            })
+            .expect("router alive");
+    }
+    shard
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlpt_core::trie::PgcpTrie;
+
+    const KEYS: [&str; 12] = [
+        "DGEMM", "DGEMV", "DTRSM", "DTRMM", "SGEMM", "SGEMV", "S3L_fft", "S3L_sort",
+        "PSGESV", "PDGEMM", "ZTRSM", "CAXPY",
+    ];
+
+    fn live(seed: u64, peers: usize, keys: &[&str]) -> ThreadedDlpt {
+        let mut net = ThreadedDlpt::new(Alphabet::grid(), seed);
+        for _ in 0..peers {
+            net.add_peer();
+        }
+        for k in keys {
+            net.insert_data(*k);
+        }
+        net
+    }
+
+    #[test]
+    fn threads_build_the_oracle_tree() {
+        let mut oracle = PgcpTrie::new();
+        for k in KEYS {
+            oracle.insert(Key::from(k));
+        }
+        let net = live(1, 6, &KEYS);
+        assert_eq!(net.node_labels(), oracle.labels());
+        let shards = net.shutdown();
+        assert_eq!(shards.len(), 6);
+        let total_nodes: usize = shards.iter().map(|s| s.node_count()).sum();
+        assert_eq!(total_nodes, oracle.labels().len());
+    }
+
+    #[test]
+    fn live_lookups_and_queries() {
+        let mut net = live(2, 5, &KEYS);
+        for k in KEYS {
+            let (found, results) = net.lookup(&Key::from(k));
+            assert!(found, "{k}");
+            assert_eq!(results, vec![Key::from(k)]);
+        }
+        let (found, _) = net.lookup(&Key::from("NOPE"));
+        assert!(!found);
+        let (ok, results) = net.complete(&Key::from("S3L"));
+        assert!(ok);
+        assert_eq!(results.len(), 2);
+        let (ok, results) = net.range(&Key::from("D"), &Key::from("E"));
+        assert!(ok);
+        assert_eq!(results.len(), 4);
+        net.shutdown();
+    }
+
+    #[test]
+    fn peers_can_join_after_data() {
+        let mut net = live(3, 3, &KEYS[..6]);
+        for _ in 0..4 {
+            net.add_peer();
+        }
+        assert_eq!(net.peer_count(), 7);
+        for k in &KEYS[..6] {
+            assert!(net.lookup(&Key::from(*k)).0, "{k}");
+        }
+        // Mapping invariant over the final shards.
+        let labels = net.node_labels();
+        let shards = net.shutdown();
+        let peers: std::collections::BTreeSet<Key> =
+            shards.iter().map(|s| s.peer.id.clone()).collect();
+        for shard in &shards {
+            for label in shard.nodes.keys() {
+                let expected = dlpt_core::mapping::host_of(&peers, label).unwrap();
+                assert_eq!(
+                    expected, shard.peer.id,
+                    "node {label} on wrong peer"
+                );
+            }
+        }
+        assert_eq!(labels.len(), shards.iter().map(|s| s.node_count()).sum::<usize>());
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let net = live(4, 4, &KEYS[..4]);
+        assert!(*net.stats.frames_handled.lock() > 0);
+        net.shutdown();
+    }
+}

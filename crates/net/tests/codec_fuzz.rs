@@ -1,0 +1,60 @@
+//! Fuzz-style robustness of the wire codec: arbitrary byte soup must
+//! decode to an error, never panic, and valid frames must survive any
+//! reframing.
+
+use dlpt_net::codec::{decode, encode};
+use dlpt_core::key::Key;
+use dlpt_core::messages::{Envelope, NodeMsg, PeerMsg};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes never panic the decoder.
+    #[test]
+    fn arbitrary_bytes_do_not_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode(&bytes);
+    }
+
+    /// Corrupting any single byte of a valid frame yields either an
+    /// error or a (different or equal) well-formed envelope — never a
+    /// panic.
+    #[test]
+    fn single_byte_corruption_is_safe(pos_seed in any::<usize>(), val in any::<u8>(), key in "[01]{1,12}") {
+        let env = Envelope::to_node(
+            Key::from(key.as_str()),
+            NodeMsg::DataInsertion { key: Key::from(key.as_str()) },
+        );
+        let mut frame = encode(&env).to_vec();
+        let pos = pos_seed % frame.len();
+        frame[pos] = val;
+        let _ = decode(&frame);
+    }
+
+    /// Concatenated frames decode individually after splitting on the
+    /// length prefix (stream framing works).
+    #[test]
+    fn stream_framing(keys in proptest::collection::vec("[01]{1,10}", 1..6)) {
+        let envs: Vec<Envelope> = keys
+            .iter()
+            .map(|k| Envelope::to_peer(
+                Key::from(k.as_str()),
+                PeerMsg::UpdateSuccessor { succ: Key::from(k.as_str()) },
+            ))
+            .collect();
+        let mut stream = Vec::new();
+        for e in &envs {
+            stream.extend_from_slice(&encode(e));
+        }
+        // Re-split using the length prefixes.
+        let mut at = 0usize;
+        let mut decoded = Vec::new();
+        while at < stream.len() {
+            let len = u32::from_le_bytes(stream[at..at + 4].try_into().unwrap()) as usize;
+            let frame = &stream[at..at + 4 + len];
+            decoded.push(decode(frame).unwrap());
+            at += 4 + len;
+        }
+        prop_assert_eq!(decoded, envs);
+    }
+}

@@ -1,0 +1,379 @@
+//! One constructor per figure/table of the paper's evaluation.
+//!
+//! Figures 4–8 are built from [`ExperimentConfig`]s (three curves:
+//! MLT, KC, No LB); Figure 9 replays routes under both mappings inside
+//! a single MLT experiment; Table 1 aggregates steady-state gains over
+//! a load sweep; Table 2 measures the implemented PHT and P-Grid
+//! comparators against the DLPT on an identical corpus.
+
+use crate::config::{ExperimentConfig, LbKind, PopKind};
+use crate::runner::{gain_pct, run_experiment, AveragedSeries};
+use dlpt_baselines::pgrid::PGrid;
+use dlpt_baselines::pht::{PhtConfig, PrefixHashTree};
+use dlpt_core::key::Key;
+use dlpt_core::messages::QueryKind;
+use dlpt_core::system::DlptSystem;
+use dlpt_workloads::churn::ChurnModel;
+use dlpt_workloads::corpus::Corpus;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The three load-balancing curves every satisfaction figure compares.
+pub fn lb_variants() -> Vec<LbKind> {
+    vec![
+        LbKind::Mlt { fraction: 1.0 },
+        LbKind::Kc { k: 4 },
+        LbKind::None,
+    ]
+}
+
+/// Base config for the satisfaction figures (4–7): 100 peers, grid
+/// corpus (~1000 nodes), 50 units with the tree growing over the
+/// first 10, 30 runs.
+fn satisfaction_config(name: &str, lb: LbKind, load: f64, churn: ChurnModel) -> ExperimentConfig {
+    ExperimentConfig {
+        name: format!("{name}-{}", lb.label()),
+        load,
+        churn,
+        lb,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Figure 4: stable network, low load.
+pub fn fig4_configs() -> Vec<ExperimentConfig> {
+    lb_variants()
+        .into_iter()
+        .map(|lb| satisfaction_config("fig4", lb, 0.10, ChurnModel::stable()))
+        .collect()
+}
+
+/// Figure 5: stable network, high load ("overload": a very high
+/// number of requests to stress the system).
+pub fn fig5_configs() -> Vec<ExperimentConfig> {
+    lb_variants()
+        .into_iter()
+        .map(|lb| satisfaction_config("fig5", lb, 0.80, ChurnModel::stable()))
+        .collect()
+}
+
+/// Figure 6: dynamic network (10% of peers replaced per unit), low
+/// load.
+pub fn fig6_configs() -> Vec<ExperimentConfig> {
+    lb_variants()
+        .into_iter()
+        .map(|lb| satisfaction_config("fig6", lb, 0.10, ChurnModel::dynamic()))
+        .collect()
+}
+
+/// Figure 7: dynamic network, high load.
+pub fn fig7_configs() -> Vec<ExperimentConfig> {
+    lb_variants()
+        .into_iter()
+        .map(|lb| satisfaction_config("fig7", lb, 0.80, ChurnModel::dynamic()))
+        .collect()
+}
+
+/// Figure 8: dynamic network with hot spots — 160 units, 50 runs;
+/// uniform traffic, then an "S3L" burst at unit 40, a ScaLAPACK "P"
+/// burst at 80, uniform again from 120.
+pub fn fig8_configs() -> Vec<ExperimentConfig> {
+    lb_variants()
+        .into_iter()
+        .map(|lb| {
+            let mut cfg =
+                satisfaction_config("fig8", lb, 0.16, ChurnModel::dynamic());
+            cfg.time_units = 160;
+            cfg.runs = 50;
+            cfg.popularity = PopKind::Figure8 { hot_fraction: 0.85 };
+            cfg
+        })
+        .collect()
+}
+
+/// Figure 9: communication gain of the lexicographic mapping — one
+/// MLT experiment over the Figure 8 timeline, 100 runs, replaying
+/// every satisfied route under the hash (random) mapping as well.
+pub fn fig9_config() -> ExperimentConfig {
+    let mut cfg = satisfaction_config(
+        "fig9",
+        LbKind::Mlt { fraction: 1.0 },
+        0.16,
+        ChurnModel::dynamic(),
+    );
+    cfg.time_units = 160;
+    cfg.runs = 100;
+    cfg.popularity = PopKind::Figure8 { hot_fraction: 0.85 };
+    cfg.track_mapping_hops = true;
+    cfg
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Load as a fraction of the aggregated capacity.
+    pub load: f64,
+    /// MLT gain over No-LB, stable network (percent).
+    pub stable_mlt: f64,
+    /// KC gain over No-LB, stable network.
+    pub stable_kc: f64,
+    /// MLT gain over No-LB, dynamic network.
+    pub dynamic_mlt: f64,
+    /// KC gain over No-LB, dynamic network.
+    pub dynamic_kc: f64,
+}
+
+/// The paper's Table 1 load column.
+pub const TABLE1_LOADS: [f64; 6] = [0.05, 0.10, 0.16, 0.24, 0.40, 0.80];
+
+/// Computes one Table 1 row (six experiments: 3 strategies × 2
+/// networks). `shrink` scales runs/peers down for quick passes
+/// (1 = full scale).
+pub fn table1_row(load: f64, shrink: usize) -> Table1Row {
+    let mut gains = [0.0f64; 4];
+    for (i, churn) in [ChurnModel::stable(), ChurnModel::dynamic()]
+        .into_iter()
+        .enumerate()
+    {
+        let series: Vec<AveragedSeries> = lb_variants()
+            .into_iter()
+            .map(|lb| {
+                let mut cfg = satisfaction_config("table1", lb, load, churn);
+                if shrink > 1 {
+                    cfg = cfg.scaled_down(shrink);
+                    // Keep the timeline: gains need a steady state.
+                    cfg.time_units = 30;
+                    cfg.growth_units = 10;
+                }
+                run_experiment(&cfg)
+            })
+            .collect();
+        // Order per lb_variants(): MLT, KC, None.
+        gains[2 * i] = gain_pct(&series[0], &series[2]);
+        gains[2 * i + 1] = gain_pct(&series[1], &series[2]);
+    }
+    Table1Row {
+        load,
+        stable_mlt: gains[0],
+        stable_kc: gains[1],
+        dynamic_mlt: gains[2],
+        dynamic_kc: gains[3],
+    }
+}
+
+/// One row of Table 2 — measured, with the paper's asymptotic claims
+/// alongside.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// System name.
+    pub system: &'static str,
+    /// Mean overlay routing hops per exact lookup (physical messages).
+    pub routing_hops: f64,
+    /// Mean logical tree levels visited per lookup (where distinct).
+    pub logical_levels: f64,
+    /// Mean local state per peer (routing + tree references).
+    pub local_state: f64,
+    /// The paper's tree-routing complexity claim.
+    pub theory_routing: &'static str,
+    /// The paper's local-state complexity claim.
+    pub theory_state: &'static str,
+}
+
+/// Measures Table 2 on an identical corpus: `peers` peers, a
+/// `keys`-key spread of the grid corpus, `lookups` random exact
+/// lookups per system.
+pub fn table2_measure(peers: usize, keys: usize, lookups: usize, seed: u64) -> Vec<Table2Row> {
+    let corpus: Vec<Key> = Corpus::grid().take_spread(keys);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // --- DLPT ---------------------------------------------------------
+    let mut sys = DlptSystem::builder()
+        .seed(seed)
+        .peer_id_len(12)
+        .bootstrap_peers(peers)
+        .build();
+    for k in &corpus {
+        sys.insert_data(k.clone()).expect("ring non-empty");
+    }
+    let mut dlpt_logical = 0.0;
+    let mut dlpt_physical = 0.0;
+    for _ in 0..lookups {
+        let key = &corpus[rng.gen_range(0..corpus.len())];
+        let out = sys
+            .request(QueryKind::Exact(key.clone()))
+            .expect("tree non-empty");
+        dlpt_logical += out.logical_hops() as f64;
+        dlpt_physical += out.physical_hops() as f64;
+        sys.end_time_unit();
+    }
+    let dlpt_state: f64 = {
+        let ids = sys.peer_ids();
+        let total: usize = ids
+            .iter()
+            .filter_map(|p| sys.shard(p))
+            .map(|s| {
+                2 + s
+                    .nodes
+                    .values()
+                    .map(|n| n.children.len() + usize::from(n.father.is_some()))
+                    .sum::<usize>()
+            })
+            .sum();
+        total as f64 / ids.len() as f64
+    };
+
+    // --- PHT ----------------------------------------------------------
+    let mut pht = PrefixHashTree::new(
+        PhtConfig {
+            leaf_capacity: 4,
+            depth_bytes: 24,
+            succ_list_len: 4,
+        },
+        peers,
+        seed ^ 0x9E37,
+    );
+    for k in &corpus {
+        pht.insert(k);
+    }
+    let before = (pht.stats.dht_hops, pht.stats.vertex_accesses);
+    let mut pht_levels = 0.0;
+    for _ in 0..lookups {
+        let key = &corpus[rng.gen_range(0..corpus.len())];
+        let (found, levels) = pht.lookup(key);
+        debug_assert!(found);
+        pht_levels += levels as f64;
+    }
+    let pht_hops = (pht.stats.dht_hops - before.0) as f64 / lookups as f64;
+    let _accesses = (pht.stats.vertex_accesses - before.1) as f64 / lookups as f64;
+    let pht_state: f64 = {
+        // Chord routing state per node: distinct fingers + successor
+        // list + stored trie vertices.
+        let ids = pht.dht.ids();
+        let total: usize = ids
+            .iter()
+            .filter_map(|id| pht.dht.node(*id))
+            .map(|n| {
+                let mut fingers: Vec<u64> = n.fingers.clone();
+                fingers.sort_unstable();
+                fingers.dedup();
+                fingers.len() + n.succ_list.len() + n.store.len()
+            })
+            .sum();
+        total as f64 / ids.len() as f64
+    };
+
+    // --- P-Grid -------------------------------------------------------
+    let mut pgrid = PGrid::build(&corpus, peers, 2, 24, seed ^ 0x51D);
+    let mut pgrid_hops = 0.0;
+    for _ in 0..lookups {
+        let key = &corpus[rng.gen_range(0..corpus.len())];
+        let (found, hops) = pgrid.lookup(key);
+        debug_assert!(found);
+        pgrid_hops += hops as f64;
+    }
+
+    vec![
+        Table2Row {
+            system: "P-Grid",
+            routing_hops: pgrid_hops / lookups as f64,
+            logical_levels: pgrid_hops / lookups as f64,
+            local_state: pgrid.mean_state(),
+            theory_routing: "O(log |Pi|)",
+            theory_state: "O(log |Pi|)",
+        },
+        Table2Row {
+            system: "PHT",
+            routing_hops: pht_hops,
+            logical_levels: pht_levels / lookups as f64,
+            local_state: pht_state,
+            theory_routing: "O(D log P)",
+            theory_state: "|N|/|P| * |A|",
+        },
+        Table2Row {
+            system: "DLPT",
+            routing_hops: dlpt_physical / lookups as f64,
+            logical_levels: dlpt_logical / lookups as f64,
+            local_state: dlpt_state,
+            theory_routing: "O(D)",
+            theory_state: "|N|/|P| * |A|",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_configs_have_three_curves() {
+        for figs in [
+            fig4_configs(),
+            fig5_configs(),
+            fig6_configs(),
+            fig7_configs(),
+            fig8_configs(),
+        ] {
+            assert_eq!(figs.len(), 3);
+            let labels: Vec<&str> = figs.iter().map(|c| c.lb.label()).collect();
+            assert_eq!(labels, vec!["MLT", "KC", "NoLB"]);
+        }
+    }
+
+    #[test]
+    fn figure_parameters_match_paper() {
+        let f4 = &fig4_configs()[0];
+        assert_eq!(f4.time_units, 50);
+        assert_eq!(f4.runs, 30);
+        assert_eq!(f4.peers, 100);
+        let f8 = &fig8_configs()[0];
+        assert_eq!(f8.time_units, 160);
+        assert_eq!(f8.runs, 50);
+        assert!(matches!(f8.popularity, PopKind::Figure8 { .. }));
+        let f9 = fig9_config();
+        assert_eq!(f9.runs, 100);
+        assert!(f9.track_mapping_hops);
+        assert_eq!(TABLE1_LOADS.len(), 6);
+    }
+
+    #[test]
+    fn table2_shapes_hold_on_small_instance() {
+        let rows = table2_measure(24, 120, 60, 42);
+        assert_eq!(rows.len(), 3);
+        let by_name = |n: &str| rows.iter().find(|r| r.system == n).unwrap().clone();
+        let (pgrid, pht, dlpt) = (by_name("P-Grid"), by_name("PHT"), by_name("DLPT"));
+        // The headline claim: DLPT's physical routing beats PHT's
+        // DHT-amplified descent.
+        assert!(
+            dlpt.routing_hops < pht.routing_hops,
+            "DLPT {} vs PHT {}",
+            dlpt.routing_hops,
+            pht.routing_hops
+        );
+        // P-Grid routes in O(log Pi) — single digits here.
+        assert!(pgrid.routing_hops < 15.0);
+        // Everyone keeps some state.
+        assert!(dlpt.local_state > 0.0);
+        assert!(pht.local_state > 0.0);
+        assert!(pgrid.local_state > 0.0);
+    }
+
+    #[test]
+    #[ignore = "multi-minute full-scale sweep; run explicitly"]
+    fn table1_row_full_scale() {
+        let row = table1_row(0.10, 1);
+        assert!(row.stable_mlt > 0.0);
+    }
+
+    #[test]
+    fn table1_row_scaled_down_is_finite() {
+        let row = table1_row(0.16, 8);
+        for g in [
+            row.stable_mlt,
+            row.stable_kc,
+            row.dynamic_mlt,
+            row.dynamic_kc,
+        ] {
+            assert!(g.is_finite());
+        }
+    }
+}

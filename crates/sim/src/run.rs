@@ -1,0 +1,313 @@
+//! One seeded run of the Section-4 loop.
+//!
+//! "Each time unit is composed of several steps. (1) If MLT is
+//! enabled, a fixed fraction of the peers executes the MLT load
+//! balancing. (2) A fixed fraction of peers join the system (applying
+//! the KC algorithm if enabled […]). (3) A fixed fraction of peers
+//! leaves the system. (4) A fixed fraction of new services are added
+//! in the tree (possibly resulting in the creation of new nodes).
+//! (5) Discovery requests are sent to the tree (and results on the
+//! number of satisfied discovery requests are collected)."
+
+use crate::config::ExperimentConfig;
+use dlpt_core::key::Key;
+use dlpt_core::messages::QueryKind;
+use dlpt_core::system::DlptSystem;
+use dlpt_dht::mapping::RandomMapping;
+use dlpt_workloads::capacity::CapacityModel;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Raw measurements of one time unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UnitMetrics {
+    /// Requests issued.
+    pub issued: u64,
+    /// Requests that reached their destination ("satisfied").
+    pub satisfied: u64,
+    /// Requests ignored by an exhausted peer.
+    pub dropped: u64,
+    /// Requests whose key had no node (should be 0: only registered
+    /// keys are requested).
+    pub not_found: u64,
+    /// Σ logical hops over satisfied requests.
+    pub logical_hops_sum: u64,
+    /// Σ physical hops (lexicographic mapping) over satisfied requests.
+    pub physical_lexico_sum: u64,
+    /// Σ physical hops (random/DHT mapping replay) over satisfied
+    /// requests; only filled when `track_mapping_hops` is set.
+    pub physical_random_sum: u64,
+    /// Number of requests contributing to the hop sums.
+    pub hop_samples: u64,
+    /// Peers alive at the end of the unit.
+    pub peers: usize,
+    /// Tree nodes at the end of the unit.
+    pub nodes: usize,
+    /// Node migrations the balancer performed this unit.
+    pub migrations: u64,
+}
+
+impl UnitMetrics {
+    /// Percentage of satisfied requests — the y-axis of Figures 4–8.
+    pub fn satisfaction_pct(&self) -> f64 {
+        if self.issued == 0 {
+            100.0
+        } else {
+            100.0 * self.satisfied as f64 / self.issued as f64
+        }
+    }
+
+    /// Mean logical hops per satisfied request (Figure 9).
+    pub fn mean_logical_hops(&self) -> f64 {
+        if self.hop_samples == 0 {
+            0.0
+        } else {
+            self.logical_hops_sum as f64 / self.hop_samples as f64
+        }
+    }
+
+    /// Mean physical hops, lexicographic mapping (Figure 9).
+    pub fn mean_physical_lexico(&self) -> f64 {
+        if self.hop_samples == 0 {
+            0.0
+        } else {
+            self.physical_lexico_sum as f64 / self.hop_samples as f64
+        }
+    }
+
+    /// Mean physical hops, random mapping replay (Figure 9).
+    pub fn mean_physical_random(&self) -> f64 {
+        if self.hop_samples == 0 {
+            0.0
+        } else {
+            self.physical_random_sum as f64 / self.hop_samples as f64
+        }
+    }
+}
+
+/// All units of one run.
+#[derive(Debug, Clone, Default)]
+pub struct RunResult {
+    /// Per-unit metrics, index = time unit.
+    pub units: Vec<UnitMetrics>,
+}
+
+impl RunResult {
+    /// Total satisfied requests over units `[skip..]` — Table 1's
+    /// aggregate (growth period excluded).
+    pub fn total_satisfied(&self, skip: usize) -> u64 {
+        self.units.iter().skip(skip).map(|u| u.satisfied).sum()
+    }
+
+    /// Total issued requests over units `[skip..]`.
+    pub fn total_issued(&self, skip: usize) -> u64 {
+        self.units.iter().skip(skip).map(|u| u.issued).sum()
+    }
+}
+
+/// Executes one seeded run of the experiment.
+pub fn run_once(cfg: &ExperimentConfig, run_idx: usize) -> RunResult {
+    let seed = cfg.base_seed.wrapping_add(run_idx as u64);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+    let mut corpus = cfg.corpus.build(&mut rng);
+    corpus.shuffle(&mut rng);
+
+    let mut sys = DlptSystem::builder()
+        .alphabet(cfg.corpus.alphabet())
+        .seed(seed)
+        .peer_id_len(cfg.peer_id_len)
+        .build();
+    let capacities = CapacityModel {
+        base: cfg.base_capacity,
+        ratio: cfg.capacity_ratio,
+    };
+    let mut lb = cfg.lb.build();
+    for _ in 0..cfg.peers {
+        let cap = capacities.draw(&mut rng);
+        let id = lb.choose_join_id(&sys, &mut rng, cap);
+        sys.add_peer_with_id(id, cap)
+            .expect("bootstrap identifiers are fresh");
+    }
+
+    let mut pop = cfg.popularity.build();
+    let per_unit_growth = corpus.len().div_ceil(cfg.growth_units.max(1) as usize);
+    let mut next_key = 0usize;
+    let mut live_keys: Vec<Key> = Vec::with_capacity(corpus.len());
+
+    let mut units = Vec::with_capacity(cfg.time_units as usize);
+    for t in 0..cfg.time_units {
+        let migrations_before = sys.stats.balance_migrations;
+
+        // (1) Load balancing on recent history.
+        lb.before_unit(&mut sys, &mut rng);
+
+        // (2) Joins.
+        let joins = cfg.churn.joins(sys.peer_count(), &mut rng);
+        for _ in 0..joins {
+            let cap = capacities.draw(&mut rng);
+            let id = lb.choose_join_id(&sys, &mut rng, cap);
+            sys.add_peer_with_id(id, cap).expect("join id is fresh");
+        }
+
+        // (3) Leaves (graceful; never the last peer).
+        let leaves = cfg.churn.leaves(sys.peer_count(), &mut rng);
+        for _ in 0..leaves {
+            let ids = sys.peer_ids();
+            if ids.len() <= 1 {
+                break;
+            }
+            let victim = ids[rng.gen_range(0..ids.len())].clone();
+            sys.leave_peer(&victim).expect("victim is live");
+        }
+
+        // (4) Service registrations (tree growth).
+        let goal = if t + 1 >= cfg.growth_units {
+            corpus.len()
+        } else {
+            ((t as usize + 1) * per_unit_growth).min(corpus.len())
+        };
+        while next_key < goal {
+            let key = corpus[next_key].clone();
+            sys.insert_data(key.clone()).expect("ring is non-empty");
+            live_keys.push(key);
+            next_key += 1;
+        }
+
+        // (5) Discovery requests.
+        let aggregate: u64 = sys
+            .peer_ids()
+            .iter()
+            .filter_map(|p| sys.shard(p))
+            .map(|s| s.peer.capacity as u64)
+            .sum();
+        let n_requests =
+            (cfg.load * aggregate as f64 / cfg.route_cost.max(1.0)).round() as usize;
+        let random_map = cfg
+            .track_mapping_hops
+            .then(|| RandomMapping::new(&sys.peer_ids()));
+
+        let mut m = UnitMetrics::default();
+        if !live_keys.is_empty() {
+            for _ in 0..n_requests {
+                let key = &live_keys[pop.pick(&live_keys, &mut rng, t)];
+                let Ok(out) = sys.request(QueryKind::Exact(key.clone())) else {
+                    continue;
+                };
+                m.issued += 1;
+                if out.satisfied {
+                    m.satisfied += 1;
+                    m.hop_samples += 1;
+                    m.logical_hops_sum += out.logical_hops() as u64;
+                    m.physical_lexico_sum += out.physical_hops() as u64;
+                    if let Some(rm) = &random_map {
+                        m.physical_random_sum += rm.physical_hops(&out.path) as u64;
+                    }
+                } else if out.dropped {
+                    m.dropped += 1;
+                } else {
+                    m.not_found += 1;
+                }
+            }
+        }
+        m.peers = sys.peer_count();
+        m.nodes = sys.node_count();
+        m.migrations = sys.stats.balance_migrations - migrations_before;
+        sys.end_time_unit();
+        units.push(m);
+    }
+    RunResult { units }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CorpusKind, LbKind, PopKind};
+    use dlpt_workloads::churn::ChurnModel;
+
+    fn tiny(lb: LbKind) -> ExperimentConfig {
+        ExperimentConfig {
+            name: "tiny".into(),
+            peers: 12,
+            corpus: CorpusKind::GridSubset(60),
+            time_units: 8,
+            growth_units: 3,
+            load: 0.10,
+            route_cost: 1.0,
+            base_capacity: 10,
+            capacity_ratio: 4,
+            churn: ChurnModel::stable(),
+            lb,
+            popularity: PopKind::Uniform,
+            runs: 2,
+            base_seed: 99,
+            peer_id_len: 8,
+            track_mapping_hops: true,
+        }
+    }
+
+    #[test]
+    fn run_produces_full_series() {
+        let res = run_once(&tiny(LbKind::None), 0);
+        assert_eq!(res.units.len(), 8);
+        for (t, u) in res.units.iter().enumerate() {
+            assert!(u.issued > 0, "unit {t} issued nothing");
+            assert!(u.satisfied + u.dropped + u.not_found == u.issued);
+            assert!(u.peers >= 11);
+        }
+        // Tree fully grown after growth_units.
+        assert!(res.units[3].nodes >= 60);
+        assert_eq!(res.units.last().unwrap().nodes, res.units[3].nodes);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_once(&tiny(LbKind::Mlt { fraction: 1.0 }), 1);
+        let b = run_once(&tiny(LbKind::Mlt { fraction: 1.0 }), 1);
+        assert_eq!(a.units, b.units);
+        let c = run_once(&tiny(LbKind::Mlt { fraction: 1.0 }), 2);
+        assert_ne!(a.units, c.units, "different seeds differ");
+    }
+
+    #[test]
+    fn mlt_runs_migrate_nodes() {
+        let res = run_once(&tiny(LbKind::Mlt { fraction: 1.0 }), 0);
+        let total: u64 = res.units.iter().map(|u| u.migrations).sum();
+        assert!(total > 0, "MLT should move nodes under load");
+    }
+
+    #[test]
+    fn kc_runs_complete_under_churn() {
+        let mut cfg = tiny(LbKind::Kc { k: 4 });
+        cfg.churn = ChurnModel::dynamic();
+        let res = run_once(&cfg, 0);
+        assert_eq!(res.units.len(), 8);
+        assert!(res.total_issued(0) > 0);
+    }
+
+    #[test]
+    fn hotspot_workload_runs() {
+        let mut cfg = tiny(LbKind::Mlt { fraction: 1.0 });
+        cfg.popularity = PopKind::Figure8 { hot_fraction: 0.9 };
+        cfg.time_units = 12;
+        let res = run_once(&cfg, 0);
+        assert_eq!(res.units.len(), 12);
+    }
+
+    #[test]
+    fn hop_tracking_fills_random_mapping() {
+        let res = run_once(&tiny(LbKind::None), 3);
+        let any_random: u64 = res.units.iter().map(|u| u.physical_random_sum).sum();
+        let any_lex: u64 = res.units.iter().map(|u| u.physical_lexico_sum).sum();
+        let logical: u64 = res.units.iter().map(|u| u.logical_hops_sum).sum();
+        assert!(any_random > 0);
+        assert!(any_lex <= logical, "lexico physical ≤ logical");
+    }
+
+    #[test]
+    fn totals_skip_growth() {
+        let res = run_once(&tiny(LbKind::None), 0);
+        assert!(res.total_satisfied(3) <= res.total_satisfied(0));
+        assert!(res.total_issued(3) > 0);
+    }
+}

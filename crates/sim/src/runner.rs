@@ -1,0 +1,214 @@
+//! Multi-run execution and averaging.
+//!
+//! "Each simulation were repeated 30, 50 or 100 times, to have some
+//! relevant results." Runs are independent (seed = base + index), so
+//! they distribute over a thread pool without affecting results.
+
+use crate::config::ExperimentConfig;
+use crate::run::{run_once, RunResult};
+
+/// Per-unit series averaged over all runs of one experiment.
+#[derive(Debug, Clone, Default)]
+pub struct AveragedSeries {
+    /// Experiment name (copied from the config).
+    pub name: String,
+    /// Time axis (unit indices).
+    pub time: Vec<u32>,
+    /// Mean satisfaction percentage per unit (Figures 4–8).
+    pub satisfaction: Vec<f64>,
+    /// Mean logical hops per satisfied request (Figure 9).
+    pub logical_hops: Vec<f64>,
+    /// Mean physical hops, lexicographic mapping (Figure 9).
+    pub physical_lexico: Vec<f64>,
+    /// Mean physical hops, random-mapping replay (Figure 9).
+    pub physical_random: Vec<f64>,
+    /// Mean live peers per unit.
+    pub peers: Vec<f64>,
+    /// Mean tree nodes per unit.
+    pub nodes: Vec<f64>,
+    /// Mean balancer migrations per unit.
+    pub migrations: Vec<f64>,
+    /// Total satisfied requests per run (averaged), growth excluded —
+    /// the quantity Table 1's gains compare.
+    pub steady_satisfied: f64,
+    /// Total issued requests per run (averaged), growth excluded.
+    pub steady_issued: f64,
+    /// Number of runs averaged.
+    pub runs: usize,
+}
+
+impl AveragedSeries {
+    /// Mean satisfaction over the steady-state units (growth period
+    /// excluded).
+    pub fn steady_satisfaction(&self) -> f64 {
+        if self.steady_issued == 0.0 {
+            0.0
+        } else {
+            100.0 * self.steady_satisfied / self.steady_issued
+        }
+    }
+}
+
+/// Runs every seed of the experiment (in parallel) and averages.
+pub fn run_experiment(cfg: &ExperimentConfig) -> AveragedSeries {
+    let results = run_all(cfg);
+    average(cfg, &results)
+}
+
+/// Runs all seeds, returning the raw per-run results (kept public for
+/// statistical post-processing in the benches).
+pub fn run_all(cfg: &ExperimentConfig) -> Vec<RunResult> {
+    let runs = cfg.runs.max(1);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(runs);
+    if workers <= 1 {
+        return (0..runs).map(|i| run_once(cfg, i)).collect();
+    }
+    let mut results: Vec<Option<RunResult>> = vec![None; runs];
+    let chunks: Vec<Vec<usize>> = (0..workers)
+        .map(|w| (0..runs).filter(|i| i % workers == w).collect())
+        .collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|idxs| {
+                scope.spawn(move || {
+                    idxs.into_iter()
+                        .map(|i| (i, run_once(cfg, i)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("runner thread panicked") {
+                results[i] = Some(r);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every index filled"))
+        .collect()
+}
+
+/// Averages run results into per-unit series.
+pub fn average(cfg: &ExperimentConfig, results: &[RunResult]) -> AveragedSeries {
+    let units = cfg.time_units as usize;
+    let runs = results.len().max(1) as f64;
+    let skip = cfg.growth_units as usize;
+    let mut out = AveragedSeries {
+        name: cfg.name.clone(),
+        time: (0..cfg.time_units).collect(),
+        satisfaction: vec![0.0; units],
+        logical_hops: vec![0.0; units],
+        physical_lexico: vec![0.0; units],
+        physical_random: vec![0.0; units],
+        peers: vec![0.0; units],
+        nodes: vec![0.0; units],
+        migrations: vec![0.0; units],
+        steady_satisfied: 0.0,
+        steady_issued: 0.0,
+        runs: results.len(),
+    };
+    for r in results {
+        for (t, u) in r.units.iter().enumerate() {
+            out.satisfaction[t] += u.satisfaction_pct() / runs;
+            out.logical_hops[t] += u.mean_logical_hops() / runs;
+            out.physical_lexico[t] += u.mean_physical_lexico() / runs;
+            out.physical_random[t] += u.mean_physical_random() / runs;
+            out.peers[t] += u.peers as f64 / runs;
+            out.nodes[t] += u.nodes as f64 / runs;
+            out.migrations[t] += u.migrations as f64 / runs;
+        }
+        out.steady_satisfied += r.total_satisfied(skip) as f64 / runs;
+        out.steady_issued += r.total_issued(skip) as f64 / runs;
+    }
+    out
+}
+
+/// Table 1's gain: percentage improvement of `candidate` over
+/// `baseline` in steady-state satisfied requests.
+pub fn gain_pct(candidate: &AveragedSeries, baseline: &AveragedSeries) -> f64 {
+    if baseline.steady_satisfied == 0.0 {
+        return 0.0;
+    }
+    100.0 * (candidate.steady_satisfied - baseline.steady_satisfied) / baseline.steady_satisfied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CorpusKind, LbKind, PopKind};
+    use dlpt_workloads::churn::ChurnModel;
+
+    fn tiny(runs: usize) -> ExperimentConfig {
+        ExperimentConfig {
+            name: "tiny".into(),
+            peers: 10,
+            corpus: CorpusKind::GridSubset(50),
+            time_units: 6,
+            growth_units: 2,
+            load: 0.10,
+            route_cost: 9.0,
+            base_capacity: 10,
+            capacity_ratio: 4,
+            churn: ChurnModel::none(),
+            lb: LbKind::None,
+            popularity: PopKind::Uniform,
+            runs,
+            base_seed: 5,
+            peer_id_len: 8,
+            track_mapping_hops: false,
+        }
+    }
+
+    #[test]
+    fn averaging_matches_manual_computation() {
+        let cfg = tiny(3);
+        let results = run_all(&cfg);
+        let avg = average(&cfg, &results);
+        assert_eq!(avg.runs, 3);
+        assert_eq!(avg.satisfaction.len(), 6);
+        let manual: f64 = results
+            .iter()
+            .map(|r| r.units[4].satisfaction_pct())
+            .sum::<f64>()
+            / 3.0;
+        assert!((avg.satisfaction[4] - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let cfg = tiny(4);
+        let parallel = run_all(&cfg);
+        let sequential: Vec<_> = (0..4).map(|i| run_once(&cfg, i)).collect();
+        for (p, s) in parallel.iter().zip(&sequential) {
+            assert_eq!(p.units, s.units);
+        }
+    }
+
+    #[test]
+    fn gain_is_relative_difference() {
+        let base = AveragedSeries {
+            steady_satisfied: 100.0,
+            ..Default::default()
+        };
+        let cand = AveragedSeries {
+            steady_satisfied: 150.0,
+            ..Default::default()
+        };
+        assert!((gain_pct(&cand, &base) - 50.0).abs() < 1e-9);
+        let zero = AveragedSeries::default();
+        assert_eq!(gain_pct(&cand, &zero), 0.0);
+    }
+
+    #[test]
+    fn steady_satisfaction_ratio() {
+        let cfg = tiny(2);
+        let avg = run_experiment(&cfg);
+        let s = avg.steady_satisfaction();
+        assert!((0.0..=100.0).contains(&s), "{s}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Heterogeneous peer capacities.
+//!
+//! Section 4: "the capacity of a peer refers to the maximum number of
+//! requests processed by it during one time unit … The ratio between
+//! the most and the least powerful peers is 4." Capacities are fixed
+//! for a peer's lifetime ("the peers capacity does not change over
+//! time").
+
+use rand::{Rng, RngCore};
+
+/// Draws peer capacities uniformly from `[base, base * ratio]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityModel {
+    /// Capacity of the least powerful peer.
+    pub base: u32,
+    /// Max/min capacity ratio (paper: 4).
+    pub ratio: u32,
+}
+
+impl CapacityModel {
+    /// The paper's heterogeneity: ratio 4 over the given base.
+    pub fn paper(base: u32) -> Self {
+        CapacityModel { base, ratio: 4 }
+    }
+
+    /// A homogeneous platform (used by the ablation benches, and the
+    /// assumption the paper criticizes PHT/P-Grid for making).
+    pub fn homogeneous(capacity: u32) -> Self {
+        CapacityModel {
+            base: capacity,
+            ratio: 1,
+        }
+    }
+
+    /// Draws one capacity.
+    pub fn draw(&self, rng: &mut dyn RngCore) -> u32 {
+        let hi = self.base.saturating_mul(self.ratio);
+        if hi <= self.base {
+            return self.base;
+        }
+        rng.gen_range(self.base..=hi)
+    }
+
+    /// Expected capacity of one peer.
+    pub fn expected(&self) -> f64 {
+        (self.base as f64 + (self.base * self.ratio) as f64) / 2.0
+    }
+
+    /// Expected aggregated capacity of `n` peers — the denominator of
+    /// Table 1's load percentages.
+    pub fn expected_aggregate(&self, n: usize) -> f64 {
+        self.expected() * n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ratio_four_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = CapacityModel::paper(25);
+        let draws: Vec<u32> = (0..1000).map(|_| m.draw(&mut rng)).collect();
+        let min = *draws.iter().min().unwrap();
+        let max = *draws.iter().max().unwrap();
+        assert!(min >= 25);
+        assert!(max <= 100);
+        // Both ends of the range actually occur.
+        assert!(min < 30, "{min}");
+        assert!(max > 95, "{max}");
+    }
+
+    #[test]
+    fn homogeneous_is_constant() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = CapacityModel::homogeneous(40);
+        for _ in 0..100 {
+            assert_eq!(m.draw(&mut rng), 40);
+        }
+        assert_eq!(m.expected(), 40.0);
+    }
+
+    #[test]
+    fn expected_aggregate_scales() {
+        let m = CapacityModel::paper(20);
+        // E = (20 + 80) / 2 = 50 per peer.
+        assert_eq!(m.expected(), 50.0);
+        assert_eq!(m.expected_aggregate(100), 5000.0);
+    }
+
+    #[test]
+    fn draw_is_deterministic_per_seed() {
+        let m = CapacityModel::paper(25);
+        let a: Vec<u32> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| m.draw(&mut rng)).collect()
+        };
+        let b: Vec<u32> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| m.draw(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

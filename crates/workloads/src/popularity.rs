@@ -1,0 +1,309 @@
+//! Popularity models: how discovery requests pick their targets.
+//!
+//! "During first experiments, services requested were randomly picked
+//! among the set of available services" (uniform). The hot-spot
+//! experiment (Figure 8) switches, on a schedule, to bursts aimed at
+//! lexicographically clustered families ("S3L…" then "P…"); and the
+//! related-work discussion motivates skew in general — [`Zipf`] is
+//! provided for the ablation benches.
+
+use dlpt_core::key::Key;
+use rand::{Rng, RngCore};
+
+/// Picks the target of one request at simulated time `time`.
+pub trait Popularity {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+    /// Index of the requested key within `keys`.
+    fn pick(&mut self, keys: &[Key], rng: &mut dyn RngCore, time: u32) -> usize;
+}
+
+/// Uniform choice over the registered services.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Uniform;
+
+impl Popularity for Uniform {
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+    fn pick(&mut self, keys: &[Key], rng: &mut dyn RngCore, _time: u32) -> usize {
+        rng.gen_range(0..keys.len())
+    }
+}
+
+/// Zipf-distributed choice: rank `r` (0-based) drawn with probability
+/// ∝ `1/(r+1)^s`. Ranks map to key indices directly (the corpus order
+/// is already arbitrary with respect to popularity).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Skew parameter (`s = 0` degenerates to uniform).
+    pub s: f64,
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A Zipf model with skew `s`.
+    pub fn new(s: f64) -> Self {
+        Zipf { s, cdf: Vec::new() }
+    }
+
+    fn ensure_cdf(&mut self, n: usize) {
+        if self.cdf.len() == n {
+            return;
+        }
+        let mut acc = 0.0;
+        self.cdf = (0..n)
+            .map(|r| {
+                acc += 1.0 / ((r + 1) as f64).powf(self.s);
+                acc
+            })
+            .collect();
+        let total = acc;
+        for v in &mut self.cdf {
+            *v /= total;
+        }
+    }
+}
+
+impl Popularity for Zipf {
+    fn name(&self) -> &'static str {
+        "zipf"
+    }
+    fn pick(&mut self, keys: &[Key], rng: &mut dyn RngCore, _time: u32) -> usize {
+        self.ensure_cdf(keys.len());
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|c| *c < u).min(keys.len() - 1)
+    }
+}
+
+/// One phase of a [`HotspotSchedule`].
+#[derive(Debug, Clone)]
+pub struct Phase {
+    /// First time unit of the phase (inclusive).
+    pub from: u32,
+    /// End of the phase (exclusive).
+    pub to: u32,
+    /// Hot prefix; `None` means uniform traffic.
+    pub hot_prefix: Option<Key>,
+    /// Fraction of requests aimed at the hot region (rest uniform).
+    pub hot_fraction: f64,
+}
+
+impl Phase {
+    /// A uniform-traffic phase.
+    pub fn uniform(from: u32, to: u32) -> Self {
+        Phase {
+            from,
+            to,
+            hot_prefix: None,
+            hot_fraction: 0.0,
+        }
+    }
+
+    /// A burst phase: `fraction` of requests target keys extending
+    /// `prefix`.
+    pub fn burst(from: u32, to: u32, prefix: impl Into<Key>, fraction: f64) -> Self {
+        Phase {
+            from,
+            to,
+            hot_prefix: Some(prefix.into()),
+            hot_fraction: fraction.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// The Figure 8 workload: a timeline of phases, each either uniform or
+/// bursting onto one lexicographic region.
+#[derive(Debug, Clone)]
+pub struct HotspotSchedule {
+    phases: Vec<Phase>,
+    /// (prefix, indices) cache; corpora are immutable during a run.
+    cache: Vec<(Key, Vec<usize>)>,
+}
+
+impl HotspotSchedule {
+    /// Builds a schedule from phases (checked for ordering).
+    pub fn new(phases: Vec<Phase>) -> Self {
+        assert!(!phases.is_empty(), "schedule needs at least one phase");
+        for w in phases.windows(2) {
+            assert!(
+                w[0].to <= w[1].from,
+                "phases must be ordered and non-overlapping"
+            );
+        }
+        HotspotSchedule {
+            phases,
+            cache: Vec::new(),
+        }
+    }
+
+    /// The paper's Figure 8 timeline: uniform until 40, "S3L" burst
+    /// over [40, 80), ScaLAPACK "P" burst over [80, 120), uniform
+    /// again for the last 40 units.
+    pub fn figure8(hot_fraction: f64) -> Self {
+        HotspotSchedule::new(vec![
+            Phase::uniform(0, 40),
+            Phase::burst(40, 80, "S3L", hot_fraction),
+            Phase::burst(80, 120, "P", hot_fraction),
+            Phase::uniform(120, u32::MAX),
+        ])
+    }
+
+    fn phase_at(&self, time: u32) -> &Phase {
+        self.phases
+            .iter()
+            .find(|p| time >= p.from && time < p.to)
+            .unwrap_or_else(|| self.phases.last().expect("non-empty"))
+    }
+
+    fn hot_indices(&mut self, keys: &[Key], prefix: &Key) -> &[usize] {
+        if let Some(pos) = self.cache.iter().position(|(p, _)| p == prefix) {
+            return &self.cache[pos].1;
+        }
+        let idx: Vec<usize> = keys
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| prefix.is_prefix_of(k))
+            .map(|(i, _)| i)
+            .collect();
+        self.cache.push((prefix.clone(), idx));
+        &self.cache.last().expect("just pushed").1
+    }
+
+    /// The phase boundaries, for chart annotations.
+    pub fn boundaries(&self) -> Vec<u32> {
+        self.phases.iter().map(|p| p.from).collect()
+    }
+}
+
+impl Popularity for HotspotSchedule {
+    fn name(&self) -> &'static str {
+        "hotspot"
+    }
+
+    fn pick(&mut self, keys: &[Key], rng: &mut dyn RngCore, time: u32) -> usize {
+        let phase = self.phase_at(time).clone();
+        if let Some(prefix) = &phase.hot_prefix {
+            if rng.gen_bool(phase.hot_fraction) {
+                let hot = self.hot_indices(keys, prefix);
+                if !hot.is_empty() {
+                    let i = rng.gen_range(0..hot.len());
+                    return hot[i];
+                }
+            }
+        }
+        rng.gen_range(0..keys.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keys() -> Vec<Key> {
+        Corpus::grid().keys
+    }
+
+    #[test]
+    fn uniform_covers_the_corpus() {
+        let ks = keys();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut pop = Uniform;
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..5000 {
+            seen.insert(pop.pick(&ks, &mut rng, 0));
+        }
+        assert!(seen.len() > ks.len() / 2);
+        assert!(seen.iter().all(|i| *i < ks.len()));
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let ks = keys();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut pop = Zipf::new(1.2);
+        let mut counts = vec![0u32; ks.len()];
+        for _ in 0..20_000 {
+            counts[pop.pick(&ks, &mut rng, 0)] += 1;
+        }
+        let head: u32 = counts[..10].iter().sum();
+        let tail: u32 = counts[ks.len() - 10..].iter().sum();
+        assert!(
+            head > 10 * tail.max(1),
+            "Zipf head {head} should dwarf tail {tail}"
+        );
+    }
+
+    #[test]
+    fn zipf_zero_skew_is_roughly_uniform() {
+        let ks: Vec<Key> = (0..50).map(|i| Key::from(format!("K{i:02}"))).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut pop = Zipf::new(0.0);
+        let mut counts = vec![0u32; ks.len()];
+        for _ in 0..50_000 {
+            counts[pop.pick(&ks, &mut rng, 0)] += 1;
+        }
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(max < 2 * min, "spread {min}..{max} too wide for s=0");
+    }
+
+    #[test]
+    fn figure8_schedule_bursts_in_order() {
+        let ks = keys();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut pop = HotspotSchedule::figure8(0.9);
+        let s3l = Key::from("S3L");
+        let p = Key::from("P");
+
+        let frac_with_prefix = |pop: &mut HotspotSchedule,
+                                rng: &mut StdRng,
+                                time: u32,
+                                prefix: &Key| {
+            let hits = (0..2000)
+                .filter(|_| prefix.is_prefix_of(&ks[pop.pick(&ks, rng, time)]))
+                .count();
+            hits as f64 / 2000.0
+        };
+
+        // Uniform phase: S3L's natural share is small (~5%).
+        assert!(frac_with_prefix(&mut pop, &mut rng, 10, &s3l) < 0.2);
+        // S3L burst phase.
+        assert!(frac_with_prefix(&mut pop, &mut rng, 60, &s3l) > 0.8);
+        // ScaLAPACK burst phase.
+        assert!(frac_with_prefix(&mut pop, &mut rng, 100, &p) > 0.8);
+        assert!(frac_with_prefix(&mut pop, &mut rng, 100, &s3l) < 0.2);
+        // Back to uniform.
+        assert!(frac_with_prefix(&mut pop, &mut rng, 140, &s3l) < 0.2);
+    }
+
+    #[test]
+    fn schedule_falls_back_to_last_phase() {
+        let mut pop = HotspotSchedule::new(vec![Phase::uniform(0, 10)]);
+        let ks = keys();
+        let mut rng = StdRng::seed_from_u64(5);
+        // Time beyond the last phase end: still answers.
+        let i = pop.pick(&ks, &mut rng, 1000);
+        assert!(i < ks.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn overlapping_phases_rejected() {
+        HotspotSchedule::new(vec![Phase::uniform(0, 20), Phase::uniform(10, 30)]);
+    }
+
+    #[test]
+    fn burst_on_absent_prefix_degrades_to_uniform() {
+        let ks: Vec<Key> = (0..20).map(|i| Key::from(format!("K{i:02}"))).collect();
+        let mut pop = HotspotSchedule::new(vec![Phase::burst(0, 10, "ZZZ", 1.0)]);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..100 {
+            let i = pop.pick(&ks, &mut rng, 5);
+            assert!(i < ks.len());
+        }
+    }
+}

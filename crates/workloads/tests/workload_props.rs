@@ -1,0 +1,70 @@
+//! Property tests of the workload generators.
+
+use dlpt_core::key::Key;
+use dlpt_workloads::capacity::CapacityModel;
+use dlpt_workloads::churn::ChurnModel;
+use dlpt_workloads::popularity::{HotspotSchedule, Phase, Popularity, Uniform, Zipf};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Capacities always honour the [base, base*ratio] bounds.
+    #[test]
+    fn capacity_bounds(base in 1u32..1000, ratio in 1u32..8, seed in any::<u64>()) {
+        let m = CapacityModel { base, ratio };
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let c = m.draw(&mut rng);
+            prop_assert!(c >= base);
+            prop_assert!(c <= base.saturating_mul(ratio));
+        }
+    }
+
+    /// Churn leave counts never exceed peers - 1.
+    #[test]
+    fn churn_never_empties(frac in 0.0f64..3.0, peers in 0usize..200, seed in any::<u64>()) {
+        let m = ChurnModel { join_fraction: frac, leave_fraction: frac };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let leaves = m.leaves(peers, &mut rng);
+        prop_assert!(leaves <= peers.saturating_sub(1));
+    }
+
+    /// Every popularity model returns in-bounds indices for any corpus.
+    #[test]
+    fn popularity_in_bounds(
+        n in 1usize..200,
+        s in 0.0f64..2.5,
+        frac in 0.0f64..1.0,
+        time in any::<u32>(),
+        seed in any::<u64>(),
+    ) {
+        let keys: Vec<Key> = (0..n).map(|i| Key::from(format!("K{i:03}"))).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut models: Vec<Box<dyn Popularity>> = vec![
+            Box::new(Uniform),
+            Box::new(Zipf::new(s)),
+            Box::new(HotspotSchedule::new(vec![Phase::burst(0, u32::MAX, "K0", frac)])),
+        ];
+        for m in models.iter_mut() {
+            for _ in 0..10 {
+                let i = m.pick(&keys, &mut rng, time);
+                prop_assert!(i < keys.len(), "{} out of bounds", m.name());
+            }
+        }
+    }
+
+    /// Zipf with identical seeds is reproducible.
+    #[test]
+    fn zipf_deterministic(s in 0.1f64..2.0, seed in any::<u64>()) {
+        let keys: Vec<Key> = (0..50).map(|i| Key::from(format!("K{i:02}"))).collect();
+        let sample = |sd| {
+            let mut rng = StdRng::seed_from_u64(sd);
+            let mut z = Zipf::new(s);
+            (0..20).map(|_| z.pick(&keys, &mut rng, 0)).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(sample(seed), sample(seed));
+    }
+}

@@ -1,0 +1,115 @@
+//! Answer parity across the three trie overlays: DLPT, PHT and P-Grid
+//! must return the same answers on identical corpora — Table 2
+//! compares their *costs*, which is only meaningful if they do the
+//! same work.
+
+use dlpt::baselines::pht::{PhtConfig, PrefixHashTree};
+use dlpt::baselines::PGrid;
+use dlpt::core::{DlptSystem, Key};
+use dlpt::workloads::corpus::Corpus;
+
+fn corpus() -> Vec<Key> {
+    Corpus::grid().take_spread(150)
+}
+
+fn dlpt_with(keys: &[Key]) -> DlptSystem {
+    let mut sys = DlptSystem::builder().seed(31).bootstrap_peers(12).build();
+    for k in keys {
+        sys.insert_data(k.clone()).unwrap();
+    }
+    sys
+}
+
+fn pht_with(keys: &[Key]) -> PrefixHashTree {
+    let mut pht = PrefixHashTree::new(
+        PhtConfig {
+            leaf_capacity: 4,
+            depth_bytes: 24,
+            succ_list_len: 4,
+        },
+        12,
+        31,
+    );
+    for k in keys {
+        pht.insert(k);
+    }
+    pht
+}
+
+fn pgrid_with(keys: &[Key]) -> PGrid {
+    PGrid::build(keys, 12, 2, 24, 31)
+}
+
+#[test]
+fn exact_lookup_parity() {
+    let keys = corpus();
+    let mut dlpt = dlpt_with(&keys);
+    let mut pht = pht_with(&keys);
+    let mut pgrid = pgrid_with(&keys);
+    for k in &keys {
+        assert!(dlpt.lookup(k).found, "DLPT misses {k}");
+        assert!(pht.lookup(k).0, "PHT misses {k}");
+        assert!(pgrid.lookup(k).0, "P-Grid misses {k}");
+    }
+    for absent in ["NOPE", "DGEMM_X", "S3L_"] {
+        let k = Key::from(absent);
+        let d = dlpt.lookup(&k).found;
+        let p = pht.lookup(&k).0;
+        let g = pgrid.lookup(&k).0;
+        assert_eq!((d, p, g), (false, false, false), "{absent}");
+    }
+}
+
+#[test]
+fn range_query_parity() {
+    let keys = corpus();
+    let mut dlpt = dlpt_with(&keys);
+    let mut pht = pht_with(&keys);
+    let mut pgrid = pgrid_with(&keys);
+    for (lo, hi) in [
+        ("D", "E"),
+        ("DGEMM", "DTRSM"),
+        ("P", "Q"),
+        ("S3L_a", "S3L_z"),
+        ("A", "ZZZZ"),
+        ("ZZ", "ZZZ"),
+    ] {
+        let (lo, hi) = (Key::from(lo), Key::from(hi));
+        let want: Vec<Key> = keys
+            .iter()
+            .filter(|k| **k >= lo && **k <= hi)
+            .cloned()
+            .collect();
+        let mut want = want;
+        want.sort();
+        assert_eq!(dlpt.range(&lo, &hi).results, want, "DLPT range {lo}..{hi}");
+        assert_eq!(pht.range(&lo, &hi), want, "PHT range {lo}..{hi}");
+        assert_eq!(pgrid.range(&lo, &hi).0, want, "P-Grid range {lo}..{hi}");
+    }
+}
+
+#[test]
+fn dlpt_routing_beats_pht_on_identical_corpus() {
+    // The Table 2 claim, asserted as an inequality on mean physical
+    // hops per lookup over the same keys and peer count.
+    let keys = corpus();
+    let mut dlpt = dlpt_with(&keys);
+    let mut pht = pht_with(&keys);
+    let mut dlpt_hops = 0usize;
+    for k in keys.iter().step_by(3) {
+        dlpt_hops += dlpt.lookup(k).physical_hops();
+        dlpt.end_time_unit();
+    }
+    let before = pht.stats.dht_hops;
+    let mut lookups = 0u64;
+    for k in keys.iter().step_by(3) {
+        pht.lookup(k);
+        lookups += 1;
+    }
+    let pht_hops = (pht.stats.dht_hops - before) as f64 / lookups as f64;
+    let dlpt_hops = dlpt_hops as f64 / lookups as f64;
+    assert!(
+        dlpt_hops < pht_hops / 2.0,
+        "DLPT {dlpt_hops:.2} should be far below PHT {pht_hops:.2}"
+    );
+}
