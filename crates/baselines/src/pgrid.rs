@@ -134,7 +134,11 @@ impl PGrid {
             let mut routing = Vec::with_capacity(path.len());
             for l in 0..path.len() {
                 let mut flipped = path.truncated(l).as_bytes().to_vec();
-                flipped.push(if path.as_bytes()[l] == b'0' { b'1' } else { b'0' });
+                flipped.push(if path.as_bytes()[l] == b'0' {
+                    b'1'
+                } else {
+                    b'0'
+                });
                 let flipped = Key::from_bytes(flipped);
                 let candidates: Vec<usize> = grid
                     .partitions
@@ -143,9 +147,10 @@ impl PGrid {
                     .flat_map(|(_, idxs)| idxs.iter().copied())
                     .collect();
                 let mut level = Vec::new();
-                for _ in 0..refs_per_level.min(candidates.len()).max(usize::from(
-                    !candidates.is_empty(),
-                )) {
+                for _ in 0..refs_per_level
+                    .min(candidates.len())
+                    .max(usize::from(!candidates.is_empty()))
+                {
                     level.push(candidates[grid.rng.gen_range(0..candidates.len())]);
                 }
                 level.sort_unstable();
@@ -178,7 +183,11 @@ impl PGrid {
         if self.peers.is_empty() {
             return 0.0;
         }
-        self.peers.iter().map(|p| p.state_size() as f64).sum::<f64>() / self.peers.len() as f64
+        self.peers
+            .iter()
+            .map(|p| p.state_size() as f64)
+            .sum::<f64>()
+            / self.peers.len() as f64
     }
 
     /// Exact lookup from a random entry peer. Returns
@@ -203,16 +212,13 @@ impl PGrid {
                 return (peer.store.contains(key), hops);
             }
             let l = peer.path.gcp_len(&bits);
-            let next = peer
-                .routing
-                .get(l)
-                .and_then(|refs| {
-                    if refs.is_empty() {
-                        None
-                    } else {
-                        Some(refs[self.rng.gen_range(0..refs.len())])
-                    }
-                });
+            let next = peer.routing.get(l).and_then(|refs| {
+                if refs.is_empty() {
+                    None
+                } else {
+                    Some(refs[self.rng.gen_range(0..refs.len())])
+                }
+            });
             match next {
                 Some(n) => {
                     cur = n;
@@ -284,8 +290,8 @@ mod tests {
 
     fn corpus() -> Vec<Key> {
         [
-            "CAXPY", "CGEMM", "DGEMM", "DGEMV", "DGETRF", "DTRSM", "PSGESV", "PDGEMM",
-            "S3L_fft", "S3L_sort", "SGEMM", "ZTRSM",
+            "CAXPY", "CGEMM", "DGEMM", "DGEMV", "DGETRF", "DTRSM", "PSGESV", "PDGEMM", "S3L_fft",
+            "S3L_sort", "SGEMM", "ZTRSM",
         ]
         .iter()
         .map(|s| k(s))
@@ -332,9 +338,7 @@ mod tests {
     fn hops_scale_logarithmically() {
         // 256 synthetic keys, 64 peers: average hops should be near
         // log2(|Π|) ≈ 6, certainly below 12.
-        let keys: Vec<Key> = (0..256)
-            .map(|i| Key::from(format!("K{i:03}")))
-            .collect();
+        let keys: Vec<Key> = (0..256).map(|i| Key::from(format!("K{i:03}"))).collect();
         let mut g = PGrid::build(&keys, 64, 2, 8, 3);
         let mut total = 0u32;
         for key in &keys {

@@ -90,8 +90,7 @@ impl Vertex {
                 let mut keys = Vec::with_capacity(n);
                 let mut at = 5usize;
                 for _ in 0..n {
-                    let len =
-                        u16::from_le_bytes(bytes.get(at..at + 2)?.try_into().ok()?) as usize;
+                    let len = u16::from_le_bytes(bytes.get(at..at + 2)?.try_into().ok()?) as usize;
                     at += 2;
                     keys.push(Key::from_bytes(bytes.get(at..at + len)?.to_vec()));
                     at += len;
@@ -293,7 +292,9 @@ impl PrefixHashTree {
             if lo > hi {
                 // Converged next to the leaf boundary; resolve linearly.
                 let (label, vertex) = self.descend_to_leaf(&bits);
-                let Vertex::Leaf(keys) = vertex else { unreachable!() };
+                let Vertex::Leaf(keys) = vertex else {
+                    unreachable!()
+                };
                 return (keys.contains(key), accesses + label.len() + 1);
             }
         }
@@ -312,7 +313,15 @@ impl PrefixHashTree {
         out
     }
 
-    fn range_walk(&mut self, label: Key, lo_b: &Key, hi_b: &Key, lo: &Key, hi: &Key, out: &mut Vec<Key>) {
+    fn range_walk(
+        &mut self,
+        label: Key,
+        lo_b: &Key,
+        hi_b: &Key,
+        lo: &Key,
+        hi: &Key,
+        out: &mut Vec<Key>,
+    ) {
         // Prune: the subtree covers bit strings extending `label`.
         if &label > hi_b {
             return;
@@ -436,10 +445,7 @@ mod tests {
             let key = Key::from(n.as_str());
             assert_eq!(pht.lookup(&key).0, pht.lookup_binary(&key).0, "{n}");
         }
-        assert_eq!(
-            pht.lookup(&k("NOPE")).0,
-            pht.lookup_binary(&k("NOPE")).0
-        );
+        assert_eq!(pht.lookup(&k("NOPE")).0, pht.lookup_binary(&k("NOPE")).0);
     }
 
     #[test]

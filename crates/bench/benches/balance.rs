@@ -97,5 +97,10 @@ fn mlt_fraction_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, sweep_scaling, rebalance_step, mlt_fraction_ablation);
+criterion_group!(
+    benches,
+    sweep_scaling,
+    rebalance_step,
+    mlt_fraction_ablation
+);
 criterion_main!(benches);

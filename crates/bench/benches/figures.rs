@@ -31,10 +31,8 @@ fn satisfaction_figures(c: &mut Criterion) {
     ] {
         // Qualitative check once per figure: MLT vs NoLB over a few
         // averaged seeds.
-        let scaled: Vec<ExperimentConfig> = configs
-            .iter()
-            .map(|c| bench_size(c.clone(), 16))
-            .collect();
+        let scaled: Vec<ExperimentConfig> =
+            configs.iter().map(|c| bench_size(c.clone(), 16)).collect();
         let total = |cfg: &ExperimentConfig| -> u64 {
             (0..4).map(|i| run_once(cfg, i).total_satisfied(4)).sum()
         };
@@ -78,9 +76,7 @@ fn mapping_figure(c: &mut Criterion) {
     let mut cfg = bench_size(exp::fig9_config(), 24);
     cfg.track_mapping_hops = true;
     let r = run_once(&cfg, 0);
-    let sum = |f: fn(&dlpt_sim::run::UnitMetrics) -> u64| -> u64 {
-        r.units.iter().map(f).sum()
-    };
+    let sum = |f: fn(&dlpt_sim::run::UnitMetrics) -> u64| -> u64 { r.units.iter().map(f).sum() };
     let lexico = sum(|u| u.physical_lexico_sum);
     let random = sum(|u| u.physical_random_sum);
     assert!(
@@ -101,5 +97,10 @@ fn mapping_figure(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, satisfaction_figures, hotspot_figure, mapping_figure);
+criterion_group!(
+    benches,
+    satisfaction_figures,
+    hotspot_figure,
+    mapping_figure
+);
 criterion_main!(benches);

@@ -41,8 +41,14 @@ fn main() {
         cfg.name = format!("mlt-fraction-{fraction}");
         cfg.lb = LbKind::Mlt { fraction };
         let s = run_experiment(&cfg);
-        eprintln!("[ablation] MLT fraction {fraction}: {:.1}%", s.steady_satisfaction());
-        csv.push_str(&format!("mlt_fraction,{fraction},{:.2}\n", s.steady_satisfaction()));
+        eprintln!(
+            "[ablation] MLT fraction {fraction}: {:.1}%",
+            s.steady_satisfaction()
+        );
+        csv.push_str(&format!(
+            "mlt_fraction,{fraction},{:.2}\n",
+            s.steady_satisfaction()
+        ));
         rows.push(vec![
             "MLT fraction".into(),
             format!("{fraction}"),
@@ -68,7 +74,10 @@ fn main() {
 
     // --- Capacity heterogeneity ratio (MLT's raison d'être) -------------
     for ratio in [1u32, 2, 4, 8] {
-        for (label, lb) in [("MLT", LbKind::Mlt { fraction: 1.0 }), ("NoLB", LbKind::None)] {
+        for (label, lb) in [
+            ("MLT", LbKind::Mlt { fraction: 1.0 }),
+            ("NoLB", LbKind::None),
+        ] {
             let mut cfg = base(scale);
             cfg.name = format!("ratio-{ratio}-{label}");
             cfg.capacity_ratio = ratio;
@@ -103,8 +112,14 @@ fn main() {
         cfg.lb = LbKind::Mlt { fraction: 1.0 };
         cfg.popularity = pop;
         let s = run_experiment(&cfg);
-        eprintln!("[ablation] popularity {label}: {:.1}%", s.steady_satisfaction());
-        csv.push_str(&format!("popularity,{label},{:.2}\n", s.steady_satisfaction()));
+        eprintln!(
+            "[ablation] popularity {label}: {:.1}%",
+            s.steady_satisfaction()
+        );
+        csv.push_str(&format!(
+            "popularity,{label},{:.2}\n",
+            s.steady_satisfaction()
+        ));
         rows.push(vec![
             "popularity (MLT)".into(),
             label.into(),

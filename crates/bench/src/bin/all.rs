@@ -92,7 +92,13 @@ fn main() {
     println!(
         "{}",
         ascii_table(
-            &["Load", "Stable MLT", "Stable KC", "Dynamic MLT", "Dynamic KC"],
+            &[
+                "Load",
+                "Stable MLT",
+                "Stable KC",
+                "Dynamic MLT",
+                "Dynamic KC"
+            ],
             &rows
         )
     );

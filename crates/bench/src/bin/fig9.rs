@@ -42,8 +42,17 @@ fn main() {
         )
     );
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-    println!("  mean logical hops:            {:.2}", mean(&s.logical_hops));
-    println!("  mean physical (random map):   {:.2}", mean(&s.physical_random));
-    println!("  mean physical (lexico + MLT): {:.2}", mean(&s.physical_lexico));
+    println!(
+        "  mean logical hops:            {:.2}",
+        mean(&s.logical_hops)
+    );
+    println!(
+        "  mean physical (random map):   {:.2}",
+        mean(&s.physical_random)
+    );
+    println!(
+        "  mean physical (lexico + MLT): {:.2}",
+        mean(&s.physical_lexico)
+    );
     println!("  CSV: {}", path.display());
 }

@@ -30,10 +30,7 @@ pub fn apply_scale(configs: Vec<ExperimentConfig>, scale: usize) -> Vec<Experime
     if scale <= 1 {
         return configs;
     }
-    configs
-        .into_iter()
-        .map(|c| c.scaled_down(scale))
-        .collect()
+    configs.into_iter().map(|c| c.scaled_down(scale)).collect()
 }
 
 /// Runs every curve of a satisfaction figure, writes
@@ -61,10 +58,7 @@ pub fn run_satisfaction_figure(
         .collect();
     let path = results_dir().join(format!("{name}.csv"));
     write_csv(&path, &time, &cols).expect("write results CSV");
-    println!(
-        "{}",
-        ascii_chart(title, &cols, Some(100.0), 18, 80)
-    );
+    println!("{}", ascii_chart(title, &cols, Some(100.0), 18, 80));
     for (l, s) in labels.iter().zip(&series) {
         println!(
             "  {l:>5}: steady-state satisfaction {:.1}% ({} runs)",

@@ -46,7 +46,10 @@ pub fn pred_of(peers: &BTreeSet<Key>, id: &Key) -> Option<Key> {
 pub fn succ_of(peers: &BTreeSet<Key>, id: &Key) -> Option<Key> {
     let mut above = peers.range(id.clone()..);
     match above.next() {
-        Some(found) if found == id => above.next().cloned().or_else(|| peers.iter().next().cloned()),
+        Some(found) if found == id => above
+            .next()
+            .cloned()
+            .or_else(|| peers.iter().next().cloned()),
         Some(found) => Some(found.clone()),
         None => peers.iter().next().cloned(),
     }

@@ -321,10 +321,7 @@ mod tests {
     #[test]
     fn query_targets() {
         assert_eq!(QueryKind::Exact(k("DGEMM")).target(), k("DGEMM"));
-        assert_eq!(
-            QueryKind::Range(k("DGEMM"), k("DGEMV")).target(),
-            k("DGEM")
-        );
+        assert_eq!(QueryKind::Range(k("DGEMM"), k("DGEMV")).target(), k("DGEM"));
         assert_eq!(QueryKind::Complete(k("S3L")).target(), k("S3L"));
     }
 

@@ -388,10 +388,7 @@ mod tests {
         let msgs = sent_to_node(&fx, "01");
         assert_eq!(msgs.len(), 2);
         match (&msgs[0], &msgs[1]) {
-            (
-                NodeMsg::SearchingHost { seed: parent },
-                NodeMsg::SearchingHost { seed: leaf },
-            ) => {
+            (NodeMsg::SearchingHost { seed: parent }, NodeMsg::SearchingHost { seed: leaf }) => {
                 assert_eq!(parent.label, Key::epsilon());
                 assert_eq!(parent.father, None);
                 assert_eq!(parent.children, vec![k("01"), k("10101")]);
@@ -512,6 +509,9 @@ mod tests {
         s.peer.succ = k("M");
         let mut fx = Effects::default();
         on_host(&mut s, seed("Z"), &mut fx);
-        assert!(s.nodes.contains_key(&k("Z")), "wrap label installs on P_min");
+        assert!(
+            s.nodes.contains_key(&k("Z")),
+            "wrap label installs on P_min"
+        );
     }
 }

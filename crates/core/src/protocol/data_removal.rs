@@ -97,9 +97,12 @@ fn dissolve_if_redundant(shard: &mut PeerShard, label: &Key, fx: &mut Effects) {
             }
         }
         (Some(f), None) => {
-            fx.send(Envelope::to_node(f, NodeMsg::RemoveChild {
-                child: label.clone(),
-            }));
+            fx.send(Envelope::to_node(
+                f,
+                NodeMsg::RemoveChild {
+                    child: label.clone(),
+                },
+            ));
         }
         (None, None) => {
             // Last node of the tree.
@@ -176,9 +179,7 @@ mod tests {
         on_data_removal(&mut s, &k("10111"), k("10111"), &mut fx);
         assert!(!s.nodes.contains_key(&k("10111")));
         let to_child = sent(&fx, "101111");
-        assert!(
-            matches!(to_child[0], NodeMsg::SetFather { father: Some(f) } if f == &k("101"))
-        );
+        assert!(matches!(to_child[0], NodeMsg::SetFather { father: Some(f) } if f == &k("101")));
         let to_father = sent(&fx, "101");
         assert!(matches!(
             to_father[0],
@@ -202,7 +203,10 @@ mod tests {
         let mut s = shard_with(&[("101", Some(""), &["10101", "10111"], false)]);
         let mut fx = Effects::default();
         on_remove_child(&mut s, &k("101"), k("10101"), &mut fx);
-        assert!(!s.nodes.contains_key(&k("101")), "structural node lifts away");
+        assert!(
+            !s.nodes.contains_key(&k("101")),
+            "structural node lifts away"
+        );
         assert!(matches!(
             sent(&fx, "10111")[0],
             NodeMsg::SetFather { father: Some(f) } if f == &Key::epsilon()

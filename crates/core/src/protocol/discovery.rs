@@ -21,9 +21,7 @@
 //! exhausted peer are ignored).
 
 use crate::key::Key;
-use crate::messages::{
-    DiscoveryMsg, DiscoveryOutcome, Envelope, NodeMsg, QueryKind, RoutePhase,
-};
+use crate::messages::{DiscoveryMsg, DiscoveryOutcome, Envelope, NodeMsg, QueryKind, RoutePhase};
 use crate::peer::PeerShard;
 use crate::protocol::Effects;
 
@@ -323,7 +321,11 @@ mod tests {
     /// Drives a request to completion on a single shard, aggregating
     /// like the runtime does. Returns (satisfied, results, down-path,
     /// total visits).
-    fn run_to_completion(s: &mut PeerShard, entry: &str, query: QueryKind) -> (bool, Vec<Key>, Vec<Key>, usize) {
+    fn run_to_completion(
+        s: &mut PeerShard,
+        entry: &str,
+        query: QueryKind,
+    ) -> (bool, Vec<Key>, Vec<Key>, usize) {
         let mut queue = vec![(k(entry), msg(query, RoutePhase::Up))];
         let mut results = Vec::new();
         let mut down_path = Vec::new();
@@ -382,8 +384,7 @@ mod tests {
     #[test]
     fn exact_lookup_missing_key() {
         let mut s = paper_shard();
-        let (sat, results, _, _) =
-            run_to_completion(&mut s, "10101", QueryKind::Exact(k("111")));
+        let (sat, results, _, _) = run_to_completion(&mut s, "10101", QueryKind::Exact(k("111")));
         assert!(!sat);
         assert!(results.is_empty());
     }
@@ -391,8 +392,7 @@ mod tests {
     #[test]
     fn completion_gathers_subtree() {
         let mut s = paper_shard();
-        let (sat, results, _, _) =
-            run_to_completion(&mut s, "01", QueryKind::Complete(k("101")));
+        let (sat, results, _, _) = run_to_completion(&mut s, "01", QueryKind::Complete(k("101")));
         assert!(sat);
         assert_eq!(results, vec![k("10101"), k("10111"), k("101111")]);
     }
@@ -401,8 +401,7 @@ mod tests {
     fn completion_with_target_between_nodes() {
         // "1011" has no node; covering child 10111 extends it.
         let mut s = paper_shard();
-        let (sat, results, _, _) =
-            run_to_completion(&mut s, "01", QueryKind::Complete(k("1011")));
+        let (sat, results, _, _) = run_to_completion(&mut s, "01", QueryKind::Complete(k("1011")));
         assert!(sat);
         assert_eq!(results, vec![k("10111"), k("101111")]);
     }
@@ -410,8 +409,7 @@ mod tests {
     #[test]
     fn completion_of_absent_prefix_is_empty() {
         let mut s = paper_shard();
-        let (sat, results, _, _) =
-            run_to_completion(&mut s, "10101", QueryKind::Complete(k("11")));
+        let (sat, results, _, _) = run_to_completion(&mut s, "10101", QueryKind::Complete(k("11")));
         assert!(sat, "reached the region; provably empty");
         assert!(results.is_empty());
     }
@@ -431,10 +429,7 @@ mod tests {
         let (sat, results, _, _) =
             run_to_completion(&mut s, "10111", QueryKind::Range(k("0"), k("2")));
         assert!(sat);
-        assert_eq!(
-            results,
-            vec![k("01"), k("10101"), k("10111"), k("101111")]
-        );
+        assert_eq!(results, vec![k("01"), k("10101"), k("10111"), k("101111")]);
     }
 
     #[test]
@@ -465,7 +460,10 @@ mod tests {
     #[test]
     fn subtree_pruning() {
         assert!(subtree_may_match(&QueryKind::Complete(k("10")), &k("101")));
-        assert!(subtree_may_match(&QueryKind::Complete(k("1011")), &k("101")));
+        assert!(subtree_may_match(
+            &QueryKind::Complete(k("1011")),
+            &k("101")
+        ));
         assert!(!subtree_may_match(&QueryKind::Complete(k("11")), &k("101")));
         assert!(subtree_may_match(
             &QueryKind::Range(k("10"), k("11")),

@@ -80,9 +80,7 @@ pub fn handle_node_msg(shard: &mut PeerShard, node_label: &Key, msg: NodeMsg, fx
                 .expect("checked by debug_assert");
             node.replace_child(&old, new);
         }
-        NodeMsg::DataRemoval { key } => {
-            data_removal::on_data_removal(shard, node_label, key, fx)
-        }
+        NodeMsg::DataRemoval { key } => data_removal::on_data_removal(shard, node_label, key, fx),
         NodeMsg::RemoveChild { child } => {
             data_removal::on_remove_child(shard, node_label, child, fx)
         }
@@ -100,9 +98,7 @@ pub fn handle_node_msg(shard: &mut PeerShard, node_label: &Key, msg: NodeMsg, fx
 /// Dispatches a message addressed to the peer owning `shard`.
 pub fn handle_peer_msg(shard: &mut PeerShard, msg: PeerMsg, fx: &mut Effects) {
     match msg {
-        PeerMsg::NewPredecessor { joining } => {
-            peer_join::on_new_predecessor(shard, joining, fx)
-        }
+        PeerMsg::NewPredecessor { joining } => peer_join::on_new_predecessor(shard, joining, fx),
         PeerMsg::YourInformation { pred, succ, nodes } => {
             peer_join::on_your_information(shard, pred, succ, nodes, fx)
         }

@@ -245,11 +245,7 @@ mod tests {
             .find_map(|e| match (&e.to, &e.msg) {
                 (
                     Address::Peer(p),
-                    crate::messages::Message::Peer(PeerMsg::YourInformation {
-                        pred,
-                        succ,
-                        nodes,
-                    }),
+                    crate::messages::Message::Peer(PeerMsg::YourInformation { pred, succ, nodes }),
                 ) if p == &k("H") => Some((pred.clone(), succ.clone(), nodes.len())),
                 _ => None,
             })

@@ -14,9 +14,7 @@ use crate::alphabet::Alphabet;
 use crate::error::{DlptError, Result};
 use crate::key::Key;
 use crate::mapping::{self, MappingViolation};
-use crate::messages::{
-    Address, DiscoveryOutcome, Envelope, Message, NodeMsg, PeerMsg, QueryKind,
-};
+use crate::messages::{Address, DiscoveryOutcome, Envelope, Message, NodeMsg, PeerMsg, QueryKind};
 use crate::metrics::SystemStats;
 use crate::node::NodeState;
 use crate::peer::PeerShard;
@@ -150,10 +148,7 @@ impl LookupOutcome {
     /// Physical messages on the up/down route: consecutive visits
     /// hosted by different peers (the quantity of Figure 9).
     pub fn physical_hops(&self) -> usize {
-        self.host_path
-            .windows(2)
-            .filter(|w| w[0] != w[1])
-            .count()
+        self.host_path.windows(2).filter(|w| w[0] != w[1]).count()
     }
 }
 
@@ -409,16 +404,29 @@ impl DlptSystem {
         }
         self.stats.nodes_lost += lost.len() as u64;
         self.node_cache_dirty = true;
-        if self.root.as_ref().map(|r| lost.contains(r)).unwrap_or(false) {
+        if self
+            .root
+            .as_ref()
+            .map(|r| lost.contains(r))
+            .unwrap_or(false)
+        {
             self.root = None;
         }
         // Failure-detector stand-in: neighbours notice and heal.
         let (pred, succ) = (shard.peer.pred.clone(), shard.peer.succ.clone());
         if let Some(p) = self.shards.get_mut(&pred) {
-            p.peer.succ = if succ == *id { pred.clone() } else { succ.clone() };
+            p.peer.succ = if succ == *id {
+                pred.clone()
+            } else {
+                succ.clone()
+            };
         }
         if let Some(s) = self.shards.get_mut(&succ) {
-            s.peer.pred = if pred == *id { succ.clone() } else { pred.clone() };
+            s.peer.pred = if pred == *id {
+                succ.clone()
+            } else {
+                pred.clone()
+            };
         }
         Ok(lost)
     }
@@ -662,19 +670,13 @@ impl DlptSystem {
             if shard.peer.pred != want_pred {
                 return Err(MappingViolation::BrokenRingLink {
                     peer: id.clone(),
-                    detail: format!(
-                        "pred is {}, ring order says {}",
-                        shard.peer.pred, want_pred
-                    ),
+                    detail: format!("pred is {}, ring order says {}", shard.peer.pred, want_pred),
                 });
             }
             if shard.peer.succ != want_succ {
                 return Err(MappingViolation::BrokenRingLink {
                     peer: id.clone(),
-                    detail: format!(
-                        "succ is {}, ring order says {}",
-                        shard.peer.succ, want_succ
-                    ),
+                    detail: format!("succ is {}, ring order says {}", shard.peer.succ, want_succ),
                 });
             }
         }
@@ -710,13 +712,9 @@ impl DlptSystem {
                 for c in &children {
                     let child = self
                         .node(c)
-                        .ok_or_else(|| TrieViolation::BrokenParentLink {
-                            node: (*c).clone(),
-                        })?;
+                        .ok_or_else(|| TrieViolation::BrokenParentLink { node: (*c).clone() })?;
                     if child.father.as_ref() != Some(&node.label) {
-                        return Err(TrieViolation::BrokenParentLink {
-                            node: (*c).clone(),
-                        });
+                        return Err(TrieViolation::BrokenParentLink { node: (*c).clone() });
                     }
                     if !node.label.is_proper_prefix_of(c) {
                         return Err(TrieViolation::ChildNotExtension {
@@ -884,11 +882,7 @@ impl DlptSystem {
                         self.replace_child_of(&label, &q, g.clone());
                         self.set_father(&q, Some(g.clone()));
                         self.set_father(o, Some(g.clone()));
-                        self.create_structural(
-                            g.clone(),
-                            Some(label),
-                            vec![q, o.clone()],
-                        );
+                        self.create_structural(g.clone(), Some(label), vec![q, o.clone()]);
                         return 1;
                     }
                     None => {

@@ -215,9 +215,11 @@ impl PgcpTrie {
             }
             // At most one child can extend the shared prefix: children
             // differ pairwise at the digit right after the label.
-            let next = node.children.iter().copied().find(|&c| {
-                self.arena[c].label.gcp_len(label) > node.label.len()
-            });
+            let next = node
+                .children
+                .iter()
+                .copied()
+                .find(|&c| self.arena[c].label.gcp_len(label) > node.label.len());
             match next {
                 Some(c) => cur = c,
                 None => return None,
@@ -841,10 +843,7 @@ mod tests {
     #[test]
     fn range_query_inclusive() {
         let t = paper_tree();
-        assert_eq!(
-            t.range(&k("10"), &k("10111")),
-            vec![k("10101"), k("10111")]
-        );
+        assert_eq!(t.range(&k("10"), &k("10111")), vec![k("10101"), k("10111")]);
         assert_eq!(t.range(&k("0"), &k("1")), vec![k("01")]);
         assert_eq!(
             t.range(&Key::epsilon(), &k("2")),

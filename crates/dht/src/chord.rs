@@ -537,7 +537,11 @@ mod tests {
         let (mut net, ids) = network(32, 6);
         let names: Vec<String> = (0..100).map(|i| format!("SVC{i:03}")).collect();
         for (i, name) in names.iter().enumerate() {
-            net.put(ids[i % ids.len()], name.as_bytes(), name.clone().into_bytes());
+            net.put(
+                ids[i % ids.len()],
+                name.as_bytes(),
+                name.clone().into_bytes(),
+            );
         }
         assert_eq!(net.stored_values(), 100);
         for (i, name) in names.iter().enumerate() {

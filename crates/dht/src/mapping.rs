@@ -114,7 +114,10 @@ mod tests {
     fn physical_hops_counts_host_changes() {
         let ps = peers(&["pA", "pB", "pC", "pD", "pE", "pF", "pG", "pH"]);
         let m = RandomMapping::new(&ps);
-        let route: Vec<Key> = ["", "1", "10", "101", "1010"].iter().map(|s| k(s)).collect();
+        let route: Vec<Key> = ["", "1", "10", "101", "1010"]
+            .iter()
+            .map(|s| k(s))
+            .collect();
         let hops = m.physical_hops(&route);
         assert!(hops <= 4);
         // Same node repeated costs nothing.

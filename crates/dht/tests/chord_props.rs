@@ -1,8 +1,8 @@
 //! Property tests of the Chord substrate: routing always agrees with
 //! the ground-truth owner, under arbitrary memberships and churn.
 
-use dlpt_dht::{ChordNetwork, RandomMapping};
 use dlpt_core::key::Key;
+use dlpt_dht::{ChordNetwork, RandomMapping};
 use proptest::prelude::*;
 
 proptest! {

@@ -356,14 +356,18 @@ fn get_node_msg(buf: &mut impl Buf) -> Result<NodeMsg> {
             Ok(NodeMsg::PeerJoin { joining, phase })
         }
         1 => Ok(NodeMsg::DataInsertion { key: get_key(buf)? }),
-        2 => Ok(NodeMsg::SearchingHost { seed: get_seed(buf)? }),
+        2 => Ok(NodeMsg::SearchingHost {
+            seed: get_seed(buf)?,
+        }),
         3 => Ok(NodeMsg::UpdateChild {
             old: get_key(buf)?,
             new: get_key(buf)?,
         }),
         4 => Ok(NodeMsg::Discovery(get_discovery(buf)?)),
         5 => Ok(NodeMsg::DataRemoval { key: get_key(buf)? }),
-        6 => Ok(NodeMsg::RemoveChild { child: get_key(buf)? }),
+        6 => Ok(NodeMsg::RemoveChild {
+            child: get_key(buf)?,
+        }),
         7 => Ok(NodeMsg::SetFather {
             father: get_opt_key(buf)?,
         }),
@@ -388,9 +392,15 @@ fn get_peer_msg(buf: &mut impl Buf) -> Result<PeerMsg> {
             }
             Ok(PeerMsg::YourInformation { pred, succ, nodes })
         }
-        2 => Ok(PeerMsg::UpdateSuccessor { succ: get_key(buf)? }),
-        3 => Ok(PeerMsg::UpdatePredecessor { pred: get_key(buf)? }),
-        4 => Ok(PeerMsg::Host { seed: get_seed(buf)? }),
+        2 => Ok(PeerMsg::UpdateSuccessor {
+            succ: get_key(buf)?,
+        }),
+        3 => Ok(PeerMsg::UpdatePredecessor {
+            pred: get_key(buf)?,
+        }),
+        4 => Ok(PeerMsg::Host {
+            seed: get_seed(buf)?,
+        }),
         5 => {
             let pred = get_key(buf)?;
             need(buf, 4, "node count")?;
@@ -483,7 +493,12 @@ mod tests {
             ),
             Envelope::to_node(k("10"), NodeMsg::DataRemoval { key: k("10101") }),
             Envelope::to_node(k("10"), NodeMsg::RemoveChild { child: k("10101") }),
-            Envelope::to_node(k("10"), NodeMsg::SetFather { father: Some(k("1")) }),
+            Envelope::to_node(
+                k("10"),
+                NodeMsg::SetFather {
+                    father: Some(k("1")),
+                },
+            ),
             Envelope::to_node(k("10"), NodeMsg::SetFather { father: None }),
             Envelope::to_node(
                 k("10"),
@@ -579,7 +594,12 @@ mod tests {
 
     #[test]
     fn empty_key_and_epsilon_roundtrip() {
-        let env = Envelope::to_node(Key::epsilon(), NodeMsg::DataInsertion { key: Key::epsilon() });
+        let env = Envelope::to_node(
+            Key::epsilon(),
+            NodeMsg::DataInsertion {
+                key: Key::epsilon(),
+            },
+        );
         assert_eq!(decode(&encode(&env)).unwrap(), env);
     }
 }

@@ -14,8 +14,7 @@ use crate::event::EventQueue;
 use dlpt_core::key::Key;
 use dlpt_core::mapping;
 use dlpt_core::messages::{
-    Address, DiscoveryOutcome, Envelope, JoinPhase, Message, NodeMsg, NodeSeed, PeerMsg,
-    QueryKind,
+    Address, DiscoveryOutcome, Envelope, JoinPhase, Message, NodeMsg, NodeSeed, PeerMsg, QueryKind,
 };
 use dlpt_core::node::NodeState;
 use dlpt_core::peer::PeerShard;
@@ -58,7 +57,6 @@ pub struct LatencyNet {
     latency: LatencyModel,
     rng: StdRng,
     pending: BTreeMap<u64, Pending>,
-    finished: BTreeMap<u64, (bool, Vec<Key>)>,
     next_request: u64,
     requeue_budget: u32,
     /// Messages delivered so far.
@@ -75,7 +73,6 @@ impl LatencyNet {
             latency,
             rng: StdRng::seed_from_u64(seed),
             pending: BTreeMap::new(),
-            finished: BTreeMap::new(),
             next_request: 1,
             requeue_budget: 4096,
             deliveries: 0,
@@ -154,9 +151,7 @@ impl LatencyNet {
     pub fn insert_data(&mut self, key: Key) {
         assert!(!self.shards.is_empty(), "need at least one peer");
         match self.random_node() {
-            Some(entry) => {
-                self.send(Envelope::to_node(entry, NodeMsg::DataInsertion { key }))
-            }
+            Some(entry) => self.send(Envelope::to_node(entry, NodeMsg::DataInsertion { key })),
             None => {
                 // First node: seed it through the peer layer; the Host
                 // ring-forwarding places it per the mapping rule.
@@ -219,9 +214,16 @@ impl LatencyNet {
         );
         self.send(discovery::entry_envelope(entry, id, query));
         self.run_to_quiescence();
-        self.finished
-            .remove(&id)
-            .unwrap_or((false, Vec::new()))
+        // Only judge completion once the network is drained: responses
+        // arrive out of order here, so the outstanding-branch counter
+        // can transiently touch zero while a parent's response (which
+        // would raise it again via `pending_children`) is still in
+        // flight.
+        let p = self.pending.remove(&id).expect("request was registered");
+        let mut results = p.results;
+        results.sort();
+        results.dedup();
+        (p.satisfied && p.outstanding <= 0, results)
     }
 
     /// Delivers events until none remain.
@@ -282,9 +284,7 @@ impl LatencyNet {
                 }
                 let mut fx = Effects::default();
                 match env.msg {
-                    Message::Node(m) => {
-                        protocol::handle_node_msg(shard, &label, m, &mut fx)
-                    }
+                    Message::Node(m) => protocol::handle_node_msg(shard, &label, m, &mut fx),
                     _ => unreachable!("node address carries node message"),
                 }
                 self.apply(fx);
@@ -311,14 +311,6 @@ impl LatencyNet {
         p.outstanding += o.pending_children as i64 - 1;
         p.satisfied &= o.satisfied && !o.dropped;
         p.results.extend(o.results);
-        if p.outstanding <= 0 {
-            let p = self.pending.remove(&o.request_id).expect("present");
-            let mut results = p.results;
-            results.sort();
-            results.dedup();
-            self.finished
-                .insert(o.request_id, (p.satisfied, results));
-        }
     }
 
     /// Checks the successor-mapping invariant over the whole network.
@@ -402,8 +394,8 @@ mod tests {
     }
 
     const KEYS: [&str; 10] = [
-        "DGEMM", "DGEMV", "DTRSM", "DTRMM", "SGEMM", "S3L_fft", "S3L_sort", "PSGESV",
-        "PDGEMM", "ZTRSM",
+        "DGEMM", "DGEMV", "DTRSM", "DTRMM", "SGEMM", "S3L_fft", "S3L_sort", "PSGESV", "PDGEMM",
+        "ZTRSM",
     ];
 
     #[test]
@@ -449,10 +441,7 @@ mod tests {
         let mut net = build(LatencyModel::Uniform(1, 30), 13, 6, &KEYS);
         let (ok, results) = net.complete(&Key::from("S3L"));
         assert!(ok);
-        assert_eq!(
-            results,
-            vec![Key::from("S3L_fft"), Key::from("S3L_sort")]
-        );
+        assert_eq!(results, vec![Key::from("S3L_fft"), Key::from("S3L_sort")]);
         let (ok, results) = net.range(&Key::from("D"), &Key::from("E"));
         assert!(ok);
         assert_eq!(results.len(), 4, "{results:?}");

@@ -23,8 +23,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use dlpt_core::alphabet::Alphabet;
 use dlpt_core::key::Key;
 use dlpt_core::messages::{
-    Address, DiscoveryOutcome, Envelope, JoinPhase, Message, NodeMsg, NodeSeed, PeerMsg,
-    QueryKind,
+    Address, DiscoveryOutcome, Envelope, JoinPhase, Message, NodeMsg, NodeSeed, PeerMsg, QueryKind,
 };
 use dlpt_core::peer::PeerShard;
 use dlpt_core::protocol::{self, discovery, Effects};
@@ -319,7 +318,8 @@ impl ThreadedDlpt {
             }
             Address::Peer(id) => match self.peers.get(&id) {
                 Some(tx) => {
-                    tx.send(ToPeer::Frame { retries, frame }).expect("peer alive");
+                    tx.send(ToPeer::Frame { retries, frame })
+                        .expect("peer alive");
                     self.inflight += 1;
                     None
                 }
@@ -328,7 +328,8 @@ impl ThreadedDlpt {
             Address::Node(label) => match self.directory.get(&label) {
                 Some(host) => {
                     let tx = self.peers.get(host).expect("directory points at peers");
-                    tx.send(ToPeer::Frame { retries, frame }).expect("peer alive");
+                    tx.send(ToPeer::Frame { retries, frame })
+                        .expect("peer alive");
                     self.inflight += 1;
                     None
                 }
@@ -370,7 +371,9 @@ fn peer_loop(
                     unreachable!("node message to node address")
                 };
                 if shard.nodes.contains_key(label) {
-                    let Message::Node(m) = env.msg else { unreachable!() };
+                    let Message::Node(m) = env.msg else {
+                        unreachable!()
+                    };
                     protocol::handle_node_msg(&mut shard, label, m, &mut fx);
                     None
                 } else {
@@ -381,7 +384,9 @@ fn peer_loop(
                 }
             }
             Message::Peer(_) => {
-                let Message::Peer(m) = env.msg else { unreachable!() };
+                let Message::Peer(m) = env.msg else {
+                    unreachable!()
+                };
                 protocol::handle_peer_msg(&mut shard, m, &mut fx);
                 None
             }
@@ -407,8 +412,8 @@ mod tests {
     use dlpt_core::trie::PgcpTrie;
 
     const KEYS: [&str; 12] = [
-        "DGEMM", "DGEMV", "DTRSM", "DTRMM", "SGEMM", "SGEMV", "S3L_fft", "S3L_sort",
-        "PSGESV", "PDGEMM", "ZTRSM", "CAXPY",
+        "DGEMM", "DGEMV", "DTRSM", "DTRMM", "SGEMM", "SGEMV", "S3L_fft", "S3L_sort", "PSGESV",
+        "PDGEMM", "ZTRSM", "CAXPY",
     ];
 
     fn live(seed: u64, peers: usize, keys: &[&str]) -> ThreadedDlpt {
@@ -473,13 +478,13 @@ mod tests {
         for shard in &shards {
             for label in shard.nodes.keys() {
                 let expected = dlpt_core::mapping::host_of(&peers, label).unwrap();
-                assert_eq!(
-                    expected, shard.peer.id,
-                    "node {label} on wrong peer"
-                );
+                assert_eq!(expected, shard.peer.id, "node {label} on wrong peer");
             }
         }
-        assert_eq!(labels.len(), shards.iter().map(|s| s.node_count()).sum::<usize>());
+        assert_eq!(
+            labels.len(),
+            shards.iter().map(|s| s.node_count()).sum::<usize>()
+        );
     }
 
     #[test]

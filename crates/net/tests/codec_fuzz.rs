@@ -2,9 +2,9 @@
 //! decode to an error, never panic, and valid frames must survive any
 //! reframing.
 
-use dlpt_net::codec::{decode, encode};
 use dlpt_core::key::Key;
 use dlpt_core::messages::{Envelope, NodeMsg, PeerMsg};
+use dlpt_net::codec::{decode, encode};
 use proptest::prelude::*;
 
 proptest! {

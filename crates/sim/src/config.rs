@@ -3,8 +3,8 @@
 use dlpt_core::alphabet::Alphabet;
 use dlpt_core::balance::{KChoices, LoadBalancer, MaxLocalThroughput, NoBalancing};
 use dlpt_core::key::Key;
-use dlpt_workloads::corpus::Corpus;
 use dlpt_workloads::churn::ChurnModel;
+use dlpt_workloads::corpus::Corpus;
 use dlpt_workloads::popularity::{HotspotSchedule, Popularity, Uniform, Zipf};
 use rand::RngCore;
 
@@ -67,9 +67,7 @@ impl PopKind {
         match self {
             PopKind::Uniform => Box::new(Uniform),
             PopKind::Zipf(s) => Box::new(Zipf::new(*s)),
-            PopKind::Figure8 { hot_fraction } => {
-                Box::new(HotspotSchedule::figure8(*hot_fraction))
-            }
+            PopKind::Figure8 { hot_fraction } => Box::new(HotspotSchedule::figure8(*hot_fraction)),
         }
     }
 }

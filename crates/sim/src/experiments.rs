@@ -81,8 +81,7 @@ pub fn fig8_configs() -> Vec<ExperimentConfig> {
     lb_variants()
         .into_iter()
         .map(|lb| {
-            let mut cfg =
-                satisfaction_config("fig8", lb, 0.16, ChurnModel::dynamic());
+            let mut cfg = satisfaction_config("fig8", lb, 0.16, ChurnModel::dynamic());
             cfg.time_units = 160;
             cfg.runs = 50;
             cfg.popularity = PopKind::Figure8 { hot_fraction: 0.85 };

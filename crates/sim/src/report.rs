@@ -20,11 +20,7 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Writes a CSV file: `time` column plus one column per series.
-pub fn write_csv(
-    path: &Path,
-    time: &[u32],
-    series: &[(&str, &[f64])],
-) -> std::io::Result<()> {
+pub fn write_csv(path: &Path, time: &[u32], series: &[(&str, &[f64])]) -> std::io::Result<()> {
     let mut f = std::io::BufWriter::new(fs::File::create(path)?);
     write!(f, "time")?;
     for (name, _) in series {
@@ -141,7 +137,11 @@ pub fn ascii_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     };
     let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
     let _ = writeln!(out, "{}", fmt_row(&header_cells, &widths));
-    let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    let _ = writeln!(
+        out,
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         let _ = writeln!(out, "{}", fmt_row(row, &widths));
     }

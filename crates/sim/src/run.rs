@@ -181,8 +181,7 @@ pub fn run_once(cfg: &ExperimentConfig, run_idx: usize) -> RunResult {
             .filter_map(|p| sys.shard(p))
             .map(|s| s.peer.capacity as u64)
             .sum();
-        let n_requests =
-            (cfg.load * aggregate as f64 / cfg.route_cost.max(1.0)).round() as usize;
+        let n_requests = (cfg.load * aggregate as f64 / cfg.route_cost.max(1.0)).round() as usize;
         let random_map = cfg
             .track_mapping_hops
             .then(|| RandomMapping::new(&sys.peer_ids()));

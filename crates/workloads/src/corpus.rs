@@ -13,12 +13,13 @@ use dlpt_core::key::Key;
 use rand::Rng;
 
 /// BLAS level-1/2/3 operation roots (precision-independent part).
+#[rustfmt::skip]
 const BLAS_ROOTS: &[&str] = &[
     // Level 1
     "AXPY", "SCAL", "COPY", "SWAP", "DOT", "NRM2", "ASUM", "ROT", "ROTG", "ROTM", "ROTMG",
     // Level 2
-    "GEMV", "GBMV", "SYMV", "SBMV", "SPMV", "TRMV", "TBMV", "TPMV", "TRSV", "TBSV", "TPSV",
-    "GER", "SYR", "SPR", "SYR2", "SPR2",
+    "GEMV", "GBMV", "SYMV", "SBMV", "SPMV", "TRMV", "TBMV", "TPMV", "TRSV", "TBSV", "TPSV", "GER",
+    "SYR", "SPR", "SYR2", "SPR2",
     // Level 3
     "GEMM", "SYMM", "SYRK", "SYR2K", "TRMM", "TRSM",
 ];
@@ -26,22 +27,19 @@ const BLAS_ROOTS: &[&str] = &[
 /// LAPACK driver/computational roots used to pad the corpus to the
 /// paper's tree size with realistic names.
 const LAPACK_ROOTS: &[&str] = &[
-    "GESV", "GBSV", "GTSV", "POSV", "PBSV", "PTSV", "SYSV", "GELS", "GELSD", "GELSS",
-    "GEEV", "GEES", "SYEV", "SYEVD", "SYEVR", "GESVD", "GESDD", "GETRF", "GETRS", "GETRI",
-    "GEQRF", "GERQF", "GELQF", "GEQLF", "POTRF", "POTRS", "POTRI", "PBTRF", "PTTRF",
-    "SYTRF", "SYTRS", "TRTRS", "TRTRI", "GEBRD", "GEHRD", "SYTRD", "ORGQR", "ORMQR",
-    "GGEV", "GGES", "GGSVD", "GEBAL", "GEBAK", "LANGE", "LANSY", "LACPY", "LASET",
-    "GECON", "GBCON", "POCON", "PBCON", "PTCON", "TRCON", "TPCON", "TBCON", "SYCON",
-    "GERFS", "GBRFS", "PORFS", "PBRFS", "PTRFS", "TRRFS", "SYRFS",
-    "GEEQU", "GBEQU", "POEQU", "PBEQU",
-    "LANGB", "LANGT", "LANTR", "LANTP", "LANTB", "LANSP", "LANSB", "LANST", "LANHS",
-    "LASWP", "LARFT", "LARFB", "LARFG", "LARF", "LARTG", "LASCL", "LASSQ", "LAPY2",
-    "ORGLQ", "ORMLQ", "ORGRQ", "ORMRQ", "ORGQL", "ORMQL", "ORGBR", "ORMBR", "ORGTR",
-    "ORMTR", "ORGHR", "ORMHR",
-    "HSEQR", "HSEIN", "TREVC", "TREXC", "TRSEN", "TRSNA", "TRSYL",
-    "GGBAL", "GGBAK", "GGHRD", "TGEVC", "TGEXC", "TGSEN", "TGSJA", "TGSNA", "TGSYL",
-    "GELSY", "GETC2", "GESC2", "LATRS", "LATRD", "LAUUM", "LAULN", "LAHQR", "LAHRD",
-    "STEQR", "STEDC", "STEIN", "STEBZ", "STERF", "PTEQR", "BDSQR", "BDSDC",
+    "GESV", "GBSV", "GTSV", "POSV", "PBSV", "PTSV", "SYSV", "GELS", "GELSD", "GELSS", "GEEV",
+    "GEES", "SYEV", "SYEVD", "SYEVR", "GESVD", "GESDD", "GETRF", "GETRS", "GETRI", "GEQRF",
+    "GERQF", "GELQF", "GEQLF", "POTRF", "POTRS", "POTRI", "PBTRF", "PTTRF", "SYTRF", "SYTRS",
+    "TRTRS", "TRTRI", "GEBRD", "GEHRD", "SYTRD", "ORGQR", "ORMQR", "GGEV", "GGES", "GGSVD",
+    "GEBAL", "GEBAK", "LANGE", "LANSY", "LACPY", "LASET", "GECON", "GBCON", "POCON", "PBCON",
+    "PTCON", "TRCON", "TPCON", "TBCON", "SYCON", "GERFS", "GBRFS", "PORFS", "PBRFS", "PTRFS",
+    "TRRFS", "SYRFS", "GEEQU", "GBEQU", "POEQU", "PBEQU", "LANGB", "LANGT", "LANTR", "LANTP",
+    "LANTB", "LANSP", "LANSB", "LANST", "LANHS", "LASWP", "LARFT", "LARFB", "LARFG", "LARF",
+    "LARTG", "LASCL", "LASSQ", "LAPY2", "ORGLQ", "ORMLQ", "ORGRQ", "ORMRQ", "ORGQL", "ORMQL",
+    "ORGBR", "ORMBR", "ORGTR", "ORMTR", "ORGHR", "ORMHR", "HSEQR", "HSEIN", "TREVC", "TREXC",
+    "TRSEN", "TRSNA", "TRSYL", "GGBAL", "GGBAK", "GGHRD", "TGEVC", "TGEXC", "TGSEN", "TGSJA",
+    "TGSNA", "TGSYL", "GELSY", "GETC2", "GESC2", "LATRS", "LATRD", "LAUUM", "LAULN", "LAHQR",
+    "LAHRD", "STEQR", "STEDC", "STEIN", "STEBZ", "STERF", "PTEQR", "BDSQR", "BDSDC",
 ];
 
 /// The four standard precision prefixes.
@@ -49,21 +47,65 @@ const PRECISIONS: &[&str] = &["S", "D", "C", "Z"];
 
 /// Genuine Sun S3L routine names (the Figure 8 hot-spot family).
 const S3L_NAMES: &[&str] = &[
-    "S3L_mat_mult", "S3L_matvec_mult", "S3L_mat_trans", "S3L_mat_vec_mult",
-    "S3L_inner_prod", "S3L_outer_prod", "S3L_norm", "S3L_axpy",
-    "S3L_lu_factor", "S3L_lu_solve", "S3L_lu_invert", "S3L_lu_deallocate",
-    "S3L_qr_factor", "S3L_qr_solve", "S3L_cholesky_factor", "S3L_cholesky_solve",
-    "S3L_eigen", "S3L_eigen_vec", "S3L_sym_eigen", "S3L_gen_eigen",
-    "S3L_fft", "S3L_ifft", "S3L_fft_setup", "S3L_fft_free", "S3L_rc_fft", "S3L_cr_fft",
-    "S3L_sort", "S3L_sort_up", "S3L_sort_down", "S3L_sort_detailed",
-    "S3L_grade_up", "S3L_grade_down", "S3L_rank",
-    "S3L_gen_lsq", "S3L_gen_svd", "S3L_gen_band_factor", "S3L_gen_band_solve",
-    "S3L_gen_trid_factor", "S3L_gen_trid_solve",
-    "S3L_rand_fib", "S3L_rand_lcg", "S3L_declare", "S3L_free",
-    "S3L_read_array", "S3L_write_array", "S3L_print_array",
-    "S3L_copy_array", "S3L_set_array_element", "S3L_get_array_element",
-    "S3L_reduce", "S3L_reduce_axis", "S3L_scan", "S3L_shift", "S3L_transpose",
-    "S3L_walsh", "S3L_conv", "S3L_deconv", "S3L_acorr", "S3L_xcorr",
+    "S3L_mat_mult",
+    "S3L_matvec_mult",
+    "S3L_mat_trans",
+    "S3L_mat_vec_mult",
+    "S3L_inner_prod",
+    "S3L_outer_prod",
+    "S3L_norm",
+    "S3L_axpy",
+    "S3L_lu_factor",
+    "S3L_lu_solve",
+    "S3L_lu_invert",
+    "S3L_lu_deallocate",
+    "S3L_qr_factor",
+    "S3L_qr_solve",
+    "S3L_cholesky_factor",
+    "S3L_cholesky_solve",
+    "S3L_eigen",
+    "S3L_eigen_vec",
+    "S3L_sym_eigen",
+    "S3L_gen_eigen",
+    "S3L_fft",
+    "S3L_ifft",
+    "S3L_fft_setup",
+    "S3L_fft_free",
+    "S3L_rc_fft",
+    "S3L_cr_fft",
+    "S3L_sort",
+    "S3L_sort_up",
+    "S3L_sort_down",
+    "S3L_sort_detailed",
+    "S3L_grade_up",
+    "S3L_grade_down",
+    "S3L_rank",
+    "S3L_gen_lsq",
+    "S3L_gen_svd",
+    "S3L_gen_band_factor",
+    "S3L_gen_band_solve",
+    "S3L_gen_trid_factor",
+    "S3L_gen_trid_solve",
+    "S3L_rand_fib",
+    "S3L_rand_lcg",
+    "S3L_declare",
+    "S3L_free",
+    "S3L_read_array",
+    "S3L_write_array",
+    "S3L_print_array",
+    "S3L_copy_array",
+    "S3L_set_array_element",
+    "S3L_get_array_element",
+    "S3L_reduce",
+    "S3L_reduce_axis",
+    "S3L_scan",
+    "S3L_shift",
+    "S3L_transpose",
+    "S3L_walsh",
+    "S3L_conv",
+    "S3L_deconv",
+    "S3L_acorr",
+    "S3L_xcorr",
 ];
 
 /// A named collection of service keys.

@@ -259,15 +259,13 @@ mod tests {
         let s3l = Key::from("S3L");
         let p = Key::from("P");
 
-        let frac_with_prefix = |pop: &mut HotspotSchedule,
-                                rng: &mut StdRng,
-                                time: u32,
-                                prefix: &Key| {
-            let hits = (0..2000)
-                .filter(|_| prefix.is_prefix_of(&ks[pop.pick(&ks, rng, time)]))
-                .count();
-            hits as f64 / 2000.0
-        };
+        let frac_with_prefix =
+            |pop: &mut HotspotSchedule, rng: &mut StdRng, time: u32, prefix: &Key| {
+                let hits = (0..2000)
+                    .filter(|_| prefix.is_prefix_of(&ks[pop.pick(&ks, rng, time)]))
+                    .count();
+                hits as f64 / 2000.0
+            };
 
         // Uniform phase: S3L's natural share is small (~5%).
         assert!(frac_with_prefix(&mut pop, &mut rng, 10, &s3l) < 0.2);

@@ -6,19 +6,22 @@
 //! ```
 
 use dlpt::core::{DlptSystem, Key};
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(1234);
-    let mut sys = DlptSystem::builder()
-        .seed(99)
-        .bootstrap_peers(12)
-        .build();
+    let mut sys = DlptSystem::builder().seed(99).bootstrap_peers(12).build();
 
     let services: Vec<Key> = (0..80)
-        .map(|i| Key::from(format!("SVC_{:02}_{}", i % 20, ["fft", "gemm", "sort", "lu"][i % 4])))
+        .map(|i| {
+            Key::from(format!(
+                "SVC_{:02}_{}",
+                i % 20,
+                ["fft", "gemm", "sort", "lu"][i % 4]
+            ))
+        })
         .collect();
     for s in &services {
         sys.insert_data(s.clone()).unwrap();

@@ -17,8 +17,16 @@ fn main() {
     }
 
     let services = [
-        "DGEMM", "DGEMV", "DTRSM", "SGEMM", "S3L_fft", "S3L_sort", "S3L_mat_mult",
-        "PSGESV", "PDGETRF", "ZHEEV",
+        "DGEMM",
+        "DGEMV",
+        "DTRSM",
+        "SGEMM",
+        "S3L_fft",
+        "S3L_sort",
+        "S3L_mat_mult",
+        "PSGESV",
+        "PDGETRF",
+        "ZHEEV",
     ];
     for s in services {
         net.insert_data(s);

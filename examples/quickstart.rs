@@ -10,15 +10,19 @@ fn main() {
     // A ring of 8 peers with random identifiers. The overlay is
     // self-contained: peers join through the prefix tree itself, no
     // DHT underneath (the paper's first contribution).
-    let mut sys = DlptSystem::builder()
-        .seed(2008)
-        .bootstrap_peers(8)
-        .build();
+    let mut sys = DlptSystem::builder().seed(2008).bootstrap_peers(8).build();
     println!("ring of {} peers", sys.peer_count());
 
     // Servers declare the services they provide. Keys are plain
     // strings — here, linear-algebra routine names as in the paper.
-    for service in ["DGEMM", "DGEMV", "DTRSM", "SGEMM", "S3L_mat_mult", "S3L_fft"] {
+    for service in [
+        "DGEMM",
+        "DGEMV",
+        "DTRSM",
+        "SGEMM",
+        "S3L_mat_mult",
+        "S3L_fft",
+    ] {
         sys.insert_data(service).expect("registration succeeds");
     }
     println!(

@@ -19,14 +19,20 @@ fn main() {
     for k in ["01", "10101", "10111", "101111"] {
         t.insert(Key::from(k));
     }
-    println!("Figure 1(a): PGCP tree of binary identifiers\n{}", t.render());
+    println!(
+        "Figure 1(a): PGCP tree of binary identifiers\n{}",
+        t.render()
+    );
 
     // ----- Figure 1(b) ------------------------------------------------
     let mut t = PgcpTrie::new();
     for k in ["DTRSM", "DTRMM", "DGEMM", "DGEMV", "DGETRF", "DSYSV"] {
         t.insert(Key::from(k));
     }
-    println!("Figure 1(b): PGCP tree of BLAS/LAPACK routines\n{}", t.render());
+    println!(
+        "Figure 1(b): PGCP tree of BLAS/LAPACK routines\n{}",
+        t.render()
+    );
 
     // ----- Figure 2: the self-contained ring mapping --------------------
     let mut sys = DlptSystem::builder()

@@ -27,19 +27,19 @@
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record.
 
+/// PHT and P-Grid comparators ([`dlpt_baselines`]).
+pub use dlpt_baselines as baselines;
 /// The paper's primary contribution: PGCP tree, protocol, mapping,
 /// load balancing ([`dlpt_core`]).
 pub use dlpt_core as core;
-/// Transports: deterministic discrete-event simulation and the threaded
-/// live runtime ([`dlpt_net`]).
-pub use dlpt_net as net;
 /// Chord DHT substrate used by the random-mapping baseline and PHT
 /// ([`dlpt_dht`]).
 pub use dlpt_dht as dht;
-/// PHT and P-Grid comparators ([`dlpt_baselines`]).
-pub use dlpt_baselines as baselines;
+/// Transports: deterministic discrete-event simulation and the threaded
+/// live runtime ([`dlpt_net`]).
+pub use dlpt_net as net;
+/// The Section-4 discrete-time experiment harness ([`dlpt_sim`]).
+pub use dlpt_sim as sim;
 /// Corpora, popularity models, churn and capacity generators
 /// ([`dlpt_workloads`]).
 pub use dlpt_workloads as workloads;
-/// The Section-4 discrete-time experiment harness ([`dlpt_sim`]).
-pub use dlpt_sim as sim;

@@ -63,11 +63,7 @@ fn kc_beats_no_balancing_under_churn() {
 #[test]
 fn mlt_reduces_physical_hops_versus_random_mapping() {
     // Figure 9's ordering at test scale.
-    let mut cfg = test_config(
-        LbKind::Mlt { fraction: 1.0 },
-        ChurnModel::stable(),
-        300,
-    );
+    let mut cfg = test_config(LbKind::Mlt { fraction: 1.0 }, ChurnModel::stable(), 300);
     cfg.track_mapping_hops = true;
     let s = run_experiment(&cfg);
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
@@ -88,11 +84,7 @@ fn mlt_reduces_physical_hops_versus_random_mapping() {
 
 #[test]
 fn hotspot_burst_dips_then_recovers_with_mlt() {
-    let mut cfg = test_config(
-        LbKind::Mlt { fraction: 1.0 },
-        ChurnModel::stable(),
-        400,
-    );
+    let mut cfg = test_config(LbKind::Mlt { fraction: 1.0 }, ChurnModel::stable(), 400);
     cfg.time_units = 80;
     cfg.growth_units = 5;
     cfg.popularity = PopKind::Figure8 { hot_fraction: 0.9 };

@@ -14,10 +14,7 @@ fn sample_corpus(n: usize) -> Vec<Key> {
 #[test]
 fn synchronous_runtime_matches_oracle_on_real_corpus() {
     let keys = sample_corpus(300);
-    let mut sys = DlptSystem::builder()
-        .seed(11)
-        .bootstrap_peers(20)
-        .build();
+    let mut sys = DlptSystem::builder().seed(11).bootstrap_peers(20).build();
     let mut oracle = PgcpTrie::new();
     for k in &keys {
         sys.insert_data(k.clone()).unwrap();
@@ -69,10 +66,7 @@ fn all_three_runtimes_converge_to_the_same_tree() {
 #[test]
 fn discovery_agrees_with_oracle_on_all_query_kinds() {
     let keys = sample_corpus(200);
-    let mut sys = DlptSystem::builder()
-        .seed(13)
-        .bootstrap_peers(16)
-        .build();
+    let mut sys = DlptSystem::builder().seed(13).bootstrap_peers(16).build();
     let mut oracle = PgcpTrie::new();
     for k in &keys {
         sys.insert_data(k.clone()).unwrap();
@@ -96,7 +90,12 @@ fn discovery_agrees_with_oracle_on_all_query_kinds() {
     }
 
     // Ranges match the oracle.
-    for (lo, hi) in [("A", "E"), ("DGEMM", "DTRSM"), ("S3L_a", "S3L_z"), ("Z", "ZZ")] {
+    for (lo, hi) in [
+        ("A", "E"),
+        ("DGEMM", "DTRSM"),
+        ("S3L_a", "S3L_z"),
+        ("Z", "ZZ"),
+    ] {
         let (lo, hi) = (Key::from(lo), Key::from(hi));
         let got = sys.range(&lo, &hi).results;
         let want = oracle.range(&lo, &hi);

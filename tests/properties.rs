@@ -5,15 +5,14 @@
 //! against exhaustive search; the wire codec against roundtrips.
 
 use dlpt::core::balance::mlt::best_split;
+use dlpt::core::messages::{Envelope, NodeMsg, QueryKind};
 use dlpt::core::{Alphabet, DlptSystem, Key, PgcpTrie};
 use dlpt::net::codec;
-use dlpt::core::messages::{Envelope, NodeMsg, QueryKind};
 use proptest::prelude::*;
 
 /// Short binary keys: dense prefix relations, maximal case coverage.
 fn binary_key() -> impl Strategy<Value = Key> {
-    proptest::collection::vec(prop_oneof![Just(b'0'), Just(b'1')], 1..10)
-        .prop_map(Key::from_bytes)
+    proptest::collection::vec(prop_oneof![Just(b'0'), Just(b'1')], 1..10).prop_map(Key::from_bytes)
 }
 
 fn binary_keys(max: usize) -> impl Strategy<Value = Vec<Key>> {

@@ -1,0 +1,257 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The workspace builds without crates.io access, so the criterion
+//! surface its benches use — `Criterion`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Bencher::iter`,
+//! `criterion_group!`, `criterion_main!` — is reimplemented as a small
+//! wall-clock harness. It measures a fixed number of timed samples per
+//! benchmark and prints `name  time: [min mean max]` lines; there is
+//! no statistical analysis, HTML report, or baseline comparison.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// An identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `<function_name>/<parameter>`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Uses the parameter alone as the identifier.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Batching hint for [`Bencher::iter_batched`] (ignored by this
+/// subset; every sample runs one setup + one routine call).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Runs the closure under measurement.
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, one sample per call, `samples` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call outside the measurement.
+        std::hint::black_box(routine());
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.results.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` over fresh inputs built by `setup`; only the
+    /// routine is inside the measured window.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        self.results.clear();
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.results.push(start.elapsed());
+        }
+    }
+}
+
+fn report(label: &str, results: &[Duration]) {
+    if results.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    let min = results.iter().min().expect("non-empty");
+    let max = results.iter().max().expect("non-empty");
+    let mean = results.iter().sum::<Duration>() / results.len() as u32;
+    println!("{label:<40} time: [{min:>10.2?} {mean:>10.2?} {max:>10.2?}]");
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks one routine.
+    pub fn bench_function<O, R: FnMut(&mut Bencher) -> O>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: R,
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        let mut b = Bencher {
+            samples: effective_samples(self.sample_size),
+            results: Vec::new(),
+        };
+        f(&mut b);
+        report(&label, &b.results);
+        self
+    }
+
+    /// Benchmarks one routine against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, O, R: FnMut(&mut Bencher, &I) -> O>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: R,
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        let mut b = Bencher {
+            samples: effective_samples(self.sample_size),
+            results: Vec::new(),
+        };
+        f(&mut b, input);
+        report(&label, &b.results);
+        self
+    }
+
+    /// Ends the group (printing is immediate; kept for API parity).
+    pub fn finish(self) {
+        let _ = self.criterion;
+    }
+}
+
+/// Caps sample counts when a quick smoke run is requested via
+/// `DLPT_BENCH_FAST=1` (used by CI, where timing fidelity is moot).
+fn effective_samples(configured: usize) -> usize {
+    match std::env::var("DLPT_BENCH_FAST") {
+        Ok(v) if v != "0" => configured.min(2),
+        _ => configured,
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 100,
+        }
+    }
+
+    /// Benchmarks one stand-alone routine.
+    pub fn bench_function<O, R: FnMut(&mut Bencher) -> O>(
+        &mut self,
+        id: &str,
+        mut f: R,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: effective_samples(100),
+            results: Vec::new(),
+        };
+        f(&mut b);
+        report(id, &b.results);
+        self
+    }
+}
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benchers_run_the_closure() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        {
+            let mut g = c.benchmark_group("demo");
+            g.sample_size(3);
+            g.bench_function("count", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(0.5).to_string(), "0.5");
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+}
