@@ -92,7 +92,9 @@ impl Vertex {
                 for _ in 0..n {
                     let len = u16::from_le_bytes(bytes.get(at..at + 2)?.try_into().ok()?) as usize;
                     at += 2;
-                    keys.push(Key::from_bytes(bytes.get(at..at + len)?.to_vec()));
+                    // Straight from the slice: short keys decode inline
+                    // with no heap allocation.
+                    keys.push(Key::from_slice(bytes.get(at..at + len)?));
                     at += len;
                 }
                 Some(Vertex::Leaf(keys))

@@ -1,0 +1,335 @@
+//! `perf` — the workspace's hot-path benchmark and the source of the
+//! committed `BENCH_<date>.json` baselines at the repo root.
+//!
+//! Unlike the figure/table binaries (which reproduce the paper's
+//! *protocol-level* metrics), this binary times the *implementation*:
+//! wall-clock throughput of the structures every experiment runs on.
+//! Four benchmarks cover the layers of the routing hot path:
+//!
+//! * `trie_build` — sequential PGCP-tree construction over the full
+//!   grid corpus (≈1000 service names);
+//! * `sync_pump_discovery` — a mixed discovery workload on the
+//!   synchronous pump (90% exact/range/completion queries, 10%
+//!   registrations/deregistrations) — the headline number, and the one
+//!   the perf trajectory in EXPERIMENTS.md tracks;
+//! * `latency_net_gather` — scatter/gather completion queries under the
+//!   discrete-event runtime with randomized latencies;
+//! * `codec_roundtrip` — envelope encode/decode over the wire format.
+//!
+//! Usage: `perf [--smoke] [--label NAME] [--out PATH]`
+//!
+//! `--smoke` runs a fraction of the iterations (CI keeps it under a
+//! second) but still emits the full JSON snapshot; without `--out` the
+//! snapshot lands in `BENCH_<utc-date>.json` in the current directory.
+//! Timings are wall-clock; workloads themselves are fully seeded, so
+//! two runs time byte-identical operation sequences.
+
+use dlpt_core::key::Key;
+use dlpt_core::messages::{DiscoveryMsg, Envelope, NodeMsg, QueryKind, RoutePhase};
+use dlpt_core::system::DlptSystem;
+use dlpt_core::trie::PgcpTrie;
+use dlpt_net::codec;
+use dlpt_net::sim::{LatencyModel, LatencyNet};
+use dlpt_workloads::corpus::Corpus;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct BenchResult {
+    name: &'static str,
+    /// Unit of one operation, for the report ("key", "op", "query",
+    /// "frame").
+    unit: &'static str,
+    ops: u64,
+    ns_total: u128,
+}
+
+impl BenchResult {
+    fn ns_per_op(&self) -> f64 {
+        self.ns_total as f64 / self.ops.max(1) as f64
+    }
+    fn ops_per_sec(&self) -> f64 {
+        if self.ns_total == 0 {
+            return 0.0;
+        }
+        self.ops as f64 * 1e9 / self.ns_total as f64
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut label = String::from("snapshot");
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--label" => label = args.next().expect("--label NAME"),
+            "--out" => out = args.next(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: perf [--smoke] [--label NAME] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    // Smoke mode divides iteration counts; the workload *shape* is
+    // identical so the JSON schema and code paths are fully exercised.
+    let scale: u64 = if smoke { 20 } else { 1 };
+
+    let mut results = Vec::new();
+    results.push(bench_trie_build(scale));
+    results.push(bench_sync_pump(scale));
+    results.push(bench_latency_net(scale));
+    results.push(bench_codec(scale));
+
+    let date = utc_date();
+    let path = out.unwrap_or_else(|| format!("BENCH_{date}.json"));
+    let json = render_json(&label, &date, smoke, &results);
+    std::fs::write(&path, &json).expect("write benchmark snapshot");
+
+    for r in &results {
+        println!(
+            "{:<22} {:>12} {}s  {:>12.0} ns/{}  {:>14.0} {}/s",
+            r.name,
+            r.ops,
+            r.unit,
+            r.ns_per_op(),
+            r.unit,
+            r.ops_per_sec(),
+            r.unit,
+        );
+    }
+    println!("snapshot: {path}");
+}
+
+// ---------------------------------------------------------------------
+// Benchmarks
+// ---------------------------------------------------------------------
+
+/// Sequential PGCP-tree construction over the grid corpus.
+fn bench_trie_build(scale: u64) -> BenchResult {
+    let corpus = Corpus::grid();
+    let rounds = (40 / scale).max(1);
+    // Warm-up build (page in the corpus, size the allocator pools).
+    let mut warm = PgcpTrie::new();
+    for k in &corpus.keys {
+        warm.insert(k.clone());
+    }
+    let start = Instant::now();
+    for _ in 0..rounds {
+        let mut t = PgcpTrie::new();
+        for k in &corpus.keys {
+            t.insert(k.clone());
+        }
+        assert!(t.node_count() >= corpus.len());
+    }
+    BenchResult {
+        name: "trie_build",
+        unit: "key",
+        ops: rounds * corpus.len() as u64,
+        ns_total: start.elapsed().as_nanos(),
+    }
+}
+
+/// Mixed discovery workload on the synchronous pump: 90% discovery
+/// (exact/range/completion), 10% data churn (register/deregister).
+fn bench_sync_pump(scale: u64) -> BenchResult {
+    let corpus = Corpus::grid();
+    let keys: Vec<Key> = corpus.keys.iter().take(400).cloned().collect();
+    let mut sys = DlptSystem::builder()
+        .seed(0xBE_EF)
+        .peer_id_len(12)
+        .bootstrap_peers(48)
+        .build();
+    for k in &keys {
+        sys.insert_data(k.clone()).expect("registration");
+    }
+    let ops = (60_000 / scale).max(500);
+    let mut rng = StdRng::seed_from_u64(7);
+    // Warm-up: one query of each kind grows every internal buffer.
+    sys.lookup(&keys[0]);
+    sys.complete(&Key::from("S3L_m"));
+    sys.range(&keys[1], &keys[2]);
+    let start = Instant::now();
+    let mut satisfied = 0u64;
+    for i in 0..ops {
+        match rng.gen_range(0..100u32) {
+            0..=79 => {
+                let k = &keys[rng.gen_range(0..keys.len())];
+                if sys.lookup(k).satisfied {
+                    satisfied += 1;
+                }
+            }
+            80..=84 => {
+                let a = rng.gen_range(0..keys.len());
+                let b = rng.gen_range(0..keys.len());
+                let (lo, hi) = (a.min(b), a.max(b));
+                sys.range(&keys[lo], &keys[hi]);
+            }
+            85..=89 => {
+                let k = &keys[rng.gen_range(0..keys.len())];
+                sys.complete(&k.truncated(3));
+            }
+            90..=94 => {
+                // Re-register an existing key from a random entry
+                // (idempotent; still routes the full insertion path).
+                let k = keys[rng.gen_range(0..keys.len())].clone();
+                sys.insert_data(k).expect("insert");
+            }
+            _ => {
+                // Deregister, then immediately re-register so the tree
+                // returns to steady state.
+                let k = keys[rng.gen_range(0..keys.len())].clone();
+                sys.remove_data(&k).expect("remove");
+                sys.insert_data(k).expect("re-insert");
+            }
+        }
+        if i % 4096 == 0 {
+            sys.end_time_unit();
+        }
+    }
+    let ns_total = start.elapsed().as_nanos();
+    assert!(satisfied > 0, "workload must find keys");
+    BenchResult {
+        name: "sync_pump_discovery",
+        unit: "op",
+        ops,
+        ns_total,
+    }
+}
+
+/// Scatter/gather completion queries under randomized latencies.
+fn bench_latency_net(scale: u64) -> BenchResult {
+    let corpus = Corpus::s3l();
+    let mut net = LatencyNet::new(LatencyModel::Uniform(1, 30), 0xC0FFEE);
+    let alphabet = dlpt_core::alphabet::Alphabet::grid();
+    let mut rng = StdRng::seed_from_u64(0xFEED);
+    let mut chosen = std::collections::BTreeSet::new();
+    while chosen.len() < 16 {
+        let id = alphabet.random_id(&mut rng, 10);
+        if chosen.insert(id.clone()) {
+            net.add_peer(id);
+        }
+    }
+    for k in &corpus.keys {
+        net.insert_data(k.clone());
+    }
+    let queries = (2_000 / scale).max(50);
+    let prefixes = [
+        Key::from("S3L_"),
+        Key::from("S3L_mat"),
+        Key::from("S3L_sort"),
+        Key::from("S3L_gen"),
+        Key::from("S3L_fft"),
+    ];
+    let start = Instant::now();
+    for i in 0..queries {
+        let (ok, _results) = net.complete(&prefixes[(i % prefixes.len() as u64) as usize]);
+        assert!(ok, "completion must reach its region");
+    }
+    BenchResult {
+        name: "latency_net_gather",
+        unit: "query",
+        ops: queries,
+        ns_total: start.elapsed().as_nanos(),
+    }
+}
+
+/// Envelope encode/decode round-trips over representative frames.
+fn bench_codec(scale: u64) -> BenchResult {
+    let corpus = Corpus::grid();
+    let envs: Vec<Envelope> = corpus
+        .keys
+        .iter()
+        .take(256)
+        .enumerate()
+        .map(|(i, k)| {
+            Envelope::to_node(
+                k.clone(),
+                NodeMsg::Discovery(DiscoveryMsg {
+                    request_id: i as u64,
+                    query: QueryKind::Exact(k.clone()),
+                    phase: RoutePhase::Up,
+                    path: vec![k.truncated(1), k.truncated(3), k.clone()],
+                }),
+            )
+        })
+        .collect();
+    let rounds = (2_000 / scale).max(40);
+    let start = Instant::now();
+    let mut bytes = 0usize;
+    for _ in 0..rounds {
+        for env in &envs {
+            let frame = codec::encode(env);
+            bytes += frame.len();
+            let back = codec::decode(&frame).expect("round-trip");
+            debug_assert_eq!(&back, env);
+        }
+    }
+    let ns_total = start.elapsed().as_nanos();
+    assert!(bytes > 0);
+    BenchResult {
+        name: "codec_roundtrip",
+        unit: "frame",
+        ops: rounds * envs.len() as u64,
+        ns_total,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reporting
+// ---------------------------------------------------------------------
+
+/// Renders the snapshot as JSON (hand-rolled; the workspace is
+/// offline-only and the schema is flat).
+fn render_json(label: &str, date: &str, smoke: bool, results: &[BenchResult]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"label\": \"{label}\",");
+    let _ = writeln!(s, "  \"date\": \"{date}\",");
+    let _ = writeln!(s, "  \"smoke\": {smoke},");
+    s.push_str("  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str("    {");
+        let _ = write!(
+            s,
+            "\"name\": \"{}\", \"unit\": \"{}\", \"ops\": {}, \"ns_total\": {}, \
+             \"ns_per_op\": {:.1}, \"ops_per_sec\": {:.1}",
+            r.name,
+            r.unit,
+            r.ops,
+            r.ns_total,
+            r.ns_per_op(),
+            r.ops_per_sec()
+        );
+        s.push_str(if i + 1 == results.len() {
+            "}\n"
+        } else {
+            "},\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Current UTC date as `YYYY-MM-DD` (civil-from-days, Howard Hinnant's
+/// algorithm; avoids a chrono dependency).
+fn utc_date() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after 1970")
+        .as_secs() as i64;
+    let z = secs.div_euclid(86_400) + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}

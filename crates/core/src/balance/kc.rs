@@ -15,7 +15,6 @@
 
 use super::LoadBalancer;
 use crate::key::{in_ring_interval, Key};
-use crate::mapping;
 use crate::system::DlptSystem;
 use rand::RngCore;
 
@@ -40,11 +39,12 @@ impl KChoices {
 
     /// Scores one candidate identifier; higher is better.
     pub fn score_candidate(sys: &DlptSystem, candidate: &Key, capacity: u32) -> u64 {
-        let peers: std::collections::BTreeSet<Key> = sys.peer_ids().into_iter().collect();
-        let Some(succ) = mapping::host_of(&peers, candidate) else {
+        // The would-be successor straight off the ordered shard map —
+        // no peer-set snapshot per candidate.
+        let Some(succ) = sys.host_peer(candidate) else {
             return 0;
         };
-        let Some(t_shard) = sys.shard(&succ) else {
+        let Some(t_shard) = sys.shard(succ) else {
             return 0;
         };
         let pred = &t_shard.peer.pred;

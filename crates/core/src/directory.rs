@@ -1,0 +1,258 @@
+//! The interned delivery directory: node label → hosting peer.
+//!
+//! The synchronous runtime resolves every node-addressed envelope
+//! through this table, so it sits on the routing hot path. The previous
+//! representation — a `BTreeMap<Key, Key>` plus a full `Vec<Key>`
+//! rebuild whenever `random_node` ran after a change — made each
+//! delivery walk a B-tree comparing variable-length byte strings and
+//! made each membership change O(nodes) in clones. Here every distinct
+//! key is *interned* once and identified by a `u32`; the directory
+//! itself is
+//!
+//! * `hosts`: a flat `id → host-id` array giving O(1) exact lookups
+//!   (one hash of the label, no byte-string tree walk), and
+//! * `sorted`: the live label ids in lexicographic order, maintained
+//!   incrementally (binary search over `u32` ids) on
+//!   join/leave/migrate, giving ordered iteration and O(1) uniform
+//!   sampling (`label_at`).
+//!
+//! Interned keys are never freed: the id space grows with the number of
+//! *distinct* labels and peers ever seen, which for the service-
+//! discovery workloads is bounded by the corpus and churn population.
+//! That trade buys clone-free lookups everywhere else.
+
+use crate::key::Key;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Sentinel host id meaning "label not present".
+const NONE: u32 = u32::MAX;
+
+/// FxHash (the rustc hasher): multiply-xor over machine words. Keys
+/// are short, trusted identifiers, so DoS-resistant SipHash is pure
+/// overhead here — and a fixed hasher also keeps the map independent
+/// of process-global randomness (we never iterate the map, but
+/// determinism is this runtime's core guarantee, so no randomness at
+/// all is the safer invariant).
+#[derive(Default)]
+pub struct FxHasher(u64);
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let w = u64::from_le_bytes(c.try_into().expect("exact chunk"));
+            self.0 = (self.0.rotate_left(5) ^ w).wrapping_mul(FX_SEED);
+        }
+        let mut tail = 0u64;
+        for &b in chunks.remainder() {
+            tail = tail << 8 | b as u64;
+        }
+        self.0 = (self.0.rotate_left(5) ^ tail).wrapping_mul(FX_SEED);
+    }
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.0 = (self.0.rotate_left(5) ^ n as u64).wrapping_mul(FX_SEED);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// `HashMap` keyed by interned keys with the fixed [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// An interned `label → host` table with incremental ordered access.
+#[derive(Debug, Default)]
+pub struct Directory {
+    /// Interned key storage; index is the key's id.
+    keys: Vec<Key>,
+    /// Reverse map key → id (cheap to key by `Key`: clones are inline).
+    ids: FxHashMap<Key, u32>,
+    /// Per key-id: id of the hosting peer's key, or [`NONE`] when the
+    /// key is not currently a live node label.
+    hosts: Vec<u32>,
+    /// Live label ids, ascending by digit string.
+    sorted: Vec<u32>,
+}
+
+impl Directory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// Number of live node labels.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True iff no node labels are present.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Interns `k`, returning its stable id.
+    fn intern(&mut self, k: &Key) -> u32 {
+        if let Some(&id) = self.ids.get(k) {
+            return id;
+        }
+        let id = self.keys.len() as u32;
+        self.keys.push(k.clone());
+        self.hosts.push(NONE);
+        self.ids.insert(k.clone(), id);
+        id
+    }
+
+    /// Position of `label`'s id in `sorted` (Ok) or its insertion
+    /// point (Err) — the binary search runs over `u32` ids and only
+    /// dereferences into the interned storage for comparisons.
+    fn rank(&self, label: &Key) -> Result<usize, usize> {
+        self.sorted
+            .binary_search_by(|&id| self.keys[id as usize].cmp(label))
+    }
+
+    /// True iff `label` is a live node label.
+    pub fn contains(&self, label: &Key) -> bool {
+        self.ids
+            .get(label)
+            .map(|&id| self.hosts[id as usize] != NONE)
+            .unwrap_or(false)
+    }
+
+    /// The hosting peer of `label`, if the label is live.
+    pub fn host_of(&self, label: &Key) -> Option<&Key> {
+        let &id = self.ids.get(label)?;
+        match self.hosts[id as usize] {
+            NONE => None,
+            host => Some(&self.keys[host as usize]),
+        }
+    }
+
+    /// Sets (or replaces) the hosting peer of `label`.
+    pub fn insert(&mut self, label: Key, host: Key) {
+        let lid = self.intern(&label);
+        let hid = self.intern(&host);
+        if self.hosts[lid as usize] == NONE {
+            let at = self
+                .rank(&label)
+                .expect_err("absent label cannot be in sorted order");
+            self.sorted.insert(at, lid);
+        }
+        self.hosts[lid as usize] = hid;
+    }
+
+    /// Removes `label`; returns true iff it was present.
+    pub fn remove(&mut self, label: &Key) -> bool {
+        let Some(&lid) = self.ids.get(label) else {
+            return false;
+        };
+        if self.hosts[lid as usize] == NONE {
+            return false;
+        }
+        self.hosts[lid as usize] = NONE;
+        let at = self.rank(label).expect("live label is in sorted order");
+        self.sorted.remove(at);
+        true
+    }
+
+    /// Drops every label (the interner itself is retained).
+    pub fn clear(&mut self) {
+        for &id in &self.sorted {
+            self.hosts[id as usize] = NONE;
+        }
+        self.sorted.clear();
+    }
+
+    /// The `i`-th live label in ascending order. Panics when out of
+    /// range — this is the O(1) uniform-sampling accessor behind
+    /// `random_node`, which replaced the rebuilt `node_cache`.
+    pub fn label_at(&self, i: usize) -> &Key {
+        &self.keys[self.sorted[i] as usize]
+    }
+
+    /// Live labels, ascending.
+    pub fn labels(&self) -> impl ExactSizeIterator<Item = &Key> + '_ {
+        self.sorted.iter().map(|&id| &self.keys[id as usize])
+    }
+
+    /// `(label, host)` pairs, ascending by label.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (&Key, &Key)> + '_ {
+        self.sorted.iter().map(|&id| {
+            (
+                &self.keys[id as usize],
+                &self.keys[self.hosts[id as usize] as usize],
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> Key {
+        Key::from(s)
+    }
+
+    fn sample() -> Directory {
+        let mut d = Directory::new();
+        d.insert(k("101"), k("P2"));
+        d.insert(k("01"), k("P1"));
+        d.insert(k("10101"), k("P2"));
+        d.insert(Key::epsilon(), k("P1"));
+        d
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut d = sample();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.host_of(&k("101")), Some(&k("P2")));
+        assert_eq!(d.host_of(&k("01")), Some(&k("P1")));
+        assert_eq!(d.host_of(&k("zzz")), None);
+        assert!(d.contains(&Key::epsilon()));
+        assert!(d.remove(&k("101")));
+        assert!(!d.remove(&k("101")), "second removal is a no-op");
+        assert_eq!(d.host_of(&k("101")), None);
+        assert_eq!(d.len(), 3);
+        // Re-inserting a previously interned label works.
+        d.insert(k("101"), k("P9"));
+        assert_eq!(d.host_of(&k("101")), Some(&k("P9")));
+    }
+
+    #[test]
+    fn rehosting_replaces_without_duplicating() {
+        let mut d = sample();
+        d.insert(k("101"), k("P7"));
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.host_of(&k("101")), Some(&k("P7")));
+    }
+
+    #[test]
+    fn iteration_is_ascending() {
+        let d = sample();
+        let labels: Vec<&Key> = d.labels().collect();
+        assert_eq!(
+            labels,
+            vec![&Key::epsilon(), &k("01"), &k("101"), &k("10101")]
+        );
+        assert_eq!(d.label_at(2), &k("101"));
+        let pairs: Vec<(&Key, &Key)> = d.iter().collect();
+        assert_eq!(pairs[1], (&k("01"), &k("P1")));
+    }
+
+    #[test]
+    fn clear_retains_interner_but_drops_labels() {
+        let mut d = sample();
+        d.clear();
+        assert!(d.is_empty());
+        assert_eq!(d.host_of(&k("101")), None);
+        d.insert(k("101"), k("P1"));
+        assert_eq!(d.len(), 1);
+    }
+}

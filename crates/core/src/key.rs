@@ -17,65 +17,128 @@
 
 use std::borrow::Borrow;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Digits that fit in a `Key` without touching the heap. Sized so the
+/// whole `Key` is 32 bytes and every identifier the workloads generate
+/// — service names of the grid corpus (≤ 21 digits) and peer ids (the
+/// default `peer_id_len` is 16) — stays inline.
+pub const KEY_INLINE_CAP: usize = 23;
+
+/// Storage behind a [`Key`]: inline digits for the common short case,
+/// shared heap spill beyond [`KEY_INLINE_CAP`]. `Arc` (not `Box`) for
+/// the spill so cloning a long key is a reference-count bump, never a
+/// byte copy.
+#[derive(Clone)]
+enum Repr {
+    Inline { len: u8, buf: [u8; KEY_INLINE_CAP] },
+    Spill(Arc<[u8]>),
+}
 
 /// An identifier: a finite (possibly empty) sequence of digits.
 ///
-/// `Key` is an immutable byte string with lexicographic `Ord`. Cloning
-/// is a heap copy; keys in this system are short (service-name length),
-/// so this is cheap in practice.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct Key(Box<[u8]>);
+/// `Key` is an immutable byte string with lexicographic `Ord`.
+/// Identifiers up to [`KEY_INLINE_CAP`] digits — every service name and
+/// peer id in the shipped workloads — are stored inline, so cloning
+/// them (the routing hot path does it constantly) is a 32-byte memcpy
+/// with no allocation; longer keys spill to a shared heap buffer whose
+/// clone is a reference-count bump. All comparisons, hashing and
+/// formatting are defined over the digit string alone, so the two
+/// representations are observationally identical.
+#[derive(Clone)]
+pub struct Key(Repr);
 
 impl Key {
     /// The empty identifier `ε` (`|ε| = 0`), neutral for concatenation.
     pub fn epsilon() -> Self {
-        Key(Box::default())
+        Key(Repr::Inline {
+            len: 0,
+            buf: [0; KEY_INLINE_CAP],
+        })
     }
 
     /// Builds a key from raw digit bytes.
-    pub fn from_bytes(bytes: impl Into<Vec<u8>>) -> Self {
-        Key(bytes.into().into_boxed_slice())
+    pub fn from_bytes(bytes: impl AsRef<[u8]>) -> Self {
+        Key::from_slice(bytes.as_ref())
+    }
+
+    /// Builds a key by copying a digit slice — inline (no allocation)
+    /// whenever the digits fit in [`KEY_INLINE_CAP`].
+    #[inline]
+    pub fn from_slice(b: &[u8]) -> Self {
+        if b.len() <= KEY_INLINE_CAP {
+            let mut buf = [0u8; KEY_INLINE_CAP];
+            buf[..b.len()].copy_from_slice(b);
+            Key(Repr::Inline {
+                len: b.len() as u8,
+                buf,
+            })
+        } else {
+            Key(Repr::Spill(Arc::from(b)))
+        }
+    }
+
+    /// True iff the digits are stored inline (no heap involvement).
+    pub fn is_inline(&self) -> bool {
+        matches!(self.0, Repr::Inline { .. })
     }
 
     /// The underlying digits.
+    #[inline]
     pub fn as_bytes(&self) -> &[u8] {
-        &self.0
+        match &self.0 {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Spill(a) => a,
+        }
     }
 
     /// Length `|w|`: the number of digits (0 for `ε`).
+    #[inline]
     pub fn len(&self) -> usize {
-        self.0.len()
+        match &self.0 {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Spill(a) => a.len(),
+        }
     }
 
     /// True iff this is `ε`.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len() == 0
     }
 
     /// Concatenation `uv` of two identifiers.
     pub fn concat(&self, other: &Key) -> Key {
-        let mut v = Vec::with_capacity(self.len() + other.len());
-        v.extend_from_slice(&self.0);
-        v.extend_from_slice(&other.0);
-        Key::from_bytes(v)
+        let (a, b) = (self.as_bytes(), other.as_bytes());
+        if a.len() + b.len() <= KEY_INLINE_CAP {
+            let mut buf = [0u8; KEY_INLINE_CAP];
+            buf[..a.len()].copy_from_slice(a);
+            buf[a.len()..a.len() + b.len()].copy_from_slice(b);
+            return Key(Repr::Inline {
+                len: (a.len() + b.len()) as u8,
+                buf,
+            });
+        }
+        let mut v = Vec::with_capacity(a.len() + b.len());
+        v.extend_from_slice(a);
+        v.extend_from_slice(b);
+        Key(Repr::Spill(v.into()))
     }
 
     /// The key extended by one digit.
     pub fn child(&self, digit: u8) -> Key {
-        let mut v = Vec::with_capacity(self.len() + 1);
-        v.extend_from_slice(&self.0);
-        v.push(digit);
-        Key::from_bytes(v)
+        self.concat(&Key::from_slice(&[digit]))
     }
 
     /// The first `n` digits as a new key (`n` capped at `len`).
     pub fn truncated(&self, n: usize) -> Key {
-        Key::from_bytes(&self.0[..n.min(self.len())])
+        let b = self.as_bytes();
+        Key::from_slice(&b[..n.min(b.len())])
     }
 
     /// True iff `self` is a prefix of `other` (possibly equal).
     pub fn is_prefix_of(&self, other: &Key) -> bool {
-        other.0.starts_with(&self.0)
+        other.as_bytes().starts_with(self.as_bytes())
     }
 
     /// True iff `self` is a *proper* prefix of `other`
@@ -102,9 +165,9 @@ impl Key {
     /// Length of the greatest common prefix, `|GCP(self, other)|`,
     /// without allocating.
     pub fn gcp_len(&self, other: &Key) -> usize {
-        self.0
+        self.as_bytes()
             .iter()
-            .zip(other.0.iter())
+            .zip(other.as_bytes())
             .take_while(|(a, b)| a == b)
             .count()
     }
@@ -132,7 +195,7 @@ impl Key {
     /// distinguishes this key within the subtree rooted at `prefix`.
     /// `None` if `self` is not longer than the prefix.
     pub fn digit_after(&self, prefix: &Key) -> Option<u8> {
-        self.0.get(prefix.len()).copied()
+        self.as_bytes().get(prefix.len()).copied()
     }
 
     /// Renders the key for display; `ε` shows as `"ε"`.
@@ -141,15 +204,53 @@ impl Key {
     }
 }
 
+impl Default for Key {
+    fn default() -> Self {
+        Key::epsilon()
+    }
+}
+
+impl PartialEq for Key {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.as_bytes() == other.as_bytes()
+    }
+}
+
+impl Eq for Key {}
+
+impl PartialOrd for Key {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_bytes().cmp(other.as_bytes())
+    }
+}
+
+impl Hash for Key {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Hash exactly like `&[u8]` (and like the previous
+        // `Box<[u8]>`-backed Key), so inline and spilled keys with the
+        // same digits collide as required by `Eq`.
+        self.as_bytes().hash(state)
+    }
+}
+
 impl fmt::Display for Key {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.is_empty() {
             return write!(f, "ε");
         }
-        match std::str::from_utf8(&self.0) {
+        match std::str::from_utf8(self.as_bytes()) {
             Ok(s) => f.write_str(s),
             Err(_) => {
-                for b in self.0.iter() {
+                for b in self.as_bytes() {
                     write!(f, "\\x{b:02x}")?;
                 }
                 Ok(())
@@ -166,25 +267,25 @@ impl fmt::Debug for Key {
 
 impl From<&str> for Key {
     fn from(s: &str) -> Self {
-        Key::from_bytes(s.as_bytes().to_vec())
+        Key::from_slice(s.as_bytes())
     }
 }
 
 impl From<String> for Key {
     fn from(s: String) -> Self {
-        Key::from_bytes(s.into_bytes())
+        Key::from_slice(s.as_bytes())
     }
 }
 
 impl From<&[u8]> for Key {
     fn from(b: &[u8]) -> Self {
-        Key::from_bytes(b.to_vec())
+        Key::from_slice(b)
     }
 }
 
 impl AsRef<[u8]> for Key {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self.as_bytes()
     }
 }
 
@@ -311,6 +412,46 @@ mod tests {
         assert!(in_ring_interval(&k("B"), &a, &b));
         assert!(!in_ring_interval(&k("C"), &a, &b));
         assert!(!in_ring_interval(&k("M"), &a, &b));
+    }
+
+    #[test]
+    fn key_is_small_and_short_keys_stay_inline() {
+        assert_eq!(std::mem::size_of::<Key>(), 32);
+        assert!(Key::epsilon().is_inline());
+        assert!(Key::from_bytes(vec![b'x'; KEY_INLINE_CAP]).is_inline());
+        assert!(!Key::from_bytes(vec![b'x'; KEY_INLINE_CAP + 1]).is_inline());
+        assert!(k("S3L_set_array_element").is_inline(), "longest corpus key");
+    }
+
+    #[test]
+    fn inline_and_spilled_keys_are_observationally_identical() {
+        let long = "X".repeat(KEY_INLINE_CAP + 9);
+        let spilled = Key::from(long.as_str());
+        assert_eq!(spilled.len(), KEY_INLINE_CAP + 9);
+        assert_eq!(spilled.to_string(), long);
+        // Operations crossing the boundary land in the right repr.
+        let head = spilled.truncated(KEY_INLINE_CAP);
+        assert!(head.is_inline());
+        assert!(head.is_proper_prefix_of(&spilled));
+        assert_eq!(head.concat(&spilled.truncated(9)), {
+            let mut v = "X".repeat(KEY_INLINE_CAP);
+            v.push_str(&"X".repeat(9));
+            Key::from(v)
+        });
+        assert_eq!(spilled.gcp(&head), head);
+        // Equality and ordering ignore the representation.
+        let rebuilt = Key::from_slice(spilled.as_bytes());
+        assert_eq!(spilled, rebuilt);
+        assert_eq!(spilled.cmp(&rebuilt), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn inline_boundary_ordering_matches_byte_order() {
+        let a = Key::from_bytes(vec![b'a'; KEY_INLINE_CAP]); // inline
+        let b = Key::from_bytes(vec![b'a'; KEY_INLINE_CAP + 1]); // spill
+        assert!(a < b, "prefix sorts before its extension across reprs");
+        assert!(a.is_prefix_of(&b));
+        assert_eq!(a.gcp_len(&b), KEY_INLINE_CAP);
     }
 
     #[test]

@@ -32,6 +32,7 @@
 
 pub mod alphabet;
 pub mod balance;
+pub mod directory;
 pub mod error;
 pub mod key;
 pub mod mapping;

@@ -22,37 +22,32 @@ use std::collections::BTreeSet;
 
 /// Computes `host(n)` over an ordered peer set: the lowest peer id
 /// `>= n`, wrapping to the minimum. Returns `None` for an empty set.
-pub fn host_of(peers: &BTreeSet<Key>, n: &Key) -> Option<Key> {
+/// Borrows from the set — a routing decision allocates nothing.
+pub fn host_of<'a>(peers: &'a BTreeSet<Key>, n: &Key) -> Option<&'a Key> {
     peers
-        .range(n.clone()..)
+        .range::<Key, _>(n..)
         .next()
         .or_else(|| peers.iter().next())
-        .cloned()
 }
 
 /// The predecessor of `id` in the ordered peer set, wrapping to the
 /// maximum; `None` for an empty set. When `id` is itself the only
 /// peer, its predecessor is itself.
-pub fn pred_of(peers: &BTreeSet<Key>, id: &Key) -> Option<Key> {
+pub fn pred_of<'a>(peers: &'a BTreeSet<Key>, id: &Key) -> Option<&'a Key> {
     peers
-        .range(..id.clone())
+        .range::<Key, _>(..id)
         .next_back()
         .or_else(|| peers.iter().next_back())
-        .cloned()
 }
 
 /// The successor of `id` in the ordered peer set, wrapping to the
 /// minimum; `None` for an empty set.
-pub fn succ_of(peers: &BTreeSet<Key>, id: &Key) -> Option<Key> {
-    let mut above = peers.range(id.clone()..);
-    match above.next() {
-        Some(found) if found == id => above
-            .next()
-            .cloned()
-            .or_else(|| peers.iter().next().cloned()),
-        Some(found) => Some(found.clone()),
-        None => peers.iter().next().cloned(),
-    }
+pub fn succ_of<'a>(peers: &'a BTreeSet<Key>, id: &Key) -> Option<&'a Key> {
+    use std::ops::Bound;
+    peers
+        .range::<Key, _>((Bound::Excluded(id), Bound::Unbounded))
+        .next()
+        .or_else(|| peers.iter().next())
 }
 
 /// A violated mapping expectation, reported by validators in
@@ -107,18 +102,18 @@ mod tests {
     #[test]
     fn host_is_lowest_peer_at_or_above() {
         let ps = peers(&["D", "M", "T"]);
-        assert_eq!(host_of(&ps, &k("A")), Some(k("D")));
-        assert_eq!(host_of(&ps, &k("D")), Some(k("D")), "equality stays");
-        assert_eq!(host_of(&ps, &k("E")), Some(k("M")));
-        assert_eq!(host_of(&ps, &k("M")), Some(k("M")));
-        assert_eq!(host_of(&ps, &k("N")), Some(k("T")));
+        assert_eq!(host_of(&ps, &k("A")), Some(&k("D")));
+        assert_eq!(host_of(&ps, &k("D")), Some(&k("D")), "equality stays");
+        assert_eq!(host_of(&ps, &k("E")), Some(&k("M")));
+        assert_eq!(host_of(&ps, &k("M")), Some(&k("M")));
+        assert_eq!(host_of(&ps, &k("N")), Some(&k("T")));
     }
 
     #[test]
     fn host_wraps_to_minimum() {
         let ps = peers(&["D", "M", "T"]);
         // n > P_max → P_min (paper's wrap rule).
-        assert_eq!(host_of(&ps, &k("Z")), Some(k("D")));
+        assert_eq!(host_of(&ps, &k("Z")), Some(&k("D")));
     }
 
     #[test]
@@ -129,32 +124,32 @@ mod tests {
     #[test]
     fn pred_and_succ_wrap() {
         let ps = peers(&["D", "M", "T"]);
-        assert_eq!(pred_of(&ps, &k("D")), Some(k("T")));
-        assert_eq!(pred_of(&ps, &k("M")), Some(k("D")));
-        assert_eq!(succ_of(&ps, &k("T")), Some(k("D")));
-        assert_eq!(succ_of(&ps, &k("D")), Some(k("M")));
+        assert_eq!(pred_of(&ps, &k("D")), Some(&k("T")));
+        assert_eq!(pred_of(&ps, &k("M")), Some(&k("D")));
+        assert_eq!(succ_of(&ps, &k("T")), Some(&k("D")));
+        assert_eq!(succ_of(&ps, &k("D")), Some(&k("M")));
     }
 
     #[test]
     fn pred_succ_for_non_member_id() {
         let ps = peers(&["D", "M", "T"]);
         // Queries about prospective ids (used by k-choices).
-        assert_eq!(pred_of(&ps, &k("E")), Some(k("D")));
-        assert_eq!(succ_of(&ps, &k("E")), Some(k("M")));
-        assert_eq!(succ_of(&ps, &k("Z")), Some(k("D")));
+        assert_eq!(pred_of(&ps, &k("E")), Some(&k("D")));
+        assert_eq!(succ_of(&ps, &k("E")), Some(&k("M")));
+        assert_eq!(succ_of(&ps, &k("Z")), Some(&k("D")));
     }
 
     #[test]
     fn single_peer_is_its_own_neighbours() {
         let ps = peers(&["M"]);
-        assert_eq!(pred_of(&ps, &k("M")), Some(k("M")));
-        assert_eq!(succ_of(&ps, &k("M")), Some(k("M")));
-        assert_eq!(host_of(&ps, &k("zzz")), Some(k("M")));
+        assert_eq!(pred_of(&ps, &k("M")), Some(&k("M")));
+        assert_eq!(succ_of(&ps, &k("M")), Some(&k("M")));
+        assert_eq!(host_of(&ps, &k("zzz")), Some(&k("M")));
     }
 
     #[test]
     fn epsilon_maps_to_minimum_peer() {
         let ps = peers(&["D", "M"]);
-        assert_eq!(host_of(&ps, &Key::epsilon()), Some(k("D")));
+        assert_eq!(host_of(&ps, &Key::epsilon()), Some(&k("D")));
     }
 }

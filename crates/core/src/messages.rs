@@ -44,6 +44,12 @@ pub struct Envelope {
 }
 
 impl Envelope {
+    /// Reassembles an envelope from its parts (used by runtimes that
+    /// destructure for zero-clone dispatch and must requeue).
+    pub fn to_address(to: Address, msg: Message) -> Self {
+        Envelope { to, msg }
+    }
+
     /// Builds an envelope to a node.
     pub fn to_node(label: Key, msg: NodeMsg) -> Self {
         Envelope {

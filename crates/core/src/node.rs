@@ -60,7 +60,7 @@ impl NodeState {
     /// The child with the greatest label `<= target`, i.e.
     /// `Max({q ∈ C_p : q <= target})` from Algorithms 1 and 3.
     pub fn max_child_le(&self, target: &Key) -> Option<&Key> {
-        self.children.range(..=target.clone()).next_back()
+        self.children.range::<Key, _>(..=target).next_back()
     }
 
     /// The unique child sharing a strictly longer prefix with `target`

@@ -190,7 +190,11 @@ pub fn on_searching_host(
 ) {
     let p = shard.nodes.get(node_label).expect("routed to hosted node");
     // Strictly below `l` (see module docs on line 3.33).
-    let next = p.children.range(..seed.label.clone()).next_back().cloned();
+    let next = p
+        .children
+        .range::<Key, _>(..&seed.label)
+        .next_back()
+        .cloned();
     match next {
         Some(q) => fx.send(Envelope::to_node(q, NodeMsg::SearchingHost { seed })),
         None => fx.send(Envelope::to_peer(

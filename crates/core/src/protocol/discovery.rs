@@ -36,16 +36,19 @@ pub fn on_discovery(
     msg.path.push(node_label.clone());
     match msg.phase {
         RoutePhase::Up => {
-            let (label, father) = {
-                let node = shard.nodes.get(node_label).expect("routed to hosted node");
-                (node.label.clone(), node.father.clone())
-            };
             let target = msg.query.target();
-            match father {
-                Some(f) if !label.is_prefix_of(&target) => {
-                    fx.send(Envelope::to_node(f, NodeMsg::Discovery(msg)));
+            // Inspect the node by borrow; only the father link of an
+            // upward forward is cloned (inline: a memcpy).
+            let up = {
+                let node = shard.nodes.get(node_label).expect("routed to hosted node");
+                match &node.father {
+                    Some(f) if !node.label.is_prefix_of(&target) => Some(f.clone()),
+                    _ => None,
                 }
-                _ => {
+            };
+            match up {
+                Some(f) => fx.send(Envelope::to_node(f, NodeMsg::Discovery(msg))),
+                None => {
                     // This node covers the target's region (or is the
                     // root): switch to the descent.
                     msg.phase = RoutePhase::Down;
@@ -61,14 +64,15 @@ pub fn on_discovery(
 /// Downward phase: walk toward the node covering the query target.
 fn descend(shard: &mut PeerShard, node_label: &Key, mut msg: DiscoveryMsg, fx: &mut Effects) {
     let target = msg.query.target();
+    // The node is only inspected; the single clone below is the child
+    // label a forwarded envelope must own.
     let node = shard.nodes.get(node_label).expect("routed to hosted node");
-    let label = node.label.clone();
 
-    if label == target {
+    if node.label == target {
         at_covering_node(shard, node_label, msg, fx);
         return;
     }
-    if label.is_proper_prefix_of(&target) {
+    if node.label.is_proper_prefix_of(&target) {
         match node.child_extending(&target).cloned() {
             Some(q) if q.is_prefix_of(&target) => {
                 // Stay on the target's path.
@@ -110,7 +114,7 @@ fn descend(shard: &mut PeerShard, node_label: &Key, mut msg: DiscoveryMsg, fx: &
         }
         return;
     }
-    if target.is_proper_prefix_of(&label) {
+    if target.is_proper_prefix_of(&node.label) {
         // Only reachable at the root: the covering region starts above
         // the whole tree, so the root's subtree is the covered region.
         match msg.query {
@@ -183,7 +187,17 @@ fn finish_empty_region(msg: DiscoveryMsg, fx: &mut Effects) {
 
 /// Scatter phase of range/completion queries: report local matches and
 /// fan out to the children whose subtrees can intersect the query.
-fn gather(shard: &mut PeerShard, node_label: &Key, msg: DiscoveryMsg, fx: &mut Effects) {
+///
+/// The node is only inspected; branch envelopes are emitted directly
+/// from the borrowed child set (no staging `Vec`, one extra counting
+/// pass over the few children instead), and the visit path is moved —
+/// not cloned — into the partial report. The report MUST precede the
+/// branch forwards: the aggregator finalizes eagerly when its
+/// outstanding counter drains, so a branch whose visit is refused
+/// synchronously (capacity drop) would otherwise finalize the request
+/// before this node's `pending_children` raise the counter, discarding
+/// every surviving result as stale.
+fn gather(shard: &mut PeerShard, node_label: &Key, mut msg: DiscoveryMsg, fx: &mut Effects) {
     let node = shard.nodes.get(node_label).expect("routed to hosted node");
     let results: Vec<Key> = node
         .data
@@ -191,29 +205,31 @@ fn gather(shard: &mut PeerShard, node_label: &Key, msg: DiscoveryMsg, fx: &mut E
         .filter(|k| msg.query.matches(k))
         .cloned()
         .collect();
-    let forward_to: Vec<Key> = node
+    let pending_children = node
         .children
         .iter()
         .filter(|c| subtree_may_match(&msg.query, c))
-        .cloned()
-        .collect();
+        .count() as u32;
     let outcome = DiscoveryOutcome {
         request_id: msg.request_id,
         satisfied: true,
         dropped: false,
         results,
-        path: msg.path.clone(),
-        pending_children: forward_to.len() as u32,
+        path: std::mem::take(&mut msg.path),
+        pending_children,
     };
     fx.send(Envelope::to_client(outcome.request_id, outcome));
-    for c in forward_to {
+    for c in node.children.iter() {
+        if !subtree_may_match(&msg.query, c) {
+            continue;
+        }
         let branch = DiscoveryMsg {
             request_id: msg.request_id,
             query: msg.query.clone(),
             phase: RoutePhase::Gather,
             path: Vec::new(), // branch visits are counted via partials
         };
-        fx.send(Envelope::to_node(c, NodeMsg::Discovery(branch)));
+        fx.send(Envelope::to_node(c.clone(), NodeMsg::Discovery(branch)));
     }
 }
 
@@ -248,20 +264,42 @@ pub fn entry_envelope(entry_node: Key, request_id: u64, query: QueryKind) -> Env
             request_id,
             query,
             phase: RoutePhase::Up,
-            path: Vec::new(),
+            // Pre-sized for the up/down route of a corpus-scale tree:
+            // one allocation per request, regardless of hop count.
+            path: Vec::with_capacity(16),
         }),
     )
 }
 
-/// Charge-and-count at delivery: increments the node's offered-load
-/// counter (`l_n`) and consumes one unit of the peer's capacity.
-/// Returns `false` when the peer is exhausted and the request must be
-/// ignored — the caller then synthesizes a dropped outcome.
-pub fn charge_visit(shard: &mut PeerShard, node_label: &Key) -> bool {
-    if let Some(node) = shard.nodes.get_mut(node_label) {
-        node.load += 1;
+/// Result of charging one discovery visit at delivery time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChargeOutcome {
+    /// The node is not hosted on this shard (in flight between peers);
+    /// nothing was charged — the runtime should retry later.
+    Missing,
+    /// The visit was accepted and charged.
+    Accepted,
+    /// The peer's capacity is exhausted; the offered load was still
+    /// recorded (`l_n` counts demand, per Section 4) but the request
+    /// must be ignored — the runtime synthesizes a dropped outcome.
+    Dropped,
+}
+
+/// Charge-and-count at delivery: one map probe doubles as the
+/// existence check, increments the node's offered-load counter (`l_n`)
+/// and consumes one unit of the peer's capacity. This is the single
+/// home of the capacity model's charging rule — runtimes must route
+/// every discovery delivery through it.
+pub fn charge_visit(shard: &mut PeerShard, node_label: &Key) -> ChargeOutcome {
+    let Some(node) = shard.nodes.get_mut(node_label) else {
+        return ChargeOutcome::Missing;
+    };
+    node.load += 1;
+    if shard.peer.try_accept() {
+        ChargeOutcome::Accepted
+    } else {
+        ChargeOutcome::Dropped
     }
-    shard.peer.try_accept()
 }
 
 #[cfg(test)]
@@ -451,9 +489,16 @@ mod tests {
     fn charge_visit_counts_demand_even_when_dropped() {
         let mut s = paper_shard();
         s.peer.capacity = 1;
-        assert!(charge_visit(&mut s, &k("101")));
-        assert!(!charge_visit(&mut s, &k("101")), "capacity exhausted");
+        assert_eq!(charge_visit(&mut s, &k("101")), ChargeOutcome::Accepted);
+        assert_eq!(
+            charge_visit(&mut s, &k("101")),
+            ChargeOutcome::Dropped,
+            "capacity exhausted"
+        );
         assert_eq!(s.nodes[&k("101")].load, 2, "offered load counts drops");
+        assert_eq!(s.peer.dropped_this_unit, 1);
+        // An absent node charges nothing, not even the peer.
+        assert_eq!(charge_visit(&mut s, &k("zzz")), ChargeOutcome::Missing);
         assert_eq!(s.peer.dropped_this_unit, 1);
     }
 

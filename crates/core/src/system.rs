@@ -11,10 +11,13 @@
 //! the experiment harness relies on for its 30/50/100-run averages.
 
 use crate::alphabet::Alphabet;
+use crate::directory::Directory;
 use crate::error::{DlptError, Result};
 use crate::key::Key;
-use crate::mapping::{self, MappingViolation};
-use crate::messages::{Address, DiscoveryOutcome, Envelope, Message, NodeMsg, PeerMsg, QueryKind};
+use crate::mapping::MappingViolation;
+use crate::messages::{
+    Address, DiscoveryMsg, DiscoveryOutcome, Envelope, Message, NodeMsg, PeerMsg, QueryKind,
+};
 use crate::metrics::SystemStats;
 use crate::node::NodeState;
 use crate::peer::PeerShard;
@@ -180,15 +183,19 @@ pub struct DlptSystem {
     config: SystemConfig,
     rng: StdRng,
     pub(crate) shards: BTreeMap<Key, PeerShard>,
-    /// node label → hosting peer id.
-    pub(crate) directory: BTreeMap<Key, Key>,
+    /// node label → hosting peer id (interned, incrementally ordered —
+    /// subsumes the full-rebuild `node_cache` the runtime used to keep
+    /// for uniform node sampling).
+    pub(crate) directory: Directory,
     queue: VecDeque<(u32, Envelope)>,
     gathers: BTreeMap<u64, GatherAgg>,
     finished: BTreeMap<u64, LookupOutcome>,
     next_request: u64,
     root: Option<Key>,
-    node_cache: Vec<Key>,
-    node_cache_dirty: bool,
+    /// Reused effect buffers: one dispatch allocates nothing once the
+    /// vectors have grown to the workload's high-water mark.
+    scratch: Effects,
+    debug_drain: bool,
     /// Runtime counters.
     pub stats: SystemStats,
 }
@@ -200,14 +207,14 @@ impl DlptSystem {
             config,
             rng: StdRng::seed_from_u64(seed),
             shards: BTreeMap::new(),
-            directory: BTreeMap::new(),
+            directory: Directory::new(),
             queue: VecDeque::new(),
             gathers: BTreeMap::new(),
             finished: BTreeMap::new(),
             next_request: 1,
             root: None,
-            node_cache: Vec::new(),
-            node_cache_dirty: false,
+            scratch: Effects::default(),
+            debug_drain: std::env::var_os("DLPT_DEBUG_DRAIN").is_some(),
             stats: SystemStats::default(),
         }
     }
@@ -243,7 +250,7 @@ impl DlptSystem {
 
     /// All node labels, ascending.
     pub fn node_labels(&self) -> Vec<Key> {
-        self.directory.keys().cloned().collect()
+        self.directory.labels().cloned().collect()
     }
 
     /// Borrow a peer shard.
@@ -253,12 +260,42 @@ impl DlptSystem {
 
     /// The peer hosting node `label`, per the delivery directory.
     pub fn host_of(&self, label: &Key) -> Option<&Key> {
-        self.directory.get(label)
+        self.directory.host_of(label)
+    }
+
+    /// The peer the mapping rule designates for `label`:
+    /// `min {P : P >= label}`, wrapping to the minimum — answered
+    /// directly over the ordered shard map, with no peer-set cloning.
+    pub fn host_peer(&self, label: &Key) -> Option<&Key> {
+        self.shards
+            .range::<Key, _>(label..)
+            .next()
+            .map(|(k, _)| k)
+            .or_else(|| self.shards.keys().next())
+    }
+
+    /// Ring predecessor of `id` over the current peer set (wrapping).
+    fn ring_pred(&self, id: &Key) -> Option<&Key> {
+        self.shards
+            .range::<Key, _>(..id)
+            .next_back()
+            .map(|(k, _)| k)
+            .or_else(|| self.shards.keys().next_back())
+    }
+
+    /// Ring successor of `id` over the current peer set (wrapping).
+    fn ring_succ(&self, id: &Key) -> Option<&Key> {
+        use std::ops::Bound;
+        self.shards
+            .range::<Key, _>((Bound::Excluded(id), Bound::Unbounded))
+            .next()
+            .map(|(k, _)| k)
+            .or_else(|| self.shards.keys().next())
     }
 
     /// Borrow a node's state wherever it is hosted.
     pub fn node(&self, label: &Key) -> Option<&NodeState> {
-        let host = self.directory.get(label)?;
+        let host = self.directory.host_of(label)?;
         self.shards.get(host)?.nodes.get(label)
     }
 
@@ -280,17 +317,14 @@ impl DlptSystem {
     }
 
     /// A uniformly random node label (the "random node of the tree"
-    /// every request and registration enters through).
+    /// every request and registration enters through). O(1) over the
+    /// directory's sorted table — no cache to rebuild.
     pub fn random_node(&mut self) -> Option<Key> {
-        if self.node_cache_dirty {
-            self.node_cache = self.directory.keys().cloned().collect();
-            self.node_cache_dirty = false;
-        }
-        if self.node_cache.is_empty() {
+        if self.directory.is_empty() {
             return None;
         }
-        let i = self.rng.gen_range(0..self.node_cache.len());
-        Some(self.node_cache[i].clone())
+        let i = self.rng.gen_range(0..self.directory.len());
+        Some(self.directory.label_at(i).clone())
     }
 
     /// Draws a fresh peer identifier not colliding with existing ones.
@@ -378,14 +412,14 @@ impl DlptSystem {
         if self.shards.is_empty() {
             // Last peer: the overlay disappears with it.
             self.directory.clear();
-            self.node_cache_dirty = true;
             self.root = None;
             return Ok(());
         }
-        let mut fx = Effects::default();
+        let mut fx = std::mem::take(&mut self.scratch);
         maintenance::leave(&mut shard, &mut fx);
         self.stats.maintenance_messages += fx.out.len() as u64;
-        self.apply_effects(fx);
+        self.apply_effects(&mut fx);
+        self.scratch = fx;
         self.drain()
     }
 
@@ -403,7 +437,6 @@ impl DlptSystem {
             self.directory.remove(l);
         }
         self.stats.nodes_lost += lost.len() as u64;
-        self.node_cache_dirty = true;
         if self
             .root
             .as_ref()
@@ -452,7 +485,7 @@ impl DlptSystem {
         if self.shards.is_empty() {
             return Err(DlptError::EmptyRing);
         }
-        if !self.directory.contains_key(entry) {
+        if !self.directory.contains(entry) {
             return Err(DlptError::UnknownNode(entry.to_string()));
         }
         self.enqueue(Envelope::to_node(
@@ -470,8 +503,7 @@ impl DlptSystem {
         if self.shards.is_empty() {
             return Err(DlptError::EmptyRing);
         }
-        let peers: std::collections::BTreeSet<Key> = self.shards.keys().cloned().collect();
-        let host = mapping::host_of(&peers, &key).expect("non-empty ring");
+        let host = self.host_peer(&key).expect("non-empty ring").clone();
         let mut node = NodeState::new(key.clone());
         node.data.insert(key.clone());
         self.shards
@@ -479,7 +511,6 @@ impl DlptSystem {
             .expect("host exists")
             .install(node);
         self.directory.insert(key.clone(), host);
-        self.node_cache_dirty = true;
         self.root = Some(key);
         Ok(())
     }
@@ -515,7 +546,7 @@ impl DlptSystem {
 
     /// Issues a discovery request from a chosen entry node.
     pub fn request_from(&mut self, entry: &Key, query: QueryKind) -> Result<LookupOutcome> {
-        if !self.directory.contains_key(entry) {
+        if !self.directory.contains(entry) {
             return Err(DlptError::UnknownNode(entry.to_string()));
         }
         let id = self.next_request;
@@ -577,7 +608,7 @@ impl DlptSystem {
     pub fn migrate_node(&mut self, label: &Key, to: &Key) -> Result<()> {
         let from = self
             .directory
-            .get(label)
+            .host_of(label)
             .cloned()
             .ok_or_else(|| DlptError::UnknownNode(label.to_string()))?;
         if &from == to {
@@ -646,14 +677,13 @@ impl DlptSystem {
 
     /// Verifies `host(n) = min {P : P >= n}` for every node.
     pub fn check_mapping(&self) -> std::result::Result<(), MappingViolation> {
-        let peers: std::collections::BTreeSet<Key> = self.shards.keys().cloned().collect();
-        for (label, actual) in &self.directory {
-            let expected = mapping::host_of(&peers, label).expect("ring non-empty");
-            if *actual != expected {
+        for (label, actual) in self.directory.iter() {
+            let expected = self.host_peer(label).expect("ring non-empty");
+            if actual != expected {
                 return Err(MappingViolation::WrongHost {
                     node: label.clone(),
                     actual: actual.clone(),
-                    expected,
+                    expected: expected.clone(),
                 });
             }
         }
@@ -663,17 +693,16 @@ impl DlptSystem {
     /// Verifies that every peer's pred/succ links agree with the ring
     /// order of identifiers.
     pub fn check_ring(&self) -> std::result::Result<(), MappingViolation> {
-        let peers: std::collections::BTreeSet<Key> = self.shards.keys().cloned().collect();
         for (id, shard) in &self.shards {
-            let want_pred = mapping::pred_of(&peers, id).expect("non-empty");
-            let want_succ = mapping::succ_of(&peers, id).expect("non-empty");
-            if shard.peer.pred != want_pred {
+            let want_pred = self.ring_pred(id).expect("non-empty");
+            let want_succ = self.ring_succ(id).expect("non-empty");
+            if &shard.peer.pred != want_pred {
                 return Err(MappingViolation::BrokenRingLink {
                     peer: id.clone(),
                     detail: format!("pred is {}, ring order says {}", shard.peer.pred, want_pred),
                 });
             }
-            if shard.peer.succ != want_succ {
+            if &shard.peer.succ != want_succ {
                 return Err(MappingViolation::BrokenRingLink {
                     peer: id.clone(),
                     detail: format!("succ is {}, ring order says {}", shard.peer.succ, want_succ),
@@ -759,7 +788,7 @@ impl DlptSystem {
     pub fn repair_tree(&mut self) -> RepairReport {
         let mut report = RepairReport::default();
         // 1. Prune children pointers to dead nodes.
-        let live: std::collections::BTreeSet<Key> = self.directory.keys().cloned().collect();
+        let live: std::collections::BTreeSet<Key> = self.directory.labels().cloned().collect();
         for shard in self.shards.values_mut() {
             for node in shard.nodes.values_mut() {
                 let before = node.children.len();
@@ -802,7 +831,7 @@ impl DlptSystem {
     }
 
     fn set_father(&mut self, label: &Key, father: Option<Key>) {
-        let host = self.directory.get(label).expect("live node").clone();
+        let host = self.directory.host_of(label).expect("live node").clone();
         let node = self
             .shards
             .get_mut(&host)
@@ -814,7 +843,7 @@ impl DlptSystem {
     }
 
     fn add_child(&mut self, parent: &Key, child: Key) {
-        let host = self.directory.get(parent).expect("live node").clone();
+        let host = self.directory.host_of(parent).expect("live node").clone();
         let node = self
             .shards
             .get_mut(&host)
@@ -826,7 +855,7 @@ impl DlptSystem {
     }
 
     fn replace_child_of(&mut self, parent: &Key, old: &Key, new: Key) {
-        let host = self.directory.get(parent).expect("live node").clone();
+        let host = self.directory.host_of(parent).expect("live node").clone();
         let node = self
             .shards
             .get_mut(&host)
@@ -840,14 +869,12 @@ impl DlptSystem {
     /// Creates a structural node directly on its mapped host (repair
     /// path only).
     fn create_structural(&mut self, label: Key, father: Option<Key>, children: Vec<Key>) {
-        let peers: std::collections::BTreeSet<Key> = self.shards.keys().cloned().collect();
-        let host = mapping::host_of(&peers, &label).expect("non-empty ring");
+        let host = self.host_peer(&label).expect("non-empty ring").clone();
         let mut node = NodeState::new(label.clone());
         node.father = father;
         node.children = children.into_iter().collect();
         self.shards.get_mut(&host).expect("live").install(node);
         self.directory.insert(label, host);
-        self.node_cache_dirty = true;
     }
 
     /// Walks from `root` and links the orphan `o` (whose own subtree is
@@ -918,19 +945,19 @@ impl DlptSystem {
         self.queue.push_back((0, env));
     }
 
-    fn apply_effects(&mut self, fx: Effects) {
-        for (label, host) in fx.relocated {
+    /// Applies (and drains) the effect buffers, leaving `fx` empty with
+    /// its capacity intact so callers can reuse it allocation-free.
+    fn apply_effects(&mut self, fx: &mut Effects) {
+        for (label, host) in fx.relocated.drain(..) {
             self.directory.insert(label, host);
-            self.node_cache_dirty = true;
         }
-        for label in fx.removed {
+        for label in fx.removed.drain(..) {
             self.directory.remove(&label);
-            self.node_cache_dirty = true;
             if self.root.as_ref() == Some(&label) {
                 self.root = None; // recomputed after the drain
             }
         }
-        for env in fx.out {
+        for env in fx.out.drain(..) {
             self.enqueue(env);
         }
     }
@@ -946,7 +973,7 @@ impl DlptSystem {
 
     /// Processes the queue to quiescence.
     fn drain(&mut self) -> Result<()> {
-        let debug = std::env::var_os("DLPT_DEBUG_DRAIN").is_some();
+        let debug = self.debug_drain;
         let mut trace: VecDeque<String> = VecDeque::new();
         let mut steps = 0usize;
         while let Some((requeues, env)) = self.queue.pop_front() {
@@ -1005,26 +1032,17 @@ impl DlptSystem {
     }
 
     fn count_message(&mut self, msg: &Message) {
-        match msg {
-            Message::Node(NodeMsg::PeerJoin { .. }) => self.stats.join_messages += 1,
-            Message::Node(NodeMsg::DataInsertion { .. })
-            | Message::Node(NodeMsg::UpdateChild { .. })
-            | Message::Node(NodeMsg::DataRemoval { .. })
-            | Message::Node(NodeMsg::RemoveChild { .. })
-            | Message::Node(NodeMsg::SetFather { .. }) => self.stats.insert_messages += 1,
-            Message::Node(NodeMsg::SearchingHost { .. }) => self.stats.host_messages += 1,
-            Message::Node(NodeMsg::Discovery(_)) => self.stats.discovery_messages += 1,
-            Message::Peer(PeerMsg::Host { .. }) => self.stats.host_messages += 1,
-            Message::Peer(PeerMsg::TakeOver { .. }) => self.stats.maintenance_messages += 1,
-            Message::Peer(_) => self.stats.join_messages += 1,
-            Message::ClientResponse(_) => {}
-        }
+        count_message(&mut self.stats, msg)
     }
 
     fn dispatch(&mut self, requeues: u32, env: Envelope) -> Result<()> {
-        match env.to.clone() {
+        // Destructure: addresses are matched by move, so the hot path
+        // clones no `Address` (a requeue rebuilds the envelope from the
+        // owned parts).
+        let Envelope { to, msg } = env;
+        match to {
             Address::Client(_) => {
-                if let Message::ClientResponse(outcome) = env.msg {
+                if let Message::ClientResponse(outcome) = msg {
                     self.client_response(outcome);
                     Ok(())
                 } else {
@@ -1033,19 +1051,19 @@ impl DlptSystem {
             }
             Address::Peer(id) => {
                 if !self.shards.contains_key(&id) {
-                    return self.requeue(requeues, env);
+                    return self.requeue(requeues, Envelope::to_address(Address::Peer(id), msg));
                 }
-                self.count_message(&env.msg);
+                self.count_message(&msg);
                 // Track a freshly created root before the seed moves.
-                let new_root = match &env.msg {
+                let new_root = match &msg {
                     Message::Peer(PeerMsg::Host { seed }) if seed.father.is_none() => {
                         Some(seed.label.clone())
                     }
                     _ => None,
                 };
-                let mut fx = Effects::default();
+                let mut fx = std::mem::take(&mut self.scratch);
                 let shard = self.shards.get_mut(&id).expect("checked");
-                match env.msg {
+                match msg {
                     Message::Peer(m) => protocol::handle_peer_msg(shard, m, &mut fx),
                     _ => return Err(DlptError::Undeliverable(format!("{id}"))),
                 }
@@ -1054,33 +1072,76 @@ impl DlptSystem {
                         self.root = Some(label);
                     }
                 }
-                self.apply_effects(fx);
+                self.apply_effects(&mut fx);
+                self.scratch = fx;
                 Ok(())
             }
             Address::Node(label) => {
-                let Some(host) = self.directory.get(&label).cloned() else {
-                    return self.requeue(requeues, env);
+                let Some(host) = self.directory.host_of(&label).cloned() else {
+                    return self.requeue(requeues, Envelope::to_address(Address::Node(label), msg));
                 };
-                let Some(shard) = self.shards.get_mut(&host) else {
-                    return self.requeue(requeues, env);
-                };
-                if !shard.nodes.contains_key(&label) {
-                    // In flight between shards (hand-off under way).
-                    return self.requeue(requeues, env);
+                // One shard probe serves the whole delivery: the
+                // existence check, the capacity charge and the handler
+                // run under a single borrow; requeues and capacity
+                // drops exit with the message intact.
+                enum Gate {
+                    Delivered,
+                    Requeue(Message),
+                    Dropped(DiscoveryMsg),
                 }
-                // Capacity model (Section 4): a peer's capacity bounds
-                // the requests it can process per unit, and processing
-                // includes routing — "the upper a node is, the more
-                // times it will be visited by a request" is exactly
-                // what makes load balancing matter (Section 3.3), so
-                // every visit charges the hosting peer one unit and
-                // counts toward the node's offered load l_n.
-                if let Message::Node(NodeMsg::Discovery(m)) = &env.msg {
-                    let shard = self.shards.get_mut(&host).expect("checked");
-                    if !discovery::charge_visit(shard, &label) {
+                let mut fx = std::mem::take(&mut self.scratch);
+                let stats = &mut self.stats;
+                let gate = match self.shards.get_mut(&host) {
+                    None => Gate::Requeue(msg),
+                    Some(shard) => match msg {
+                        // Capacity model (Section 4): a peer's capacity
+                        // bounds the requests it can process per unit,
+                        // and processing includes routing — "the upper
+                        // a node is, the more times it will be visited
+                        // by a request" is exactly what makes load
+                        // balancing matter (Section 3.3) — so every
+                        // visit charges the hosting peer one unit and
+                        // counts toward the node's offered load l_n.
+                        Message::Node(NodeMsg::Discovery(m)) => {
+                            match discovery::charge_visit(shard, &label) {
+                                // In flight between shards (hand-off
+                                // under way): try again later.
+                                discovery::ChargeOutcome::Missing => {
+                                    Gate::Requeue(Message::Node(NodeMsg::Discovery(m)))
+                                }
+                                discovery::ChargeOutcome::Accepted => {
+                                    stats.discovery_messages += 1;
+                                    discovery::on_discovery(shard, &label, m, &mut fx);
+                                    Gate::Delivered
+                                }
+                                discovery::ChargeOutcome::Dropped => Gate::Dropped(m),
+                            }
+                        }
+                        Message::Node(m) => {
+                            if shard.nodes.contains_key(&label) {
+                                count_node_msg(stats, &m);
+                                protocol::handle_node_msg(shard, &label, m, &mut fx);
+                                Gate::Delivered
+                            } else {
+                                Gate::Requeue(Message::Node(m))
+                            }
+                        }
+                        other => {
+                            self.scratch = fx;
+                            return Err(DlptError::Undeliverable(format!("{label}: {other:?}")));
+                        }
+                    },
+                };
+                match gate {
+                    Gate::Requeue(msg) => {
+                        self.scratch = fx;
+                        self.requeue(requeues, Envelope::to_address(Address::Node(label), msg))
+                    }
+                    Gate::Dropped(m) => {
+                        self.scratch = fx;
                         self.stats.discovery_drops += 1;
-                        let mut path = m.path.clone();
-                        path.push(label.clone());
+                        let mut path = m.path;
+                        path.push(label);
                         self.client_response(DiscoveryOutcome {
                             request_id: m.request_id,
                             satisfied: false,
@@ -1089,18 +1150,14 @@ impl DlptSystem {
                             path,
                             pending_children: 0,
                         });
-                        return Ok(());
+                        Ok(())
+                    }
+                    Gate::Delivered => {
+                        self.apply_effects(&mut fx);
+                        self.scratch = fx;
+                        Ok(())
                     }
                 }
-                self.count_message(&env.msg);
-                let mut fx = Effects::default();
-                let shard = self.shards.get_mut(&host).expect("checked");
-                match env.msg {
-                    Message::Node(m) => protocol::handle_node_msg(shard, &label, m, &mut fx),
-                    _ => return Err(DlptError::Undeliverable(format!("{label}"))),
-                }
-                self.apply_effects(fx);
-                Ok(())
             }
         }
     }
@@ -1125,11 +1182,12 @@ impl DlptSystem {
             let mut results = agg.results;
             results.sort();
             results.dedup();
-            let host_path: Vec<Key> = agg
-                .best_path
-                .iter()
-                .filter_map(|l| self.directory.get(l).cloned())
-                .collect();
+            let mut host_path: Vec<Key> = Vec::with_capacity(agg.best_path.len());
+            host_path.extend(
+                agg.best_path
+                    .iter()
+                    .filter_map(|l| self.directory.host_of(l).cloned()),
+            );
             let found = !results.is_empty() || (agg.satisfied && !agg.dropped);
             self.finished.insert(
                 outcome.request_id,
@@ -1144,6 +1202,32 @@ impl DlptSystem {
                 },
             );
         }
+    }
+}
+
+/// Per-kind delivery counters. Free functions over the stats struct
+/// alone, so the dispatch hot path can update counters while a shard
+/// borrow is live.
+fn count_node_msg(stats: &mut SystemStats, m: &NodeMsg) {
+    match m {
+        NodeMsg::PeerJoin { .. } => stats.join_messages += 1,
+        NodeMsg::DataInsertion { .. }
+        | NodeMsg::UpdateChild { .. }
+        | NodeMsg::DataRemoval { .. }
+        | NodeMsg::RemoveChild { .. }
+        | NodeMsg::SetFather { .. } => stats.insert_messages += 1,
+        NodeMsg::SearchingHost { .. } => stats.host_messages += 1,
+        NodeMsg::Discovery(_) => stats.discovery_messages += 1,
+    }
+}
+
+fn count_message(stats: &mut SystemStats, msg: &Message) {
+    match msg {
+        Message::Node(m) => count_node_msg(stats, m),
+        Message::Peer(PeerMsg::Host { .. }) => stats.host_messages += 1,
+        Message::Peer(PeerMsg::TakeOver { .. }) => stats.maintenance_messages += 1,
+        Message::Peer(_) => stats.join_messages += 1,
+        Message::ClientResponse(_) => {}
     }
 }
 
@@ -1389,6 +1473,37 @@ mod tests {
         sys.end_time_unit();
         assert_eq!(sys.node(&k("DGEMM")).unwrap().prev_load, 3);
         assert!(sys.lookup(&k("DGEMM")).satisfied);
+    }
+
+    #[test]
+    fn gather_under_capacity_pressure_keeps_surviving_results() {
+        // Regression: the scatter partial of a node must be processed
+        // before any of its branch visits can be refused, or a
+        // synchronous capacity drop on one branch finalizes the
+        // aggregation early and every surviving branch's results are
+        // discarded as stale. One peer, capacity 3, three keys: the
+        // completion visits root + 3 children = 4 > 3, so exactly one
+        // branch drops — the other results must survive.
+        let mut sys = DlptSystem::builder()
+            .seed(3)
+            .peer_id_len(8)
+            .default_capacity(3)
+            .bootstrap_peers(1)
+            .build();
+        for s in ["DGEMM", "DGEMV", "DTRSM"] {
+            sys.insert_data(k(s)).unwrap();
+        }
+        sys.end_time_unit(); // reset capacity spent during construction
+        let out = sys.complete(&k("D"));
+        assert!(out.dropped, "some visit must exceed capacity 3");
+        assert!(!out.satisfied, "a dropped visit forfeits satisfaction");
+        // The buggy ordering finalized the request on the first drop
+        // and threw every surviving partial away (results == []).
+        assert!(
+            out.found && !out.results.is_empty(),
+            "surviving branches' keys must be reported: {out:?}"
+        );
+        assert_eq!(out.results, vec![k("DTRSM")], "pre-refactor behaviour");
     }
 
     #[test]

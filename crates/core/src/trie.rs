@@ -130,6 +130,13 @@ impl std::fmt::Display for TrieViolation {
     }
 }
 
+/// Clones a slice of borrowed keys into an exactly-sized owned vector.
+fn clone_refs(refs: &[&Key]) -> Vec<Key> {
+    let mut out = Vec::with_capacity(refs.len());
+    out.extend(refs.iter().map(|k| (*k).clone()));
+    out
+}
+
 /// Statistics of a lookup walk, used for hop accounting in experiments.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WalkStats {
@@ -486,16 +493,17 @@ impl PgcpTrie {
     /// All registered keys in `[lo, hi]` (inclusive), in order.
     /// Subtrees whose label interval cannot intersect the range are
     /// pruned, which is the flexibility argument for trie overlays in
-    /// the paper's introduction.
+    /// the paper's introduction. The walk borrows; matches are cloned
+    /// once, into an exactly-sized output.
     pub fn range(&self, lo: &Key, hi: &Key) -> Vec<Key> {
-        let mut out = Vec::new();
+        let mut found: Vec<&Key> = Vec::new();
         if let Some(root) = self.root {
-            self.range_rec(root, lo, hi, &mut out);
+            self.range_rec(root, lo, hi, &mut found);
         }
-        out
+        clone_refs(&found)
     }
 
-    fn range_rec(&self, id: TrieNodeId, lo: &Key, hi: &Key, out: &mut Vec<Key>) {
+    fn range_rec<'a>(&'a self, id: TrieNodeId, lo: &Key, hi: &Key, out: &mut Vec<&'a Key>) {
         let node = &self.arena[id];
         // Keys in this subtree all have `node.label` as prefix, hence
         // lie in [label, label·maxdigit^∞). Prune on both sides.
@@ -509,7 +517,7 @@ impl PgcpTrie {
         }
         for k in node.data.iter() {
             if k >= lo && k <= hi {
-                out.push(k.clone());
+                out.push(k);
             }
         }
         for &c in &node.children {
@@ -520,9 +528,9 @@ impl PgcpTrie {
     /// Automatic completion of a partial search string: every
     /// registered key having `prefix` as a prefix.
     pub fn complete(&self, prefix: &Key) -> Vec<Key> {
-        let mut out = Vec::new();
+        let mut found: Vec<&Key> = Vec::new();
         let Some(root) = self.root else {
-            return out;
+            return Vec::new();
         };
         // Descend to the highest node whose subtree covers `prefix`.
         let mut cur = root;
@@ -530,11 +538,11 @@ impl PgcpTrie {
             let node = &self.arena[cur];
             if prefix.is_prefix_of(&node.label) {
                 // Entire subtree matches.
-                self.collect_subtree(cur, &mut out);
-                return out;
+                self.collect_subtree(cur, &mut found);
+                return clone_refs(&found);
             }
             if !node.label.is_proper_prefix_of(prefix) {
-                return out; // diverged: nothing matches
+                return Vec::new(); // diverged: nothing matches
             }
             let next = node
                 .children
@@ -543,14 +551,16 @@ impl PgcpTrie {
                 .find(|&c| self.arena[c].label.gcp_len(prefix) > node.label.len());
             match next {
                 Some(c) => cur = c,
-                None => return out,
+                None => return Vec::new(),
             }
         }
     }
 
-    fn collect_subtree(&self, id: TrieNodeId, out: &mut Vec<Key>) {
+    /// Gathers borrows of every data key in the subtree — cloning
+    /// happens once at the API boundary, not per tree level.
+    fn collect_subtree<'a>(&'a self, id: TrieNodeId, out: &mut Vec<&'a Key>) {
         let node = &self.arena[id];
-        out.extend(node.data.iter().cloned());
+        out.extend(node.data.iter());
         for &c in &node.children {
             self.collect_subtree(c, out);
         }
@@ -558,23 +568,21 @@ impl PgcpTrie {
 
     /// All registered keys, ascending.
     pub fn keys(&self) -> Vec<Key> {
-        let mut out = Vec::with_capacity(self.key_count);
+        let mut found: Vec<&Key> = Vec::with_capacity(self.key_count);
         if let Some(root) = self.root {
-            self.collect_subtree(root, &mut out);
+            self.collect_subtree(root, &mut found);
         }
-        out
+        clone_refs(&found)
     }
 
-    /// All node labels (including structural nodes), ascending.
+    /// All node labels (including structural nodes), ascending. Sorts
+    /// borrows (pointer-sized swaps), then clones into an exactly-sized
+    /// output.
     pub fn labels(&self) -> Vec<Key> {
-        let mut out: Vec<Key> = self
-            .arena
-            .iter()
-            .filter(|n| n.live)
-            .map(|n| n.label.clone())
-            .collect();
-        out.sort();
-        out
+        let mut refs: Vec<&Key> = Vec::with_capacity(self.live_count);
+        refs.extend(self.arena.iter().filter(|n| n.live).map(|n| &n.label));
+        refs.sort();
+        clone_refs(&refs)
     }
 
     /// Depth of the tree (root = depth 0); 0 for an empty tree.

@@ -33,14 +33,23 @@ impl std::error::Error for CodecError {}
 
 type Result<T> = std::result::Result<T, CodecError>;
 
+#[cold]
+#[inline(never)]
 fn err<T>(what: &str) -> Result<T> {
     Err(CodecError(what.to_string()))
+}
+
+#[cold]
+#[inline(never)]
+fn truncated<T>(what: &str) -> Result<T> {
+    Err(CodecError(format!("truncated {what}")))
 }
 
 // ---------------------------------------------------------------------
 // Encoding
 // ---------------------------------------------------------------------
 
+#[inline]
 fn put_key(buf: &mut BytesMut, k: &Key) {
     buf.put_u16_le(k.len() as u16);
     buf.put_slice(k.as_bytes());
@@ -56,7 +65,7 @@ fn put_opt_key(buf: &mut BytesMut, k: &Option<Key>) {
     }
 }
 
-fn put_keys(buf: &mut BytesMut, ks: &[Key]) {
+fn put_keys<'a>(buf: &mut BytesMut, ks: impl ExactSizeIterator<Item = &'a Key>) {
     buf.put_u32_le(ks.len() as u32);
     for k in ks {
         put_key(buf, k);
@@ -66,10 +75,8 @@ fn put_keys(buf: &mut BytesMut, ks: &[Key]) {
 fn put_node_state(buf: &mut BytesMut, n: &NodeState) {
     put_key(buf, &n.label);
     put_opt_key(buf, &n.father);
-    let children: Vec<Key> = n.children.iter().cloned().collect();
-    put_keys(buf, &children);
-    let data: Vec<Key> = n.data.iter().cloned().collect();
-    put_keys(buf, &data);
+    put_keys(buf, n.children.iter());
+    put_keys(buf, n.data.iter());
     buf.put_u64_le(n.load);
     buf.put_u64_le(n.prev_load);
 }
@@ -77,8 +84,8 @@ fn put_node_state(buf: &mut BytesMut, n: &NodeState) {
 fn put_seed(buf: &mut BytesMut, s: &NodeSeed) {
     put_key(buf, &s.label);
     put_opt_key(buf, &s.father);
-    put_keys(buf, &s.children);
-    put_keys(buf, &s.data);
+    put_keys(buf, s.children.iter());
+    put_keys(buf, s.data.iter());
 }
 
 fn put_query(buf: &mut BytesMut, q: &QueryKind) {
@@ -107,14 +114,14 @@ fn put_discovery(buf: &mut BytesMut, d: &DiscoveryMsg) {
         RoutePhase::Down => 1,
         RoutePhase::Gather => 2,
     });
-    put_keys(buf, &d.path);
+    put_keys(buf, d.path.iter());
 }
 
 fn put_outcome(buf: &mut BytesMut, o: &DiscoveryOutcome) {
     buf.put_u64_le(o.request_id);
     buf.put_u8(u8::from(o.satisfied) | (u8::from(o.dropped) << 1));
-    put_keys(buf, &o.results);
-    put_keys(buf, &o.path);
+    put_keys(buf, o.results.iter());
+    put_keys(buf, o.path.iter());
     buf.put_u32_le(o.pending_children);
 }
 
@@ -198,40 +205,42 @@ fn put_peer_msg(buf: &mut BytesMut, m: &PeerMsg) {
     }
 }
 
-/// Encodes an envelope into a length-prefixed frame.
+/// Encodes an envelope into a length-prefixed frame. The body is
+/// written once into the final buffer and the length prefix patched in
+/// afterwards — no staging buffer, no copy.
 pub fn encode(env: &Envelope) -> Bytes {
-    let mut body = BytesMut::with_capacity(64);
+    let mut frame = BytesMut::with_capacity(96);
+    frame.put_u32_le(0); // placeholder, patched below
     match &env.to {
         Address::Peer(k) => {
-            body.put_u8(0);
-            put_key(&mut body, k);
+            frame.put_u8(0);
+            put_key(&mut frame, k);
         }
         Address::Node(k) => {
-            body.put_u8(1);
-            put_key(&mut body, k);
+            frame.put_u8(1);
+            put_key(&mut frame, k);
         }
         Address::Client(id) => {
-            body.put_u8(2);
-            body.put_u64_le(*id);
+            frame.put_u8(2);
+            frame.put_u64_le(*id);
         }
     }
     match &env.msg {
         Message::Node(m) => {
-            body.put_u8(0);
-            put_node_msg(&mut body, m);
+            frame.put_u8(0);
+            put_node_msg(&mut frame, m);
         }
         Message::Peer(m) => {
-            body.put_u8(1);
-            put_peer_msg(&mut body, m);
+            frame.put_u8(1);
+            put_peer_msg(&mut frame, m);
         }
         Message::ClientResponse(o) => {
-            body.put_u8(2);
-            put_outcome(&mut body, o);
+            frame.put_u8(2);
+            put_outcome(&mut frame, o);
         }
     }
-    let mut frame = BytesMut::with_capacity(4 + body.len());
-    frame.put_u32_le(body.len() as u32);
-    frame.extend_from_slice(&body);
+    let body_len = (frame.len() - 4) as u32;
+    frame[..4].copy_from_slice(&body_len.to_le_bytes());
     frame.freeze()
 }
 
@@ -239,18 +248,28 @@ pub fn encode(env: &Envelope) -> Bytes {
 // Decoding
 // ---------------------------------------------------------------------
 
+#[inline]
 fn need(buf: &impl Buf, n: usize, what: &str) -> Result<()> {
     if buf.remaining() < n {
-        err(&format!("truncated {what}"))
+        truncated(what)
     } else {
         Ok(())
     }
 }
 
+#[inline]
 fn get_key(buf: &mut impl Buf) -> Result<Key> {
     need(buf, 2, "key length")?;
     let len = buf.get_u16_le() as usize;
     need(buf, len, "key digits")?;
+    // Fast path: the digits are contiguous in the source buffer, so the
+    // key is built straight from the slice (inline — no allocation —
+    // for keys up to `KEY_INLINE_CAP` digits).
+    if buf.chunk().len() >= len {
+        let key = Key::from_slice(&buf.chunk()[..len]);
+        buf.advance(len);
+        return Ok(key);
+    }
     let mut v = vec![0u8; len];
     buf.copy_to_slice(&mut v);
     Ok(Key::from_bytes(v))

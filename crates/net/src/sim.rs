@@ -11,6 +11,7 @@
 //! protocol correct under asynchrony?".
 
 use crate::event::EventQueue;
+use dlpt_core::directory::Directory;
 use dlpt_core::key::Key;
 use dlpt_core::mapping;
 use dlpt_core::messages::{
@@ -52,7 +53,7 @@ struct Pending {
 #[derive(Debug)]
 pub struct LatencyNet {
     shards: BTreeMap<Key, PeerShard>,
-    directory: BTreeMap<Key, Key>,
+    directory: Directory,
     queue: EventQueue<(u32, Envelope)>,
     latency: LatencyModel,
     rng: StdRng,
@@ -68,7 +69,7 @@ impl LatencyNet {
     pub fn new(latency: LatencyModel, seed: u64) -> Self {
         LatencyNet {
             shards: BTreeMap::new(),
-            directory: BTreeMap::new(),
+            directory: Directory::new(),
             queue: EventQueue::new(),
             latency,
             rng: StdRng::seed_from_u64(seed),
@@ -86,7 +87,7 @@ impl LatencyNet {
 
     /// All node labels, ascending.
     pub fn node_labels(&self) -> Vec<Key> {
-        self.directory.keys().cloned().collect()
+        self.directory.labels().cloned().collect()
     }
 
     /// Every registered service key.
@@ -110,7 +111,7 @@ impl LatencyNet {
             return None;
         }
         let i = self.rng.gen_range(0..self.directory.len());
-        self.directory.keys().nth(i).cloned()
+        Some(self.directory.label_at(i).clone())
     }
 
     /// Adds a peer, routing the join through the tree, and runs the
@@ -270,7 +271,7 @@ impl LatencyNet {
                 self.apply(fx);
             }
             Address::Node(label) => {
-                let Some(host) = self.directory.get(&label).cloned() else {
+                let Some(host) = self.directory.host_of(&label).cloned() else {
                     self.requeue(requeues, env);
                     return;
                 };
@@ -316,9 +317,9 @@ impl LatencyNet {
     /// Checks the successor-mapping invariant over the whole network.
     pub fn check_mapping(&self) -> Result<(), String> {
         let peers: std::collections::BTreeSet<Key> = self.shards.keys().cloned().collect();
-        for (label, actual) in &self.directory {
+        for (label, actual) in self.directory.iter() {
             let expected = mapping::host_of(&peers, label).expect("non-empty");
-            if *actual != expected {
+            if actual != expected {
                 return Err(format!(
                     "node {label} hosted on {actual}, rule demands {expected}"
                 ));
@@ -331,7 +332,7 @@ impl LatencyNet {
     /// the PGCP label property).
     pub fn check_tree(&self) -> Result<(), String> {
         let node = |l: &Key| -> Option<&NodeState> {
-            let host = self.directory.get(l)?;
+            let host = self.directory.host_of(l)?;
             self.shards.get(host)?.nodes.get(l)
         };
         for shard in self.shards.values() {

@@ -21,6 +21,7 @@ use crate::codec::{decode, encode};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use dlpt_core::alphabet::Alphabet;
+use dlpt_core::directory::Directory;
 use dlpt_core::key::Key;
 use dlpt_core::messages::{
     Address, DiscoveryOutcome, Envelope, JoinPhase, Message, NodeMsg, NodeSeed, PeerMsg, QueryKind,
@@ -30,7 +31,7 @@ use dlpt_core::protocol::{self, discovery, Effects};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -68,7 +69,7 @@ pub struct ThreadedStats {
 pub struct ThreadedDlpt {
     alphabet: Alphabet,
     rng: StdRng,
-    directory: BTreeMap<Key, Key>,
+    directory: Directory,
     peers: HashMap<Key, Sender<ToPeer>>,
     handles: Vec<JoinHandle<PeerShard>>,
     reply_tx: Sender<PeerReply>,
@@ -88,7 +89,7 @@ impl ThreadedDlpt {
         ThreadedDlpt {
             alphabet,
             rng: StdRng::seed_from_u64(seed),
-            directory: BTreeMap::new(),
+            directory: Directory::new(),
             peers: HashMap::new(),
             handles: Vec::new(),
             reply_tx,
@@ -108,7 +109,7 @@ impl ThreadedDlpt {
 
     /// All node labels, ascending.
     pub fn node_labels(&self) -> Vec<Key> {
-        self.directory.keys().cloned().collect()
+        self.directory.labels().cloned().collect()
     }
 
     fn spawn_peer(&mut self, id: Key) {
@@ -172,7 +173,7 @@ impl ThreadedDlpt {
             return None;
         }
         let i = self.rng.gen_range(0..self.directory.len());
-        self.directory.keys().nth(i).cloned()
+        Some(self.directory.label_at(i).clone())
     }
 
     /// Registers a service key.
@@ -325,7 +326,7 @@ impl ThreadedDlpt {
                 }
                 None => Some((retries, frame)),
             },
-            Address::Node(label) => match self.directory.get(&label) {
+            Address::Node(label) => match self.directory.host_of(&label) {
                 Some(host) => {
                     let tx = self.peers.get(host).expect("directory points at peers");
                     tx.send(ToPeer::Frame { retries, frame })
@@ -478,7 +479,7 @@ mod tests {
         for shard in &shards {
             for label in shard.nodes.keys() {
                 let expected = dlpt_core::mapping::host_of(&peers, label).unwrap();
-                assert_eq!(expected, shard.peer.id, "node {label} on wrong peer");
+                assert_eq!(*expected, shard.peer.id, "node {label} on wrong peer");
             }
         }
         assert_eq!(

@@ -1,0 +1,144 @@
+//! Counting-allocator proof of the zero-allocation routing hot path.
+//!
+//! The perf-baseline PR's claim is *per routed envelope*: once the
+//! system is warm (queue, effect buffers and path vectors at their
+//! high-water marks), forwarding a discovery envelope one more logical
+//! hop must not allocate. Requests still pay a small constant setup
+//! cost (the aggregation entry, the pre-sized path vector, the result
+//! set), so the assertion is differential: a deep lookup and a shallow
+//! lookup on the same warm system must allocate the *same* number of
+//! times — i.e. the marginal cost of every extra hop is zero
+//! allocations.
+//!
+//! Everything runs inside ONE `#[test]` so no concurrent test can
+//! pollute the global counter.
+
+use dlpt::core::messages::QueryKind;
+use dlpt::core::{Alphabet, DlptSystem, Key};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A growth is a new allocation for the purpose of this proof.
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Allocations of one closure run.
+fn count<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = allocs();
+    let r = f();
+    (allocs() - before, r)
+}
+
+#[test]
+fn routed_envelopes_are_allocation_free_in_steady_state() {
+    // ---- Phase 1: small-key clones never touch the allocator. ------
+    let key = Key::from("S3L_cholesky_factor"); // longest-family corpus name
+    assert!(key.is_inline());
+    let (n, clones) = count(|| {
+        let mut v = Vec::with_capacity(64);
+        for _ in 0..64 {
+            v.push(key.clone());
+        }
+        v
+    });
+    assert_eq!(
+        n, 1,
+        "64 inline-key clones must cost exactly the one Vec allocation"
+    );
+    drop(clones);
+
+    // Spilled keys clone by refcount — also allocation-free.
+    let long = Key::from("X".repeat(100).as_str());
+    assert!(!long.is_inline());
+    let (n, c) = count(|| long.clone());
+    assert_eq!(n, 0, "spilled-key clone is a refcount bump");
+    drop(c);
+
+    // ---- Phase 2: marginal hop cost on the sync pump is zero. ------
+    // Binary paper tree: lookups from random entry nodes traverse
+    // 0..=4 logical hops depending on entry/target distance.
+    let mut sys = DlptSystem::builder()
+        .alphabet(Alphabet::binary())
+        .seed(7)
+        .peer_id_len(10)
+        .bootstrap_peers(4)
+        .build();
+    for s in ["01", "10101", "10111", "101111"] {
+        sys.insert_data(Key::from(s)).unwrap();
+    }
+    // Both requests enter at the SAME node ("01"), so the only
+    // difference between them is how many envelopes get routed:
+    // exact("01") resolves in place (0 hops), exact("101111") climbs
+    // to ε and descends through 101 and 10111 (4 hops).
+    let entry = Key::from("01");
+    let shallow = QueryKind::Exact(Key::from("01"));
+    let deep = QueryKind::Exact(Key::from("101111"));
+
+    // Warm-up: run both lookups repeatedly so every internal buffer
+    // (pump queue, effect scratch, gather maps, result vectors)
+    // reaches its high-water mark.
+    for _ in 0..32 {
+        assert!(sys.request_from(&entry, shallow.clone()).unwrap().satisfied);
+        assert!(sys.request_from(&entry, deep.clone()).unwrap().satisfied);
+    }
+
+    const ROUNDS: u64 = 64;
+    let (shallow_allocs, hops_shallow) = count(|| {
+        let mut hops = 0;
+        for _ in 0..ROUNDS {
+            hops += sys
+                .request_from(&entry, shallow.clone())
+                .unwrap()
+                .logical_hops();
+        }
+        hops
+    });
+    let (deep_allocs, hops_deep) = count(|| {
+        let mut hops = 0;
+        for _ in 0..ROUNDS {
+            hops += sys
+                .request_from(&entry, deep.clone())
+                .unwrap()
+                .logical_hops();
+        }
+        hops
+    });
+    assert!(
+        hops_deep > hops_shallow,
+        "workload sanity: the deep key must route farther ({hops_deep} vs {hops_shallow} hops)"
+    );
+    assert_eq!(
+        deep_allocs, shallow_allocs,
+        "extra routed envelopes must not allocate: {} hops cost {deep_allocs} allocs, \
+         {} hops cost {shallow_allocs}",
+        hops_deep, hops_shallow
+    );
+    // And the fixed per-request overhead itself stays small.
+    assert!(
+        shallow_allocs / ROUNDS <= 16,
+        "per-request setup regressed: {} allocs/request",
+        shallow_allocs / ROUNDS
+    );
+}

@@ -105,6 +105,33 @@ fn tree_shape_is_seed_independent_even_when_placement_is_not() {
     );
 }
 
+/// Golden regression: the observable behaviour of the scripted run is
+/// pinned to a committed fingerprint, so representation refactors (the
+/// SSO `Key`, the interned directory) can prove they changed *nothing*
+/// observable — placement, message counts, results and hop paths must
+/// stay byte-identical across refactors, not merely across runs.
+///
+/// To re-bless after an *intentional* behaviour change:
+/// `DLPT_BLESS=1 cargo test --test determinism golden`.
+#[test]
+fn golden_fingerprint_matches_committed_baseline() {
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/determinism_seed42.txt"
+    );
+    let (sys, outcomes) = scripted_run(42);
+    let got = fingerprint(&sys, &outcomes);
+    if std::env::var_os("DLPT_BLESS").is_some() {
+        std::fs::write(golden_path, &got).expect("write golden fingerprint");
+        return;
+    }
+    let want = std::fs::read_to_string(golden_path).expect("golden fingerprint is committed");
+    assert_eq!(
+        got, want,
+        "observable behaviour diverged from the committed golden run"
+    );
+}
+
 #[test]
 fn repeated_fingerprints_are_stable_across_many_seeds() {
     for seed in 0..10 {

@@ -6,7 +6,7 @@
 //! actually calls is provided; swap back to the registry crate by
 //! editing `[workspace.dependencies]`.
 
-use std::ops::Deref;
+use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
 /// A cheaply cloneable immutable byte buffer.
@@ -132,6 +132,12 @@ impl Deref for BytesMut {
     }
 }
 
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
 impl AsRef<[u8]> for BytesMut {
     fn as_ref(&self) -> &[u8] {
         &self.data
@@ -184,14 +190,51 @@ pub trait Buf {
 }
 
 impl Buf for &[u8] {
+    #[inline]
     fn remaining(&self) -> usize {
         self.len()
     }
+    #[inline]
     fn chunk(&self) -> &[u8] {
         self
     }
+    #[inline]
     fn advance(&mut self, cnt: usize) {
         *self = &self[cnt..];
+    }
+
+    // Specializations: a slice cursor reads fixed-width integers by
+    // direct split, skipping the generic copy_to_slice detour (and its
+    // second bounds assertion).
+    #[inline]
+    fn get_u8(&mut self) -> u8 {
+        let b = self[0];
+        *self = &self[1..];
+        b
+    }
+    #[inline]
+    fn get_u16_le(&mut self) -> u16 {
+        let (head, tail) = self.split_at(2);
+        *self = tail;
+        u16::from_le_bytes(head.try_into().expect("split_at(2)"))
+    }
+    #[inline]
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, tail) = self.split_at(4);
+        *self = tail;
+        u32::from_le_bytes(head.try_into().expect("split_at(4)"))
+    }
+    #[inline]
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, tail) = self.split_at(8);
+        *self = tail;
+        u64::from_le_bytes(head.try_into().expect("split_at(8)"))
+    }
+    #[inline]
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
     }
 }
 
