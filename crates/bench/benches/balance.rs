@@ -89,6 +89,8 @@ fn mlt_fraction_ablation(c: &mut Criterion) {
             base_seed: 77,
             peer_id_len: 10,
             track_mapping_hops: false,
+            replication: 1,
+            anti_entropy: false,
         };
         group.bench_with_input(BenchmarkId::from_parameter(fraction), &cfg, |b, cfg| {
             b.iter(|| black_box(run_once(cfg, 0).total_satisfied(4)))

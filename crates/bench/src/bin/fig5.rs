@@ -1,17 +1,27 @@
 //! Figure 5 — "Load balancing, stable network, overload": the Figure 4
 //! experiment under a very high request rate.
 //!
-//! `cargo run --release --bin fig5 [-- --scale N]`
+//! `cargo run --release --bin fig5 [-- --scale N] [--crash-rate X]`
+//!
+//! `--crash-rate X` adds non-graceful departures (X of the population
+//! per unit) on top of the stable churn — the satisfaction curves then
+//! also price in data destroyed by crashes. Without the flag the
+//! paper's crash-free curves are reproduced unchanged.
 
-use dlpt_bench::{apply_scale, run_satisfaction_figure, scale_from_args};
+use dlpt_bench::{
+    apply_crash_rate, apply_scale, crash_rate_from_args, run_satisfaction_figure, scale_from_args,
+};
 use dlpt_sim::experiments::fig5_configs;
 
 fn main() {
     let scale = scale_from_args();
-    let configs = apply_scale(fig5_configs(), scale);
-    run_satisfaction_figure(
-        "fig5",
-        configs,
-        "Figure 5: stable network, high load — % satisfied requests",
-    );
+    let crash_rate = crash_rate_from_args();
+    let configs = apply_crash_rate(apply_scale(fig5_configs(), scale), crash_rate);
+    let title = match crash_rate {
+        Some(r) => {
+            format!("Figure 5: stable network, high load, crash rate {r} — % satisfied requests")
+        }
+        None => "Figure 5: stable network, high load — % satisfied requests".to_string(),
+    };
+    run_satisfaction_figure("fig5", configs, &title);
 }

@@ -78,11 +78,12 @@ fn main() {
     // identical so the JSON schema and code paths are fully exercised.
     let scale: u64 = if smoke { 20 } else { 1 };
 
-    let mut results = Vec::new();
-    results.push(bench_trie_build(scale));
-    results.push(bench_sync_pump(scale));
-    results.push(bench_latency_net(scale));
-    results.push(bench_codec(scale));
+    let results = vec![
+        bench_trie_build(scale),
+        bench_sync_pump(scale),
+        bench_latency_net(scale),
+        bench_codec(scale),
+    ];
 
     let date = utc_date();
     let path = out.unwrap_or_else(|| format!("BENCH_{date}.json"));

@@ -25,6 +25,32 @@ pub fn scale_from_args() -> usize {
     1
 }
 
+/// Optional crash rate parsed from `--crash-rate X` (fraction of peers
+/// crashing non-gracefully per unit). `None` when absent, so figures
+/// keep their paper-faithful crash-free churn by default.
+pub fn crash_rate_from_args() -> Option<f64> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--crash-rate" {
+            return args.next().and_then(|v| v.parse::<f64>().ok());
+        }
+    }
+    None
+}
+
+/// Applies an optional `--crash-rate` override to every curve.
+pub fn apply_crash_rate(
+    mut configs: Vec<ExperimentConfig>,
+    rate: Option<f64>,
+) -> Vec<ExperimentConfig> {
+    if let Some(rate) = rate {
+        for c in &mut configs {
+            c.churn = c.churn.with_crash_rate(rate);
+        }
+    }
+    configs
+}
+
 /// Applies a scale factor to every curve of a figure.
 pub fn apply_scale(configs: Vec<ExperimentConfig>, scale: usize) -> Vec<ExperimentConfig> {
     if scale <= 1 {

@@ -78,6 +78,10 @@ pub struct Directory {
     hosts: Vec<u32>,
     /// Live label ids, ascending by digit string.
     sorted: Vec<u32>,
+    /// Per key-id: peer ids of the follower replica hosts (replication
+    /// extension; empty at k = 1, which keeps the table cost-free for
+    /// unreplicated overlays).
+    followers: Vec<Vec<u32>>,
 }
 
 impl Directory {
@@ -104,6 +108,7 @@ impl Directory {
         let id = self.keys.len() as u32;
         self.keys.push(k.clone());
         self.hosts.push(NONE);
+        self.followers.push(Vec::new());
         self.ids.insert(k.clone(), id);
         id
     }
@@ -155,6 +160,7 @@ impl Directory {
             return false;
         }
         self.hosts[lid as usize] = NONE;
+        self.followers[lid as usize].clear();
         let at = self.rank(label).expect("live label is in sorted order");
         self.sorted.remove(at);
         true
@@ -164,8 +170,30 @@ impl Directory {
     pub fn clear(&mut self) {
         for &id in &self.sorted {
             self.hosts[id as usize] = NONE;
+            self.followers[id as usize].clear();
         }
         self.sorted.clear();
+    }
+
+    /// Records the follower replica hosts of `label` (replication
+    /// extension). The label is interned even when not yet live so the
+    /// record survives the promote/re-insert window.
+    pub fn set_followers(&mut self, label: &Key, hosts: &[Key]) {
+        let lid = self.intern(label);
+        let ids: Vec<u32> = hosts.iter().map(|h| self.intern(h)).collect();
+        self.followers[lid as usize] = ids;
+    }
+
+    /// The recorded follower hosts of `label`, in ring order after the
+    /// primary. Liveness is the caller's concern: a recorded follower
+    /// may have crashed since.
+    pub fn followers_of(&self, label: &Key) -> impl ExactSizeIterator<Item = &Key> + '_ {
+        let ids: &[u32] = self
+            .ids
+            .get(label)
+            .map(|&lid| self.followers[lid as usize].as_slice())
+            .unwrap_or(&[]);
+        ids.iter().map(|&id| &self.keys[id as usize])
     }
 
     /// The `i`-th live label in ascending order. Panics when out of
@@ -244,6 +272,26 @@ mod tests {
         assert_eq!(d.label_at(2), &k("101"));
         let pairs: Vec<(&Key, &Key)> = d.iter().collect();
         assert_eq!(pairs[1], (&k("01"), &k("P1")));
+    }
+
+    #[test]
+    fn followers_roundtrip_and_clear_on_remove() {
+        let mut d = sample();
+        assert_eq!(d.followers_of(&k("101")).count(), 0);
+        d.set_followers(&k("101"), &[k("P7"), k("P9")]);
+        let got: Vec<&Key> = d.followers_of(&k("101")).collect();
+        assert_eq!(got, vec![&k("P7"), &k("P9")]);
+        // Unknown labels read as empty.
+        assert_eq!(d.followers_of(&k("zzz")).count(), 0);
+        // Removal wipes the record.
+        d.remove(&k("101"));
+        assert_eq!(d.followers_of(&k("101")).count(), 0);
+        // Records may be set for not-yet-live labels (the
+        // promote/re-insert window) and overwritten in place.
+        d.set_followers(&k("777"), &[k("P1")]);
+        assert_eq!(d.followers_of(&k("777")).count(), 1);
+        d.set_followers(&k("777"), &[]);
+        assert_eq!(d.followers_of(&k("777")).count(), 0);
     }
 
     #[test]

@@ -79,6 +79,25 @@ impl Key {
         }
     }
 
+    /// Builds an inline key whose digits are the first `len` bytes of a
+    /// full-width window. The fixed-size copy compiles to a pair of
+    /// vector moves instead of a variable-length `memcpy` call — the
+    /// wire decoder's hot path. Bytes past `len` are carried as
+    /// unspecified padding; every observable operation (`as_bytes`,
+    /// `Eq`, `Ord`, `Hash`, `Display`) reads only the first `len`
+    /// digits.
+    ///
+    /// # Panics
+    /// Panics (debug) when `len > KEY_INLINE_CAP`.
+    #[inline]
+    pub fn from_inline_window(window: &[u8; KEY_INLINE_CAP], len: usize) -> Key {
+        debug_assert!(len <= KEY_INLINE_CAP);
+        Key(Repr::Inline {
+            len: len as u8,
+            buf: *window,
+        })
+    }
+
     /// True iff the digits are stored inline (no heap involvement).
     pub fn is_inline(&self) -> bool {
         matches!(self.0, Repr::Inline { .. })

@@ -41,6 +41,7 @@ pub mod metrics;
 pub mod node;
 pub mod peer;
 pub mod protocol;
+pub mod replication;
 pub mod system;
 pub mod trie;
 
@@ -51,5 +52,6 @@ pub use key::Key;
 pub use messages::{Address, Envelope, Message, NodeMsg, PeerMsg, QueryKind};
 pub use node::NodeState;
 pub use peer::PeerState;
+pub use replication::{AntiEntropyReport, ReplicationStats};
 pub use system::{DlptSystem, LookupOutcome, SystemBuilder, SystemConfig};
 pub use trie::PgcpTrie;

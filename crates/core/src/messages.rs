@@ -111,6 +111,17 @@ pub struct NodeSeed {
 }
 
 impl NodeSeed {
+    /// Snapshots a live node's state (label, links and data — load
+    /// counters are per-host and do not travel).
+    pub fn of(node: &NodeState) -> Self {
+        NodeSeed {
+            label: node.label.clone(),
+            father: node.father.clone(),
+            children: node.children.iter().cloned().collect(),
+            data: node.data.iter().cloned().collect(),
+        }
+    }
+
     /// Materializes the node state this seed describes.
     pub fn into_state(self) -> NodeState {
         let mut n = NodeState::new(self.label);
@@ -282,6 +293,40 @@ pub enum PeerMsg {
         pred: Key,
         /// Nodes handed over.
         nodes: Vec<NodeState>,
+    },
+    /// Anti-entropy kick (replication extension, see
+    /// `protocol::repair`): the recipient re-clones every node it runs
+    /// onto its `k - 1` ring successors by emitting [`PeerMsg::Replicate`]
+    /// walks.
+    SyncReplicas {
+        /// Replication factor the overlay is converging to (primary
+        /// plus `k - 1` followers).
+        k: u32,
+    },
+    /// Store (or refresh) a follower copy of a node, then forward the
+    /// walk to the recipient's own successor while `ttl > 1`. The walk
+    /// stops early when it wraps around to the primary (rings smaller
+    /// than `k`).
+    Replicate {
+        /// The peer hosting the authoritative copy.
+        primary: Key,
+        /// Remaining follower copies to place (this one included).
+        ttl: u32,
+        /// Snapshot of the node being replicated.
+        seed: NodeSeed,
+    },
+    /// Discard the follower copy of `label` (the node dissolved, or the
+    /// replica set moved elsewhere on the ring).
+    DropReplica {
+        /// Label of the replica copy to drop.
+        label: Key,
+    },
+    /// Failover: the recipient promotes its follower copy of `label` to
+    /// an authoritative hosted node (its primary crashed). No-op if the
+    /// recipient holds no copy.
+    PromoteReplica {
+        /// Label of the replica copy to promote.
+        label: Key,
     },
 }
 

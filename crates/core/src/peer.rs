@@ -82,6 +82,11 @@ pub struct PeerShard {
     /// Hosted nodes, keyed (and ordered) by label. Ring-segment
     /// reasoning (load balancing, hand-offs) relies on this ordering.
     pub nodes: BTreeMap<Key, NodeState>,
+    /// Follower copies of nodes whose primary is another peer
+    /// (replication extension, `protocol::repair`). Kept apart from
+    /// `nodes` so every single-copy invariant — mapping, tree links,
+    /// registered-key enumeration — is untouched by replication.
+    pub replicas: BTreeMap<Key, NodeState>,
 }
 
 impl PeerShard {
@@ -90,6 +95,7 @@ impl PeerShard {
         PeerShard {
             peer: PeerState::solitary(id, capacity),
             nodes: BTreeMap::new(),
+            replicas: BTreeMap::new(),
         }
     }
 
@@ -112,6 +118,11 @@ impl PeerShard {
     /// Number of hosted nodes `|ν_P|`.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Number of follower copies this peer keeps for other primaries.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
     }
 }
 

@@ -22,54 +22,52 @@
 
 use crate::key::Key;
 use crate::messages::{DiscoveryMsg, DiscoveryOutcome, Envelope, NodeMsg, QueryKind, RoutePhase};
+use crate::node::NodeState;
 use crate::peer::PeerShard;
 use crate::protocol::Effects;
 
 /// Handles one visit of a discovery request at node `node_label`.
-pub fn on_discovery(
-    shard: &mut PeerShard,
-    node_label: &Key,
-    mut msg: DiscoveryMsg,
-    fx: &mut Effects,
-) {
+pub fn on_discovery(shard: &mut PeerShard, node_label: &Key, msg: DiscoveryMsg, fx: &mut Effects) {
+    let node = shard.nodes.get(node_label).expect("routed to hosted node");
+    on_discovery_at(node, msg, fx);
+}
+
+/// The routing core, over a borrowed node state. Split out of
+/// [`on_discovery`] so the capacity-failover path can serve the same
+/// visit from a follower replica copy (`protocol::repair`): routing
+/// only ever *reads* the node, so any up-to-date copy answers alike.
+pub fn on_discovery_at(node: &NodeState, mut msg: DiscoveryMsg, fx: &mut Effects) {
     // One label per visit, for hop accounting.
-    msg.path.push(node_label.clone());
+    msg.path.push(node.label.clone());
     match msg.phase {
         RoutePhase::Up => {
             let target = msg.query.target();
-            // Inspect the node by borrow; only the father link of an
-            // upward forward is cloned (inline: a memcpy).
-            let up = {
-                let node = shard.nodes.get(node_label).expect("routed to hosted node");
-                match &node.father {
-                    Some(f) if !node.label.is_prefix_of(&target) => Some(f.clone()),
-                    _ => None,
+            match &node.father {
+                // Only the father link of an upward forward is cloned
+                // (inline: a memcpy).
+                Some(f) if !node.label.is_prefix_of(&target) => {
+                    fx.send(Envelope::to_node(f.clone(), NodeMsg::Discovery(msg)));
                 }
-            };
-            match up {
-                Some(f) => fx.send(Envelope::to_node(f, NodeMsg::Discovery(msg))),
-                None => {
+                _ => {
                     // This node covers the target's region (or is the
                     // root): switch to the descent.
                     msg.phase = RoutePhase::Down;
-                    descend(shard, node_label, msg, fx);
+                    descend(node, msg, fx);
                 }
             }
         }
-        RoutePhase::Down => descend(shard, node_label, msg, fx),
-        RoutePhase::Gather => gather(shard, node_label, msg, fx),
+        RoutePhase::Down => descend(node, msg, fx),
+        RoutePhase::Gather => gather(node, msg, fx),
     }
 }
 
 /// Downward phase: walk toward the node covering the query target.
-fn descend(shard: &mut PeerShard, node_label: &Key, mut msg: DiscoveryMsg, fx: &mut Effects) {
+fn descend(node: &NodeState, mut msg: DiscoveryMsg, fx: &mut Effects) {
     let target = msg.query.target();
     // The node is only inspected; the single clone below is the child
     // label a forwarded envelope must own.
-    let node = shard.nodes.get(node_label).expect("routed to hosted node");
-
     if node.label == target {
-        at_covering_node(shard, node_label, msg, fx);
+        at_covering_node(node, msg, fx);
         return;
     }
     if node.label.is_proper_prefix_of(&target) {
@@ -119,7 +117,7 @@ fn descend(shard: &mut PeerShard, node_label: &Key, mut msg: DiscoveryMsg, fx: &
         // the whole tree, so the root's subtree is the covered region.
         match msg.query {
             QueryKind::Exact(_) => finish_exact(msg, false, fx),
-            _ => at_covering_node(shard, node_label, msg, fx),
+            _ => at_covering_node(node, msg, fx),
         }
         return;
     }
@@ -132,15 +130,9 @@ fn descend(shard: &mut PeerShard, node_label: &Key, mut msg: DiscoveryMsg, fx: &
 }
 
 /// The request reached the node covering its target region.
-fn at_covering_node(
-    shard: &mut PeerShard,
-    node_label: &Key,
-    mut msg: DiscoveryMsg,
-    fx: &mut Effects,
-) {
+fn at_covering_node(node: &NodeState, mut msg: DiscoveryMsg, fx: &mut Effects) {
     match &msg.query {
         QueryKind::Exact(k) => {
-            let node = shard.nodes.get(node_label).expect("routed to hosted node");
             let found = node.data.contains(k);
             finish_exact(msg, found, fx);
         }
@@ -148,7 +140,7 @@ fn at_covering_node(
             // Start the scatter here; this visit is already paid for,
             // so run the gather step inline.
             msg.phase = RoutePhase::Gather;
-            gather(shard, node_label, msg, fx);
+            gather(node, msg, fx);
         }
     }
 }
@@ -197,8 +189,7 @@ fn finish_empty_region(msg: DiscoveryMsg, fx: &mut Effects) {
 /// synchronously (capacity drop) would otherwise finalize the request
 /// before this node's `pending_children` raise the counter, discarding
 /// every surviving result as stale.
-fn gather(shard: &mut PeerShard, node_label: &Key, mut msg: DiscoveryMsg, fx: &mut Effects) {
-    let node = shard.nodes.get(node_label).expect("routed to hosted node");
+fn gather(node: &NodeState, mut msg: DiscoveryMsg, fx: &mut Effects) {
     let results: Vec<Key> = node
         .data
         .iter()

@@ -15,12 +15,14 @@
 //! | Algorithm 3 (`DataInsertion` / `SearchingHost`, on node `p`) | [`data_insertion`] |
 //! | Section 2 discovery routing (exact / range / completion) | [`discovery`] |
 //! | Graceful departure hand-off (not spelled out in the paper) | [`maintenance`] |
+//! | k-replica placement + anti-entropy (extension, DESIGN.md) | [`repair`] |
 
 pub mod data_insertion;
 pub mod data_removal;
 pub mod discovery;
 pub mod maintenance;
 pub mod peer_join;
+pub mod repair;
 
 use crate::key::Key;
 use crate::messages::{Envelope, Message, NodeMsg, PeerMsg};
@@ -106,6 +108,12 @@ pub fn handle_peer_msg(shard: &mut PeerShard, msg: PeerMsg, fx: &mut Effects) {
         PeerMsg::UpdatePredecessor { pred } => shard.peer.pred = pred,
         PeerMsg::Host { seed } => data_insertion::on_host(shard, seed, fx),
         PeerMsg::TakeOver { pred, nodes } => maintenance::on_take_over(shard, pred, nodes, fx),
+        PeerMsg::SyncReplicas { k } => repair::on_sync_replicas(shard, k, fx),
+        PeerMsg::Replicate { primary, ttl, seed } => {
+            repair::on_replicate(shard, primary, ttl, seed, fx)
+        }
+        PeerMsg::DropReplica { label } => repair::on_drop_replica(shard, &label),
+        PeerMsg::PromoteReplica { label } => repair::on_promote_replica(shard, &label, fx),
     }
 }
 

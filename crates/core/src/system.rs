@@ -15,13 +15,15 @@ use crate::directory::Directory;
 use crate::error::{DlptError, Result};
 use crate::key::Key;
 use crate::mapping::MappingViolation;
+use crate::messages::NodeSeed;
 use crate::messages::{
     Address, DiscoveryMsg, DiscoveryOutcome, Envelope, Message, NodeMsg, PeerMsg, QueryKind,
 };
 use crate::metrics::SystemStats;
 use crate::node::NodeState;
 use crate::peer::PeerShard;
-use crate::protocol::{self, discovery, maintenance, Effects};
+use crate::protocol::{self, discovery, maintenance, repair, Effects};
+use crate::replication::{AntiEntropyReport, ReplicationStats};
 use crate::trie::{PgcpTrie, TrieViolation};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -44,6 +46,12 @@ pub struct SystemConfig {
     /// How many times one envelope may be requeued while its
     /// destination is still in flight.
     pub requeue_budget: u32,
+    /// Replication factor `k`: each tree node lives on its primary
+    /// (mapping-rule) host plus `k - 1` ring-successor followers
+    /// (`protocol::repair`). The default `1` disables replication
+    /// entirely — the runtime is then byte-identical to the
+    /// pre-replication system.
+    pub replication: usize,
 }
 
 impl Default for SystemConfig {
@@ -54,6 +62,7 @@ impl Default for SystemConfig {
             default_capacity: u32::MAX >> 1,
             drain_budget: 4_000_000,
             requeue_budget: 256,
+            replication: 1,
         }
     }
 }
@@ -95,6 +104,12 @@ impl SystemBuilder {
     /// Capacity for peers added without an explicit one.
     pub fn default_capacity(mut self, c: u32) -> Self {
         self.config.default_capacity = c;
+        self
+    }
+    /// Replication factor `k` (primary + `k - 1` followers; default 1 =
+    /// replication off).
+    pub fn replication(mut self, k: usize) -> Self {
+        self.config.replication = k.max(1);
         self
     }
     /// Joins `n` peers with random identifiers during `build`.
@@ -195,9 +210,20 @@ pub struct DlptSystem {
     /// Reused effect buffers: one dispatch allocates nothing once the
     /// vectors have grown to the workload's high-water mark.
     scratch: Effects,
+    /// Labels whose state changed during the current drain and whose
+    /// replicas must be refreshed (`k > 1` only; stays empty and
+    /// untouched at `k = 1`).
+    touched: Vec<Key>,
+    /// `(label, follower)` pairs whose copies must be garbage-collected
+    /// because the node dissolved (`k > 1` only).
+    dropped_replicas: Vec<(Key, Key)>,
     debug_drain: bool,
     /// Runtime counters.
     pub stats: SystemStats,
+    /// Replication counters (all zero at `k = 1`; kept out of
+    /// [`SystemStats`] so the unreplicated golden fingerprint is
+    /// byte-identical).
+    pub repl_stats: ReplicationStats,
 }
 
 impl DlptSystem {
@@ -214,8 +240,11 @@ impl DlptSystem {
             next_request: 1,
             root: None,
             scratch: Effects::default(),
+            touched: Vec::new(),
+            dropped_replicas: Vec::new(),
             debug_drain: std::env::var_os("DLPT_DEBUG_DRAIN").is_some(),
             stats: SystemStats::default(),
+            repl_stats: ReplicationStats::default(),
         }
     }
 
@@ -399,7 +428,8 @@ impl DlptSystem {
                 ));
             }
         }
-        self.drain()
+        self.drain()?;
+        self.flush_replication()
     }
 
     /// Graceful departure: the peer hands its nodes to its successor
@@ -418,32 +448,41 @@ impl DlptSystem {
         let mut fx = std::mem::take(&mut self.scratch);
         maintenance::leave(&mut shard, &mut fx);
         self.stats.maintenance_messages += fx.out.len() as u64;
+        if self.config.replication > 1 {
+            // The departing peer's follower copies vanish with it; its
+            // hand-off therefore also kicks the affected primaries to
+            // re-clone, so a graceful leave never opens a
+            // single-failure data-loss window.
+            self.touched.extend(shard.replicas.keys().cloned());
+        }
         self.apply_effects(&mut fx);
         self.scratch = fx;
-        self.drain()
+        self.drain()?;
+        self.flush_replication()
     }
 
-    /// Non-graceful departure: the peer vanishes, its nodes (and their
-    /// registered data) are lost, and the ring heals around it. Returns
-    /// the labels of the lost nodes. Call [`DlptSystem::repair_tree`]
-    /// afterwards to re-attach orphaned subtrees.
+    /// Non-graceful departure: the peer vanishes and the ring heals
+    /// around it. Without replication (`k = 1`) every node the peer ran
+    /// — and its registered data — is lost. With `k > 1` each lost node
+    /// fails over to a surviving follower copy (`protocol::repair`);
+    /// only nodes with no live replica are lost. Returns the labels of
+    /// the *lost* nodes. Call [`DlptSystem::repair_tree`] afterwards to
+    /// re-attach any orphaned subtrees.
     pub fn crash_peer(&mut self, id: &Key) -> Result<Vec<Key>> {
         let shard = self
             .shards
             .remove(id)
             .ok_or_else(|| DlptError::UnknownPeer(id.to_string()))?;
-        let lost: Vec<Key> = shard.nodes.keys().cloned().collect();
-        for l in &lost {
-            self.directory.remove(l);
-        }
-        self.stats.nodes_lost += lost.len() as u64;
-        if self
-            .root
-            .as_ref()
-            .map(|r| lost.contains(r))
-            .unwrap_or(false)
-        {
+        let hosted: Vec<Key> = shard.nodes.keys().cloned().collect();
+        if self.shards.is_empty() {
+            // Last peer: the overlay disappears with it.
+            self.directory.clear();
             self.root = None;
+            self.stats.nodes_lost += hosted.len() as u64;
+            if self.config.replication > 1 {
+                self.repl_stats.unrecoverable_nodes += hosted.len() as u64;
+            }
+            return Ok(hosted);
         }
         // Failure-detector stand-in: neighbours notice and heal.
         let (pred, succ) = (shard.peer.pred.clone(), shard.peer.succ.clone());
@@ -461,7 +500,37 @@ impl DlptSystem {
                 pred.clone()
             };
         }
+        // Failover: promote surviving follower copies; lose the rest.
+        let mut lost = Vec::new();
+        for label in hosted {
+            if self.config.replication > 1 && self.promote_label(&label) {
+                self.repl_stats.promotions += 1;
+            } else {
+                self.directory.remove(&label);
+                if self.config.replication > 1 {
+                    self.repl_stats.unrecoverable_nodes += 1;
+                }
+                lost.push(label);
+            }
+        }
+        self.stats.nodes_lost += lost.len() as u64;
+        if self
+            .root
+            .as_ref()
+            .map(|r| lost.contains(r))
+            .unwrap_or(false)
+        {
+            self.root = None;
+        }
         Ok(lost)
+    }
+
+    /// Moves a surviving follower copy of `label` onto the peer the
+    /// mapping rule now designates (usually the copy's own holder: the
+    /// first follower *is* the crashed primary's ring successor).
+    /// Returns false when no live copy exists.
+    fn promote_label(&mut self, label: &Key) -> bool {
+        repair::promote_from_followers(&mut self.shards, &mut self.directory, label)
     }
 
     // ------------------------------------------------------------------
@@ -492,7 +561,8 @@ impl DlptSystem {
             entry.clone(),
             NodeMsg::DataInsertion { key },
         ));
-        self.drain()
+        self.drain()?;
+        self.flush_replication()
     }
 
     /// First registration: creates the root node directly on the peer
@@ -511,8 +581,9 @@ impl DlptSystem {
             .expect("host exists")
             .install(node);
         self.directory.insert(key.clone(), host);
+        self.mark_touched(&key);
         self.root = Some(key);
-        Ok(())
+        self.flush_replication()
     }
 
     /// Deregisters a service key (extension over the paper — see
@@ -531,6 +602,7 @@ impl DlptSystem {
             NodeMsg::DataRemoval { key: key.clone() },
         ));
         self.drain()?;
+        self.flush_replication()?;
         if self.root.is_none() {
             self.recompute_root();
         }
@@ -625,8 +697,9 @@ impl DlptSystem {
             .expect("directory is consistent");
         self.shards.get_mut(to).expect("checked").install(node);
         self.directory.insert(label.clone(), to.clone());
+        self.mark_touched(label);
         self.stats.balance_migrations += 1;
-        Ok(())
+        self.flush_replication()
     }
 
     /// Changes a peer's identifier in place (the MLT boundary move:
@@ -656,6 +729,9 @@ impl DlptSystem {
         for label in shard.nodes.keys() {
             self.directory.insert(label.clone(), new.clone());
         }
+        if self.config.replication > 1 {
+            self.touched.extend(shard.nodes.keys().cloned());
+        }
         self.shards.insert(new.clone(), shard);
         if let Some(p) = self.shards.get_mut(&pred) {
             if p.peer.succ == *old {
@@ -668,7 +744,7 @@ impl DlptSystem {
             }
         }
         self.stats.peer_renames += 1;
-        Ok(())
+        self.flush_replication()
     }
 
     // ------------------------------------------------------------------
@@ -787,12 +863,16 @@ impl DlptSystem {
     /// traffic a deployment would see; see DESIGN.md.
     pub fn repair_tree(&mut self) -> RepairReport {
         let mut report = RepairReport::default();
+        let replicated = self.config.replication > 1;
         // 1. Prune children pointers to dead nodes.
         let live: std::collections::BTreeSet<Key> = self.directory.labels().cloned().collect();
         for shard in self.shards.values_mut() {
             for node in shard.nodes.values_mut() {
                 let before = node.children.len();
                 node.children.retain(|c| live.contains(c));
+                if node.children.len() < before && replicated {
+                    self.touched.push(node.label.clone());
+                }
                 report.pruned_links += before - node.children.len();
             }
         }
@@ -840,6 +920,7 @@ impl DlptSystem {
             .get_mut(label)
             .expect("live");
         node.father = father;
+        self.mark_touched(label);
     }
 
     fn add_child(&mut self, parent: &Key, child: Key) {
@@ -852,6 +933,7 @@ impl DlptSystem {
             .get_mut(parent)
             .expect("live");
         node.children.insert(child);
+        self.mark_touched(parent);
     }
 
     fn replace_child_of(&mut self, parent: &Key, old: &Key, new: Key) {
@@ -864,6 +946,7 @@ impl DlptSystem {
             .get_mut(parent)
             .expect("live");
         node.replace_child(old, new);
+        self.mark_touched(parent);
     }
 
     /// Creates a structural node directly on its mapped host (repair
@@ -874,6 +957,7 @@ impl DlptSystem {
         node.father = father;
         node.children = children.into_iter().collect();
         self.shards.get_mut(&host).expect("live").install(node);
+        self.mark_touched(&label);
         self.directory.insert(label, host);
     }
 
@@ -948,10 +1032,21 @@ impl DlptSystem {
     /// Applies (and drains) the effect buffers, leaving `fx` empty with
     /// its capacity intact so callers can reuse it allocation-free.
     fn apply_effects(&mut self, fx: &mut Effects) {
+        let replicated = self.config.replication > 1;
         for (label, host) in fx.relocated.drain(..) {
+            if replicated {
+                self.touched.push(label.clone());
+            }
             self.directory.insert(label, host);
         }
         for label in fx.removed.drain(..) {
+            if replicated {
+                // The node dissolved: schedule its copies for GC.
+                let followers: Vec<Key> = self.directory.followers_of(&label).cloned().collect();
+                for f in followers {
+                    self.dropped_replicas.push((label.clone(), f));
+                }
+            }
             self.directory.remove(&label);
             if self.root.as_ref() == Some(&label) {
                 self.root = None; // recomputed after the drain
@@ -960,6 +1055,216 @@ impl DlptSystem {
         for env in fx.out.drain(..) {
             self.enqueue(env);
         }
+    }
+
+    /// Records that `label`'s state changed and its replicas are stale
+    /// (no-op at `k = 1`).
+    fn mark_touched(&mut self, label: &Key) {
+        if self.config.replication > 1 {
+            self.touched.push(label.clone());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Replication (extension over the paper — see `protocol::repair`)
+    // ------------------------------------------------------------------
+
+    /// Eager replica maintenance: re-clones every node touched since
+    /// the last flush onto its `k - 1` ring successors and
+    /// garbage-collects copies of dissolved nodes. Public mutating
+    /// operations call this after their drain, so replica state tracks
+    /// the data plane without waiting for the next anti-entropy pass.
+    /// No-op at `k = 1`.
+    fn flush_replication(&mut self) -> Result<()> {
+        if self.config.replication <= 1
+            || (self.touched.is_empty() && self.dropped_replicas.is_empty())
+        {
+            return Ok(());
+        }
+        let k = self.config.replication;
+        for (label, follower) in std::mem::take(&mut self.dropped_replicas) {
+            if self.shards.contains_key(&follower) {
+                self.enqueue(Envelope::to_peer(follower, PeerMsg::DropReplica { label }));
+            }
+        }
+        let mut touched = std::mem::take(&mut self.touched);
+        touched.sort();
+        touched.dedup();
+        let peers: Vec<Key> = self.shards.keys().cloned().collect();
+        for label in &touched {
+            let Some(primary) = self.directory.host_of(label).cloned() else {
+                continue; // dissolved during the same drain
+            };
+            let targets = repair::successors_of(&peers, &primary, k - 1);
+            let stale: Vec<Key> = self
+                .directory
+                .followers_of(label)
+                .filter(|f| !targets.contains(f))
+                .cloned()
+                .collect();
+            for f in stale {
+                if self.shards.contains_key(&f) {
+                    self.enqueue(Envelope::to_peer(
+                        f,
+                        PeerMsg::DropReplica {
+                            label: label.clone(),
+                        },
+                    ));
+                }
+            }
+            self.directory.set_followers(label, &targets);
+            if targets.is_empty() {
+                continue;
+            }
+            let env = {
+                let Some(shard) = self.shards.get(&primary) else {
+                    continue;
+                };
+                let Some(node) = shard.nodes.get(label) else {
+                    continue; // relocation still in flight
+                };
+                Envelope::to_peer(
+                    shard.peer.succ.clone(),
+                    PeerMsg::Replicate {
+                        primary: primary.clone(),
+                        ttl: (k - 1) as u32,
+                        seed: NodeSeed::of(node),
+                    },
+                )
+            };
+            self.enqueue(env);
+            self.repl_stats.eager_syncs += 1;
+        }
+        touched.clear();
+        self.touched = touched; // hand the capacity back
+        self.drain()
+    }
+
+    /// One self-healing anti-entropy pass (`protocol::repair`): counts
+    /// nodes whose live follower set is short of `min(k - 1, |P| - 1)`,
+    /// garbage-collects stale copies, refreshes the follower
+    /// bookkeeping, then kicks every peer with `SyncReplicas` so each
+    /// re-clones its nodes along the ring. Run once per time unit to
+    /// converge the overlay back to the replication invariant after
+    /// crashes and leaves. No-op at `k = 1`.
+    pub fn anti_entropy(&mut self) -> Result<AntiEntropyReport> {
+        let k = self.config.replication;
+        let mut report = AntiEntropyReport::default();
+        if k <= 1 || self.shards.len() <= 1 {
+            return Ok(report);
+        }
+        self.repl_stats.anti_entropy_passes += 1;
+        let peers: Vec<Key> = self.shards.keys().cloned().collect();
+        let want = (k - 1).min(peers.len() - 1);
+        // Re-plan the follower sets over the current ring, then count
+        // the labels whose *planned* followers are missing a live copy
+        // — this catches crashed followers and placement displaced by
+        // joins alike.
+        repair::refresh_follower_records(&mut self.directory, &peers, k);
+        for (label, _) in self.directory.iter() {
+            let live_copies = self
+                .directory
+                .followers_of(label)
+                .filter(|f| {
+                    self.shards
+                        .get(*f)
+                        .map(|s| s.replicas.contains_key(label))
+                        .unwrap_or(false)
+                })
+                .count();
+            if live_copies < want {
+                report.under_replicated += 1;
+            }
+        }
+        // GC copies whose label died or whose holder left the set.
+        let mut drops: Vec<(Key, Key)> = Vec::new();
+        for (pid, shard) in &self.shards {
+            for rl in shard.replicas.keys() {
+                let keep = self.directory.contains(rl)
+                    && self.directory.followers_of(rl).any(|f| f == pid);
+                if !keep {
+                    drops.push((pid.clone(), rl.clone()));
+                }
+            }
+        }
+        report.replicas_dropped = drops.len();
+        // Converged pass: in this runtime the eager flush keeps copy
+        // *content* fresh, so when every label has its full live
+        // follower set and nothing needs GC the blanket re-clone would
+        // be pure steady-state traffic — skip it. (The async runtimes
+        // have no eager path and always re-clone.)
+        if report.under_replicated == 0 && drops.is_empty() {
+            return Ok(report);
+        }
+        for (pid, label) in drops {
+            self.enqueue(Envelope::to_peer(pid, PeerMsg::DropReplica { label }));
+        }
+        for p in &peers {
+            self.enqueue(Envelope::to_peer(
+                p.clone(),
+                PeerMsg::SyncReplicas { k: k as u32 },
+            ));
+        }
+        let before = self.repl_stats.replication_messages;
+        self.drain()?;
+        report.messages_sent = (self.repl_stats.replication_messages - before) as usize;
+        Ok(report)
+    }
+
+    /// Serves a capacity-refused discovery visit from a live follower
+    /// copy, charging the follower's capacity instead. Returns the
+    /// message when no follower can serve it (the caller then counts
+    /// the drop as before).
+    fn failover_read(
+        &mut self,
+        label: &Key,
+        msg: DiscoveryMsg,
+        fx: &mut Effects,
+    ) -> Option<DiscoveryMsg> {
+        let followers: Vec<Key> = self.directory.followers_of(label).cloned().collect();
+        for f in followers {
+            let Some(shard) = self.shards.get_mut(&f) else {
+                continue;
+            };
+            if !shard.replicas.contains_key(label) || !shard.peer.try_accept() {
+                continue;
+            }
+            let node = shard.replicas.get_mut(label).expect("checked");
+            node.load += 1;
+            discovery::on_discovery_at(node, msg, fx);
+            self.repl_stats.failover_reads += 1;
+            return None;
+        }
+        Some(msg)
+    }
+
+    /// The distinct live peers currently holding a copy of `label`
+    /// (primary first, then followers in ring order). Empty when the
+    /// label is not a live node.
+    pub fn replica_hosts(&self, label: &Key) -> Vec<Key> {
+        repair::live_replica_hosts(&self.shards, &self.directory, label)
+    }
+
+    /// Verifies the replication invariant: every live node has
+    /// `min(k, |P|)` distinct live replica hosts. Trivially true at
+    /// `k = 1` (the mapping invariant covers the single copy).
+    pub fn check_replication(&self) -> std::result::Result<(), String> {
+        let k = self.config.replication;
+        if k <= 1 {
+            return Ok(());
+        }
+        let want = k.min(self.shards.len());
+        for (label, _) in self.directory.iter() {
+            let hosts = self.replica_hosts(label);
+            if hosts.len() < want {
+                return Err(format!(
+                    "node {label} has {} live replica hosts {:?}, invariant demands {want}",
+                    hosts.len(),
+                    hosts
+                ));
+            }
+        }
+        Ok(())
     }
 
     fn recompute_root(&mut self) {
@@ -1053,7 +1358,13 @@ impl DlptSystem {
                 if !self.shards.contains_key(&id) {
                     return self.requeue(requeues, Envelope::to_address(Address::Peer(id), msg));
                 }
-                self.count_message(&msg);
+                // Replication traffic is counted apart so the k = 1
+                // system's stats stay byte-identical.
+                if is_replication_msg(&msg) {
+                    self.repl_stats.replication_messages += 1;
+                } else {
+                    self.count_message(&msg);
+                }
                 // Track a freshly created root before the seed moves.
                 let new_root = match &msg {
                     Message::Peer(PeerMsg::Host { seed }) if seed.father.is_none() => {
@@ -1086,6 +1397,9 @@ impl DlptSystem {
                 // drops exit with the message intact.
                 enum Gate {
                     Delivered,
+                    /// Delivered a node message that may have mutated
+                    /// the node's state (replicas must refresh).
+                    DeliveredMutation,
                     Requeue(Message),
                     Dropped(DiscoveryMsg),
                 }
@@ -1121,7 +1435,7 @@ impl DlptSystem {
                             if shard.nodes.contains_key(&label) {
                                 count_node_msg(stats, &m);
                                 protocol::handle_node_msg(shard, &label, m, &mut fx);
-                                Gate::Delivered
+                                Gate::DeliveredMutation
                             } else {
                                 Gate::Requeue(Message::Node(m))
                             }
@@ -1138,6 +1452,20 @@ impl DlptSystem {
                         self.requeue(requeues, Envelope::to_address(Address::Node(label), msg))
                     }
                     Gate::Dropped(m) => {
+                        // Failover: a follower copy with spare capacity
+                        // can serve the read the primary refused.
+                        let m = if self.config.replication > 1 {
+                            match self.failover_read(&label, m, &mut fx) {
+                                None => {
+                                    self.apply_effects(&mut fx);
+                                    self.scratch = fx;
+                                    return Ok(());
+                                }
+                                Some(m) => m,
+                            }
+                        } else {
+                            m
+                        };
                         self.scratch = fx;
                         self.stats.discovery_drops += 1;
                         let mut path = m.path;
@@ -1153,6 +1481,12 @@ impl DlptSystem {
                         Ok(())
                     }
                     Gate::Delivered => {
+                        self.apply_effects(&mut fx);
+                        self.scratch = fx;
+                        Ok(())
+                    }
+                    Gate::DeliveredMutation => {
+                        self.mark_touched(&label);
                         self.apply_effects(&mut fx);
                         self.scratch = fx;
                         Ok(())
@@ -1229,6 +1563,20 @@ fn count_message(stats: &mut SystemStats, msg: &Message) {
         Message::Peer(_) => stats.join_messages += 1,
         Message::ClientResponse(_) => {}
     }
+}
+
+/// Replication traffic (`protocol::repair`) — counted in
+/// [`ReplicationStats`], never in [`SystemStats`].
+fn is_replication_msg(msg: &Message) -> bool {
+    matches!(
+        msg,
+        Message::Peer(
+            PeerMsg::SyncReplicas { .. }
+                | PeerMsg::Replicate { .. }
+                | PeerMsg::DropReplica { .. }
+                | PeerMsg::PromoteReplica { .. }
+        )
+    )
 }
 
 fn empty_outcome() -> LookupOutcome {
@@ -1614,6 +1962,160 @@ mod tests {
         assert_eq!(sys.peer_count(), 0);
         assert_eq!(sys.node_count(), 0);
         assert!(sys.root().is_none());
+    }
+
+    fn replicated_system(peers: usize, k: usize, seed: u64) -> DlptSystem {
+        let mut sys = DlptSystem::builder()
+            .seed(seed)
+            .peer_id_len(8)
+            .replication(k)
+            .bootstrap_peers(peers)
+            .build();
+        for name in ["DGEMM", "DGEMV", "DTRSM", "S3L_fft", "S3L_sort", "PSGESV"] {
+            sys.insert_data(k_(name)).unwrap();
+        }
+        sys
+    }
+
+    fn k_(s: &str) -> Key {
+        Key::from(s)
+    }
+
+    #[test]
+    fn eager_replication_satisfies_invariant_without_anti_entropy() {
+        let sys = replicated_system(6, 2, 71);
+        sys.check_replication().unwrap();
+        sys.check_tree().unwrap();
+        sys.check_mapping().unwrap();
+        for label in sys.node_labels() {
+            let hosts = sys.replica_hosts(&label);
+            assert_eq!(hosts.len(), 2, "{label}: {hosts:?}");
+            assert_ne!(hosts[0], hosts[1]);
+        }
+        assert!(sys.repl_stats.eager_syncs > 0);
+        assert!(sys.repl_stats.replication_messages > 0);
+        // Replication stays out of the protocol counters.
+        let baseline = replicated_system(6, 1, 71);
+        assert_eq!(sys.stats, baseline.stats, "SystemStats must not see k");
+    }
+
+    #[test]
+    fn k1_is_observationally_identical_to_unreplicated() {
+        let a = replicated_system(5, 1, 13);
+        let b = {
+            let mut sys = DlptSystem::builder()
+                .seed(13)
+                .peer_id_len(8)
+                .bootstrap_peers(5)
+                .build();
+            for name in ["DGEMM", "DGEMV", "DTRSM", "S3L_fft", "S3L_sort", "PSGESV"] {
+                sys.insert_data(k_(name)).unwrap();
+            }
+            sys
+        };
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.peer_ids(), b.peer_ids());
+        assert_eq!(a.node_labels(), b.node_labels());
+        assert_eq!(a.repl_stats, ReplicationStats::default());
+    }
+
+    #[test]
+    fn crash_with_replication_loses_nothing() {
+        let mut sys = replicated_system(6, 2, 29);
+        let keys = sys.registered_keys();
+        let victim = sys
+            .peer_ids()
+            .into_iter()
+            .max_by_key(|p| sys.shard(p).map(|s| s.node_count()).unwrap_or(0))
+            .unwrap();
+        assert!(sys.shard(&victim).unwrap().node_count() > 0);
+        let lost = sys.crash_peer(&victim).unwrap();
+        assert!(lost.is_empty(), "every node had a follower: {lost:?}");
+        assert!(sys.repl_stats.promotions > 0);
+        sys.repair_tree();
+        sys.check_tree().unwrap();
+        sys.check_mapping().unwrap();
+        sys.check_ring().unwrap();
+        for key in &keys {
+            assert!(sys.lookup(key).satisfied, "{key}");
+        }
+        // Anti-entropy restores full redundancy after the promotion.
+        let report = sys.anti_entropy().unwrap();
+        assert!(report.under_replicated > 0, "promotions left k-1 gaps");
+        sys.check_replication().unwrap();
+        let report = sys.anti_entropy().unwrap();
+        assert_eq!(report.under_replicated, 0, "second pass finds it healed");
+    }
+
+    #[test]
+    fn anti_entropy_heals_a_crashed_follower() {
+        let mut sys = replicated_system(6, 3, 31);
+        sys.check_replication().unwrap();
+        // Crash a peer that only *follows* some label.
+        let label = sys.node_labels()[0].clone();
+        let follower = sys.replica_hosts(&label)[1].clone();
+        sys.crash_peer(&follower).unwrap();
+        sys.repair_tree();
+        sys.anti_entropy().unwrap();
+        sys.check_replication().unwrap();
+        assert_eq!(
+            sys.replica_hosts(&label).len(),
+            3.min(sys.peer_count()),
+            "follower set refilled"
+        );
+    }
+
+    #[test]
+    fn replica_gc_follows_data_removal() {
+        let mut sys = replicated_system(5, 2, 37);
+        sys.remove_data(&k_("DGEMM")).unwrap();
+        sys.anti_entropy().unwrap();
+        // No peer may hold a copy of a label the tree no longer has.
+        let live: std::collections::BTreeSet<Key> = sys.node_labels().into_iter().collect();
+        for id in sys.peer_ids() {
+            for rl in sys.shard(&id).unwrap().replicas.keys() {
+                assert!(live.contains(rl), "stale replica {rl} on {id}");
+            }
+        }
+        sys.check_replication().unwrap();
+    }
+
+    #[test]
+    fn capacity_failover_serves_reads_from_followers() {
+        // One key on a 2-peer ring, primary capacity 1: the second
+        // lookup visit would be dropped at k=1 but is served by the
+        // follower copy at k=2.
+        let mut sys = DlptSystem::builder()
+            .seed(3)
+            .peer_id_len(8)
+            .default_capacity(2)
+            .replication(2)
+            .bootstrap_peers(2)
+            .build();
+        sys.insert_data(k_("DGEMM")).unwrap();
+        sys.end_time_unit();
+        let mut served = 0;
+        for _ in 0..4 {
+            if sys.lookup(&k_("DGEMM")).satisfied {
+                served += 1;
+            }
+        }
+        assert!(
+            sys.repl_stats.failover_reads > 0,
+            "follower must absorb overflow"
+        );
+        assert!(served > 2, "failover must lift satisfied beyond capacity");
+    }
+
+    #[test]
+    fn graceful_leave_keeps_replication_invariant_after_anti_entropy() {
+        let mut sys = replicated_system(6, 2, 41);
+        let victim = sys.peer_ids()[2].clone();
+        sys.leave_peer(&victim).unwrap();
+        sys.anti_entropy().unwrap();
+        sys.check_replication().unwrap();
+        sys.check_tree().unwrap();
+        sys.check_mapping().unwrap();
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! or corrupt frame yields an error, never a panic.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use dlpt_core::key::Key;
+use dlpt_core::key::{Key, KEY_INLINE_CAP};
 use dlpt_core::messages::{
     Address, DiscoveryMsg, DiscoveryOutcome, Envelope, JoinPhase, Message, NodeMsg, NodeSeed,
     PeerMsg, QueryKind, RoutePhase,
@@ -202,6 +202,24 @@ fn put_peer_msg(buf: &mut BytesMut, m: &PeerMsg) {
                 put_node_state(buf, n);
             }
         }
+        PeerMsg::SyncReplicas { k } => {
+            buf.put_u8(6);
+            buf.put_u32_le(*k);
+        }
+        PeerMsg::Replicate { primary, ttl, seed } => {
+            buf.put_u8(7);
+            put_key(buf, primary);
+            buf.put_u32_le(*ttl);
+            put_seed(buf, seed);
+        }
+        PeerMsg::DropReplica { label } => {
+            buf.put_u8(8);
+            put_key(buf, label);
+        }
+        PeerMsg::PromoteReplica { label } => {
+            buf.put_u8(9);
+            put_key(buf, label);
+        }
     }
 }
 
@@ -259,17 +277,41 @@ fn need(buf: &impl Buf, n: usize, what: &str) -> Result<()> {
 
 #[inline]
 fn get_key(buf: &mut impl Buf) -> Result<Key> {
+    // Fast path: length prefix and digits contiguous in the cursor —
+    // one chunk read and one bounds check cover both, and the key is
+    // built straight into its inline (SSO) representation with no
+    // intermediate buffer or allocation for short keys. Slice cursors
+    // (every runtime decodes whole frames) always take this path on
+    // well-formed input.
+    let chunk = buf.chunk();
+    if chunk.len() >= 2 {
+        let len = u16::from_le_bytes([chunk[0], chunk[1]]) as usize;
+        if chunk.len() - 2 >= len {
+            // Short keys with a full-width window in the cursor land
+            // straight in the inline repr via a fixed-size copy (no
+            // variable-length memcpy, no 32-byte staging move).
+            let key = if len <= KEY_INLINE_CAP && chunk.len() >= 2 + KEY_INLINE_CAP {
+                let window: &[u8; KEY_INLINE_CAP] = chunk[2..2 + KEY_INLINE_CAP]
+                    .try_into()
+                    .expect("checked width");
+                Key::from_inline_window(window, len)
+            } else {
+                Key::from_slice(&chunk[2..2 + len])
+            };
+            buf.advance(2 + len);
+            return Ok(key);
+        }
+    }
+    get_key_cold(buf)
+}
+
+/// Non-contiguous or truncated input: bounds-checked field reads with
+/// precise error labels.
+#[cold]
+fn get_key_cold(buf: &mut impl Buf) -> Result<Key> {
     need(buf, 2, "key length")?;
     let len = buf.get_u16_le() as usize;
     need(buf, len, "key digits")?;
-    // Fast path: the digits are contiguous in the source buffer, so the
-    // key is built straight from the slice (inline — no allocation —
-    // for keys up to `KEY_INLINE_CAP` digits).
-    if buf.chunk().len() >= len {
-        let key = Key::from_slice(&buf.chunk()[..len]);
-        buf.advance(len);
-        return Ok(key);
-    }
     let mut v = vec![0u8; len];
     buf.copy_to_slice(&mut v);
     Ok(Key::from_bytes(v))
@@ -430,6 +472,28 @@ fn get_peer_msg(buf: &mut impl Buf) -> Result<PeerMsg> {
             }
             Ok(PeerMsg::TakeOver { pred, nodes })
         }
+        6 => {
+            need(buf, 4, "replication factor")?;
+            Ok(PeerMsg::SyncReplicas {
+                k: buf.get_u32_le(),
+            })
+        }
+        7 => {
+            let primary = get_key(buf)?;
+            need(buf, 4, "replicate ttl")?;
+            let ttl = buf.get_u32_le();
+            Ok(PeerMsg::Replicate {
+                primary,
+                ttl,
+                seed: get_seed(buf)?,
+            })
+        }
+        8 => Ok(PeerMsg::DropReplica {
+            label: get_key(buf)?,
+        }),
+        9 => Ok(PeerMsg::PromoteReplica {
+            label: get_key(buf)?,
+        }),
         t => err(&format!("peer msg tag {t}")),
     }
 }
@@ -557,6 +621,22 @@ mod tests {
                     nodes: vec![node],
                 },
             ),
+            Envelope::to_peer(k("P1"), PeerMsg::SyncReplicas { k: 3 }),
+            Envelope::to_peer(
+                k("P1"),
+                PeerMsg::Replicate {
+                    primary: k("P0"),
+                    ttl: 2,
+                    seed: NodeSeed {
+                        label: k("101"),
+                        father: Some(k("10")),
+                        children: vec![k("10101")],
+                        data: vec![k("101")],
+                    },
+                },
+            ),
+            Envelope::to_peer(k("P1"), PeerMsg::DropReplica { label: k("101") }),
+            Envelope::to_peer(k("P1"), PeerMsg::PromoteReplica { label: k("101") }),
             Envelope::to_client(
                 9,
                 DiscoveryOutcome {

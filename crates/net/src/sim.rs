@@ -60,6 +60,8 @@ pub struct LatencyNet {
     pending: BTreeMap<u64, Pending>,
     next_request: u64,
     requeue_budget: u32,
+    /// Replication factor `k` (1 = off; see `protocol::repair`).
+    replication: usize,
     /// Messages delivered so far.
     pub deliveries: u64,
 }
@@ -76,8 +78,16 @@ impl LatencyNet {
             pending: BTreeMap::new(),
             next_request: 1,
             requeue_budget: 4096,
+            replication: 1,
             deliveries: 0,
         }
+    }
+
+    /// Sets the replication factor `k` (primary + `k - 1` ring
+    /// followers). Takes effect at the next [`LatencyNet::anti_entropy`]
+    /// pass.
+    pub fn set_replication(&mut self, k: usize) {
+        self.replication = k.max(1);
     }
 
     /// Peer count.
@@ -314,6 +324,78 @@ impl LatencyNet {
         p.results.extend(o.results);
     }
 
+    /// One anti-entropy pass (`protocol::repair`) under latency: every
+    /// peer is kicked with `SyncReplicas` and re-clones its nodes along
+    /// the ring; the `Replicate` walks interleave arbitrarily with each
+    /// other. Runs to quiescence. No-op at `k = 1`.
+    pub fn anti_entropy(&mut self) {
+        if self.replication <= 1 || self.shards.len() <= 1 {
+            return;
+        }
+        let peers: Vec<Key> = self.shards.keys().cloned().collect();
+        protocol::repair::refresh_follower_records(&mut self.directory, &peers, self.replication);
+        for p in peers {
+            self.send(Envelope::to_peer(
+                p,
+                PeerMsg::SyncReplicas {
+                    k: self.replication as u32,
+                },
+            ));
+        }
+        self.run_to_quiescence();
+    }
+
+    /// Non-graceful departure: the peer vanishes with its state; the
+    /// ring heals and every node it ran fails over to a surviving
+    /// follower copy where one exists. Returns the labels actually
+    /// lost. Run [`LatencyNet::anti_entropy`] beforehand (for fresh
+    /// copies) and afterwards (to restore `k`).
+    pub fn crash_peer(&mut self, id: &Key) -> Vec<Key> {
+        let Some(shard) = self.shards.remove(id) else {
+            return Vec::new();
+        };
+        let hosted: Vec<Key> = shard.nodes.keys().cloned().collect();
+        if self.shards.is_empty() {
+            for l in &hosted {
+                self.directory.remove(l);
+            }
+            return hosted;
+        }
+        // Neighbours notice and heal their links.
+        let (pred, succ) = (shard.peer.pred.clone(), shard.peer.succ.clone());
+        if let Some(p) = self.shards.get_mut(&pred) {
+            p.peer.succ = if succ == *id {
+                pred.clone()
+            } else {
+                succ.clone()
+            };
+        }
+        if let Some(s) = self.shards.get_mut(&succ) {
+            s.peer.pred = if pred == *id {
+                succ.clone()
+            } else {
+                pred.clone()
+            };
+        }
+        let mut lost = Vec::new();
+        for label in hosted {
+            if !protocol::repair::promote_from_followers(
+                &mut self.shards,
+                &mut self.directory,
+                &label,
+            ) {
+                self.directory.remove(&label);
+                lost.push(label);
+            }
+        }
+        lost
+    }
+
+    /// Distinct live peers holding a copy of `label` (primary first).
+    pub fn replica_hosts(&self, label: &Key) -> Vec<Key> {
+        protocol::repair::live_replica_hosts(&self.shards, &self.directory, label)
+    }
+
     /// Checks the successor-mapping invariant over the whole network.
     pub fn check_mapping(&self) -> Result<(), String> {
         let peers: std::collections::BTreeSet<Key> = self.shards.keys().cloned().collect();
@@ -471,5 +553,58 @@ mod tests {
     fn deliveries_are_counted() {
         let net = build(LatencyModel::Constant(1), 19, 4, &KEYS[..4]);
         assert!(net.deliveries > 10);
+    }
+
+    #[test]
+    fn anti_entropy_replicates_under_latency() {
+        let mut net = build(LatencyModel::Uniform(1, 40), 23, 6, &KEYS);
+        net.set_replication(3);
+        net.anti_entropy();
+        for label in net.node_labels() {
+            let hosts = net.replica_hosts(&label);
+            assert_eq!(hosts.len(), 3, "{label}: {hosts:?}");
+            let distinct: std::collections::BTreeSet<&Key> = hosts.iter().collect();
+            assert_eq!(distinct.len(), 3);
+        }
+    }
+
+    #[test]
+    fn crash_with_replicas_loses_nothing_under_latency() {
+        let mut net = build(LatencyModel::Uniform(1, 25), 29, 7, &KEYS);
+        net.set_replication(2);
+        net.anti_entropy();
+        // Crash the most loaded peer.
+        let victim = net
+            .shards
+            .iter()
+            .max_by_key(|(_, s)| s.node_count())
+            .map(|(id, _)| id.clone())
+            .unwrap();
+        let lost = net.crash_peer(&victim);
+        assert!(lost.is_empty(), "{lost:?}");
+        net.check_tree().unwrap();
+        net.check_mapping().unwrap();
+        for k in KEYS {
+            let (found, _) = net.lookup(&Key::from(k));
+            assert!(found, "{k}");
+        }
+        // A second pass restores full redundancy.
+        net.anti_entropy();
+        for label in net.node_labels() {
+            assert_eq!(net.replica_hosts(&label).len(), 2, "{label}");
+        }
+    }
+
+    #[test]
+    fn unreplicated_crash_loses_the_hosted_nodes() {
+        let mut net = build(LatencyModel::Constant(1), 31, 6, &KEYS);
+        let victim = net
+            .shards
+            .iter()
+            .max_by_key(|(_, s)| s.node_count())
+            .map(|(id, _)| id.clone())
+            .unwrap();
+        let lost = net.crash_peer(&victim);
+        assert!(!lost.is_empty(), "k = 1 must lose the hosted nodes");
     }
 }

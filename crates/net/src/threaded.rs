@@ -77,6 +77,8 @@ pub struct ThreadedDlpt {
     queue: VecDeque<(u32, Bytes)>,
     inflight: usize,
     next_request: u64,
+    /// Replication factor `k` (1 = off; see `protocol::repair`).
+    replication: usize,
     /// Shared counters.
     pub stats: Arc<ThreadedStats>,
     retry_budget: u32,
@@ -97,6 +99,7 @@ impl ThreadedDlpt {
             queue: VecDeque::new(),
             inflight: 0,
             next_request: 1,
+            replication: 1,
             stats: Arc::new(ThreadedStats::default()),
             retry_budget: 10_000,
         }
@@ -105,6 +108,154 @@ impl ThreadedDlpt {
     /// Number of live peer threads.
     pub fn peer_count(&self) -> usize {
         self.peers.len()
+    }
+
+    /// Sets the replication factor `k`; replica copies materialize at
+    /// the next [`ThreadedDlpt::anti_entropy`] pass.
+    pub fn set_replication(&mut self, k: usize) {
+        self.replication = k.max(1);
+    }
+
+    /// One anti-entropy pass over the live threads: every peer receives
+    /// a `SyncReplicas` frame and re-clones its nodes onto its ring
+    /// successors with `Replicate` frames — the full replication
+    /// protocol exercised through the wire codec. No-op at `k = 1`.
+    pub fn anti_entropy(&mut self) {
+        if self.replication <= 1 || self.peers.len() <= 1 {
+            return;
+        }
+        let mut ids: Vec<Key> = self.peers.keys().cloned().collect();
+        ids.sort();
+        protocol::repair::refresh_follower_records(&mut self.directory, &ids, self.replication);
+        for id in ids {
+            let env = Envelope::to_peer(
+                id,
+                PeerMsg::SyncReplicas {
+                    k: self.replication as u32,
+                },
+            );
+            self.queue.push_back((0, encode(&env)));
+        }
+        self.run_to_quiescence(|_| {});
+    }
+
+    /// Simulated crash: the peer thread is killed without hand-off and
+    /// every node it hosted fails over to a follower copy via
+    /// `PromoteReplica` frames. The ring heals through
+    /// `UpdateSuccessor`/`UpdatePredecessor`. Returns the labels lost
+    /// (nodes with no surviving copy). Run
+    /// [`ThreadedDlpt::anti_entropy`] beforehand for fresh copies.
+    pub fn crash_peer(&mut self, id: &Key) -> Vec<Key> {
+        let Some(tx) = self.peers.remove(id) else {
+            return Vec::new();
+        };
+        // The thread exits without handing anything over — its shard
+        // state is discarded when the handle is joined at shutdown.
+        let _ = tx.send(ToPeer::Shutdown);
+        let hosted: Vec<Key> = self
+            .directory
+            .iter()
+            .filter(|(_, host)| *host == id)
+            .map(|(label, _)| label.clone())
+            .collect();
+        if self.peers.is_empty() {
+            for l in &hosted {
+                self.directory.remove(l);
+            }
+            return hosted;
+        }
+        // Heal the ring: the router knows the identifier order.
+        let mut ids: Vec<Key> = self.peers.keys().cloned().collect();
+        ids.sort();
+        let succ = ids.iter().find(|p| *p > id).unwrap_or(&ids[0]).clone();
+        let pred = ids
+            .iter()
+            .rev()
+            .find(|p| *p < id)
+            .unwrap_or(&ids[ids.len() - 1])
+            .clone();
+        let heal = [
+            Envelope::to_peer(
+                pred.clone(),
+                PeerMsg::UpdateSuccessor { succ: succ.clone() },
+            ),
+            Envelope::to_peer(succ, PeerMsg::UpdatePredecessor { pred }),
+        ];
+        for env in heal {
+            self.queue.push_back((0, encode(&env)));
+        }
+        // Fail over. The mapping rule's new host is the first live peer
+        // at or after the label on the ring; promote there when the
+        // bookkeeping says it holds a copy (the common case — the first
+        // follower IS the crashed primary's successor). When a join
+        // slid in between primary and follower since the last sync, the
+        // rightful host has no copy yet: promote on the holder instead
+        // and let the next anti-entropy pass re-place the set (a
+        // transient mapping divergence, routed correctly through the
+        // directory either way).
+        let rightful =
+            |label: &Key| -> Key { ids.iter().find(|p| *p >= label).unwrap_or(&ids[0]).clone() };
+        let mut lost = Vec::new();
+        for label in hosted {
+            let want = rightful(&label);
+            let target = self
+                .directory
+                .followers_of(&label)
+                .any(|f| *f == want)
+                .then_some(want)
+                .or_else(|| {
+                    self.directory
+                        .followers_of(&label)
+                        .find(|f| self.peers.contains_key(*f))
+                        .cloned()
+                });
+            match target {
+                Some(t) => {
+                    let env = Envelope::to_peer(
+                        t,
+                        PeerMsg::PromoteReplica {
+                            label: label.clone(),
+                        },
+                    );
+                    self.queue.push_back((0, encode(&env)));
+                }
+                None => {
+                    self.directory.remove(&label);
+                    lost.push(label);
+                }
+            }
+        }
+        self.run_to_quiescence(|_| {});
+        // A follower without the copy (crash raced the sync) leaves the
+        // label pointing at the dead peer: count it lost.
+        let stale: Vec<Key> = self
+            .directory
+            .iter()
+            .filter(|(_, host)| *host == id)
+            .map(|(label, _)| label.clone())
+            .collect();
+        for label in stale {
+            self.directory.remove(&label);
+            lost.push(label);
+        }
+        lost
+    }
+
+    /// Distinct live peers believed to hold a copy of `label` (primary
+    /// first, per the router's follower bookkeeping).
+    pub fn replica_hosts(&self, label: &Key) -> Vec<Key> {
+        let mut out = Vec::new();
+        if let Some(p) = self.directory.host_of(label) {
+            if self.peers.contains_key(p) {
+                out.push(p.clone());
+            }
+        }
+        for f in self.directory.followers_of(label) {
+            if self.peers.contains_key(f) && !out.contains(f) {
+                out.push(f.clone());
+            }
+        }
+        out
     }
 
     /// All node labels, ascending.
@@ -326,9 +477,15 @@ impl ThreadedDlpt {
                 }
                 None => Some((retries, frame)),
             },
-            Address::Node(label) => match self.directory.host_of(&label) {
-                Some(host) => {
-                    let tx = self.peers.get(host).expect("directory points at peers");
+            Address::Node(label) => match self
+                .directory
+                .host_of(&label)
+                .and_then(|host| self.peers.get(host))
+            {
+                // A directory entry pointing at a crashed peer parks
+                // the frame like an in-flight node would, instead of
+                // panicking the router.
+                Some(tx) => {
                     tx.send(ToPeer::Frame { retries, frame })
                         .expect("peer alive");
                     self.inflight += 1;
@@ -492,6 +649,54 @@ mod tests {
     fn stats_count_work() {
         let net = live(4, 4, &KEYS[..4]);
         assert!(*net.stats.frames_handled.lock() > 0);
+        net.shutdown();
+    }
+
+    #[test]
+    fn anti_entropy_places_replicas_on_live_threads() {
+        let mut net = live(5, 5, &KEYS);
+        net.set_replication(2);
+        net.anti_entropy();
+        let labels = net.node_labels();
+        for label in &labels {
+            assert_eq!(net.replica_hosts(label).len(), 2, "{label}");
+        }
+        // The copies are real: every shard's replica map mirrors the
+        // router's bookkeeping.
+        let shards = net.shutdown();
+        let total_replicas: usize = shards.iter().map(|s| s.replica_count()).sum();
+        assert_eq!(total_replicas, labels.len(), "one follower copy each");
+    }
+
+    #[test]
+    fn crashed_thread_fails_over_without_losing_keys() {
+        let mut net = live(6, 6, &KEYS);
+        net.set_replication(2);
+        net.anti_entropy();
+        // Crash the thread hosting the most nodes.
+        let mut by_host: std::collections::HashMap<Key, usize> = std::collections::HashMap::new();
+        for label in net.node_labels() {
+            let host = net.directory.host_of(&label).unwrap().clone();
+            *by_host.entry(host).or_default() += 1;
+        }
+        let victim = by_host
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)))
+            .map(|(id, _)| id)
+            .unwrap();
+        let lost = net.crash_peer(&victim);
+        assert!(lost.is_empty(), "{lost:?}");
+        assert_eq!(net.peer_count(), 5);
+        for k in KEYS {
+            let (found, results) = net.lookup(&Key::from(k));
+            assert!(found, "{k}");
+            assert_eq!(results, vec![Key::from(k)]);
+        }
+        // Redundancy is restored by the next pass.
+        net.anti_entropy();
+        for label in net.node_labels() {
+            assert_eq!(net.replica_hosts(&label).len(), 2, "{label}");
+        }
         net.shutdown();
     }
 }

@@ -3,7 +3,7 @@
 //! reframing.
 
 use dlpt_core::key::Key;
-use dlpt_core::messages::{Envelope, NodeMsg, PeerMsg};
+use dlpt_core::messages::{Envelope, NodeMsg, NodeSeed, PeerMsg};
 use dlpt_net::codec::{decode, encode};
 use proptest::prelude::*;
 
@@ -29,6 +29,45 @@ proptest! {
         let pos = pos_seed % frame.len();
         frame[pos] = val;
         let _ = decode(&frame);
+    }
+
+    /// Replica-aware envelopes (`protocol::repair`) round-trip for
+    /// arbitrary keys/ttls and survive single-byte corruption without
+    /// panicking.
+    #[test]
+    fn replication_envelopes_roundtrip_and_corrupt_safely(
+        primary in "[01]{1,12}",
+        label in "[01]{1,12}",
+        ttl in 0u32..16,
+        pos_seed in any::<usize>(),
+        val in any::<u8>(),
+    ) {
+        let envs = vec![
+            Envelope::to_peer(Key::from(primary.as_str()), PeerMsg::SyncReplicas { k: ttl + 1 }),
+            Envelope::to_peer(
+                Key::from(primary.as_str()),
+                PeerMsg::Replicate {
+                    primary: Key::from(primary.as_str()),
+                    ttl,
+                    seed: NodeSeed {
+                        label: Key::from(label.as_str()),
+                        father: Some(Key::from(primary.as_str())),
+                        children: vec![Key::from(label.as_str())],
+                        data: vec![Key::from(label.as_str())],
+                    },
+                },
+            ),
+            Envelope::to_peer(Key::from(primary.as_str()), PeerMsg::DropReplica { label: Key::from(label.as_str()) }),
+            Envelope::to_peer(Key::from(primary.as_str()), PeerMsg::PromoteReplica { label: Key::from(label.as_str()) }),
+        ];
+        for env in envs {
+            let frame = encode(&env);
+            prop_assert_eq!(&decode(&frame).unwrap(), &env);
+            let mut corrupted = frame.to_vec();
+            let pos = pos_seed % corrupted.len();
+            corrupted[pos] = val;
+            let _ = decode(&corrupted); // error or envelope, never panic
+        }
     }
 
     /// Concatenated frames decode individually after splitting on the

@@ -152,6 +152,14 @@ pub struct ExperimentConfig {
     /// Also compute Figure 9's random-mapping physical hops (costs one
     /// hash per path node per request).
     pub track_mapping_hops: bool,
+    /// Replication factor `k` (replication extension, `figR`): each
+    /// tree node lives on its primary plus `k - 1` ring-successor
+    /// followers. `1` (the default) reproduces the paper's
+    /// single-copy system byte-identically.
+    pub replication: usize,
+    /// Run the self-healing anti-entropy pass once per time unit
+    /// (after the churn step). Only meaningful at `replication > 1`.
+    pub anti_entropy: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -173,6 +181,8 @@ impl Default for ExperimentConfig {
             base_seed: 0x0D1B,
             peer_id_len: 12,
             track_mapping_hops: false,
+            replication: 1,
+            anti_entropy: false,
         }
     }
 }

@@ -107,6 +107,70 @@ pub fn fig9_config() -> ExperimentConfig {
     cfg
 }
 
+/// One replication curve of Figure R (replication extension): a
+/// replication factor plus whether the self-healing anti-entropy pass
+/// runs each unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FigRVariant {
+    /// Curve label used in CSV headers and charts.
+    pub label: &'static str,
+    /// Replication factor `k`.
+    pub replication: usize,
+    /// Anti-entropy on/off.
+    pub anti_entropy: bool,
+}
+
+/// The four curves Figure R compares: the paper's unreplicated system,
+/// self-healing replication at k ∈ {2, 3}, and the k = 2 ablation with
+/// the anti-entropy loop disabled (static redundancy decays as crashed
+/// followers are never re-cloned).
+pub fn figr_variants() -> Vec<FigRVariant> {
+    vec![
+        FigRVariant {
+            label: "k1",
+            replication: 1,
+            anti_entropy: false,
+        },
+        FigRVariant {
+            label: "k2",
+            replication: 2,
+            anti_entropy: true,
+        },
+        FigRVariant {
+            label: "k3",
+            replication: 3,
+            anti_entropy: true,
+        },
+        FigRVariant {
+            label: "k2-noAE",
+            replication: 2,
+            anti_entropy: false,
+        },
+    ]
+}
+
+/// The crash-rate sweep of Figure R (fraction of peers crashing per
+/// unit). Over the 50-unit horizon these cumulate to roughly 10%, 30%,
+/// 60% and 100% of the population crashing (joins keep the count
+/// level).
+pub const FIGR_CRASH_RATES: [f64; 4] = [0.002, 0.006, 0.012, 0.02];
+
+/// One Figure R experiment: the low-load stable setup of Figure 4 plus
+/// non-graceful crashes at `crash_rate`, run at the variant's
+/// replication setting. Low load keeps capacity drops out of the way,
+/// so the satisfaction and survival curves isolate crash damage.
+pub fn figr_config(crash_rate: f64, v: FigRVariant) -> ExperimentConfig {
+    ExperimentConfig {
+        name: format!("figR-{}-r{crash_rate}", v.label),
+        load: 0.10,
+        churn: ChurnModel::stable().with_crash_rate(crash_rate),
+        lb: LbKind::None,
+        replication: v.replication,
+        anti_entropy: v.anti_entropy,
+        ..ExperimentConfig::default()
+    }
+}
+
 /// One row of Table 1.
 #[derive(Debug, Clone)]
 pub struct Table1Row {
@@ -332,6 +396,57 @@ mod tests {
         assert_eq!(f9.runs, 100);
         assert!(f9.track_mapping_hops);
         assert_eq!(TABLE1_LOADS.len(), 6);
+    }
+
+    #[test]
+    fn figr_variants_cover_the_ablation_grid() {
+        let vs = figr_variants();
+        assert_eq!(vs.len(), 4);
+        assert!(vs.iter().any(|v| v.replication == 1));
+        assert!(vs.iter().any(|v| v.replication == 3 && v.anti_entropy));
+        assert!(vs.iter().any(|v| v.replication == 2 && !v.anti_entropy));
+        let cfg = figr_config(0.006, vs[1]);
+        assert_eq!(cfg.replication, 2);
+        assert!(cfg.anti_entropy);
+        assert!((cfg.churn.crash_rate - 0.006).abs() < 1e-12);
+        assert_eq!(cfg.churn.join_fraction, 0.02, "stable base churn");
+        let baseline = figr_config(0.0, vs[0]);
+        assert_eq!(baseline.replication, 1);
+        assert_eq!(baseline.churn.crash_rate, 0.0);
+    }
+
+    #[test]
+    fn figr_zero_loss_at_k2_and_loss_at_k1_on_a_seeded_run() {
+        // The acceptance scenario at test scale: ~30% of peers crash
+        // over the horizon. k=2 + anti-entropy must end with every key
+        // alive; the unreplicated baseline must demonstrably lose data.
+        use crate::run::run_once;
+        let scale = |v: FigRVariant| {
+            let mut cfg = figr_config(0.012, v).scaled_down(4);
+            cfg.time_units = 25;
+            cfg.growth_units = 5;
+            cfg.base_seed = 0xF16;
+            cfg
+        };
+        let vs = figr_variants();
+        let k2 = run_once(&scale(vs[1]), 0);
+        let last = k2.units.last().unwrap();
+        assert_eq!(
+            last.keys_alive, last.keys_inserted,
+            "k=2 + AE must lose zero keys"
+        );
+        assert!(
+            k2.units.iter().map(|u| u.crashes).sum::<u64>() > 0,
+            "the run must actually crash peers"
+        );
+        let k1 = run_once(&scale(vs[0]), 0);
+        let last = k1.units.last().unwrap();
+        assert!(
+            last.keys_alive < last.keys_inserted,
+            "k=1 must lose keys ({} of {} alive)",
+            last.keys_alive,
+            last.keys_inserted
+        );
     }
 
     #[test]

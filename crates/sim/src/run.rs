@@ -46,6 +46,14 @@ pub struct UnitMetrics {
     pub nodes: usize,
     /// Node migrations the balancer performed this unit.
     pub migrations: u64,
+    /// Distinct service keys registered so far (replication extension).
+    pub keys_inserted: u64,
+    /// Of those, keys still present in the tree at the end of the unit
+    /// — the data-survival numerator `figR` tracks. Crashes are the
+    /// only way the two diverge in these workloads.
+    pub keys_alive: u64,
+    /// Peers crashed (non-gracefully) during this unit.
+    pub crashes: u64,
 }
 
 impl UnitMetrics {
@@ -84,6 +92,16 @@ impl UnitMetrics {
             self.physical_random_sum as f64 / self.hop_samples as f64
         }
     }
+
+    /// Percentage of registered keys still discoverable — the
+    /// data-survival axis of `figR`. 100 when nothing was registered.
+    pub fn survival_pct(&self) -> f64 {
+        if self.keys_inserted == 0 {
+            100.0
+        } else {
+            100.0 * self.keys_alive as f64 / self.keys_inserted as f64
+        }
+    }
 }
 
 /// All units of one run.
@@ -117,6 +135,7 @@ pub fn run_once(cfg: &ExperimentConfig, run_idx: usize) -> RunResult {
         .alphabet(cfg.corpus.alphabet())
         .seed(seed)
         .peer_id_len(cfg.peer_id_len)
+        .replication(cfg.replication)
         .build();
     let capacities = CapacityModel {
         base: cfg.base_capacity,
@@ -159,6 +178,27 @@ pub fn run_once(cfg: &ExperimentConfig, run_idx: usize) -> RunResult {
             }
             let victim = ids[rng.gen_range(0..ids.len())].clone();
             sys.leave_peer(&victim).expect("victim is live");
+        }
+
+        // (3b) Crashes (non-graceful; replication extension). A zero
+        // crash rate draws no randomness, so the paper experiments
+        // replay their pre-crash-step streams byte-identically.
+        let crashes = cfg.churn.crashes(sys.peer_count(), &mut rng);
+        let mut crashed = 0u64;
+        for _ in 0..crashes {
+            let ids = sys.peer_ids();
+            if ids.len() <= 1 {
+                break;
+            }
+            let victim = ids[rng.gen_range(0..ids.len())].clone();
+            sys.crash_peer(&victim).expect("victim is live");
+            crashed += 1;
+        }
+        if crashed > 0 {
+            sys.repair_tree();
+        }
+        if cfg.anti_entropy && cfg.replication > 1 {
+            sys.anti_entropy().expect("anti-entropy pass completes");
         }
 
         // (4) Service registrations (tree growth).
@@ -212,6 +252,17 @@ pub fn run_once(cfg: &ExperimentConfig, run_idx: usize) -> RunResult {
         m.peers = sys.peer_count();
         m.nodes = sys.node_count();
         m.migrations = sys.stats.balance_migrations - migrations_before;
+        m.crashes = crashed;
+        m.keys_inserted = next_key as u64;
+        // One key registers on exactly one node, so the live count is
+        // the total of the data sets (follower copies are kept apart).
+        m.keys_alive = sys
+            .peer_ids()
+            .iter()
+            .filter_map(|p| sys.shard(p))
+            .flat_map(|s| s.nodes.values())
+            .map(|n| n.data.len() as u64)
+            .sum();
         sys.end_time_unit();
         units.push(m);
     }
@@ -242,6 +293,8 @@ mod tests {
             base_seed: 99,
             peer_id_len: 8,
             track_mapping_hops: true,
+            replication: 1,
+            anti_entropy: false,
         }
     }
 

@@ -28,6 +28,8 @@ pub struct AveragedSeries {
     pub nodes: Vec<f64>,
     /// Mean balancer migrations per unit.
     pub migrations: Vec<f64>,
+    /// Mean data-survival percentage per unit (`figR`).
+    pub survival: Vec<f64>,
     /// Total satisfied requests per run (averaged), growth excluded —
     /// the quantity Table 1's gains compare.
     pub steady_satisfied: f64,
@@ -46,6 +48,12 @@ impl AveragedSeries {
         } else {
             100.0 * self.steady_satisfied / self.steady_issued
         }
+    }
+
+    /// Data survival at the end of the horizon (mean over runs of the
+    /// last unit's survival percentage) — `figR`'s y-axis.
+    pub fn final_survival(&self) -> f64 {
+        self.survival.last().copied().unwrap_or(100.0)
     }
 }
 
@@ -108,6 +116,7 @@ pub fn average(cfg: &ExperimentConfig, results: &[RunResult]) -> AveragedSeries 
         peers: vec![0.0; units],
         nodes: vec![0.0; units],
         migrations: vec![0.0; units],
+        survival: vec![0.0; units],
         steady_satisfied: 0.0,
         steady_issued: 0.0,
         runs: results.len(),
@@ -121,6 +130,7 @@ pub fn average(cfg: &ExperimentConfig, results: &[RunResult]) -> AveragedSeries 
             out.peers[t] += u.peers as f64 / runs;
             out.nodes[t] += u.nodes as f64 / runs;
             out.migrations[t] += u.migrations as f64 / runs;
+            out.survival[t] += u.survival_pct() / runs;
         }
         out.steady_satisfied += r.total_satisfied(skip) as f64 / runs;
         out.steady_issued += r.total_issued(skip) as f64 / runs;
@@ -161,6 +171,8 @@ mod tests {
             base_seed: 5,
             peer_id_len: 8,
             track_mapping_hops: false,
+            replication: 1,
+            anti_entropy: false,
         }
     }
 

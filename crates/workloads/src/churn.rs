@@ -8,12 +8,19 @@
 use rand::{Rng, RngCore};
 
 /// Fractions of the peer population joining and leaving each unit.
+///
+/// `leave_fraction` models the paper's *graceful* departures (the peer
+/// hands its nodes over before going); `crash_rate` is the replication
+/// extension's *non-graceful* departures — the peer vanishes with its
+/// state, the failure mode `protocol::repair` exists to survive.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChurnModel {
     /// Fraction of `|peers|` joining per unit.
     pub join_fraction: f64,
-    /// Fraction of `|peers|` leaving per unit.
+    /// Fraction of `|peers|` leaving gracefully per unit.
     pub leave_fraction: f64,
+    /// Fraction of `|peers|` crashing (non-gracefully) per unit.
+    pub crash_rate: f64,
 }
 
 impl ChurnModel {
@@ -22,6 +29,7 @@ impl ChurnModel {
         ChurnModel {
             join_fraction: 0.0,
             leave_fraction: 0.0,
+            crash_rate: 0.0,
         }
     }
 
@@ -31,6 +39,7 @@ impl ChurnModel {
         ChurnModel {
             join_fraction: 0.02,
             leave_fraction: 0.02,
+            crash_rate: 0.0,
         }
     }
 
@@ -40,7 +49,26 @@ impl ChurnModel {
         ChurnModel {
             join_fraction: 0.10,
             leave_fraction: 0.10,
+            crash_rate: 0.0,
         }
+    }
+
+    /// A failure-heavy network: joins keep the population level while a
+    /// visible share of departures is non-graceful (crashes), the
+    /// regime the `figR` replication experiment studies.
+    pub fn crashy() -> Self {
+        ChurnModel {
+            join_fraction: 0.07,
+            leave_fraction: 0.02,
+            crash_rate: 0.05,
+        }
+    }
+
+    /// Copy of this model with a different crash rate (the `figR`
+    /// sweep axis; also `fig5 --crash-rate`).
+    pub fn with_crash_rate(mut self, rate: f64) -> Self {
+        self.crash_rate = rate.max(0.0);
+        self
     }
 
     /// Number of peers joining this unit. Fractional expectations are
@@ -49,9 +77,17 @@ impl ChurnModel {
         resolve(self.join_fraction * peer_count as f64, rng)
     }
 
-    /// Number of peers leaving this unit (never empties the ring).
+    /// Number of peers leaving gracefully this unit (never empties the
+    /// ring).
     pub fn leaves(&self, peer_count: usize, rng: &mut dyn RngCore) -> usize {
         resolve(self.leave_fraction * peer_count as f64, rng).min(peer_count.saturating_sub(1))
+    }
+
+    /// Number of peers crashing this unit (never empties the ring).
+    /// Draws no randomness at a zero rate, so pre-crash experiment
+    /// streams replay byte-identically.
+    pub fn crashes(&self, peer_count: usize, rng: &mut dyn RngCore) -> usize {
+        resolve(self.crash_rate * peer_count as f64, rng).min(peer_count.saturating_sub(1))
     }
 }
 
@@ -91,6 +127,7 @@ mod tests {
         let m = ChurnModel {
             join_fraction: 0.005,
             leave_fraction: 0.0,
+            crash_rate: 0.0,
         };
         // 100 peers → expectation 0.5 per unit.
         let total: usize = (0..2000).map(|_| m.joins(100, &mut rng)).sum();
@@ -104,10 +141,13 @@ mod tests {
         let m = ChurnModel {
             join_fraction: 0.0,
             leave_fraction: 5.0,
+            crash_rate: 5.0,
         };
         assert_eq!(m.leaves(3, &mut rng), 2);
         assert_eq!(m.leaves(1, &mut rng), 0);
         assert_eq!(m.leaves(0, &mut rng), 0);
+        assert_eq!(m.crashes(3, &mut rng), 2);
+        assert_eq!(m.crashes(1, &mut rng), 0);
     }
 
     #[test]
@@ -117,6 +157,36 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(m.joins(100, &mut rng), 0);
             assert_eq!(m.leaves(100, &mut rng), 0);
+            assert_eq!(m.crashes(100, &mut rng), 0);
         }
+    }
+
+    #[test]
+    fn zero_crash_rate_consumes_no_randomness() {
+        // Byte-identical replay guarantee: the paper experiments (no
+        // crashes) must draw the same random stream with or without
+        // the crash step in the loop.
+        let mut with_step = StdRng::seed_from_u64(6);
+        let mut without = StdRng::seed_from_u64(6);
+        let m = ChurnModel::stable();
+        for _ in 0..50 {
+            assert_eq!(m.crashes(100, &mut with_step), 0);
+        }
+        assert_eq!(with_step.gen::<u64>(), without.gen::<u64>());
+    }
+
+    #[test]
+    fn crashy_preset_mixes_graceful_and_crash_departures() {
+        let m = ChurnModel::crashy();
+        assert!(m.crash_rate > 0.0);
+        assert!(m.leave_fraction > 0.0);
+        assert!(
+            (m.join_fraction - (m.leave_fraction + m.crash_rate)).abs() < 1e-12,
+            "population stays level in expectation"
+        );
+        let mut rng = StdRng::seed_from_u64(7);
+        let total: usize = (0..1000).map(|_| m.crashes(100, &mut rng)).sum();
+        assert!((4200..5800).contains(&total), "{total}");
+        assert_eq!(ChurnModel::stable().with_crash_rate(0.01).crash_rate, 0.01);
     }
 }

@@ -26,10 +26,12 @@ proptest! {
     /// Churn leave counts never exceed peers - 1.
     #[test]
     fn churn_never_empties(frac in 0.0f64..3.0, peers in 0usize..200, seed in any::<u64>()) {
-        let m = ChurnModel { join_fraction: frac, leave_fraction: frac };
+        let m = ChurnModel { join_fraction: frac, leave_fraction: frac, crash_rate: frac };
         let mut rng = StdRng::seed_from_u64(seed);
         let leaves = m.leaves(peers, &mut rng);
         prop_assert!(leaves <= peers.saturating_sub(1));
+        let crashes = m.crashes(peers, &mut rng);
+        prop_assert!(crashes <= peers.saturating_sub(1));
     }
 
     /// Every popularity model returns in-bounds indices for any corpus.

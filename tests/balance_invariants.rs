@@ -25,6 +25,8 @@ fn test_config(lb: LbKind, churn: ChurnModel, seed: u64) -> ExperimentConfig {
         base_seed: seed,
         peer_id_len: 10,
         track_mapping_hops: false,
+        replication: 1,
+        anti_entropy: false,
     }
 }
 

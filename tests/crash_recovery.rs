@@ -19,6 +19,24 @@ fn system_with_keys(seed: u64, peers: usize, n_keys: usize) -> (DlptSystem, Vec<
     (sys, keys)
 }
 
+fn replicated_system_with_keys(
+    seed: u64,
+    peers: usize,
+    n_keys: usize,
+    k: usize,
+) -> (DlptSystem, Vec<Key>) {
+    let keys = Corpus::grid().take_spread(n_keys);
+    let mut sys = DlptSystem::builder()
+        .seed(seed)
+        .replication(k)
+        .bootstrap_peers(peers)
+        .build();
+    for key in &keys {
+        sys.insert_data(key.clone()).unwrap();
+    }
+    (sys, keys)
+}
+
 #[test]
 fn single_crash_repair_reattaches_orphans() {
     let (mut sys, keys) = system_with_keys(41, 10, 120);
@@ -39,6 +57,73 @@ fn single_crash_repair_reattaches_orphans() {
         sys.end_time_unit();
         assert!(sys.lookup(k).satisfied, "survivor {k} unreachable");
     }
+}
+
+#[test]
+fn with_k2_any_single_crash_loses_zero_keys() {
+    // The no-loss upgrade of `single_crash_repair_reattaches_orphans`:
+    // with one follower per node, crashing ANY single peer (each in
+    // turn, from a fresh system) must leave every registered key
+    // discoverable — no survivors-only weasel clause.
+    let (reference, keys) = replicated_system_with_keys(41, 10, 120, 2);
+    let peer_ids = reference.peer_ids();
+    drop(reference);
+    for victim in peer_ids {
+        let (mut sys, _) = replicated_system_with_keys(41, 10, 120, 2);
+        let lost = sys.crash_peer(&victim).unwrap();
+        assert!(lost.is_empty(), "crashing {victim} lost {lost:?}");
+        sys.repair_tree();
+        sys.check_tree().expect("tree links intact after failover");
+        sys.check_ring().expect("ring healed");
+        sys.check_mapping().expect("mapping holds after promotion");
+        for k in &keys {
+            sys.end_time_unit();
+            assert!(sys.lookup(k).satisfied, "{k} lost after crashing {victim}");
+        }
+    }
+}
+
+#[test]
+fn thirty_percent_crash_horizon_is_lossless_at_k2_and_lossy_at_k1() {
+    // The figR acceptance scenario as a direct test: crash 30% of the
+    // population across a horizon with anti-entropy repair between
+    // failures. k=2 ends with zero lost keys; k=1 demonstrably loses.
+    let run = |k: usize| -> (usize, usize, DlptSystem, Vec<Key>) {
+        let (mut sys, keys) = replicated_system_with_keys(61, 20, 150, k);
+        sys.anti_entropy().unwrap();
+        let mut crashed = 0;
+        while crashed < 6 {
+            // 6 of 20 = 30% of the original population; always the
+            // most loaded peer — the worst case for both settings.
+            let victim = sys
+                .peer_ids()
+                .into_iter()
+                .max_by_key(|p| sys.shard(p).map(|s| s.node_count()).unwrap_or(0))
+                .unwrap();
+            sys.crash_peer(&victim).unwrap();
+            crashed += 1;
+            sys.repair_tree();
+            sys.anti_entropy().unwrap();
+            sys.check_ring().unwrap();
+            sys.check_mapping().unwrap();
+        }
+        let alive: std::collections::BTreeSet<Key> = sys.registered_keys().into_iter().collect();
+        let survivors = keys.iter().filter(|k| alive.contains(*k)).count();
+        (survivors, keys.len(), sys, keys)
+    };
+    let (survivors, total, mut sys, keys) = run(2);
+    assert_eq!(survivors, total, "k=2 + anti-entropy must lose zero keys");
+    sys.check_replication()
+        .expect("replication invariant restored");
+    for k in &keys {
+        sys.end_time_unit();
+        assert!(sys.lookup(k).satisfied, "{k}");
+    }
+    let (survivors, total, _, _) = run(1);
+    assert!(
+        survivors < total,
+        "k=1 must demonstrably lose keys ({survivors}/{total} survived)"
+    );
 }
 
 #[test]

@@ -10,23 +10,29 @@ use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
 /// A cheaply cloneable immutable byte buffer.
+///
+/// Backed by `Arc<Vec<u8>>` rather than `Arc<[u8]>`: converting a
+/// freshly written `Vec` (the `BytesMut::freeze` path every encoded
+/// frame takes) is then a pointer move instead of a
+/// shrink-reallocation plus a full byte copy into a new `Arc`
+/// allocation. Equality and hashing still see only the byte contents.
 #[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
 }
 
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
         Bytes {
-            data: Arc::from(&[][..]),
+            data: Arc::new(Vec::new()),
         }
     }
 
     /// Copies a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
         Bytes {
-            data: Arc::from(data),
+            data: Arc::new(data.to_vec()),
         }
     }
 
@@ -73,9 +79,9 @@ impl std::fmt::Debug for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes {
-            data: Arc::from(v.into_boxed_slice()),
-        }
+        // Zero-copy: the vector (spare capacity included) is moved
+        // behind the refcount as-is.
+        Bytes { data: Arc::new(v) }
     }
 }
 
