@@ -12,6 +12,11 @@
 //!   synchronous pump (90% exact/range/completion queries, 10%
 //!   registrations/deregistrations) — the headline number, and the one
 //!   the perf trajectory in EXPERIMENTS.md tracks;
+//! * `cached_discovery_off` / `cached_discovery_on` — the same runtime
+//!   under a Zipf-skewed mixed workload (90% skewed exact lookups, 10%
+//!   re-registrations), with the per-peer shortcut cache
+//!   (`dlpt-core::cache`) disabled vs. capacity 256; the on/off ratio
+//!   is the caching subsystem's headline speedup;
 //! * `latency_net_gather` — scatter/gather completion queries under the
 //!   discrete-event runtime with randomized latencies;
 //! * `codec_roundtrip` — envelope encode/decode over the wire format.
@@ -81,6 +86,8 @@ fn main() {
     let results = vec![
         bench_trie_build(scale),
         bench_sync_pump(scale),
+        bench_cached_discovery(scale, 0),
+        bench_cached_discovery(scale, 256),
         bench_latency_net(scale),
         bench_codec(scale),
     ];
@@ -195,6 +202,69 @@ fn bench_sync_pump(scale: u64) -> BenchResult {
     assert!(satisfied > 0, "workload must find keys");
     BenchResult {
         name: "sync_pump_discovery",
+        unit: "op",
+        ops,
+        ns_total,
+    }
+}
+
+/// Zipf-skewed mixed workload (90% skewed exact lookups, 10%
+/// re-registrations) with the routing-shortcut cache off
+/// (`cache_capacity` 0) vs. on (256 per peer). Identical seeds, so
+/// both runs process byte-identical operation streams; the on/off
+/// op/s ratio isolates what the one-hop cached route buys.
+fn bench_cached_discovery(scale: u64, cache_capacity: usize) -> BenchResult {
+    use dlpt_workloads::popularity::{Popularity, Zipf};
+    let corpus = Corpus::grid();
+    let keys: Vec<Key> = corpus.keys.iter().take(400).cloned().collect();
+    let mut sys = DlptSystem::builder()
+        .seed(0xCAC4E)
+        .peer_id_len(12)
+        .cache_capacity(cache_capacity)
+        .bootstrap_peers(48)
+        .build();
+    for k in &keys {
+        sys.insert_data(k.clone()).expect("registration");
+    }
+    let ops = (60_000 / scale).max(500);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut zipf = Zipf::new(1.2);
+    // Warm-up: one lookup grows the internal buffers.
+    sys.lookup(&keys[0]);
+    let start = Instant::now();
+    let mut satisfied = 0u64;
+    for i in 0..ops {
+        if rng.gen_range(0..100u32) < 90 {
+            let k = &keys[zipf.pick(&keys, &mut rng, 0)];
+            if sys.lookup(k).satisfied {
+                satisfied += 1;
+            }
+        } else {
+            // Re-register an existing key: routes the full insertion
+            // path and exercises epoch bumps against warm caches.
+            let k = keys[rng.gen_range(0..keys.len())].clone();
+            sys.insert_data(k).expect("insert");
+        }
+        if i % 4096 == 0 {
+            sys.end_time_unit();
+        }
+    }
+    let ns_total = start.elapsed().as_nanos();
+    assert!(satisfied > 0, "workload must find keys");
+    if cache_capacity > 0 {
+        assert!(
+            sys.cache_stats.hits > 0,
+            "skewed workload must hit the cache"
+        );
+    } else {
+        assert_eq!(sys.cache_stats.hits, 0);
+    }
+    BenchResult {
+        name: if cache_capacity > 0 {
+            "cached_discovery_on"
+        } else {
+            "cached_discovery_off"
+        },
         unit: "op",
         ops,
         ns_total,

@@ -82,6 +82,13 @@ pub struct Directory {
     /// extension; empty at k = 1, which keeps the table cost-free for
     /// unreplicated overlays).
     followers: Vec<Vec<u32>>,
+    /// Per key-id: structural epoch of the label (caching extension,
+    /// `dlpt_core::cache`). Bumped on every host change, removal and
+    /// node-state mutation, so a routing shortcut learned at epoch `e`
+    /// is provably fresh iff the label is live at epoch `e`. Epochs are
+    /// pure bookkeeping — never printed, compared or serialized — so
+    /// they cannot perturb the cache-off golden fingerprint.
+    epochs: Vec<u64>,
 }
 
 impl Directory {
@@ -109,6 +116,7 @@ impl Directory {
         self.keys.push(k.clone());
         self.hosts.push(NONE);
         self.followers.push(Vec::new());
+        self.epochs.push(0);
         self.ids.insert(k.clone(), id);
         id
     }
@@ -138,7 +146,9 @@ impl Directory {
         }
     }
 
-    /// Sets (or replaces) the hosting peer of `label`.
+    /// Sets (or replaces) the hosting peer of `label`. Counts as a
+    /// structural event: the label's epoch advances, staling any
+    /// routing shortcut learned before the change.
     pub fn insert(&mut self, label: Key, host: Key) {
         let lid = self.intern(&label);
         let hid = self.intern(&host);
@@ -149,6 +159,7 @@ impl Directory {
             self.sorted.insert(at, lid);
         }
         self.hosts[lid as usize] = hid;
+        self.epochs[lid as usize] += 1;
     }
 
     /// Removes `label`; returns true iff it was present.
@@ -161,6 +172,7 @@ impl Directory {
         }
         self.hosts[lid as usize] = NONE;
         self.followers[lid as usize].clear();
+        self.epochs[lid as usize] += 1;
         let at = self.rank(label).expect("live label is in sorted order");
         self.sorted.remove(at);
         true
@@ -171,8 +183,39 @@ impl Directory {
         for &id in &self.sorted {
             self.hosts[id as usize] = NONE;
             self.followers[id as usize].clear();
+            self.epochs[id as usize] += 1;
         }
         self.sorted.clear();
+    }
+
+    /// Advances `label`'s epoch (a node-state mutation that leaves the
+    /// hosting unchanged: child links, father link, data set). Interns
+    /// the label so the bump survives a remove/re-insert window.
+    pub fn bump_epoch(&mut self, label: &Key) {
+        let lid = self.intern(label);
+        self.epochs[lid as usize] += 1;
+    }
+
+    /// The current epoch of `label` *iff* it is a live node label —
+    /// the single probe a cache-hit validation needs. `None` when the
+    /// label is unknown or dissolved.
+    pub fn live_epoch(&self, label: &Key) -> Option<u64> {
+        let &id = self.ids.get(label)?;
+        if self.hosts[id as usize] == NONE {
+            None
+        } else {
+            Some(self.epochs[id as usize])
+        }
+    }
+
+    /// The current epoch of `label` (0 if never seen). Liveness is the
+    /// caller's concern; hit validation should use
+    /// [`Directory::live_epoch`].
+    pub fn epoch_of(&self, label: &Key) -> u64 {
+        self.ids
+            .get(label)
+            .map(|&id| self.epochs[id as usize])
+            .unwrap_or(0)
     }
 
     /// Records the follower replica hosts of `label` (replication
@@ -292,6 +335,31 @@ mod tests {
         assert_eq!(d.followers_of(&k("777")).count(), 1);
         d.set_followers(&k("777"), &[]);
         assert_eq!(d.followers_of(&k("777")).count(), 0);
+    }
+
+    #[test]
+    fn epochs_advance_on_every_structural_event() {
+        let mut d = Directory::new();
+        assert_eq!(d.live_epoch(&k("101")), None);
+        assert_eq!(d.epoch_of(&k("101")), 0);
+        d.insert(k("101"), k("P1"));
+        let e1 = d.live_epoch(&k("101")).expect("live");
+        d.insert(k("101"), k("P2")); // migration
+        let e2 = d.live_epoch(&k("101")).expect("still live");
+        assert!(e2 > e1);
+        d.bump_epoch(&k("101")); // node-state mutation
+        let e3 = d.live_epoch(&k("101")).expect("still live");
+        assert!(e3 > e2);
+        d.remove(&k("101"));
+        assert_eq!(d.live_epoch(&k("101")), None, "dead labels validate no hit");
+        assert!(d.epoch_of(&k("101")) > e3, "removal is a structural event");
+        // Re-insertion keeps the monotone clock: no ABA window.
+        d.insert(k("101"), k("P1"));
+        assert!(d.live_epoch(&k("101")).unwrap() > e3);
+        // Bumping an unknown label interns it (pre-creation bump).
+        d.bump_epoch(&k("777"));
+        assert_eq!(d.epoch_of(&k("777")), 1);
+        assert_eq!(d.live_epoch(&k("777")), None);
     }
 
     #[test]

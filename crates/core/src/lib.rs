@@ -32,6 +32,7 @@
 
 pub mod alphabet;
 pub mod balance;
+pub mod cache;
 pub mod directory;
 pub mod error;
 pub mod key;
@@ -47,6 +48,7 @@ pub mod trie;
 
 pub use alphabet::Alphabet;
 pub use balance::{KChoices, LoadBalancer, MaxLocalThroughput, NoBalancing};
+pub use cache::{CacheStats, RouteCache, Shortcut};
 pub use error::{DlptError, Result};
 pub use key::Key;
 pub use messages::{Address, Envelope, Message, NodeMsg, PeerMsg, QueryKind};

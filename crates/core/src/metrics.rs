@@ -50,9 +50,73 @@ impl SystemStats {
     }
 }
 
+/// Visits bucketed by tree depth (root = depth 0) — the paper-facing
+/// evidence for the caching subsystem: the up/down route visits every
+/// level above the target, so the upper tree dominates the histogram,
+/// and routing shortcuts (`crate::cache`) flatten exactly that region.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DepthHistogram {
+    /// `counts[d]` = visits observed at depth `d`; grows on demand.
+    pub counts: Vec<u64>,
+}
+
+impl DepthHistogram {
+    /// Records one visit at `depth`.
+    pub fn record(&mut self, depth: usize) {
+        if self.counts.len() <= depth {
+            self.counts.resize(depth + 1, 0);
+        }
+        self.counts[depth] += 1;
+    }
+
+    /// Accumulates another histogram into this one.
+    pub fn merge(&mut self, other: &DepthHistogram) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (d, c) in other.counts.iter().enumerate() {
+            self.counts[d] += c;
+        }
+    }
+
+    /// Total visits recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Share of all visits landing at depths `< depth` (the
+    /// "upper-tree" fraction), as a percentage. 0 when empty.
+    pub fn share_above(&self, depth: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let upper: u64 = self.counts.iter().take(depth).sum();
+        100.0 * upper as f64 / total as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn depth_histogram_records_merges_and_shares() {
+        let mut h = DepthHistogram::default();
+        h.record(0);
+        h.record(0);
+        h.record(3);
+        assert_eq!(h.counts, vec![2, 0, 0, 1]);
+        assert_eq!(h.total(), 3);
+        let mut other = DepthHistogram::default();
+        other.record(1);
+        other.record(5);
+        h.merge(&other);
+        assert_eq!(h.counts, vec![2, 1, 0, 1, 0, 1]);
+        assert_eq!(h.total(), 5);
+        assert!((h.share_above(2) - 60.0).abs() < 1e-9);
+        assert_eq!(DepthHistogram::default().share_above(3), 0.0);
+    }
 
     #[test]
     fn totals_and_reset() {

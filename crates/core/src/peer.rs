@@ -12,6 +12,7 @@
 //! synchronous pump, the discrete-event simulator and the threaded
 //! runtime.
 
+use crate::cache::RouteCache;
 use crate::key::Key;
 use crate::node::NodeState;
 use std::collections::BTreeMap;
@@ -87,6 +88,11 @@ pub struct PeerShard {
     /// `nodes` so every single-copy invariant — mapping, tree links,
     /// registered-key enumeration — is untouched by replication.
     pub replicas: BTreeMap<Key, NodeState>,
+    /// Routing shortcuts this peer has learned from completed
+    /// discoveries (caching extension, `crate::cache`). Created with
+    /// capacity 0 — fully inert — until the runtime configures a
+    /// capacity.
+    pub cache: RouteCache,
 }
 
 impl PeerShard {
@@ -96,6 +102,7 @@ impl PeerShard {
             peer: PeerState::solitary(id, capacity),
             nodes: BTreeMap::new(),
             replicas: BTreeMap::new(),
+            cache: RouteCache::new(0),
         }
     }
 

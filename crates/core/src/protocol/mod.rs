@@ -114,6 +114,9 @@ pub fn handle_peer_msg(shard: &mut PeerShard, msg: PeerMsg, fx: &mut Effects) {
         }
         PeerMsg::DropReplica { label } => repair::on_drop_replica(shard, &label),
         PeerMsg::PromoteReplica { label } => repair::on_promote_replica(shard, &label, fx),
+        PeerMsg::InvalidateCached { label, epoch } => {
+            shard.cache.invalidate_label(&label, epoch);
+        }
     }
 }
 

@@ -11,6 +11,7 @@
 //! the experiment harness relies on for its 30/50/100-run averages.
 
 use crate::alphabet::Alphabet;
+use crate::cache::{self, CacheStats, Shortcut};
 use crate::directory::Directory;
 use crate::error::{DlptError, Result};
 use crate::key::Key;
@@ -52,6 +53,12 @@ pub struct SystemConfig {
     /// entirely — the runtime is then byte-identical to the
     /// pre-replication system.
     pub replication: usize,
+    /// Per-peer routing-shortcut cache capacity (`crate::cache`): hot
+    /// query targets learned from completed discoveries route in one
+    /// directory hop instead of the O(depth) up/down climb, validated
+    /// by per-label epochs. The default `0` disables caching entirely —
+    /// the runtime is then byte-identical to the pre-cache system.
+    pub cache_capacity: usize,
 }
 
 impl Default for SystemConfig {
@@ -63,6 +70,7 @@ impl Default for SystemConfig {
             drain_budget: 4_000_000,
             requeue_budget: 256,
             replication: 1,
+            cache_capacity: 0,
         }
     }
 }
@@ -110,6 +118,12 @@ impl SystemBuilder {
     /// replication off).
     pub fn replication(mut self, k: usize) -> Self {
         self.config.replication = k.max(1);
+        self
+    }
+    /// Per-peer routing-shortcut cache capacity (default 0 = caching
+    /// off).
+    pub fn cache_capacity(mut self, n: usize) -> Self {
+        self.config.cache_capacity = n;
         self
     }
     /// Joins `n` peers with random identifiers during `build`.
@@ -224,6 +238,9 @@ pub struct DlptSystem {
     /// [`SystemStats`] so the unreplicated golden fingerprint is
     /// byte-identical).
     pub repl_stats: ReplicationStats,
+    /// Caching counters (all zero at capacity 0; kept out of
+    /// [`SystemStats`] for the same golden-fingerprint reason).
+    pub cache_stats: CacheStats,
 }
 
 impl DlptSystem {
@@ -245,6 +262,7 @@ impl DlptSystem {
             debug_drain: std::env::var_os("DLPT_DEBUG_DRAIN").is_some(),
             stats: SystemStats::default(),
             repl_stats: ReplicationStats::default(),
+            cache_stats: CacheStats::default(),
         }
     }
 
@@ -333,6 +351,32 @@ impl DlptSystem {
         self.root.as_ref()
     }
 
+    /// Depth of every live node (root = 0), via memoized father-link
+    /// walks — O(nodes) for the whole map. Feeds the per-depth visit
+    /// histogram ([`crate::metrics::DepthHistogram`]) the experiment
+    /// harness uses to show where routing load lands in the tree.
+    pub fn depth_map(&self) -> BTreeMap<Key, u32> {
+        let mut depths: BTreeMap<Key, u32> = BTreeMap::new();
+        for shard in self.shards.values() {
+            for node in shard.nodes.values() {
+                self.depth_into(&node.label, &mut depths);
+            }
+        }
+        depths
+    }
+
+    fn depth_into(&self, label: &Key, depths: &mut BTreeMap<Key, u32>) -> u32 {
+        if let Some(&d) = depths.get(label) {
+            return d;
+        }
+        let d = match self.node(label).and_then(|n| n.father.as_ref()) {
+            None => 0,
+            Some(f) => self.depth_into(f, depths) + 1,
+        };
+        depths.insert(label.clone(), d);
+        d
+    }
+
     /// Every registered service key, ascending.
     pub fn registered_keys(&self) -> Vec<Key> {
         let mut out = Vec::new();
@@ -394,7 +438,8 @@ impl DlptSystem {
         if self.shards.contains_key(&id) {
             return Err(DlptError::DuplicatePeer(id.to_string()));
         }
-        let shard = PeerShard::new(id.clone(), capacity);
+        let mut shard = PeerShard::new(id.clone(), capacity);
+        shard.cache.set_capacity(self.config.cache_capacity);
         if self.shards.is_empty() {
             self.shards.insert(id, shard);
             return Ok(());
@@ -617,6 +662,16 @@ impl DlptSystem {
     }
 
     /// Issues a discovery request from a chosen entry node.
+    ///
+    /// When caching is on (`cache_capacity > 0`) the entry node's
+    /// hosting peer — the overlay's access point for this request —
+    /// consults its [`crate::cache::RouteCache`] for the query target
+    /// first: a hit whose label is still live at the recorded epoch
+    /// skips the whole upward climb and delivers the request straight
+    /// to the covering node in `Down` phase; a stale hit is evicted
+    /// and the request falls back to the normal up/down route, so
+    /// results never depend on cache freshness. Satisfied exact
+    /// queries teach the entry peer a fresh shortcut on the way out.
     pub fn request_from(&mut self, entry: &Key, query: QueryKind) -> Result<LookupOutcome> {
         if !self.directory.contains(entry) {
             return Err(DlptError::UnknownNode(entry.to_string()));
@@ -634,11 +689,52 @@ impl DlptSystem {
                 responses: 0,
             },
         );
-        self.enqueue(discovery::entry_envelope(entry.clone(), id, query));
+        let caching = self.config.cache_capacity > 0;
+        // (target, entry host) to teach after a satisfied exact query.
+        let mut learn: Option<(Key, Key)> = None;
+        let mut shortcut: Option<Shortcut> = None;
+        if caching {
+            let target = query.target();
+            let host = self
+                .directory
+                .host_of(entry)
+                .cloned()
+                .expect("entry checked live above");
+            if let Some(s) = self.shards.get_mut(&host) {
+                shortcut = cache::consult(
+                    &mut s.cache,
+                    &self.directory,
+                    &target,
+                    &mut self.cache_stats,
+                );
+            }
+            if shortcut.is_none() && matches!(query, QueryKind::Exact(_)) {
+                learn = Some((target, host));
+            }
+        }
+        let env = match shortcut {
+            Some(sc) => cache::shortcut_envelope(id, query, sc),
+            None => discovery::entry_envelope(entry.clone(), id, query),
+        };
+        self.enqueue(env);
         self.drain()?;
-        self.finished
+        let out = self
+            .finished
             .remove(&id)
-            .ok_or(DlptError::Undeliverable(format!("request {id}")))
+            .ok_or(DlptError::Undeliverable(format!("request {id}")))?;
+        if let Some((target, host)) = learn {
+            if out.satisfied {
+                // A satisfied exact query proves the target's own node
+                // is live and owns the key: that node is the shortcut.
+                if let Some(sc) = cache::learned_shortcut(&self.directory, &target) {
+                    if let Some(s) = self.shards.get_mut(&host) {
+                        s.cache.insert(target, sc);
+                        self.cache_stats.learned += 1;
+                    }
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Exact lookup of one key.
@@ -699,6 +795,10 @@ impl DlptSystem {
         self.directory.insert(label.clone(), to.clone());
         self.mark_touched(label);
         self.stats.balance_migrations += 1;
+        // A migration stales every shortcut pointing at the old host;
+        // the balancers migrate rarely, so eager invalidation is cheap.
+        self.queue_invalidations(label);
+        self.drain()?;
         self.flush_replication()
     }
 
@@ -1048,6 +1148,10 @@ impl DlptSystem {
                 }
             }
             self.directory.remove(&label);
+            // Dissolution is the cheap eager-invalidation case: every
+            // shortcut through the dead label is now a guaranteed
+            // stale hit, so broadcasting beats paying the fallback.
+            self.queue_invalidations(&label);
             if self.root.as_ref() == Some(&label) {
                 self.root = None; // recomputed after the drain
             }
@@ -1062,6 +1166,28 @@ impl DlptSystem {
     fn mark_touched(&mut self, label: &Key) {
         if self.config.replication > 1 {
             self.touched.push(label.clone());
+        }
+    }
+
+    /// Broadcasts [`PeerMsg::InvalidateCached`] for `label` to every
+    /// live peer (no-op with caching off). Called where eager
+    /// invalidation is cheap — dissolutions and migrations — while the
+    /// per-hit epoch check covers everything else lazily.
+    fn queue_invalidations(&mut self, label: &Key) {
+        if self.config.cache_capacity == 0 {
+            return;
+        }
+        let epoch = self.directory.epoch_of(label);
+        let peers: Vec<Key> = self.shards.keys().cloned().collect();
+        for p in peers {
+            self.enqueue(Envelope::to_peer(
+                p,
+                PeerMsg::InvalidateCached {
+                    label: label.clone(),
+                    epoch,
+                },
+            ));
+            self.cache_stats.invalidations_sent += 1;
         }
     }
 
@@ -1358,10 +1484,13 @@ impl DlptSystem {
                 if !self.shards.contains_key(&id) {
                     return self.requeue(requeues, Envelope::to_address(Address::Peer(id), msg));
                 }
-                // Replication traffic is counted apart so the k = 1
-                // system's stats stay byte-identical.
+                // Replication and cache traffic are counted apart so
+                // the k = 1 / cache-off system's stats stay
+                // byte-identical.
                 if is_replication_msg(&msg) {
                     self.repl_stats.replication_messages += 1;
+                } else if is_cache_msg(&msg) {
+                    self.cache_stats.invalidations_delivered += 1;
                 } else {
                     self.count_message(&msg);
                 }
@@ -1487,6 +1616,10 @@ impl DlptSystem {
                     }
                     Gate::DeliveredMutation => {
                         self.mark_touched(&label);
+                        // Any non-discovery node message may have
+                        // mutated the node's structure: advance its
+                        // epoch so learned shortcuts re-validate.
+                        self.directory.bump_epoch(&label);
                         self.apply_effects(&mut fx);
                         self.scratch = fx;
                         Ok(())
@@ -1577,6 +1710,12 @@ fn is_replication_msg(msg: &Message) -> bool {
                 | PeerMsg::PromoteReplica { .. }
         )
     )
+}
+
+/// Cache traffic (`crate::cache`) — counted in [`CacheStats`], never
+/// in [`SystemStats`].
+fn is_cache_msg(msg: &Message) -> bool {
+    matches!(msg, Message::Peer(PeerMsg::InvalidateCached { .. }))
 }
 
 fn empty_outcome() -> LookupOutcome {
@@ -2116,6 +2255,159 @@ mod tests {
         sys.check_replication().unwrap();
         sys.check_tree().unwrap();
         sys.check_mapping().unwrap();
+    }
+
+    fn cached_system(peers: usize, capacity: usize, seed: u64) -> DlptSystem {
+        let mut sys = DlptSystem::builder()
+            .seed(seed)
+            .peer_id_len(8)
+            .cache_capacity(capacity)
+            .bootstrap_peers(peers)
+            .build();
+        for name in ["DGEMM", "DGEMV", "DTRSM", "S3L_fft", "S3L_sort", "PSGESV"] {
+            sys.insert_data(k(name)).unwrap();
+        }
+        sys
+    }
+
+    #[test]
+    fn cache_learns_then_hits_with_one_hop_route() {
+        let mut sys = cached_system(6, 32, 91);
+        let key = k("DGEMM");
+        let first = sys.lookup(&key);
+        assert!(first.satisfied);
+        assert_eq!(sys.cache_stats.learned, 1);
+        assert_eq!(sys.cache_stats.hits, 0);
+        // Hammer the same key until a request enters at a peer that
+        // has learned the shortcut (entry nodes are random).
+        let mut hit_outcome = None;
+        for _ in 0..64 {
+            let before = sys.cache_stats.hits;
+            let out = sys.lookup(&key);
+            assert!(out.satisfied);
+            assert_eq!(out.results, vec![key.clone()]);
+            if sys.cache_stats.hits > before {
+                hit_outcome = Some(out);
+                break;
+            }
+        }
+        let out = hit_outcome.expect("some lookup must hit the cache");
+        assert_eq!(out.path, vec![key.clone()], "one-hop cached route");
+        assert_eq!(out.logical_hops(), 0);
+    }
+
+    #[test]
+    fn stale_hit_falls_back_and_relearns_after_migration() {
+        let mut sys = cached_system(6, 32, 17);
+        let key = k("S3L_fft");
+        // Warm every peer's cache.
+        for _ in 0..64 {
+            assert!(sys.lookup(&key).satisfied);
+        }
+        assert!(sys.cache_stats.hits > 0, "cache must be warm");
+        // Migrate the key's node: epochs advance, eager invalidation
+        // broadcasts, and any shortcut that survives (it should not —
+        // but the lazy check is the backstop) is stale.
+        let from = sys.host_of(&key).unwrap().clone();
+        let to = sys
+            .peer_ids()
+            .into_iter()
+            .find(|p| *p != from)
+            .expect("second peer");
+        sys.migrate_node(&key, &to).unwrap();
+        assert!(sys.cache_stats.invalidations_sent > 0);
+        assert!(sys.cache_stats.invalidations_delivered > 0);
+        // Every subsequent lookup still answers correctly.
+        for _ in 0..32 {
+            let out = sys.lookup(&key);
+            assert!(out.satisfied);
+            assert_eq!(out.results, vec![key.clone()]);
+        }
+    }
+
+    #[test]
+    fn removed_key_is_not_found_through_a_warm_cache() {
+        let mut sys = cached_system(5, 32, 23);
+        let key = k("DTRSM");
+        for _ in 0..48 {
+            assert!(sys.lookup(&key).satisfied);
+        }
+        assert!(sys.cache_stats.hits > 0);
+        sys.remove_data(&key).unwrap();
+        for _ in 0..24 {
+            let out = sys.lookup(&key);
+            assert!(!out.found, "cache must never resurrect a removed key");
+            assert!(out.results.is_empty());
+        }
+        // Other keys stay correct.
+        assert!(sys.lookup(&k("DGEMM")).satisfied);
+    }
+
+    #[test]
+    fn cache_off_is_observationally_identical_and_counts_nothing() {
+        let a = cached_system(5, 0, 13);
+        let b = {
+            let mut sys = DlptSystem::builder()
+                .seed(13)
+                .peer_id_len(8)
+                .bootstrap_peers(5)
+                .build();
+            for name in ["DGEMM", "DGEMV", "DTRSM", "S3L_fft", "S3L_sort", "PSGESV"] {
+                sys.insert_data(k(name)).unwrap();
+            }
+            sys
+        };
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.peer_ids(), b.peer_ids());
+        assert_eq!(a.node_labels(), b.node_labels());
+        assert_eq!(a.cache_stats, CacheStats::default());
+    }
+
+    #[test]
+    fn cached_hits_relieve_capacity_pressure() {
+        // One peer, capacity 4, one key at depth 0: uncached lookups
+        // cost one visit each anyway, so use a multi-node tree where
+        // the up/down route costs several visits and hits cost one.
+        let mut sys = DlptSystem::builder()
+            .seed(3)
+            .peer_id_len(8)
+            .default_capacity(1_000)
+            .cache_capacity(16)
+            .bootstrap_peers(1)
+            .build();
+        for s in ["DGEMM", "DGEMV", "DGEX"] {
+            sys.insert_data(k(s)).unwrap();
+        }
+        sys.end_time_unit();
+        let key = k("DGEMM");
+        // Learn.
+        assert!(sys.lookup(&key).satisfied);
+        let uncached_visits = sys.stats.discovery_messages;
+        // Hit: exactly one more visit.
+        assert!(sys.lookup(&key).satisfied);
+        assert_eq!(sys.cache_stats.hits, 1);
+        assert_eq!(
+            sys.stats.discovery_messages,
+            uncached_visits + 1,
+            "a cached route must cost exactly one visit"
+        );
+    }
+
+    #[test]
+    fn depth_map_matches_father_chains() {
+        let sys = binary_system(4, 7);
+        let depths = sys.depth_map();
+        assert_eq!(depths.len(), sys.node_count());
+        for (label, d) in &depths {
+            let mut cur = label.clone();
+            let mut walked = 0u32;
+            while let Some(f) = sys.node(&cur).unwrap().father.clone() {
+                walked += 1;
+                cur = f;
+            }
+            assert_eq!(walked, *d, "{label}");
+        }
+        assert_eq!(depths.values().filter(|d| **d == 0).count(), 1, "one root");
     }
 
     #[test]

@@ -220,6 +220,11 @@ fn put_peer_msg(buf: &mut BytesMut, m: &PeerMsg) {
             buf.put_u8(9);
             put_key(buf, label);
         }
+        PeerMsg::InvalidateCached { label, epoch } => {
+            buf.put_u8(10);
+            put_key(buf, label);
+            buf.put_u64_le(*epoch);
+        }
     }
 }
 
@@ -494,6 +499,14 @@ fn get_peer_msg(buf: &mut impl Buf) -> Result<PeerMsg> {
         9 => Ok(PeerMsg::PromoteReplica {
             label: get_key(buf)?,
         }),
+        10 => {
+            let label = get_key(buf)?;
+            need(buf, 8, "invalidation epoch")?;
+            Ok(PeerMsg::InvalidateCached {
+                label,
+                epoch: buf.get_u64_le(),
+            })
+        }
         t => err(&format!("peer msg tag {t}")),
     }
 }
@@ -637,6 +650,13 @@ mod tests {
             ),
             Envelope::to_peer(k("P1"), PeerMsg::DropReplica { label: k("101") }),
             Envelope::to_peer(k("P1"), PeerMsg::PromoteReplica { label: k("101") }),
+            Envelope::to_peer(
+                k("P1"),
+                PeerMsg::InvalidateCached {
+                    label: k("101"),
+                    epoch: 0xDEAD_BEEF_u64,
+                },
+            ),
             Envelope::to_client(
                 9,
                 DiscoveryOutcome {
@@ -649,6 +669,77 @@ mod tests {
                 },
             ),
         ]
+    }
+
+    /// The discriminant of a message, as `(address-kind, payload-kind,
+    /// variant)`. The `match`es are deliberately written without
+    /// wildcards: adding a `NodeMsg`/`PeerMsg` variant fails to
+    /// compile here until it is classified — and
+    /// [`roundtrip_every_message_kind`] then fails until
+    /// [`sample_envelopes`] actually covers it on the wire.
+    fn variant_of(env: &Envelope) -> (u8, u8, u8) {
+        let addr = match &env.to {
+            Address::Peer(_) => 0,
+            Address::Node(_) => 1,
+            Address::Client(_) => 2,
+        };
+        match &env.msg {
+            Message::Node(m) => {
+                let v = match m {
+                    NodeMsg::PeerJoin { .. } => 0,
+                    NodeMsg::DataInsertion { .. } => 1,
+                    NodeMsg::SearchingHost { .. } => 2,
+                    NodeMsg::UpdateChild { .. } => 3,
+                    NodeMsg::Discovery(_) => 4,
+                    NodeMsg::DataRemoval { .. } => 5,
+                    NodeMsg::RemoveChild { .. } => 6,
+                    NodeMsg::SetFather { .. } => 7,
+                };
+                (addr, 0, v)
+            }
+            Message::Peer(m) => {
+                let v = match m {
+                    PeerMsg::NewPredecessor { .. } => 0,
+                    PeerMsg::YourInformation { .. } => 1,
+                    PeerMsg::UpdateSuccessor { .. } => 2,
+                    PeerMsg::UpdatePredecessor { .. } => 3,
+                    PeerMsg::Host { .. } => 4,
+                    PeerMsg::TakeOver { .. } => 5,
+                    PeerMsg::SyncReplicas { .. } => 6,
+                    PeerMsg::Replicate { .. } => 7,
+                    PeerMsg::DropReplica { .. } => 8,
+                    PeerMsg::PromoteReplica { .. } => 9,
+                    PeerMsg::InvalidateCached { .. } => 10,
+                };
+                (addr, 1, v)
+            }
+            Message::ClientResponse(_) => (addr, 2, 0),
+        }
+    }
+
+    /// All `NodeMsg` and `PeerMsg` variants `variant_of` classifies —
+    /// the counts the exhaustiveness test checks against. Keep in sync
+    /// with the `match`es above (the compiler enforces the enums side;
+    /// these constants enforce the sample-list side).
+    const NODE_MSG_VARIANTS: u8 = 8;
+    const PEER_MSG_VARIANTS: u8 = 11;
+
+    #[test]
+    fn sample_list_is_exhaustive_over_all_variants() {
+        let seen: std::collections::BTreeSet<(u8, u8)> = sample_envelopes()
+            .iter()
+            .map(|e| {
+                let (_, payload, v) = variant_of(e);
+                (payload, v)
+            })
+            .collect();
+        for v in 0..NODE_MSG_VARIANTS {
+            assert!(seen.contains(&(0, v)), "NodeMsg variant {v} not sampled");
+        }
+        for v in 0..PEER_MSG_VARIANTS {
+            assert!(seen.contains(&(1, v)), "PeerMsg variant {v} not sampled");
+        }
+        assert!(seen.contains(&(2, 0)), "ClientResponse not sampled");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! protocol correct under asynchrony?".
 
 use crate::event::EventQueue;
+use dlpt_core::cache::{self, CacheStats, Shortcut};
 use dlpt_core::directory::Directory;
 use dlpt_core::key::Key;
 use dlpt_core::mapping;
@@ -62,8 +63,13 @@ pub struct LatencyNet {
     requeue_budget: u32,
     /// Replication factor `k` (1 = off; see `protocol::repair`).
     replication: usize,
+    /// Per-peer routing-shortcut cache capacity (0 = off; see
+    /// `dlpt_core::cache`).
+    cache_capacity: usize,
     /// Messages delivered so far.
     pub deliveries: u64,
+    /// Caching counters (all zero at capacity 0).
+    pub cache_stats: CacheStats,
 }
 
 impl LatencyNet {
@@ -79,7 +85,9 @@ impl LatencyNet {
             next_request: 1,
             requeue_budget: 4096,
             replication: 1,
+            cache_capacity: 0,
             deliveries: 0,
+            cache_stats: CacheStats::default(),
         }
     }
 
@@ -88,6 +96,15 @@ impl LatencyNet {
     /// pass.
     pub fn set_replication(&mut self, k: usize) {
         self.replication = k.max(1);
+    }
+
+    /// Sets the per-peer routing-shortcut cache capacity (0 = off),
+    /// for existing peers and every peer joining later.
+    pub fn set_cache_capacity(&mut self, n: usize) {
+        self.cache_capacity = n;
+        for shard in self.shards.values_mut() {
+            shard.cache.set_capacity(n);
+        }
     }
 
     /// Peer count.
@@ -128,7 +145,8 @@ impl LatencyNet {
     /// network to quiescence.
     pub fn add_peer(&mut self, id: Key) {
         assert!(!self.shards.contains_key(&id), "duplicate peer id");
-        let shard = PeerShard::new(id.clone(), u32::MAX >> 1);
+        let mut shard = PeerShard::new(id.clone(), u32::MAX >> 1);
+        shard.cache.set_capacity(self.cache_capacity);
         if self.shards.is_empty() {
             self.shards.insert(id, shard);
             return;
@@ -223,7 +241,35 @@ impl LatencyNet {
                 results: Vec::new(),
             },
         );
-        self.send(discovery::entry_envelope(entry, id, query));
+        // Cache consult at the entry peer — same flow as the
+        // synchronous pump, but the shortcut route (and later the
+        // invalidations) travel through the latency-randomized queue.
+        let mut learn: Option<(Key, Key)> = None;
+        let mut shortcut: Option<Shortcut> = None;
+        if self.cache_capacity > 0 {
+            let target = query.target();
+            let host = self
+                .directory
+                .host_of(&entry)
+                .cloned()
+                .expect("entry is a live node");
+            if let Some(s) = self.shards.get_mut(&host) {
+                shortcut = cache::consult(
+                    &mut s.cache,
+                    &self.directory,
+                    &target,
+                    &mut self.cache_stats,
+                );
+            }
+            if shortcut.is_none() && matches!(query, QueryKind::Exact(_)) {
+                learn = Some((target, host));
+            }
+        }
+        let env = match shortcut {
+            Some(sc) => cache::shortcut_envelope(id, query, sc),
+            None => discovery::entry_envelope(entry, id, query),
+        };
+        self.send(env);
         self.run_to_quiescence();
         // Only judge completion once the network is drained: responses
         // arrive out of order here, so the outstanding-branch counter
@@ -231,10 +277,21 @@ impl LatencyNet {
         // would raise it again via `pending_children`) is still in
         // flight.
         let p = self.pending.remove(&id).expect("request was registered");
+        let satisfied = p.satisfied && p.outstanding <= 0;
+        if let Some((target, host)) = learn {
+            if satisfied {
+                if let Some(sc) = cache::learned_shortcut(&self.directory, &target) {
+                    if let Some(s) = self.shards.get_mut(&host) {
+                        s.cache.insert(target, sc);
+                        self.cache_stats.learned += 1;
+                    }
+                }
+            }
+        }
         let mut results = p.results;
         results.sort();
         results.dedup();
-        (p.satisfied && p.outstanding <= 0, results)
+        (satisfied, results)
     }
 
     /// Delivers events until none remain.
@@ -272,6 +329,12 @@ impl LatencyNet {
                     self.requeue(requeues, env);
                     return;
                 };
+                // Counted here — after the shard probe — so requeued
+                // attempts and ultimately-dropped messages are not
+                // reported as deliveries (mirrors the sync pump).
+                if matches!(&env.msg, Message::Peer(PeerMsg::InvalidateCached { .. })) {
+                    self.cache_stats.invalidations_delivered += 1;
+                }
                 let mut fx = Effects::default();
                 match env.msg {
                     Message::Peer(m) => protocol::handle_peer_msg(shard, m, &mut fx),
@@ -293,10 +356,17 @@ impl LatencyNet {
                     self.requeue(requeues, env);
                     return;
                 }
+                // Non-discovery node messages may mutate the node's
+                // structure: advance its epoch so learned routing
+                // shortcuts re-validate (`dlpt_core::cache`).
+                let structural = !matches!(&env.msg, Message::Node(NodeMsg::Discovery(_)));
                 let mut fx = Effects::default();
                 match env.msg {
                     Message::Node(m) => protocol::handle_node_msg(shard, &label, m, &mut fx),
                     _ => unreachable!("node address carries node message"),
+                }
+                if structural {
+                    self.directory.bump_epoch(&label);
                 }
                 self.apply(fx);
             }
@@ -309,6 +379,24 @@ impl LatencyNet {
         }
         for label in fx.removed {
             self.directory.remove(&label);
+            // Eager invalidation of shortcuts through the dissolved
+            // node; the broadcasts interleave with everything else in
+            // the latency queue, and the epoch guard on the handler
+            // keeps reordered deliveries harmless.
+            if self.cache_capacity > 0 {
+                let epoch = self.directory.epoch_of(&label);
+                let peers: Vec<Key> = self.shards.keys().cloned().collect();
+                for p in peers {
+                    self.cache_stats.invalidations_sent += 1;
+                    self.send(Envelope::to_peer(
+                        p,
+                        PeerMsg::InvalidateCached {
+                            label: label.clone(),
+                            epoch,
+                        },
+                    ));
+                }
+            }
         }
         for env in fx.out {
             self.send(env);
@@ -593,6 +681,61 @@ mod tests {
         for label in net.node_labels() {
             assert_eq!(net.replica_hosts(&label).len(), 2, "{label}");
         }
+    }
+
+    #[test]
+    fn cached_lookups_hit_and_stay_correct_under_latency() {
+        let mut net = build(LatencyModel::Uniform(1, 40), 37, 8, &KEYS);
+        net.set_cache_capacity(32);
+        for _ in 0..6 {
+            for k in KEYS {
+                let (found, results) = net.lookup(&Key::from(k));
+                assert!(found, "{k}");
+                assert_eq!(results, vec![Key::from(k)]);
+            }
+        }
+        assert!(net.cache_stats.learned > 0);
+        assert!(
+            net.cache_stats.hits > 0,
+            "repeated lookups must hit: {:?}",
+            net.cache_stats
+        );
+        // Misses still resolve correctly.
+        let (found, _) = net.lookup(&Key::from("ABSENT"));
+        assert!(!found);
+    }
+
+    #[test]
+    fn removal_invalidates_cached_routes_under_latency() {
+        let mut net = build(LatencyModel::Uniform(1, 30), 41, 6, &KEYS);
+        net.set_cache_capacity(32);
+        let victim = Key::from("DGEMM");
+        for _ in 0..8 {
+            assert!(net.lookup(&victim).0);
+        }
+        assert!(net.cache_stats.hits > 0, "cache must be warm");
+        net.remove_data(&victim);
+        assert!(
+            net.cache_stats.invalidations_sent > 0,
+            "dissolution must broadcast invalidations"
+        );
+        assert!(net.cache_stats.invalidations_delivered > 0);
+        for _ in 0..8 {
+            let (found, results) = net.lookup(&victim);
+            assert!(!found, "cache must never resurrect a removed key");
+            assert!(results.is_empty());
+        }
+        // Other keys unaffected.
+        assert!(net.lookup(&Key::from("DGEMV")).0);
+    }
+
+    #[test]
+    fn cache_off_counts_nothing() {
+        let mut net = build(LatencyModel::Uniform(1, 30), 43, 5, &KEYS[..4]);
+        for _ in 0..4 {
+            assert!(net.lookup(&Key::from("DGEMM")).0);
+        }
+        assert_eq!(net.cache_stats, CacheStats::default());
     }
 
     #[test]

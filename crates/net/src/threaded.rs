@@ -21,6 +21,7 @@ use crate::codec::{decode, encode};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use dlpt_core::alphabet::Alphabet;
+use dlpt_core::cache::{self, CacheStats, RouteCache};
 use dlpt_core::directory::Directory;
 use dlpt_core::key::Key;
 use dlpt_core::messages::{
@@ -79,6 +80,19 @@ pub struct ThreadedDlpt {
     next_request: u64,
     /// Replication factor `k` (1 = off; see `protocol::repair`).
     replication: usize,
+    /// Per-peer routing-shortcut cache capacity (0 = off).
+    cache_capacity: usize,
+    /// Per-peer routing-shortcut caches (`dlpt_core::cache`), keyed by
+    /// the peer a request entered through. The router plays the role a
+    /// deployment's client library would — it already owns the
+    /// delivery directory and mediates every request — so it is where
+    /// shortcut consultation and epoch validation are colocated;
+    /// entries stale out through the same per-label epochs the other
+    /// runtimes use, and dissolved labels are evicted eagerly when a
+    /// peer reply reports them removed.
+    caches: HashMap<Key, RouteCache>,
+    /// Caching counters (all zero at capacity 0).
+    pub cache_stats: CacheStats,
     /// Shared counters.
     pub stats: Arc<ThreadedStats>,
     retry_budget: u32,
@@ -100,6 +114,9 @@ impl ThreadedDlpt {
             inflight: 0,
             next_request: 1,
             replication: 1,
+            cache_capacity: 0,
+            caches: HashMap::new(),
+            cache_stats: CacheStats::default(),
             stats: Arc::new(ThreadedStats::default()),
             retry_budget: 10_000,
         }
@@ -114,6 +131,14 @@ impl ThreadedDlpt {
     /// the next [`ThreadedDlpt::anti_entropy`] pass.
     pub fn set_replication(&mut self, k: usize) {
         self.replication = k.max(1);
+    }
+
+    /// Sets the per-peer routing-shortcut cache capacity (0 = off).
+    pub fn set_cache_capacity(&mut self, n: usize) {
+        self.cache_capacity = n;
+        for cache in self.caches.values_mut() {
+            cache.set_capacity(n);
+        }
     }
 
     /// One anti-entropy pass over the live threads: every peer receives
@@ -152,6 +177,10 @@ impl ThreadedDlpt {
         // The thread exits without handing anything over — its shard
         // state is discarded when the handle is joined at shutdown.
         let _ = tx.send(ToPeer::Shutdown);
+        // Its entry-point cache dies with it; shortcuts other peers
+        // learned toward its nodes stale out via the epoch bumps the
+        // failover promotions and removals below perform.
+        self.caches.remove(id);
         let hosted: Vec<Key> = self
             .directory
             .iter()
@@ -382,7 +411,28 @@ impl ThreadedDlpt {
         };
         let id = self.next_request;
         self.next_request += 1;
-        let env = discovery::entry_envelope(entry, id, query);
+        // Cache consult at the entry peer's router-side cache — same
+        // hit/stale/learn flow as the other runtimes.
+        let mut learn: Option<(Key, Key)> = None;
+        let mut shortcut: Option<cache::Shortcut> = None;
+        if self.cache_capacity > 0 {
+            let target = query.target();
+            let host = self
+                .directory
+                .host_of(&entry)
+                .cloned()
+                .expect("entry is a live node");
+            if let Some(c) = self.caches.get_mut(&host) {
+                shortcut = cache::consult(c, &self.directory, &target, &mut self.cache_stats);
+            }
+            if shortcut.is_none() && matches!(query, QueryKind::Exact(_)) {
+                learn = Some((target, host));
+            }
+        }
+        let env = match shortcut {
+            Some(sc) => cache::shortcut_envelope(id, query, sc),
+            None => discovery::entry_envelope(entry, id, query),
+        };
         self.queue.push_back((0, encode(&env)));
         let mut outstanding = 1i64;
         let mut satisfied = true;
@@ -395,9 +445,23 @@ impl ThreadedDlpt {
             }
         });
         debug_assert!(outstanding <= 0 || results.is_empty());
+        let satisfied = satisfied && outstanding <= 0;
+        if let Some((target, host)) = learn {
+            if satisfied {
+                if let Some(sc) = cache::learned_shortcut(&self.directory, &target) {
+                    let capacity = self.cache_capacity;
+                    let cache = self
+                        .caches
+                        .entry(host)
+                        .or_insert_with(|| RouteCache::new(capacity));
+                    cache.insert(target, sc);
+                    self.cache_stats.learned += 1;
+                }
+            }
+        }
         results.sort();
         results.dedup();
-        (satisfied && outstanding <= 0, results)
+        (satisfied, results)
     }
 
     /// Pumps the router until no frame is queued or in flight.
@@ -434,6 +498,17 @@ impl ThreadedDlpt {
             }
             for label in reply.removed {
                 self.directory.remove(&label);
+                // Eager invalidation: the router owns the per-peer
+                // caches here, so the broadcast the other runtimes put
+                // on the wire is a local sweep over them.
+                if self.cache_capacity > 0 {
+                    let epoch = self.directory.epoch_of(&label);
+                    for cache in self.caches.values_mut() {
+                        self.cache_stats.invalidations_sent += 1;
+                        self.cache_stats.invalidations_delivered += 1;
+                        cache.invalidate_label(&label, epoch);
+                    }
+                }
             }
             for f in reply.frames {
                 self.queue.push_back((0, f));
@@ -477,22 +552,31 @@ impl ThreadedDlpt {
                 }
                 None => Some((retries, frame)),
             },
-            Address::Node(label) => match self
-                .directory
-                .host_of(&label)
-                .and_then(|host| self.peers.get(host))
-            {
-                // A directory entry pointing at a crashed peer parks
-                // the frame like an in-flight node would, instead of
-                // panicking the router.
-                Some(tx) => {
-                    tx.send(ToPeer::Frame { retries, frame })
-                        .expect("peer alive");
-                    self.inflight += 1;
-                    None
+            Address::Node(label) => {
+                let structural = !matches!(&env.msg, Message::Node(NodeMsg::Discovery(_)));
+                let host = self.directory.host_of(&label).cloned();
+                match host.as_ref().and_then(|h| self.peers.get(h)) {
+                    // A directory entry pointing at a crashed peer parks
+                    // the frame like an in-flight node would, instead of
+                    // panicking the router.
+                    Some(tx) => {
+                        tx.send(ToPeer::Frame { retries, frame })
+                            .expect("peer alive");
+                        self.inflight += 1;
+                        // A delivered non-discovery node frame may
+                        // mutate the node's structure: advance its
+                        // epoch so learned routing shortcuts
+                        // re-validate. Only on the actual hand-off —
+                        // a parked frame must not bump once per retry
+                        // (the other runtimes bump once, at delivery).
+                        if structural {
+                            self.directory.bump_epoch(&label);
+                        }
+                        None
+                    }
+                    None => Some((retries, frame)),
                 }
-                None => Some((retries, frame)),
-            },
+            }
         }
     }
 
@@ -666,6 +750,48 @@ mod tests {
         let shards = net.shutdown();
         let total_replicas: usize = shards.iter().map(|s| s.replica_count()).sum();
         assert_eq!(total_replicas, labels.len(), "one follower copy each");
+    }
+
+    #[test]
+    fn cached_lookups_hit_on_live_threads() {
+        let mut net = live(7, 5, &KEYS);
+        net.set_cache_capacity(32);
+        for _ in 0..6 {
+            for k in KEYS {
+                let (found, results) = net.lookup(&Key::from(k));
+                assert!(found, "{k}");
+                assert_eq!(results, vec![Key::from(k)]);
+            }
+        }
+        assert!(net.cache_stats.learned > 0);
+        assert!(
+            net.cache_stats.hits > 0,
+            "repeated lookups must hit: {:?}",
+            net.cache_stats
+        );
+        let (found, _) = net.lookup(&Key::from("ABSENT"));
+        assert!(!found);
+        net.shutdown();
+    }
+
+    #[test]
+    fn removal_invalidates_router_caches() {
+        let mut net = live(8, 4, &KEYS);
+        net.set_cache_capacity(32);
+        let victim = Key::from("CAXPY");
+        for _ in 0..8 {
+            assert!(net.lookup(&victim).0);
+        }
+        assert!(net.cache_stats.hits > 0, "cache must be warm");
+        net.remove_data(&victim);
+        assert!(net.cache_stats.invalidations_delivered > 0);
+        for _ in 0..6 {
+            let (found, results) = net.lookup(&victim);
+            assert!(!found, "cache must never resurrect a removed key");
+            assert!(results.is_empty());
+        }
+        assert!(net.lookup(&Key::from("DGEMM")).0);
+        net.shutdown();
     }
 
     #[test]

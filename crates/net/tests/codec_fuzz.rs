@@ -70,6 +70,37 @@ proptest! {
         }
     }
 
+    /// Cache-invalidation envelopes (`dlpt_core::cache`) round-trip for
+    /// arbitrary labels/epochs and survive single-byte corruption
+    /// without panicking.
+    #[test]
+    fn cache_invalidation_envelopes_roundtrip_and_corrupt_safely(
+        peer in "[01]{1,12}",
+        label in "[01]{1,12}",
+        epoch in any::<u64>(),
+        pos_seed in any::<usize>(),
+        val in any::<u8>(),
+    ) {
+        let envs = vec![
+            Envelope::to_peer(
+                Key::from(peer.as_str()),
+                PeerMsg::InvalidateCached { label: Key::from(label.as_str()), epoch },
+            ),
+            Envelope::to_peer(
+                Key::from(peer.as_str()),
+                PeerMsg::InvalidateCached { label: Key::epsilon(), epoch },
+            ),
+        ];
+        for env in envs {
+            let frame = encode(&env);
+            prop_assert_eq!(&decode(&frame).unwrap(), &env);
+            let mut corrupted = frame.to_vec();
+            let pos = pos_seed % corrupted.len();
+            corrupted[pos] = val;
+            let _ = decode(&corrupted); // error or envelope, never panic
+        }
+    }
+
     /// Concatenated frames decode individually after splitting on the
     /// length prefix (stream framing works).
     #[test]

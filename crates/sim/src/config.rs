@@ -5,7 +5,7 @@ use dlpt_core::balance::{KChoices, LoadBalancer, MaxLocalThroughput, NoBalancing
 use dlpt_core::key::Key;
 use dlpt_workloads::churn::ChurnModel;
 use dlpt_workloads::corpus::Corpus;
-use dlpt_workloads::popularity::{HotspotSchedule, Popularity, Uniform, Zipf};
+use dlpt_workloads::popularity::{HotspotSchedule, Phase, Popularity, Uniform, Zipf};
 use rand::RngCore;
 
 /// Which load-balancing strategy a run uses (the three curves of
@@ -59,6 +59,17 @@ pub enum PopKind {
         /// Fraction of burst-phase requests aimed at the hot prefix.
         hot_fraction: f64,
     },
+    /// A single sustained hot-prefix phase (figC): uniform traffic
+    /// until `from`, then `fraction` of requests aimed at keys
+    /// extending `prefix` for the rest of the horizon.
+    HotPrefix {
+        /// The hot lexicographic region.
+        prefix: String,
+        /// Fraction of burst-phase requests aimed at it.
+        fraction: f64,
+        /// First unit of the burst phase.
+        from: u32,
+    },
 }
 
 impl PopKind {
@@ -68,6 +79,14 @@ impl PopKind {
             PopKind::Uniform => Box::new(Uniform),
             PopKind::Zipf(s) => Box::new(Zipf::new(*s)),
             PopKind::Figure8 { hot_fraction } => Box::new(HotspotSchedule::figure8(*hot_fraction)),
+            PopKind::HotPrefix {
+                prefix,
+                fraction,
+                from,
+            } => Box::new(HotspotSchedule::new(vec![
+                Phase::uniform(0, *from),
+                Phase::burst(*from, u32::MAX, prefix.as_str(), *fraction),
+            ])),
         }
     }
 }
@@ -160,6 +179,16 @@ pub struct ExperimentConfig {
     /// Run the self-healing anti-entropy pass once per time unit
     /// (after the churn step). Only meaningful at `replication > 1`.
     pub anti_entropy: bool,
+    /// Per-peer routing-shortcut cache capacity (caching extension,
+    /// `figC`): hot query targets learned from completed discoveries
+    /// route in one hop instead of the O(depth) up/down climb. `0`
+    /// (the default) reproduces the uncached system byte-identically.
+    pub cache_capacity: usize,
+    /// Also record the per-depth visit histogram of satisfied routes
+    /// (costs one O(nodes) depth map per unit plus one map probe per
+    /// visited label) — the figC evidence that shortcuts relieve the
+    /// upper tree.
+    pub track_depth_hist: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -183,6 +212,8 @@ impl Default for ExperimentConfig {
             track_mapping_hops: false,
             replication: 1,
             anti_entropy: false,
+            cache_capacity: 0,
+            track_depth_hist: false,
         }
     }
 }

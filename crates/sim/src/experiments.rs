@@ -171,6 +171,67 @@ pub fn figr_config(crash_rate: f64, v: FigRVariant) -> ExperimentConfig {
     }
 }
 
+/// One workload column of Figure C (caching extension): how requests
+/// pick targets during the sweep.
+#[derive(Debug, Clone)]
+pub struct FigCWorkload {
+    /// Label used in CSV rows and charts.
+    pub label: &'static str,
+    /// The popularity model.
+    pub pop: PopKind,
+}
+
+/// The four figC workloads: the paper's uniform traffic (the
+/// control — caching must not hurt it), two Zipf skews, and a
+/// sustained hot-prefix phase (the Figure 8 burst shape, held for the
+/// rest of the horizon).
+pub fn figc_workloads() -> Vec<FigCWorkload> {
+    vec![
+        FigCWorkload {
+            label: "uniform",
+            pop: PopKind::Uniform,
+        },
+        FigCWorkload {
+            label: "zipf0.8",
+            pop: PopKind::Zipf(0.8),
+        },
+        FigCWorkload {
+            label: "zipf1.2",
+            pop: PopKind::Zipf(1.2),
+        },
+        FigCWorkload {
+            label: "hotprefix",
+            pop: PopKind::HotPrefix {
+                prefix: "S3L".into(),
+                fraction: 0.9,
+                from: 20,
+            },
+        },
+    ]
+}
+
+/// The per-peer cache capacities figC sweeps (0 = the uncached
+/// baseline).
+pub const FIGC_CACHE_SIZES: [usize; 3] = [0, 64, 512];
+
+/// One figC experiment: the stable network under moderate-high load
+/// (enough for the upper-tree hotspot to cost satisfaction), no load
+/// balancing (so the cache's effect is isolated), the given popularity
+/// model, and the given per-peer shortcut-cache capacity. The depth
+/// histogram is always on — it is figC's flattening evidence.
+pub fn figc_config(w: &FigCWorkload, cache: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        name: format!("figC-{}-c{cache}", w.label),
+        load: 0.40,
+        churn: ChurnModel::stable(),
+        lb: LbKind::None,
+        popularity: w.pop.clone(),
+        cache_capacity: cache,
+        track_depth_hist: true,
+        ..ExperimentConfig::default()
+    }
+}
+
 /// One row of Table 1.
 #[derive(Debug, Clone)]
 pub struct Table1Row {
@@ -446,6 +507,65 @@ mod tests {
             "k=1 must lose keys ({} of {} alive)",
             last.keys_alive,
             last.keys_inserted
+        );
+    }
+
+    #[test]
+    fn figc_grid_covers_workloads_and_capacities() {
+        let ws = figc_workloads();
+        assert_eq!(ws.len(), 4);
+        assert!(ws.iter().any(|w| matches!(w.pop, PopKind::Uniform)));
+        assert!(ws
+            .iter()
+            .any(|w| matches!(w.pop, PopKind::Zipf(s) if (s - 1.2).abs() < 1e-9)));
+        assert!(ws
+            .iter()
+            .any(|w| matches!(&w.pop, PopKind::HotPrefix { prefix, .. } if prefix == "S3L")));
+        assert_eq!(FIGC_CACHE_SIZES[0], 0, "first sweep point is the baseline");
+        let cfg = figc_config(&ws[2], 512);
+        assert_eq!(cfg.cache_capacity, 512);
+        assert!(cfg.track_depth_hist);
+        assert_eq!(cfg.lb, LbKind::None, "cache effect isolated from LB");
+        let base = figc_config(&ws[2], 0);
+        assert_eq!(base.base_seed, cfg.base_seed, "paired seeds across sweep");
+    }
+
+    #[test]
+    fn figc_cache_cuts_hops_on_a_seeded_zipf_run() {
+        // The acceptance scenario at test scale: at Zipf s = 1.2 a
+        // non-trivial cache must cut mean hops by ≥ 30% and must not
+        // hurt satisfaction on the uniform workload.
+        use crate::runner::run_experiment;
+        let scale = |w: &FigCWorkload, cache: usize| {
+            let mut cfg = figc_config(w, cache).scaled_down(8);
+            cfg.time_units = 30;
+            cfg.growth_units = 10;
+            cfg.runs = 3;
+            cfg
+        };
+        let ws = figc_workloads();
+        let zipf = &ws[2];
+        let off = run_experiment(&scale(zipf, 0));
+        let on = run_experiment(&scale(zipf, 512));
+        assert!(
+            on.steady_cache_hit_pct() > 20.0,
+            "{:?}",
+            on.steady_cache_hits
+        );
+        assert!(
+            on.steady_mean_hops() <= 0.7 * off.steady_mean_hops(),
+            "cached mean hops {} vs uncached {}",
+            on.steady_mean_hops(),
+            off.steady_mean_hops()
+        );
+        let uni = &ws[0];
+        let uni_off = run_experiment(&scale(uni, 0));
+        let uni_on = run_experiment(&scale(uni, 512));
+        assert!(
+            uni_on.steady_satisfaction() >= uni_off.steady_satisfaction() - 0.5,
+            "uniform satisfaction must not degrade: {} vs {}",
+            uni_on.steady_satisfaction(),
+            uni_off.steady_satisfaction()
         );
     }
 

@@ -12,6 +12,7 @@
 use crate::config::ExperimentConfig;
 use dlpt_core::key::Key;
 use dlpt_core::messages::QueryKind;
+use dlpt_core::metrics::DepthHistogram;
 use dlpt_core::system::DlptSystem;
 use dlpt_dht::mapping::RandomMapping;
 use dlpt_workloads::capacity::CapacityModel;
@@ -54,6 +55,16 @@ pub struct UnitMetrics {
     pub keys_alive: u64,
     /// Peers crashed (non-gracefully) during this unit.
     pub crashes: u64,
+    /// Requests answered through a validated routing shortcut
+    /// (caching extension, `figC`).
+    pub cache_hits: u64,
+    /// Shortcut hits rejected by the epoch check (evicted, request
+    /// fell back to the up/down route).
+    pub cache_stale: u64,
+    /// Per-depth visits of satisfied routes this unit (`counts[d]` =
+    /// visits at tree depth `d`); empty unless `track_depth_hist` is
+    /// set.
+    pub depth_visits: Vec<u64>,
 }
 
 impl UnitMetrics {
@@ -136,6 +147,7 @@ pub fn run_once(cfg: &ExperimentConfig, run_idx: usize) -> RunResult {
         .seed(seed)
         .peer_id_len(cfg.peer_id_len)
         .replication(cfg.replication)
+        .cache_capacity(cfg.cache_capacity)
         .build();
     let capacities = CapacityModel {
         base: cfg.base_capacity,
@@ -226,6 +238,13 @@ pub fn run_once(cfg: &ExperimentConfig, run_idx: usize) -> RunResult {
             .track_mapping_hops
             .then(|| RandomMapping::new(&sys.peer_ids()));
 
+        let hits_before = sys.cache_stats.hits;
+        let stale_before = sys.cache_stats.stale_hits;
+        // Depth map snapshot for the visit histogram: requests create
+        // no nodes, so one map per unit serves every route of step (5).
+        let depth_map = cfg.track_depth_hist.then(|| sys.depth_map());
+        let mut depth_hist = DepthHistogram::default();
+
         let mut m = UnitMetrics::default();
         if !live_keys.is_empty() {
             for _ in 0..n_requests {
@@ -242,6 +261,13 @@ pub fn run_once(cfg: &ExperimentConfig, run_idx: usize) -> RunResult {
                     if let Some(rm) = &random_map {
                         m.physical_random_sum += rm.physical_hops(&out.path) as u64;
                     }
+                    if let Some(map) = &depth_map {
+                        for label in &out.path {
+                            if let Some(d) = map.get(label) {
+                                depth_hist.record(*d as usize);
+                            }
+                        }
+                    }
                 } else if out.dropped {
                     m.dropped += 1;
                 } else {
@@ -249,6 +275,9 @@ pub fn run_once(cfg: &ExperimentConfig, run_idx: usize) -> RunResult {
                 }
             }
         }
+        m.cache_hits = sys.cache_stats.hits - hits_before;
+        m.cache_stale = sys.cache_stats.stale_hits - stale_before;
+        m.depth_visits = depth_hist.counts;
         m.peers = sys.peer_count();
         m.nodes = sys.node_count();
         m.migrations = sys.stats.balance_migrations - migrations_before;
@@ -295,6 +324,8 @@ mod tests {
             track_mapping_hops: true,
             replication: 1,
             anti_entropy: false,
+            cache_capacity: 0,
+            track_depth_hist: false,
         }
     }
 
@@ -344,6 +375,65 @@ mod tests {
         cfg.time_units = 12;
         let res = run_once(&cfg, 0);
         assert_eq!(res.units.len(), 12);
+    }
+
+    #[test]
+    fn cached_runs_hit_and_cut_hops_without_changing_results() {
+        let mut base = tiny(LbKind::None);
+        base.popularity = PopKind::Zipf(1.2);
+        base.time_units = 12;
+        let mut cached = base.clone();
+        cached.cache_capacity = 128;
+        let off = run_once(&base, 0);
+        let on = run_once(&cached, 0);
+        // Identical seeds issue identical request streams.
+        for (a, b) in off.units.iter().zip(&on.units) {
+            assert_eq!(a.issued, b.issued);
+        }
+        let hits: u64 = on.units.iter().map(|u| u.cache_hits).sum();
+        assert!(hits > 0, "skewed workload must hit the cache");
+        assert_eq!(
+            off.units.iter().map(|u| u.cache_hits).sum::<u64>(),
+            0,
+            "cache-off run counts nothing"
+        );
+        let mean = |r: &RunResult| {
+            let h: u64 = r.units.iter().map(|u| u.logical_hops_sum).sum();
+            let n: u64 = r.units.iter().map(|u| u.hop_samples).sum();
+            h as f64 / n.max(1) as f64
+        };
+        assert!(
+            mean(&on) < mean(&off),
+            "cached routes must lower mean hops: {} vs {}",
+            mean(&on),
+            mean(&off)
+        );
+        // Satisfaction can only move up: hits free capacity.
+        let sat = |r: &RunResult| r.units.iter().map(|u| u.satisfied).sum::<u64>();
+        assert!(sat(&on) >= sat(&off));
+    }
+
+    #[test]
+    fn depth_histogram_tracks_visits() {
+        let mut cfg = tiny(LbKind::None);
+        cfg.track_depth_hist = true;
+        cfg.time_units = 6;
+        let res = run_once(&cfg, 0);
+        let total: u64 = res.units.iter().flat_map(|u| u.depth_visits.iter()).sum();
+        let visits: u64 = res
+            .units
+            .iter()
+            .map(|u| u.logical_hops_sum + u.hop_samples)
+            .sum();
+        assert_eq!(
+            total, visits,
+            "every visit of a satisfied route lands in one depth bucket"
+        );
+        // Without the flag the histogram stays empty.
+        let mut cfg2 = tiny(LbKind::None);
+        cfg2.time_units = 6;
+        let res2 = run_once(&cfg2, 0);
+        assert!(res2.units.iter().all(|u| u.depth_visits.is_empty()));
     }
 
     #[test]

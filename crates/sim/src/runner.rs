@@ -35,6 +35,19 @@ pub struct AveragedSeries {
     pub steady_satisfied: f64,
     /// Total issued requests per run (averaged), growth excluded.
     pub steady_issued: f64,
+    /// Σ logical hops over steady-state satisfied requests (averaged
+    /// per run) — numerator of `figC`'s mean-hop column.
+    pub steady_hops_sum: f64,
+    /// Steady-state satisfied requests contributing hops (averaged per
+    /// run) — its denominator.
+    pub steady_hop_samples: f64,
+    /// Steady-state cache hits per run (averaged; caching extension).
+    pub steady_cache_hits: f64,
+    /// Steady-state stale cache hits per run (averaged).
+    pub steady_cache_stale: f64,
+    /// Steady-state per-depth visits of satisfied routes (summed over
+    /// units, averaged per run); empty unless `track_depth_hist`.
+    pub depth_visits: Vec<f64>,
     /// Number of runs averaged.
     pub runs: usize,
 }
@@ -54,6 +67,37 @@ impl AveragedSeries {
     /// last unit's survival percentage) — `figR`'s y-axis.
     pub fn final_survival(&self) -> f64 {
         self.survival.last().copied().unwrap_or(100.0)
+    }
+
+    /// Mean logical hops per satisfied steady-state request — `figC`'s
+    /// mean-hop axis (visit-weighted, unlike the per-unit chart
+    /// series).
+    pub fn steady_mean_hops(&self) -> f64 {
+        if self.steady_hop_samples == 0.0 {
+            0.0
+        } else {
+            self.steady_hops_sum / self.steady_hop_samples
+        }
+    }
+
+    /// Steady-state cache hit rate as a percentage of issued requests
+    /// (each request consults the cache exactly once when caching is
+    /// on).
+    pub fn steady_cache_hit_pct(&self) -> f64 {
+        if self.steady_issued == 0.0 {
+            0.0
+        } else {
+            100.0 * self.steady_cache_hits / self.steady_issued
+        }
+    }
+
+    /// Steady-state stale-hit rate as a percentage of issued requests.
+    pub fn steady_cache_stale_pct(&self) -> f64 {
+        if self.steady_issued == 0.0 {
+            0.0
+        } else {
+            100.0 * self.steady_cache_stale / self.steady_issued
+        }
     }
 }
 
@@ -119,6 +163,11 @@ pub fn average(cfg: &ExperimentConfig, results: &[RunResult]) -> AveragedSeries 
         survival: vec![0.0; units],
         steady_satisfied: 0.0,
         steady_issued: 0.0,
+        steady_hops_sum: 0.0,
+        steady_hop_samples: 0.0,
+        steady_cache_hits: 0.0,
+        steady_cache_stale: 0.0,
+        depth_visits: Vec::new(),
         runs: results.len(),
     };
     for r in results {
@@ -131,6 +180,18 @@ pub fn average(cfg: &ExperimentConfig, results: &[RunResult]) -> AveragedSeries 
             out.nodes[t] += u.nodes as f64 / runs;
             out.migrations[t] += u.migrations as f64 / runs;
             out.survival[t] += u.survival_pct() / runs;
+        }
+        for u in r.units.iter().skip(skip) {
+            out.steady_hops_sum += u.logical_hops_sum as f64 / runs;
+            out.steady_hop_samples += u.hop_samples as f64 / runs;
+            out.steady_cache_hits += u.cache_hits as f64 / runs;
+            out.steady_cache_stale += u.cache_stale as f64 / runs;
+            if out.depth_visits.len() < u.depth_visits.len() {
+                out.depth_visits.resize(u.depth_visits.len(), 0.0);
+            }
+            for (d, c) in u.depth_visits.iter().enumerate() {
+                out.depth_visits[d] += *c as f64 / runs;
+            }
         }
         out.steady_satisfied += r.total_satisfied(skip) as f64 / runs;
         out.steady_issued += r.total_issued(skip) as f64 / runs;
@@ -173,6 +234,8 @@ mod tests {
             track_mapping_hops: false,
             replication: 1,
             anti_entropy: false,
+            cache_capacity: 0,
+            track_depth_hist: false,
         }
     }
 

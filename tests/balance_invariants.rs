@@ -27,6 +27,8 @@ fn test_config(lb: LbKind, churn: ChurnModel, seed: u64) -> ExperimentConfig {
         track_mapping_hops: false,
         replication: 1,
         anti_entropy: false,
+        cache_capacity: 0,
+        track_depth_hist: false,
     }
 }
 

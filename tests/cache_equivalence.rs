@@ -1,0 +1,196 @@
+//! Cached-vs-uncached oracle equivalence: the routing-shortcut cache
+//! (`dlpt-core::cache`) may change the *route* a discovery takes, but
+//! never its *result*. A cached system and an uncached system driven
+//! by the same seed and the same operation sequence must agree on
+//! every lookup outcome — under arbitrary interleavings of
+//! registrations, removals, churn and balancer migrations, all of
+//! which create stale shortcuts that the epoch check must catch.
+
+use dlpt::core::{Alphabet, DlptSystem, Key};
+use proptest::prelude::*;
+
+/// Very short binary keys: dense prefix relations and frequent
+/// repeats, so caches actually heat up and removals actually collide
+/// with warm entries.
+fn hot_key() -> impl Strategy<Value = Key> {
+    proptest::collection::vec(prop_oneof![Just(b'0'), Just(b'1')], 1..5).prop_map(Key::from_bytes)
+}
+
+/// One step of the interleaved workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Key),
+    Remove(Key),
+    Lookup(Key),
+    AddPeer,
+    LeavePeer(usize),
+    /// Migrate the `i`-th node label to the `j`-th peer (the balancer
+    /// move that stales cached hosts without dissolving the label).
+    Migrate(usize, usize),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    // The vendored proptest subset has no weighted prop_oneof;
+    // duplication supplies the weighting (lookup-heavy, so caches
+    // actually heat up between the mutations).
+    prop_oneof![
+        hot_key().prop_map(Op::Insert),
+        hot_key().prop_map(Op::Insert),
+        hot_key().prop_map(Op::Remove),
+        hot_key().prop_map(Op::Lookup),
+        hot_key().prop_map(Op::Lookup),
+        hot_key().prop_map(Op::Lookup),
+        hot_key().prop_map(Op::Lookup),
+        hot_key().prop_map(Op::Lookup),
+        Just(Op::AddPeer),
+        any::<usize>().prop_map(Op::LeavePeer),
+        (any::<usize>(), any::<usize>()).prop_map(|(i, j)| Op::Migrate(i, j)),
+        (any::<usize>(), any::<usize>()).prop_map(|(i, j)| Op::Migrate(i, j)),
+    ]
+}
+
+fn system(seed: u64, cache: usize) -> DlptSystem {
+    DlptSystem::builder()
+        .alphabet(Alphabet::binary())
+        .seed(seed)
+        .peer_id_len(12)
+        .cache_capacity(cache)
+        .bootstrap_peers(4)
+        .build()
+}
+
+/// Applies one op to a system. Lookup results are returned for
+/// comparison; every other op returns `None`.
+fn apply(sys: &mut DlptSystem, op: &Op) -> Option<(bool, bool, Vec<Key>)> {
+    match op {
+        Op::Insert(k) => {
+            sys.insert_data(k.clone()).expect("ring non-empty");
+            None
+        }
+        Op::Remove(k) => {
+            sys.remove_data(k).expect("ring non-empty");
+            None
+        }
+        Op::Lookup(k) => {
+            let out = sys.lookup(k);
+            Some((out.satisfied, out.found, out.results))
+        }
+        Op::AddPeer => {
+            sys.add_peer(1_000_000).expect("fresh id");
+            None
+        }
+        Op::LeavePeer(i) => {
+            if sys.peer_count() > 1 {
+                let ids = sys.peer_ids();
+                let victim = ids[i % ids.len()].clone();
+                sys.leave_peer(&victim).expect("victim is live");
+            }
+            None
+        }
+        Op::Migrate(i, j) => {
+            let labels = sys.node_labels();
+            if labels.is_empty() {
+                return None;
+            }
+            let label = labels[i % labels.len()].clone();
+            let peers = sys.peer_ids();
+            let to = peers[j % peers.len()].clone();
+            if sys.host_of(&label) != Some(&to) {
+                sys.migrate_node(&label, &to).expect("label and peer live");
+            }
+            None
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline stale-hit-fallback property: a cached run returns
+    /// the same discovery result sets as an uncached run under
+    /// arbitrary interleaved mutations. A tiny capacity (8) maximizes
+    /// LRU churn on top of the epoch staleness.
+    #[test]
+    fn cached_and_uncached_runs_agree_on_every_lookup(
+        ops in proptest::collection::vec(op(), 1..40),
+        seed in 0u64..500,
+        cache in prop_oneof![Just(2usize), Just(8usize), Just(64usize)],
+    ) {
+        let mut plain = system(seed, 0);
+        let mut cached = system(seed, cache);
+        let mut lookups = 0u64;
+        for op in &ops {
+            // Lookups against an empty tree short-circuit before the
+            // cache consult; count only the ones that actually route.
+            if matches!(op, Op::Lookup(_)) && cached.node_count() > 0 {
+                lookups += 1;
+            }
+            let a = apply(&mut plain, op);
+            let b = apply(&mut cached, op);
+            if let (Some(a), Some(b)) = (&a, &b) {
+                prop_assert_eq!(a, b, "lookup diverged on {:?}", op);
+            }
+        }
+        // The two systems stayed in lockstep structurally, too.
+        prop_assert_eq!(plain.node_labels(), cached.node_labels());
+        prop_assert_eq!(plain.registered_keys(), cached.registered_keys());
+        prop_assert_eq!(plain.peer_ids(), cached.peer_ids());
+        // Every registered key resolves identically at the end.
+        for k in plain.registered_keys() {
+            let a = plain.lookup(&k);
+            let b = cached.lookup(&k);
+            prop_assert_eq!(a.results, b.results, "{}", k);
+            prop_assert_eq!(a.satisfied, b.satisfied, "{}", k);
+        }
+        // The cached system really consulted its caches.
+        if lookups > 0 {
+            let consults = cached.cache_stats.hits
+                + cached.cache_stats.misses
+                + cached.cache_stats.stale_hits;
+            prop_assert!(consults >= lookups);
+        }
+        prop_assert_eq!(plain.cache_stats.hits + plain.cache_stats.misses, 0);
+    }
+
+    /// Focused staleness hammer: warm one key hot, then mutate its
+    /// region and re-query — the fallback must always produce the
+    /// uncached answer, and across enough cases the stale path is
+    /// actually taken.
+    #[test]
+    fn stale_hits_fall_back_to_correct_answers(
+        key in hot_key(),
+        extension in proptest::collection::vec(prop_oneof![Just(b'0'), Just(b'1')], 1..4),
+        seed in 0u64..200,
+    ) {
+        let mut plain = system(seed, 0);
+        let mut cached = system(seed, 16);
+        for sys in [&mut plain, &mut cached] {
+            sys.insert_data(key.clone()).expect("insert");
+        }
+        // Warm every peer's cache on the key.
+        for _ in 0..12 {
+            let a = plain.lookup(&key);
+            let b = cached.lookup(&key);
+            prop_assert_eq!(&a.results, &b.results);
+        }
+        // Mutate the key's region: register an extension (restructures
+        // the node's children), then remove the key itself.
+        let ext = key.concat(&Key::from_bytes(extension));
+        for sys in [&mut plain, &mut cached] {
+            sys.insert_data(ext.clone()).expect("insert extension");
+        }
+        for sys in [&mut plain, &mut cached] {
+            sys.remove_data(&key).expect("remove");
+        }
+        for _ in 0..8 {
+            let a = plain.lookup(&key);
+            let b = cached.lookup(&key);
+            prop_assert_eq!(a.found, b.found);
+            prop_assert_eq!(&a.results, &b.results);
+            let a = plain.lookup(&ext);
+            let b = cached.lookup(&ext);
+            prop_assert!(b.found);
+            prop_assert_eq!(&a.results, &b.results);
+        }
+    }
+}

@@ -17,10 +17,17 @@ const KEYS: [&str; 12] = [
 /// removals, and every query kind. Returns the system plus the
 /// outcomes observed along the way.
 fn scripted_run(seed: u64) -> (DlptSystem, Vec<LookupOutcome>) {
+    scripted_run_with_cache(seed, 0)
+}
+
+/// The same scripted workload with an explicit routing-shortcut cache
+/// capacity (`dlpt-core::cache`; 0 = off).
+fn scripted_run_with_cache(seed: u64, cache: usize) -> (DlptSystem, Vec<LookupOutcome>) {
     let mut sys = DlptSystem::builder()
         .alphabet(Alphabet::grid())
         .seed(seed)
         .peer_id_len(12)
+        .cache_capacity(cache)
         .bootstrap_peers(5)
         .build();
     let mut outcomes = Vec::new();
@@ -130,6 +137,51 @@ fn golden_fingerprint_matches_committed_baseline() {
         got, want,
         "observable behaviour diverged from the committed golden run"
     );
+}
+
+/// Caching satellite: a system built with the cache knob explicitly
+/// off must reproduce the committed golden fingerprint byte for byte —
+/// the cache subsystem's epoch bookkeeping, shard cache fields and
+/// counters may not leak into any observable.
+#[test]
+fn cache_off_reproduces_committed_golden_fingerprint() {
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/determinism_seed42.txt"
+    );
+    let (sys, outcomes) = scripted_run_with_cache(42, 0);
+    assert_eq!(sys.cache_stats, dlpt::core::CacheStats::default());
+    let got = fingerprint(&sys, &outcomes);
+    let want = std::fs::read_to_string(golden_path).expect("golden fingerprint is committed");
+    assert_eq!(
+        got, want,
+        "cache-off system diverged from the committed golden run"
+    );
+}
+
+/// The cached system takes different routes (shorter paths, fewer
+/// visits) but must still produce the same tree, the same placement
+/// and the same result sets as the golden run.
+#[test]
+fn cached_run_matches_golden_results_and_placement() {
+    let (golden, golden_out) = scripted_run(42);
+    let (cached, cached_out) = scripted_run_with_cache(42, 32);
+    assert_eq!(golden.peer_ids(), cached.peer_ids());
+    assert_eq!(golden.node_labels(), cached.node_labels());
+    assert_eq!(golden.registered_keys(), cached.registered_keys());
+    for label in golden.node_labels() {
+        assert_eq!(
+            golden.host_of(&label),
+            cached.host_of(&label),
+            "host of {label}"
+        );
+    }
+    assert_eq!(golden_out.len(), cached_out.len());
+    for (a, b) in golden_out.iter().zip(&cached_out) {
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.found, b.found);
+        assert_eq!(a.satisfied, b.satisfied);
+    }
 }
 
 #[test]
