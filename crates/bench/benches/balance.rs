@@ -93,6 +93,7 @@ fn mlt_fraction_ablation(c: &mut Criterion) {
             anti_entropy: false,
             cache_capacity: 0,
             track_depth_hist: false,
+            workers: 1,
         };
         group.bench_with_input(BenchmarkId::from_parameter(fraction), &cfg, |b, cfg| {
             b.iter(|| black_box(run_once(cfg, 0).total_satisfied(4)))

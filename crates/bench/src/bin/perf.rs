@@ -19,9 +19,16 @@
 //!   is the caching subsystem's headline speedup;
 //! * `latency_net_gather` — scatter/gather completion queries under the
 //!   discrete-event runtime with randomized latencies;
-//! * `codec_roundtrip` — envelope encode/decode over the wire format.
+//! * `codec_roundtrip` — envelope encode/decode over the wire format;
+//! * `engine_dispatch` — raw exact-discovery throughput straight
+//!   through the unified engine's `deliver` state machine on a FIFO
+//!   transport (`dlpt_core::engine`), no facade overhead;
+//! * `parallel_pump_discovery` — batched exact discovery through the
+//!   sharded multi-worker pump (`dlpt_core::engine::parallel`) at
+//!   `--workers N` (default 4); the acceptance gate compares its op/s
+//!   against single-worker `sync_pump_discovery`.
 //!
-//! Usage: `perf [--smoke] [--label NAME] [--out PATH]`
+//! Usage: `perf [--smoke] [--label NAME] [--out PATH] [--workers N]`
 //!
 //! `--smoke` runs a fraction of the iterations (CI keeps it under a
 //! second) but still emits the full JSON snapshot; without `--out` the
@@ -29,6 +36,7 @@
 //! Timings are wall-clock; workloads themselves are fully seeded, so
 //! two runs time byte-identical operation sequences.
 
+use dlpt_core::engine::{FifoTransport, Step, Transport};
 use dlpt_core::key::Key;
 use dlpt_core::messages::{DiscoveryMsg, Envelope, NodeMsg, QueryKind, RoutePhase};
 use dlpt_core::system::DlptSystem;
@@ -66,15 +74,23 @@ fn main() {
     let mut smoke = false;
     let mut label = String::from("snapshot");
     let mut out: Option<String> = None;
+    let mut workers: usize = 4;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
             "--label" => label = args.next().expect("--label NAME"),
             "--out" => out = args.next(),
+            "--workers" => {
+                workers = args
+                    .next()
+                    .expect("--workers N")
+                    .parse()
+                    .expect("worker count");
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: perf [--smoke] [--label NAME] [--out PATH]");
+                eprintln!("usage: perf [--smoke] [--label NAME] [--out PATH] [--workers N]");
                 std::process::exit(2);
             }
         }
@@ -90,11 +106,13 @@ fn main() {
         bench_cached_discovery(scale, 256),
         bench_latency_net(scale),
         bench_codec(scale),
+        bench_engine_dispatch(scale),
+        bench_parallel_pump(scale, workers),
     ];
 
     let date = utc_date();
     let path = out.unwrap_or_else(|| format!("BENCH_{date}.json"));
-    let json = render_json(&label, &date, smoke, &results);
+    let json = render_json(&label, &date, smoke, workers, &results);
     std::fs::write(&path, &json).expect("write benchmark snapshot");
 
     for r in &results {
@@ -349,18 +367,132 @@ fn bench_codec(scale: u64) -> BenchResult {
     }
 }
 
+/// Raw engine dispatch: exact discovery requests driven straight
+/// through `Engine::deliver` over a FIFO transport — the unified state
+/// machine's per-envelope cost with no facade (drain bookkeeping,
+/// outcome plumbing) around it.
+fn bench_engine_dispatch(scale: u64) -> BenchResult {
+    let corpus = Corpus::grid();
+    let keys: Vec<Key> = corpus.keys.iter().take(400).cloned().collect();
+    let mut sys = DlptSystem::builder()
+        .seed(0xE9_61E)
+        .peer_id_len(12)
+        .bootstrap_peers(48)
+        .build();
+    for k in &keys {
+        sys.insert_data(k.clone()).expect("registration");
+    }
+    let ops = (60_000 / scale).max(500);
+    let mut rng = StdRng::seed_from_u64(17);
+    // Pre-draw (entry, key) pairs so the timed loop is dispatch only.
+    let plan: Vec<(Key, Key)> = (0..ops)
+        .map(|_| {
+            let key = keys[rng.gen_range(0..keys.len())].clone();
+            let entry = sys.random_node().expect("non-empty tree");
+            (entry, key)
+        })
+        .collect();
+    let mut t = FifoTransport::default();
+    let mut satisfied = 0u64;
+    let start = Instant::now();
+    for (i, (entry, key)) in plan.into_iter().enumerate() {
+        let (id, env) = sys
+            .begin_request(&entry, QueryKind::Exact(key))
+            .expect("live entry");
+        t.deliver(env);
+        while let Some((_, env)) = t.queue.pop_front() {
+            match sys.deliver(&mut t, env).expect("dispatch") {
+                Step::Done => {}
+                Step::Requeue(_) => unreachable!("static tree never requeues"),
+            }
+        }
+        if sys.take_finished(id).expect("request completed").satisfied {
+            satisfied += 1;
+        }
+        if i % 4096 == 0 {
+            sys.end_time_unit();
+        }
+    }
+    let ns_total = start.elapsed().as_nanos();
+    assert!(satisfied > 0, "workload must find keys");
+    BenchResult {
+        name: "engine_dispatch",
+        unit: "op",
+        ops,
+        ns_total,
+    }
+}
+
+/// Batched exact discovery through the sharded multi-worker pump
+/// (`dlpt_core::engine::parallel`): the same overlay shape as
+/// `sync_pump_discovery`, pure exact queries, processed in 4096-request
+/// batches at `workers` workers with the deterministic round-barrier
+/// merge. The ISSUE-5 acceptance gate compares this row's op/s against
+/// single-worker `sync_pump_discovery`.
+fn bench_parallel_pump(scale: u64, workers: usize) -> BenchResult {
+    let corpus = Corpus::grid();
+    let keys: Vec<Key> = corpus.keys.iter().take(400).cloned().collect();
+    let mut sys = DlptSystem::builder()
+        .seed(0xBA_7C4)
+        .peer_id_len(12)
+        .bootstrap_peers(48)
+        .build();
+    for k in &keys {
+        sys.insert_data(k.clone()).expect("registration");
+    }
+    let ops = (240_000 / scale).max(2_000);
+    let batch = 4096usize;
+    let mut rng = StdRng::seed_from_u64(19);
+    // Warm-up batch grows every internal buffer (queues, gather maps)
+    // outside the timed region. Worker threads and the exchange mesh
+    // are rebuilt per batch, so the timed op/s *includes* that spawn
+    // cost — a persistent worker pool is the obvious next optimization.
+    let warm: Vec<QueryKind> = (0..256)
+        .map(|_| QueryKind::Exact(keys[rng.gen_range(0..keys.len())].clone()))
+        .collect();
+    sys.discover_batch(warm, workers).expect("warm-up batch");
+    let mut satisfied = 0u64;
+    let mut remaining = ops;
+    let start = Instant::now();
+    while remaining > 0 {
+        let n = (remaining as usize).min(batch);
+        let queries: Vec<QueryKind> = (0..n)
+            .map(|_| QueryKind::Exact(keys[rng.gen_range(0..keys.len())].clone()))
+            .collect();
+        let outs = sys.discover_batch(queries, workers).expect("batch");
+        satisfied += outs.iter().filter(|o| o.satisfied).count() as u64;
+        sys.end_time_unit();
+        remaining -= n as u64;
+    }
+    let ns_total = start.elapsed().as_nanos();
+    assert!(satisfied > 0, "workload must find keys");
+    BenchResult {
+        name: "parallel_pump_discovery",
+        unit: "op",
+        ops,
+        ns_total,
+    }
+}
+
 // ---------------------------------------------------------------------
 // Reporting
 // ---------------------------------------------------------------------
 
 /// Renders the snapshot as JSON (hand-rolled; the workspace is
 /// offline-only and the schema is flat).
-fn render_json(label: &str, date: &str, smoke: bool, results: &[BenchResult]) -> String {
+fn render_json(
+    label: &str,
+    date: &str,
+    smoke: bool,
+    workers: usize,
+    results: &[BenchResult],
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"label\": \"{label}\",");
     let _ = writeln!(s, "  \"date\": \"{date}\",");
     let _ = writeln!(s, "  \"smoke\": {smoke},");
+    let _ = writeln!(s, "  \"workers\": {workers},");
     s.push_str("  \"benchmarks\": [\n");
     for (i, r) in results.iter().enumerate() {
         s.push_str("    {");

@@ -108,7 +108,7 @@ pub struct RouteCache {
 
 impl Default for RouteCache {
     /// A disabled (capacity 0) cache. A manual impl because the
-    /// derived one would zero `head`/`tail` instead of the [`NIL`]
+    /// derived one would zero `head`/`tail` instead of the `NIL`
     /// sentinel, corrupting the intrusive list.
     fn default() -> Self {
         RouteCache::new(0)

@@ -1,0 +1,1666 @@
+//! The runtime-agnostic protocol engine.
+//!
+//! Before this module existed the workspace maintained three
+//! hand-mirrored copies of the DLPT driver loop — the synchronous pump
+//! in [`crate::system::DlptSystem`], the discrete-event `LatencyNet`
+//! and the threaded `ThreadedDlpt` in `dlpt-net` — and every
+//! cross-cutting subsystem (replication flush, cache invalidation)
+//! had to be re-implemented three times. [`Engine`] collapses them:
+//! it owns the per-peer shards, the delivery [`Directory`], the
+//! per-peer [`RouteCache`]s and the replication bookkeeping, and
+//! processes every envelope through **one** state machine
+//! ([`Engine::deliver`]). What distinguishes the runtimes is only *how
+//! messages travel*, which the [`Transport`] trait abstracts:
+//!
+//! | Runtime | Transport | Delivery |
+//! |---|---|---|
+//! | [`crate::system::DlptSystem`] | [`FifoTransport`] | immediate FIFO |
+//! | `dlpt-net::sim::LatencyNet` | latency event queue | sampled delay |
+//! | `dlpt-net::threaded::ThreadedDlpt` | framed channels | encoded frames to peer threads |
+//! | [`parallel::ParallelPump`] | per-worker queues | round-barrier exchange |
+//!
+//! A transport only queues envelopes; it never interprets them. The
+//! engine in turn never schedules — it reports `Requeue` when a
+//! destination is still in flight and lets the runtime decide whether
+//! to retry now (FIFO), one tick later (latency queue) or after the
+//! next peer reply (framed channels).
+//!
+//! Behavioural knobs that used to be implicit in which runtime you
+//! picked are explicit [`EngineConfig`] flags: the Section-4 capacity
+//! model (`charge_capacity`), eager replica maintenance
+//! (`eager_replication`) and whether request aggregation may finalize
+//! mid-drain or only at quiescence (`judge_at_quiescence`, required
+//! when responses can arrive out of order).
+
+pub mod parallel;
+
+use crate::cache::{self, CacheStats, RouteCache, Shortcut};
+use crate::directory::Directory;
+use crate::error::{DlptError, Result};
+use crate::key::Key;
+use crate::mapping::MappingViolation;
+use crate::messages::{
+    Address, DiscoveryMsg, DiscoveryOutcome, Envelope, JoinPhase, Message, NodeMsg, NodeSeed,
+    PeerMsg, QueryKind,
+};
+use crate::metrics::SystemStats;
+use crate::node::NodeState;
+use crate::peer::PeerShard;
+use crate::protocol::{self, discovery, maintenance, repair, Effects};
+use crate::replication::{AntiEntropyReport, ReplicationStats};
+use crate::trie::{PgcpTrie, TrieViolation};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// How envelopes travel between the engine and the peers.
+///
+/// Implementations queue envelopes for later processing — immediate
+/// FIFO, a latency-sampling event queue, encoded frames over crossbeam
+/// channels, or per-worker queues with a round barrier. A transport
+/// never interprets an envelope: all protocol behaviour stays in the
+/// engine, which is what keeps the three runtimes equivalent.
+pub trait Transport {
+    /// Queues one envelope for delivery.
+    fn deliver(&mut self, env: Envelope);
+
+    /// Queues an envelope for every element of `envs` — fan-out events
+    /// (cache invalidation, anti-entropy kicks). The default delivers
+    /// in iteration order; transports with a cheaper broadcast path
+    /// may override.
+    fn broadcast<I>(&mut self, envs: I)
+    where
+        I: IntoIterator<Item = Envelope>,
+        Self: Sized,
+    {
+        for env in envs {
+            self.deliver(env);
+        }
+    }
+
+    /// The transport's logical clock (0 for untimed FIFO transports).
+    fn now(&self) -> u64 {
+        0
+    }
+}
+
+/// The immediate-FIFO transport of the synchronous pump: envelopes are
+/// appended to one queue and processed strictly in order. The `u32` is
+/// the per-envelope requeue count, owned by the pump's retry policy.
+#[derive(Debug, Default)]
+pub struct FifoTransport {
+    /// The pending envelopes, front = next to deliver.
+    pub queue: VecDeque<(u32, Envelope)>,
+}
+
+impl Transport for FifoTransport {
+    fn deliver(&mut self, env: Envelope) {
+        self.queue.push_back((0, env));
+    }
+}
+
+/// Behavioural configuration of an [`Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Replication factor `k`: each tree node lives on its primary
+    /// (mapping-rule) host plus `k - 1` ring-successor followers
+    /// (`protocol::repair`). `1` disables replication entirely.
+    pub replication: usize,
+    /// Per-peer routing-shortcut cache capacity ([`crate::cache`]);
+    /// `0` disables caching entirely.
+    pub cache_capacity: usize,
+    /// Model Section 4's per-unit peer capacity: every discovery visit
+    /// charges the hosting peer and exhausted peers ignore visits.
+    /// The asynchronous runtimes leave this off — capacity is an
+    /// experiment-harness concern there.
+    pub charge_capacity: bool,
+    /// Judge request completion only once the network is quiescent.
+    /// Required when responses arrive out of order (latency queue,
+    /// threads): the outstanding-branch counter can transiently touch
+    /// zero while a parent's response is still in flight. The
+    /// synchronous pump finalizes eagerly instead (FIFO order makes
+    /// the transient impossible).
+    pub judge_at_quiescence: bool,
+    /// Maintain replicas eagerly after every mutation
+    /// ([`Engine::flush_replication`]); the asynchronous runtimes rely
+    /// on periodic anti-entropy alone and keep this off, so the
+    /// touched-label bookkeeping stays empty there.
+    pub eager_replication: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            replication: 1,
+            cache_capacity: 0,
+            charge_capacity: false,
+            judge_at_quiescence: false,
+            eager_replication: false,
+        }
+    }
+}
+
+/// Result of a completed discovery request, as seen by the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupOutcome {
+    /// The paper's satisfaction criterion: the request reached its
+    /// final destination (and, for exact queries, the key was
+    /// registered there), with no visit ignored for lack of capacity.
+    pub satisfied: bool,
+    /// Exact queries: whether the key was found. Range/completion:
+    /// whether the region was reached.
+    pub found: bool,
+    /// True iff any visit was ignored by an exhausted peer.
+    pub dropped: bool,
+    /// Matching keys, sorted.
+    pub results: Vec<Key>,
+    /// Node labels along the up/down route (entry first).
+    pub path: Vec<Key>,
+    /// Hosting peer of each `path` entry at completion time.
+    pub host_path: Vec<Key>,
+    /// Extra node visits performed by the scatter phase of
+    /// range/completion queries.
+    pub gather_visits: usize,
+}
+
+impl LookupOutcome {
+    /// Tree edges traversed on the up/down route.
+    pub fn logical_hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+
+    /// Physical messages on the up/down route: consecutive visits
+    /// hosted by different peers (the quantity of Figure 9).
+    pub fn physical_hops(&self) -> usize {
+        self.host_path.windows(2).filter(|w| w[0] != w[1]).count()
+    }
+}
+
+/// An empty, unsatisfied outcome (used by facades when a request could
+/// not even start, e.g. on an empty tree).
+pub fn empty_outcome() -> LookupOutcome {
+    LookupOutcome {
+        satisfied: false,
+        found: false,
+        dropped: false,
+        results: Vec::new(),
+        path: Vec::new(),
+        host_path: Vec::new(),
+        gather_visits: 0,
+    }
+}
+
+/// Aggregation state of one in-flight request.
+#[derive(Debug)]
+struct GatherAgg {
+    outstanding: i64,
+    satisfied: bool,
+    dropped: bool,
+    results: Vec<Key>,
+    best_path: Vec<Key>,
+    responses: usize,
+}
+
+/// What [`Engine::deliver`] did with one envelope.
+#[derive(Debug)]
+pub enum Step {
+    /// The envelope was processed (or consumed by aggregation).
+    Done,
+    /// The destination is not resolvable yet (peer unknown, node still
+    /// in flight between shards): the runtime should retry later under
+    /// its own policy, or abandon via [`Engine::fail_undeliverable`].
+    Requeue(Envelope),
+}
+
+/// The unified DLPT runtime state machine. See the module docs.
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    /// Locally hosted shards. The synchronous and discrete-event
+    /// runtimes keep every shard here; the threaded runtime's shards
+    /// live on peer threads and this map stays empty (the engine then
+    /// serves as the router: directory, caches, aggregation,
+    /// membership).
+    pub(crate) shards: BTreeMap<Key, PeerShard>,
+    /// Every live peer, in ring (identifier) order — the broadcast
+    /// domain. Matches `shards.keys()` whenever shards are local.
+    members: BTreeSet<Key>,
+    /// Node label → hosting peer (interned, incrementally ordered).
+    pub(crate) directory: Directory,
+    /// Per-peer routing-shortcut caches, keyed by the peer a request
+    /// enters through. Engine-owned (not shard state) so the same
+    /// consult/learn/invalidate flow serves runtimes whose shards are
+    /// remote.
+    caches: BTreeMap<Key, RouteCache>,
+    gathers: BTreeMap<u64, GatherAgg>,
+    finished: BTreeMap<u64, LookupOutcome>,
+    /// Request id → `(target, entry host)` to teach after a satisfied
+    /// exact query.
+    learn: BTreeMap<u64, (Key, Key)>,
+    next_request: u64,
+    pub(crate) root: Option<Key>,
+    /// Reused effect buffers: one dispatch allocates nothing once the
+    /// vectors have grown to the workload's high-water mark.
+    scratch: Effects,
+    /// Labels whose state changed since the last flush and whose
+    /// replicas must be refreshed (eager replication only).
+    pub(crate) touched: Vec<Key>,
+    /// `(label, follower)` pairs whose copies must be garbage-collected
+    /// because the node dissolved (eager replication only).
+    dropped_replicas: Vec<(Key, Key)>,
+    /// Runtime counters.
+    pub stats: SystemStats,
+    /// Replication counters (all zero at `k = 1`; kept out of
+    /// [`SystemStats`] so the unreplicated golden fingerprint is
+    /// byte-identical).
+    pub repl_stats: ReplicationStats,
+    /// Caching counters (all zero at capacity 0; kept out of
+    /// [`SystemStats`] for the same golden-fingerprint reason).
+    pub cache_stats: CacheStats,
+}
+
+impl Engine {
+    /// An empty engine.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine {
+            config,
+            shards: BTreeMap::new(),
+            members: BTreeSet::new(),
+            directory: Directory::new(),
+            caches: BTreeMap::new(),
+            gathers: BTreeMap::new(),
+            finished: BTreeMap::new(),
+            learn: BTreeMap::new(),
+            next_request: 1,
+            root: None,
+            scratch: Effects::default(),
+            touched: Vec::new(),
+            dropped_replicas: Vec::new(),
+            stats: SystemStats::default(),
+            repl_stats: ReplicationStats::default(),
+            cache_stats: CacheStats::default(),
+        }
+    }
+
+    /// The engine configuration.
+    pub fn engine_config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Reconfigures the replication factor `k` (clamped to ≥ 1).
+    pub fn set_replication(&mut self, k: usize) {
+        self.config.replication = k.max(1);
+    }
+
+    /// Reconfigures the per-peer routing-shortcut cache capacity for
+    /// existing peers and every peer joining later (0 = off).
+    pub fn set_cache_capacity(&mut self, n: usize) {
+        self.config.cache_capacity = n;
+        for cache in self.caches.values_mut() {
+            cache.set_capacity(n);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Number of peers in the ring.
+    pub fn peer_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Number of logical tree nodes.
+    pub fn node_count(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Peer identifiers in ring order.
+    pub fn peer_ids(&self) -> Vec<Key> {
+        self.members.iter().cloned().collect()
+    }
+
+    /// True iff `id` is a live peer.
+    pub fn contains_peer(&self, id: &Key) -> bool {
+        self.members.contains(id)
+    }
+
+    /// All node labels, ascending.
+    pub fn node_labels(&self) -> Vec<Key> {
+        self.directory.labels().cloned().collect()
+    }
+
+    /// Borrow a peer shard (locally hosted runtimes only).
+    pub fn shard(&self, id: &Key) -> Option<&PeerShard> {
+        self.shards.get(id)
+    }
+
+    /// The locally hosted shards, keyed by peer id in ring order.
+    pub fn shards(&self) -> &BTreeMap<Key, PeerShard> {
+        &self.shards
+    }
+
+    /// The delivery directory.
+    pub fn directory(&self) -> &Directory {
+        &self.directory
+    }
+
+    /// Mutable access to the delivery directory (runtimes that resolve
+    /// deliveries outside [`Engine::deliver`], e.g. the framed router,
+    /// bump epochs and heal entries through this).
+    pub fn directory_mut(&mut self) -> &mut Directory {
+        &mut self.directory
+    }
+
+    /// The peer hosting node `label`, per the delivery directory.
+    pub fn host_of(&self, label: &Key) -> Option<&Key> {
+        self.directory.host_of(label)
+    }
+
+    /// The peer the mapping rule designates for `label`:
+    /// `min {P : P >= label}`, wrapping to the minimum.
+    pub fn host_peer(&self, label: &Key) -> Option<&Key> {
+        self.members
+            .range::<Key, _>(label..)
+            .next()
+            .or_else(|| self.members.iter().next())
+    }
+
+    /// Ring predecessor of `id` over the current peer set (wrapping).
+    fn ring_pred(&self, id: &Key) -> Option<&Key> {
+        self.members
+            .range::<Key, _>(..id)
+            .next_back()
+            .or_else(|| self.members.iter().next_back())
+    }
+
+    /// Ring successor of `id` over the current peer set (wrapping).
+    fn ring_succ(&self, id: &Key) -> Option<&Key> {
+        use std::ops::Bound;
+        self.members
+            .range::<Key, _>((Bound::Excluded(id), Bound::Unbounded))
+            .next()
+            .or_else(|| self.members.iter().next())
+    }
+
+    /// Borrow a node's state wherever it is hosted (local shards).
+    pub fn node(&self, label: &Key) -> Option<&NodeState> {
+        let host = self.directory.host_of(label)?;
+        self.shards.get(host)?.nodes.get(label)
+    }
+
+    /// Label of the current tree root.
+    pub fn root(&self) -> Option<&Key> {
+        self.root.as_ref()
+    }
+
+    /// Depth of every live node (root = 0), via memoized father-link
+    /// walks — O(nodes) for the whole map. Feeds the per-depth visit
+    /// histogram ([`crate::metrics::DepthHistogram`]).
+    pub fn depth_map(&self) -> BTreeMap<Key, u32> {
+        let mut depths: BTreeMap<Key, u32> = BTreeMap::new();
+        for shard in self.shards.values() {
+            for node in shard.nodes.values() {
+                self.depth_into(&node.label, &mut depths);
+            }
+        }
+        depths
+    }
+
+    fn depth_into(&self, label: &Key, depths: &mut BTreeMap<Key, u32>) -> u32 {
+        if let Some(&d) = depths.get(label) {
+            return d;
+        }
+        let d = match self.node(label).and_then(|n| n.father.as_ref()) {
+            None => 0,
+            Some(f) => self.depth_into(f, depths) + 1,
+        };
+        depths.insert(label.clone(), d);
+        d
+    }
+
+    /// Every registered service key, ascending (local shards).
+    pub fn registered_keys(&self) -> Vec<Key> {
+        let mut out = Vec::new();
+        for shard in self.shards.values() {
+            for node in shard.nodes.values() {
+                out.extend(node.data.iter().cloned());
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// A uniformly random node label (the "random node of the tree"
+    /// every request and registration enters through). O(1) over the
+    /// directory's sorted table.
+    pub fn random_node(&self, rng: &mut StdRng) -> Option<Key> {
+        if self.directory.is_empty() {
+            return None;
+        }
+        let i = rng.gen_range(0..self.directory.len());
+        Some(self.directory.label_at(i).clone())
+    }
+
+    // ------------------------------------------------------------------
+    // Membership
+    // ------------------------------------------------------------------
+
+    /// Registers a peer whose shard the engine hosts locally. The
+    /// runtime then routes the join itself ([`Engine::join_envelope`]).
+    pub fn add_local_shard(&mut self, id: Key, capacity: u32) {
+        self.shards
+            .insert(id.clone(), PeerShard::new(id.clone(), capacity));
+        self.add_member(id);
+    }
+
+    /// Registers a peer whose shard lives elsewhere (peer threads).
+    pub fn add_member(&mut self, id: Key) {
+        self.caches
+            .insert(id.clone(), RouteCache::new(self.config.cache_capacity));
+        self.members.insert(id);
+    }
+
+    /// Forgets a peer: membership, its entry-point cache, and its
+    /// local shard if any. Returns the shard.
+    pub fn remove_member(&mut self, id: &Key) -> Option<PeerShard> {
+        self.members.remove(id);
+        self.caches.remove(id);
+        self.shards.remove(id)
+    }
+
+    /// The join envelope for peer `id` (which must already be a
+    /// member): route `<PeerJoin, P, 0>` through the tree from a random
+    /// node, or — before any tree exists — contact an arbitrary other
+    /// peer and let the ring walk of Algorithm 2 place it.
+    pub fn join_envelope(&mut self, id: &Key, rng: &mut StdRng) -> Envelope {
+        match self.random_node(rng) {
+            Some(entry) => Envelope::to_node(
+                entry,
+                NodeMsg::PeerJoin {
+                    joining: id.clone(),
+                    phase: JoinPhase::Up,
+                },
+            ),
+            None => {
+                let contact = self
+                    .members
+                    .iter()
+                    .find(|k| *k != id)
+                    .cloned()
+                    .expect("at least one other peer");
+                Envelope::to_peer(
+                    contact,
+                    PeerMsg::NewPredecessor {
+                        joining: id.clone(),
+                    },
+                )
+            }
+        }
+    }
+
+    /// The registration envelope for `key`: enter the tree at a random
+    /// node, or — before any tree exists — seed the first node through
+    /// the peer layer (the `Host` ring walk places it per the mapping
+    /// rule).
+    pub fn insert_envelope(&mut self, key: Key, rng: &mut StdRng) -> Envelope {
+        match self.random_node(rng) {
+            Some(entry) => Envelope::to_node(entry, NodeMsg::DataInsertion { key }),
+            None => {
+                let contact = self.members.iter().next().cloned().expect("non-empty ring");
+                Envelope::to_peer(
+                    contact,
+                    PeerMsg::Host {
+                        seed: NodeSeed {
+                            label: key.clone(),
+                            father: None,
+                            children: Vec::new(),
+                            data: vec![key],
+                        },
+                    },
+                )
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Requests (entry, aggregation, completion) — the discovery flow
+    // ------------------------------------------------------------------
+
+    /// Starts a discovery request entering at `entry`: registers the
+    /// aggregation state and builds the envelope to send.
+    ///
+    /// When caching is on the entry node's hosting peer — the overlay's
+    /// access point for this request — consults its [`RouteCache`]
+    /// first: a hit whose label is still live at the recorded epoch
+    /// skips the whole upward climb and delivers the request straight
+    /// to the covering node in `Down` phase; a stale hit is evicted and
+    /// the request falls back to the normal up/down route, so results
+    /// never depend on cache freshness. Satisfied exact queries teach
+    /// the entry peer a fresh shortcut at completion
+    /// ([`Engine::take_finished`] / [`Engine::finish_request`]).
+    pub fn begin_request(&mut self, entry: &Key, query: QueryKind) -> Result<(u64, Envelope)> {
+        if !self.directory.contains(entry) {
+            return Err(DlptError::UnknownNode(entry.to_string()));
+        }
+        let id = self.next_request;
+        self.next_request += 1;
+        self.gathers.insert(
+            id,
+            GatherAgg {
+                outstanding: 1,
+                satisfied: true,
+                dropped: false,
+                results: Vec::new(),
+                best_path: Vec::new(),
+                responses: 0,
+            },
+        );
+        let mut shortcut: Option<Shortcut> = None;
+        if self.config.cache_capacity > 0 {
+            let target = query.target();
+            let host = self
+                .directory
+                .host_of(entry)
+                .cloned()
+                .expect("entry checked live above");
+            if let Some(c) = self.caches.get_mut(&host) {
+                shortcut = cache::consult(c, &self.directory, &target, &mut self.cache_stats);
+            }
+            if shortcut.is_none() && matches!(query, QueryKind::Exact(_)) {
+                self.learn.insert(id, (target, host));
+            }
+        }
+        let env = match shortcut {
+            Some(sc) => cache::shortcut_envelope(id, query, sc),
+            None => discovery::entry_envelope(entry.clone(), id, query),
+        };
+        Ok((id, env))
+    }
+
+    /// Feeds one `ClientResponse` into the request's aggregation. With
+    /// eager judging (the synchronous pump) the request finalizes into
+    /// the finished set the moment no branch is outstanding; at
+    /// quiescence judging the runtime calls
+    /// [`Engine::finish_request`] once drained. Responses for already
+    /// finalized (or unknown) requests are dropped as stale.
+    pub fn client_response(&mut self, outcome: DiscoveryOutcome) {
+        let Some(agg) = self.gathers.get_mut(&outcome.request_id) else {
+            return; // stale response after request already finalized
+        };
+        agg.outstanding += outcome.pending_children as i64 - 1;
+        agg.satisfied &= outcome.satisfied;
+        agg.dropped |= outcome.dropped;
+        agg.responses += 1;
+        agg.results.extend(outcome.results);
+        if outcome.path.len() > agg.best_path.len() {
+            agg.best_path = outcome.path;
+        }
+        if !self.config.judge_at_quiescence && agg.outstanding <= 0 {
+            let agg = self
+                .gathers
+                .remove(&outcome.request_id)
+                .expect("present above");
+            let satisfied = agg.satisfied && !agg.dropped;
+            let out = self.assemble_outcome(agg, satisfied);
+            self.finished.insert(outcome.request_id, out);
+        }
+    }
+
+    /// Builds the [`LookupOutcome`] from a completed aggregation.
+    fn assemble_outcome(&self, agg: GatherAgg, satisfied: bool) -> LookupOutcome {
+        let mut results = agg.results;
+        results.sort();
+        results.dedup();
+        let mut host_path: Vec<Key> = Vec::with_capacity(agg.best_path.len());
+        host_path.extend(
+            agg.best_path
+                .iter()
+                .filter_map(|l| self.directory.host_of(l).cloned()),
+        );
+        let found = !results.is_empty() || satisfied;
+        LookupOutcome {
+            satisfied,
+            found,
+            dropped: agg.dropped,
+            results,
+            gather_visits: agg.responses.saturating_sub(1),
+            host_path,
+            path: agg.best_path,
+        }
+    }
+
+    /// Takes the finalized outcome of request `id` (eager judging),
+    /// applying the shortcut-learning intent when the outcome is
+    /// satisfied. `None` when the request has not finalized.
+    pub fn take_finished(&mut self, id: u64) -> Option<LookupOutcome> {
+        // Not finalized: leave the learn intent in place — a
+        // quiescence-judging caller resolves it via `finish_request`.
+        let out = self.finished.remove(&id)?;
+        if let Some((target, host)) = self.learn.remove(&id) {
+            if out.satisfied {
+                // A satisfied exact query proves the target's own node
+                // is live and owns the key: that node is the shortcut.
+                self.learn_shortcut(target, host);
+            }
+        }
+        Some(out)
+    }
+
+    /// Judges and removes request `id` at quiescence: a request is
+    /// satisfied only if every branch responded satisfied, nothing was
+    /// dropped, and no branch is still outstanding (the
+    /// outstanding-branch counter can transiently touch zero while
+    /// responses are in flight, so this must only be called once the
+    /// transport is drained). Applies the shortcut-learning intent.
+    pub fn finish_request(&mut self, id: u64) -> LookupOutcome {
+        let agg = self.gathers.remove(&id).expect("request was registered");
+        let satisfied = agg.satisfied && !agg.dropped && agg.outstanding <= 0;
+        match self.learn.remove(&id) {
+            Some((target, host)) if satisfied => self.learn_shortcut(target, host),
+            _ => {}
+        }
+        self.assemble_outcome(agg, satisfied)
+    }
+
+    fn learn_shortcut(&mut self, target: Key, host: Key) {
+        if let Some(sc) = cache::learned_shortcut(&self.directory, &target) {
+            if let Some(c) = self.caches.get_mut(&host) {
+                c.insert(target, sc);
+                self.cache_stats.learned += 1;
+            }
+        }
+    }
+
+    /// Abandons an envelope whose requeue budget is exhausted. A lost
+    /// discovery message must still resolve its request; anything else
+    /// is a hard error.
+    pub fn fail_undeliverable(&mut self, env: Envelope) -> Result<()> {
+        self.stats.undeliverable += 1;
+        if let Message::Node(NodeMsg::Discovery(m)) = &env.msg {
+            self.client_response(DiscoveryOutcome {
+                request_id: m.request_id,
+                satisfied: false,
+                dropped: true,
+                results: Vec::new(),
+                path: m.path.clone(),
+                pending_children: 0,
+            });
+            return Ok(());
+        }
+        Err(DlptError::Undeliverable(format!("{:?}", env.to)))
+    }
+
+    // ------------------------------------------------------------------
+    // The state machine
+    // ------------------------------------------------------------------
+
+    /// Processes one envelope: the single implementation of the
+    /// dispatch every runtime used to mirror. Capacity charging,
+    /// per-kind counters, discovery handling with replica failover,
+    /// epoch bumps for structural mutations, and effect application
+    /// (directory updates, cache invalidation, outgoing messages
+    /// through `t`) all happen here.
+    pub fn deliver<T: Transport>(&mut self, t: &mut T, env: Envelope) -> Result<Step> {
+        // Destructure: addresses are matched by move, so the hot path
+        // clones no `Address` (a requeue rebuilds the envelope from the
+        // owned parts).
+        let Envelope { to, msg } = env;
+        match to {
+            Address::Client(_) => {
+                if let Message::ClientResponse(outcome) = msg {
+                    self.client_response(outcome);
+                    Ok(Step::Done)
+                } else {
+                    Err(DlptError::Undeliverable("client".into()))
+                }
+            }
+            Address::Peer(id) => {
+                if !self.members.contains(&id) {
+                    return Ok(Step::Requeue(Envelope::to_address(Address::Peer(id), msg)));
+                }
+                // Replication and cache traffic are counted apart so
+                // the k = 1 / cache-off system's stats stay
+                // byte-identical.
+                if is_replication_msg(&msg) {
+                    self.repl_stats.replication_messages += 1;
+                } else if let Message::Peer(PeerMsg::InvalidateCached { label, epoch }) = msg {
+                    // The engine owns the route caches, so the eager
+                    // invalidation broadcast terminates here — the one
+                    // epoch-guarded handler all runtimes share
+                    // (`RouteCache::invalidate_label` spares entries
+                    // re-learned at a fresher epoch, so reordered
+                    // deliveries are harmless).
+                    self.deliver_invalidation(&id, &label, epoch);
+                    return Ok(Step::Done);
+                } else {
+                    count_message(&mut self.stats, &msg);
+                }
+                // Track a freshly created root before the seed moves.
+                let new_root = match &msg {
+                    Message::Peer(PeerMsg::Host { seed }) if seed.father.is_none() => {
+                        Some(seed.label.clone())
+                    }
+                    _ => None,
+                };
+                let mut fx = std::mem::take(&mut self.scratch);
+                let shard = self
+                    .shards
+                    .get_mut(&id)
+                    .expect("peer-addressed deliveries require a local shard");
+                match msg {
+                    Message::Peer(m) => protocol::handle_peer_msg(shard, m, &mut fx),
+                    _ => return Err(DlptError::Undeliverable(format!("{id}"))),
+                }
+                if let Some(label) = new_root {
+                    if fx.relocated.iter().any(|(l, _)| l == &label) {
+                        self.root = Some(label);
+                    }
+                }
+                self.apply(&mut fx, t);
+                self.scratch = fx;
+                Ok(Step::Done)
+            }
+            Address::Node(label) => {
+                let Some(host) = self.directory.host_of(&label).cloned() else {
+                    return Ok(Step::Requeue(Envelope::to_address(
+                        Address::Node(label),
+                        msg,
+                    )));
+                };
+                // One shard probe serves the whole delivery: the
+                // existence check, the capacity charge and the handler
+                // run under a single borrow; requeues and capacity
+                // drops exit with the message intact.
+                enum Gate {
+                    Delivered,
+                    /// Delivered a node message that may have mutated
+                    /// the node's state (epoch advances, replicas must
+                    /// refresh).
+                    DeliveredMutation,
+                    Requeue(Message),
+                    Dropped(DiscoveryMsg),
+                }
+                let mut fx = std::mem::take(&mut self.scratch);
+                let stats = &mut self.stats;
+                let charge = self.config.charge_capacity;
+                let gate = match self.shards.get_mut(&host) {
+                    None => Gate::Requeue(msg),
+                    Some(shard) => match msg {
+                        // Capacity model (Section 4): a peer's capacity
+                        // bounds the requests it can process per unit,
+                        // and processing includes routing — "the upper
+                        // a node is, the more times it will be visited
+                        // by a request" is exactly what makes load
+                        // balancing matter (Section 3.3) — so every
+                        // visit charges the hosting peer one unit and
+                        // counts toward the node's offered load l_n.
+                        // The asynchronous runtimes leave capacity to
+                        // the experiment harness and skip the charge.
+                        Message::Node(NodeMsg::Discovery(m)) => {
+                            if charge {
+                                match discovery::charge_visit(shard, &label) {
+                                    // In flight between shards
+                                    // (hand-off under way): try later.
+                                    discovery::ChargeOutcome::Missing => {
+                                        Gate::Requeue(Message::Node(NodeMsg::Discovery(m)))
+                                    }
+                                    discovery::ChargeOutcome::Accepted => {
+                                        stats.discovery_messages += 1;
+                                        discovery::on_discovery(shard, &label, m, &mut fx);
+                                        Gate::Delivered
+                                    }
+                                    discovery::ChargeOutcome::Dropped => Gate::Dropped(m),
+                                }
+                            } else if shard.nodes.contains_key(&label) {
+                                stats.discovery_messages += 1;
+                                discovery::on_discovery(shard, &label, m, &mut fx);
+                                Gate::Delivered
+                            } else {
+                                Gate::Requeue(Message::Node(NodeMsg::Discovery(m)))
+                            }
+                        }
+                        Message::Node(m) => {
+                            if shard.nodes.contains_key(&label) {
+                                count_node_msg(stats, &m);
+                                protocol::handle_node_msg(shard, &label, m, &mut fx);
+                                Gate::DeliveredMutation
+                            } else {
+                                Gate::Requeue(Message::Node(m))
+                            }
+                        }
+                        other => {
+                            self.scratch = fx;
+                            return Err(DlptError::Undeliverable(format!("{label}: {other:?}")));
+                        }
+                    },
+                };
+                match gate {
+                    Gate::Requeue(msg) => {
+                        self.scratch = fx;
+                        Ok(Step::Requeue(Envelope::to_address(
+                            Address::Node(label),
+                            msg,
+                        )))
+                    }
+                    Gate::Dropped(m) => {
+                        // Failover: a follower copy with spare capacity
+                        // can serve the read the primary refused.
+                        let m = if self.config.replication > 1 {
+                            match self.failover_read(&label, m, &mut fx) {
+                                None => {
+                                    self.apply(&mut fx, t);
+                                    self.scratch = fx;
+                                    return Ok(Step::Done);
+                                }
+                                Some(m) => m,
+                            }
+                        } else {
+                            m
+                        };
+                        self.scratch = fx;
+                        self.stats.discovery_drops += 1;
+                        let mut path = m.path;
+                        path.push(label);
+                        self.client_response(DiscoveryOutcome {
+                            request_id: m.request_id,
+                            satisfied: false,
+                            dropped: true,
+                            results: Vec::new(),
+                            path,
+                            pending_children: 0,
+                        });
+                        Ok(Step::Done)
+                    }
+                    Gate::Delivered => {
+                        self.apply(&mut fx, t);
+                        self.scratch = fx;
+                        Ok(Step::Done)
+                    }
+                    Gate::DeliveredMutation => {
+                        self.mark_touched(&label);
+                        // Any non-discovery node message may have
+                        // mutated the node's structure: advance its
+                        // epoch so learned shortcuts re-validate.
+                        self.directory.bump_epoch(&label);
+                        self.apply(&mut fx, t);
+                        self.scratch = fx;
+                        Ok(Step::Done)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Delivers one eager-invalidation message to peer `id`'s cache —
+    /// the epoch guard (`shortcut.epoch <= epoch` evicts, fresher
+    /// re-learned entries survive) lives in
+    /// [`RouteCache::invalidate_label`] and nowhere else. Runtimes that
+    /// resolve peer frames outside [`Engine::deliver`] (the framed
+    /// router) terminate their invalidation frames here.
+    pub fn deliver_invalidation(&mut self, id: &Key, label: &Key, epoch: u64) {
+        self.cache_stats.invalidations_delivered += 1;
+        if let Some(c) = self.caches.get_mut(id) {
+            c.invalidate_label(label, epoch);
+        }
+    }
+
+    /// Applies (and drains) the effect buffers, leaving `fx` empty with
+    /// its capacity intact so callers can reuse it allocation-free:
+    /// relocations update the directory (and schedule re-replication),
+    /// dissolutions drop the label, broadcast eager cache invalidation
+    /// and clear a dissolved root, outgoing envelopes enter `t`.
+    pub fn apply<T: Transport>(&mut self, fx: &mut Effects, t: &mut T) {
+        let eager = self.config.eager_replication && self.config.replication > 1;
+        for (label, host) in fx.relocated.drain(..) {
+            if eager {
+                self.touched.push(label.clone());
+            }
+            self.directory.insert(label, host);
+        }
+        for label in fx.removed.drain(..) {
+            if eager {
+                // The node dissolved: schedule its copies for GC.
+                let followers: Vec<Key> = self.directory.followers_of(&label).cloned().collect();
+                for f in followers {
+                    self.dropped_replicas.push((label.clone(), f));
+                }
+            }
+            self.directory.remove(&label);
+            // Dissolution is the cheap eager-invalidation case: every
+            // shortcut through the dead label is now a guaranteed
+            // stale hit, so broadcasting beats paying the fallback.
+            self.queue_invalidations(&label, t);
+            if self.root.as_ref() == Some(&label) {
+                self.root = None; // recomputed by the runtime
+            }
+        }
+        for env in fx.out.drain(..) {
+            t.deliver(env);
+        }
+    }
+
+    /// Records that `label`'s state changed and its replicas are stale
+    /// (no-op unless eagerly replicating).
+    pub(crate) fn mark_touched(&mut self, label: &Key) {
+        if self.config.eager_replication && self.config.replication > 1 {
+            self.touched.push(label.clone());
+        }
+    }
+
+    /// Broadcasts [`PeerMsg::InvalidateCached`] for `label` to every
+    /// live peer (no-op with caching off). Called where eager
+    /// invalidation is cheap — dissolutions and migrations — while the
+    /// per-hit epoch check covers everything else lazily.
+    pub fn queue_invalidations<T: Transport>(&mut self, label: &Key, t: &mut T) {
+        if self.config.cache_capacity == 0 {
+            return;
+        }
+        let epoch = self.directory.epoch_of(label);
+        let peers: Vec<Key> = self.members.iter().cloned().collect();
+        self.cache_stats.invalidations_sent += peers.len() as u64;
+        t.broadcast(peers.into_iter().map(|p| {
+            Envelope::to_peer(
+                p,
+                PeerMsg::InvalidateCached {
+                    label: label.clone(),
+                    epoch,
+                },
+            )
+        }));
+    }
+
+    // ------------------------------------------------------------------
+    // Replication orchestration (`protocol::repair`)
+    // ------------------------------------------------------------------
+
+    /// Eager replica maintenance: re-clones every node touched since
+    /// the last flush onto its `k - 1` ring successors and
+    /// garbage-collects copies of dissolved nodes. The synchronous
+    /// pump calls this (then drains) after every public mutating
+    /// operation, so replica state tracks the data plane without
+    /// waiting for the next anti-entropy pass. No-op at `k = 1` or
+    /// without eager replication.
+    pub fn flush_replication<T: Transport>(&mut self, t: &mut T) {
+        if self.config.replication <= 1
+            || (self.touched.is_empty() && self.dropped_replicas.is_empty())
+        {
+            return;
+        }
+        let k = self.config.replication;
+        for (label, follower) in std::mem::take(&mut self.dropped_replicas) {
+            if self.members.contains(&follower) {
+                t.deliver(Envelope::to_peer(follower, PeerMsg::DropReplica { label }));
+            }
+        }
+        let mut touched = std::mem::take(&mut self.touched);
+        touched.sort();
+        touched.dedup();
+        let peers: Vec<Key> = self.members.iter().cloned().collect();
+        for label in &touched {
+            let Some(primary) = self.directory.host_of(label).cloned() else {
+                continue; // dissolved during the same drain
+            };
+            let targets = repair::successors_of(&peers, &primary, k - 1);
+            let stale: Vec<Key> = self
+                .directory
+                .followers_of(label)
+                .filter(|f| !targets.contains(f))
+                .cloned()
+                .collect();
+            for f in stale {
+                if self.members.contains(&f) {
+                    t.deliver(Envelope::to_peer(
+                        f,
+                        PeerMsg::DropReplica {
+                            label: label.clone(),
+                        },
+                    ));
+                }
+            }
+            self.directory.set_followers(label, &targets);
+            if targets.is_empty() {
+                continue;
+            }
+            let env = {
+                let Some(shard) = self.shards.get(&primary) else {
+                    continue;
+                };
+                let Some(node) = shard.nodes.get(label) else {
+                    continue; // relocation still in flight
+                };
+                Envelope::to_peer(
+                    shard.peer.succ.clone(),
+                    PeerMsg::Replicate {
+                        primary: primary.clone(),
+                        ttl: (k - 1) as u32,
+                        seed: NodeSeed::of(node),
+                    },
+                )
+            };
+            t.deliver(env);
+            self.repl_stats.eager_syncs += 1;
+        }
+        touched.clear();
+        self.touched = touched; // hand the capacity back
+    }
+
+    /// The planning half of a self-healing anti-entropy pass over
+    /// *local* shards: re-plans follower sets, counts under-replicated
+    /// labels, garbage-collects stale copies and — unless the overlay
+    /// is already converged under eager maintenance — kicks every peer
+    /// with `SyncReplicas`. Returns the report and whether anything
+    /// was enqueued (the runtime then drains and fills in
+    /// `messages_sent`). No-op at `k = 1`.
+    pub fn anti_entropy_scan<T: Transport>(&mut self, t: &mut T) -> (AntiEntropyReport, bool) {
+        let k = self.config.replication;
+        let mut report = AntiEntropyReport::default();
+        if k <= 1 || self.members.len() <= 1 {
+            return (report, false);
+        }
+        self.repl_stats.anti_entropy_passes += 1;
+        let peers: Vec<Key> = self.members.iter().cloned().collect();
+        let want = (k - 1).min(peers.len() - 1);
+        // Re-plan the follower sets over the current ring, then count
+        // the labels whose *planned* followers are missing a live copy
+        // — this catches crashed followers and placement displaced by
+        // joins alike.
+        repair::refresh_follower_records(&mut self.directory, &peers, k);
+        for (label, _) in self.directory.iter() {
+            let live_copies = self
+                .directory
+                .followers_of(label)
+                .filter(|f| {
+                    self.shards
+                        .get(*f)
+                        .map(|s| s.replicas.contains_key(label))
+                        .unwrap_or(false)
+                })
+                .count();
+            if live_copies < want {
+                report.under_replicated += 1;
+            }
+        }
+        // GC copies whose label died or whose holder left the set.
+        let mut drops: Vec<(Key, Key)> = Vec::new();
+        for (pid, shard) in &self.shards {
+            for rl in shard.replicas.keys() {
+                let keep = self.directory.contains(rl)
+                    && self.directory.followers_of(rl).any(|f| f == pid);
+                if !keep {
+                    drops.push((pid.clone(), rl.clone()));
+                }
+            }
+        }
+        report.replicas_dropped = drops.len();
+        // Converged pass: under eager maintenance the flush keeps copy
+        // *content* fresh, so when every label has its full live
+        // follower set and nothing needs GC the blanket re-clone would
+        // be pure steady-state traffic — skip it. (Runtimes without
+        // the eager path always re-clone: `anti_entropy_kick`.)
+        if report.under_replicated == 0 && drops.is_empty() {
+            return (report, false);
+        }
+        for (pid, label) in drops {
+            t.deliver(Envelope::to_peer(pid, PeerMsg::DropReplica { label }));
+        }
+        for p in &peers {
+            t.deliver(Envelope::to_peer(
+                p.clone(),
+                PeerMsg::SyncReplicas { k: k as u32 },
+            ));
+        }
+        (report, true)
+    }
+
+    /// The simple anti-entropy pass of the asynchronous runtimes (no
+    /// eager flush to lean on): re-plan the follower records, then kick
+    /// every peer with `SyncReplicas` so each re-clones its nodes along
+    /// the ring. The runtime drains afterwards. No-op at `k = 1`.
+    pub fn anti_entropy_kick<T: Transport>(&mut self, t: &mut T) -> bool {
+        let k = self.config.replication;
+        if k <= 1 || self.members.len() <= 1 {
+            return false;
+        }
+        let peers: Vec<Key> = self.members.iter().cloned().collect();
+        repair::refresh_follower_records(&mut self.directory, &peers, k);
+        t.broadcast(
+            peers
+                .into_iter()
+                .map(|p| Envelope::to_peer(p, PeerMsg::SyncReplicas { k: k as u32 })),
+        );
+        true
+    }
+
+    /// Serves a capacity-refused discovery visit from a live follower
+    /// copy, charging the follower's capacity instead. Returns the
+    /// message when no follower can serve it (the caller then counts
+    /// the drop as before).
+    fn failover_read(
+        &mut self,
+        label: &Key,
+        msg: DiscoveryMsg,
+        fx: &mut Effects,
+    ) -> Option<DiscoveryMsg> {
+        let followers: Vec<Key> = self.directory.followers_of(label).cloned().collect();
+        for f in followers {
+            let Some(shard) = self.shards.get_mut(&f) else {
+                continue;
+            };
+            if !shard.replicas.contains_key(label) || !shard.peer.try_accept() {
+                continue;
+            }
+            let node = shard.replicas.get_mut(label).expect("checked");
+            node.load += 1;
+            discovery::on_discovery_at(node, msg, fx);
+            self.repl_stats.failover_reads += 1;
+            return None;
+        }
+        Some(msg)
+    }
+
+    /// The distinct live peers currently holding a copy of `label`
+    /// (primary first, then followers in ring order). Empty when the
+    /// label is not a live node. Local shards only.
+    pub fn replica_hosts(&self, label: &Key) -> Vec<Key> {
+        repair::live_replica_hosts(&self.shards, &self.directory, label)
+    }
+
+    /// Verifies the replication invariant: every live node has
+    /// `min(k, |P|)` distinct live replica hosts. Trivially true at
+    /// `k = 1` (the mapping invariant covers the single copy).
+    pub fn check_replication(&self) -> std::result::Result<(), String> {
+        let k = self.config.replication;
+        if k <= 1 {
+            return Ok(());
+        }
+        let want = k.min(self.members.len());
+        for (label, _) in self.directory.iter() {
+            let hosts = self.replica_hosts(label);
+            if hosts.len() < want {
+                return Err(format!(
+                    "node {label} has {} live replica hosts {:?}, invariant demands {want}",
+                    hosts.len(),
+                    hosts
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Churn over local shards (shared by the sync and latency runtimes)
+    // ------------------------------------------------------------------
+
+    /// Graceful departure: the peer hands its nodes to its successor
+    /// and splices itself out (Section 4's churn model). The hand-off
+    /// traffic enters `t`; the runtime drains afterwards.
+    pub fn leave_shard<T: Transport>(&mut self, id: &Key, t: &mut T) -> Result<()> {
+        let mut shard = self
+            .remove_member(id)
+            .ok_or_else(|| DlptError::UnknownPeer(id.to_string()))?;
+        if self.members.is_empty() {
+            // Last peer: the overlay disappears with it.
+            self.directory.clear();
+            self.root = None;
+            return Ok(());
+        }
+        let mut fx = std::mem::take(&mut self.scratch);
+        maintenance::leave(&mut shard, &mut fx);
+        self.stats.maintenance_messages += fx.out.len() as u64;
+        if self.config.eager_replication && self.config.replication > 1 {
+            // The departing peer's follower copies vanish with it; its
+            // hand-off therefore also kicks the affected primaries to
+            // re-clone, so a graceful leave never opens a
+            // single-failure data-loss window.
+            self.touched.extend(shard.replicas.keys().cloned());
+        }
+        self.apply(&mut fx, t);
+        self.scratch = fx;
+        Ok(())
+    }
+
+    /// Moves one node to another peer, updating the directory and
+    /// eagerly invalidating shortcuts through it. Used by the
+    /// balancers; counted as balance traffic. The runtime drains `t`
+    /// afterwards.
+    pub fn migrate_shard_node<T: Transport>(
+        &mut self,
+        label: &Key,
+        to: &Key,
+        t: &mut T,
+    ) -> Result<()> {
+        let from = self
+            .directory
+            .host_of(label)
+            .cloned()
+            .ok_or_else(|| DlptError::UnknownNode(label.to_string()))?;
+        if &from == to {
+            return Ok(());
+        }
+        if !self.shards.contains_key(to) {
+            return Err(DlptError::UnknownPeer(to.to_string()));
+        }
+        let node = self
+            .shards
+            .get_mut(&from)
+            .expect("directory points at live peers")
+            .evict(label)
+            .expect("directory is consistent");
+        self.shards.get_mut(to).expect("checked").install(node);
+        self.directory.insert(label.clone(), to.clone());
+        self.mark_touched(label);
+        self.stats.balance_migrations += 1;
+        // A migration stales every shortcut pointing at the old host;
+        // the balancers migrate rarely, so eager invalidation is cheap.
+        self.queue_invalidations(label, t);
+        Ok(())
+    }
+
+    /// Changes a peer's identifier in place (the MLT boundary move).
+    /// Ring links of both neighbours, the directory entries of hosted
+    /// nodes, the membership set and the peer's entry-point cache all
+    /// follow.
+    pub fn rename_shard(&mut self, old: &Key, new: Key) -> Result<()> {
+        if old == &new {
+            return Ok(());
+        }
+        if self.members.contains(&new) {
+            return Err(DlptError::DuplicatePeer(new.to_string()));
+        }
+        let mut shard = self
+            .shards
+            .remove(old)
+            .ok_or_else(|| DlptError::UnknownPeer(old.to_string()))?;
+        self.members.remove(old);
+        let (pred, succ) = (shard.peer.pred.clone(), shard.peer.succ.clone());
+        shard.peer.id = new.clone();
+        if pred == *old {
+            shard.peer.pred = new.clone();
+        }
+        if succ == *old {
+            shard.peer.succ = new.clone();
+        }
+        for label in shard.nodes.keys() {
+            self.directory.insert(label.clone(), new.clone());
+        }
+        if self.config.eager_replication && self.config.replication > 1 {
+            self.touched.extend(shard.nodes.keys().cloned());
+        }
+        self.shards.insert(new.clone(), shard);
+        self.members.insert(new.clone());
+        if let Some(cache) = self.caches.remove(old) {
+            self.caches.insert(new.clone(), cache);
+        }
+        if let Some(p) = self.shards.get_mut(&pred) {
+            if p.peer.succ == *old {
+                p.peer.succ = new.clone();
+            }
+        }
+        if let Some(s) = self.shards.get_mut(&succ) {
+            if s.peer.pred == *old {
+                s.peer.pred = new.clone();
+            }
+        }
+        self.stats.peer_renames += 1;
+        Ok(())
+    }
+
+    /// Non-graceful departure: the peer vanishes and the ring heals
+    /// around it. Without replication (`k = 1`) every node the peer ran
+    /// — and its registered data — is lost. With `k > 1` each lost node
+    /// fails over to a surviving follower copy (`protocol::repair`);
+    /// only nodes with no live replica are lost. Returns the labels of
+    /// the *lost* nodes.
+    pub fn crash_shard(&mut self, id: &Key) -> Result<Vec<Key>> {
+        let shard = self
+            .remove_member(id)
+            .ok_or_else(|| DlptError::UnknownPeer(id.to_string()))?;
+        let hosted: Vec<Key> = shard.nodes.keys().cloned().collect();
+        if self.members.is_empty() {
+            // Last peer: the overlay disappears with it.
+            self.directory.clear();
+            self.root = None;
+            self.stats.nodes_lost += hosted.len() as u64;
+            if self.config.replication > 1 {
+                self.repl_stats.unrecoverable_nodes += hosted.len() as u64;
+            }
+            return Ok(hosted);
+        }
+        // Failure-detector stand-in: neighbours notice and heal.
+        let (pred, succ) = (shard.peer.pred.clone(), shard.peer.succ.clone());
+        if let Some(p) = self.shards.get_mut(&pred) {
+            p.peer.succ = if succ == *id {
+                pred.clone()
+            } else {
+                succ.clone()
+            };
+        }
+        if let Some(s) = self.shards.get_mut(&succ) {
+            s.peer.pred = if pred == *id {
+                succ.clone()
+            } else {
+                pred.clone()
+            };
+        }
+        // Failover: promote surviving follower copies; lose the rest.
+        let mut lost = Vec::new();
+        for label in hosted {
+            if self.config.replication > 1
+                && repair::promote_from_followers(&mut self.shards, &mut self.directory, &label)
+            {
+                self.repl_stats.promotions += 1;
+            } else {
+                self.directory.remove(&label);
+                if self.config.replication > 1 {
+                    self.repl_stats.unrecoverable_nodes += 1;
+                }
+                lost.push(label);
+            }
+        }
+        self.stats.nodes_lost += lost.len() as u64;
+        if self
+            .root
+            .as_ref()
+            .map(|r| lost.contains(r))
+            .unwrap_or(false)
+        {
+            self.root = None;
+        }
+        Ok(lost)
+    }
+
+    // ------------------------------------------------------------------
+    // Validation against the paper's invariants (local shards)
+    // ------------------------------------------------------------------
+
+    /// Verifies `host(n) = min {P : P >= n}` for every node.
+    pub fn check_mapping(&self) -> std::result::Result<(), MappingViolation> {
+        for (label, actual) in self.directory.iter() {
+            let expected = self.host_peer(label).expect("ring non-empty");
+            if actual != expected {
+                return Err(MappingViolation::WrongHost {
+                    node: label.clone(),
+                    actual: actual.clone(),
+                    expected: expected.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies that every peer's pred/succ links agree with the ring
+    /// order of identifiers.
+    pub fn check_ring(&self) -> std::result::Result<(), MappingViolation> {
+        for (id, shard) in &self.shards {
+            let want_pred = self.ring_pred(id).expect("non-empty");
+            let want_succ = self.ring_succ(id).expect("non-empty");
+            if &shard.peer.pred != want_pred {
+                return Err(MappingViolation::BrokenRingLink {
+                    peer: id.clone(),
+                    detail: format!("pred is {}, ring order says {}", shard.peer.pred, want_pred),
+                });
+            }
+            if &shard.peer.succ != want_succ {
+                return Err(MappingViolation::BrokenRingLink {
+                    peer: id.clone(),
+                    detail: format!("succ is {}, ring order says {}", shard.peer.succ, want_succ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies Definition 1 over the distributed tree: bidirectional
+    /// father/child links and pairwise-GCP labels.
+    pub fn check_tree(&self) -> std::result::Result<(), TrieViolation> {
+        for shard in self.shards.values() {
+            for node in shard.nodes.values() {
+                for d in &node.data {
+                    if d != &node.label {
+                        return Err(TrieViolation::DataLabelMismatch {
+                            node: node.label.clone(),
+                            data: d.clone(),
+                        });
+                    }
+                }
+                if let Some(f) = &node.father {
+                    let father = self
+                        .node(f)
+                        .ok_or_else(|| TrieViolation::BrokenParentLink {
+                            node: node.label.clone(),
+                        })?;
+                    if !father.children.contains(&node.label) {
+                        return Err(TrieViolation::BrokenParentLink {
+                            node: node.label.clone(),
+                        });
+                    }
+                }
+                let children: Vec<&Key> = node.children.iter().collect();
+                for c in &children {
+                    let child = self
+                        .node(c)
+                        .ok_or_else(|| TrieViolation::BrokenParentLink { node: (*c).clone() })?;
+                    if child.father.as_ref() != Some(&node.label) {
+                        return Err(TrieViolation::BrokenParentLink { node: (*c).clone() });
+                    }
+                    if !node.label.is_proper_prefix_of(c) {
+                        return Err(TrieViolation::ChildNotExtension {
+                            parent: node.label.clone(),
+                            child: (*c).clone(),
+                        });
+                    }
+                }
+                for (i, a) in children.iter().enumerate() {
+                    for b in &children[i + 1..] {
+                        if a.gcp_len(b) != node.label.len() {
+                            return Err(TrieViolation::PairGcpMismatch {
+                                parent: node.label.clone(),
+                                a: (*a).clone(),
+                                b: (*b).clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the sequential oracle for the currently registered keys.
+    /// A correct overlay has exactly the oracle's node labels.
+    pub fn oracle(&self) -> PgcpTrie {
+        let mut t = PgcpTrie::new();
+        for k in self.registered_keys() {
+            t.insert(k);
+        }
+        t
+    }
+
+    /// Closes the current time unit: every peer's capacity counter
+    /// resets and every node's offered load is archived for the
+    /// balancers (Section 3.3's "recent history").
+    pub fn end_time_unit(&mut self) {
+        for shard in self.shards.values_mut() {
+            shard.peer.roll_unit();
+            for node in shard.nodes.values_mut() {
+                node.roll_unit();
+            }
+        }
+    }
+}
+
+/// Per-kind delivery counters. Free functions over the stats struct
+/// alone, so the dispatch hot path can update counters while a shard
+/// borrow is live.
+pub(crate) fn count_node_msg(stats: &mut SystemStats, m: &NodeMsg) {
+    match m {
+        NodeMsg::PeerJoin { .. } => stats.join_messages += 1,
+        NodeMsg::DataInsertion { .. }
+        | NodeMsg::UpdateChild { .. }
+        | NodeMsg::DataRemoval { .. }
+        | NodeMsg::RemoveChild { .. }
+        | NodeMsg::SetFather { .. } => stats.insert_messages += 1,
+        NodeMsg::SearchingHost { .. } => stats.host_messages += 1,
+        NodeMsg::Discovery(_) => stats.discovery_messages += 1,
+    }
+}
+
+pub(crate) fn count_message(stats: &mut SystemStats, msg: &Message) {
+    match msg {
+        Message::Node(m) => count_node_msg(stats, m),
+        Message::Peer(PeerMsg::Host { .. }) => stats.host_messages += 1,
+        Message::Peer(PeerMsg::TakeOver { .. }) => stats.maintenance_messages += 1,
+        Message::Peer(_) => stats.join_messages += 1,
+        Message::ClientResponse(_) => {}
+    }
+}
+
+/// Replication traffic (`protocol::repair`) — counted in
+/// [`ReplicationStats`], never in [`SystemStats`].
+fn is_replication_msg(msg: &Message) -> bool {
+    matches!(
+        msg,
+        Message::Peer(
+            PeerMsg::SyncReplicas { .. }
+                | PeerMsg::Replicate { .. }
+                | PeerMsg::DropReplica { .. }
+                | PeerMsg::PromoteReplica { .. }
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> Key {
+        Key::from(s)
+    }
+
+    fn cached_engine(capacity: usize) -> Engine {
+        let mut e = Engine::new(EngineConfig {
+            cache_capacity: capacity,
+            ..EngineConfig::default()
+        });
+        e.add_local_shard(k("P1"), 100);
+        e.add_local_shard(k("P2"), 100);
+        e
+    }
+
+    #[test]
+    fn fifo_transport_preserves_order() {
+        let mut t = FifoTransport::default();
+        t.deliver(Envelope::to_peer(
+            k("A"),
+            PeerMsg::UpdateSuccessor { succ: k("B") },
+        ));
+        t.broadcast(
+            [k("B"), k("C")]
+                .into_iter()
+                .map(|p| Envelope::to_peer(p, PeerMsg::UpdateSuccessor { succ: k("X") })),
+        );
+        let order: Vec<Address> = t.queue.iter().map(|(_, e)| e.to.clone()).collect();
+        assert_eq!(
+            order,
+            vec![
+                Address::peer(k("A")),
+                Address::peer(k("B")),
+                Address::peer(k("C"))
+            ]
+        );
+        assert_eq!(t.now(), 0);
+    }
+
+    /// Regression for the reordered-invalidation hazard the epoch guard
+    /// exists for: an eager `InvalidateCached` broadcast that is
+    /// delivered *after* the same label was re-learned at a fresher
+    /// epoch must spare the fresher shortcut — while an invalidation
+    /// carrying the current (or a later) epoch evicts it.
+    #[test]
+    fn reordered_invalidation_spares_fresher_relearned_entries() {
+        let mut e = cached_engine(8);
+        // A live label at some epoch, with a learned shortcut on P1.
+        e.directory.insert(k("DGEMM"), k("P2"));
+        e.directory.bump_epoch(&k("DGEMM"));
+        let stale_epoch = e.directory.epoch_of(&k("DGEMM"));
+        // The label mutates (epoch advances) and P1 re-learns it fresh.
+        e.directory.bump_epoch(&k("DGEMM"));
+        let fresh = cache::learned_shortcut(&e.directory, &k("DGEMM")).expect("live");
+        e.caches
+            .get_mut(&k("P1"))
+            .unwrap()
+            .insert(k("DGEMM"), fresh.clone());
+        // A delayed invalidation from before the re-learn arrives last:
+        // the epoch guard must spare the fresher entry.
+        e.deliver_invalidation(&k("P1"), &k("DGEMM"), stale_epoch);
+        assert_eq!(
+            e.caches.get_mut(&k("P1")).unwrap().hit(&k("DGEMM")),
+            Some(&fresh),
+            "reordered stale invalidation must spare the re-learned shortcut"
+        );
+        // An invalidation at the current epoch evicts.
+        let now_epoch = e.directory.epoch_of(&k("DGEMM"));
+        e.deliver_invalidation(&k("P1"), &k("DGEMM"), now_epoch);
+        assert_eq!(e.caches.get_mut(&k("P1")).unwrap().hit(&k("DGEMM")), None);
+        assert_eq!(e.cache_stats.invalidations_delivered, 2);
+    }
+
+    /// The same guard exercised through the wire path every runtime
+    /// shares: `InvalidateCached` envelopes delivered through
+    /// [`Engine::deliver`] terminate at the engine-owned caches.
+    #[test]
+    fn invalidation_envelopes_terminate_at_the_engine_caches() {
+        let mut e = cached_engine(8);
+        e.directory.insert(k("DGEMM"), k("P2"));
+        let sc = cache::learned_shortcut(&e.directory, &k("DGEMM")).expect("live");
+        e.caches.get_mut(&k("P1")).unwrap().insert(k("DGEMM"), sc);
+        let epoch = e.directory.epoch_of(&k("DGEMM"));
+        let mut t = FifoTransport::default();
+        let step = e
+            .deliver(
+                &mut t,
+                Envelope::to_peer(
+                    k("P1"),
+                    PeerMsg::InvalidateCached {
+                        label: k("DGEMM"),
+                        epoch,
+                    },
+                ),
+            )
+            .unwrap();
+        assert!(matches!(step, Step::Done));
+        assert_eq!(e.cache_stats.invalidations_delivered, 1);
+        assert_eq!(e.caches.get_mut(&k("P1")).unwrap().hit(&k("DGEMM")), None);
+        // Unknown peers requeue, exactly like any peer-addressed frame.
+        let step = e
+            .deliver(
+                &mut t,
+                Envelope::to_peer(
+                    k("NOPE"),
+                    PeerMsg::InvalidateCached {
+                        label: k("DGEMM"),
+                        epoch,
+                    },
+                ),
+            )
+            .unwrap();
+        assert!(matches!(step, Step::Requeue(_)));
+    }
+
+    #[test]
+    fn membership_tracks_shards_and_caches() {
+        let mut e = cached_engine(4);
+        assert_eq!(e.peer_count(), 2);
+        assert!(e.contains_peer(&k("P1")));
+        assert_eq!(e.peer_ids(), vec![k("P1"), k("P2")]);
+        let shard = e.remove_member(&k("P1")).expect("shard returned");
+        assert_eq!(shard.peer.id, k("P1"));
+        assert_eq!(e.peer_count(), 1);
+        // Remote membership: no shard, but a cache and a broadcast slot.
+        e.add_member(k("P9"));
+        assert!(e.contains_peer(&k("P9")));
+        assert!(e.shard(&k("P9")).is_none());
+        assert!(e.remove_member(&k("P9")).is_none());
+    }
+}

@@ -34,6 +34,7 @@ pub mod alphabet;
 pub mod balance;
 pub mod cache;
 pub mod directory;
+pub mod engine;
 pub mod error;
 pub mod key;
 pub mod mapping;
@@ -49,6 +50,7 @@ pub mod trie;
 pub use alphabet::Alphabet;
 pub use balance::{KChoices, LoadBalancer, MaxLocalThroughput, NoBalancing};
 pub use cache::{CacheStats, RouteCache, Shortcut};
+pub use engine::{parallel::ParallelPump, Engine, EngineConfig, FifoTransport, Step, Transport};
 pub use error::{DlptError, Result};
 pub use key::Key;
 pub use messages::{Address, Envelope, Message, NodeMsg, PeerMsg, QueryKind};

@@ -12,7 +12,6 @@
 //! synchronous pump, the discrete-event simulator and the threaded
 //! runtime.
 
-use crate::cache::RouteCache;
 use crate::key::Key;
 use crate::node::NodeState;
 use std::collections::BTreeMap;
@@ -87,12 +86,12 @@ pub struct PeerShard {
     /// (replication extension, `protocol::repair`). Kept apart from
     /// `nodes` so every single-copy invariant — mapping, tree links,
     /// registered-key enumeration — is untouched by replication.
+    ///
+    /// Routing-shortcut caches are *not* shard state: the engine owns
+    /// them per peer (`crate::engine`), because a peer's shard may run
+    /// on another thread while its entry-point cache must stay with
+    /// whoever admits requests.
     pub replicas: BTreeMap<Key, NodeState>,
-    /// Routing shortcuts this peer has learned from completed
-    /// discoveries (caching extension, `crate::cache`). Created with
-    /// capacity 0 — fully inert — until the runtime configures a
-    /// capacity.
-    pub cache: RouteCache,
 }
 
 impl PeerShard {
@@ -102,7 +101,6 @@ impl PeerShard {
             peer: PeerState::solitary(id, capacity),
             nodes: BTreeMap::new(),
             replicas: BTreeMap::new(),
-            cache: RouteCache::new(0),
         }
     }
 

@@ -114,8 +114,10 @@ pub fn handle_peer_msg(shard: &mut PeerShard, msg: PeerMsg, fx: &mut Effects) {
         }
         PeerMsg::DropReplica { label } => repair::on_drop_replica(shard, &label),
         PeerMsg::PromoteReplica { label } => repair::on_promote_replica(shard, &label, fx),
-        PeerMsg::InvalidateCached { label, epoch } => {
-            shard.cache.invalidate_label(&label, epoch);
+        PeerMsg::InvalidateCached { .. } => {
+            // Route-cache invalidation terminates at the engine, which
+            // owns every per-peer cache (`crate::engine`) and applies
+            // the epoch guard there; a shard has nothing to invalidate.
         }
     }
 }

@@ -1,34 +1,33 @@
-//! The synchronous DLPT runtime: all shards in one process, one FIFO
-//! message pump.
+//! The synchronous DLPT runtime: a thin facade over the unified
+//! [`crate::engine`] with an immediate-FIFO transport.
 //!
-//! [`DlptSystem`] owns every peer shard, a delivery directory
-//! (node label → hosting peer) and a message queue. Protocol logic
-//! lives entirely in [`crate::protocol`]; this runtime only routes
-//! envelopes, charges discovery capacity at delivery (Section 4's
-//! model) and aggregates scatter/gather responses. Processing is
-//! strictly FIFO and all randomness comes from one seeded generator, so
-//! every run is a pure function of (operations, seed) — the property
-//! the experiment harness relies on for its 30/50/100-run averages.
+//! [`DlptSystem`] owns an [`Engine`] (per-peer shards, delivery
+//! directory, route caches, replication bookkeeping — see the engine
+//! docs) plus the pieces that make the runtime *synchronous*: one
+//! seeded RNG, a strict FIFO queue ([`FifoTransport`]) and a drain
+//! loop that runs every operation to quiescence before returning.
+//! Protocol logic lives entirely in [`crate::protocol`]; envelope
+//! dispatch, capacity charging (Section 4's model) and scatter/gather
+//! aggregation live in the engine, shared with the asynchronous
+//! runtimes in `dlpt-net`. Processing is strictly FIFO and all
+//! randomness comes from one seeded generator, so every run is a pure
+//! function of (operations, seed) — the property the experiment
+//! harness relies on for its 30/50/100-run averages.
 
 use crate::alphabet::Alphabet;
-use crate::cache::{self, CacheStats, Shortcut};
-use crate::directory::Directory;
+use crate::engine::{
+    empty_outcome, parallel::ParallelPump, Engine, EngineConfig, FifoTransport, Step,
+};
 use crate::error::{DlptError, Result};
 use crate::key::Key;
-use crate::mapping::MappingViolation;
-use crate::messages::NodeSeed;
-use crate::messages::{
-    Address, DiscoveryMsg, DiscoveryOutcome, Envelope, Message, NodeMsg, PeerMsg, QueryKind,
-};
-use crate::metrics::SystemStats;
+use crate::messages::{Address, Envelope, NodeMsg, QueryKind};
 use crate::node::NodeState;
-use crate::peer::PeerShard;
-use crate::protocol::{self, discovery, maintenance, repair, Effects};
-use crate::replication::{AntiEntropyReport, ReplicationStats};
-use crate::trie::{PgcpTrie, TrieViolation};
+use crate::replication::AntiEntropyReport;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::collections::{BTreeMap, VecDeque};
+
+pub use crate::engine::LookupOutcome;
 
 /// Tunables of the runtime.
 #[derive(Debug, Clone)]
@@ -148,53 +147,6 @@ impl SystemBuilder {
     }
 }
 
-/// Result of a completed discovery request, as seen by the client.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LookupOutcome {
-    /// The paper's satisfaction criterion: the request reached its
-    /// final destination (and, for exact queries, the key was
-    /// registered there), with no visit ignored for lack of capacity.
-    pub satisfied: bool,
-    /// Exact queries: whether the key was found. Range/completion:
-    /// whether the region was reached.
-    pub found: bool,
-    /// True iff any visit was ignored by an exhausted peer.
-    pub dropped: bool,
-    /// Matching keys, sorted.
-    pub results: Vec<Key>,
-    /// Node labels along the up/down route (entry first).
-    pub path: Vec<Key>,
-    /// Hosting peer of each `path` entry at completion time.
-    pub host_path: Vec<Key>,
-    /// Extra node visits performed by the scatter phase of
-    /// range/completion queries.
-    pub gather_visits: usize,
-}
-
-impl LookupOutcome {
-    /// Tree edges traversed on the up/down route.
-    pub fn logical_hops(&self) -> usize {
-        self.path.len().saturating_sub(1)
-    }
-
-    /// Physical messages on the up/down route: consecutive visits
-    /// hosted by different peers (the quantity of Figure 9).
-    pub fn physical_hops(&self) -> usize {
-        self.host_path.windows(2).filter(|w| w[0] != w[1]).count()
-    }
-}
-
-/// Aggregation state of one in-flight request.
-#[derive(Debug)]
-struct GatherAgg {
-    outstanding: i64,
-    satisfied: bool,
-    dropped: bool,
-    results: Vec<Key>,
-    best_path: Vec<Key>,
-    responses: usize,
-}
-
 /// A report of what [`DlptSystem::repair_tree`] did after crashes.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RepairReport {
@@ -207,62 +159,50 @@ pub struct RepairReport {
 }
 
 /// The whole overlay in one process. See the module docs.
+///
+/// Dereferences to the underlying [`Engine`], so introspection
+/// (`peer_count`, `node_labels`, `host_of`, …), the invariant checks
+/// and the `stats` / `repl_stats` / `cache_stats` counters are the
+/// engine's — shared verbatim with the asynchronous runtimes.
 #[derive(Debug)]
 pub struct DlptSystem {
     config: SystemConfig,
     rng: StdRng,
-    pub(crate) shards: BTreeMap<Key, PeerShard>,
-    /// node label → hosting peer id (interned, incrementally ordered —
-    /// subsumes the full-rebuild `node_cache` the runtime used to keep
-    /// for uniform node sampling).
-    pub(crate) directory: Directory,
-    queue: VecDeque<(u32, Envelope)>,
-    gathers: BTreeMap<u64, GatherAgg>,
-    finished: BTreeMap<u64, LookupOutcome>,
-    next_request: u64,
-    root: Option<Key>,
-    /// Reused effect buffers: one dispatch allocates nothing once the
-    /// vectors have grown to the workload's high-water mark.
-    scratch: Effects,
-    /// Labels whose state changed during the current drain and whose
-    /// replicas must be refreshed (`k > 1` only; stays empty and
-    /// untouched at `k = 1`).
-    touched: Vec<Key>,
-    /// `(label, follower)` pairs whose copies must be garbage-collected
-    /// because the node dissolved (`k > 1` only).
-    dropped_replicas: Vec<(Key, Key)>,
+    engine: Engine,
+    /// The immediate-FIFO queue this runtime drains to quiescence.
+    pump: FifoTransport,
     debug_drain: bool,
-    /// Runtime counters.
-    pub stats: SystemStats,
-    /// Replication counters (all zero at `k = 1`; kept out of
-    /// [`SystemStats`] so the unreplicated golden fingerprint is
-    /// byte-identical).
-    pub repl_stats: ReplicationStats,
-    /// Caching counters (all zero at capacity 0; kept out of
-    /// [`SystemStats`] for the same golden-fingerprint reason).
-    pub cache_stats: CacheStats,
+}
+
+impl std::ops::Deref for DlptSystem {
+    type Target = Engine;
+    fn deref(&self) -> &Engine {
+        &self.engine
+    }
+}
+
+impl std::ops::DerefMut for DlptSystem {
+    fn deref_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
 }
 
 impl DlptSystem {
     /// Creates an empty system.
     pub fn new(config: SystemConfig, seed: u64) -> Self {
+        let engine = Engine::new(EngineConfig {
+            replication: config.replication,
+            cache_capacity: config.cache_capacity,
+            charge_capacity: true,
+            judge_at_quiescence: false,
+            eager_replication: true,
+        });
         DlptSystem {
-            config,
             rng: StdRng::seed_from_u64(seed),
-            shards: BTreeMap::new(),
-            directory: Directory::new(),
-            queue: VecDeque::new(),
-            gathers: BTreeMap::new(),
-            finished: BTreeMap::new(),
-            next_request: 1,
-            root: None,
-            scratch: Effects::default(),
-            touched: Vec::new(),
-            dropped_replicas: Vec::new(),
+            engine,
+            pump: FifoTransport::default(),
             debug_drain: std::env::var_os("DLPT_DEBUG_DRAIN").is_some(),
-            stats: SystemStats::default(),
-            repl_stats: ReplicationStats::default(),
-            cache_stats: CacheStats::default(),
+            config,
         }
     }
 
@@ -276,128 +216,27 @@ impl DlptSystem {
         &self.config
     }
 
-    // ------------------------------------------------------------------
-    // Introspection
-    // ------------------------------------------------------------------
-
-    /// Number of peers in the ring.
-    pub fn peer_count(&self) -> usize {
-        self.shards.len()
+    /// Reconfigures the replication factor `k` (clamped to ≥ 1),
+    /// keeping [`SystemConfig`] and the engine in sync. Shadows the
+    /// engine's setter so `config()` never reports a stale knob.
+    pub fn set_replication(&mut self, k: usize) {
+        self.config.replication = k.max(1);
+        self.engine.set_replication(k);
     }
 
-    /// Number of logical tree nodes.
-    pub fn node_count(&self) -> usize {
-        self.directory.len()
-    }
-
-    /// Peer identifiers in ring order.
-    pub fn peer_ids(&self) -> Vec<Key> {
-        self.shards.keys().cloned().collect()
-    }
-
-    /// All node labels, ascending.
-    pub fn node_labels(&self) -> Vec<Key> {
-        self.directory.labels().cloned().collect()
-    }
-
-    /// Borrow a peer shard.
-    pub fn shard(&self, id: &Key) -> Option<&PeerShard> {
-        self.shards.get(id)
-    }
-
-    /// The peer hosting node `label`, per the delivery directory.
-    pub fn host_of(&self, label: &Key) -> Option<&Key> {
-        self.directory.host_of(label)
-    }
-
-    /// The peer the mapping rule designates for `label`:
-    /// `min {P : P >= label}`, wrapping to the minimum — answered
-    /// directly over the ordered shard map, with no peer-set cloning.
-    pub fn host_peer(&self, label: &Key) -> Option<&Key> {
-        self.shards
-            .range::<Key, _>(label..)
-            .next()
-            .map(|(k, _)| k)
-            .or_else(|| self.shards.keys().next())
-    }
-
-    /// Ring predecessor of `id` over the current peer set (wrapping).
-    fn ring_pred(&self, id: &Key) -> Option<&Key> {
-        self.shards
-            .range::<Key, _>(..id)
-            .next_back()
-            .map(|(k, _)| k)
-            .or_else(|| self.shards.keys().next_back())
-    }
-
-    /// Ring successor of `id` over the current peer set (wrapping).
-    fn ring_succ(&self, id: &Key) -> Option<&Key> {
-        use std::ops::Bound;
-        self.shards
-            .range::<Key, _>((Bound::Excluded(id), Bound::Unbounded))
-            .next()
-            .map(|(k, _)| k)
-            .or_else(|| self.shards.keys().next())
-    }
-
-    /// Borrow a node's state wherever it is hosted.
-    pub fn node(&self, label: &Key) -> Option<&NodeState> {
-        let host = self.directory.host_of(label)?;
-        self.shards.get(host)?.nodes.get(label)
-    }
-
-    /// Label of the current tree root.
-    pub fn root(&self) -> Option<&Key> {
-        self.root.as_ref()
-    }
-
-    /// Depth of every live node (root = 0), via memoized father-link
-    /// walks — O(nodes) for the whole map. Feeds the per-depth visit
-    /// histogram ([`crate::metrics::DepthHistogram`]) the experiment
-    /// harness uses to show where routing load lands in the tree.
-    pub fn depth_map(&self) -> BTreeMap<Key, u32> {
-        let mut depths: BTreeMap<Key, u32> = BTreeMap::new();
-        for shard in self.shards.values() {
-            for node in shard.nodes.values() {
-                self.depth_into(&node.label, &mut depths);
-            }
-        }
-        depths
-    }
-
-    fn depth_into(&self, label: &Key, depths: &mut BTreeMap<Key, u32>) -> u32 {
-        if let Some(&d) = depths.get(label) {
-            return d;
-        }
-        let d = match self.node(label).and_then(|n| n.father.as_ref()) {
-            None => 0,
-            Some(f) => self.depth_into(f, depths) + 1,
-        };
-        depths.insert(label.clone(), d);
-        d
-    }
-
-    /// Every registered service key, ascending.
-    pub fn registered_keys(&self) -> Vec<Key> {
-        let mut out = Vec::new();
-        for shard in self.shards.values() {
-            for node in shard.nodes.values() {
-                out.extend(node.data.iter().cloned());
-            }
-        }
-        out.sort();
-        out
+    /// Reconfigures the per-peer routing-shortcut cache capacity
+    /// (0 = off) for existing peers and every peer joining later,
+    /// keeping [`SystemConfig`] and the engine in sync.
+    pub fn set_cache_capacity(&mut self, n: usize) {
+        self.config.cache_capacity = n;
+        self.engine.set_cache_capacity(n);
     }
 
     /// A uniformly random node label (the "random node of the tree"
     /// every request and registration enters through). O(1) over the
     /// directory's sorted table — no cache to rebuild.
     pub fn random_node(&mut self) -> Option<Key> {
-        if self.directory.is_empty() {
-            return None;
-        }
-        let i = self.rng.gen_range(0..self.directory.len());
-        Some(self.directory.label_at(i).clone())
+        self.engine.random_node(&mut self.rng)
     }
 
     /// Draws a fresh peer identifier not colliding with existing ones.
@@ -407,7 +246,7 @@ impl DlptSystem {
                 .config
                 .alphabet
                 .random_id(&mut self.rng, self.config.peer_id_len);
-            if !self.shards.contains_key(&id) {
+            if !self.engine.contains_peer(&id) {
                 return id;
             }
         }
@@ -435,44 +274,15 @@ impl DlptSystem {
     /// already populated.
     pub fn add_peer_with_id(&mut self, id: Key, capacity: u32) -> Result<()> {
         self.config.alphabet.validate(&id)?;
-        if self.shards.contains_key(&id) {
+        if self.engine.contains_peer(&id) {
             return Err(DlptError::DuplicatePeer(id.to_string()));
         }
-        let mut shard = PeerShard::new(id.clone(), capacity);
-        shard.cache.set_capacity(self.config.cache_capacity);
-        if self.shards.is_empty() {
-            self.shards.insert(id, shard);
+        self.engine.add_local_shard(id.clone(), capacity);
+        if self.engine.peer_count() == 1 {
             return Ok(());
         }
-        self.shards.insert(id.clone(), shard);
-        let entry = self.random_node();
-        match entry {
-            Some(node) => {
-                // The normal path: route <PeerJoin, P, 0> through the
-                // tree from a random node.
-                self.enqueue(Envelope::to_node(
-                    node,
-                    NodeMsg::PeerJoin {
-                        joining: id,
-                        phase: crate::messages::JoinPhase::Up,
-                    },
-                ));
-            }
-            None => {
-                // No tree yet: contact an arbitrary peer and let the
-                // ring walk of Algorithm 2 place us.
-                let contact = self
-                    .shards
-                    .keys()
-                    .find(|k| **k != id)
-                    .cloned()
-                    .expect("at least one other peer");
-                self.enqueue(Envelope::to_peer(
-                    contact,
-                    PeerMsg::NewPredecessor { joining: id },
-                ));
-            }
-        }
+        let env = self.engine.join_envelope(&id, &mut self.rng);
+        self.enqueue(env);
         self.drain()?;
         self.flush_replication()
     }
@@ -480,28 +290,7 @@ impl DlptSystem {
     /// Graceful departure: the peer hands its nodes to its successor
     /// and splices itself out (Section 4's churn model).
     pub fn leave_peer(&mut self, id: &Key) -> Result<()> {
-        let mut shard = self
-            .shards
-            .remove(id)
-            .ok_or_else(|| DlptError::UnknownPeer(id.to_string()))?;
-        if self.shards.is_empty() {
-            // Last peer: the overlay disappears with it.
-            self.directory.clear();
-            self.root = None;
-            return Ok(());
-        }
-        let mut fx = std::mem::take(&mut self.scratch);
-        maintenance::leave(&mut shard, &mut fx);
-        self.stats.maintenance_messages += fx.out.len() as u64;
-        if self.config.replication > 1 {
-            // The departing peer's follower copies vanish with it; its
-            // hand-off therefore also kicks the affected primaries to
-            // re-clone, so a graceful leave never opens a
-            // single-failure data-loss window.
-            self.touched.extend(shard.replicas.keys().cloned());
-        }
-        self.apply_effects(&mut fx);
-        self.scratch = fx;
+        self.engine.leave_shard(id, &mut self.pump)?;
         self.drain()?;
         self.flush_replication()
     }
@@ -514,68 +303,7 @@ impl DlptSystem {
     /// the *lost* nodes. Call [`DlptSystem::repair_tree`] afterwards to
     /// re-attach any orphaned subtrees.
     pub fn crash_peer(&mut self, id: &Key) -> Result<Vec<Key>> {
-        let shard = self
-            .shards
-            .remove(id)
-            .ok_or_else(|| DlptError::UnknownPeer(id.to_string()))?;
-        let hosted: Vec<Key> = shard.nodes.keys().cloned().collect();
-        if self.shards.is_empty() {
-            // Last peer: the overlay disappears with it.
-            self.directory.clear();
-            self.root = None;
-            self.stats.nodes_lost += hosted.len() as u64;
-            if self.config.replication > 1 {
-                self.repl_stats.unrecoverable_nodes += hosted.len() as u64;
-            }
-            return Ok(hosted);
-        }
-        // Failure-detector stand-in: neighbours notice and heal.
-        let (pred, succ) = (shard.peer.pred.clone(), shard.peer.succ.clone());
-        if let Some(p) = self.shards.get_mut(&pred) {
-            p.peer.succ = if succ == *id {
-                pred.clone()
-            } else {
-                succ.clone()
-            };
-        }
-        if let Some(s) = self.shards.get_mut(&succ) {
-            s.peer.pred = if pred == *id {
-                succ.clone()
-            } else {
-                pred.clone()
-            };
-        }
-        // Failover: promote surviving follower copies; lose the rest.
-        let mut lost = Vec::new();
-        for label in hosted {
-            if self.config.replication > 1 && self.promote_label(&label) {
-                self.repl_stats.promotions += 1;
-            } else {
-                self.directory.remove(&label);
-                if self.config.replication > 1 {
-                    self.repl_stats.unrecoverable_nodes += 1;
-                }
-                lost.push(label);
-            }
-        }
-        self.stats.nodes_lost += lost.len() as u64;
-        if self
-            .root
-            .as_ref()
-            .map(|r| lost.contains(r))
-            .unwrap_or(false)
-        {
-            self.root = None;
-        }
-        Ok(lost)
-    }
-
-    /// Moves a surviving follower copy of `label` onto the peer the
-    /// mapping rule now designates (usually the copy's own holder: the
-    /// first follower *is* the crashed primary's ring successor).
-    /// Returns false when no live copy exists.
-    fn promote_label(&mut self, label: &Key) -> bool {
-        repair::promote_from_followers(&mut self.shards, &mut self.directory, label)
+        self.engine.crash_shard(id)
     }
 
     // ------------------------------------------------------------------
@@ -596,10 +324,10 @@ impl DlptSystem {
     pub fn insert_data_at(&mut self, entry: &Key, key: impl Into<Key>) -> Result<()> {
         let key = key.into();
         self.config.alphabet.validate(&key)?;
-        if self.shards.is_empty() {
+        if self.engine.peer_count() == 0 {
             return Err(DlptError::EmptyRing);
         }
-        if !self.directory.contains(entry) {
+        if !self.engine.directory.contains(entry) {
             return Err(DlptError::UnknownNode(entry.to_string()));
         }
         self.enqueue(Envelope::to_node(
@@ -615,19 +343,20 @@ impl DlptSystem {
     /// yet).
     fn insert_first(&mut self, key: Key) -> Result<()> {
         self.config.alphabet.validate(&key)?;
-        if self.shards.is_empty() {
+        if self.engine.peer_count() == 0 {
             return Err(DlptError::EmptyRing);
         }
-        let host = self.host_peer(&key).expect("non-empty ring").clone();
+        let host = self.engine.host_peer(&key).expect("non-empty ring").clone();
         let mut node = NodeState::new(key.clone());
         node.data.insert(key.clone());
-        self.shards
+        self.engine
+            .shards
             .get_mut(&host)
             .expect("host exists")
             .install(node);
-        self.directory.insert(key.clone(), host);
-        self.mark_touched(&key);
-        self.root = Some(key);
+        self.engine.directory.insert(key.clone(), host);
+        self.engine.mark_touched(&key);
+        self.engine.root = Some(key);
         self.flush_replication()
     }
 
@@ -636,7 +365,7 @@ impl DlptSystem {
     /// the overlay keeps converging to the sequential oracle of the
     /// remaining keys. No-op if the key is absent.
     pub fn remove_data(&mut self, key: &Key) -> Result<()> {
-        if self.shards.is_empty() {
+        if self.engine.peer_count() == 0 {
             return Err(DlptError::EmptyRing);
         }
         let Some(entry) = self.random_node() else {
@@ -648,7 +377,7 @@ impl DlptSystem {
         ));
         self.drain()?;
         self.flush_replication()?;
-        if self.root.is_none() {
+        if self.engine.root().is_none() {
             self.recompute_root();
         }
         Ok(())
@@ -663,78 +392,36 @@ impl DlptSystem {
 
     /// Issues a discovery request from a chosen entry node.
     ///
-    /// When caching is on (`cache_capacity > 0`) the entry node's
-    /// hosting peer — the overlay's access point for this request —
-    /// consults its [`crate::cache::RouteCache`] for the query target
-    /// first: a hit whose label is still live at the recorded epoch
-    /// skips the whole upward climb and delivers the request straight
-    /// to the covering node in `Down` phase; a stale hit is evicted
-    /// and the request falls back to the normal up/down route, so
-    /// results never depend on cache freshness. Satisfied exact
-    /// queries teach the entry peer a fresh shortcut on the way out.
+    /// Cache consultation, shortcut learning and scatter/gather
+    /// aggregation are the engine's — see
+    /// [`Engine::begin_request`] for the route-cache flow.
     pub fn request_from(&mut self, entry: &Key, query: QueryKind) -> Result<LookupOutcome> {
-        if !self.directory.contains(entry) {
-            return Err(DlptError::UnknownNode(entry.to_string()));
-        }
-        let id = self.next_request;
-        self.next_request += 1;
-        self.gathers.insert(
-            id,
-            GatherAgg {
-                outstanding: 1,
-                satisfied: true,
-                dropped: false,
-                results: Vec::new(),
-                best_path: Vec::new(),
-                responses: 0,
-            },
-        );
-        let caching = self.config.cache_capacity > 0;
-        // (target, entry host) to teach after a satisfied exact query.
-        let mut learn: Option<(Key, Key)> = None;
-        let mut shortcut: Option<Shortcut> = None;
-        if caching {
-            let target = query.target();
-            let host = self
-                .directory
-                .host_of(entry)
-                .cloned()
-                .expect("entry checked live above");
-            if let Some(s) = self.shards.get_mut(&host) {
-                shortcut = cache::consult(
-                    &mut s.cache,
-                    &self.directory,
-                    &target,
-                    &mut self.cache_stats,
-                );
-            }
-            if shortcut.is_none() && matches!(query, QueryKind::Exact(_)) {
-                learn = Some((target, host));
-            }
-        }
-        let env = match shortcut {
-            Some(sc) => cache::shortcut_envelope(id, query, sc),
-            None => discovery::entry_envelope(entry.clone(), id, query),
-        };
+        let (id, env) = self.engine.begin_request(entry, query)?;
         self.enqueue(env);
         self.drain()?;
-        let out = self
-            .finished
-            .remove(&id)
-            .ok_or(DlptError::Undeliverable(format!("request {id}")))?;
-        if let Some((target, host)) = learn {
-            if out.satisfied {
-                // A satisfied exact query proves the target's own node
-                // is live and owns the key: that node is the shortcut.
-                if let Some(sc) = cache::learned_shortcut(&self.directory, &target) {
-                    if let Some(s) = self.shards.get_mut(&host) {
-                        s.cache.insert(target, sc);
-                        self.cache_stats.learned += 1;
-                    }
-                }
-            }
+        self.engine
+            .take_finished(id)
+            .ok_or(DlptError::Undeliverable(format!("request {id}")))
+    }
+
+    /// Runs a batch of discovery requests through the sharded
+    /// multi-worker pump ([`crate::engine::parallel`]): entry nodes are
+    /// drawn from the system RNG exactly as [`DlptSystem::request`]
+    /// draws them, then the batch is partitioned across `workers`
+    /// workers with a deterministic round-barrier merge. Outcomes are
+    /// returned in input order; with unbounded capacity they equal the
+    /// sequential pump's.
+    pub fn discover_batch(
+        &mut self,
+        queries: Vec<QueryKind>,
+        workers: usize,
+    ) -> Result<Vec<LookupOutcome>> {
+        let mut requests = Vec::with_capacity(queries.len());
+        for query in queries {
+            let entry = self.random_node().ok_or(DlptError::EmptyTree)?;
+            requests.push((entry, query));
         }
-        Ok(out)
+        ParallelPump::new(workers).run_batch(&mut self.engine, requests)
     }
 
     /// Exact lookup of one key.
@@ -755,18 +442,6 @@ impl DlptSystem {
             .unwrap_or_else(|_| empty_outcome())
     }
 
-    /// Closes the current time unit: every peer's capacity counter
-    /// resets and every node's offered load is archived for the
-    /// balancers (Section 3.3's "recent history").
-    pub fn end_time_unit(&mut self) {
-        for shard in self.shards.values_mut() {
-            shard.peer.roll_unit();
-            for node in shard.nodes.values_mut() {
-                node.roll_unit();
-            }
-        }
-    }
-
     // ------------------------------------------------------------------
     // Load-balancing support (used by `crate::balance`)
     // ------------------------------------------------------------------
@@ -774,30 +449,7 @@ impl DlptSystem {
     /// Moves one node to another peer, updating the directory. Used by
     /// the balancers; counted as balance traffic.
     pub fn migrate_node(&mut self, label: &Key, to: &Key) -> Result<()> {
-        let from = self
-            .directory
-            .host_of(label)
-            .cloned()
-            .ok_or_else(|| DlptError::UnknownNode(label.to_string()))?;
-        if &from == to {
-            return Ok(());
-        }
-        if !self.shards.contains_key(to) {
-            return Err(DlptError::UnknownPeer(to.to_string()));
-        }
-        let node = self
-            .shards
-            .get_mut(&from)
-            .expect("directory points at live peers")
-            .evict(label)
-            .expect("directory is consistent");
-        self.shards.get_mut(to).expect("checked").install(node);
-        self.directory.insert(label.clone(), to.clone());
-        self.mark_touched(label);
-        self.stats.balance_migrations += 1;
-        // A migration stales every shortcut pointing at the old host;
-        // the balancers migrate rarely, so eager invalidation is cheap.
-        self.queue_invalidations(label);
+        self.engine.migrate_shard_node(label, to, &mut self.pump)?;
         self.drain()?;
         self.flush_replication()
     }
@@ -811,147 +463,30 @@ impl DlptSystem {
             return Ok(());
         }
         self.config.alphabet.validate(&new)?;
-        if self.shards.contains_key(&new) {
-            return Err(DlptError::DuplicatePeer(new.to_string()));
-        }
-        let mut shard = self
-            .shards
-            .remove(old)
-            .ok_or_else(|| DlptError::UnknownPeer(old.to_string()))?;
-        let (pred, succ) = (shard.peer.pred.clone(), shard.peer.succ.clone());
-        shard.peer.id = new.clone();
-        if pred == *old {
-            shard.peer.pred = new.clone();
-        }
-        if succ == *old {
-            shard.peer.succ = new.clone();
-        }
-        for label in shard.nodes.keys() {
-            self.directory.insert(label.clone(), new.clone());
-        }
-        if self.config.replication > 1 {
-            self.touched.extend(shard.nodes.keys().cloned());
-        }
-        self.shards.insert(new.clone(), shard);
-        if let Some(p) = self.shards.get_mut(&pred) {
-            if p.peer.succ == *old {
-                p.peer.succ = new.clone();
-            }
-        }
-        if let Some(s) = self.shards.get_mut(&succ) {
-            if s.peer.pred == *old {
-                s.peer.pred = new.clone();
-            }
-        }
-        self.stats.peer_renames += 1;
+        self.engine.rename_shard(old, new)?;
         self.flush_replication()
     }
 
     // ------------------------------------------------------------------
-    // Validation against the paper's invariants
+    // Replication (extension over the paper — see `protocol::repair`)
     // ------------------------------------------------------------------
 
-    /// Verifies `host(n) = min {P : P >= n}` for every node.
-    pub fn check_mapping(&self) -> std::result::Result<(), MappingViolation> {
-        for (label, actual) in self.directory.iter() {
-            let expected = self.host_peer(label).expect("ring non-empty");
-            if actual != expected {
-                return Err(MappingViolation::WrongHost {
-                    node: label.clone(),
-                    actual: actual.clone(),
-                    expected: expected.clone(),
-                });
-            }
+    /// One self-healing anti-entropy pass (`protocol::repair`): counts
+    /// nodes whose live follower set is short of `min(k - 1, |P| - 1)`,
+    /// garbage-collects stale copies, refreshes the follower
+    /// bookkeeping, then kicks every peer with `SyncReplicas` so each
+    /// re-clones its nodes along the ring. Run once per time unit to
+    /// converge the overlay back to the replication invariant after
+    /// crashes and leaves. No-op at `k = 1`.
+    pub fn anti_entropy(&mut self) -> Result<AntiEntropyReport> {
+        let (mut report, kicked) = self.engine.anti_entropy_scan(&mut self.pump);
+        if !kicked {
+            return Ok(report);
         }
-        Ok(())
-    }
-
-    /// Verifies that every peer's pred/succ links agree with the ring
-    /// order of identifiers.
-    pub fn check_ring(&self) -> std::result::Result<(), MappingViolation> {
-        for (id, shard) in &self.shards {
-            let want_pred = self.ring_pred(id).expect("non-empty");
-            let want_succ = self.ring_succ(id).expect("non-empty");
-            if &shard.peer.pred != want_pred {
-                return Err(MappingViolation::BrokenRingLink {
-                    peer: id.clone(),
-                    detail: format!("pred is {}, ring order says {}", shard.peer.pred, want_pred),
-                });
-            }
-            if &shard.peer.succ != want_succ {
-                return Err(MappingViolation::BrokenRingLink {
-                    peer: id.clone(),
-                    detail: format!("succ is {}, ring order says {}", shard.peer.succ, want_succ),
-                });
-            }
-        }
-        Ok(())
-    }
-
-    /// Verifies Definition 1 over the distributed tree: bidirectional
-    /// father/child links and pairwise-GCP labels.
-    pub fn check_tree(&self) -> std::result::Result<(), TrieViolation> {
-        for shard in self.shards.values() {
-            for node in shard.nodes.values() {
-                for d in &node.data {
-                    if d != &node.label {
-                        return Err(TrieViolation::DataLabelMismatch {
-                            node: node.label.clone(),
-                            data: d.clone(),
-                        });
-                    }
-                }
-                if let Some(f) = &node.father {
-                    let father = self
-                        .node(f)
-                        .ok_or_else(|| TrieViolation::BrokenParentLink {
-                            node: node.label.clone(),
-                        })?;
-                    if !father.children.contains(&node.label) {
-                        return Err(TrieViolation::BrokenParentLink {
-                            node: node.label.clone(),
-                        });
-                    }
-                }
-                let children: Vec<&Key> = node.children.iter().collect();
-                for c in &children {
-                    let child = self
-                        .node(c)
-                        .ok_or_else(|| TrieViolation::BrokenParentLink { node: (*c).clone() })?;
-                    if child.father.as_ref() != Some(&node.label) {
-                        return Err(TrieViolation::BrokenParentLink { node: (*c).clone() });
-                    }
-                    if !node.label.is_proper_prefix_of(c) {
-                        return Err(TrieViolation::ChildNotExtension {
-                            parent: node.label.clone(),
-                            child: (*c).clone(),
-                        });
-                    }
-                }
-                for (i, a) in children.iter().enumerate() {
-                    for b in &children[i + 1..] {
-                        if a.gcp_len(b) != node.label.len() {
-                            return Err(TrieViolation::PairGcpMismatch {
-                                parent: node.label.clone(),
-                                a: (*a).clone(),
-                                b: (*b).clone(),
-                            });
-                        }
-                    }
-                }
-            }
-        }
-        Ok(())
-    }
-
-    /// Builds the sequential oracle for the currently registered keys.
-    /// A correct overlay has exactly the oracle's node labels.
-    pub fn oracle(&self) -> PgcpTrie {
-        let mut t = PgcpTrie::new();
-        for k in self.registered_keys() {
-            t.insert(k);
-        }
-        t
+        let before = self.engine.repl_stats.replication_messages;
+        self.drain()?;
+        report.messages_sent = (self.engine.repl_stats.replication_messages - before) as usize;
+        Ok(report)
     }
 
     // ------------------------------------------------------------------
@@ -963,24 +498,28 @@ impl DlptSystem {
     /// traffic a deployment would see; see DESIGN.md.
     pub fn repair_tree(&mut self) -> RepairReport {
         let mut report = RepairReport::default();
-        let replicated = self.config.replication > 1;
         // 1. Prune children pointers to dead nodes.
-        let live: std::collections::BTreeSet<Key> = self.directory.labels().cloned().collect();
-        for shard in self.shards.values_mut() {
+        let live: std::collections::BTreeSet<Key> =
+            self.engine.directory.labels().cloned().collect();
+        let mut touched: Vec<Key> = Vec::new();
+        for shard in self.engine.shards.values_mut() {
             for node in shard.nodes.values_mut() {
                 let before = node.children.len();
                 node.children.retain(|c| live.contains(c));
-                if node.children.len() < before && replicated {
-                    self.touched.push(node.label.clone());
+                if node.children.len() < before {
+                    touched.push(node.label.clone());
                 }
                 report.pruned_links += before - node.children.len();
             }
+        }
+        for label in touched {
+            self.engine.mark_touched(&label);
         }
         // 2. Find orphans: nodes whose father is dead, plus a missing
         //    root.
         let mut orphans: Vec<Key> = Vec::new();
         let mut root: Option<Key> = None;
-        for shard in self.shards.values() {
+        for shard in self.engine.shards.values() {
             for node in shard.nodes.values() {
                 match &node.father {
                     None => root = Some(node.label.clone()),
@@ -1005,14 +544,20 @@ impl DlptSystem {
                 }
             }
         }
-        self.root = root;
-        self.stats.nodes_reattached += report.reattached as u64;
+        self.engine.root = root;
+        self.engine.stats.nodes_reattached += report.reattached as u64;
         report
     }
 
     fn set_father(&mut self, label: &Key, father: Option<Key>) {
-        let host = self.directory.host_of(label).expect("live node").clone();
+        let host = self
+            .engine
+            .directory
+            .host_of(label)
+            .expect("live node")
+            .clone();
         let node = self
+            .engine
             .shards
             .get_mut(&host)
             .expect("live")
@@ -1020,12 +565,18 @@ impl DlptSystem {
             .get_mut(label)
             .expect("live");
         node.father = father;
-        self.mark_touched(label);
+        self.engine.mark_touched(label);
     }
 
     fn add_child(&mut self, parent: &Key, child: Key) {
-        let host = self.directory.host_of(parent).expect("live node").clone();
+        let host = self
+            .engine
+            .directory
+            .host_of(parent)
+            .expect("live node")
+            .clone();
         let node = self
+            .engine
             .shards
             .get_mut(&host)
             .expect("live")
@@ -1033,12 +584,18 @@ impl DlptSystem {
             .get_mut(parent)
             .expect("live");
         node.children.insert(child);
-        self.mark_touched(parent);
+        self.engine.mark_touched(parent);
     }
 
     fn replace_child_of(&mut self, parent: &Key, old: &Key, new: Key) {
-        let host = self.directory.host_of(parent).expect("live node").clone();
+        let host = self
+            .engine
+            .directory
+            .host_of(parent)
+            .expect("live node")
+            .clone();
         let node = self
+            .engine
             .shards
             .get_mut(&host)
             .expect("live")
@@ -1046,19 +603,27 @@ impl DlptSystem {
             .get_mut(parent)
             .expect("live");
         node.replace_child(old, new);
-        self.mark_touched(parent);
+        self.engine.mark_touched(parent);
     }
 
     /// Creates a structural node directly on its mapped host (repair
     /// path only).
     fn create_structural(&mut self, label: Key, father: Option<Key>, children: Vec<Key>) {
-        let host = self.host_peer(&label).expect("non-empty ring").clone();
+        let host = self
+            .engine
+            .host_peer(&label)
+            .expect("non-empty ring")
+            .clone();
         let mut node = NodeState::new(label.clone());
         node.father = father;
         node.children = children.into_iter().collect();
-        self.shards.get_mut(&host).expect("live").install(node);
-        self.mark_touched(&label);
-        self.directory.insert(label, host);
+        self.engine
+            .shards
+            .get_mut(&host)
+            .expect("live")
+            .install(node);
+        self.engine.mark_touched(&label);
+        self.engine.directory.insert(label, host);
     }
 
     /// Walks from `root` and links the orphan `o` (whose own subtree is
@@ -1067,7 +632,7 @@ impl DlptSystem {
     fn reattach(&mut self, root: &Key, o: &Key, root_slot: &mut Option<Key>) -> usize {
         let mut cur = root.clone();
         loop {
-            let node = self.node(&cur).expect("walk stays on live nodes");
+            let node = self.engine.node(&cur).expect("walk stays on live nodes");
             let label = node.label.clone();
             if &label == o {
                 // The orphan *is* this label — can't happen (labels are
@@ -1126,275 +691,12 @@ impl DlptSystem {
     // ------------------------------------------------------------------
 
     fn enqueue(&mut self, env: Envelope) {
-        self.queue.push_back((0, env));
-    }
-
-    /// Applies (and drains) the effect buffers, leaving `fx` empty with
-    /// its capacity intact so callers can reuse it allocation-free.
-    fn apply_effects(&mut self, fx: &mut Effects) {
-        let replicated = self.config.replication > 1;
-        for (label, host) in fx.relocated.drain(..) {
-            if replicated {
-                self.touched.push(label.clone());
-            }
-            self.directory.insert(label, host);
-        }
-        for label in fx.removed.drain(..) {
-            if replicated {
-                // The node dissolved: schedule its copies for GC.
-                let followers: Vec<Key> = self.directory.followers_of(&label).cloned().collect();
-                for f in followers {
-                    self.dropped_replicas.push((label.clone(), f));
-                }
-            }
-            self.directory.remove(&label);
-            // Dissolution is the cheap eager-invalidation case: every
-            // shortcut through the dead label is now a guaranteed
-            // stale hit, so broadcasting beats paying the fallback.
-            self.queue_invalidations(&label);
-            if self.root.as_ref() == Some(&label) {
-                self.root = None; // recomputed after the drain
-            }
-        }
-        for env in fx.out.drain(..) {
-            self.enqueue(env);
-        }
-    }
-
-    /// Records that `label`'s state changed and its replicas are stale
-    /// (no-op at `k = 1`).
-    fn mark_touched(&mut self, label: &Key) {
-        if self.config.replication > 1 {
-            self.touched.push(label.clone());
-        }
-    }
-
-    /// Broadcasts [`PeerMsg::InvalidateCached`] for `label` to every
-    /// live peer (no-op with caching off). Called where eager
-    /// invalidation is cheap — dissolutions and migrations — while the
-    /// per-hit epoch check covers everything else lazily.
-    fn queue_invalidations(&mut self, label: &Key) {
-        if self.config.cache_capacity == 0 {
-            return;
-        }
-        let epoch = self.directory.epoch_of(label);
-        let peers: Vec<Key> = self.shards.keys().cloned().collect();
-        for p in peers {
-            self.enqueue(Envelope::to_peer(
-                p,
-                PeerMsg::InvalidateCached {
-                    label: label.clone(),
-                    epoch,
-                },
-            ));
-            self.cache_stats.invalidations_sent += 1;
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Replication (extension over the paper — see `protocol::repair`)
-    // ------------------------------------------------------------------
-
-    /// Eager replica maintenance: re-clones every node touched since
-    /// the last flush onto its `k - 1` ring successors and
-    /// garbage-collects copies of dissolved nodes. Public mutating
-    /// operations call this after their drain, so replica state tracks
-    /// the data plane without waiting for the next anti-entropy pass.
-    /// No-op at `k = 1`.
-    fn flush_replication(&mut self) -> Result<()> {
-        if self.config.replication <= 1
-            || (self.touched.is_empty() && self.dropped_replicas.is_empty())
-        {
-            return Ok(());
-        }
-        let k = self.config.replication;
-        for (label, follower) in std::mem::take(&mut self.dropped_replicas) {
-            if self.shards.contains_key(&follower) {
-                self.enqueue(Envelope::to_peer(follower, PeerMsg::DropReplica { label }));
-            }
-        }
-        let mut touched = std::mem::take(&mut self.touched);
-        touched.sort();
-        touched.dedup();
-        let peers: Vec<Key> = self.shards.keys().cloned().collect();
-        for label in &touched {
-            let Some(primary) = self.directory.host_of(label).cloned() else {
-                continue; // dissolved during the same drain
-            };
-            let targets = repair::successors_of(&peers, &primary, k - 1);
-            let stale: Vec<Key> = self
-                .directory
-                .followers_of(label)
-                .filter(|f| !targets.contains(f))
-                .cloned()
-                .collect();
-            for f in stale {
-                if self.shards.contains_key(&f) {
-                    self.enqueue(Envelope::to_peer(
-                        f,
-                        PeerMsg::DropReplica {
-                            label: label.clone(),
-                        },
-                    ));
-                }
-            }
-            self.directory.set_followers(label, &targets);
-            if targets.is_empty() {
-                continue;
-            }
-            let env = {
-                let Some(shard) = self.shards.get(&primary) else {
-                    continue;
-                };
-                let Some(node) = shard.nodes.get(label) else {
-                    continue; // relocation still in flight
-                };
-                Envelope::to_peer(
-                    shard.peer.succ.clone(),
-                    PeerMsg::Replicate {
-                        primary: primary.clone(),
-                        ttl: (k - 1) as u32,
-                        seed: NodeSeed::of(node),
-                    },
-                )
-            };
-            self.enqueue(env);
-            self.repl_stats.eager_syncs += 1;
-        }
-        touched.clear();
-        self.touched = touched; // hand the capacity back
-        self.drain()
-    }
-
-    /// One self-healing anti-entropy pass (`protocol::repair`): counts
-    /// nodes whose live follower set is short of `min(k - 1, |P| - 1)`,
-    /// garbage-collects stale copies, refreshes the follower
-    /// bookkeeping, then kicks every peer with `SyncReplicas` so each
-    /// re-clones its nodes along the ring. Run once per time unit to
-    /// converge the overlay back to the replication invariant after
-    /// crashes and leaves. No-op at `k = 1`.
-    pub fn anti_entropy(&mut self) -> Result<AntiEntropyReport> {
-        let k = self.config.replication;
-        let mut report = AntiEntropyReport::default();
-        if k <= 1 || self.shards.len() <= 1 {
-            return Ok(report);
-        }
-        self.repl_stats.anti_entropy_passes += 1;
-        let peers: Vec<Key> = self.shards.keys().cloned().collect();
-        let want = (k - 1).min(peers.len() - 1);
-        // Re-plan the follower sets over the current ring, then count
-        // the labels whose *planned* followers are missing a live copy
-        // — this catches crashed followers and placement displaced by
-        // joins alike.
-        repair::refresh_follower_records(&mut self.directory, &peers, k);
-        for (label, _) in self.directory.iter() {
-            let live_copies = self
-                .directory
-                .followers_of(label)
-                .filter(|f| {
-                    self.shards
-                        .get(*f)
-                        .map(|s| s.replicas.contains_key(label))
-                        .unwrap_or(false)
-                })
-                .count();
-            if live_copies < want {
-                report.under_replicated += 1;
-            }
-        }
-        // GC copies whose label died or whose holder left the set.
-        let mut drops: Vec<(Key, Key)> = Vec::new();
-        for (pid, shard) in &self.shards {
-            for rl in shard.replicas.keys() {
-                let keep = self.directory.contains(rl)
-                    && self.directory.followers_of(rl).any(|f| f == pid);
-                if !keep {
-                    drops.push((pid.clone(), rl.clone()));
-                }
-            }
-        }
-        report.replicas_dropped = drops.len();
-        // Converged pass: in this runtime the eager flush keeps copy
-        // *content* fresh, so when every label has its full live
-        // follower set and nothing needs GC the blanket re-clone would
-        // be pure steady-state traffic — skip it. (The async runtimes
-        // have no eager path and always re-clone.)
-        if report.under_replicated == 0 && drops.is_empty() {
-            return Ok(report);
-        }
-        for (pid, label) in drops {
-            self.enqueue(Envelope::to_peer(pid, PeerMsg::DropReplica { label }));
-        }
-        for p in &peers {
-            self.enqueue(Envelope::to_peer(
-                p.clone(),
-                PeerMsg::SyncReplicas { k: k as u32 },
-            ));
-        }
-        let before = self.repl_stats.replication_messages;
-        self.drain()?;
-        report.messages_sent = (self.repl_stats.replication_messages - before) as usize;
-        Ok(report)
-    }
-
-    /// Serves a capacity-refused discovery visit from a live follower
-    /// copy, charging the follower's capacity instead. Returns the
-    /// message when no follower can serve it (the caller then counts
-    /// the drop as before).
-    fn failover_read(
-        &mut self,
-        label: &Key,
-        msg: DiscoveryMsg,
-        fx: &mut Effects,
-    ) -> Option<DiscoveryMsg> {
-        let followers: Vec<Key> = self.directory.followers_of(label).cloned().collect();
-        for f in followers {
-            let Some(shard) = self.shards.get_mut(&f) else {
-                continue;
-            };
-            if !shard.replicas.contains_key(label) || !shard.peer.try_accept() {
-                continue;
-            }
-            let node = shard.replicas.get_mut(label).expect("checked");
-            node.load += 1;
-            discovery::on_discovery_at(node, msg, fx);
-            self.repl_stats.failover_reads += 1;
-            return None;
-        }
-        Some(msg)
-    }
-
-    /// The distinct live peers currently holding a copy of `label`
-    /// (primary first, then followers in ring order). Empty when the
-    /// label is not a live node.
-    pub fn replica_hosts(&self, label: &Key) -> Vec<Key> {
-        repair::live_replica_hosts(&self.shards, &self.directory, label)
-    }
-
-    /// Verifies the replication invariant: every live node has
-    /// `min(k, |P|)` distinct live replica hosts. Trivially true at
-    /// `k = 1` (the mapping invariant covers the single copy).
-    pub fn check_replication(&self) -> std::result::Result<(), String> {
-        let k = self.config.replication;
-        if k <= 1 {
-            return Ok(());
-        }
-        let want = k.min(self.shards.len());
-        for (label, _) in self.directory.iter() {
-            let hosts = self.replica_hosts(label);
-            if hosts.len() < want {
-                return Err(format!(
-                    "node {label} has {} live replica hosts {:?}, invariant demands {want}",
-                    hosts.len(),
-                    hosts
-                ));
-            }
-        }
-        Ok(())
+        self.pump.queue.push_back((0, env));
     }
 
     fn recompute_root(&mut self) {
-        self.root = self
+        self.engine.root = self
+            .engine
             .shards
             .values()
             .flat_map(|s| s.nodes.values())
@@ -1402,12 +704,21 @@ impl DlptSystem {
             .map(|n| n.label.clone());
     }
 
-    /// Processes the queue to quiescence.
+    /// Eager replica maintenance after a mutating operation: the
+    /// engine enqueues the re-clone traffic, the pump drains it.
+    /// No-op at `k = 1`.
+    fn flush_replication(&mut self) -> Result<()> {
+        self.engine.flush_replication(&mut self.pump);
+        self.drain()
+    }
+
+    /// Processes the queue to quiescence through the engine's
+    /// dispatch.
     fn drain(&mut self) -> Result<()> {
         let debug = self.debug_drain;
         let mut trace: VecDeque<String> = VecDeque::new();
         let mut steps = 0usize;
-        while let Some((requeues, env)) = self.queue.pop_front() {
+        while let Some((requeues, env)) = self.pump.queue.pop_front() {
             steps += 1;
             if steps > self.config.drain_budget {
                 if debug {
@@ -1417,10 +728,10 @@ impl DlptSystem {
                     }
                     eprintln!("current: {env:?}");
                     if let Address::Node(l) = &env.to {
-                        if let Some(n) = self.node(l) {
+                        if let Some(n) = self.engine.node(l) {
                             eprintln!("node state: {n:?}");
                             if let Some(f) = &n.father {
-                                eprintln!("father state: {:?}", self.node(f));
+                                eprintln!("father state: {:?}", self.engine.node(f));
                             }
                         }
                     }
@@ -1435,304 +746,34 @@ impl DlptSystem {
                     trace.pop_front();
                 }
             }
-            self.dispatch(requeues, env)?;
+            match self.engine.deliver(&mut self.pump, env)? {
+                Step::Done => {}
+                Step::Requeue(env) => self.requeue(requeues, env)?,
+            }
         }
         Ok(())
     }
 
     fn requeue(&mut self, requeues: u32, env: Envelope) -> Result<()> {
         if requeues >= self.config.requeue_budget {
-            self.stats.undeliverable += 1;
-            // A lost discovery message must still resolve its request.
-            if let Message::Node(NodeMsg::Discovery(m)) = &env.msg {
-                self.client_response(DiscoveryOutcome {
-                    request_id: m.request_id,
-                    satisfied: false,
-                    dropped: true,
-                    results: Vec::new(),
-                    path: m.path.clone(),
-                    pending_children: 0,
-                });
-                return Ok(());
-            }
-            return Err(DlptError::Undeliverable(format!("{:?}", env.to)));
+            return self.engine.fail_undeliverable(env);
         }
-        self.stats.requeues += 1;
-        self.queue.push_back((requeues + 1, env));
+        self.engine.stats.requeues += 1;
+        self.pump.queue.push_back((requeues + 1, env));
         Ok(())
     }
 
-    fn count_message(&mut self, msg: &Message) {
-        count_message(&mut self.stats, msg)
-    }
-
-    fn dispatch(&mut self, requeues: u32, env: Envelope) -> Result<()> {
-        // Destructure: addresses are matched by move, so the hot path
-        // clones no `Address` (a requeue rebuilds the envelope from the
-        // owned parts).
-        let Envelope { to, msg } = env;
-        match to {
-            Address::Client(_) => {
-                if let Message::ClientResponse(outcome) = msg {
-                    self.client_response(outcome);
-                    Ok(())
-                } else {
-                    Err(DlptError::Undeliverable("client".into()))
-                }
-            }
-            Address::Peer(id) => {
-                if !self.shards.contains_key(&id) {
-                    return self.requeue(requeues, Envelope::to_address(Address::Peer(id), msg));
-                }
-                // Replication and cache traffic are counted apart so
-                // the k = 1 / cache-off system's stats stay
-                // byte-identical.
-                if is_replication_msg(&msg) {
-                    self.repl_stats.replication_messages += 1;
-                } else if is_cache_msg(&msg) {
-                    self.cache_stats.invalidations_delivered += 1;
-                } else {
-                    self.count_message(&msg);
-                }
-                // Track a freshly created root before the seed moves.
-                let new_root = match &msg {
-                    Message::Peer(PeerMsg::Host { seed }) if seed.father.is_none() => {
-                        Some(seed.label.clone())
-                    }
-                    _ => None,
-                };
-                let mut fx = std::mem::take(&mut self.scratch);
-                let shard = self.shards.get_mut(&id).expect("checked");
-                match msg {
-                    Message::Peer(m) => protocol::handle_peer_msg(shard, m, &mut fx),
-                    _ => return Err(DlptError::Undeliverable(format!("{id}"))),
-                }
-                if let Some(label) = new_root {
-                    if fx.relocated.iter().any(|(l, _)| l == &label) {
-                        self.root = Some(label);
-                    }
-                }
-                self.apply_effects(&mut fx);
-                self.scratch = fx;
-                Ok(())
-            }
-            Address::Node(label) => {
-                let Some(host) = self.directory.host_of(&label).cloned() else {
-                    return self.requeue(requeues, Envelope::to_address(Address::Node(label), msg));
-                };
-                // One shard probe serves the whole delivery: the
-                // existence check, the capacity charge and the handler
-                // run under a single borrow; requeues and capacity
-                // drops exit with the message intact.
-                enum Gate {
-                    Delivered,
-                    /// Delivered a node message that may have mutated
-                    /// the node's state (replicas must refresh).
-                    DeliveredMutation,
-                    Requeue(Message),
-                    Dropped(DiscoveryMsg),
-                }
-                let mut fx = std::mem::take(&mut self.scratch);
-                let stats = &mut self.stats;
-                let gate = match self.shards.get_mut(&host) {
-                    None => Gate::Requeue(msg),
-                    Some(shard) => match msg {
-                        // Capacity model (Section 4): a peer's capacity
-                        // bounds the requests it can process per unit,
-                        // and processing includes routing — "the upper
-                        // a node is, the more times it will be visited
-                        // by a request" is exactly what makes load
-                        // balancing matter (Section 3.3) — so every
-                        // visit charges the hosting peer one unit and
-                        // counts toward the node's offered load l_n.
-                        Message::Node(NodeMsg::Discovery(m)) => {
-                            match discovery::charge_visit(shard, &label) {
-                                // In flight between shards (hand-off
-                                // under way): try again later.
-                                discovery::ChargeOutcome::Missing => {
-                                    Gate::Requeue(Message::Node(NodeMsg::Discovery(m)))
-                                }
-                                discovery::ChargeOutcome::Accepted => {
-                                    stats.discovery_messages += 1;
-                                    discovery::on_discovery(shard, &label, m, &mut fx);
-                                    Gate::Delivered
-                                }
-                                discovery::ChargeOutcome::Dropped => Gate::Dropped(m),
-                            }
-                        }
-                        Message::Node(m) => {
-                            if shard.nodes.contains_key(&label) {
-                                count_node_msg(stats, &m);
-                                protocol::handle_node_msg(shard, &label, m, &mut fx);
-                                Gate::DeliveredMutation
-                            } else {
-                                Gate::Requeue(Message::Node(m))
-                            }
-                        }
-                        other => {
-                            self.scratch = fx;
-                            return Err(DlptError::Undeliverable(format!("{label}: {other:?}")));
-                        }
-                    },
-                };
-                match gate {
-                    Gate::Requeue(msg) => {
-                        self.scratch = fx;
-                        self.requeue(requeues, Envelope::to_address(Address::Node(label), msg))
-                    }
-                    Gate::Dropped(m) => {
-                        // Failover: a follower copy with spare capacity
-                        // can serve the read the primary refused.
-                        let m = if self.config.replication > 1 {
-                            match self.failover_read(&label, m, &mut fx) {
-                                None => {
-                                    self.apply_effects(&mut fx);
-                                    self.scratch = fx;
-                                    return Ok(());
-                                }
-                                Some(m) => m,
-                            }
-                        } else {
-                            m
-                        };
-                        self.scratch = fx;
-                        self.stats.discovery_drops += 1;
-                        let mut path = m.path;
-                        path.push(label);
-                        self.client_response(DiscoveryOutcome {
-                            request_id: m.request_id,
-                            satisfied: false,
-                            dropped: true,
-                            results: Vec::new(),
-                            path,
-                            pending_children: 0,
-                        });
-                        Ok(())
-                    }
-                    Gate::Delivered => {
-                        self.apply_effects(&mut fx);
-                        self.scratch = fx;
-                        Ok(())
-                    }
-                    Gate::DeliveredMutation => {
-                        self.mark_touched(&label);
-                        // Any non-discovery node message may have
-                        // mutated the node's structure: advance its
-                        // epoch so learned shortcuts re-validate.
-                        self.directory.bump_epoch(&label);
-                        self.apply_effects(&mut fx);
-                        self.scratch = fx;
-                        Ok(())
-                    }
-                }
-            }
-        }
-    }
-
-    fn client_response(&mut self, outcome: DiscoveryOutcome) {
-        let Some(agg) = self.gathers.get_mut(&outcome.request_id) else {
-            return; // stale response after request already finalized
-        };
-        agg.outstanding += outcome.pending_children as i64 - 1;
-        agg.satisfied &= outcome.satisfied;
-        agg.dropped |= outcome.dropped;
-        agg.responses += 1;
-        agg.results.extend(outcome.results);
-        if outcome.path.len() > agg.best_path.len() {
-            agg.best_path = outcome.path;
-        }
-        if agg.outstanding <= 0 {
-            let agg = self
-                .gathers
-                .remove(&outcome.request_id)
-                .expect("present above");
-            let mut results = agg.results;
-            results.sort();
-            results.dedup();
-            let mut host_path: Vec<Key> = Vec::with_capacity(agg.best_path.len());
-            host_path.extend(
-                agg.best_path
-                    .iter()
-                    .filter_map(|l| self.directory.host_of(l).cloned()),
-            );
-            let found = !results.is_empty() || (agg.satisfied && !agg.dropped);
-            self.finished.insert(
-                outcome.request_id,
-                LookupOutcome {
-                    satisfied: agg.satisfied && !agg.dropped,
-                    found,
-                    dropped: agg.dropped,
-                    results,
-                    gather_visits: agg.responses.saturating_sub(1),
-                    host_path,
-                    path: agg.best_path,
-                },
-            );
-        }
+    /// Depth of every live node (root = 0); see [`Engine::depth_map`].
+    pub fn depth_map(&self) -> BTreeMap<Key, u32> {
+        self.engine.depth_map()
     }
 }
-
-/// Per-kind delivery counters. Free functions over the stats struct
-/// alone, so the dispatch hot path can update counters while a shard
-/// borrow is live.
-fn count_node_msg(stats: &mut SystemStats, m: &NodeMsg) {
-    match m {
-        NodeMsg::PeerJoin { .. } => stats.join_messages += 1,
-        NodeMsg::DataInsertion { .. }
-        | NodeMsg::UpdateChild { .. }
-        | NodeMsg::DataRemoval { .. }
-        | NodeMsg::RemoveChild { .. }
-        | NodeMsg::SetFather { .. } => stats.insert_messages += 1,
-        NodeMsg::SearchingHost { .. } => stats.host_messages += 1,
-        NodeMsg::Discovery(_) => stats.discovery_messages += 1,
-    }
-}
-
-fn count_message(stats: &mut SystemStats, msg: &Message) {
-    match msg {
-        Message::Node(m) => count_node_msg(stats, m),
-        Message::Peer(PeerMsg::Host { .. }) => stats.host_messages += 1,
-        Message::Peer(PeerMsg::TakeOver { .. }) => stats.maintenance_messages += 1,
-        Message::Peer(_) => stats.join_messages += 1,
-        Message::ClientResponse(_) => {}
-    }
-}
-
-/// Replication traffic (`protocol::repair`) — counted in
-/// [`ReplicationStats`], never in [`SystemStats`].
-fn is_replication_msg(msg: &Message) -> bool {
-    matches!(
-        msg,
-        Message::Peer(
-            PeerMsg::SyncReplicas { .. }
-                | PeerMsg::Replicate { .. }
-                | PeerMsg::DropReplica { .. }
-                | PeerMsg::PromoteReplica { .. }
-        )
-    )
-}
-
-/// Cache traffic (`crate::cache`) — counted in [`CacheStats`], never
-/// in [`SystemStats`].
-fn is_cache_msg(msg: &Message) -> bool {
-    matches!(msg, Message::Peer(PeerMsg::InvalidateCached { .. }))
-}
-
-fn empty_outcome() -> LookupOutcome {
-    LookupOutcome {
-        satisfied: false,
-        found: false,
-        dropped: false,
-        results: Vec::new(),
-        path: Vec::new(),
-        host_path: Vec::new(),
-        gather_visits: 0,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::CacheStats;
+    use crate::replication::ReplicationStats;
+    use crate::trie::PgcpTrie;
 
     fn k(s: &str) -> Key {
         Key::from(s)

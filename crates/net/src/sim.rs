@@ -1,29 +1,28 @@
 //! Message-level simulation with randomized latencies.
 //!
-//! [`LatencyNet`] drives the same protocol handlers as the synchronous
-//! pump, but every envelope is delivered after a sampled delay, so
-//! messages from one operation interleave in arbitrary order. The
-//! protocol is supposed to converge to the same tree regardless — the
-//! tests here check exactly that, against the sequential oracle.
+//! [`LatencyNet`] is a thin adapter over the unified protocol engine
+//! (`dlpt_core::engine`): it owns an [`Engine`] plus a deterministic
+//! discrete-event queue, and implements the engine's `Transport` by
+//! sampling a delivery delay for every envelope — so messages from one
+//! operation interleave in arbitrary order while dispatch, effects,
+//! replication and cache invalidation run through exactly the same
+//! state machine as the synchronous pump. The protocol is supposed to
+//! converge to the same tree regardless of delivery order — the tests
+//! here check exactly that, against the sequential oracle.
 //!
-//! Peer capacity is not modelled (the experiment harness owns that
-//! concern); this runtime answers the orthogonal question "is the
-//! protocol correct under asynchrony?".
+//! Peer capacity is not modelled (the engine's `charge_capacity` flag
+//! stays off; the experiment harness owns that concern): this runtime
+//! answers the orthogonal question "is the protocol correct under
+//! asynchrony?". Request completion is judged only at quiescence
+//! (`judge_at_quiescence`), because out-of-order responses can
+//! transiently zero the outstanding-branch counter.
 
 use crate::event::EventQueue;
-use dlpt_core::cache::{self, CacheStats, Shortcut};
-use dlpt_core::directory::Directory;
+use dlpt_core::engine::{Engine, EngineConfig, Step, Transport};
 use dlpt_core::key::Key;
-use dlpt_core::mapping;
-use dlpt_core::messages::{
-    Address, DiscoveryOutcome, Envelope, JoinPhase, Message, NodeMsg, NodeSeed, PeerMsg, QueryKind,
-};
-use dlpt_core::node::NodeState;
-use dlpt_core::peer::PeerShard;
-use dlpt_core::protocol::{self, discovery, Effects};
+use dlpt_core::messages::{Envelope, QueryKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
 
 /// How long a message takes from send to delivery.
 #[derive(Debug, Clone, Copy)]
@@ -43,170 +42,108 @@ impl LatencyModel {
     }
 }
 
-#[derive(Debug)]
-struct Pending {
-    outstanding: i64,
-    satisfied: bool,
-    results: Vec<Key>,
+/// The latency-queue transport: every delivered envelope is scheduled
+/// after a sampled delay, entering the same seeded event queue as
+/// everything else in flight.
+struct LatencyTransport<'a> {
+    queue: &'a mut EventQueue<(u32, Envelope)>,
+    latency: LatencyModel,
+    rng: &'a mut StdRng,
 }
 
-/// The asynchronous runtime.
+impl Transport for LatencyTransport<'_> {
+    fn deliver(&mut self, env: Envelope) {
+        let delay = self.latency.sample(self.rng);
+        self.queue.push_after(delay, (0, env));
+    }
+
+    fn now(&self) -> u64 {
+        self.queue.now()
+    }
+}
+
+/// The asynchronous runtime. Dereferences to the underlying
+/// [`Engine`] for introspection, invariant checks and the
+/// `cache_stats` / `repl_stats` counters.
 #[derive(Debug)]
 pub struct LatencyNet {
-    shards: BTreeMap<Key, PeerShard>,
-    directory: Directory,
+    engine: Engine,
     queue: EventQueue<(u32, Envelope)>,
     latency: LatencyModel,
     rng: StdRng,
-    pending: BTreeMap<u64, Pending>,
-    next_request: u64,
     requeue_budget: u32,
-    /// Replication factor `k` (1 = off; see `protocol::repair`).
-    replication: usize,
-    /// Per-peer routing-shortcut cache capacity (0 = off; see
-    /// `dlpt_core::cache`).
-    cache_capacity: usize,
     /// Messages delivered so far.
     pub deliveries: u64,
-    /// Caching counters (all zero at capacity 0).
-    pub cache_stats: CacheStats,
+}
+
+impl std::ops::Deref for LatencyNet {
+    type Target = Engine;
+    fn deref(&self) -> &Engine {
+        &self.engine
+    }
+}
+
+impl std::ops::DerefMut for LatencyNet {
+    fn deref_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
 }
 
 impl LatencyNet {
     /// An empty network.
     pub fn new(latency: LatencyModel, seed: u64) -> Self {
         LatencyNet {
-            shards: BTreeMap::new(),
-            directory: Directory::new(),
+            engine: Engine::new(EngineConfig {
+                judge_at_quiescence: true,
+                ..EngineConfig::default()
+            }),
             queue: EventQueue::new(),
             latency,
             rng: StdRng::seed_from_u64(seed),
-            pending: BTreeMap::new(),
-            next_request: 1,
             requeue_budget: 4096,
-            replication: 1,
-            cache_capacity: 0,
             deliveries: 0,
-            cache_stats: CacheStats::default(),
         }
     }
 
-    /// Sets the replication factor `k` (primary + `k - 1` ring
-    /// followers). Takes effect at the next [`LatencyNet::anti_entropy`]
-    /// pass.
-    pub fn set_replication(&mut self, k: usize) {
-        self.replication = k.max(1);
-    }
-
-    /// Sets the per-peer routing-shortcut cache capacity (0 = off),
-    /// for existing peers and every peer joining later.
-    pub fn set_cache_capacity(&mut self, n: usize) {
-        self.cache_capacity = n;
-        for shard in self.shards.values_mut() {
-            shard.cache.set_capacity(n);
-        }
-    }
-
-    /// Peer count.
-    pub fn peer_count(&self) -> usize {
-        self.shards.len()
-    }
-
-    /// All node labels, ascending.
-    pub fn node_labels(&self) -> Vec<Key> {
-        self.directory.labels().cloned().collect()
-    }
-
-    /// Every registered service key.
-    pub fn registered_keys(&self) -> Vec<Key> {
-        let mut out: Vec<Key> = self
-            .shards
-            .values()
-            .flat_map(|s| s.nodes.values().flat_map(|n| n.data.iter().cloned()))
-            .collect();
-        out.sort();
-        out
-    }
-
+    /// Schedules one externally injected envelope through the same
+    /// transport the engine uses, so injected operations and
+    /// engine-emitted traffic can never diverge in delivery policy.
     fn send(&mut self, env: Envelope) {
-        let delay = self.latency.sample(&mut self.rng);
-        self.queue.push_after(delay, (0, env));
-    }
-
-    fn random_node(&mut self) -> Option<Key> {
-        if self.directory.is_empty() {
-            return None;
+        LatencyTransport {
+            queue: &mut self.queue,
+            latency: self.latency,
+            rng: &mut self.rng,
         }
-        let i = self.rng.gen_range(0..self.directory.len());
-        Some(self.directory.label_at(i).clone())
+        .deliver(env);
     }
 
     /// Adds a peer, routing the join through the tree, and runs the
     /// network to quiescence.
     pub fn add_peer(&mut self, id: Key) {
-        assert!(!self.shards.contains_key(&id), "duplicate peer id");
-        let mut shard = PeerShard::new(id.clone(), u32::MAX >> 1);
-        shard.cache.set_capacity(self.cache_capacity);
-        if self.shards.is_empty() {
-            self.shards.insert(id, shard);
+        assert!(!self.engine.contains_peer(&id), "duplicate peer id");
+        self.engine.add_local_shard(id.clone(), u32::MAX >> 1);
+        if self.engine.peer_count() == 1 {
             return;
         }
-        self.shards.insert(id.clone(), shard);
-        match self.random_node() {
-            Some(entry) => self.send(Envelope::to_node(
-                entry,
-                NodeMsg::PeerJoin {
-                    joining: id,
-                    phase: JoinPhase::Up,
-                },
-            )),
-            None => {
-                let contact = self
-                    .shards
-                    .keys()
-                    .find(|k| **k != id)
-                    .cloned()
-                    .expect("another peer exists");
-                self.send(Envelope::to_peer(
-                    contact,
-                    PeerMsg::NewPredecessor { joining: id },
-                ));
-            }
-        }
+        let env = self.engine.join_envelope(&id, &mut self.rng);
+        self.send(env);
         self.run_to_quiescence();
     }
 
     /// Registers a key and runs to quiescence.
     pub fn insert_data(&mut self, key: Key) {
-        assert!(!self.shards.is_empty(), "need at least one peer");
-        match self.random_node() {
-            Some(entry) => self.send(Envelope::to_node(entry, NodeMsg::DataInsertion { key })),
-            None => {
-                // First node: seed it through the peer layer; the Host
-                // ring-forwarding places it per the mapping rule.
-                let contact = self.shards.keys().next().cloned().expect("non-empty");
-                self.send(Envelope::to_peer(
-                    contact,
-                    PeerMsg::Host {
-                        seed: NodeSeed {
-                            label: key.clone(),
-                            father: None,
-                            children: Vec::new(),
-                            data: vec![key],
-                        },
-                    },
-                ));
-            }
-        }
+        assert!(self.engine.peer_count() > 0, "need at least one peer");
+        let env = self.engine.insert_envelope(key, &mut self.rng);
+        self.send(env);
         self.run_to_quiescence();
     }
 
     /// Deregisters a key and runs to quiescence.
     pub fn remove_data(&mut self, key: &Key) {
-        if let Some(entry) = self.random_node() {
+        if let Some(entry) = self.engine.random_node(&mut self.rng) {
             self.send(Envelope::to_node(
                 entry,
-                NodeMsg::DataRemoval { key: key.clone() },
+                dlpt_core::messages::NodeMsg::DataRemoval { key: key.clone() },
             ));
             self.run_to_quiescence();
         }
@@ -228,47 +165,16 @@ impl LatencyNet {
     }
 
     fn request(&mut self, query: QueryKind) -> (bool, Vec<Key>) {
-        let Some(entry) = self.random_node() else {
+        let Some(entry) = self.engine.random_node(&mut self.rng) else {
             return (false, Vec::new());
         };
-        let id = self.next_request;
-        self.next_request += 1;
-        self.pending.insert(
-            id,
-            Pending {
-                outstanding: 1,
-                satisfied: true,
-                results: Vec::new(),
-            },
-        );
-        // Cache consult at the entry peer — same flow as the
-        // synchronous pump, but the shortcut route (and later the
-        // invalidations) travel through the latency-randomized queue.
-        let mut learn: Option<(Key, Key)> = None;
-        let mut shortcut: Option<Shortcut> = None;
-        if self.cache_capacity > 0 {
-            let target = query.target();
-            let host = self
-                .directory
-                .host_of(&entry)
-                .cloned()
-                .expect("entry is a live node");
-            if let Some(s) = self.shards.get_mut(&host) {
-                shortcut = cache::consult(
-                    &mut s.cache,
-                    &self.directory,
-                    &target,
-                    &mut self.cache_stats,
-                );
-            }
-            if shortcut.is_none() && matches!(query, QueryKind::Exact(_)) {
-                learn = Some((target, host));
-            }
-        }
-        let env = match shortcut {
-            Some(sc) => cache::shortcut_envelope(id, query, sc),
-            None => discovery::entry_envelope(entry, id, query),
-        };
+        // Cache consult at the entry peer — the engine's shared flow;
+        // the shortcut route (and later the invalidations) travel
+        // through the latency-randomized queue like everything else.
+        let (id, env) = self
+            .engine
+            .begin_request(&entry, query)
+            .expect("entry is a live node");
         self.send(env);
         self.run_to_quiescence();
         // Only judge completion once the network is drained: responses
@@ -276,140 +182,31 @@ impl LatencyNet {
         // can transiently touch zero while a parent's response (which
         // would raise it again via `pending_children`) is still in
         // flight.
-        let p = self.pending.remove(&id).expect("request was registered");
-        let satisfied = p.satisfied && p.outstanding <= 0;
-        if let Some((target, host)) = learn {
-            if satisfied {
-                if let Some(sc) = cache::learned_shortcut(&self.directory, &target) {
-                    if let Some(s) = self.shards.get_mut(&host) {
-                        s.cache.insert(target, sc);
-                        self.cache_stats.learned += 1;
-                    }
-                }
-            }
-        }
-        let mut results = p.results;
-        results.sort();
-        results.dedup();
-        (satisfied, results)
+        let out = self.engine.finish_request(id);
+        (out.satisfied, out.results)
     }
 
     /// Delivers events until none remain.
     pub fn run_to_quiescence(&mut self) {
         while let Some((_, (requeues, env))) = self.queue.pop() {
-            self.deliver(requeues, env);
-        }
-    }
-
-    fn requeue(&mut self, requeues: u32, env: Envelope) {
-        if requeues >= self.requeue_budget {
-            panic!("undeliverable under latency: {env:?}");
-        }
-        // Retry shortly; the message that creates the destination is
-        // already in flight.
-        self.queue.push_after(1, (requeues + 1, env));
-    }
-
-    fn deliver(&mut self, requeues: u32, env: Envelope) {
-        self.deliveries += 1;
-        match env.to.clone() {
-            Address::Client(_) => {
-                if let Message::ClientResponse(o) = env.msg {
-                    self.client_response(o);
-                }
-            }
-            Address::Peer(id) => {
-                let new_root = match &env.msg {
-                    Message::Peer(PeerMsg::Host { seed }) if seed.father.is_none() => {
-                        Some(seed.label.clone())
+            self.deliveries += 1;
+            let mut t = LatencyTransport {
+                queue: &mut self.queue,
+                latency: self.latency,
+                rng: &mut self.rng,
+            };
+            match self.engine.deliver(&mut t, env).expect("valid envelope") {
+                Step::Done => {}
+                Step::Requeue(env) => {
+                    if requeues >= self.requeue_budget {
+                        panic!("undeliverable under latency: {env:?}");
                     }
-                    _ => None,
-                };
-                let Some(shard) = self.shards.get_mut(&id) else {
-                    self.requeue(requeues, env);
-                    return;
-                };
-                // Counted here — after the shard probe — so requeued
-                // attempts and ultimately-dropped messages are not
-                // reported as deliveries (mirrors the sync pump).
-                if matches!(&env.msg, Message::Peer(PeerMsg::InvalidateCached { .. })) {
-                    self.cache_stats.invalidations_delivered += 1;
-                }
-                let mut fx = Effects::default();
-                match env.msg {
-                    Message::Peer(m) => protocol::handle_peer_msg(shard, m, &mut fx),
-                    _ => unreachable!("peer address carries peer message"),
-                }
-                let _ = new_root; // root tracking is not needed here
-                self.apply(fx);
-            }
-            Address::Node(label) => {
-                let Some(host) = self.directory.host_of(&label).cloned() else {
-                    self.requeue(requeues, env);
-                    return;
-                };
-                let Some(shard) = self.shards.get_mut(&host) else {
-                    self.requeue(requeues, env);
-                    return;
-                };
-                if !shard.nodes.contains_key(&label) {
-                    self.requeue(requeues, env);
-                    return;
-                }
-                // Non-discovery node messages may mutate the node's
-                // structure: advance its epoch so learned routing
-                // shortcuts re-validate (`dlpt_core::cache`).
-                let structural = !matches!(&env.msg, Message::Node(NodeMsg::Discovery(_)));
-                let mut fx = Effects::default();
-                match env.msg {
-                    Message::Node(m) => protocol::handle_node_msg(shard, &label, m, &mut fx),
-                    _ => unreachable!("node address carries node message"),
-                }
-                if structural {
-                    self.directory.bump_epoch(&label);
-                }
-                self.apply(fx);
-            }
-        }
-    }
-
-    fn apply(&mut self, fx: Effects) {
-        for (label, host) in fx.relocated {
-            self.directory.insert(label, host);
-        }
-        for label in fx.removed {
-            self.directory.remove(&label);
-            // Eager invalidation of shortcuts through the dissolved
-            // node; the broadcasts interleave with everything else in
-            // the latency queue, and the epoch guard on the handler
-            // keeps reordered deliveries harmless.
-            if self.cache_capacity > 0 {
-                let epoch = self.directory.epoch_of(&label);
-                let peers: Vec<Key> = self.shards.keys().cloned().collect();
-                for p in peers {
-                    self.cache_stats.invalidations_sent += 1;
-                    self.send(Envelope::to_peer(
-                        p,
-                        PeerMsg::InvalidateCached {
-                            label: label.clone(),
-                            epoch,
-                        },
-                    ));
+                    // Retry shortly; the message that creates the
+                    // destination is already in flight.
+                    self.queue.push_after(1, (requeues + 1, env));
                 }
             }
         }
-        for env in fx.out {
-            self.send(env);
-        }
-    }
-
-    fn client_response(&mut self, o: DiscoveryOutcome) {
-        let Some(p) = self.pending.get_mut(&o.request_id) else {
-            return;
-        };
-        p.outstanding += o.pending_children as i64 - 1;
-        p.satisfied &= o.satisfied && !o.dropped;
-        p.results.extend(o.results);
     }
 
     /// One anti-entropy pass (`protocol::repair`) under latency: every
@@ -417,20 +214,14 @@ impl LatencyNet {
     /// the ring; the `Replicate` walks interleave arbitrarily with each
     /// other. Runs to quiescence. No-op at `k = 1`.
     pub fn anti_entropy(&mut self) {
-        if self.replication <= 1 || self.shards.len() <= 1 {
-            return;
+        let mut t = LatencyTransport {
+            queue: &mut self.queue,
+            latency: self.latency,
+            rng: &mut self.rng,
+        };
+        if self.engine.anti_entropy_kick(&mut t) {
+            self.run_to_quiescence();
         }
-        let peers: Vec<Key> = self.shards.keys().cloned().collect();
-        protocol::repair::refresh_follower_records(&mut self.directory, &peers, self.replication);
-        for p in peers {
-            self.send(Envelope::to_peer(
-                p,
-                PeerMsg::SyncReplicas {
-                    k: self.replication as u32,
-                },
-            ));
-        }
-        self.run_to_quiescence();
     }
 
     /// Non-graceful departure: the peer vanishes with its state; the
@@ -439,103 +230,7 @@ impl LatencyNet {
     /// lost. Run [`LatencyNet::anti_entropy`] beforehand (for fresh
     /// copies) and afterwards (to restore `k`).
     pub fn crash_peer(&mut self, id: &Key) -> Vec<Key> {
-        let Some(shard) = self.shards.remove(id) else {
-            return Vec::new();
-        };
-        let hosted: Vec<Key> = shard.nodes.keys().cloned().collect();
-        if self.shards.is_empty() {
-            for l in &hosted {
-                self.directory.remove(l);
-            }
-            return hosted;
-        }
-        // Neighbours notice and heal their links.
-        let (pred, succ) = (shard.peer.pred.clone(), shard.peer.succ.clone());
-        if let Some(p) = self.shards.get_mut(&pred) {
-            p.peer.succ = if succ == *id {
-                pred.clone()
-            } else {
-                succ.clone()
-            };
-        }
-        if let Some(s) = self.shards.get_mut(&succ) {
-            s.peer.pred = if pred == *id {
-                succ.clone()
-            } else {
-                pred.clone()
-            };
-        }
-        let mut lost = Vec::new();
-        for label in hosted {
-            if !protocol::repair::promote_from_followers(
-                &mut self.shards,
-                &mut self.directory,
-                &label,
-            ) {
-                self.directory.remove(&label);
-                lost.push(label);
-            }
-        }
-        lost
-    }
-
-    /// Distinct live peers holding a copy of `label` (primary first).
-    pub fn replica_hosts(&self, label: &Key) -> Vec<Key> {
-        protocol::repair::live_replica_hosts(&self.shards, &self.directory, label)
-    }
-
-    /// Checks the successor-mapping invariant over the whole network.
-    pub fn check_mapping(&self) -> Result<(), String> {
-        let peers: std::collections::BTreeSet<Key> = self.shards.keys().cloned().collect();
-        for (label, actual) in self.directory.iter() {
-            let expected = mapping::host_of(&peers, label).expect("non-empty");
-            if actual != expected {
-                return Err(format!(
-                    "node {label} hosted on {actual}, rule demands {expected}"
-                ));
-            }
-        }
-        Ok(())
-    }
-
-    /// Checks tree-link consistency (bidirectional father/children and
-    /// the PGCP label property).
-    pub fn check_tree(&self) -> Result<(), String> {
-        let node = |l: &Key| -> Option<&NodeState> {
-            let host = self.directory.host_of(l)?;
-            self.shards.get(host)?.nodes.get(l)
-        };
-        for shard in self.shards.values() {
-            for n in shard.nodes.values() {
-                if let Some(f) = &n.father {
-                    let father = node(f).ok_or(format!("{}: father {f} missing", n.label))?;
-                    if !father.children.contains(&n.label) {
-                        return Err(format!("{}: father {f} does not list it", n.label));
-                    }
-                }
-                let children: Vec<&Key> = n.children.iter().collect();
-                for c in &children {
-                    let child = node(c).ok_or(format!("{}: child {c} missing", n.label))?;
-                    if child.father.as_ref() != Some(&n.label) {
-                        return Err(format!("{c}: father is not {}", n.label));
-                    }
-                    if !n.label.is_proper_prefix_of(c) {
-                        return Err(format!("{c} does not extend {}", n.label));
-                    }
-                }
-                for (i, a) in children.iter().enumerate() {
-                    for b in &children[i + 1..] {
-                        if a.gcp_len(b) != n.label.len() {
-                            return Err(format!(
-                                "children {a}, {b} of {} violate the PGCP property",
-                                n.label
-                            ));
-                        }
-                    }
-                }
-            }
-        }
-        Ok(())
+        self.engine.crash_shard(id).unwrap_or_default()
     }
 }
 
@@ -543,6 +238,7 @@ impl LatencyNet {
 mod tests {
     use super::*;
     use dlpt_core::alphabet::Alphabet;
+    use dlpt_core::cache::CacheStats;
     use dlpt_core::trie::PgcpTrie;
 
     fn build(latency: LatencyModel, seed: u64, peers: usize, keys: &[&str]) -> LatencyNet {
@@ -552,7 +248,7 @@ mod tests {
         for _ in 0..peers {
             loop {
                 let id = alphabet.random_id(&mut rng, 10);
-                if !net.shards.contains_key(&id) {
+                if !net.contains_peer(&id) {
                     net.add_peer(id);
                     break;
                 }
@@ -626,7 +322,7 @@ mod tests {
         for _ in 0..6 {
             loop {
                 let id = alphabet.random_id(&mut rng, 10);
-                if !net.shards.contains_key(&id) {
+                if !net.contains_peer(&id) {
                     net.add_peer(id);
                     break;
                 }
@@ -663,7 +359,7 @@ mod tests {
         net.anti_entropy();
         // Crash the most loaded peer.
         let victim = net
-            .shards
+            .shards()
             .iter()
             .max_by_key(|(_, s)| s.node_count())
             .map(|(id, _)| id.clone())
@@ -742,7 +438,7 @@ mod tests {
     fn unreplicated_crash_loses_the_hosted_nodes() {
         let mut net = build(LatencyModel::Constant(1), 31, 6, &KEYS);
         let victim = net
-            .shards
+            .shards()
             .iter()
             .max_by_key(|(_, s)| s.node_count())
             .map(|(id, _)| id.clone())

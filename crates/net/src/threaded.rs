@@ -4,10 +4,14 @@
 //! prototype (announced as future work there): the same protocol
 //! handlers, but each peer shard owned by its own thread, envelopes
 //! travelling as encoded byte frames ([`crate::codec`]) over crossbeam
-//! channels. A router owns the delivery directory (node label →
-//! peer), plays the failure-free network, and aggregates
-//! scatter/gather responses — the role `DlptSystem`'s pump plays in
-//! the simulator.
+//! channels. The router side is a thin adapter over the unified
+//! protocol engine (`dlpt_core::engine`): the engine owns the delivery
+//! directory, the per-peer route caches, membership and the
+//! scatter/gather aggregation, while the [`Engine`]'s transport is
+//! implemented by encoding envelopes into frames on the router queue.
+//! Shard-side protocol handling is `dlpt_core::protocol`, exactly as
+//! in the other runtimes — the peer threads never see runtime
+//! concerns.
 //!
 //! Scheduling is nondeterministic; the protocol's convergence is not.
 //! The tests build overlays under real thread interleavings and check
@@ -21,17 +25,14 @@ use crate::codec::{decode, encode};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use dlpt_core::alphabet::Alphabet;
-use dlpt_core::cache::{self, CacheStats, RouteCache};
-use dlpt_core::directory::Directory;
+use dlpt_core::engine::{Engine, EngineConfig, Transport};
 use dlpt_core::key::Key;
-use dlpt_core::messages::{
-    Address, DiscoveryOutcome, Envelope, JoinPhase, Message, NodeMsg, NodeSeed, PeerMsg, QueryKind,
-};
+use dlpt_core::messages::{Address, Envelope, Message, NodeMsg, PeerMsg, QueryKind};
 use dlpt_core::peer::PeerShard;
-use dlpt_core::protocol::{self, discovery, Effects};
+use dlpt_core::protocol::{self, Effects};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -66,36 +67,48 @@ pub struct ThreadedStats {
     pub frames_bounced: Mutex<u64>,
 }
 
-/// A live DLPT overlay over OS threads.
+/// The framed-channel transport: envelopes leaving the engine are
+/// encoded into wire frames on the router queue, from where they are
+/// dispatched to the owning peer thread.
+struct FrameTransport<'a> {
+    queue: &'a mut VecDeque<(u32, Bytes)>,
+}
+
+impl Transport for FrameTransport<'_> {
+    fn deliver(&mut self, env: Envelope) {
+        self.queue.push_back((0, encode(&env)));
+    }
+}
+
+/// A live DLPT overlay over OS threads. Dereferences to the underlying
+/// [`Engine`] for introspection (`node_labels`, `peer_count`, …) and
+/// the `cache_stats` counters.
 pub struct ThreadedDlpt {
     alphabet: Alphabet,
     rng: StdRng,
-    directory: Directory,
+    engine: Engine,
     peers: HashMap<Key, Sender<ToPeer>>,
     handles: Vec<JoinHandle<PeerShard>>,
     reply_tx: Sender<PeerReply>,
     reply_rx: Receiver<PeerReply>,
     queue: VecDeque<(u32, Bytes)>,
     inflight: usize,
-    next_request: u64,
-    /// Replication factor `k` (1 = off; see `protocol::repair`).
-    replication: usize,
-    /// Per-peer routing-shortcut cache capacity (0 = off).
-    cache_capacity: usize,
-    /// Per-peer routing-shortcut caches (`dlpt_core::cache`), keyed by
-    /// the peer a request entered through. The router plays the role a
-    /// deployment's client library would — it already owns the
-    /// delivery directory and mediates every request — so it is where
-    /// shortcut consultation and epoch validation are colocated;
-    /// entries stale out through the same per-label epochs the other
-    /// runtimes use, and dissolved labels are evicted eagerly when a
-    /// peer reply reports them removed.
-    caches: HashMap<Key, RouteCache>,
-    /// Caching counters (all zero at capacity 0).
-    pub cache_stats: CacheStats,
     /// Shared counters.
     pub stats: Arc<ThreadedStats>,
     retry_budget: u32,
+}
+
+impl std::ops::Deref for ThreadedDlpt {
+    type Target = Engine;
+    fn deref(&self) -> &Engine {
+        &self.engine
+    }
+}
+
+impl std::ops::DerefMut for ThreadedDlpt {
+    fn deref_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
 }
 
 impl ThreadedDlpt {
@@ -105,39 +118,18 @@ impl ThreadedDlpt {
         ThreadedDlpt {
             alphabet,
             rng: StdRng::seed_from_u64(seed),
-            directory: Directory::new(),
+            engine: Engine::new(EngineConfig {
+                judge_at_quiescence: true,
+                ..EngineConfig::default()
+            }),
             peers: HashMap::new(),
             handles: Vec::new(),
             reply_tx,
             reply_rx,
             queue: VecDeque::new(),
             inflight: 0,
-            next_request: 1,
-            replication: 1,
-            cache_capacity: 0,
-            caches: HashMap::new(),
-            cache_stats: CacheStats::default(),
             stats: Arc::new(ThreadedStats::default()),
             retry_budget: 10_000,
-        }
-    }
-
-    /// Number of live peer threads.
-    pub fn peer_count(&self) -> usize {
-        self.peers.len()
-    }
-
-    /// Sets the replication factor `k`; replica copies materialize at
-    /// the next [`ThreadedDlpt::anti_entropy`] pass.
-    pub fn set_replication(&mut self, k: usize) {
-        self.replication = k.max(1);
-    }
-
-    /// Sets the per-peer routing-shortcut cache capacity (0 = off).
-    pub fn set_cache_capacity(&mut self, n: usize) {
-        self.cache_capacity = n;
-        for cache in self.caches.values_mut() {
-            cache.set_capacity(n);
         }
     }
 
@@ -146,22 +138,12 @@ impl ThreadedDlpt {
     /// successors with `Replicate` frames — the full replication
     /// protocol exercised through the wire codec. No-op at `k = 1`.
     pub fn anti_entropy(&mut self) {
-        if self.replication <= 1 || self.peers.len() <= 1 {
-            return;
+        let mut t = FrameTransport {
+            queue: &mut self.queue,
+        };
+        if self.engine.anti_entropy_kick(&mut t) {
+            self.run_to_quiescence();
         }
-        let mut ids: Vec<Key> = self.peers.keys().cloned().collect();
-        ids.sort();
-        protocol::repair::refresh_follower_records(&mut self.directory, &ids, self.replication);
-        for id in ids {
-            let env = Envelope::to_peer(
-                id,
-                PeerMsg::SyncReplicas {
-                    k: self.replication as u32,
-                },
-            );
-            self.queue.push_back((0, encode(&env)));
-        }
-        self.run_to_quiescence(|_| {});
     }
 
     /// Simulated crash: the peer thread is killed without hand-off and
@@ -180,22 +162,22 @@ impl ThreadedDlpt {
         // Its entry-point cache dies with it; shortcuts other peers
         // learned toward its nodes stale out via the epoch bumps the
         // failover promotions and removals below perform.
-        self.caches.remove(id);
+        self.engine.remove_member(id);
         let hosted: Vec<Key> = self
-            .directory
+            .engine
+            .directory()
             .iter()
             .filter(|(_, host)| *host == id)
             .map(|(label, _)| label.clone())
             .collect();
         if self.peers.is_empty() {
             for l in &hosted {
-                self.directory.remove(l);
+                self.engine.directory_mut().remove(l);
             }
             return hosted;
         }
         // Heal the ring: the router knows the identifier order.
-        let mut ids: Vec<Key> = self.peers.keys().cloned().collect();
-        ids.sort();
+        let ids: Vec<Key> = self.engine.peer_ids();
         let succ = ids.iter().find(|p| *p > id).unwrap_or(&ids[0]).clone();
         let pred = ids
             .iter()
@@ -227,13 +209,13 @@ impl ThreadedDlpt {
         let mut lost = Vec::new();
         for label in hosted {
             let want = rightful(&label);
-            let target = self
-                .directory
+            let directory = self.engine.directory();
+            let target = directory
                 .followers_of(&label)
                 .any(|f| *f == want)
                 .then_some(want)
                 .or_else(|| {
-                    self.directory
+                    directory
                         .followers_of(&label)
                         .find(|f| self.peers.contains_key(*f))
                         .cloned()
@@ -249,22 +231,23 @@ impl ThreadedDlpt {
                     self.queue.push_back((0, encode(&env)));
                 }
                 None => {
-                    self.directory.remove(&label);
+                    self.engine.directory_mut().remove(&label);
                     lost.push(label);
                 }
             }
         }
-        self.run_to_quiescence(|_| {});
+        self.run_to_quiescence();
         // A follower without the copy (crash raced the sync) leaves the
         // label pointing at the dead peer: count it lost.
         let stale: Vec<Key> = self
-            .directory
+            .engine
+            .directory()
             .iter()
             .filter(|(_, host)| *host == id)
             .map(|(label, _)| label.clone())
             .collect();
         for label in stale {
-            self.directory.remove(&label);
+            self.engine.directory_mut().remove(&label);
             lost.push(label);
         }
         lost
@@ -274,22 +257,17 @@ impl ThreadedDlpt {
     /// first, per the router's follower bookkeeping).
     pub fn replica_hosts(&self, label: &Key) -> Vec<Key> {
         let mut out = Vec::new();
-        if let Some(p) = self.directory.host_of(label) {
+        if let Some(p) = self.engine.directory().host_of(label) {
             if self.peers.contains_key(p) {
                 out.push(p.clone());
             }
         }
-        for f in self.directory.followers_of(label) {
+        for f in self.engine.directory().followers_of(label) {
             if self.peers.contains_key(f) && !out.contains(f) {
                 out.push(f.clone());
             }
         }
         out
-    }
-
-    /// All node labels, ascending.
-    pub fn node_labels(&self) -> Vec<Key> {
-        self.directory.labels().cloned().collect()
     }
 
     fn spawn_peer(&mut self, id: Key) {
@@ -301,7 +279,8 @@ impl ThreadedDlpt {
             .name(format!("peer-{shard_id}"))
             .spawn(move || peer_loop(PeerShard::new(shard_id, u32::MAX >> 1), rx, reply, stats))
             .expect("spawn peer thread");
-        self.peers.insert(id, tx);
+        self.peers.insert(id.clone(), tx);
+        self.engine.add_member(id);
         self.handles.push(handle);
     }
 
@@ -326,67 +305,26 @@ impl ThreadedDlpt {
         if first {
             return;
         }
-        let env = match self.random_node() {
-            Some(entry) => Envelope::to_node(
-                entry,
-                NodeMsg::PeerJoin {
-                    joining: id,
-                    phase: JoinPhase::Up,
-                },
-            ),
-            None => {
-                let contact = self
-                    .peers
-                    .keys()
-                    .find(|k| **k != id)
-                    .cloned()
-                    .expect("another peer exists");
-                Envelope::to_peer(contact, PeerMsg::NewPredecessor { joining: id })
-            }
-        };
+        let env = self.engine.join_envelope(&id, &mut self.rng);
         self.queue.push_back((0, encode(&env)));
-        self.run_to_quiescence(|_| {});
-    }
-
-    fn random_node(&mut self) -> Option<Key> {
-        if self.directory.is_empty() {
-            return None;
-        }
-        let i = self.rng.gen_range(0..self.directory.len());
-        Some(self.directory.label_at(i).clone())
+        self.run_to_quiescence();
     }
 
     /// Registers a service key.
     pub fn insert_data(&mut self, key: impl Into<Key>) {
         let key = key.into();
         assert!(!self.peers.is_empty(), "need at least one peer");
-        let env = match self.random_node() {
-            Some(entry) => Envelope::to_node(entry, NodeMsg::DataInsertion { key }),
-            None => {
-                let contact = self.peers.keys().next().cloned().expect("non-empty");
-                Envelope::to_peer(
-                    contact,
-                    PeerMsg::Host {
-                        seed: NodeSeed {
-                            label: key.clone(),
-                            father: None,
-                            children: Vec::new(),
-                            data: vec![key],
-                        },
-                    },
-                )
-            }
-        };
+        let env = self.engine.insert_envelope(key, &mut self.rng);
         self.queue.push_back((0, encode(&env)));
-        self.run_to_quiescence(|_| {});
+        self.run_to_quiescence();
     }
 
     /// Deregisters a service key.
     pub fn remove_data(&mut self, key: &Key) {
-        if let Some(entry) = self.random_node() {
+        if let Some(entry) = self.engine.random_node(&mut self.rng) {
             let env = Envelope::to_node(entry, NodeMsg::DataRemoval { key: key.clone() });
             self.queue.push_back((0, encode(&env)));
-            self.run_to_quiescence(|_| {});
+            self.run_to_quiescence();
         }
     }
 
@@ -406,62 +344,21 @@ impl ThreadedDlpt {
     }
 
     fn request(&mut self, query: QueryKind) -> (bool, Vec<Key>) {
-        let Some(entry) = self.random_node() else {
+        let Some(entry) = self.engine.random_node(&mut self.rng) else {
             return (false, Vec::new());
         };
-        let id = self.next_request;
-        self.next_request += 1;
-        // Cache consult at the entry peer's router-side cache — same
-        // hit/stale/learn flow as the other runtimes.
-        let mut learn: Option<(Key, Key)> = None;
-        let mut shortcut: Option<cache::Shortcut> = None;
-        if self.cache_capacity > 0 {
-            let target = query.target();
-            let host = self
-                .directory
-                .host_of(&entry)
-                .cloned()
-                .expect("entry is a live node");
-            if let Some(c) = self.caches.get_mut(&host) {
-                shortcut = cache::consult(c, &self.directory, &target, &mut self.cache_stats);
-            }
-            if shortcut.is_none() && matches!(query, QueryKind::Exact(_)) {
-                learn = Some((target, host));
-            }
-        }
-        let env = match shortcut {
-            Some(sc) => cache::shortcut_envelope(id, query, sc),
-            None => discovery::entry_envelope(entry, id, query),
-        };
+        // Cache consult at the entry peer — the engine's shared
+        // hit/stale/learn flow; the router (the clients' access proxy)
+        // owns the caches, so consultation happens before the frame is
+        // cut.
+        let (id, env) = self
+            .engine
+            .begin_request(&entry, query)
+            .expect("entry is a live node");
         self.queue.push_back((0, encode(&env)));
-        let mut outstanding = 1i64;
-        let mut satisfied = true;
-        let mut results = Vec::new();
-        self.run_to_quiescence(|o: &DiscoveryOutcome| {
-            if o.request_id == id {
-                outstanding += o.pending_children as i64 - 1;
-                satisfied &= o.satisfied && !o.dropped;
-                results.extend(o.results.iter().cloned());
-            }
-        });
-        debug_assert!(outstanding <= 0 || results.is_empty());
-        let satisfied = satisfied && outstanding <= 0;
-        if let Some((target, host)) = learn {
-            if satisfied {
-                if let Some(sc) = cache::learned_shortcut(&self.directory, &target) {
-                    let capacity = self.cache_capacity;
-                    let cache = self
-                        .caches
-                        .entry(host)
-                        .or_insert_with(|| RouteCache::new(capacity));
-                    cache.insert(target, sc);
-                    self.cache_stats.learned += 1;
-                }
-            }
-        }
-        results.sort();
-        results.dedup();
-        (satisfied, results)
+        self.run_to_quiescence();
+        let out = self.engine.finish_request(id);
+        (out.satisfied, out.results)
     }
 
     /// Pumps the router until no frame is queued or in flight.
@@ -470,11 +367,11 @@ impl ThreadedDlpt {
     /// flight between peers) are parked until the next peer reply —
     /// only replies can change the directory, so spinning on the queue
     /// would burn retries without progress.
-    fn run_to_quiescence(&mut self, mut on_outcome: impl FnMut(&DiscoveryOutcome)) {
+    fn run_to_quiescence(&mut self) {
         let mut parked: VecDeque<(u32, Bytes)> = VecDeque::new();
         loop {
             while let Some((retries, frame)) = self.queue.pop_front() {
-                if let Some(deferred) = self.dispatch(retries, frame, &mut on_outcome) {
+                if let Some(deferred) = self.dispatch(retries, frame) {
                     parked.push_back(deferred);
                 }
             }
@@ -493,22 +390,21 @@ impl ThreadedDlpt {
             }
             let reply = self.reply_rx.recv().expect("peer threads alive");
             self.inflight -= 1;
-            for (label, host) in reply.relocated {
-                self.directory.insert(label, host);
-            }
-            for label in reply.removed {
-                self.directory.remove(&label);
-                // Eager invalidation: the router owns the per-peer
-                // caches here, so the broadcast the other runtimes put
-                // on the wire is a local sweep over them.
-                if self.cache_capacity > 0 {
-                    let epoch = self.directory.epoch_of(&label);
-                    for cache in self.caches.values_mut() {
-                        self.cache_stats.invalidations_sent += 1;
-                        self.cache_stats.invalidations_delivered += 1;
-                        cache.invalidate_label(&label, epoch);
-                    }
-                }
+            // Route the peer's effects through the engine: directory
+            // updates, dissolution bookkeeping and the eager cache
+            // invalidation broadcast (one implementation for every
+            // runtime) — the broadcast frames land on the router queue
+            // and terminate at the engine-owned caches in `dispatch`.
+            let mut fx = Effects {
+                out: Vec::new(),
+                relocated: reply.relocated,
+                removed: reply.removed,
+            };
+            {
+                let mut t = FrameTransport {
+                    queue: &mut self.queue,
+                };
+                self.engine.apply(&mut fx, &mut t);
             }
             for f in reply.frames {
                 self.queue.push_back((0, f));
@@ -529,32 +425,36 @@ impl ThreadedDlpt {
 
     /// Tries to deliver one frame. Returns the frame when its
     /// destination cannot be resolved yet.
-    fn dispatch(
-        &mut self,
-        retries: u32,
-        frame: Bytes,
-        on_outcome: &mut impl FnMut(&DiscoveryOutcome),
-    ) -> Option<(u32, Bytes)> {
+    fn dispatch(&mut self, retries: u32, frame: Bytes) -> Option<(u32, Bytes)> {
         let env = decode(&frame).expect("frames are self-produced");
         match env.to {
             Address::Client(_) => {
                 if let Message::ClientResponse(o) = env.msg {
-                    on_outcome(&o);
+                    self.engine.client_response(o);
                 }
                 None
             }
-            Address::Peer(id) => match self.peers.get(&id) {
-                Some(tx) => {
-                    tx.send(ToPeer::Frame { retries, frame })
-                        .expect("peer alive");
-                    self.inflight += 1;
-                    None
+            Address::Peer(id) => {
+                if let Message::Peer(PeerMsg::InvalidateCached { label, epoch }) = &env.msg {
+                    // The router owns the route caches, so invalidation
+                    // frames terminate here instead of at the shard —
+                    // same epoch-guarded handler as every runtime.
+                    self.engine.deliver_invalidation(&id, label, *epoch);
+                    return None;
                 }
-                None => Some((retries, frame)),
-            },
+                match self.peers.get(&id) {
+                    Some(tx) => {
+                        tx.send(ToPeer::Frame { retries, frame })
+                            .expect("peer alive");
+                        self.inflight += 1;
+                        None
+                    }
+                    None => Some((retries, frame)),
+                }
+            }
             Address::Node(label) => {
                 let structural = !matches!(&env.msg, Message::Node(NodeMsg::Discovery(_)));
-                let host = self.directory.host_of(&label).cloned();
+                let host = self.engine.directory().host_of(&label).cloned();
                 match host.as_ref().and_then(|h| self.peers.get(h)) {
                     // A directory entry pointing at a crashed peer parks
                     // the frame like an in-flight node would, instead of
@@ -570,7 +470,7 @@ impl ThreadedDlpt {
                         // a parked frame must not bump once per retry
                         // (the other runtimes bump once, at delivery).
                         if structural {
-                            self.directory.bump_epoch(&label);
+                            self.engine.directory_mut().bump_epoch(&label);
                         }
                         None
                     }
@@ -802,7 +702,7 @@ mod tests {
         // Crash the thread hosting the most nodes.
         let mut by_host: std::collections::HashMap<Key, usize> = std::collections::HashMap::new();
         for label in net.node_labels() {
-            let host = net.directory.host_of(&label).unwrap().clone();
+            let host = net.directory().host_of(&label).unwrap().clone();
             *by_host.entry(host).or_default() += 1;
         }
         let victim = by_host

@@ -189,6 +189,14 @@ pub struct ExperimentConfig {
     /// visited label) — the figC evidence that shortcuts relieve the
     /// upper tree.
     pub track_depth_hist: bool,
+    /// Workers for the discovery phase: at `> 1` each unit's request
+    /// batch runs through the sharded parallel pump
+    /// (`dlpt_core::engine::parallel`) instead of one-at-a-time FIFO.
+    /// Entry draws and metrics are identical; under capacity pressure
+    /// the interleaving (and therefore which visits are refused) is
+    /// deterministic per `(seed, workers)` rather than per seed alone,
+    /// so committed CSVs stay at the default `1`.
+    pub workers: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -214,6 +222,7 @@ impl Default for ExperimentConfig {
             anti_entropy: false,
             cache_capacity: 0,
             track_depth_hist: false,
+            workers: 1,
         }
     }
 }

@@ -236,6 +236,7 @@ mod tests {
             anti_entropy: false,
             cache_capacity: 0,
             track_depth_hist: false,
+            workers: 1,
         }
     }
 

@@ -29,6 +29,7 @@ fn test_config(lb: LbKind, churn: ChurnModel, seed: u64) -> ExperimentConfig {
         anti_entropy: false,
         cache_capacity: 0,
         track_depth_hist: false,
+        workers: 1,
     }
 }
 

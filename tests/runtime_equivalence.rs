@@ -1,0 +1,313 @@
+//! Runtime-equivalence property: the unified engine means the three
+//! runtimes — the synchronous pump, the (zero-latency) discrete-event
+//! `LatencyNet` and the threaded `ThreadedDlpt` — are *the same
+//! protocol* under different transports. Driving one seeded workload
+//! (joins, registrations, discoveries of every kind, removals, crashes
+//! under `k = 2` replication, cache on/off) through all three must
+//! yield identical node placements and identical discovery result
+//! sets.
+//!
+//! What may legitimately differ: message/hop counts (transports
+//! schedule differently) and anything capacity-related (only the sync
+//! pump charges capacity — kept unbounded here).
+
+use dlpt::core::{Alphabet, DlptSystem, Key};
+use dlpt::net::{LatencyModel, LatencyNet, ThreadedDlpt};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const KEY_POOL: [&str; 16] = [
+    "DGEMM", "DGEMV", "DTRSM", "DTRMM", "SGEMM", "SGEMV", "S3L_fft", "S3L_sort", "S3L_mat",
+    "PSGESV", "PDGEMM", "ZTRSM", "CAXPY", "DGEX", "DG", "S3L_",
+];
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Join a fresh peer (identifier drawn from a deterministic pool).
+    Join,
+    /// Register `KEY_POOL[i % len]`.
+    Insert(u8),
+    /// Deregister `KEY_POOL[i % len]`.
+    Remove(u8),
+    /// Exact lookup of `KEY_POOL[i % len]`.
+    Lookup(u8),
+    /// Completion of the first 2–3 digits of `KEY_POOL[i % len]`.
+    Complete(u8),
+    /// Range over the sorted pair of two pool keys.
+    Range(u8, u8),
+    /// Crash the `i % live`-th peer (replicated configs only; wrapped
+    /// in anti-entropy passes so all runtimes fail over identically).
+    Crash(u8),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Join),
+        any::<u8>().prop_map(Op::Insert),
+        any::<u8>().prop_map(Op::Insert), // bias toward growth
+        any::<u8>().prop_map(Op::Remove),
+        any::<u8>().prop_map(Op::Lookup),
+        any::<u8>().prop_map(Op::Lookup),
+        any::<u8>().prop_map(Op::Complete),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Range(a, b)),
+        any::<u8>().prop_map(Op::Crash),
+    ]
+}
+
+fn key(i: u8) -> Key {
+    Key::from(KEY_POOL[i as usize % KEY_POOL.len()])
+}
+
+/// Deterministic, collision-free peer identifier pool (valid in the
+/// grid alphabet).
+fn peer_id(i: usize) -> Key {
+    Key::from(format!("P{i:03}X"))
+}
+
+/// The observable state the three runtimes must agree on.
+#[derive(Debug, PartialEq, Eq)]
+struct Observed {
+    placements: BTreeMap<Key, Key>,
+    results: Vec<(bool, Vec<Key>)>,
+}
+
+/// Drives `ops` through one runtime behind a tiny trait object-free
+/// adapter. `k` is the replication factor; `cache` the per-peer route
+/// cache capacity.
+trait Runtime {
+    fn join(&mut self, id: Key);
+    fn insert(&mut self, key: Key);
+    fn remove(&mut self, key: &Key);
+    fn query(&mut self, op: &Op) -> (bool, Vec<Key>);
+    fn crash(&mut self, id: &Key);
+    fn anti_entropy(&mut self);
+    fn peers(&self) -> Vec<Key>;
+    fn placements(&self) -> BTreeMap<Key, Key>;
+}
+
+struct Sync(DlptSystem);
+impl Runtime for Sync {
+    fn join(&mut self, id: Key) {
+        self.0.add_peer_with_id(id, u32::MAX >> 1).unwrap();
+    }
+    fn insert(&mut self, key: Key) {
+        self.0.insert_data(key).unwrap();
+    }
+    fn remove(&mut self, key: &Key) {
+        self.0.remove_data(key).unwrap();
+    }
+    fn query(&mut self, op: &Op) -> (bool, Vec<Key>) {
+        let out = match op {
+            Op::Lookup(i) => self.0.lookup(&key(*i)),
+            Op::Complete(i) => {
+                let k = key(*i);
+                self.0.complete(&k.truncated(2.min(k.len())))
+            }
+            Op::Range(a, b) => {
+                let (lo, hi) = ordered(*a, *b);
+                self.0.range(&lo, &hi)
+            }
+            _ => unreachable!(),
+        };
+        (out.satisfied, out.results)
+    }
+    fn crash(&mut self, id: &Key) {
+        let lost = self.0.crash_peer(id).unwrap();
+        assert!(lost.is_empty(), "k=2 + fresh anti-entropy: {lost:?}");
+    }
+    fn anti_entropy(&mut self) {
+        self.0.anti_entropy().unwrap();
+    }
+    fn peers(&self) -> Vec<Key> {
+        self.0.peer_ids()
+    }
+    fn placements(&self) -> BTreeMap<Key, Key> {
+        self.0
+            .directory()
+            .iter()
+            .map(|(l, h)| (l.clone(), h.clone()))
+            .collect()
+    }
+}
+
+struct Latency(LatencyNet);
+impl Runtime for Latency {
+    fn join(&mut self, id: Key) {
+        self.0.add_peer(id);
+    }
+    fn insert(&mut self, key: Key) {
+        self.0.insert_data(key);
+    }
+    fn remove(&mut self, key: &Key) {
+        self.0.remove_data(key);
+    }
+    fn query(&mut self, op: &Op) -> (bool, Vec<Key>) {
+        match op {
+            Op::Lookup(i) => self.0.lookup(&key(*i)),
+            Op::Complete(i) => {
+                let k = key(*i);
+                self.0.complete(&k.truncated(2.min(k.len())))
+            }
+            Op::Range(a, b) => {
+                let (lo, hi) = ordered(*a, *b);
+                self.0.range(&lo, &hi)
+            }
+            _ => unreachable!(),
+        }
+    }
+    fn crash(&mut self, id: &Key) {
+        let lost = self.0.crash_peer(id);
+        assert!(lost.is_empty(), "k=2 + fresh anti-entropy: {lost:?}");
+    }
+    fn anti_entropy(&mut self) {
+        self.0.anti_entropy();
+    }
+    fn peers(&self) -> Vec<Key> {
+        self.0.peer_ids()
+    }
+    fn placements(&self) -> BTreeMap<Key, Key> {
+        self.0
+            .directory()
+            .iter()
+            .map(|(l, h)| (l.clone(), h.clone()))
+            .collect()
+    }
+}
+
+struct Threaded(ThreadedDlpt);
+impl Runtime for Threaded {
+    fn join(&mut self, id: Key) {
+        self.0.add_peer_with_id(id);
+    }
+    fn insert(&mut self, key: Key) {
+        self.0.insert_data(key);
+    }
+    fn remove(&mut self, key: &Key) {
+        self.0.remove_data(key);
+    }
+    fn query(&mut self, op: &Op) -> (bool, Vec<Key>) {
+        match op {
+            Op::Lookup(i) => self.0.lookup(&key(*i)),
+            Op::Complete(i) => {
+                let k = key(*i);
+                self.0.complete(&k.truncated(2.min(k.len())))
+            }
+            Op::Range(a, b) => {
+                let (lo, hi) = ordered(*a, *b);
+                self.0.range(&lo, &hi)
+            }
+            _ => unreachable!(),
+        }
+    }
+    fn crash(&mut self, id: &Key) {
+        let lost = self.0.crash_peer(id);
+        assert!(lost.is_empty(), "k=2 + fresh anti-entropy: {lost:?}");
+    }
+    fn anti_entropy(&mut self) {
+        self.0.anti_entropy();
+    }
+    fn peers(&self) -> Vec<Key> {
+        self.0.peer_ids()
+    }
+    fn placements(&self) -> BTreeMap<Key, Key> {
+        self.0
+            .directory()
+            .iter()
+            .map(|(l, h)| (l.clone(), h.clone()))
+            .collect()
+    }
+}
+
+fn ordered(a: u8, b: u8) -> (Key, Key) {
+    let (x, y) = (key(a), key(b));
+    if x <= y {
+        (x, y)
+    } else {
+        (y, x)
+    }
+}
+
+/// Runs the workload, returning every query result plus the final
+/// placements. Crashes only fire when replication can absorb them.
+fn drive<R: Runtime>(rt: &mut R, ops: &[Op], initial_peers: usize, k: usize) -> Observed {
+    for i in 0..initial_peers {
+        rt.join(peer_id(i));
+    }
+    let mut next_peer = initial_peers;
+    let mut results = Vec::new();
+    for o in ops {
+        match o {
+            Op::Join => {
+                rt.join(peer_id(next_peer));
+                next_peer += 1;
+            }
+            Op::Insert(i) => rt.insert(key(*i)),
+            Op::Remove(i) => rt.remove(&key(*i)),
+            Op::Lookup(_) | Op::Complete(_) | Op::Range(_, _) => results.push(rt.query(o)),
+            Op::Crash(i) => {
+                // Only when a follower copy of every hosted node can
+                // exist: k = 2 and at least 3 survivors.
+                let peers = rt.peers();
+                if k < 2 || peers.len() < 4 {
+                    continue;
+                }
+                let victim = peers[*i as usize % peers.len()].clone();
+                // Fresh copies in, crash, redundancy restored — the
+                // same fail-over path in every runtime.
+                rt.anti_entropy();
+                rt.crash(&victim);
+                rt.anti_entropy();
+            }
+        }
+    }
+    Observed {
+        placements: rt.placements(),
+        results,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline satellite: one workload, three runtimes, identical
+    /// placements and result sets — replication and caching included.
+    #[test]
+    fn three_runtimes_agree_on_placements_and_results(
+        ops in proptest::collection::vec(op(), 4..28),
+        seed in 0u64..500,
+        initial_peers in 3usize..6,
+        replicated in any::<bool>(),
+        cached in any::<bool>(),
+    ) {
+        let k = if replicated { 2 } else { 1 };
+        let cache = if cached { 32 } else { 0 };
+
+        let mut sync = Sync(
+            DlptSystem::builder()
+                .seed(seed)
+                .peer_id_len(8)
+                .replication(k)
+                .cache_capacity(cache)
+                .build(),
+        );
+        let a = drive(&mut sync, &ops, initial_peers, k);
+        sync.0.check_tree().unwrap();
+
+        let mut latency = Latency(LatencyNet::new(LatencyModel::Constant(0), seed ^ 0x5eed));
+        latency.0.set_replication(k);
+        latency.0.set_cache_capacity(cache);
+        let b = drive(&mut latency, &ops, initial_peers, k);
+        latency.0.check_tree().unwrap();
+
+        let mut threaded = Threaded(ThreadedDlpt::new(Alphabet::grid(), seed ^ 0x7eed));
+        threaded.0.set_replication(k);
+        threaded.0.set_cache_capacity(cache);
+        let c = drive(&mut threaded, &ops, initial_peers, k);
+
+        prop_assert_eq!(&a.placements, &b.placements, "sync vs latency placements");
+        prop_assert_eq!(&a.placements, &c.placements, "sync vs threaded placements");
+        prop_assert_eq!(&a.results, &b.results, "sync vs latency results");
+        prop_assert_eq!(&a.results, &c.results, "sync vs threaded results");
+        threaded.0.shutdown();
+    }
+}
