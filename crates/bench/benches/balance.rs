@@ -94,6 +94,9 @@ fn mlt_fraction_ablation(c: &mut Criterion) {
             cache_capacity: 0,
             track_depth_hist: false,
             workers: 1,
+            loss_rate: 0.0,
+            dup_rate: 0.0,
+            partition: None,
         };
         group.bench_with_input(BenchmarkId::from_parameter(fraction), &cfg, |b, cfg| {
             b.iter(|| black_box(run_once(cfg, 0).total_satisfied(4)))

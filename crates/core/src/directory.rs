@@ -66,6 +66,10 @@ impl Hasher for FxHasher {
 /// `HashMap` keyed by interned keys with the fixed [`FxHasher`].
 pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
+/// `HashSet` with the fixed [`FxHasher`] (deterministic iteration is
+/// not required, deterministic membership is).
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
 /// An interned `label → host` table with incremental ordered access.
 #[derive(Debug, Default)]
 pub struct Directory {

@@ -35,7 +35,7 @@
 pub mod parallel;
 
 use crate::cache::{self, CacheStats, RouteCache, Shortcut};
-use crate::directory::Directory;
+use crate::directory::{Directory, FxHashSet};
 use crate::error::{DlptError, Result};
 use crate::key::Key;
 use crate::mapping::MappingViolation;
@@ -81,6 +81,20 @@ pub trait Transport {
     /// The transport's logical clock (0 for untimed FIFO transports).
     fn now(&self) -> u64 {
         0
+    }
+}
+
+/// A mutable reference to a transport is itself a transport — this is
+/// what lets decorators like
+/// [`FaultyTransport`](crate::transport::FaultyTransport) wrap a
+/// runtime-owned transport without taking ownership.
+impl<T: Transport> Transport for &mut T {
+    fn deliver(&mut self, env: Envelope) {
+        (**self).deliver(env);
+    }
+
+    fn now(&self) -> u64 {
+        (**self).now()
     }
 }
 
@@ -199,6 +213,41 @@ struct GatherAgg {
     results: Vec<Key>,
     best_path: Vec<Key>,
     responses: usize,
+    /// Digests of the satisfied responses already applied — the
+    /// idempotency filter that keeps a duplicated envelope from
+    /// double-decrementing `outstanding` below the true branch count.
+    /// (Unsatisfied/dropped responses are exempt: on a reliable
+    /// transport distinct exhausted branches can synthesize identical
+    /// reports, and a dropped report can never finalize a request as
+    /// satisfied, so double-counting one is verdict-safe.)
+    seen: FxHashSet<u64>,
+}
+
+impl GatherAgg {
+    fn fresh() -> Self {
+        GatherAgg {
+            outstanding: 1,
+            satisfied: true,
+            dropped: false,
+            results: Vec::new(),
+            best_path: Vec::new(),
+            responses: 0,
+            seen: FxHashSet::default(),
+        }
+    }
+}
+
+/// Content digest of a satisfied response: two reports are the same
+/// delivery iff their path, results and branch fan-out agree (within
+/// one request a satisfied report's path is unique to its reporting
+/// node, so distinct deliveries never collide).
+fn response_digest(outcome: &DiscoveryOutcome) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = crate::directory::FxHasher::default();
+    outcome.path.hash(&mut h);
+    outcome.results.hash(&mut h);
+    outcome.pending_children.hash(&mut h);
+    h.finish()
 }
 
 /// What [`Engine::deliver`] did with one envelope.
@@ -257,6 +306,12 @@ pub struct Engine {
     /// Caching counters (all zero at capacity 0; kept out of
     /// [`SystemStats`] for the same golden-fingerprint reason).
     pub cache_stats: CacheStats,
+    /// Duplicated client responses suppressed by the per-request
+    /// idempotency filter. On a reliable transport this stays zero —
+    /// and, like the replication and cache counters, it stays out of
+    /// [`SystemStats`] so the fault-free golden fingerprint is
+    /// byte-identical.
+    pub duplicates_suppressed: u64,
 }
 
 impl Engine {
@@ -279,6 +334,7 @@ impl Engine {
             stats: SystemStats::default(),
             repl_stats: ReplicationStats::default(),
             cache_stats: CacheStats::default(),
+            duplicates_suppressed: 0,
         }
     }
 
@@ -290,6 +346,15 @@ impl Engine {
     /// Reconfigures the replication factor `k` (clamped to ≥ 1).
     pub fn set_replication(&mut self, k: usize) {
         self.config.replication = k.max(1);
+    }
+
+    /// Switches between eager and quiescence-time request finalization
+    /// (see [`EngineConfig::judge_at_quiescence`]). The synchronous
+    /// pump flips this on while a reordering fault plan is active:
+    /// deferred responses break the FIFO parent-before-child ordering
+    /// its eager judging relies on.
+    pub fn set_judge_at_quiescence(&mut self, on: bool) {
+        self.config.judge_at_quiescence = on;
     }
 
     /// Reconfigures the per-peer routing-shortcut cache capacity for
@@ -545,17 +610,7 @@ impl Engine {
         }
         let id = self.next_request;
         self.next_request += 1;
-        self.gathers.insert(
-            id,
-            GatherAgg {
-                outstanding: 1,
-                satisfied: true,
-                dropped: false,
-                results: Vec::new(),
-                best_path: Vec::new(),
-                responses: 0,
-            },
-        );
+        self.gathers.insert(id, GatherAgg::fresh());
         let mut shortcut: Option<Shortcut> = None;
         if self.config.cache_capacity > 0 {
             let target = query.target();
@@ -588,6 +643,14 @@ impl Engine {
         let Some(agg) = self.gathers.get_mut(&outcome.request_id) else {
             return; // stale response after request already finalized
         };
+        if outcome.satisfied && !outcome.dropped && !agg.seen.insert(response_digest(&outcome)) {
+            // A duplicated (or retried-and-redelivered) copy of a
+            // response already applied: counting it again would
+            // double-decrement `outstanding` below the true branch
+            // count and finalize the request with partial results.
+            self.duplicates_suppressed += 1;
+            return;
+        }
         agg.outstanding += outcome.pending_children as i64 - 1;
         agg.satisfied &= outcome.satisfied;
         agg.dropped |= outcome.dropped;
@@ -661,6 +724,27 @@ impl Engine {
             _ => {}
         }
         self.assemble_outcome(agg, satisfied)
+    }
+
+    /// Whether request `id` is still waiting on an outstanding branch
+    /// — i.e. a response was lost in transit and the request can only
+    /// terminate through a retry or an explicit failure. Only
+    /// meaningful once the transport has drained (mid-flight the
+    /// counter is legitimately positive).
+    pub fn retry_pending(&self, id: u64) -> bool {
+        self.gathers.get(&id).is_some_and(|agg| agg.outstanding > 0)
+    }
+
+    /// Rearms request `id` for a retry after fault-induced loss: the
+    /// aggregation state is reset to exactly what
+    /// [`Engine::begin_request`] installed, idempotency filter
+    /// included — a retry legitimately re-delivers responses the
+    /// first attempt already applied, and they must count again. The
+    /// caller re-sends a clone of the original entry envelope.
+    pub fn reset_request_for_retry(&mut self, id: u64) {
+        if let Some(agg) = self.gathers.get_mut(&id) {
+            *agg = GatherAgg::fresh();
+        }
     }
 
     fn learn_shortcut(&mut self, target: Key, host: Key) {
@@ -1570,6 +1654,73 @@ mod tests {
             ]
         );
         assert_eq!(t.now(), 0);
+    }
+
+    fn report(id: u64, path: Vec<Key>, results: Vec<Key>, pending: u32) -> DiscoveryOutcome {
+        DiscoveryOutcome {
+            request_id: id,
+            satisfied: true,
+            dropped: false,
+            results,
+            path,
+            pending_children: pending,
+        }
+    }
+
+    /// Satellite regression: a duplicated (re-delivered) response must
+    /// not double-decrement the outstanding-branch counter — before
+    /// the idempotency filter, the duplicate below finalized the
+    /// request with partial results (`outstanding` underflowed to 0
+    /// with one branch still in flight).
+    #[test]
+    fn duplicated_response_cannot_double_decrement_outstanding() {
+        let mut e = cached_engine(0);
+        e.directory.insert(k("DG"), k("P1"));
+        let (id, _env) = e
+            .begin_request(&k("DG"), QueryKind::Range(k("D"), k("E")))
+            .unwrap();
+        // The gather root reports and fans out to two children.
+        e.client_response(report(id, vec![k("DG")], Vec::new(), 2));
+        // One child's report arrives twice (duplicated in transit).
+        let child = report(id, vec![k("DG"), k("DGEMM")], vec![k("DGEMM")], 0);
+        e.client_response(child.clone());
+        e.client_response(child);
+        assert_eq!(e.duplicates_suppressed, 1);
+        assert!(
+            e.take_finished(id).is_none() && e.retry_pending(id),
+            "one branch is genuinely still outstanding"
+        );
+        // The true second branch finally reports: now it finalizes,
+        // complete.
+        e.client_response(report(id, vec![k("DG"), k("DT")], vec![k("DTRSM")], 0));
+        let out = e.take_finished(id).expect("all branches accounted");
+        assert!(out.satisfied);
+        assert_eq!(out.results, vec![k("DGEMM"), k("DTRSM")]);
+    }
+
+    /// A retry rearms the aggregation *and* the idempotency filter:
+    /// the re-delivered copies of first-attempt responses must count
+    /// again on the second attempt.
+    #[test]
+    fn reset_request_for_retry_rearms_aggregation_and_filter() {
+        let mut e = cached_engine(0);
+        e.directory.insert(k("DG"), k("P1"));
+        let (id, _env) = e
+            .begin_request(&k("DG"), QueryKind::Exact(k("DGEMM")))
+            .unwrap();
+        let terminal = report(id, vec![k("DG")], vec![k("DGEMM")], 1);
+        // First attempt: the node forwarded to one child whose report
+        // was lost — the request is stuck outstanding.
+        e.client_response(terminal.clone());
+        assert!(e.retry_pending(id));
+        e.reset_request_for_retry(id);
+        // Second attempt re-delivers the same report plus the child's.
+        e.client_response(terminal);
+        e.client_response(report(id, vec![k("DG"), k("DGEMM")], Vec::new(), 0));
+        assert_eq!(e.duplicates_suppressed, 0, "retry responses are fresh");
+        let out = e.take_finished(id).expect("finalized after retry");
+        assert!(out.satisfied);
+        assert_eq!(out.results, vec![k("DGEMM")]);
     }
 
     /// Regression for the reordered-invalidation hazard the epoch guard

@@ -64,6 +64,10 @@ use std::collections::{BTreeMap, VecDeque};
 #[derive(Debug, Clone, Copy)]
 pub struct ParallelPump {
     workers: usize,
+    /// Test-only fault injection: index of a worker that dies on
+    /// entry, exercising the failed-batch path.
+    #[cfg(test)]
+    sabotage: Option<usize>,
 }
 
 /// One worker's log entry: a discovery response plus its deterministic
@@ -81,6 +85,10 @@ struct WorkerOut {
     discovery_messages: u64,
     discovery_drops: u64,
     undeliverable: u64,
+    /// True when this worker aborted its rounds — it panicked (caught
+    /// at the worker boundary) or a mesh peer's channel disconnected
+    /// under it. One failed worker fails the whole batch.
+    failed: bool,
 }
 
 /// One round's exchange payload: the sender's emitted-envelope total
@@ -93,6 +101,17 @@ impl ParallelPump {
     pub fn new(workers: usize) -> Self {
         ParallelPump {
             workers: workers.max(1),
+            #[cfg(test)]
+            sabotage: None,
+        }
+    }
+
+    /// A pump whose `victim`-th worker dies on entry (test-only).
+    #[cfg(test)]
+    fn sabotaged(workers: usize, victim: usize) -> Self {
+        ParallelPump {
+            workers: workers.max(1),
+            sabotage: Some(victim),
         }
     }
 
@@ -177,7 +196,15 @@ impl ParallelPump {
         let directory = &engine.directory;
         let owner_ref = &owner;
         let charge = engine.config.charge_capacity;
+        #[cfg(test)]
+        let sabotage = self.sabotage;
+        #[cfg(not(test))]
+        let sabotage: Option<usize> = None;
         let mut outs: Vec<WorkerOut> = Vec::with_capacity(n);
+        // A worker that panics is caught at its own boundary (its
+        // shards come back intact); `join` can only fail if the caught
+        // panic itself panicked — treated as a failed worker too.
+        let mut join_failed = false;
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for (w, ((partition, queue), (tx_row, rx_row))) in partitions
@@ -188,12 +215,15 @@ impl ParallelPump {
             {
                 handles.push(scope.spawn(move || {
                     worker_loop(
-                        w, partition, queue, tx_row, rx_row, directory, owner_ref, charge,
+                        w, partition, queue, tx_row, rx_row, directory, owner_ref, charge, sabotage,
                     )
                 }));
             }
             for h in handles {
-                outs.push(h.join().expect("pump worker exits cleanly"));
+                match h.join() {
+                    Ok(out) => outs.push(out),
+                    Err(_) => join_failed = true,
+                }
             }
         });
 
@@ -222,6 +252,24 @@ impl ParallelPump {
             engine.client_response(o);
         }
 
+        // A dead worker means an unknown number of envelopes never
+        // arrived: the partial responses folded above are kept (they
+        // may have finalized some requests), everything still in
+        // flight is purged so no zombie aggregation lingers, and the
+        // caller gets an error instead of a process abort.
+        if join_failed || outs.iter().any(|o| o.failed) {
+            let mut completed = 0;
+            for id in ids {
+                if engine.take_finished(id).is_some() {
+                    completed += 1;
+                } else {
+                    engine.gathers.remove(&id);
+                    engine.learn.remove(&id);
+                }
+            }
+            return Err(DlptError::WorkerFailed { completed });
+        }
+
         let mut results = Vec::with_capacity(ids.len());
         for id in ids {
             let out = if let Some(out) = engine.take_finished(id) {
@@ -242,6 +290,14 @@ impl ParallelPump {
 
 /// The worker that owns `shards`: drain local FIFO, exchange at the
 /// round barrier, repeat until the mesh agrees nothing is in flight.
+///
+/// A panic inside the rounds is caught here, at the worker boundary,
+/// so the shards survive (they live in this frame, not in the panicked
+/// closure) and the batch can fail cleanly. Returning — normally or
+/// after a catch — drops this worker's senders, which cascades a
+/// disconnect error through every live peer's barrier `recv` within
+/// one round: the whole mesh winds down instead of deadlocking on a
+/// barrier that will never complete.
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     me: usize,
@@ -252,15 +308,55 @@ fn worker_loop(
     directory: &Directory,
     owner: &FxHashMap<Key, u32>,
     charge: bool,
+    sabotage: Option<usize>,
 ) -> WorkerOut {
-    let n = txs.len();
     let mut out = WorkerOut {
         shards: BTreeMap::new(),
         log: Vec::new(),
         discovery_messages: 0,
         discovery_drops: 0,
         undeliverable: 0,
+        failed: false,
     };
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if sabotage == Some(me) {
+            panic!("injected worker failure (test sabotage)");
+        }
+        run_rounds(
+            me,
+            &mut shards,
+            &mut queue,
+            &txs,
+            &rxs,
+            directory,
+            owner,
+            charge,
+            &mut out,
+        );
+    }));
+    if caught.is_err() {
+        out.failed = true;
+    }
+    out.shards = shards;
+    out
+}
+
+/// The barrier rounds of one worker. Returns early (marking the
+/// worker failed) when a mesh channel disconnects — i.e. some other
+/// worker died mid-round.
+#[allow(clippy::too_many_arguments)]
+fn run_rounds(
+    me: usize,
+    shards: &mut BTreeMap<Key, PeerShard>,
+    queue: &mut VecDeque<Envelope>,
+    txs: &[Option<Sender<Exchange>>],
+    rxs: &[Option<Receiver<Exchange>>],
+    directory: &Directory,
+    owner: &FxHashMap<Key, u32>,
+    charge: bool,
+    out: &mut WorkerOut,
+) {
+    let n = txs.len();
     let mut outboxes: Vec<Vec<Envelope>> = (0..n).map(|_| Vec::new()).collect();
     let mut fx = Effects::default();
     let mut round: u32 = 0;
@@ -271,14 +367,14 @@ fn worker_loop(
             emitted += process(
                 me,
                 env,
-                &mut shards,
-                &mut queue,
+                shards,
+                queue,
                 &mut outboxes,
                 directory,
                 owner,
                 charge,
                 &mut fx,
-                &mut out,
+                out,
                 round,
                 &mut seq,
             );
@@ -289,22 +385,30 @@ fn worker_loop(
         for (r, tx) in txs.iter().enumerate() {
             if let Some(tx) = tx {
                 let envs = std::mem::take(&mut outboxes[r]);
-                tx.send((emitted, envs)).expect("receiver alive");
+                if tx.send((emitted, envs)).is_err() {
+                    out.failed = true;
+                    return;
+                }
             }
         }
         let mut global = emitted;
         for rx in rxs.iter().flatten() {
-            let (their_emitted, envs) = rx.recv().expect("sender alive");
-            global += their_emitted;
-            queue.extend(envs);
+            match rx.recv() {
+                Ok((their_emitted, envs)) => {
+                    global += their_emitted;
+                    queue.extend(envs);
+                }
+                Err(_) => {
+                    out.failed = true;
+                    return;
+                }
+            }
         }
         round += 1;
         if global == 0 {
             break;
         }
     }
-    out.shards = shards;
-    out
 }
 
 /// Delivers one envelope on this worker (or forwards it). Returns how
@@ -676,6 +780,40 @@ mod tests {
             .unwrap();
         assert!(out[0].satisfied);
         assert_eq!(e.cache_stats.hits, 1, "{:?}", e.cache_stats);
+    }
+
+    /// Satellite regression: one worker dying mid-round used to
+    /// deadlock-or-panic the whole process at the barrier
+    /// `expect("receiver alive")` / `expect("sender alive")` pair. It
+    /// must now fail the batch with an error, keep every shard, purge
+    /// the batch's in-flight aggregation state, and leave the engine
+    /// fully usable.
+    #[test]
+    fn a_dying_worker_fails_the_batch_without_poisoning_the_engine() {
+        let mut sys = built_system(17, u32::MAX >> 1);
+        let nodes_before = sys.node_labels().len();
+        let peers_before = sys.peer_ids().len();
+        let entry = sys.node_labels().into_iter().next().unwrap();
+        let requests: Vec<(Key, QueryKind)> = query_mix()
+            .into_iter()
+            .map(|q| (entry.clone(), q))
+            .collect();
+        let err = ParallelPump::sabotaged(4, 2)
+            .run_batch(&mut sys, requests.clone())
+            .unwrap_err();
+        assert!(
+            matches!(err, DlptError::WorkerFailed { .. }),
+            "expected WorkerFailed, got {err:?}"
+        );
+        // No shard was lost and no zombie aggregation lingers.
+        assert_eq!(sys.node_labels().len(), nodes_before);
+        assert_eq!(sys.peer_ids().len(), peers_before);
+        assert!(sys.gathers.is_empty(), "batch state must be purged");
+        // The engine is still fully serviceable, batch and sequential.
+        let out = ParallelPump::new(4).run_batch(&mut sys, requests).unwrap();
+        assert!(out.iter().any(|o| o.satisfied));
+        let out = sys.request(QueryKind::Exact(k("SVC00"))).unwrap();
+        assert!(out.satisfied);
     }
 
     #[test]

@@ -35,6 +35,14 @@ pub enum DlptError {
         /// Budget that was exceeded.
         budget: usize,
     },
+    /// A parallel-pump worker died mid-round; the batch was abandoned
+    /// cleanly (surviving shards reassembled, in-flight requests
+    /// purged) instead of aborting the process.
+    WorkerFailed {
+        /// Requests of the batch that had already resolved when the
+        /// pump collapsed.
+        completed: usize,
+    },
 }
 
 impl fmt::Display for DlptError {
@@ -53,6 +61,11 @@ impl fmt::Display for DlptError {
             DlptError::HopBudgetExhausted { budget } => {
                 write!(f, "hop budget of {budget} exhausted (routing loop?)")
             }
+            DlptError::WorkerFailed { completed } => write!(
+                f,
+                "parallel-pump worker died mid-round; batch abandoned \
+                 ({completed} requests had already resolved)"
+            ),
         }
     }
 }

@@ -45,6 +45,7 @@ pub mod peer;
 pub mod protocol;
 pub mod replication;
 pub mod system;
+pub mod transport;
 pub mod trie;
 
 pub use alphabet::Alphabet;
@@ -58,4 +59,5 @@ pub use node::NodeState;
 pub use peer::PeerState;
 pub use replication::{AntiEntropyReport, ReplicationStats};
 pub use system::{DlptSystem, LookupOutcome, SystemBuilder, SystemConfig};
+pub use transport::{FaultPlan, FaultStats, Faults, FaultyTransport};
 pub use trie::PgcpTrie;

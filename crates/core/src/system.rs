@@ -23,6 +23,7 @@ use crate::key::Key;
 use crate::messages::{Address, Envelope, NodeMsg, QueryKind};
 use crate::node::NodeState;
 use crate::replication::AntiEntropyReport;
+use crate::transport::{FaultPlan, FaultStats, Faults, FaultyTransport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, VecDeque};
@@ -58,6 +59,11 @@ pub struct SystemConfig {
     /// by per-label epochs. The default `0` disables caching entirely —
     /// the runtime is then byte-identical to the pre-cache system.
     pub cache_capacity: usize,
+    /// How many times one discovery request may be re-issued after
+    /// fault-induced loss left a branch outstanding at quiescence.
+    /// Only consulted when a [`FaultPlan`] is active; at exhaustion
+    /// the request fails explicitly (never hangs).
+    pub request_retry_budget: u32,
 }
 
 impl Default for SystemConfig {
@@ -70,6 +76,7 @@ impl Default for SystemConfig {
             requeue_budget: 256,
             replication: 1,
             cache_capacity: 0,
+            request_retry_budget: 4,
         }
     }
 }
@@ -171,6 +178,8 @@ pub struct DlptSystem {
     engine: Engine,
     /// The immediate-FIFO queue this runtime drains to quiescence.
     pump: FifoTransport,
+    /// Fault-injection state ([`crate::transport`]); inert by default.
+    faults: Faults,
     debug_drain: bool,
 }
 
@@ -201,6 +210,7 @@ impl DlptSystem {
             rng: StdRng::seed_from_u64(seed),
             engine,
             pump: FifoTransport::default(),
+            faults: Faults::new(FaultPlan::default()),
             debug_drain: std::env::var_os("DLPT_DEBUG_DRAIN").is_some(),
             config,
         }
@@ -230,6 +240,37 @@ impl DlptSystem {
     pub fn set_cache_capacity(&mut self, n: usize) {
         self.config.cache_capacity = n;
         self.engine.set_cache_capacity(n);
+    }
+
+    /// Installs a fault plan ([`crate::transport`]), resetting the
+    /// fault RNG, counters and partition. The default plan is fully
+    /// inert: the drain path is byte-identical to a system that never
+    /// called this.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        // Reordering breaks the FIFO parent-before-child response
+        // order the pump's eager judging relies on; finalize at
+        // quiescence instead while such a plan is installed.
+        self.engine.set_judge_at_quiescence(plan.reorder_rate > 0.0);
+        self.faults = Faults::new(plan);
+    }
+
+    /// Severs the lexicographic key range `[lo, hi)` for faultable
+    /// traffic until [`DlptSystem::heal_partition`].
+    pub fn partition(&mut self, lo: Key, hi: Key) {
+        self.faults.partition(lo, hi);
+    }
+
+    /// Heals a partition installed by [`DlptSystem::partition`].
+    pub fn heal_partition(&mut self) {
+        self.faults.heal();
+    }
+
+    /// Combined fault counters: transport-level draws plus the
+    /// engine's suppressed duplicates.
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut s = self.faults.stats;
+        s.duplicates_suppressed += self.engine.duplicates_suppressed;
+        s
     }
 
     /// A uniformly random node label (the "random node of the tree"
@@ -397,11 +438,41 @@ impl DlptSystem {
     /// [`Engine::begin_request`] for the route-cache flow.
     pub fn request_from(&mut self, entry: &Key, query: QueryKind) -> Result<LookupOutcome> {
         let (id, env) = self.engine.begin_request(entry, query)?;
+        if !self.faults.is_active() {
+            self.enqueue(env);
+            self.drain()?;
+            return self
+                .engine
+                .take_finished(id)
+                .ok_or(DlptError::Undeliverable(format!("request {id}")));
+        }
+        // Fault-tolerant path: a lost response leaves a branch
+        // outstanding at quiescence; re-issue the original envelope up
+        // to the retry budget, then fail explicitly — a request never
+        // hangs and never silently vanishes.
+        let origin = env.clone();
         self.enqueue(env);
         self.drain()?;
-        self.engine
-            .take_finished(id)
-            .ok_or(DlptError::Undeliverable(format!("request {id}")))
+        let mut attempts = 0u32;
+        loop {
+            if let Some(out) = self.engine.take_finished(id) {
+                return Ok(out);
+            }
+            if !self.engine.retry_pending(id) || attempts >= self.config.request_retry_budget {
+                break;
+            }
+            attempts += 1;
+            self.faults.stats.retries += 1;
+            self.engine.reset_request_for_retry(id);
+            self.enqueue(origin.clone());
+            self.drain()?;
+        }
+        if self.engine.retry_pending(id) {
+            // Budget exhausted with a branch still stranded: the
+            // outcome below is the explicit failure.
+            self.faults.stats.requests_failed += 1;
+        }
+        Ok(self.engine.finish_request(id))
     }
 
     /// Runs a batch of discovery requests through the sharded
@@ -449,7 +520,16 @@ impl DlptSystem {
     /// Moves one node to another peer, updating the directory. Used by
     /// the balancers; counted as balance traffic.
     pub fn migrate_node(&mut self, label: &Key, to: &Key) -> Result<()> {
-        self.engine.migrate_shard_node(label, to, &mut self.pump)?;
+        // Unlike the other mutating entry points (whose emissions are
+        // all reliable-class), a migration broadcasts the faultable
+        // `InvalidateCached` — it must enter through the fault layer or
+        // a partition could never strand a stale shortcut.
+        if self.faults.is_active() {
+            let mut t = FaultyTransport::new(&mut self.pump, &mut self.faults);
+            self.engine.migrate_shard_node(label, to, &mut t)?;
+        } else {
+            self.engine.migrate_shard_node(label, to, &mut self.pump)?;
+        }
         self.drain()?;
         self.flush_replication()
     }
@@ -746,10 +826,21 @@ impl DlptSystem {
                     trace.pop_front();
                 }
             }
-            match self.engine.deliver(&mut self.pump, env)? {
+            let step = if self.faults.is_active() {
+                let mut t = FaultyTransport::new(&mut self.pump, &mut self.faults);
+                self.engine.deliver(&mut t, env)?
+            } else {
+                self.engine.deliver(&mut self.pump, env)?
+            };
+            match step {
                 Step::Done => {}
                 Step::Requeue(env) => self.requeue(requeues, env)?,
             }
+        }
+        // Reorder-deferred envelopes are released at quiescence; they
+        // may fan out further, so drain again until nothing is held.
+        if self.faults.flush_deferred(&mut self.pump) {
+            return self.drain();
         }
         Ok(())
     }

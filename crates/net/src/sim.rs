@@ -21,6 +21,7 @@ use crate::event::EventQueue;
 use dlpt_core::engine::{Engine, EngineConfig, Step, Transport};
 use dlpt_core::key::Key;
 use dlpt_core::messages::{Envelope, QueryKind};
+use dlpt_core::transport::{FaultPlan, FaultStats, Faults, FaultyTransport};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -72,6 +73,15 @@ pub struct LatencyNet {
     latency: LatencyModel,
     rng: StdRng,
     requeue_budget: u32,
+    /// Fault-injection state (`dlpt_core::transport`); inert by
+    /// default.
+    faults: Faults,
+    /// Bounded per-request retries when faults are active; exhaustion
+    /// fails the request explicitly.
+    request_retry_budget: u32,
+    /// Base delay of the exponential retry backoff (ticks); attempt
+    /// `a` re-enters the event queue after `base << a`.
+    backoff_base: u64,
     /// Messages delivered so far.
     pub deliveries: u64,
 }
@@ -101,20 +111,53 @@ impl LatencyNet {
             latency,
             rng: StdRng::seed_from_u64(seed),
             requeue_budget: 4096,
+            faults: Faults::new(FaultPlan::default()),
+            request_retry_budget: 4,
+            backoff_base: 8,
             deliveries: 0,
         }
+    }
+
+    /// Installs a fault plan, resetting the fault RNG, counters and
+    /// partition. The default plan is fully inert.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Faults::new(plan);
+    }
+
+    /// Severs the lexicographic key range `[lo, hi)` for faultable
+    /// traffic until [`LatencyNet::heal_partition`].
+    pub fn partition(&mut self, lo: Key, hi: Key) {
+        self.faults.partition(lo, hi);
+    }
+
+    /// Heals a partition installed by [`LatencyNet::partition`].
+    pub fn heal_partition(&mut self) {
+        self.faults.heal();
+    }
+
+    /// Combined fault counters: transport-level draws plus the
+    /// engine's suppressed duplicates.
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut s = self.faults.stats;
+        s.duplicates_suppressed += self.engine.duplicates_suppressed;
+        s
     }
 
     /// Schedules one externally injected envelope through the same
     /// transport the engine uses, so injected operations and
     /// engine-emitted traffic can never diverge in delivery policy.
     fn send(&mut self, env: Envelope) {
-        LatencyTransport {
+        let inner = LatencyTransport {
             queue: &mut self.queue,
             latency: self.latency,
             rng: &mut self.rng,
+        };
+        if self.faults.is_active() {
+            FaultyTransport::new(inner, &mut self.faults).deliver(env);
+        } else {
+            let mut inner = inner;
+            inner.deliver(env);
         }
-        .deliver(env);
     }
 
     /// Adds a peer, routing the join through the tree, and runs the
@@ -175,6 +218,7 @@ impl LatencyNet {
             .engine
             .begin_request(&entry, query)
             .expect("entry is a live node");
+        let origin = self.faults.is_active().then(|| env.clone());
         self.send(env);
         self.run_to_quiescence();
         // Only judge completion once the network is drained: responses
@@ -182,29 +226,73 @@ impl LatencyNet {
         // can transiently touch zero while a parent's response (which
         // would raise it again via `pending_children`) is still in
         // flight.
+        if let Some(origin) = origin {
+            // Fault-tolerant path: a branch left outstanding at
+            // quiescence means loss; re-issue with exponential backoff
+            // (the retry re-enters the event queue `base << attempt`
+            // ticks out, past everything the first attempt scheduled),
+            // then fail explicitly at budget exhaustion.
+            let mut attempts = 0u32;
+            while self.engine.retry_pending(id) && attempts < self.request_retry_budget {
+                self.faults.stats.retries += 1;
+                self.engine.reset_request_for_retry(id);
+                let delay = self.backoff_base << attempts.min(16);
+                attempts += 1;
+                self.queue.push_after(delay, (0, origin.clone()));
+                self.run_to_quiescence();
+            }
+            if self.engine.retry_pending(id) {
+                self.faults.stats.requests_failed += 1;
+            }
+        }
         let out = self.engine.finish_request(id);
         (out.satisfied, out.results)
     }
 
-    /// Delivers events until none remain.
+    /// Delivers events until none remain (including envelopes a
+    /// reordering fault held back past the queue).
     pub fn run_to_quiescence(&mut self) {
-        while let Some((_, (requeues, env))) = self.queue.pop() {
-            self.deliveries += 1;
-            let mut t = LatencyTransport {
+        loop {
+            while let Some((_, (requeues, env))) = self.queue.pop() {
+                self.deliveries += 1;
+                let inner = LatencyTransport {
+                    queue: &mut self.queue,
+                    latency: self.latency,
+                    rng: &mut self.rng,
+                };
+                let step = if self.faults.is_active() {
+                    let mut t = FaultyTransport::new(inner, &mut self.faults);
+                    self.engine.deliver(&mut t, env).expect("valid envelope")
+                } else {
+                    let mut t = inner;
+                    self.engine.deliver(&mut t, env).expect("valid envelope")
+                };
+                match step {
+                    Step::Done => {}
+                    Step::Requeue(env) => {
+                        if requeues >= self.requeue_budget {
+                            // A lost discovery message still resolves
+                            // its request (explicit failure); anything
+                            // else exhausting the budget is a routing
+                            // bug worth aborting on.
+                            self.engine
+                                .fail_undeliverable(env)
+                                .expect("only discovery traffic may exhaust the requeue budget");
+                            continue;
+                        }
+                        // Retry shortly; the message that creates the
+                        // destination is already in flight.
+                        self.queue.push_after(1, (requeues + 1, env));
+                    }
+                }
+            }
+            let mut inner = LatencyTransport {
                 queue: &mut self.queue,
                 latency: self.latency,
                 rng: &mut self.rng,
             };
-            match self.engine.deliver(&mut t, env).expect("valid envelope") {
-                Step::Done => {}
-                Step::Requeue(env) => {
-                    if requeues >= self.requeue_budget {
-                        panic!("undeliverable under latency: {env:?}");
-                    }
-                    // Retry shortly; the message that creates the
-                    // destination is already in flight.
-                    self.queue.push_after(1, (requeues + 1, env));
-                }
+            if !self.faults.flush_deferred(&mut inner) {
+                break;
             }
         }
     }

@@ -30,6 +30,7 @@ use dlpt_core::key::Key;
 use dlpt_core::messages::{Address, Envelope, Message, NodeMsg, PeerMsg, QueryKind};
 use dlpt_core::peer::PeerShard;
 use dlpt_core::protocol::{self, Effects};
+use dlpt_core::transport::{FaultPlan, FaultStats, Faults, FaultyTransport};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -96,6 +97,11 @@ pub struct ThreadedDlpt {
     /// Shared counters.
     pub stats: Arc<ThreadedStats>,
     retry_budget: u32,
+    /// Fault-injection layer interposed on the router queue.
+    faults: Faults,
+    /// Re-issues of a request whose gather was stranded by frame loss
+    /// (consulted only while a [`FaultPlan`] is active).
+    request_retry_budget: u32,
 }
 
 impl std::ops::Deref for ThreadedDlpt {
@@ -130,6 +136,52 @@ impl ThreadedDlpt {
             inflight: 0,
             stats: Arc::new(ThreadedStats::default()),
             retry_budget: 10_000,
+            faults: Faults::new(FaultPlan::default()),
+            request_retry_budget: 4,
+        }
+    }
+
+    /// Installs a fault plan on the router queue (resetting any prior
+    /// fault state). The default plan is fully inert.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Faults::new(plan);
+    }
+
+    /// Severs frames addressed to keys in `[lo, hi)` until
+    /// [`ThreadedDlpt::heal_partition`].
+    pub fn partition(&mut self, lo: Key, hi: Key) {
+        self.faults.partition(lo, hi);
+    }
+
+    /// Lifts an active partition.
+    pub fn heal_partition(&mut self) {
+        self.faults.heal();
+    }
+
+    /// Fault-injection and recovery counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut stats = self.faults.stats;
+        stats.duplicates_suppressed += self.engine.duplicates_suppressed;
+        stats
+    }
+
+    /// Caps per-frame redelivery attempts before the owning request is
+    /// failed explicitly (default `10_000`).
+    pub fn set_retry_budget(&mut self, budget: u32) {
+        self.retry_budget = budget;
+    }
+
+    /// Routes an envelope onto the router queue through the fault
+    /// layer (a no-op wrapper while the plan is inert).
+    fn push_env(&mut self, env: Envelope) {
+        let inner = FrameTransport {
+            queue: &mut self.queue,
+        };
+        if self.faults.is_active() {
+            FaultyTransport::new(inner, &mut self.faults).deliver(env);
+        } else {
+            let mut inner = inner;
+            inner.deliver(env);
         }
     }
 
@@ -306,7 +358,7 @@ impl ThreadedDlpt {
             return;
         }
         let env = self.engine.join_envelope(&id, &mut self.rng);
-        self.queue.push_back((0, encode(&env)));
+        self.push_env(env);
         self.run_to_quiescence();
     }
 
@@ -315,7 +367,7 @@ impl ThreadedDlpt {
         let key = key.into();
         assert!(!self.peers.is_empty(), "need at least one peer");
         let env = self.engine.insert_envelope(key, &mut self.rng);
-        self.queue.push_back((0, encode(&env)));
+        self.push_env(env);
         self.run_to_quiescence();
     }
 
@@ -323,7 +375,7 @@ impl ThreadedDlpt {
     pub fn remove_data(&mut self, key: &Key) {
         if let Some(entry) = self.engine.random_node(&mut self.rng) {
             let env = Envelope::to_node(entry, NodeMsg::DataRemoval { key: key.clone() });
-            self.queue.push_back((0, encode(&env)));
+            self.push_env(env);
             self.run_to_quiescence();
         }
     }
@@ -355,8 +407,27 @@ impl ThreadedDlpt {
             .engine
             .begin_request(&entry, query)
             .expect("entry is a live node");
-        self.queue.push_back((0, encode(&env)));
+        let origin = self.faults.is_active().then(|| env.clone());
+        self.push_env(env);
         self.run_to_quiescence();
+        if let Some(origin) = origin {
+            // A branch still outstanding after the router drained means
+            // a frame was lost: re-issue from the origin envelope with
+            // a fresh aggregate, then fail explicitly at budget
+            // exhaustion. The threaded runtime has no clock, so the
+            // retry is immediate rather than backed off.
+            let mut attempts = 0u32;
+            while self.engine.retry_pending(id) && attempts < self.request_retry_budget {
+                self.faults.stats.retries += 1;
+                self.engine.reset_request_for_retry(id);
+                attempts += 1;
+                self.push_env(origin.clone());
+                self.run_to_quiescence();
+            }
+            if self.engine.retry_pending(id) {
+                self.faults.stats.requests_failed += 1;
+            }
+        }
         let out = self.engine.finish_request(id);
         (out.satisfied, out.results)
     }
@@ -376,8 +447,31 @@ impl ThreadedDlpt {
                 }
             }
             if self.inflight == 0 {
+                // Frames a reordering fault held back re-enter the
+                // queue now ("late", never "lost twice").
+                {
+                    let mut t = FrameTransport {
+                        queue: &mut self.queue,
+                    };
+                    if self.faults.flush_deferred(&mut t) {
+                        continue;
+                    }
+                }
                 if parked.is_empty() {
                     return;
+                }
+                if self.faults.is_active() {
+                    // A lost frame can strand its descendants with no
+                    // destination ever materialising: fail their
+                    // requests explicitly instead of deadlocking.
+                    while let Some((_, frame)) = parked.pop_front() {
+                        self.faults.stats.frames_exhausted += 1;
+                        let env = decode(&frame).expect("self-produced");
+                        self.engine
+                            .fail_undeliverable(env)
+                            .expect("only discovery frames may strand under faults");
+                    }
+                    continue;
                 }
                 // Nothing in flight can unblock the parked frames.
                 let (retries, frame) = parked.front().expect("non-empty");
@@ -400,20 +494,43 @@ impl ThreadedDlpt {
                 relocated: reply.relocated,
                 removed: reply.removed,
             };
-            {
+            if self.faults.is_active() {
+                let inner = FrameTransport {
+                    queue: &mut self.queue,
+                };
+                let mut t = FaultyTransport::new(inner, &mut self.faults);
+                self.engine.apply(&mut fx, &mut t);
+                for f in reply.frames {
+                    let env = decode(&f).expect("self-produced");
+                    let inner = FrameTransport {
+                        queue: &mut self.queue,
+                    };
+                    FaultyTransport::new(inner, &mut self.faults).deliver(env);
+                }
+            } else {
                 let mut t = FrameTransport {
                     queue: &mut self.queue,
                 };
                 self.engine.apply(&mut fx, &mut t);
-            }
-            for f in reply.frames {
-                self.queue.push_back((0, f));
+                for f in reply.frames {
+                    self.queue.push_back((0, f));
+                }
             }
             if let Some((retries, frame)) = reply.undelivered {
                 if retries >= self.retry_budget {
-                    panic!("frame undeliverable after {retries} retries");
+                    // Budget exhausted: record it and resolve the
+                    // owning request as an explicit failure instead of
+                    // aborting the router (frames that are not
+                    // discovery traffic still abort — exhausting the
+                    // budget there is a routing bug).
+                    self.faults.stats.frames_exhausted += 1;
+                    let env = decode(&frame).expect("self-produced");
+                    self.engine
+                        .fail_undeliverable(env)
+                        .expect("only discovery frames may exhaust the retry budget");
+                } else {
+                    self.queue.push_back((retries + 1, frame));
                 }
-                self.queue.push_back((retries + 1, frame));
             }
             // The directory may have changed: parked frames get
             // another chance.

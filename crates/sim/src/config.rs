@@ -127,6 +127,22 @@ impl CorpusKind {
     }
 }
 
+/// A healable network partition scheduled within a run (fault
+/// extension, `figA`): frames addressed to keys in `[lo, hi)` are
+/// severed from unit `from` (inclusive) until unit `until`
+/// (exclusive), then the cut heals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionSpec {
+    /// Lower bound (inclusive) of the severed key range.
+    pub lo: String,
+    /// Upper bound (exclusive) of the severed key range.
+    pub hi: String,
+    /// First time unit with the partition in place.
+    pub from: u32,
+    /// First time unit after the partition heals.
+    pub until: u32,
+}
+
 /// Full description of one experiment (one curve of one figure).
 #[derive(Debug, Clone)]
 pub struct ExperimentConfig {
@@ -197,6 +213,16 @@ pub struct ExperimentConfig {
     /// deterministic per `(seed, workers)` rather than per seed alone,
     /// so committed CSVs stay at the default `1`.
     pub workers: usize,
+    /// Probability that a faultable message (discovery, client
+    /// response, cache invalidation) is lost in transit (fault
+    /// extension, `figA`). `0.0` (the default) keeps the transport
+    /// byte-identical to the fault-free system.
+    pub loss_rate: f64,
+    /// Probability that a faultable message is delivered twice.
+    pub dup_rate: f64,
+    /// Scheduled healable partition; `None` (the default) for a fully
+    /// connected network.
+    pub partition: Option<PartitionSpec>,
 }
 
 impl Default for ExperimentConfig {
@@ -223,6 +249,9 @@ impl Default for ExperimentConfig {
             cache_capacity: 0,
             track_depth_hist: false,
             workers: 1,
+            loss_rate: 0.0,
+            dup_rate: 0.0,
+            partition: None,
         }
     }
 }

@@ -6,7 +6,7 @@
 //! a load sweep; Table 2 measures the implemented PHT and P-Grid
 //! comparators against the DLPT on an identical corpus.
 
-use crate::config::{ExperimentConfig, LbKind, PopKind};
+use crate::config::{ExperimentConfig, LbKind, PartitionSpec, PopKind};
 use crate::runner::{gain_pct, run_experiment, AveragedSeries};
 use dlpt_baselines::pgrid::PGrid;
 use dlpt_baselines::pht::{PhtConfig, PrefixHashTree};
@@ -228,6 +228,67 @@ pub fn figc_config(w: &FigCWorkload, cache: usize) -> ExperimentConfig {
         popularity: w.pop.clone(),
         cache_capacity: cache,
         track_depth_hist: true,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// One resilience curve of Figure A (fault extension): a replication
+/// setting run under lossy transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FigAVariant {
+    /// Curve label used in CSV headers and charts.
+    pub label: &'static str,
+    /// Replication factor `k`.
+    pub replication: usize,
+    /// Anti-entropy on/off.
+    pub anti_entropy: bool,
+}
+
+/// The two curves Figure A compares: the paper's unreplicated system
+/// and the self-healing k = 2 + anti-entropy configuration, both under
+/// the same message-fault schedule.
+pub fn figa_variants() -> Vec<FigAVariant> {
+    vec![
+        FigAVariant {
+            label: "k1",
+            replication: 1,
+            anti_entropy: false,
+        },
+        FigAVariant {
+            label: "k2",
+            replication: 2,
+            anti_entropy: true,
+        },
+    ]
+}
+
+/// The message-loss sweep of Figure A (probability that a discovery or
+/// response message is dropped in transit). 0 is the fault-free
+/// control.
+pub const FIGA_LOSS_RATES: [f64; 4] = [0.0, 0.05, 0.10, 0.20];
+
+/// One Figure A experiment: the low-load stable setup of Figure 4 plus
+/// a light crash rate (so key survival has something to defend), 5%
+/// message duplication, the given loss rate, and a partition severing
+/// the `["D", "K")` key range over units 25–34 before healing. Low
+/// load keeps capacity drops out of the way, so satisfaction isolates
+/// transport damage and the retry machinery's recovery.
+pub fn figa_config(loss_rate: f64, v: FigAVariant) -> ExperimentConfig {
+    ExperimentConfig {
+        name: format!("figA-{}-l{loss_rate}", v.label),
+        load: 0.10,
+        churn: ChurnModel::stable().with_crash_rate(0.006),
+        lb: LbKind::None,
+        replication: v.replication,
+        anti_entropy: v.anti_entropy,
+        loss_rate,
+        dup_rate: 0.05,
+        partition: Some(PartitionSpec {
+            lo: "D".into(),
+            hi: "K".into(),
+            from: 25,
+            until: 35,
+        }),
         ..ExperimentConfig::default()
     }
 }
@@ -507,6 +568,75 @@ mod tests {
             "k=1 must lose keys ({} of {} alive)",
             last.keys_alive,
             last.keys_inserted
+        );
+    }
+
+    #[test]
+    fn figa_grid_covers_the_fault_sweep() {
+        let vs = figa_variants();
+        assert_eq!(vs.len(), 2);
+        assert!(vs.iter().any(|v| v.replication == 1 && !v.anti_entropy));
+        assert!(vs.iter().any(|v| v.replication == 2 && v.anti_entropy));
+        assert_eq!(FIGA_LOSS_RATES[0], 0.0, "first sweep point is fault-free");
+        let cfg = figa_config(0.10, vs[1]);
+        assert_eq!(cfg.replication, 2);
+        assert!((cfg.loss_rate - 0.10).abs() < 1e-12);
+        assert!((cfg.dup_rate - 0.05).abs() < 1e-12);
+        let p = cfg.partition.expect("figA schedules a partition");
+        assert!(p.from < p.until && p.until <= cfg.time_units);
+        let control = figa_config(0.0, vs[0]);
+        assert_eq!(control.base_seed, cfg.base_seed, "paired seeds");
+    }
+
+    #[test]
+    fn figa_requests_terminate_and_k2_ae_survives_a_healed_partition() {
+        // The acceptance scenario at test scale: 10% loss + 5% dup +
+        // a healed partition. Every request must terminate (satisfied,
+        // dropped or explicitly failed — never hung), and k=2 + AE must
+        // end with ≥ 99% of keys discoverable after the cut heals.
+        use crate::run::run_once;
+        let scale = |v: FigAVariant| {
+            let mut cfg = figa_config(0.10, v).scaled_down(8);
+            cfg.time_units = 30;
+            cfg.growth_units = 10;
+            cfg.partition = Some(PartitionSpec {
+                lo: "D".into(),
+                hi: "K".into(),
+                from: 15,
+                until: 20,
+            });
+            cfg.base_seed = 0xFA17;
+            cfg
+        };
+        let vs = figa_variants();
+        let k2 = run_once(&scale(vs[1]), 0);
+        for (t, u) in k2.units.iter().enumerate() {
+            assert_eq!(
+                u.satisfied + u.dropped + u.not_found,
+                u.issued,
+                "unit {t}: every request must terminate"
+            );
+        }
+        let last = k2.units.last().unwrap();
+        assert!(
+            last.survival_pct() >= 99.0,
+            "k=2 + AE survival after heal: {} ({} of {})",
+            last.survival_pct(),
+            last.keys_alive,
+            last.keys_inserted
+        );
+        let lost: u64 = k2.units.iter().map(|u| u.frames_lost).sum();
+        let severed: u64 = k2.units.iter().map(|u| u.partition_dropped).sum();
+        let retries: u64 = k2.units.iter().map(|u| u.retries).sum();
+        assert!(lost > 0, "the run must actually lose frames");
+        assert!(severed > 0, "the partition must actually sever frames");
+        assert!(retries > 0, "loss must trigger the retry machinery");
+        // The partition window visibly dents satisfaction relative to
+        // the healed tail — and the tail recovers.
+        let tail = &k2.units[25..];
+        assert!(
+            tail.iter().all(|u| u.partition_dropped == 0),
+            "no severed frames after the heal"
         );
     }
 

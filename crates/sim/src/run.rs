@@ -14,6 +14,7 @@ use dlpt_core::key::Key;
 use dlpt_core::messages::QueryKind;
 use dlpt_core::metrics::DepthHistogram;
 use dlpt_core::system::DlptSystem;
+use dlpt_core::transport::FaultPlan;
 use dlpt_dht::mapping::RandomMapping;
 use dlpt_workloads::capacity::CapacityModel;
 use rand::rngs::StdRng;
@@ -65,6 +66,17 @@ pub struct UnitMetrics {
     /// visits at tree depth `d`); empty unless `track_depth_hist` is
     /// set.
     pub depth_visits: Vec<u64>,
+    /// Faultable messages lost in transit this unit (fault extension,
+    /// `figA`). All-zero fault counters mean the transport ran inert.
+    pub frames_lost: u64,
+    /// Faultable messages delivered twice this unit.
+    pub frames_duplicated: u64,
+    /// Messages severed by an active partition this unit.
+    pub partition_dropped: u64,
+    /// Request re-issues after a gather was stranded by loss.
+    pub retries: u64,
+    /// Requests failed explicitly at retry-budget exhaustion.
+    pub requests_failed: u64,
 }
 
 impl UnitMetrics {
@@ -161,6 +173,15 @@ pub fn run_once(cfg: &ExperimentConfig, run_idx: usize) -> RunResult {
             .expect("bootstrap identifiers are fresh");
     }
 
+    if cfg.loss_rate > 0.0 || cfg.dup_rate > 0.0 || cfg.partition.is_some() {
+        sys.set_fault_plan(FaultPlan {
+            loss_rate: cfg.loss_rate,
+            dup_rate: cfg.dup_rate,
+            reorder_rate: 0.0,
+            seed: seed ^ 0xFA17,
+        });
+    }
+
     let mut pop = cfg.popularity.build();
     let per_unit_growth = corpus.len().div_ceil(cfg.growth_units.max(1) as usize);
     let mut next_key = 0usize;
@@ -169,6 +190,15 @@ pub fn run_once(cfg: &ExperimentConfig, run_idx: usize) -> RunResult {
     let mut units = Vec::with_capacity(cfg.time_units as usize);
     for t in 0..cfg.time_units {
         let migrations_before = sys.stats.balance_migrations;
+        if let Some(p) = &cfg.partition {
+            if t == p.from {
+                sys.partition(Key::from(p.lo.as_str()), Key::from(p.hi.as_str()));
+            }
+            if t == p.until {
+                sys.heal_partition();
+            }
+        }
+        let faults_before = sys.fault_stats();
 
         // (1) Load balancing on recent history.
         lb.before_unit(&mut sys, &mut rng);
@@ -318,6 +348,12 @@ pub fn run_once(cfg: &ExperimentConfig, run_idx: usize) -> RunResult {
             .flat_map(|s| s.nodes.values())
             .map(|n| n.data.len() as u64)
             .sum();
+        let faults_after = sys.fault_stats();
+        m.frames_lost = faults_after.lost - faults_before.lost;
+        m.frames_duplicated = faults_after.duplicated - faults_before.duplicated;
+        m.partition_dropped = faults_after.partition_dropped - faults_before.partition_dropped;
+        m.retries = faults_after.retries - faults_before.retries;
+        m.requests_failed = faults_after.requests_failed - faults_before.requests_failed;
         sys.end_time_unit();
         units.push(m);
     }
@@ -353,6 +389,9 @@ mod tests {
             cache_capacity: 0,
             track_depth_hist: false,
             workers: 1,
+            loss_rate: 0.0,
+            dup_rate: 0.0,
+            partition: None,
         }
     }
 

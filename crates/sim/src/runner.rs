@@ -48,6 +48,14 @@ pub struct AveragedSeries {
     /// Steady-state per-depth visits of satisfied routes (summed over
     /// units, averaged per run); empty unless `track_depth_hist`.
     pub depth_visits: Vec<f64>,
+    /// Steady-state faultable messages lost per run (averaged; fault
+    /// extension, `figA`).
+    pub steady_frames_lost: f64,
+    /// Steady-state request re-issues per run (averaged).
+    pub steady_retries: f64,
+    /// Steady-state requests failed at retry exhaustion per run
+    /// (averaged).
+    pub steady_requests_failed: f64,
     /// Number of runs averaged.
     pub runs: usize,
 }
@@ -168,6 +176,9 @@ pub fn average(cfg: &ExperimentConfig, results: &[RunResult]) -> AveragedSeries 
         steady_cache_hits: 0.0,
         steady_cache_stale: 0.0,
         depth_visits: Vec::new(),
+        steady_frames_lost: 0.0,
+        steady_retries: 0.0,
+        steady_requests_failed: 0.0,
         runs: results.len(),
     };
     for r in results {
@@ -186,6 +197,9 @@ pub fn average(cfg: &ExperimentConfig, results: &[RunResult]) -> AveragedSeries 
             out.steady_hop_samples += u.hop_samples as f64 / runs;
             out.steady_cache_hits += u.cache_hits as f64 / runs;
             out.steady_cache_stale += u.cache_stale as f64 / runs;
+            out.steady_frames_lost += u.frames_lost as f64 / runs;
+            out.steady_retries += u.retries as f64 / runs;
+            out.steady_requests_failed += u.requests_failed as f64 / runs;
             if out.depth_visits.len() < u.depth_visits.len() {
                 out.depth_visits.resize(u.depth_visits.len(), 0.0);
             }
@@ -237,6 +251,9 @@ mod tests {
             cache_capacity: 0,
             track_depth_hist: false,
             workers: 1,
+            loss_rate: 0.0,
+            dup_rate: 0.0,
+            partition: None,
         }
     }
 

@@ -30,6 +30,9 @@ fn test_config(lb: LbKind, churn: ChurnModel, seed: u64) -> ExperimentConfig {
         cache_capacity: 0,
         track_depth_hist: false,
         workers: 1,
+        loss_rate: 0.0,
+        dup_rate: 0.0,
+        partition: None,
     }
 }
 

@@ -6,7 +6,7 @@
 //! debuggable.
 
 use dlpt::core::messages::QueryKind;
-use dlpt::core::{Alphabet, DlptSystem, Key, LookupOutcome};
+use dlpt::core::{Alphabet, DlptSystem, FaultPlan, FaultStats, Key, LookupOutcome};
 
 const KEYS: [&str; 12] = [
     "DGEMM", "DGEMV", "DTRSM", "DTRMM", "SGEMM", "SGEMV", "S3L_fft", "S3L_sort", "PSGESV",
@@ -182,6 +182,75 @@ fn cached_run_matches_golden_results_and_placement() {
         assert_eq!(a.found, b.found);
         assert_eq!(a.satisfied, b.satisfied);
     }
+}
+
+/// Fault-injection satellite, half one: the fault layer is *inert by
+/// default*. The scripted run never installs a plan, so no fault
+/// counter may move and the committed golden fingerprint must be
+/// reproduced byte for byte — the `FaultyTransport` wiring may not
+/// perturb a single RNG draw or counter of a fault-free system.
+#[test]
+fn fault_layer_off_reproduces_committed_golden_fingerprint() {
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/determinism_seed42.txt"
+    );
+    let (sys, outcomes) = scripted_run(42);
+    assert_eq!(
+        sys.fault_stats(),
+        FaultStats::default(),
+        "no plan installed, no counter may move"
+    );
+    let got = fingerprint(&sys, &outcomes);
+    let want = std::fs::read_to_string(golden_path).expect("golden fingerprint is committed");
+    assert_eq!(
+        got, want,
+        "fault-off system diverged from the committed golden run"
+    );
+}
+
+/// Fault-injection satellite, half two: faults themselves are seeded.
+/// Two runs under the same `FaultPlan` draw the same losses,
+/// duplications and deferrals and end with byte-identical observables
+/// and identical fault counters — lossy experiments replay exactly.
+#[test]
+fn identical_fault_plans_give_byte_identical_lossy_runs() {
+    let lossy_run = |seed: u64| {
+        let mut sys = DlptSystem::builder()
+            .alphabet(Alphabet::grid())
+            .seed(seed)
+            .peer_id_len(12)
+            .bootstrap_peers(5)
+            .build();
+        sys.set_fault_plan(FaultPlan {
+            loss_rate: 0.15,
+            dup_rate: 0.10,
+            reorder_rate: 0.10,
+            seed: seed ^ 0xFA17,
+        });
+        let mut outcomes = Vec::new();
+        for k in &KEYS[..8] {
+            sys.insert_data(*k).unwrap();
+        }
+        for _ in 0..3 {
+            for k in ["DGEMM", "S3L_fft", "DTRSM", "MISSING", "PSGESV"] {
+                outcomes.push(sys.lookup(&Key::from(k)));
+            }
+            outcomes.push(sys.request(QueryKind::Complete(Key::from("S3L"))).unwrap());
+        }
+        (sys, outcomes)
+    };
+    let (sys_a, out_a) = lossy_run(42);
+    let (sys_b, out_b) = lossy_run(42);
+    assert_eq!(sys_a.fault_stats(), sys_b.fault_stats());
+    assert_eq!(out_a, out_b, "lossy outcomes diverged");
+    assert_eq!(fingerprint(&sys_a, &out_a), fingerprint(&sys_b, &out_b));
+    // The plan really bit: something was drawn against it.
+    let stats = sys_a.fault_stats();
+    assert!(
+        stats.lost + stats.duplicated + stats.reordered > 0,
+        "a 15%/10%/10% plan over this workload must trigger: {stats:?}"
+    );
 }
 
 #[test]

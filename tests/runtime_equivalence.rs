@@ -11,7 +11,7 @@
 //! schedule differently) and anything capacity-related (only the sync
 //! pump charges capacity — kept unbounded here).
 
-use dlpt::core::{Alphabet, DlptSystem, Key};
+use dlpt::core::{Alphabet, DlptSystem, FaultPlan, Key};
 use dlpt::net::{LatencyModel, LatencyNet, ThreadedDlpt};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -83,6 +83,9 @@ trait Runtime {
     fn anti_entropy(&mut self);
     fn peers(&self) -> Vec<Key>;
     fn placements(&self) -> BTreeMap<Key, Key>;
+    fn set_faults(&mut self, plan: FaultPlan);
+    fn partition(&mut self, lo: Key, hi: Key);
+    fn heal(&mut self);
 }
 
 struct Sync(DlptSystem);
@@ -128,6 +131,15 @@ impl Runtime for Sync {
             .map(|(l, h)| (l.clone(), h.clone()))
             .collect()
     }
+    fn set_faults(&mut self, plan: FaultPlan) {
+        self.0.set_fault_plan(plan);
+    }
+    fn partition(&mut self, lo: Key, hi: Key) {
+        self.0.partition(lo, hi);
+    }
+    fn heal(&mut self) {
+        self.0.heal_partition();
+    }
 }
 
 struct Latency(LatencyNet);
@@ -172,6 +184,15 @@ impl Runtime for Latency {
             .map(|(l, h)| (l.clone(), h.clone()))
             .collect()
     }
+    fn set_faults(&mut self, plan: FaultPlan) {
+        self.0.set_fault_plan(plan);
+    }
+    fn partition(&mut self, lo: Key, hi: Key) {
+        self.0.partition(lo, hi);
+    }
+    fn heal(&mut self) {
+        self.0.heal_partition();
+    }
 }
 
 struct Threaded(ThreadedDlpt);
@@ -215,6 +236,15 @@ impl Runtime for Threaded {
             .iter()
             .map(|(l, h)| (l.clone(), h.clone()))
             .collect()
+    }
+    fn set_faults(&mut self, plan: FaultPlan) {
+        self.0.set_fault_plan(plan);
+    }
+    fn partition(&mut self, lo: Key, hi: Key) {
+        self.0.partition(lo, hi);
+    }
+    fn heal(&mut self) {
+        self.0.heal_partition();
     }
 }
 
@@ -310,4 +340,132 @@ proptest! {
         prop_assert_eq!(&a.results, &c.results, "sync vs threaded results");
         threaded.0.shutdown();
     }
+}
+
+/// Number of queries in an op sequence — the result count `drive` must
+/// produce for the workload to count as fully terminated.
+fn query_count(ops: &[Op]) -> usize {
+    ops.iter()
+        .filter(|o| matches!(o, Op::Lookup(_) | Op::Complete(_) | Op::Range(_, _)))
+        .count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The lossy arm: the same workloads under 10% message loss, 5%
+    /// duplication and 5% reordering. The fault RNG streams differ per
+    /// transport, so the runtimes need not agree on results — the
+    /// property is *termination*: every drive returns, every query
+    /// resolves (satisfied or explicitly failed, never hung), and the
+    /// seeded sync run reproduces itself exactly.
+    #[test]
+    fn lossy_workloads_terminate_on_all_three_runtimes(
+        ops in proptest::collection::vec(op(), 4..28),
+        seed in 0u64..500,
+        initial_peers in 3usize..6,
+    ) {
+        let plan = |s: u64| FaultPlan {
+            loss_rate: 0.10,
+            dup_rate: 0.05,
+            reorder_rate: 0.05,
+            seed: s,
+        };
+        let expected = query_count(&ops);
+
+        let run_sync = || {
+            let mut sync = Sync(DlptSystem::builder().seed(seed).peer_id_len(8).build());
+            sync.set_faults(plan(seed));
+            let obs = drive(&mut sync, &ops, initial_peers, 1);
+            let stats = sync.0.fault_stats();
+            (obs, stats)
+        };
+        let (a, a_stats) = run_sync();
+        prop_assert_eq!(a.results.len(), expected, "sync: every query terminates");
+        let (a2, _) = run_sync();
+        prop_assert_eq!(&a.results, &a2.results, "seeded lossy sync reproduces");
+        prop_assert_eq!(&a.placements, &a2.placements);
+
+        let mut latency = Latency(LatencyNet::new(LatencyModel::Constant(0), seed ^ 0x5eed));
+        latency.set_faults(plan(seed ^ 0x10));
+        let b = drive(&mut latency, &ops, initial_peers, 1);
+        prop_assert_eq!(b.results.len(), expected, "latency: every query terminates");
+
+        let mut threaded = Threaded(ThreadedDlpt::new(Alphabet::grid(), seed ^ 0x7eed));
+        threaded.set_faults(plan(seed ^ 0x20));
+        let c = drive(&mut threaded, &ops, initial_peers, 1);
+        prop_assert_eq!(c.results.len(), expected, "threaded: every query terminates");
+
+        // Mutations and joins travel the reliable class, so the tree
+        // the runtimes build is unaffected by the fault plan.
+        prop_assert_eq!(&a.placements, &b.placements, "faults never touch placements");
+        prop_assert_eq!(&a.placements, &c.placements, "faults never touch placements");
+        let _ = a_stats;
+        threaded.0.shutdown();
+    }
+}
+
+/// The partition scenario as a deterministic equivalence check: sever
+/// a key range, observe routed requests resolving (never hanging),
+/// heal, and require k = 2 + anti-entropy to converge back to fully
+/// correct lookups — including across a post-heal crash.
+fn drive_partition_scenario<R: Runtime>(rt: &mut R, name: &str) {
+    for i in 0..5 {
+        rt.join(peer_id(i));
+    }
+    for i in 0..KEY_POOL.len() {
+        rt.insert(key(i as u8));
+    }
+    rt.anti_entropy();
+    // Sever ["D", "K"): lookups toward that range fail explicitly
+    // while the rest of the tree keeps answering.
+    rt.partition(Key::from("D"), Key::from("K"));
+    let mut severed_failures = 0;
+    for i in 0..KEY_POOL.len() {
+        let (found, results) = rt.query(&Op::Lookup(i as u8));
+        if found {
+            assert_eq!(results, vec![key(i as u8)], "{name}: wrong result for {i}");
+        } else {
+            severed_failures += 1;
+        }
+    }
+    assert!(
+        severed_failures > 0,
+        "{name}: the partition must fail some lookups"
+    );
+    rt.heal();
+    rt.anti_entropy();
+    // A crash after the heal: redundancy must have survived the cut
+    // (replication traffic rides the reliable class).
+    let victim = rt.peers()[2].clone();
+    rt.crash(&victim);
+    rt.anti_entropy();
+    for i in 0..KEY_POOL.len() {
+        let (found, results) = rt.query(&Op::Lookup(i as u8));
+        assert!(found, "{name}: key {i} must be found after the heal");
+        assert_eq!(results, vec![key(i as u8)], "{name}: wrong result for {i}");
+    }
+}
+
+#[test]
+fn partition_heals_and_k2_ae_converges_on_all_three_runtimes() {
+    let mut sync = Sync(
+        DlptSystem::builder()
+            .seed(11)
+            .peer_id_len(8)
+            .replication(2)
+            .build(),
+    );
+    drive_partition_scenario(&mut sync, "sync");
+    sync.0.check_tree().unwrap();
+
+    let mut latency = Latency(LatencyNet::new(LatencyModel::Constant(0), 12));
+    latency.0.set_replication(2);
+    drive_partition_scenario(&mut latency, "latency");
+    latency.0.check_tree().unwrap();
+
+    let mut threaded = Threaded(ThreadedDlpt::new(Alphabet::grid(), 13));
+    threaded.0.set_replication(2);
+    drive_partition_scenario(&mut threaded, "threaded");
+    threaded.0.shutdown();
 }
