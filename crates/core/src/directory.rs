@@ -111,8 +111,11 @@ impl Directory {
         self.sorted.is_empty()
     }
 
-    /// Interns `k`, returning its stable id.
-    fn intern(&mut self, k: &Key) -> u32 {
+    /// Interns `k`, returning its stable id. Ids are never freed, so an
+    /// id handed out here stays valid (and keeps naming the same key)
+    /// for the directory's whole lifetime — which is what lets the
+    /// engine index per-peer state by id without ABA hazards.
+    pub fn intern(&mut self, k: &Key) -> u32 {
         if let Some(&id) = self.ids.get(k) {
             return id;
         }
@@ -123,6 +126,46 @@ impl Directory {
         self.epochs.push(0);
         self.ids.insert(k.clone(), id);
         id
+    }
+
+    /// The interned id of `k`, if it has ever been interned (as a
+    /// label, a host, or explicitly). One hash, no allocation.
+    #[inline]
+    pub fn id_of(&self, k: &Key) -> Option<u32> {
+        self.ids.get(k).copied()
+    }
+
+    /// The key an id names. Ids come only from this directory and are
+    /// never freed, so the access is a plain index.
+    #[inline]
+    pub fn key_of(&self, id: u32) -> &Key {
+        &self.keys[id as usize]
+    }
+
+    /// Number of distinct keys ever interned (the id space bound).
+    pub fn interned_len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Resolves a live label to `(label id, host id)` with a single
+    /// hash — the delivery hot path's one-stop lookup. `None` when the
+    /// label is unknown or not currently live.
+    #[inline]
+    pub fn resolve(&self, label: &Key) -> Option<(u32, u32)> {
+        let &lid = self.ids.get(label)?;
+        match self.hosts[lid as usize] {
+            NONE => None,
+            hid => Some((lid, hid)),
+        }
+    }
+
+    /// The host id of a live label id (`None` when dissolved).
+    #[inline]
+    pub fn host_id(&self, lid: u32) -> Option<u32> {
+        match self.hosts[lid as usize] {
+            NONE => None,
+            hid => Some(hid),
+        }
     }
 
     /// Position of `label`'s id in `sorted` (Ok) or its insertion
@@ -150,10 +193,11 @@ impl Directory {
         }
     }
 
-    /// Sets (or replaces) the hosting peer of `label`. Counts as a
-    /// structural event: the label's epoch advances, staling any
-    /// routing shortcut learned before the change.
-    pub fn insert(&mut self, label: Key, host: Key) {
+    /// Sets (or replaces) the hosting peer of `label`, returning the
+    /// label's interned id. Counts as a structural event: the label's
+    /// epoch advances, staling any routing shortcut learned before the
+    /// change.
+    pub fn insert(&mut self, label: Key, host: Key) -> u32 {
         let lid = self.intern(&label);
         let hid = self.intern(&host);
         if self.hosts[lid as usize] == NONE {
@@ -164,6 +208,7 @@ impl Directory {
         }
         self.hosts[lid as usize] = hid;
         self.epochs[lid as usize] += 1;
+        lid
     }
 
     /// Removes `label`; returns true iff it was present.
@@ -197,6 +242,13 @@ impl Directory {
     /// the label so the bump survives a remove/re-insert window.
     pub fn bump_epoch(&mut self, label: &Key) {
         let lid = self.intern(label);
+        self.epochs[lid as usize] += 1;
+    }
+
+    /// Advances the epoch of an already interned label by id — the
+    /// hot-path twin of [`Directory::bump_epoch`] (no hash).
+    #[inline]
+    pub fn bump_epoch_id(&mut self, lid: u32) {
         self.epochs[lid as usize] += 1;
     }
 
@@ -241,6 +293,14 @@ impl Directory {
             .map(|&lid| self.followers[lid as usize].as_slice())
             .unwrap_or(&[]);
         ids.iter().map(|&id| &self.keys[id as usize])
+    }
+
+    /// The recorded follower host ids of label id `lid` (empty slice
+    /// when none were recorded). Id-level twin of
+    /// [`Directory::followers_of`].
+    #[inline]
+    pub fn follower_ids(&self, lid: u32) -> &[u32] {
+        &self.followers[lid as usize]
     }
 
     /// The `i`-th live label in ascending order. Panics when out of

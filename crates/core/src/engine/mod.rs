@@ -33,9 +33,11 @@
 //! when responses can arrive out of order).
 
 pub mod parallel;
+#[cfg(test)]
+mod slab_props;
 
 use crate::cache::{self, CacheStats, RouteCache, Shortcut};
-use crate::directory::{Directory, FxHashSet};
+use crate::directory::{Directory, FxHashMap, FxHashSet};
 use crate::error::{DlptError, Result};
 use crate::key::Key;
 use crate::mapping::MappingViolation;
@@ -82,6 +84,15 @@ pub trait Transport {
     fn now(&self) -> u64 {
         0
     }
+
+    /// Whether queuing through this transport is immediate FIFO work
+    /// the engine may equivalently run inline ("hop chaining", see
+    /// [`Engine::deliver`]). Only the synchronous [`FifoTransport`]
+    /// says yes: modelled-latency, fault-injecting, threaded and
+    /// batched transports must observe every individual hop.
+    fn synchronous(&self) -> bool {
+        false
+    }
 }
 
 /// A mutable reference to a transport is itself a transport — this is
@@ -95,6 +106,10 @@ impl<T: Transport> Transport for &mut T {
 
     fn now(&self) -> u64 {
         (**self).now()
+    }
+
+    fn synchronous(&self) -> bool {
+        (**self).synchronous()
     }
 }
 
@@ -110,6 +125,10 @@ pub struct FifoTransport {
 impl Transport for FifoTransport {
     fn deliver(&mut self, env: Envelope) {
         self.queue.push_back((0, env));
+    }
+
+    fn synchronous(&self) -> bool {
+        true
     }
 }
 
@@ -204,7 +223,10 @@ pub fn empty_outcome() -> LookupOutcome {
     }
 }
 
-/// Aggregation state of one in-flight request.
+/// Aggregation state of one in-flight request. Lives in a pooled slot
+/// of [`GatherPool`]; its buffers (filter table, free-list slot) are
+/// reused across requests so steady-state aggregation allocates
+/// nothing.
 #[derive(Debug)]
 struct GatherAgg {
     outstanding: i64,
@@ -219,8 +241,14 @@ struct GatherAgg {
     /// (Unsatisfied/dropped responses are exempt: on a reliable
     /// transport distinct exhausted branches can synthesize identical
     /// reports, and a dropped report can never finalize a request as
-    /// satisfied, so double-counting one is verdict-safe.)
+    /// satisfied, so double-counting one is verdict-safe.) Consulted
+    /// only while fault recovery is on — reliable transports cannot
+    /// duplicate, so fault-off runs skip the per-response digest.
     seen: FxHashSet<u64>,
+    /// Snapshot of the original entry envelope, kept only while fault
+    /// recovery is on so a lost branch can be re-issued verbatim.
+    /// Fault-off runs never take the snapshot.
+    retry: Option<Envelope>,
 }
 
 impl GatherAgg {
@@ -233,7 +261,210 @@ impl GatherAgg {
             best_path: Vec::new(),
             responses: 0,
             seen: FxHashSet::default(),
+            retry: None,
         }
+    }
+
+    /// Resets the aggregation to its begin-request state, keeping the
+    /// retry snapshot (a retried request re-arms with the same origin)
+    /// and the filter table's capacity.
+    fn rearm(&mut self) {
+        self.outstanding = 1;
+        self.satisfied = true;
+        self.dropped = false;
+        self.results.clear();
+        self.best_path.clear();
+        self.responses = 0;
+        self.seen.clear();
+    }
+}
+
+/// A finished aggregation's verdict inputs, moved out of the pool slot
+/// at release time.
+struct FinishedAgg {
+    outstanding: i64,
+    satisfied: bool,
+    dropped: bool,
+    responses: usize,
+    results: Vec<Key>,
+    best_path: Vec<Key>,
+}
+
+/// Pooled aggregation slots keyed by request id: request begin/finish
+/// stops allocating and tree-walking per response (the old
+/// `BTreeMap<u64, GatherAgg>` paid a node allocation per request and
+/// an O(log n) walk per response).
+#[derive(Debug, Default)]
+struct GatherPool {
+    /// request id → slot index.
+    index: FxHashMap<u64, u32>,
+    slots: Vec<GatherAgg>,
+    /// Released slot indices awaiting reuse.
+    free: Vec<u32>,
+}
+
+impl GatherPool {
+    /// Registers a fresh aggregation for `id`, reusing a released slot
+    /// when one is available.
+    fn begin(&mut self, id: u64) -> &mut GatherAgg {
+        let i = match self.free.pop() {
+            Some(i) => {
+                let agg = &mut self.slots[i as usize];
+                agg.rearm();
+                agg.retry = None;
+                i
+            }
+            None => {
+                self.slots.push(GatherAgg::fresh());
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.index.insert(id, i);
+        &mut self.slots[i as usize]
+    }
+
+    fn get(&self, id: u64) -> Option<&GatherAgg> {
+        self.index.get(&id).map(|&i| &self.slots[i as usize])
+    }
+
+    fn get_mut(&mut self, id: u64) -> Option<&mut GatherAgg> {
+        let &i = self.index.get(&id)?;
+        Some(&mut self.slots[i as usize])
+    }
+
+    fn contains(&self, id: u64) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    #[cfg(test)]
+    fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Removes `id`'s aggregation, moving out the accumulated vectors
+    /// and returning the slot to the free list (filter capacity and
+    /// the slot itself are retained for reuse).
+    fn release(&mut self, id: u64) -> Option<FinishedAgg> {
+        let i = self.index.remove(&id)?;
+        let agg = &mut self.slots[i as usize];
+        let fin = FinishedAgg {
+            outstanding: agg.outstanding,
+            satisfied: agg.satisfied,
+            dropped: agg.dropped,
+            responses: agg.responses,
+            results: std::mem::take(&mut agg.results),
+            best_path: std::mem::take(&mut agg.best_path),
+        };
+        agg.retry = None;
+        self.free.push(i);
+        Some(fin)
+    }
+}
+
+/// Sentinel slot index meaning "peer id has no slot".
+const SLOT_NONE: u32 = u32::MAX;
+
+/// Engine-side per-peer state, slab-indexed by the peer's interned id.
+#[derive(Debug)]
+struct PeerSlot {
+    /// The peer's identifier (renders ids back to keys at boundaries).
+    key: Key,
+    /// The locally hosted shard; `None` for remote members (the
+    /// threaded runtime's shards live on peer threads).
+    shard: Option<PeerShard>,
+    /// The peer's entry-point routing-shortcut cache.
+    cache: RouteCache,
+}
+
+/// Slab of per-peer slots over [`Directory`]-interned peer ids: a flat
+/// `id → slot` index plus a free list, replacing the two
+/// `BTreeMap<Key, …>` lookups (shard + cache) the delivery path paid
+/// per hop. Slots survive `rename_shard` (the slot is re-bound to the
+/// new id, so the cache and free-list integrity carry over) and are
+/// recycled on dissolution.
+#[derive(Debug, Default)]
+struct PeerSlab {
+    /// peer id → slot index ([`SLOT_NONE`] when not a member).
+    by_id: Vec<u32>,
+    slots: Vec<Option<PeerSlot>>,
+    /// Released slot indices awaiting reuse.
+    free: Vec<u32>,
+}
+
+impl PeerSlab {
+    #[inline]
+    fn slot_of(&self, pid: u32) -> Option<u32> {
+        match self.by_id.get(pid as usize) {
+            Some(&s) if s != SLOT_NONE => Some(s),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn contains(&self, pid: u32) -> bool {
+        self.slot_of(pid).is_some()
+    }
+
+    #[inline]
+    fn get(&self, pid: u32) -> Option<&PeerSlot> {
+        let s = self.slot_of(pid)?;
+        self.slots[s as usize].as_ref()
+    }
+
+    #[inline]
+    fn get_mut(&mut self, pid: u32) -> Option<&mut PeerSlot> {
+        let s = self.slot_of(pid)?;
+        self.slots[s as usize].as_mut()
+    }
+
+    fn insert(&mut self, pid: u32, slot: PeerSlot) {
+        if let Some(s) = self.slot_of(pid) {
+            self.slots[s as usize] = Some(slot);
+            return;
+        }
+        if self.by_id.len() <= pid as usize {
+            self.by_id.resize(pid as usize + 1, SLOT_NONE);
+        }
+        let s = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(slot);
+                s
+            }
+            None => {
+                self.slots.push(Some(slot));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.by_id[pid as usize] = s;
+    }
+
+    fn remove(&mut self, pid: u32) -> Option<PeerSlot> {
+        let s = self.slot_of(pid)?;
+        self.by_id[pid as usize] = SLOT_NONE;
+        self.free.push(s);
+        self.slots[s as usize].take()
+    }
+
+    /// Re-binds the slot of `old_pid` to `new_pid` (peer rename): the
+    /// slot — shard, cache, free-list position — stays put; only the
+    /// id-level index moves. Returns false when `old_pid` has no slot.
+    fn rebind(&mut self, old_pid: u32, new_pid: u32) -> bool {
+        let Some(s) = self.slot_of(old_pid) else {
+            return false;
+        };
+        self.by_id[old_pid as usize] = SLOT_NONE;
+        if self.by_id.len() <= new_pid as usize {
+            self.by_id.resize(new_pid as usize + 1, SLOT_NONE);
+        }
+        self.by_id[new_pid as usize] = s;
+        true
+    }
+
+    /// All live slots, in slab (slot-index) order — only for
+    /// order-insensitive traversals; ring-order traversals go through
+    /// the membership set.
+    fn iter_slots_mut(&mut self) -> impl Iterator<Item = &mut PeerSlot> {
+        self.slots.iter_mut().flatten()
     }
 }
 
@@ -261,42 +492,54 @@ pub enum Step {
     Requeue(Envelope),
 }
 
+/// Internal result of one dispatch step: either a terminal [`Step`] or
+/// the next hop of an exact-query chain, delivered inline by the
+/// [`Engine::deliver`] loop instead of round-tripping the transport.
+enum ChainStep {
+    Step(Step),
+    Chain(Envelope),
+}
+
 /// The unified DLPT runtime state machine. See the module docs.
 #[derive(Debug)]
 pub struct Engine {
     config: EngineConfig,
-    /// Locally hosted shards. The synchronous and discrete-event
-    /// runtimes keep every shard here; the threaded runtime's shards
-    /// live on peer threads and this map stays empty (the engine then
+    /// Per-peer state (shard + entry-point cache), slab-indexed by the
+    /// peer's interned id. The synchronous and discrete-event runtimes
+    /// keep every shard here; the threaded runtime's shards live on
+    /// peer threads and the slots carry `shard: None` (the engine then
     /// serves as the router: directory, caches, aggregation,
     /// membership).
-    pub(crate) shards: BTreeMap<Key, PeerShard>,
+    peers: PeerSlab,
     /// Every live peer, in ring (identifier) order — the broadcast
-    /// domain. Matches `shards.keys()` whenever shards are local.
+    /// domain and the canonical iteration order for anything that
+    /// emits messages or reports errors (the slab's slot order is a
+    /// reuse artifact and must never leak into the fingerprint).
     members: BTreeSet<Key>,
     /// Node label → hosting peer (interned, incrementally ordered).
     pub(crate) directory: Directory,
-    /// Per-peer routing-shortcut caches, keyed by the peer a request
-    /// enters through. Engine-owned (not shard state) so the same
-    /// consult/learn/invalidate flow serves runtimes whose shards are
-    /// remote.
-    caches: BTreeMap<Key, RouteCache>,
-    gathers: BTreeMap<u64, GatherAgg>,
-    finished: BTreeMap<u64, LookupOutcome>,
-    /// Request id → `(target, entry host)` to teach after a satisfied
-    /// exact query.
-    learn: BTreeMap<u64, (Key, Key)>,
+    /// In-flight request aggregation, pooled by request id.
+    gathers: GatherPool,
+    finished: FxHashMap<u64, LookupOutcome>,
+    /// Request id → `(target, entry host id)` to teach after a
+    /// satisfied exact query.
+    learn: FxHashMap<u64, (Key, u32)>,
     next_request: u64,
     pub(crate) root: Option<Key>,
     /// Reused effect buffers: one dispatch allocates nothing once the
     /// vectors have grown to the workload's high-water mark.
     scratch: Effects,
-    /// Labels whose state changed since the last flush and whose
+    /// Whether the transport can lose/duplicate envelopes: gates the
+    /// per-response idempotency digest and the per-request retry
+    /// snapshot, so reliable (fault-off) runs pay for neither.
+    fault_recovery: bool,
+    /// Label ids whose state changed since the last flush and whose
     /// replicas must be refreshed (eager replication only).
-    pub(crate) touched: Vec<Key>,
-    /// `(label, follower)` pairs whose copies must be garbage-collected
-    /// because the node dissolved (eager replication only).
-    dropped_replicas: Vec<(Key, Key)>,
+    pub(crate) touched: Vec<u32>,
+    /// `(label id, follower peer id)` pairs whose copies must be
+    /// garbage-collected because the node dissolved (eager replication
+    /// only).
+    dropped_replicas: Vec<(u32, u32)>,
     /// Runtime counters.
     pub stats: SystemStats,
     /// Replication counters (all zero at `k = 1`; kept out of
@@ -319,16 +562,16 @@ impl Engine {
     pub fn new(config: EngineConfig) -> Self {
         Engine {
             config,
-            shards: BTreeMap::new(),
+            peers: PeerSlab::default(),
             members: BTreeSet::new(),
             directory: Directory::new(),
-            caches: BTreeMap::new(),
-            gathers: BTreeMap::new(),
-            finished: BTreeMap::new(),
-            learn: BTreeMap::new(),
+            gathers: GatherPool::default(),
+            finished: FxHashMap::default(),
+            learn: FxHashMap::default(),
             next_request: 1,
             root: None,
             scratch: Effects::default(),
+            fault_recovery: false,
             touched: Vec::new(),
             dropped_replicas: Vec::new(),
             stats: SystemStats::default(),
@@ -357,12 +600,22 @@ impl Engine {
         self.config.judge_at_quiescence = on;
     }
 
+    /// Tells the engine whether the transport can lose or duplicate
+    /// envelopes. On, each request keeps a retry snapshot of its entry
+    /// envelope ([`Engine::retry_envelope`]) and aggregation runs the
+    /// per-response idempotency digest; off (the default), reliable
+    /// runs pay for neither. Runtimes flip this alongside their fault
+    /// plan and partitions.
+    pub fn set_fault_recovery(&mut self, on: bool) {
+        self.fault_recovery = on;
+    }
+
     /// Reconfigures the per-peer routing-shortcut cache capacity for
     /// existing peers and every peer joining later (0 = off).
     pub fn set_cache_capacity(&mut self, n: usize) {
         self.config.cache_capacity = n;
-        for cache in self.caches.values_mut() {
-            cache.set_capacity(n);
+        for slot in self.peers.iter_slots_mut() {
+            slot.cache.set_capacity(n);
         }
     }
 
@@ -397,12 +650,70 @@ impl Engine {
 
     /// Borrow a peer shard (locally hosted runtimes only).
     pub fn shard(&self, id: &Key) -> Option<&PeerShard> {
-        self.shards.get(id)
+        let pid = self.directory.id_of(id)?;
+        self.peers.get(pid)?.shard.as_ref()
     }
 
-    /// The locally hosted shards, keyed by peer id in ring order.
-    pub fn shards(&self) -> &BTreeMap<Key, PeerShard> {
-        &self.shards
+    /// Mutably borrow a peer shard (locally hosted runtimes only).
+    pub(crate) fn shard_mut(&mut self, id: &Key) -> Option<&mut PeerShard> {
+        let pid = self.directory.id_of(id)?;
+        self.peers.get_mut(pid)?.shard.as_mut()
+    }
+
+    /// Mutably borrow a peer's entry-point route cache.
+    #[cfg(test)]
+    fn cache_mut(&mut self, id: &Key) -> Option<&mut RouteCache> {
+        let pid = self.directory.id_of(id)?;
+        Some(&mut self.peers.get_mut(pid)?.cache)
+    }
+
+    /// The locally hosted shards with their peer ids, in ring order.
+    pub fn shards(&self) -> impl Iterator<Item = (&Key, &PeerShard)> + '_ {
+        self.members
+            .iter()
+            .filter_map(move |id| self.shard(id).map(|s| (id, s)))
+    }
+
+    /// The locally hosted shards in ring order.
+    pub(crate) fn local_shards(&self) -> impl Iterator<Item = &PeerShard> + '_ {
+        self.members.iter().filter_map(move |id| self.shard(id))
+    }
+
+    /// Number of locally hosted shards.
+    pub(crate) fn local_shard_count(&self) -> usize {
+        self.local_shards().count()
+    }
+
+    /// Detaches every locally hosted shard (ring order), leaving the
+    /// slots in place — the parallel pump partitions ownership across
+    /// workers and hands the shards back via
+    /// [`Engine::restore_local_shards`].
+    pub(crate) fn take_local_shards(&mut self) -> BTreeMap<Key, PeerShard> {
+        let mut out = BTreeMap::new();
+        let ids: Vec<u32> = self
+            .members
+            .iter()
+            .filter_map(|id| self.directory.id_of(id))
+            .collect();
+        for pid in ids {
+            if let Some(slot) = self.peers.get_mut(pid) {
+                if let Some(shard) = slot.shard.take() {
+                    out.insert(slot.key.clone(), shard);
+                }
+            }
+        }
+        out
+    }
+
+    /// Re-attaches shards detached by [`Engine::take_local_shards`].
+    pub(crate) fn restore_local_shards(&mut self, shards: BTreeMap<Key, PeerShard>) {
+        for (id, shard) in shards {
+            let pid = self.directory.intern(&id);
+            match self.peers.get_mut(pid) {
+                Some(slot) => slot.shard = Some(shard),
+                None => self.insert_peer(id, Some(shard)),
+            }
+        }
     }
 
     /// The delivery directory.
@@ -450,8 +761,9 @@ impl Engine {
 
     /// Borrow a node's state wherever it is hosted (local shards).
     pub fn node(&self, label: &Key) -> Option<&NodeState> {
-        let host = self.directory.host_of(label)?;
-        self.shards.get(host)?.nodes.get(label)
+        let lid = self.directory.id_of(label)?;
+        let hid = self.directory.host_id(lid)?;
+        self.peers.get(hid)?.shard.as_ref()?.nodes.get(label)
     }
 
     /// Label of the current tree root.
@@ -464,7 +776,7 @@ impl Engine {
     /// histogram ([`crate::metrics::DepthHistogram`]).
     pub fn depth_map(&self) -> BTreeMap<Key, u32> {
         let mut depths: BTreeMap<Key, u32> = BTreeMap::new();
-        for shard in self.shards.values() {
+        for shard in self.local_shards() {
             for node in shard.nodes.values() {
                 self.depth_into(&node.label, &mut depths);
             }
@@ -487,7 +799,7 @@ impl Engine {
     /// Every registered service key, ascending (local shards).
     pub fn registered_keys(&self) -> Vec<Key> {
         let mut out = Vec::new();
-        for shard in self.shards.values() {
+        for shard in self.local_shards() {
             for node in shard.nodes.values() {
                 out.extend(node.data.iter().cloned());
             }
@@ -514,15 +826,25 @@ impl Engine {
     /// Registers a peer whose shard the engine hosts locally. The
     /// runtime then routes the join itself ([`Engine::join_envelope`]).
     pub fn add_local_shard(&mut self, id: Key, capacity: u32) {
-        self.shards
-            .insert(id.clone(), PeerShard::new(id.clone(), capacity));
-        self.add_member(id);
+        let shard = PeerShard::new(id.clone(), capacity);
+        self.insert_peer(id, Some(shard));
     }
 
     /// Registers a peer whose shard lives elsewhere (peer threads).
     pub fn add_member(&mut self, id: Key) {
-        self.caches
-            .insert(id.clone(), RouteCache::new(self.config.cache_capacity));
+        self.insert_peer(id, None);
+    }
+
+    fn insert_peer(&mut self, id: Key, shard: Option<PeerShard>) {
+        let pid = self.directory.intern(&id);
+        self.peers.insert(
+            pid,
+            PeerSlot {
+                key: id.clone(),
+                shard,
+                cache: RouteCache::new(self.config.cache_capacity),
+            },
+        );
         self.members.insert(id);
     }
 
@@ -530,8 +852,8 @@ impl Engine {
     /// local shard if any. Returns the shard.
     pub fn remove_member(&mut self, id: &Key) -> Option<PeerShard> {
         self.members.remove(id);
-        self.caches.remove(id);
-        self.shards.remove(id)
+        let pid = self.directory.id_of(id)?;
+        self.peers.remove(pid)?.shard
     }
 
     /// The join envelope for peer `id` (which must already be a
@@ -605,32 +927,45 @@ impl Engine {
     /// the entry peer a fresh shortcut at completion
     /// ([`Engine::take_finished`] / [`Engine::finish_request`]).
     pub fn begin_request(&mut self, entry: &Key, query: QueryKind) -> Result<(u64, Envelope)> {
-        if !self.directory.contains(entry) {
+        let Some((_, hid)) = self.directory.resolve(entry) else {
             return Err(DlptError::UnknownNode(entry.to_string()));
-        }
+        };
         let id = self.next_request;
         self.next_request += 1;
-        self.gathers.insert(id, GatherAgg::fresh());
+        self.gathers.begin(id);
         let mut shortcut: Option<Shortcut> = None;
         if self.config.cache_capacity > 0 {
             let target = query.target();
-            let host = self
-                .directory
-                .host_of(entry)
-                .cloned()
-                .expect("entry checked live above");
-            if let Some(c) = self.caches.get_mut(&host) {
-                shortcut = cache::consult(c, &self.directory, &target, &mut self.cache_stats);
+            if let Some(slot) = self.peers.get_mut(hid) {
+                shortcut = cache::consult(
+                    &mut slot.cache,
+                    &self.directory,
+                    &target,
+                    &mut self.cache_stats,
+                );
             }
             if shortcut.is_none() && matches!(query, QueryKind::Exact(_)) {
-                self.learn.insert(id, (target, host));
+                self.learn.insert(id, (target, hid));
             }
         }
         let env = match shortcut {
             Some(sc) => cache::shortcut_envelope(id, query, sc),
             None => discovery::entry_envelope(entry.clone(), id, query),
         };
+        if self.fault_recovery {
+            // Only faultable transports can lose a branch; the retry
+            // snapshot is the one per-request clone they pay for it.
+            let agg = self.gathers.get_mut(id).expect("registered above");
+            agg.retry = Some(env.clone());
+        }
         Ok((id, env))
+    }
+
+    /// A clone of the entry envelope request `id` was admitted with —
+    /// the verbatim origin a runtime re-sends after fault-induced
+    /// loss. `None` unless fault recovery was on at admission.
+    pub fn retry_envelope(&self, id: u64) -> Option<Envelope> {
+        self.gathers.get(id)?.retry.clone()
     }
 
     /// Feeds one `ClientResponse` into the request's aggregation. With
@@ -640,14 +975,21 @@ impl Engine {
     /// [`Engine::finish_request`] once drained. Responses for already
     /// finalized (or unknown) requests are dropped as stale.
     pub fn client_response(&mut self, outcome: DiscoveryOutcome) {
-        let Some(agg) = self.gathers.get_mut(&outcome.request_id) else {
+        let fault_recovery = self.fault_recovery;
+        let Some(agg) = self.gathers.get_mut(outcome.request_id) else {
             return; // stale response after request already finalized
         };
-        if outcome.satisfied && !outcome.dropped && !agg.seen.insert(response_digest(&outcome)) {
+        if fault_recovery
+            && outcome.satisfied
+            && !outcome.dropped
+            && !agg.seen.insert(response_digest(&outcome))
+        {
             // A duplicated (or retried-and-redelivered) copy of a
             // response already applied: counting it again would
             // double-decrement `outstanding` below the true branch
             // count and finalize the request with partial results.
+            // (Reliable transports cannot duplicate — fault-off runs
+            // skip the digest entirely.)
             self.duplicates_suppressed += 1;
             return;
         }
@@ -655,25 +997,33 @@ impl Engine {
         agg.satisfied &= outcome.satisfied;
         agg.dropped |= outcome.dropped;
         agg.responses += 1;
-        agg.results.extend(outcome.results);
+        if agg.results.is_empty() {
+            // Take over the first non-empty response's buffer instead
+            // of copying out of it.
+            agg.results = outcome.results;
+        } else {
+            agg.results.extend(outcome.results);
+        }
         if outcome.path.len() > agg.best_path.len() {
             agg.best_path = outcome.path;
         }
         if !self.config.judge_at_quiescence && agg.outstanding <= 0 {
-            let agg = self
+            let fin = self
                 .gathers
-                .remove(&outcome.request_id)
+                .release(outcome.request_id)
                 .expect("present above");
-            let satisfied = agg.satisfied && !agg.dropped;
-            let out = self.assemble_outcome(agg, satisfied);
+            let satisfied = fin.satisfied && !fin.dropped;
+            let out = self.assemble_outcome(fin, satisfied);
             self.finished.insert(outcome.request_id, out);
         }
     }
 
     /// Builds the [`LookupOutcome`] from a completed aggregation.
-    fn assemble_outcome(&self, agg: GatherAgg, satisfied: bool) -> LookupOutcome {
+    fn assemble_outcome(&self, agg: FinishedAgg, satisfied: bool) -> LookupOutcome {
         let mut results = agg.results;
-        results.sort();
+        // Unstable sort: no scratch allocation, and equal keys are
+        // byte-identical so stability is unobservable.
+        results.sort_unstable();
         results.dedup();
         let mut host_path: Vec<Key> = Vec::with_capacity(agg.best_path.len());
         host_path.extend(
@@ -700,6 +1050,9 @@ impl Engine {
         // Not finalized: leave the learn intent in place — a
         // quiescence-judging caller resolves it via `finish_request`.
         let out = self.finished.remove(&id)?;
+        if self.learn.is_empty() {
+            return Some(out);
+        }
         if let Some((target, host)) = self.learn.remove(&id) {
             if out.satisfied {
                 // A satisfied exact query proves the target's own node
@@ -717,13 +1070,13 @@ impl Engine {
     /// responses are in flight, so this must only be called once the
     /// transport is drained). Applies the shortcut-learning intent.
     pub fn finish_request(&mut self, id: u64) -> LookupOutcome {
-        let agg = self.gathers.remove(&id).expect("request was registered");
-        let satisfied = agg.satisfied && !agg.dropped && agg.outstanding <= 0;
+        let fin = self.gathers.release(id).expect("request was registered");
+        let satisfied = fin.satisfied && !fin.dropped && fin.outstanding <= 0;
         match self.learn.remove(&id) {
             Some((target, host)) if satisfied => self.learn_shortcut(target, host),
             _ => {}
         }
-        self.assemble_outcome(agg, satisfied)
+        self.assemble_outcome(fin, satisfied)
     }
 
     /// Whether request `id` is still waiting on an outstanding branch
@@ -732,7 +1085,7 @@ impl Engine {
     /// meaningful once the transport has drained (mid-flight the
     /// counter is legitimately positive).
     pub fn retry_pending(&self, id: u64) -> bool {
-        self.gathers.get(&id).is_some_and(|agg| agg.outstanding > 0)
+        self.gathers.get(id).is_some_and(|agg| agg.outstanding > 0)
     }
 
     /// Rearms request `id` for a retry after fault-induced loss: the
@@ -742,15 +1095,15 @@ impl Engine {
     /// first attempt already applied, and they must count again. The
     /// caller re-sends a clone of the original entry envelope.
     pub fn reset_request_for_retry(&mut self, id: u64) {
-        if let Some(agg) = self.gathers.get_mut(&id) {
-            *agg = GatherAgg::fresh();
+        if let Some(agg) = self.gathers.get_mut(id) {
+            agg.rearm();
         }
     }
 
-    fn learn_shortcut(&mut self, target: Key, host: Key) {
+    fn learn_shortcut(&mut self, target: Key, host: u32) {
         if let Some(sc) = cache::learned_shortcut(&self.directory, &target) {
-            if let Some(c) = self.caches.get_mut(&host) {
-                c.insert(target, sc);
+            if let Some(slot) = self.peers.get_mut(host) {
+                slot.cache.insert(target, sc);
                 self.cache_stats.learned += 1;
             }
         }
@@ -785,7 +1138,47 @@ impl Engine {
     /// epoch bumps for structural mutations, and effect application
     /// (directory updates, cache invalidation, outgoing messages
     /// through `t`) all happen here.
+    ///
+    /// Hop chaining: on a [synchronous](Transport::synchronous)
+    /// transport, an exact-query discovery visit whose only effect is
+    /// the next hop (one envelope, no relocations) runs that hop
+    /// inline instead of round-tripping it through the queue. An exact
+    /// query has exactly one envelope in flight, so the chained run
+    /// performs the identical state-change sequence the queued run
+    /// would — it only skips the push/pop. A chained hop that cannot
+    /// deliver yet re-enters the transport exactly as an unchained
+    /// forward would have (a fresh queued envelope, not a requeue of
+    /// its ancestor).
     pub fn deliver<T: Transport>(&mut self, t: &mut T, env: Envelope) -> Result<Step> {
+        // The scratch effect buffer is checked out once for the whole
+        // chain, not once per hop.
+        let mut fx = std::mem::take(&mut self.scratch);
+        let mut env = env;
+        let mut chained = false;
+        let res = loop {
+            match self.deliver_step(t, env, &mut fx) {
+                Ok(ChainStep::Chain(next)) => {
+                    env = next;
+                    chained = true;
+                }
+                Ok(ChainStep::Step(Step::Requeue(e))) if chained => {
+                    t.deliver(e);
+                    break Ok(Step::Done);
+                }
+                Ok(ChainStep::Step(s)) => break Ok(s),
+                Err(e) => break Err(e),
+            }
+        };
+        self.scratch = fx;
+        res
+    }
+
+    fn deliver_step<T: Transport>(
+        &mut self,
+        t: &mut T,
+        env: Envelope,
+        fx: &mut Effects,
+    ) -> Result<ChainStep> {
         // Destructure: addresses are matched by move, so the hot path
         // clones no `Address` (a requeue rebuilds the envelope from the
         // owned parts).
@@ -794,15 +1187,24 @@ impl Engine {
             Address::Client(_) => {
                 if let Message::ClientResponse(outcome) = msg {
                     self.client_response(outcome);
-                    Ok(Step::Done)
+                    Ok(ChainStep::Step(Step::Done))
                 } else {
                     Err(DlptError::Undeliverable("client".into()))
                 }
             }
             Address::Peer(id) => {
-                if !self.members.contains(&id) {
-                    return Ok(Step::Requeue(Envelope::to_address(Address::Peer(id), msg)));
-                }
+                // One interner probe replaces the `BTreeSet` membership
+                // walk: a peer is live iff its id has a slab slot.
+                let Some(pid) = self
+                    .directory
+                    .id_of(&id)
+                    .filter(|&p| self.peers.contains(p))
+                else {
+                    return Ok(ChainStep::Step(Step::Requeue(Envelope::to_address(
+                        Address::Peer(id),
+                        msg,
+                    ))));
+                };
                 // Replication and cache traffic are counted apart so
                 // the k = 1 / cache-off system's stats stay
                 // byte-identical.
@@ -815,8 +1217,11 @@ impl Engine {
                     // (`RouteCache::invalidate_label` spares entries
                     // re-learned at a fresher epoch, so reordered
                     // deliveries are harmless).
-                    self.deliver_invalidation(&id, &label, epoch);
-                    return Ok(Step::Done);
+                    self.cache_stats.invalidations_delivered += 1;
+                    if let Some(slot) = self.peers.get_mut(pid) {
+                        slot.cache.invalidate_label(&label, epoch);
+                    }
+                    return Ok(ChainStep::Step(Step::Done));
                 } else {
                     count_message(&mut self.stats, &msg);
                 }
@@ -827,13 +1232,13 @@ impl Engine {
                     }
                     _ => None,
                 };
-                let mut fx = std::mem::take(&mut self.scratch);
                 let shard = self
-                    .shards
-                    .get_mut(&id)
+                    .peers
+                    .get_mut(pid)
+                    .and_then(|s| s.shard.as_mut())
                     .expect("peer-addressed deliveries require a local shard");
                 match msg {
-                    Message::Peer(m) => protocol::handle_peer_msg(shard, m, &mut fx),
+                    Message::Peer(m) => protocol::handle_peer_msg(shard, m, fx),
                     _ => return Err(DlptError::Undeliverable(format!("{id}"))),
                 }
                 if let Some(label) = new_root {
@@ -841,16 +1246,18 @@ impl Engine {
                         self.root = Some(label);
                     }
                 }
-                self.apply(&mut fx, t);
-                self.scratch = fx;
-                Ok(Step::Done)
+                self.apply(fx, t);
+                Ok(ChainStep::Step(Step::Done))
             }
             Address::Node(label) => {
-                let Some(host) = self.directory.host_of(&label).cloned() else {
-                    return Ok(Step::Requeue(Envelope::to_address(
+                // One directory probe resolves label id + host id; the
+                // host's shard is then a flat slab index away (the old
+                // path paid two `BTreeMap` walks and a `Key` clone).
+                let Some((lid, hid)) = self.directory.resolve(&label) else {
+                    return Ok(ChainStep::Step(Step::Requeue(Envelope::to_address(
                         Address::Node(label),
                         msg,
-                    )));
+                    ))));
                 };
                 // One shard probe serves the whole delivery: the
                 // existence check, the capacity charge and the handler
@@ -858,6 +1265,9 @@ impl Engine {
                 // drops exit with the message intact.
                 enum Gate {
                     Delivered,
+                    /// Delivered an exact-query discovery visit — the
+                    /// one delivery kind eligible for hop chaining.
+                    DeliveredExact,
                     /// Delivered a node message that may have mutated
                     /// the node's state (epoch advances, replicas must
                     /// refresh).
@@ -865,10 +1275,9 @@ impl Engine {
                     Requeue(Message),
                     Dropped(DiscoveryMsg),
                 }
-                let mut fx = std::mem::take(&mut self.scratch);
                 let stats = &mut self.stats;
                 let charge = self.config.charge_capacity;
-                let gate = match self.shards.get_mut(&host) {
+                let gate = match self.peers.get_mut(hid).and_then(|s| s.shard.as_mut()) {
                     None => Gate::Requeue(msg),
                     Some(shard) => match msg {
                         // Capacity model (Section 4): a peer's capacity
@@ -882,67 +1291,57 @@ impl Engine {
                         // The asynchronous runtimes leave capacity to
                         // the experiment harness and skip the charge.
                         Message::Node(NodeMsg::Discovery(m)) => {
-                            if charge {
-                                match discovery::charge_visit(shard, &label) {
-                                    // In flight between shards
-                                    // (hand-off under way): try later.
-                                    discovery::ChargeOutcome::Missing => {
-                                        Gate::Requeue(Message::Node(NodeMsg::Discovery(m)))
-                                    }
-                                    discovery::ChargeOutcome::Accepted => {
-                                        stats.discovery_messages += 1;
-                                        discovery::on_discovery(shard, &label, m, &mut fx);
+                            let exact = matches!(m.query, QueryKind::Exact(_));
+                            match discovery::deliver_visit(shard, &label, m, charge, fx) {
+                                // In flight between shards (hand-off
+                                // under way): try later.
+                                discovery::VisitGate::Missing(m) => {
+                                    Gate::Requeue(Message::Node(NodeMsg::Discovery(m)))
+                                }
+                                discovery::VisitGate::Delivered => {
+                                    stats.discovery_messages += 1;
+                                    if exact {
+                                        Gate::DeliveredExact
+                                    } else {
                                         Gate::Delivered
                                     }
-                                    discovery::ChargeOutcome::Dropped => Gate::Dropped(m),
                                 }
-                            } else if shard.nodes.contains_key(&label) {
-                                stats.discovery_messages += 1;
-                                discovery::on_discovery(shard, &label, m, &mut fx);
-                                Gate::Delivered
-                            } else {
-                                Gate::Requeue(Message::Node(NodeMsg::Discovery(m)))
+                                discovery::VisitGate::Dropped(m) => Gate::Dropped(m),
                             }
                         }
                         Message::Node(m) => {
                             if shard.nodes.contains_key(&label) {
                                 count_node_msg(stats, &m);
-                                protocol::handle_node_msg(shard, &label, m, &mut fx);
+                                protocol::handle_node_msg(shard, &label, m, fx);
                                 Gate::DeliveredMutation
                             } else {
                                 Gate::Requeue(Message::Node(m))
                             }
                         }
                         other => {
-                            self.scratch = fx;
                             return Err(DlptError::Undeliverable(format!("{label}: {other:?}")));
                         }
                     },
                 };
                 match gate {
-                    Gate::Requeue(msg) => {
-                        self.scratch = fx;
-                        Ok(Step::Requeue(Envelope::to_address(
-                            Address::Node(label),
-                            msg,
-                        )))
-                    }
+                    Gate::Requeue(msg) => Ok(ChainStep::Step(Step::Requeue(Envelope::to_address(
+                        Address::Node(label),
+                        msg,
+                    )))),
                     Gate::Dropped(m) => {
                         // Failover: a follower copy with spare capacity
                         // can serve the read the primary refused.
                         let m = if self.config.replication > 1 {
-                            match self.failover_read(&label, m, &mut fx) {
+                            match self.failover_read(&label, m, fx) {
                                 None => {
-                                    self.apply(&mut fx, t);
-                                    self.scratch = fx;
-                                    return Ok(Step::Done);
+                                    self.apply(fx, t);
+                                    return Ok(ChainStep::Step(Step::Done));
                                 }
                                 Some(m) => m,
                             }
                         } else {
                             m
                         };
-                        self.scratch = fx;
                         self.stats.discovery_drops += 1;
                         let mut path = m.path;
                         path.push(label);
@@ -954,22 +1353,37 @@ impl Engine {
                             path,
                             pending_children: 0,
                         });
-                        Ok(Step::Done)
+                        Ok(ChainStep::Step(Step::Done))
                     }
                     Gate::Delivered => {
-                        self.apply(&mut fx, t);
-                        self.scratch = fx;
-                        Ok(Step::Done)
+                        self.apply(fx, t);
+                        Ok(ChainStep::Step(Step::Done))
+                    }
+                    Gate::DeliveredExact => {
+                        // Hop chaining (see `deliver`): hand the lone
+                        // follow-up back to the dispatch loop instead
+                        // of round-tripping it through the queue.
+                        if t.synchronous()
+                            && fx.out.len() == 1
+                            && fx.relocated.is_empty()
+                            && fx.removed.is_empty()
+                        {
+                            let next = fx.out.pop().expect("length checked");
+                            return Ok(ChainStep::Chain(next));
+                        }
+                        self.apply(fx, t);
+                        Ok(ChainStep::Step(Step::Done))
                     }
                     Gate::DeliveredMutation => {
-                        self.mark_touched(&label);
+                        if self.config.eager_replication && self.config.replication > 1 {
+                            self.touched.push(lid);
+                        }
                         // Any non-discovery node message may have
                         // mutated the node's structure: advance its
                         // epoch so learned shortcuts re-validate.
-                        self.directory.bump_epoch(&label);
-                        self.apply(&mut fx, t);
-                        self.scratch = fx;
-                        Ok(Step::Done)
+                        self.directory.bump_epoch_id(lid);
+                        self.apply(fx, t);
+                        Ok(ChainStep::Step(Step::Done))
                     }
                 }
             }
@@ -984,8 +1398,8 @@ impl Engine {
     /// router) terminate their invalidation frames here.
     pub fn deliver_invalidation(&mut self, id: &Key, label: &Key, epoch: u64) {
         self.cache_stats.invalidations_delivered += 1;
-        if let Some(c) = self.caches.get_mut(id) {
-            c.invalidate_label(label, epoch);
+        if let Some(slot) = self.directory.id_of(id).and_then(|p| self.peers.get_mut(p)) {
+            slot.cache.invalidate_label(label, epoch);
         }
     }
 
@@ -997,17 +1411,19 @@ impl Engine {
     pub fn apply<T: Transport>(&mut self, fx: &mut Effects, t: &mut T) {
         let eager = self.config.eager_replication && self.config.replication > 1;
         for (label, host) in fx.relocated.drain(..) {
+            let lid = self.directory.insert(label, host);
             if eager {
-                self.touched.push(label.clone());
+                self.touched.push(lid);
             }
-            self.directory.insert(label, host);
         }
         for label in fx.removed.drain(..) {
             if eager {
-                // The node dissolved: schedule its copies for GC.
-                let followers: Vec<Key> = self.directory.followers_of(&label).cloned().collect();
-                for f in followers {
-                    self.dropped_replicas.push((label.clone(), f));
+                // The node dissolved: schedule its copies for GC
+                // (before the removal clears the follower record).
+                if let Some(lid) = self.directory.id_of(&label) {
+                    for &f in self.directory.follower_ids(lid) {
+                        self.dropped_replicas.push((lid, f));
+                    }
                 }
             }
             self.directory.remove(&label);
@@ -1028,7 +1444,8 @@ impl Engine {
     /// (no-op unless eagerly replicating).
     pub(crate) fn mark_touched(&mut self, label: &Key) {
         if self.config.eager_replication && self.config.replication > 1 {
-            self.touched.push(label.clone());
+            let lid = self.directory.intern(label);
+            self.touched.push(lid);
         }
     }
 
@@ -1041,11 +1458,11 @@ impl Engine {
             return;
         }
         let epoch = self.directory.epoch_of(label);
-        let peers: Vec<Key> = self.members.iter().cloned().collect();
-        self.cache_stats.invalidations_sent += peers.len() as u64;
-        t.broadcast(peers.into_iter().map(|p| {
+        self.cache_stats.invalidations_sent += self.members.len() as u64;
+        let members = &self.members;
+        t.broadcast(members.iter().map(|p| {
             Envelope::to_peer(
-                p,
+                p.clone(),
                 PeerMsg::InvalidateCached {
                     label: label.clone(),
                     epoch,
@@ -1072,12 +1489,25 @@ impl Engine {
             return;
         }
         let k = self.config.replication;
-        for (label, follower) in std::mem::take(&mut self.dropped_replicas) {
-            if self.members.contains(&follower) {
-                t.deliver(Envelope::to_peer(follower, PeerMsg::DropReplica { label }));
+        for (lid, fid) in std::mem::take(&mut self.dropped_replicas) {
+            // A follower is live iff its peer id still has a slot.
+            if let Some(slot) = self.peers.get(fid) {
+                t.deliver(Envelope::to_peer(
+                    slot.key.clone(),
+                    PeerMsg::DropReplica {
+                        label: self.directory.key_of(lid).clone(),
+                    },
+                ));
             }
         }
-        let mut touched = std::mem::take(&mut self.touched);
+        let mut touched_ids = std::mem::take(&mut self.touched);
+        // Render ids back to keys once, then sort lexicographically so
+        // the flush order (and thus the fingerprint) is id-assignment
+        // independent.
+        let mut touched: Vec<Key> = touched_ids
+            .iter()
+            .map(|&l| self.directory.key_of(l).clone())
+            .collect();
         touched.sort();
         touched.dedup();
         let peers: Vec<Key> = self.members.iter().cloned().collect();
@@ -1107,7 +1537,7 @@ impl Engine {
                 continue;
             }
             let env = {
-                let Some(shard) = self.shards.get(&primary) else {
+                let Some(shard) = self.shard(&primary) else {
                     continue;
                 };
                 let Some(node) = shard.nodes.get(label) else {
@@ -1125,8 +1555,8 @@ impl Engine {
             t.deliver(env);
             self.repl_stats.eager_syncs += 1;
         }
-        touched.clear();
-        self.touched = touched; // hand the capacity back
+        touched_ids.clear();
+        self.touched = touched_ids; // hand the capacity back
     }
 
     /// The planning half of a self-healing anti-entropy pass over
@@ -1155,8 +1585,7 @@ impl Engine {
                 .directory
                 .followers_of(label)
                 .filter(|f| {
-                    self.shards
-                        .get(*f)
+                    self.shard(f)
                         .map(|s| s.replicas.contains_key(label))
                         .unwrap_or(false)
                 })
@@ -1165,9 +1594,10 @@ impl Engine {
                 report.under_replicated += 1;
             }
         }
-        // GC copies whose label died or whose holder left the set.
+        // GC copies whose label died or whose holder left the set
+        // (ring order: the drop envelopes are fingerprint-visible).
         let mut drops: Vec<(Key, Key)> = Vec::new();
-        for (pid, shard) in &self.shards {
+        for (pid, shard) in self.shards() {
             for rl in shard.replicas.keys() {
                 let keep = self.directory.contains(rl)
                     && self.directory.followers_of(rl).any(|f| f == pid);
@@ -1228,7 +1658,7 @@ impl Engine {
     ) -> Option<DiscoveryMsg> {
         let followers: Vec<Key> = self.directory.followers_of(label).cloned().collect();
         for f in followers {
-            let Some(shard) = self.shards.get_mut(&f) else {
+            let Some(shard) = self.shard_mut(&f) else {
                 continue;
             };
             if !shard.replicas.contains_key(label) || !shard.peer.try_accept() {
@@ -1247,7 +1677,68 @@ impl Engine {
     /// (primary first, then followers in ring order). Empty when the
     /// label is not a live node. Local shards only.
     pub fn replica_hosts(&self, label: &Key) -> Vec<Key> {
-        repair::live_replica_hosts(&self.shards, &self.directory, label)
+        let mut out = Vec::new();
+        if let Some(p) = self.directory.host_of(label) {
+            if self
+                .shard(p)
+                .map(|s| s.nodes.contains_key(label))
+                .unwrap_or(false)
+            {
+                out.push(p.clone());
+            }
+        }
+        for f in self.directory.followers_of(label) {
+            let holds = self
+                .shard(f)
+                .map(|s| s.replicas.contains_key(label))
+                .unwrap_or(false);
+            if holds && !out.contains(f) {
+                out.push(f.clone());
+            }
+        }
+        out
+    }
+
+    /// Failover after a primary crash: moves a surviving follower copy
+    /// of `label` onto the peer the mapping rule now designates
+    /// (usually the copy's own holder — the first live follower *is*
+    /// the crashed primary's ring successor), updates the directory
+    /// and prunes dead follower records. Returns false when no live
+    /// copy exists.
+    fn promote_from_followers(&mut self, label: &Key) -> bool {
+        let holder = self
+            .directory
+            .followers_of(label)
+            .find(|f| {
+                self.shard(f)
+                    .map(|s| s.replicas.contains_key(label))
+                    .unwrap_or(false)
+            })
+            .cloned();
+        let Some(holder) = holder else {
+            return false;
+        };
+        let copy = self
+            .shard_mut(&holder)
+            .expect("holder is live")
+            .replicas
+            .remove(label)
+            .expect("copy is present");
+        let target = self.host_peer(label).expect("ring non-empty").clone();
+        self.shard_mut(&target)
+            .expect("mapping points at live peers")
+            .install(copy);
+        self.directory.insert(label.clone(), target.clone());
+        // Keep the surviving follower records; the next anti-entropy
+        // pass re-fills the set to k - 1.
+        let remaining: Vec<Key> = self
+            .directory
+            .followers_of(label)
+            .filter(|f| **f != target && self.contains_peer(f))
+            .cloned()
+            .collect();
+        self.directory.set_followers(label, &remaining);
+        true
     }
 
     /// Verifies the replication invariant: every live node has
@@ -1297,7 +1788,10 @@ impl Engine {
             // hand-off therefore also kicks the affected primaries to
             // re-clone, so a graceful leave never opens a
             // single-failure data-loss window.
-            self.touched.extend(shard.replicas.keys().cloned());
+            for label in shard.replicas.keys() {
+                let lid = self.directory.intern(label);
+                self.touched.push(lid);
+            }
         }
         self.apply(&mut fx, t);
         self.scratch = fx;
@@ -1322,16 +1816,15 @@ impl Engine {
         if &from == to {
             return Ok(());
         }
-        if !self.shards.contains_key(to) {
+        if self.shard(to).is_none() {
             return Err(DlptError::UnknownPeer(to.to_string()));
         }
         let node = self
-            .shards
-            .get_mut(&from)
+            .shard_mut(&from)
             .expect("directory points at live peers")
             .evict(label)
             .expect("directory is consistent");
-        self.shards.get_mut(to).expect("checked").install(node);
+        self.shard_mut(to).expect("checked").install(node);
         self.directory.insert(label.clone(), to.clone());
         self.mark_touched(label);
         self.stats.balance_migrations += 1;
@@ -1352,11 +1845,21 @@ impl Engine {
         if self.members.contains(&new) {
             return Err(DlptError::DuplicatePeer(new.to_string()));
         }
-        let mut shard = self
-            .shards
-            .remove(old)
+        let old_pid = self
+            .directory
+            .id_of(old)
+            .filter(|&p| self.peers.get(p).is_some_and(|s| s.shard.is_some()))
             .ok_or_else(|| DlptError::UnknownPeer(old.to_string()))?;
+        let new_pid = self.directory.intern(&new);
+        // The slot — shard, entry-point cache, free-list position —
+        // survives the rename: only the id binding moves, so learned
+        // shortcuts and slab integrity carry over.
+        self.peers.rebind(old_pid, new_pid);
         self.members.remove(old);
+        let eager = self.config.eager_replication && self.config.replication > 1;
+        let slot = self.peers.get_mut(new_pid).expect("just re-bound");
+        slot.key = new.clone();
+        let shard = slot.shard.as_mut().expect("checked above");
         let (pred, succ) = (shard.peer.pred.clone(), shard.peer.succ.clone());
         shard.peer.id = new.clone();
         if pred == *old {
@@ -1365,23 +1868,20 @@ impl Engine {
         if succ == *old {
             shard.peer.succ = new.clone();
         }
-        for label in shard.nodes.keys() {
-            self.directory.insert(label.clone(), new.clone());
+        let hosted: Vec<Key> = shard.nodes.keys().cloned().collect();
+        for label in hosted {
+            let lid = self.directory.insert(label, new.clone());
+            if eager {
+                self.touched.push(lid);
+            }
         }
-        if self.config.eager_replication && self.config.replication > 1 {
-            self.touched.extend(shard.nodes.keys().cloned());
-        }
-        self.shards.insert(new.clone(), shard);
         self.members.insert(new.clone());
-        if let Some(cache) = self.caches.remove(old) {
-            self.caches.insert(new.clone(), cache);
-        }
-        if let Some(p) = self.shards.get_mut(&pred) {
+        if let Some(p) = self.shard_mut(&pred) {
             if p.peer.succ == *old {
                 p.peer.succ = new.clone();
             }
         }
-        if let Some(s) = self.shards.get_mut(&succ) {
+        if let Some(s) = self.shard_mut(&succ) {
             if s.peer.pred == *old {
                 s.peer.pred = new.clone();
             }
@@ -1413,14 +1913,14 @@ impl Engine {
         }
         // Failure-detector stand-in: neighbours notice and heal.
         let (pred, succ) = (shard.peer.pred.clone(), shard.peer.succ.clone());
-        if let Some(p) = self.shards.get_mut(&pred) {
+        if let Some(p) = self.shard_mut(&pred) {
             p.peer.succ = if succ == *id {
                 pred.clone()
             } else {
                 succ.clone()
             };
         }
-        if let Some(s) = self.shards.get_mut(&succ) {
+        if let Some(s) = self.shard_mut(&succ) {
             s.peer.pred = if pred == *id {
                 succ.clone()
             } else {
@@ -1430,9 +1930,7 @@ impl Engine {
         // Failover: promote surviving follower copies; lose the rest.
         let mut lost = Vec::new();
         for label in hosted {
-            if self.config.replication > 1
-                && repair::promote_from_followers(&mut self.shards, &mut self.directory, &label)
-            {
+            if self.config.replication > 1 && self.promote_from_followers(&label) {
                 self.repl_stats.promotions += 1;
             } else {
                 self.directory.remove(&label);
@@ -1458,6 +1956,73 @@ impl Engine {
     // Validation against the paper's invariants (local shards)
     // ------------------------------------------------------------------
 
+    /// Test-only: verifies the peer slab's internal consistency — the
+    /// id→slot index, the occupied slots and the free list partition
+    /// the slab exactly, and every live slot's key interns back to the
+    /// id that maps to it (the no-aliasing property id reuse after a
+    /// rename depends on).
+    #[cfg(test)]
+    pub(crate) fn check_slab(&self) -> std::result::Result<(), String> {
+        use std::collections::HashSet;
+        let slab = &self.peers;
+        let mut seen: HashSet<u32> = HashSet::new();
+        let mut live = 0usize;
+        for (pid, &s) in slab.by_id.iter().enumerate() {
+            if s == SLOT_NONE {
+                continue;
+            }
+            live += 1;
+            let slot = slab
+                .slots
+                .get(s as usize)
+                .and_then(|o| o.as_ref())
+                .ok_or_else(|| format!("peer id {pid} maps to empty slot {s}"))?;
+            if !seen.insert(s) {
+                return Err(format!("slot {s} is referenced by two peer ids"));
+            }
+            match self.directory.id_of(&slot.key) {
+                Some(id) if id as usize == pid => {}
+                other => {
+                    return Err(format!(
+                        "slot {s} holds key {} which interns to {other:?}, \
+                         but is indexed under peer id {pid}",
+                        slot.key
+                    ));
+                }
+            }
+        }
+        let mut freed: HashSet<u32> = HashSet::new();
+        for &f in &slab.free {
+            if !freed.insert(f) {
+                return Err(format!("slot {f} appears twice on the free list"));
+            }
+            if seen.contains(&f) {
+                return Err(format!("slot {f} is both live and on the free list"));
+            }
+            if slab.slots.get(f as usize).is_none_or(|o| o.is_some()) {
+                return Err(format!("free slot {f} still holds a peer"));
+            }
+        }
+        if live + slab.free.len() != slab.slots.len() {
+            return Err(format!(
+                "slab leak: {live} live + {} free != {} slots",
+                slab.free.len(),
+                slab.slots.len()
+            ));
+        }
+        // Every live node label must resolve to a peer with a slot.
+        for (label, host) in self.directory.iter() {
+            let hid = self
+                .directory
+                .id_of(host)
+                .ok_or_else(|| format!("host {host} of {label} never interned"))?;
+            if !slab.contains(hid) {
+                return Err(format!("host {host} of {label} has no slab slot"));
+            }
+        }
+        Ok(())
+    }
+
     /// Verifies `host(n) = min {P : P >= n}` for every node.
     pub fn check_mapping(&self) -> std::result::Result<(), MappingViolation> {
         for (label, actual) in self.directory.iter() {
@@ -1476,7 +2041,7 @@ impl Engine {
     /// Verifies that every peer's pred/succ links agree with the ring
     /// order of identifiers.
     pub fn check_ring(&self) -> std::result::Result<(), MappingViolation> {
-        for (id, shard) in &self.shards {
+        for (id, shard) in self.shards() {
             let want_pred = self.ring_pred(id).expect("non-empty");
             let want_succ = self.ring_succ(id).expect("non-empty");
             if &shard.peer.pred != want_pred {
@@ -1498,7 +2063,7 @@ impl Engine {
     /// Verifies Definition 1 over the distributed tree: bidirectional
     /// father/child links and pairwise-GCP labels.
     pub fn check_tree(&self) -> std::result::Result<(), TrieViolation> {
-        for shard in self.shards.values() {
+        for shard in self.local_shards() {
             for node in shard.nodes.values() {
                 for d in &node.data {
                     if d != &node.label {
@@ -1565,10 +2130,12 @@ impl Engine {
     /// resets and every node's offered load is archived for the
     /// balancers (Section 3.3's "recent history").
     pub fn end_time_unit(&mut self) {
-        for shard in self.shards.values_mut() {
-            shard.peer.roll_unit();
-            for node in shard.nodes.values_mut() {
-                node.roll_unit();
+        for slot in self.peers.iter_slots_mut() {
+            if let Some(shard) = slot.shard.as_mut() {
+                shard.peer.roll_unit();
+                for node in shard.nodes.values_mut() {
+                    node.roll_unit();
+                }
             }
         }
     }
@@ -1675,6 +2242,7 @@ mod tests {
     #[test]
     fn duplicated_response_cannot_double_decrement_outstanding() {
         let mut e = cached_engine(0);
+        e.set_fault_recovery(true); // duplication implies a faulty transport
         e.directory.insert(k("DG"), k("P1"));
         let (id, _env) = e
             .begin_request(&k("DG"), QueryKind::Range(k("D"), k("E")))
@@ -1704,10 +2272,16 @@ mod tests {
     #[test]
     fn reset_request_for_retry_rearms_aggregation_and_filter() {
         let mut e = cached_engine(0);
+        e.set_fault_recovery(true); // retries only exist on faulty transports
         e.directory.insert(k("DG"), k("P1"));
-        let (id, _env) = e
+        let (id, env) = e
             .begin_request(&k("DG"), QueryKind::Exact(k("DGEMM")))
             .unwrap();
+        assert_eq!(
+            e.retry_envelope(id),
+            Some(env),
+            "fault recovery keeps the origin snapshot for retries"
+        );
         let terminal = report(id, vec![k("DG")], vec![k("DGEMM")], 1);
         // First attempt: the node forwarded to one child whose report
         // was lost — the request is stuck outstanding.
@@ -1738,22 +2312,21 @@ mod tests {
         // The label mutates (epoch advances) and P1 re-learns it fresh.
         e.directory.bump_epoch(&k("DGEMM"));
         let fresh = cache::learned_shortcut(&e.directory, &k("DGEMM")).expect("live");
-        e.caches
-            .get_mut(&k("P1"))
+        e.cache_mut(&k("P1"))
             .unwrap()
             .insert(k("DGEMM"), fresh.clone());
         // A delayed invalidation from before the re-learn arrives last:
         // the epoch guard must spare the fresher entry.
         e.deliver_invalidation(&k("P1"), &k("DGEMM"), stale_epoch);
         assert_eq!(
-            e.caches.get_mut(&k("P1")).unwrap().hit(&k("DGEMM")),
+            e.cache_mut(&k("P1")).unwrap().hit(&k("DGEMM")),
             Some(&fresh),
             "reordered stale invalidation must spare the re-learned shortcut"
         );
         // An invalidation at the current epoch evicts.
         let now_epoch = e.directory.epoch_of(&k("DGEMM"));
         e.deliver_invalidation(&k("P1"), &k("DGEMM"), now_epoch);
-        assert_eq!(e.caches.get_mut(&k("P1")).unwrap().hit(&k("DGEMM")), None);
+        assert_eq!(e.cache_mut(&k("P1")).unwrap().hit(&k("DGEMM")), None);
         assert_eq!(e.cache_stats.invalidations_delivered, 2);
     }
 
@@ -1765,7 +2338,7 @@ mod tests {
         let mut e = cached_engine(8);
         e.directory.insert(k("DGEMM"), k("P2"));
         let sc = cache::learned_shortcut(&e.directory, &k("DGEMM")).expect("live");
-        e.caches.get_mut(&k("P1")).unwrap().insert(k("DGEMM"), sc);
+        e.cache_mut(&k("P1")).unwrap().insert(k("DGEMM"), sc);
         let epoch = e.directory.epoch_of(&k("DGEMM"));
         let mut t = FifoTransport::default();
         let step = e
@@ -1782,7 +2355,7 @@ mod tests {
             .unwrap();
         assert!(matches!(step, Step::Done));
         assert_eq!(e.cache_stats.invalidations_delivered, 1);
-        assert_eq!(e.caches.get_mut(&k("P1")).unwrap().hit(&k("DGEMM")), None);
+        assert_eq!(e.cache_mut(&k("P1")).unwrap().hit(&k("DGEMM")), None);
         // Unknown peers requeue, exactly like any peer-addressed frame.
         let step = e
             .deliver(

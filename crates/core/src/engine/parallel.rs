@@ -132,7 +132,7 @@ impl ParallelPump {
         engine: &mut Engine,
         requests: Vec<(Key, QueryKind)>,
     ) -> Result<Vec<LookupOutcome>> {
-        let n = self.workers.min(engine.shards.len().max(1));
+        let n = self.workers.min(engine.local_shard_count().max(1));
         // Sequential prologue: register aggregation state and consult
         // the entry caches (identical flow to the sequential pump).
         let mut ids = Vec::with_capacity(requests.len());
@@ -147,7 +147,7 @@ impl ParallelPump {
                     // Unwind the prologue: earlier registrations must
                     // not linger as zombie aggregations/learn intents.
                     for id in ids {
-                        engine.gathers.remove(&id);
+                        engine.gathers.release(id);
                         engine.learn.remove(&id);
                     }
                     return Err(e);
@@ -156,7 +156,7 @@ impl ParallelPump {
         }
 
         // Partition the shards round-robin in ring order.
-        let shards = std::mem::take(&mut engine.shards);
+        let shards = engine.take_local_shards();
         let mut owner: FxHashMap<Key, u32> = FxHashMap::default();
         let mut partitions: Vec<BTreeMap<Key, PeerShard>> =
             (0..n).map(|_| BTreeMap::new()).collect();
@@ -230,7 +230,7 @@ impl ParallelPump {
         // Reassemble the engine: shards back into one map, counters
         // merged in worker order.
         for out in &mut outs {
-            engine.shards.append(&mut out.shards);
+            engine.restore_local_shards(std::mem::take(&mut out.shards));
             engine.stats.discovery_messages += out.discovery_messages;
             engine.stats.discovery_drops += out.discovery_drops;
             engine.stats.undeliverable += out.undeliverable;
@@ -263,7 +263,7 @@ impl ParallelPump {
                 if engine.take_finished(id).is_some() {
                     completed += 1;
                 } else {
-                    engine.gathers.remove(&id);
+                    engine.gathers.release(id);
                     engine.learn.remove(&id);
                 }
             }
@@ -274,7 +274,7 @@ impl ParallelPump {
         for id in ids {
             let out = if let Some(out) = engine.take_finished(id) {
                 out
-            } else if engine.gathers.contains_key(&id) {
+            } else if engine.gathers.contains(id) {
                 // Quiescence-judging engines never eagerly finalize;
                 // the pump is drained here, so judging now is exactly
                 // what `judge_at_quiescence` asks for.
@@ -479,51 +479,37 @@ fn process(
     // Same gate as the sequential engine dispatch, minus requeues
     // (the directory is frozen for the batch) and replica failover
     // (see the module docs).
-    let delivered = if charge {
-        match discovery::charge_visit(shard, &label) {
-            discovery::ChargeOutcome::Missing => {
-                out.undeliverable += 1;
-                out.log.push(LoggedOutcome {
-                    round,
-                    seq: next(seq),
-                    outcome: failed_discovery(&label, m),
-                });
-                return 0;
-            }
-            discovery::ChargeOutcome::Accepted => Some(m),
-            discovery::ChargeOutcome::Dropped => {
-                out.discovery_drops += 1;
-                let mut path = m.path;
-                path.push(label.clone());
-                out.log.push(LoggedOutcome {
-                    round,
-                    seq: next(seq),
-                    outcome: DiscoveryOutcome {
-                        request_id: m.request_id,
-                        satisfied: false,
-                        dropped: true,
-                        results: Vec::new(),
-                        path,
-                        pending_children: 0,
-                    },
-                });
-                return 0;
-            }
+    match discovery::deliver_visit(shard, &label, m, charge, fx) {
+        discovery::VisitGate::Missing(m) => {
+            out.undeliverable += 1;
+            out.log.push(LoggedOutcome {
+                round,
+                seq: next(seq),
+                outcome: failed_discovery(&label, m),
+            });
+            return 0;
         }
-    } else if shard.nodes.contains_key(&label) {
-        Some(m)
-    } else {
-        out.undeliverable += 1;
-        out.log.push(LoggedOutcome {
-            round,
-            seq: next(seq),
-            outcome: failed_discovery(&label, m),
-        });
-        return 0;
-    };
-    let m = delivered.expect("refusals returned above");
+        discovery::VisitGate::Dropped(m) => {
+            out.discovery_drops += 1;
+            let mut path = m.path;
+            path.push(label.clone());
+            out.log.push(LoggedOutcome {
+                round,
+                seq: next(seq),
+                outcome: DiscoveryOutcome {
+                    request_id: m.request_id,
+                    satisfied: false,
+                    dropped: true,
+                    results: Vec::new(),
+                    path,
+                    pending_children: 0,
+                },
+            });
+            return 0;
+        }
+        discovery::VisitGate::Delivered => {}
+    }
     out.discovery_messages += 1;
-    discovery::on_discovery(shard, &label, m, fx);
     debug_assert!(
         fx.relocated.is_empty() && fx.removed.is_empty(),
         "discovery never mutates the tree"
@@ -764,7 +750,7 @@ mod tests {
         let mut node = NodeState::new(k("DGEMM"));
         node.data.insert(k("DGEMM"));
         let host = e.host_peer(&k("DGEMM")).unwrap().clone();
-        e.shards.get_mut(&host).unwrap().install(node);
+        e.shard_mut(&host).unwrap().install(node);
         e.directory.insert(k("DGEMM"), host);
         let out = ParallelPump::new(2)
             .run_batch(&mut e, vec![(k("DGEMM"), QueryKind::Exact(k("DGEMM")))])

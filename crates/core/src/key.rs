@@ -182,13 +182,27 @@ impl Key {
     }
 
     /// Length of the greatest common prefix, `|GCP(self, other)|`,
-    /// without allocating.
+    /// without allocating. Compares in 8-byte chunks — `XOR` plus
+    /// `trailing_zeros` locates the first differing digit — so the
+    /// routing hot path (which calls this per child scan) doesn't pay
+    /// a per-byte loop.
     pub fn gcp_len(&self, other: &Key) -> usize {
-        self.as_bytes()
-            .iter()
-            .zip(other.as_bytes())
-            .take_while(|(a, b)| a == b)
-            .count()
+        let a = self.as_bytes();
+        let b = other.as_bytes();
+        let n = a.len().min(b.len());
+        let mut i = 0;
+        while i + 8 <= n {
+            let x = u64::from_le_bytes(a[i..i + 8].try_into().expect("8-byte window"))
+                ^ u64::from_le_bytes(b[i..i + 8].try_into().expect("8-byte window"));
+            if x != 0 {
+                return i + (x.trailing_zeros() / 8) as usize;
+            }
+            i += 8;
+        }
+        while i < n && a[i] == b[i] {
+            i += 1;
+        }
+        i
     }
 
     /// Greatest common prefix of a whole collection (`GCP(w1, w2, …)`).

@@ -68,8 +68,30 @@ impl NodeState {
     /// after the label, so at most one qualifies).
     pub fn child_extending(&self, target: &Key) -> Option<&Key> {
         let own = self.label.gcp_len(target);
-        // Only a child starting with label + target[own] can qualify;
-        // narrow the scan with the digit when available.
+        // A child qualifies iff it shares the target's first `own + 1`
+        // digits — which requires its digit at `own` to match the
+        // target's. Scanning on that single digit is enough to rule a
+        // child in or out when the PGCP invariant (children extend the
+        // label) holds; the full-prefix scan below stays as the
+        // fallback for transient trees mid-repair.
+        if own == self.label.len() {
+            let Some(next) = target.as_bytes().get(own) else {
+                // `target == label`: no child can share a longer prefix.
+                return None;
+            };
+            match self
+                .children
+                .iter()
+                .find(|c| c.as_bytes().get(own) == Some(next))
+            {
+                // No child matches the branching digit — necessary for
+                // a longer shared prefix — so none qualifies.
+                None => return None,
+                // Verify the invariant actually held for the match.
+                Some(c) if c.gcp_len(target) > own => return Some(c),
+                Some(_) => {}
+            }
+        }
         self.children.iter().find(|c| c.gcp_len(target) > own)
     }
 

@@ -37,10 +37,19 @@ pub fn on_discovery(shard: &mut PeerShard, node_label: &Key, msg: DiscoveryMsg, 
 /// visit from a follower replica copy (`protocol::repair`): routing
 /// only ever *reads* the node, so any up-to-date copy answers alike.
 pub fn on_discovery_at(node: &NodeState, mut msg: DiscoveryMsg, fx: &mut Effects) {
-    // One label per visit, for hop accounting.
-    msg.path.push(node.label.clone());
+    // One label per visit, for hop accounting. Gather-phase branch
+    // visits skip it: their envelopes deliberately carry an empty path
+    // (the aggregator counts each partial as one visit via
+    // `len().max(1)`, and a one-label branch path can never beat the
+    // root report's routed path for `best_path`), so pushing into that
+    // empty vector would be the fan-out's only allocation.
+    if !matches!(msg.phase, RoutePhase::Gather) {
+        msg.path.push(node.label.clone());
+    }
     match msg.phase {
         RoutePhase::Up => {
+            // One target computation serves the whole visit (the
+            // descent reuses it instead of re-deriving it).
             let target = msg.query.target();
             match &node.father {
                 // Only the father link of an upward forward is cloned
@@ -52,18 +61,21 @@ pub fn on_discovery_at(node: &NodeState, mut msg: DiscoveryMsg, fx: &mut Effects
                     // This node covers the target's region (or is the
                     // root): switch to the descent.
                     msg.phase = RoutePhase::Down;
-                    descend(node, msg, fx);
+                    descend(node, msg, target, fx);
                 }
             }
         }
-        RoutePhase::Down => descend(node, msg, fx),
+        RoutePhase::Down => {
+            let target = msg.query.target();
+            descend(node, msg, target, fx)
+        }
         RoutePhase::Gather => gather(node, msg, fx),
     }
 }
 
-/// Downward phase: walk toward the node covering the query target.
-fn descend(node: &NodeState, mut msg: DiscoveryMsg, fx: &mut Effects) {
-    let target = msg.query.target();
+/// Downward phase: walk toward the node covering the query target
+/// (`target` is the caller's already-computed [`QueryKind::target`]).
+fn descend(node: &NodeState, mut msg: DiscoveryMsg, target: Key, fx: &mut Effects) {
     // The node is only inspected; the single clone below is the child
     // label a forwarded envelope must own.
     if node.label == target {
@@ -196,20 +208,12 @@ fn gather(node: &NodeState, mut msg: DiscoveryMsg, fx: &mut Effects) {
         .filter(|k| msg.query.matches(k))
         .cloned()
         .collect();
-    let pending_children = node
-        .children
-        .iter()
-        .filter(|c| subtree_may_match(&msg.query, c))
-        .count() as u32;
-    let outcome = DiscoveryOutcome {
-        request_id: msg.request_id,
-        satisfied: true,
-        dropped: false,
-        results,
-        path: std::mem::take(&mut msg.path),
-        pending_children,
-    };
-    fx.send(Envelope::to_client(outcome.request_id, outcome));
+    // Single pass over the children: emit the branch envelopes, then
+    // splice the report in *front* of them (the aggregator must see
+    // `pending_children` before any branch outcome, see above). The
+    // splice shifts at most fan-out envelopes — cheaper than running
+    // the prune predicate twice.
+    let mark = fx.out.len();
     for c in node.children.iter() {
         if !subtree_may_match(&msg.query, c) {
             continue;
@@ -222,6 +226,17 @@ fn gather(node: &NodeState, mut msg: DiscoveryMsg, fx: &mut Effects) {
         };
         fx.send(Envelope::to_node(c.clone(), NodeMsg::Discovery(branch)));
     }
+    let pending_children = (fx.out.len() - mark) as u32;
+    let outcome = DiscoveryOutcome {
+        request_id: msg.request_id,
+        satisfied: true,
+        dropped: false,
+        results,
+        path: std::mem::take(&mut msg.path),
+        pending_children,
+    };
+    fx.out
+        .insert(mark, Envelope::to_client(outcome.request_id, outcome));
 }
 
 /// Conservative pruning: can the subtree rooted at `child` contain a
@@ -291,6 +306,44 @@ pub fn charge_visit(shard: &mut PeerShard, node_label: &Key) -> ChargeOutcome {
     } else {
         ChargeOutcome::Dropped
     }
+}
+
+/// Result of [`deliver_visit`]: refusals hand the message back intact
+/// so the runtime can requeue or synthesize a dropped outcome.
+pub enum VisitGate {
+    /// The node is not hosted here (hand-off in flight): retry later.
+    Missing(DiscoveryMsg),
+    /// Charged (when requested) and routed.
+    Delivered,
+    /// The peer's capacity is exhausted; offered load was recorded but
+    /// the request must be ignored (Section 4's model).
+    Dropped(DiscoveryMsg),
+}
+
+/// One-probe delivery for the runtime hot path: a single `nodes` probe
+/// serves the existence check, the capacity charge (when `charge` is
+/// set — same rule as [`charge_visit`]) and the routing visit itself,
+/// instead of a charge probe followed by a second lookup in
+/// [`on_discovery`].
+#[inline]
+pub fn deliver_visit(
+    shard: &mut PeerShard,
+    node_label: &Key,
+    msg: DiscoveryMsg,
+    charge: bool,
+    fx: &mut Effects,
+) -> VisitGate {
+    let Some(node) = shard.nodes.get_mut(node_label) else {
+        return VisitGate::Missing(msg);
+    };
+    if charge {
+        node.load += 1;
+        if !shard.peer.try_accept() {
+            return VisitGate::Dropped(msg);
+        }
+    }
+    on_discovery_at(node, msg, fx);
+    VisitGate::Delivered
 }
 
 #[cfg(test)]

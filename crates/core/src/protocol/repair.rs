@@ -35,7 +35,6 @@ use crate::key::Key;
 use crate::messages::{Envelope, NodeSeed, PeerMsg};
 use crate::peer::PeerShard;
 use crate::protocol::Effects;
-use std::collections::BTreeMap;
 
 /// `<SyncReplicas, k>`: re-clone every hosted node onto the ring
 /// successors (anti-entropy kick, typically once per time unit).
@@ -98,85 +97,6 @@ pub fn on_promote_replica(shard: &mut PeerShard, label: &Key, fx: &mut Effects) 
         fx.relocated.push((label.clone(), shard.peer.id.clone()));
         shard.install(node);
     }
-}
-
-/// Failover after a primary crash: moves a surviving follower copy of
-/// `label` onto the peer the mapping rule now designates (usually the
-/// copy's own holder — the first live follower *is* the crashed
-/// primary's ring successor), updates the directory and prunes dead
-/// follower records. Returns false when no live copy exists. Shared by
-/// the runtimes that own their shards directly (the synchronous pump
-/// and `LatencyNet`), so the failover rule cannot drift between them.
-pub fn promote_from_followers(
-    shards: &mut BTreeMap<Key, PeerShard>,
-    directory: &mut Directory,
-    label: &Key,
-) -> bool {
-    let holder = directory
-        .followers_of(label)
-        .find(|f| {
-            shards
-                .get(*f)
-                .map(|s| s.replicas.contains_key(label))
-                .unwrap_or(false)
-        })
-        .cloned();
-    let Some(holder) = holder else {
-        return false;
-    };
-    let copy = shards
-        .get_mut(&holder)
-        .expect("holder is live")
-        .replicas
-        .remove(label)
-        .expect("copy is present");
-    let target = crate::mapping::host_over_shards(shards, label)
-        .expect("ring non-empty")
-        .clone();
-    shards
-        .get_mut(&target)
-        .expect("mapping points at live peers")
-        .install(copy);
-    directory.insert(label.clone(), target.clone());
-    // Keep the surviving follower records; the next anti-entropy pass
-    // re-fills the set to k - 1.
-    let remaining: Vec<Key> = directory
-        .followers_of(label)
-        .filter(|f| **f != target && shards.contains_key(*f))
-        .cloned()
-        .collect();
-    directory.set_followers(label, &remaining);
-    true
-}
-
-/// The distinct live peers holding a copy of `label` (primary first,
-/// then followers in ring order) — the replication invariant's
-/// left-hand side. Empty when the label is not a live node.
-pub fn live_replica_hosts(
-    shards: &BTreeMap<Key, PeerShard>,
-    directory: &Directory,
-    label: &Key,
-) -> Vec<Key> {
-    let mut out = Vec::new();
-    if let Some(p) = directory.host_of(label) {
-        if shards
-            .get(p)
-            .map(|s| s.nodes.contains_key(label))
-            .unwrap_or(false)
-        {
-            out.push(p.clone());
-        }
-    }
-    for f in directory.followers_of(label) {
-        let holds = shards
-            .get(f)
-            .map(|s| s.replicas.contains_key(label))
-            .unwrap_or(false);
-        if holds && !out.contains(f) {
-            out.push(f.clone());
-        }
-    }
-    out
 }
 
 /// Recomputes and records the follower set of every live label over

@@ -226,6 +226,13 @@ impl DlptSystem {
         &self.config
     }
 
+    /// Test-only view of the underlying engine, for slab/directory
+    /// invariant checks that need more than the public facade.
+    #[cfg(test)]
+    pub(crate) fn engine_ref(&self) -> &Engine {
+        &self.engine
+    }
+
     /// Reconfigures the replication factor `k` (clamped to ≥ 1),
     /// keeping [`SystemConfig`] and the engine in sync. Shadows the
     /// engine's setter so `config()` never reports a stale knob.
@@ -252,17 +259,20 @@ impl DlptSystem {
         // quiescence instead while such a plan is installed.
         self.engine.set_judge_at_quiescence(plan.reorder_rate > 0.0);
         self.faults = Faults::new(plan);
+        self.engine.set_fault_recovery(self.faults.is_active());
     }
 
     /// Severs the lexicographic key range `[lo, hi)` for faultable
     /// traffic until [`DlptSystem::heal_partition`].
     pub fn partition(&mut self, lo: Key, hi: Key) {
         self.faults.partition(lo, hi);
+        self.engine.set_fault_recovery(true);
     }
 
     /// Heals a partition installed by [`DlptSystem::partition`].
     pub fn heal_partition(&mut self) {
         self.faults.heal();
+        self.engine.set_fault_recovery(self.faults.is_active());
     }
 
     /// Combined fault counters: transport-level draws plus the
@@ -391,8 +401,7 @@ impl DlptSystem {
         let mut node = NodeState::new(key.clone());
         node.data.insert(key.clone());
         self.engine
-            .shards
-            .get_mut(&host)
+            .shard_mut(&host)
             .expect("host exists")
             .install(node);
         self.engine.directory.insert(key.clone(), host);
@@ -447,10 +456,10 @@ impl DlptSystem {
                 .ok_or(DlptError::Undeliverable(format!("request {id}")));
         }
         // Fault-tolerant path: a lost response leaves a branch
-        // outstanding at quiescence; re-issue the original envelope up
-        // to the retry budget, then fail explicitly — a request never
-        // hangs and never silently vanishes.
-        let origin = env.clone();
+        // outstanding at quiescence; re-issue the engine's retry
+        // snapshot of the original envelope up to the retry budget,
+        // then fail explicitly — a request never hangs and never
+        // silently vanishes.
         self.enqueue(env);
         self.drain()?;
         let mut attempts = 0u32;
@@ -463,8 +472,12 @@ impl DlptSystem {
             }
             attempts += 1;
             self.faults.stats.retries += 1;
+            let origin = self
+                .engine
+                .retry_envelope(id)
+                .expect("fault recovery keeps the origin snapshot");
             self.engine.reset_request_for_retry(id);
-            self.enqueue(origin.clone());
+            self.enqueue(origin);
             self.drain()?;
         }
         if self.engine.retry_pending(id) {
@@ -582,7 +595,10 @@ impl DlptSystem {
         let live: std::collections::BTreeSet<Key> =
             self.engine.directory.labels().cloned().collect();
         let mut touched: Vec<Key> = Vec::new();
-        for shard in self.engine.shards.values_mut() {
+        for pid in self.engine.peer_ids() {
+            let Some(shard) = self.engine.shard_mut(&pid) else {
+                continue;
+            };
             for node in shard.nodes.values_mut() {
                 let before = node.children.len();
                 node.children.retain(|c| live.contains(c));
@@ -599,7 +615,7 @@ impl DlptSystem {
         //    root.
         let mut orphans: Vec<Key> = Vec::new();
         let mut root: Option<Key> = None;
-        for shard in self.engine.shards.values() {
+        for shard in self.engine.local_shards() {
             for node in shard.nodes.values() {
                 match &node.father {
                     None => root = Some(node.label.clone()),
@@ -638,8 +654,7 @@ impl DlptSystem {
             .clone();
         let node = self
             .engine
-            .shards
-            .get_mut(&host)
+            .shard_mut(&host)
             .expect("live")
             .nodes
             .get_mut(label)
@@ -657,8 +672,7 @@ impl DlptSystem {
             .clone();
         let node = self
             .engine
-            .shards
-            .get_mut(&host)
+            .shard_mut(&host)
             .expect("live")
             .nodes
             .get_mut(parent)
@@ -676,8 +690,7 @@ impl DlptSystem {
             .clone();
         let node = self
             .engine
-            .shards
-            .get_mut(&host)
+            .shard_mut(&host)
             .expect("live")
             .nodes
             .get_mut(parent)
@@ -697,11 +710,7 @@ impl DlptSystem {
         let mut node = NodeState::new(label.clone());
         node.father = father;
         node.children = children.into_iter().collect();
-        self.engine
-            .shards
-            .get_mut(&host)
-            .expect("live")
-            .install(node);
+        self.engine.shard_mut(&host).expect("live").install(node);
         self.engine.mark_touched(&label);
         self.engine.directory.insert(label, host);
     }
@@ -775,13 +784,13 @@ impl DlptSystem {
     }
 
     fn recompute_root(&mut self) {
-        self.engine.root = self
+        let root = self
             .engine
-            .shards
-            .values()
+            .local_shards()
             .flat_map(|s| s.nodes.values())
             .find(|n| n.father.is_none())
             .map(|n| n.label.clone());
+        self.engine.root = root;
     }
 
     /// Eager replica maintenance after a mutating operation: the

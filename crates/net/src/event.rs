@@ -3,6 +3,11 @@
 //! Events fire in timestamp order; ties break by insertion sequence,
 //! so two runs that push the same events pop the same order — the
 //! property every simulation in this workspace leans on.
+//!
+//! Payloads live in a slot vector with a free list; the heap orders
+//! bare `{at, seq, slot}` records. Sifting therefore moves 24-byte
+//! entries instead of full payloads (an `Envelope` is ~200 bytes), and
+//! slot reuse keeps the steady state allocation-free.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -11,24 +16,24 @@ use std::collections::BinaryHeap;
 pub type SimTime = u64;
 
 #[derive(Debug)]
-struct Scheduled<T> {
+struct Scheduled {
     at: SimTime,
     seq: u64,
-    item: T,
+    slot: u32,
 }
 
-impl<T> PartialEq for Scheduled<T> {
+impl PartialEq for Scheduled {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<T> Eq for Scheduled<T> {}
-impl<T> PartialOrd for Scheduled<T> {
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<T> Ord for Scheduled<T> {
+impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.at, self.seq).cmp(&(other.at, other.seq))
     }
@@ -37,7 +42,9 @@ impl<T> Ord for Scheduled<T> {
 /// Min-heap of timestamped events with deterministic tie-breaking.
 #[derive(Debug)]
 pub struct EventQueue<T> {
-    heap: BinaryHeap<Reverse<Scheduled<T>>>,
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    items: Vec<Option<T>>,
+    free: Vec<u32>,
     seq: u64,
     now: SimTime,
 }
@@ -46,6 +53,8 @@ impl<T> Default for EventQueue<T> {
     fn default() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            items: Vec::new(),
+            free: Vec::new(),
             seq: 0,
             now: 0,
         }
@@ -78,7 +87,18 @@ impl<T> EventQueue<T> {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Scheduled { at, seq, item }));
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.items[s as usize] = Some(item);
+                s
+            }
+            None => {
+                let s = u32::try_from(self.items.len()).expect("event queue slot overflow");
+                self.items.push(Some(item));
+                s
+            }
+        };
+        self.heap.push(Reverse(Scheduled { at, seq, slot }));
     }
 
     /// Schedules `item` `delay` ticks from now.
@@ -90,7 +110,11 @@ impl<T> EventQueue<T> {
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
         let Reverse(s) = self.heap.pop()?;
         self.now = s.at;
-        Some((s.at, s.item))
+        let item = self.items[s.slot as usize]
+            .take()
+            .expect("scheduled slot holds its payload until popped");
+        self.free.push(s.slot);
+        Some((s.at, item))
     }
 }
 
@@ -148,5 +172,17 @@ mod tests {
         assert_eq!(q.len(), 2);
         q.pop();
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn slots_are_reused_after_pop() {
+        let mut q = EventQueue::new();
+        for round in 0..100 {
+            q.push_at(round, round);
+            q.push_at(round, round + 1);
+            q.pop();
+            q.pop();
+        }
+        assert!(q.items.len() <= 2, "steady state reuses payload slots");
     }
 }

@@ -122,17 +122,20 @@ impl LatencyNet {
     /// partition. The default plan is fully inert.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.faults = Faults::new(plan);
+        self.engine.set_fault_recovery(self.faults.is_active());
     }
 
     /// Severs the lexicographic key range `[lo, hi)` for faultable
     /// traffic until [`LatencyNet::heal_partition`].
     pub fn partition(&mut self, lo: Key, hi: Key) {
         self.faults.partition(lo, hi);
+        self.engine.set_fault_recovery(true);
     }
 
     /// Heals a partition installed by [`LatencyNet::partition`].
     pub fn heal_partition(&mut self) {
         self.faults.heal();
+        self.engine.set_fault_recovery(self.faults.is_active());
     }
 
     /// Combined fault counters: transport-level draws plus the
@@ -218,7 +221,6 @@ impl LatencyNet {
             .engine
             .begin_request(&entry, query)
             .expect("entry is a live node");
-        let origin = self.faults.is_active().then(|| env.clone());
         self.send(env);
         self.run_to_quiescence();
         // Only judge completion once the network is drained: responses
@@ -226,19 +228,25 @@ impl LatencyNet {
         // can transiently touch zero while a parent's response (which
         // would raise it again via `pending_children`) is still in
         // flight.
-        if let Some(origin) = origin {
+        if self.faults.is_active() {
             // Fault-tolerant path: a branch left outstanding at
-            // quiescence means loss; re-issue with exponential backoff
-            // (the retry re-enters the event queue `base << attempt`
-            // ticks out, past everything the first attempt scheduled),
-            // then fail explicitly at budget exhaustion.
+            // quiescence means loss; re-issue the engine's retry
+            // snapshot with exponential backoff (the retry re-enters
+            // the event queue `base << attempt` ticks out, past
+            // everything the first attempt scheduled), then fail
+            // explicitly at budget exhaustion. Fault-off runs never
+            // take the snapshot, so they pay no per-request clone.
             let mut attempts = 0u32;
             while self.engine.retry_pending(id) && attempts < self.request_retry_budget {
                 self.faults.stats.retries += 1;
+                let origin = self
+                    .engine
+                    .retry_envelope(id)
+                    .expect("fault recovery keeps the origin snapshot");
                 self.engine.reset_request_for_retry(id);
                 let delay = self.backoff_base << attempts.min(16);
                 attempts += 1;
-                self.queue.push_after(delay, (0, origin.clone()));
+                self.queue.push_after(delay, (0, origin));
                 self.run_to_quiescence();
             }
             if self.engine.retry_pending(id) {
@@ -448,7 +456,6 @@ mod tests {
         // Crash the most loaded peer.
         let victim = net
             .shards()
-            .iter()
             .max_by_key(|(_, s)| s.node_count())
             .map(|(id, _)| id.clone())
             .unwrap();
@@ -527,7 +534,6 @@ mod tests {
         let mut net = build(LatencyModel::Constant(1), 31, 6, &KEYS);
         let victim = net
             .shards()
-            .iter()
             .max_by_key(|(_, s)| s.node_count())
             .map(|(id, _)| id.clone())
             .unwrap();

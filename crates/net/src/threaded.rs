@@ -145,17 +145,20 @@ impl ThreadedDlpt {
     /// fault state). The default plan is fully inert.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.faults = Faults::new(plan);
+        self.engine.set_fault_recovery(self.faults.is_active());
     }
 
     /// Severs frames addressed to keys in `[lo, hi)` until
     /// [`ThreadedDlpt::heal_partition`].
     pub fn partition(&mut self, lo: Key, hi: Key) {
         self.faults.partition(lo, hi);
+        self.engine.set_fault_recovery(true);
     }
 
     /// Lifts an active partition.
     pub fn heal_partition(&mut self) {
         self.faults.heal();
+        self.engine.set_fault_recovery(self.faults.is_active());
     }
 
     /// Fault-injection and recovery counters.
@@ -407,21 +410,25 @@ impl ThreadedDlpt {
             .engine
             .begin_request(&entry, query)
             .expect("entry is a live node");
-        let origin = self.faults.is_active().then(|| env.clone());
         self.push_env(env);
         self.run_to_quiescence();
-        if let Some(origin) = origin {
+        if self.faults.is_active() {
             // A branch still outstanding after the router drained means
-            // a frame was lost: re-issue from the origin envelope with
-            // a fresh aggregate, then fail explicitly at budget
-            // exhaustion. The threaded runtime has no clock, so the
-            // retry is immediate rather than backed off.
+            // a frame was lost: re-issue the engine's retry snapshot of
+            // the origin envelope with a fresh aggregate, then fail
+            // explicitly at budget exhaustion. The threaded runtime has
+            // no clock, so the retry is immediate rather than backed
+            // off. Fault-off runs never take the snapshot.
             let mut attempts = 0u32;
             while self.engine.retry_pending(id) && attempts < self.request_retry_budget {
                 self.faults.stats.retries += 1;
+                let origin = self
+                    .engine
+                    .retry_envelope(id)
+                    .expect("fault recovery keeps the origin snapshot");
                 self.engine.reset_request_for_retry(id);
                 attempts += 1;
-                self.push_env(origin.clone());
+                self.push_env(origin);
                 self.run_to_quiescence();
             }
             if self.engine.retry_pending(id) {

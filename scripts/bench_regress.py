@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff a fresh `perf --smoke` run against the
+latest committed `BENCH_*.json`.
+
+Usage:
+    scripts/bench_regress.py <fresh-smoke.json> [--tolerance 0.25]
+                             [--baseline BENCH_x.json]
+
+The committed baseline may be either format the repo has carried:
+
+* a flat snapshot  — ``{"label": ..., "benchmarks": [...]}``
+* an a/b report    — ``{"before": {...}, "after": {...}, "speedup": ...}``
+  (the ``after`` block is the machine's current truth and is what the
+  fresh run is compared against)
+
+For every benchmark name present in both files, the fresh
+``ops_per_sec`` must stay within ``tolerance`` (default +/-25%) of the
+baseline; a drop beyond the band fails the gate loudly with the full
+table. Distribution rows (``*_p50`` / ``*_p99``) are reported but not
+gated: percentile tails on a noisy CI box swing far wider than a real
+throughput regression. The ``gather_scaling_*`` fan-out sweep is also
+reported ungated: its smoke run draws a different (much smaller)
+prefix mix than the committed full run, so the rows are trajectory
+diagnostics, not comparable throughputs. Rows only one side knows are
+reported as such — a renamed benchmark silently dropping out of the
+gate is itself worth seeing.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+UNGATED_SUFFIXES = ("_p50", "_p99")
+UNGATED_PREFIXES = ("gather_scaling_",)
+
+
+def latest_committed_baseline():
+    candidates = sorted(glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json")))
+    if not candidates:
+        sys.exit("bench-regress: no committed BENCH_*.json baseline found")
+    return candidates[-1]
+
+
+def snapshot_rows(doc, path):
+    """Extract {name: ops_per_sec} from either supported format."""
+    if "benchmarks" not in doc and "after" in doc:
+        doc = doc["after"]
+    if "benchmarks" not in doc:
+        sys.exit(f"bench-regress: {path} has neither a 'benchmarks' array "
+                 "nor an 'after' snapshot")
+    rows = {}
+    for b in doc["benchmarks"]:
+        rows[b["name"]] = float(b["ops_per_sec"])
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("fresh", help="JSON emitted by `perf --smoke --out ...`")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed relative drop in ops_per_sec (default 0.25)")
+    ap.add_argument("--baseline", default=None,
+                    help="explicit baseline (default: latest BENCH_*.json)")
+    args = ap.parse_args()
+
+    baseline_path = args.baseline or latest_committed_baseline()
+    with open(baseline_path) as f:
+        base = snapshot_rows(json.load(f), baseline_path)
+    with open(args.fresh) as f:
+        fresh = snapshot_rows(json.load(f), args.fresh)
+
+    print(f"bench-regress: fresh {args.fresh} vs baseline "
+          f"{os.path.relpath(baseline_path, REPO_ROOT)} "
+          f"(tolerance -{args.tolerance:.0%})")
+    header = f"{'benchmark':<28} {'baseline op/s':>14} {'fresh op/s':>14} {'ratio':>7}  verdict"
+    print(header)
+    print("-" * len(header))
+
+    failures = []
+    for name in sorted(set(base) | set(fresh)):
+        if name not in fresh:
+            print(f"{name:<28} {base[name]:>14,.0f} {'-':>14} {'-':>7}  MISSING from fresh run")
+            failures.append(name)
+            continue
+        if name not in base:
+            print(f"{name:<28} {'-':>14} {fresh[name]:>14,.0f} {'-':>7}  new (not gated)")
+            continue
+        ratio = fresh[name] / base[name] if base[name] else float("inf")
+        if name.endswith(UNGATED_SUFFIXES):
+            verdict = "distribution row (not gated)"
+        elif name.startswith(UNGATED_PREFIXES):
+            verdict = "fan-out sweep row (not gated)"
+        elif ratio < 1.0 - args.tolerance:
+            verdict = "REGRESSION"
+            failures.append(name)
+        elif ratio > 1.0 + args.tolerance:
+            verdict = "ok (faster — consider refreshing the baseline)"
+        else:
+            verdict = "ok"
+        print(f"{name:<28} {base[name]:>14,.0f} {fresh[name]:>14,.0f} {ratio:>6.2f}x  {verdict}")
+
+    if failures:
+        print(f"\nbench-regress: FAILED — {len(failures)} benchmark(s) "
+              f"regressed beyond -{args.tolerance:.0%} or went missing: "
+              + ", ".join(failures), file=sys.stderr)
+        sys.exit(1)
+    print("\nbench-regress: ok")
+
+
+if __name__ == "__main__":
+    main()

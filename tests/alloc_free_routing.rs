@@ -15,6 +15,7 @@
 
 use dlpt::core::messages::QueryKind;
 use dlpt::core::{Alphabet, DlptSystem, Key};
+use dlpt::net::{LatencyModel, LatencyNet};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -149,5 +150,107 @@ fn routed_envelopes_are_allocation_free_in_steady_state() {
         shallow_allocs / ROUNDS <= 16,
         "per-request setup regressed: {} allocs/request",
         shallow_allocs / ROUNDS
+    );
+
+    // ---- Phase 3: gather responses are allocation-free too. --------
+    // Two completion queries with the SAME result count but different
+    // subtree shapes: a registered chain (every visited node holds a
+    // key) versus a wide subtree whose internal branch nodes are
+    // data-less. The wide query routes more hops and collects more
+    // gather responses for the same four results — if a gather
+    // response (branch envelope + partial report + aggregation step)
+    // allocated, the wide run would cost strictly more.
+    for s in ["000", "0000", "00000", "000000"] {
+        sys.insert_data(Key::from(s)).unwrap();
+    }
+    for s in ["11000", "11011", "11100", "11111"] {
+        sys.insert_data(Key::from(s)).unwrap();
+    }
+    let chain = QueryKind::Complete(Key::from("000"));
+    let wide = QueryKind::Complete(Key::from("11"));
+    for _ in 0..32 {
+        assert!(sys.request_from(&entry, chain.clone()).unwrap().satisfied);
+        assert!(sys.request_from(&entry, wide.clone()).unwrap().satisfied);
+    }
+    let (chain_allocs, chain_visits) = count(|| {
+        let mut visits = 0;
+        for _ in 0..ROUNDS {
+            let out = sys.request_from(&entry, chain.clone()).unwrap();
+            assert!(out.satisfied && out.results.len() == 4);
+            visits += out.gather_visits;
+        }
+        visits
+    });
+    let (wide_allocs, wide_visits) = count(|| {
+        let mut visits = 0;
+        for _ in 0..ROUNDS {
+            let out = sys.request_from(&entry, wide.clone()).unwrap();
+            assert!(out.satisfied && out.results.len() == 4);
+            visits += out.gather_visits;
+        }
+        visits
+    });
+    assert!(
+        wide_visits > chain_visits,
+        "workload sanity: the wide subtree must gather across more nodes \
+         ({wide_visits} vs {chain_visits} partial reports)"
+    );
+    assert!(
+        wide_allocs.abs_diff(chain_allocs) <= JITTER,
+        "extra gather responses must not allocate: {wide_visits} partials cost \
+         {wide_allocs} allocs, {chain_visits} partials cost {chain_allocs}"
+    );
+
+    // ---- Phase 4: fault-off admission keeps no retry snapshot. -----
+    // The LatencyNet retry path re-sends a verbatim clone of the entry
+    // envelope; that snapshot is only worth paying for on a faulty
+    // transport, so admission defers it behind `fault_recovery`.
+    let mut net = LatencyNet::new(LatencyModel::Constant(1), 11);
+    for s in ["00000000", "01000000", "10000000", "11000000"] {
+        net.add_peer(Key::from(s));
+    }
+    for s in ["00", "011", "110"] {
+        net.insert_data(Key::from(s));
+    }
+    let entry = Key::from("00");
+    let probe = QueryKind::Exact(Key::from("110"));
+    // Warm both admission modes so the gather pool, learn map and
+    // finished map sit at their high-water marks.
+    for armed in [false, true, false] {
+        net.set_fault_recovery(armed);
+        for _ in 0..8 {
+            let (id, _env) = net.begin_request(&entry, probe.clone()).unwrap();
+            net.finish_request(id);
+        }
+    }
+    // Behaviour flip: the snapshot exists exactly when recovery is on.
+    let (id, _env) = net.begin_request(&entry, probe.clone()).unwrap();
+    assert!(
+        net.retry_envelope(id).is_none(),
+        "fault-off admission must not keep a retry snapshot"
+    );
+    net.finish_request(id);
+    net.set_fault_recovery(true);
+    let (id, _env) = net.begin_request(&entry, probe.clone()).unwrap();
+    assert!(
+        net.retry_envelope(id).is_some(),
+        "fault recovery keeps the origin snapshot for retries"
+    );
+    net.finish_request(id);
+    net.set_fault_recovery(false);
+    // Allocation budget: a warm fault-off admission pays exactly the
+    // entry envelope's pre-sized path buffer — any snapshot (or other
+    // per-request bookkeeping) sneaking back in trips this.
+    let (off_allocs, _) = count(|| {
+        for _ in 0..ROUNDS {
+            let (id, env) = net.begin_request(&entry, probe.clone()).unwrap();
+            std::hint::black_box(&env);
+            net.finish_request(id);
+        }
+    });
+    assert!(
+        off_allocs <= ROUNDS + JITTER,
+        "fault-off request admission must allocate only the entry envelope: \
+         {off_allocs} allocs over {ROUNDS} requests"
     );
 }
