@@ -13,7 +13,8 @@
 //! `cargo run --release --bin figC [-- --scale N]`
 //!
 //! Emits `results/figC.csv` (one row per workload × capacity:
-//! satisfaction, mean hops, hit/stale rates) and
+//! satisfaction, mean hops, hit/stale rates, entries learned,
+//! invalidations delivered and total message work) and
 //! `results/figC_depth.csv` (per-depth visits of satisfied routes for
 //! the zipf1.2 column, uncached vs. largest cache, per 1000 issued
 //! requests — the upper-tree flattening evidence), plus ASCII charts.
@@ -54,19 +55,22 @@ fn main() {
     let mut f = std::io::BufWriter::new(std::fs::File::create(&path).expect("create figC.csv"));
     writeln!(
         f,
-        "workload,cache,satisfaction_pct,mean_hops,hit_pct,stale_pct"
+        "workload,cache,satisfaction_pct,mean_hops,hit_pct,stale_pct,learned,invalidations,work"
     )
     .expect("write");
     for (w, per_cache) in workloads.iter().zip(&series) {
         for (&cache, s) in FIGC_CACHE_SIZES.iter().zip(per_cache) {
             writeln!(
                 f,
-                "{},{cache},{:.4},{:.4},{:.4},{:.4}",
+                "{},{cache},{:.4},{:.4},{:.4},{:.4},{:.1},{:.1},{:.1}",
                 w.label,
                 s.steady_satisfaction(),
                 s.steady_mean_hops(),
                 s.steady_cache_hit_pct(),
                 s.steady_cache_stale_pct(),
+                s.steady_cache_learned,
+                s.steady_cache_invalidations,
+                s.steady_work,
             )
             .expect("write");
         }
@@ -154,6 +158,14 @@ fn main() {
             best.steady_cache_stale_pct(),
         );
     }
+    let work: f64 = series
+        .iter()
+        .flat_map(|per_cache| per_cache.iter().map(|s| s.steady_work))
+        .sum();
+    println!(
+        "  message cost (total_work: delivered + drops + requeues + undeliverable, \
+         summed over sweep): {work:.0}"
+    );
     println!("  cache capacities: {FIGC_CACHE_SIZES:?}");
     println!("  CSV: {}", path.display());
     println!("  CSV: {}", depth_path.display());

@@ -32,19 +32,35 @@
 //! * `engine_dispatch` — raw exact-discovery throughput straight
 //!   through the unified engine's `deliver` state machine on a FIFO
 //!   transport (`dlpt_core::engine`), no facade overhead; also
-//!   min-of-rounds;
+//!   min-of-rounds. Ships with `engine_dispatch_hops_p50` / `_p99`
+//!   rows read from the engine's log-bucketed metrics registry
+//!   (`dlpt_core::obs`) — their `ns_per_op` *is* the hop percentile
+//!   (a count, not nanoseconds; `ns_total` is synthesized as
+//!   `pXX * ops` to keep the flat snapshot schema);
+//! * `engine_dispatch_traced` — the identical pre-drawn plan with the
+//!   ring-buffer tracer on (capacity 4096). The paired
+//!   `engine_dispatch` / `engine_dispatch_traced` op/s ratio is the
+//!   tracer-overhead gate: `scripts/bench_regress.py` fails if tracing
+//!   costs more than 10%;
 //! * `parallel_pump_discovery` — batched exact discovery through the
 //!   sharded multi-worker pump (`dlpt_core::engine::parallel`) at
 //!   `--workers N` (default 4); the acceptance gate compares its op/s
 //!   against single-worker `sync_pump_discovery`.
 //!
-//! Usage: `perf [--smoke] [--label NAME] [--out PATH] [--workers N]`
+//! Usage: `perf [--smoke] [--label NAME] [--out PATH] [--workers N]
+//! [--trace PATH]`
 //!
 //! `--smoke` runs a fraction of the iterations (CI keeps it under a
 //! second) but still emits the full JSON snapshot; without `--out` the
 //! snapshot lands in `BENCH_<utc-date>.json` in the current directory.
 //! Timings are wall-clock; workloads themselves are fully seeded, so
 //! two runs time byte-identical operation sequences.
+//!
+//! `--trace PATH` additionally runs a small seeded traced workload —
+//! sequential requests plus a `workers`-way parallel batch — and dumps
+//! its merged event stream as deterministic JSONL at PATH (plus a
+//! chrome://tracing span file next to it). Two runs with the same
+//! arguments produce byte-identical trace files.
 
 use dlpt_core::engine::{FifoTransport, Step, Transport};
 use dlpt_core::key::Key;
@@ -85,6 +101,7 @@ fn main() {
     let mut label = String::from("snapshot");
     let mut out: Option<String> = None;
     let mut workers: usize = 4;
+    let mut trace: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -98,9 +115,13 @@ fn main() {
                     .parse()
                     .expect("worker count");
             }
+            "--trace" => trace = Some(args.next().expect("--trace PATH")),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: perf [--smoke] [--label NAME] [--out PATH] [--workers N]");
+                eprintln!(
+                    "usage: perf [--smoke] [--label NAME] [--out PATH] [--workers N] \
+                     [--trace PATH]"
+                );
                 std::process::exit(2);
             }
         }
@@ -118,7 +139,8 @@ fn main() {
     results.extend(bench_latency_net(scale));
     results.extend(bench_gather_scaling(scale));
     results.push(bench_codec(scale));
-    results.push(bench_engine_dispatch(scale));
+    results.extend(bench_engine_dispatch(scale, 0));
+    results.extend(bench_engine_dispatch(scale, 4096));
     results.push(bench_parallel_pump(scale, workers));
 
     let date = utc_date();
@@ -139,6 +161,47 @@ fn main() {
         );
     }
     println!("snapshot: {path}");
+    if let Some(trace_path) = trace {
+        write_perf_trace(std::path::Path::new(&trace_path), workers);
+    }
+}
+
+/// The `--trace` companion run: a small seeded workload with the
+/// tracer on — sequential exact/completion requests plus one
+/// `workers`-way parallel batch, so the dump exercises both the
+/// sequential stamping and the `(round, worker, seq)` merge. Fully
+/// seeded: two runs produce byte-identical JSONL.
+fn write_perf_trace(path: &std::path::Path, workers: usize) {
+    let corpus = Corpus::grid();
+    let keys: Vec<Key> = corpus.keys.iter().take(64).cloned().collect();
+    let mut sys = DlptSystem::builder()
+        .seed(0x7124CE)
+        .peer_id_len(12)
+        .bootstrap_peers(16)
+        .build();
+    for k in &keys {
+        sys.insert_data(k.clone()).expect("registration");
+    }
+    sys.set_tracing(1 << 14);
+    for k in keys.iter().take(8) {
+        sys.lookup(k);
+    }
+    sys.complete(&keys[0].truncated(2));
+    let queries: Vec<QueryKind> = keys
+        .iter()
+        .take(32)
+        .map(|k| QueryKind::Exact(k.clone()))
+        .collect();
+    sys.discover_batch(queries, workers.max(2))
+        .expect("traced parallel batch");
+    let events = sys.take_trace();
+    let chrome = dlpt_bench::write_trace_files(path, &events).expect("write perf trace files");
+    println!(
+        "trace: {} events -> {} (+ {})",
+        events.len(),
+        path.display(),
+        chrome.display()
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -483,7 +546,14 @@ fn bench_codec(scale: u64) -> BenchResult {
 /// outcome plumbing) around it. Six rounds replay the identical
 /// pre-drawn plan; the reported row is the fastest round
 /// (min-of-rounds, same rationale as `latency_net_gather`).
-fn bench_engine_dispatch(scale: u64) -> BenchResult {
+///
+/// With `trace_capacity` 0 the tracer stays off (`Tracer::Noop`) and
+/// the function also emits `engine_dispatch_hops_p50` / `_p99` rows
+/// from the engine's metrics registry; with a non-zero capacity the
+/// identical plan runs with the ring tracer on and the single row is
+/// named `engine_dispatch_traced` — the paired off/on op/s ratio is
+/// the committed tracer-overhead number.
+fn bench_engine_dispatch(scale: u64, trace_capacity: usize) -> Vec<BenchResult> {
     let corpus = Corpus::grid();
     let keys: Vec<Key> = corpus.keys.iter().take(400).cloned().collect();
     let mut sys = DlptSystem::builder()
@@ -494,6 +564,7 @@ fn bench_engine_dispatch(scale: u64) -> BenchResult {
     for k in &keys {
         sys.insert_data(k.clone()).expect("registration");
     }
+    sys.set_tracing(trace_capacity);
     let rounds = 6u64;
     let ops = (20_000 / scale).max(500);
     let mut rng = StdRng::seed_from_u64(17);
@@ -530,13 +601,43 @@ fn bench_engine_dispatch(scale: u64) -> BenchResult {
         }
         best_round = best_round.min(start.elapsed().as_nanos());
         assert!(satisfied > 0, "workload must find keys");
+        // Drain outside the timed region: the per-event emit cost is
+        // what the overhead row measures; consumers drain at their own
+        // cadence.
+        let _ = sys.take_trace();
     }
-    BenchResult {
-        name: "engine_dispatch",
-        unit: "op",
-        ops,
-        ns_total: best_round,
+    if trace_capacity > 0 {
+        return vec![BenchResult {
+            name: "engine_dispatch_traced",
+            unit: "op",
+            ops,
+            ns_total: best_round,
+        }];
     }
+    // Percentile rows from the log-bucketed registry, accumulated over
+    // every round. Same synthesized-`ns_total` convention as the
+    // latency percentiles — except here `ns_per_op` is a *hop count*.
+    let recorded = sys.metrics.hops.count().max(1);
+    vec![
+        BenchResult {
+            name: "engine_dispatch",
+            unit: "op",
+            ops,
+            ns_total: best_round,
+        },
+        BenchResult {
+            name: "engine_dispatch_hops_p50",
+            unit: "op",
+            ops: recorded,
+            ns_total: sys.metrics.hops.quantile(0.50) as u128 * recorded as u128,
+        },
+        BenchResult {
+            name: "engine_dispatch_hops_p99",
+            unit: "op",
+            ops: recorded,
+            ns_total: sys.metrics.hops.quantile(0.99) as u128 * recorded as u128,
+        },
+    ]
 }
 
 /// Batched exact discovery through the sharded multi-worker pump

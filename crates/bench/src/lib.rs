@@ -25,6 +25,36 @@ pub fn scale_from_args() -> usize {
     1
 }
 
+/// Optional trace output path parsed from `--trace PATH`. `None` when
+/// absent — tracing stays off and the run is byte-identical to an
+/// untraced one.
+pub fn trace_path_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+    }
+    None
+}
+
+/// Writes a drained trace as deterministic JSONL at `path` plus a
+/// chrome://tracing span file at `path` with the extension replaced by
+/// `chrome.json`. Returns the chrome path.
+pub fn write_trace_files(
+    path: &std::path::Path,
+    events: &[dlpt_core::TraceEvent],
+) -> std::io::Result<std::path::PathBuf> {
+    let mut jsonl = std::io::BufWriter::new(std::fs::File::create(path)?);
+    dlpt_core::obs::write_jsonl(events, &mut jsonl)?;
+    std::io::Write::flush(&mut jsonl)?;
+    let chrome_path = path.with_extension("chrome.json");
+    let mut chrome = std::io::BufWriter::new(std::fs::File::create(&chrome_path)?);
+    dlpt_core::obs::write_chrome_trace(events, &mut chrome)?;
+    std::io::Write::flush(&mut chrome)?;
+    Ok(chrome_path)
+}
+
 /// Optional crash rate parsed from `--crash-rate X` (fraction of peers
 /// crashing non-gracefully per unit). `None` when absent, so figures
 /// keep their paper-faithful crash-free churn by default.

@@ -47,6 +47,7 @@ use crate::messages::{
 };
 use crate::metrics::SystemStats;
 use crate::node::NodeState;
+use crate::obs::{EventKind, MetricsRegistry, TraceEvent, TraceRing, Tracer};
 use crate::peer::PeerShard;
 use crate::protocol::{self, discovery, maintenance, repair, Effects};
 use crate::replication::{AntiEntropyReport, ReplicationStats};
@@ -249,6 +250,10 @@ struct GatherAgg {
     /// recovery is on so a lost branch can be re-issued verbatim.
     /// Fault-off runs never take the snapshot.
     retry: Option<Envelope>,
+    /// Fault-induced retries this request has been re-armed for.
+    /// Survives `rearm` (a retry must keep its own count) and resets
+    /// only when the slot is reused for a fresh request.
+    attempts: u32,
 }
 
 impl GatherAgg {
@@ -262,6 +267,7 @@ impl GatherAgg {
             responses: 0,
             seen: FxHashSet::default(),
             retry: None,
+            attempts: 0,
         }
     }
 
@@ -286,6 +292,7 @@ struct FinishedAgg {
     satisfied: bool,
     dropped: bool,
     responses: usize,
+    attempts: u32,
     results: Vec<Key>,
     best_path: Vec<Key>,
 }
@@ -312,6 +319,7 @@ impl GatherPool {
                 let agg = &mut self.slots[i as usize];
                 agg.rearm();
                 agg.retry = None;
+                agg.attempts = 0;
                 i
             }
             None => {
@@ -352,6 +360,7 @@ impl GatherPool {
             satisfied: agg.satisfied,
             dropped: agg.dropped,
             responses: agg.responses,
+            attempts: agg.attempts,
             results: std::mem::take(&mut agg.results),
             best_path: std::mem::take(&mut agg.best_path),
         };
@@ -555,6 +564,16 @@ pub struct Engine {
     /// [`SystemStats`] so the fault-free golden fingerprint is
     /// byte-identical.
     pub duplicates_suppressed: u64,
+    /// Structured-event tracing hook ([`Tracer::Noop`] by default).
+    /// Every emission site gates on [`Tracer::enabled`], so the off
+    /// path costs one branch, allocates nothing, and leaves the golden
+    /// fingerprint byte-identical (events live outside
+    /// [`SystemStats`]).
+    pub tracer: Tracer,
+    /// Always-on per-request shape histograms (hops, ticks, fan-out,
+    /// retries). Preallocated here so recording never allocates; kept
+    /// out of [`SystemStats`] for the same golden-fingerprint reason.
+    pub metrics: MetricsRegistry,
 }
 
 impl Engine {
@@ -578,7 +597,31 @@ impl Engine {
             repl_stats: ReplicationStats::default(),
             cache_stats: CacheStats::default(),
             duplicates_suppressed: 0,
+            tracer: Tracer::Noop,
+            metrics: MetricsRegistry::default(),
         }
+    }
+
+    /// Switches structured-event tracing on with a ring buffer of
+    /// `capacity` events (0 switches it off). The ring is fully
+    /// preallocated here; emission never allocates afterwards.
+    pub fn set_tracing(&mut self, capacity: usize) {
+        self.tracer = if capacity == 0 {
+            Tracer::Noop
+        } else {
+            Tracer::Ring(TraceRing::with_capacity(capacity))
+        };
+    }
+
+    /// True when the tracer records events.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// Drains the buffered trace events in deterministic merge order.
+    /// Empty when tracing is off.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.tracer.drain()
     }
 
     /// The engine configuration.
@@ -927,15 +970,20 @@ impl Engine {
     /// the entry peer a fresh shortcut at completion
     /// ([`Engine::take_finished`] / [`Engine::finish_request`]).
     pub fn begin_request(&mut self, entry: &Key, query: QueryKind) -> Result<(u64, Envelope)> {
-        let Some((_, hid)) = self.directory.resolve(entry) else {
+        let Some((lid, hid)) = self.directory.resolve(entry) else {
             return Err(DlptError::UnknownNode(entry.to_string()));
         };
         let id = self.next_request;
         self.next_request += 1;
         self.gathers.begin(id);
+        if self.tracer.enabled() {
+            self.tracer
+                .emit(TraceEvent::new(EventKind::Admit, id, lid, hid, 0));
+        }
         let mut shortcut: Option<Shortcut> = None;
         if self.config.cache_capacity > 0 {
             let target = query.target();
+            let (hits0, stale0) = (self.cache_stats.hits, self.cache_stats.stale_hits);
             if let Some(slot) = self.peers.get_mut(hid) {
                 shortcut = cache::consult(
                     &mut slot.cache,
@@ -943,6 +991,16 @@ impl Engine {
                     &target,
                     &mut self.cache_stats,
                 );
+                if self.tracer.enabled() {
+                    let kind = if self.cache_stats.hits > hits0 {
+                        EventKind::CacheHit
+                    } else if self.cache_stats.stale_hits > stale0 {
+                        EventKind::CacheStale
+                    } else {
+                        EventKind::CacheMiss
+                    };
+                    self.tracer.emit(TraceEvent::new(kind, id, lid, hid, 0));
+                }
             }
             if shortcut.is_none() && matches!(query, QueryKind::Exact(_)) {
                 self.learn.insert(id, (target, hid));
@@ -991,12 +1049,35 @@ impl Engine {
             // (Reliable transports cannot duplicate — fault-off runs
             // skip the digest entirely.)
             self.duplicates_suppressed += 1;
+            if self.tracer.enabled() {
+                self.tracer.emit(TraceEvent::new(
+                    EventKind::DedupSuppress,
+                    outcome.request_id,
+                    0,
+                    0,
+                    outcome.path.len(),
+                ));
+            }
             return;
         }
         agg.outstanding += outcome.pending_children as i64 - 1;
         agg.satisfied &= outcome.satisfied;
         agg.dropped |= outcome.dropped;
         agg.responses += 1;
+        if self.tracer.enabled() {
+            let kind = if outcome.pending_children > 0 {
+                EventKind::BranchOpen
+            } else {
+                EventKind::BranchClose
+            };
+            self.tracer.emit(TraceEvent::new(
+                kind,
+                outcome.request_id,
+                outcome.pending_children,
+                0,
+                outcome.path.len(),
+            ));
+        }
         if agg.results.is_empty() {
             // Take over the first non-empty response's buffer instead
             // of copying out of it.
@@ -1013,8 +1094,34 @@ impl Engine {
                 .release(outcome.request_id)
                 .expect("present above");
             let satisfied = fin.satisfied && !fin.dropped;
+            let attempts = fin.attempts;
             let out = self.assemble_outcome(fin, satisfied);
+            self.record_finished(outcome.request_id, &out, attempts);
             self.finished.insert(outcome.request_id, out);
+        }
+    }
+
+    /// Feeds a finalized request into the metrics registry and emits
+    /// its terminal trace event. Called exactly once per request, at
+    /// eager finalization or at [`Engine::finish_request`].
+    fn record_finished(&mut self, id: u64, out: &LookupOutcome, attempts: u32) {
+        let hops = out.logical_hops() as u64;
+        let ticks = (out.path.len() + out.gather_visits) as u64;
+        self.metrics
+            .record_request(hops, ticks, out.gather_visits as u64, attempts as u64);
+        if self.tracer.enabled() {
+            let kind = if out.satisfied {
+                EventKind::Satisfy
+            } else {
+                EventKind::Fail
+            };
+            self.tracer.emit(TraceEvent::new(
+                kind,
+                id,
+                out.results.len() as u32,
+                out.gather_visits as u32,
+                out.logical_hops(),
+            ));
         }
     }
 
@@ -1076,7 +1183,10 @@ impl Engine {
             Some((target, host)) if satisfied => self.learn_shortcut(target, host),
             _ => {}
         }
-        self.assemble_outcome(fin, satisfied)
+        let attempts = fin.attempts;
+        let out = self.assemble_outcome(fin, satisfied);
+        self.record_finished(id, &out, attempts);
+        out
     }
 
     /// Whether request `id` is still waiting on an outstanding branch
@@ -1097,6 +1207,12 @@ impl Engine {
     pub fn reset_request_for_retry(&mut self, id: u64) {
         if let Some(agg) = self.gathers.get_mut(id) {
             agg.rearm();
+            agg.attempts += 1;
+            let attempt = agg.attempts;
+            if self.tracer.enabled() {
+                self.tracer
+                    .emit(TraceEvent::new(EventKind::Retry, id, attempt, 0, 0));
+            }
         }
     }
 
@@ -1115,6 +1231,11 @@ impl Engine {
     pub fn fail_undeliverable(&mut self, env: Envelope) -> Result<()> {
         self.stats.undeliverable += 1;
         if let Message::Node(NodeMsg::Discovery(m)) = &env.msg {
+            if self.tracer.enabled() {
+                let mut ev = TraceEvent::new(EventKind::Drop, m.request_id, 0, 0, m.path.len());
+                ev.flags = 1;
+                self.tracer.emit(ev);
+            }
             self.client_response(DiscoveryOutcome {
                 request_id: m.request_id,
                 satisfied: false,
@@ -1292,6 +1413,9 @@ impl Engine {
                         // the experiment harness and skip the charge.
                         Message::Node(NodeMsg::Discovery(m)) => {
                             let exact = matches!(m.query, QueryKind::Exact(_));
+                            // Two register moves, captured before the
+                            // visit takes ownership of the message.
+                            let (req, hops) = (m.request_id, m.path.len());
                             match discovery::deliver_visit(shard, &label, m, charge, fx) {
                                 // In flight between shards (hand-off
                                 // under way): try later.
@@ -1300,6 +1424,15 @@ impl Engine {
                                 }
                                 discovery::VisitGate::Delivered => {
                                     stats.discovery_messages += 1;
+                                    if self.tracer.enabled() {
+                                        self.tracer.emit(TraceEvent::new(
+                                            EventKind::Hop,
+                                            req,
+                                            lid,
+                                            hid,
+                                            hops,
+                                        ));
+                                    }
                                     if exact {
                                         Gate::DeliveredExact
                                     } else {
@@ -1343,10 +1476,20 @@ impl Engine {
                             m
                         };
                         self.stats.discovery_drops += 1;
+                        let request_id = m.request_id;
                         let mut path = m.path;
                         path.push(label);
+                        if self.tracer.enabled() {
+                            self.tracer.emit(TraceEvent::new(
+                                EventKind::Drop,
+                                request_id,
+                                lid,
+                                hid,
+                                path.len(),
+                            ));
+                        }
                         self.client_response(DiscoveryOutcome {
-                            request_id: m.request_id,
+                            request_id,
                             satisfied: false,
                             dropped: true,
                             results: Vec::new(),

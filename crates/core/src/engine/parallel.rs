@@ -55,6 +55,7 @@ use crate::key::Key;
 use crate::messages::{
     Address, DiscoveryMsg, DiscoveryOutcome, Envelope, Message, NodeMsg, QueryKind,
 };
+use crate::obs::{merge_key, EventKind, TraceEvent};
 use crate::peer::PeerShard;
 use crate::protocol::{discovery, Effects};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -82,6 +83,11 @@ struct LoggedOutcome {
 struct WorkerOut {
     shards: BTreeMap<Key, PeerShard>,
     log: Vec<LoggedOutcome>,
+    /// Trace events produced on this worker, tagged `(round, worker,
+    /// seq)` with the same counters as the response log, so the
+    /// post-pump merge interleaves them exactly like the response
+    /// fold. Empty unless the engine's tracer is on.
+    events: Vec<TraceEvent>,
     discovery_messages: u64,
     discovery_drops: u64,
     undeliverable: u64,
@@ -196,6 +202,7 @@ impl ParallelPump {
         let directory = &engine.directory;
         let owner_ref = &owner;
         let charge = engine.config.charge_capacity;
+        let trace = engine.tracer.enabled();
         #[cfg(test)]
         let sabotage = self.sabotage;
         #[cfg(not(test))]
@@ -215,7 +222,8 @@ impl ParallelPump {
             {
                 handles.push(scope.spawn(move || {
                     worker_loop(
-                        w, partition, queue, tx_row, rx_row, directory, owner_ref, charge, sabotage,
+                        w, partition, queue, tx_row, rx_row, directory, owner_ref, charge, trace,
+                        sabotage,
                     )
                 }));
             }
@@ -234,6 +242,20 @@ impl ParallelPump {
             engine.stats.discovery_messages += out.discovery_messages;
             engine.stats.discovery_drops += out.discovery_drops;
             engine.stats.undeliverable += out.undeliverable;
+        }
+
+        // Worker trace events merge by the same `(round, worker, seq)`
+        // tag as the response fold below, so the trace interleaves
+        // exactly as a sequential replay of the batch would.
+        if trace {
+            let mut events: Vec<TraceEvent> = Vec::new();
+            for out in &mut outs {
+                events.append(&mut out.events);
+            }
+            events.sort_by_key(merge_key);
+            for ev in events {
+                engine.tracer.absorb(ev);
+            }
         }
 
         // Deterministic fold: all responses in causal (round, worker,
@@ -308,11 +330,13 @@ fn worker_loop(
     directory: &Directory,
     owner: &FxHashMap<Key, u32>,
     charge: bool,
+    trace: bool,
     sabotage: Option<usize>,
 ) -> WorkerOut {
     let mut out = WorkerOut {
         shards: BTreeMap::new(),
         log: Vec::new(),
+        events: Vec::new(),
         discovery_messages: 0,
         discovery_drops: 0,
         undeliverable: 0,
@@ -331,6 +355,7 @@ fn worker_loop(
             directory,
             owner,
             charge,
+            trace,
             &mut out,
         );
     }));
@@ -354,6 +379,7 @@ fn run_rounds(
     directory: &Directory,
     owner: &FxHashMap<Key, u32>,
     charge: bool,
+    trace: bool,
     out: &mut WorkerOut,
 ) {
     let n = txs.len();
@@ -373,6 +399,7 @@ fn run_rounds(
                 directory,
                 owner,
                 charge,
+                trace,
                 &mut fx,
                 out,
                 round,
@@ -424,6 +451,7 @@ fn process(
     directory: &Directory,
     owner: &FxHashMap<Key, u32>,
     charge: bool,
+    trace: bool,
     fx: &mut Effects,
     out: &mut WorkerOut,
     round: u32,
@@ -479,6 +507,7 @@ fn process(
     // Same gate as the sequential engine dispatch, minus requeues
     // (the directory is frozen for the batch) and replica failover
     // (see the module docs).
+    let (req, hops) = (m.request_id, m.path.len());
     match discovery::deliver_visit(shard, &label, m, charge, fx) {
         discovery::VisitGate::Missing(m) => {
             out.undeliverable += 1;
@@ -493,6 +522,20 @@ fn process(
             out.discovery_drops += 1;
             let mut path = m.path;
             path.push(label.clone());
+            if trace {
+                let (lid, hid) = directory.resolve(&label).unwrap_or((u32::MAX, u32::MAX));
+                out.events.push(TraceEvent {
+                    request: req as u32,
+                    a: lid,
+                    b: hid,
+                    round,
+                    seq: next(seq),
+                    kind: EventKind::Drop,
+                    flags: 0,
+                    worker: me as u16,
+                    depth: path.len().min(u16::MAX as usize) as u16,
+                });
+            }
             out.log.push(LoggedOutcome {
                 round,
                 seq: next(seq),
@@ -510,6 +553,20 @@ fn process(
         discovery::VisitGate::Delivered => {}
     }
     out.discovery_messages += 1;
+    if trace {
+        let (lid, hid) = directory.resolve(&label).unwrap_or((u32::MAX, u32::MAX));
+        out.events.push(TraceEvent {
+            request: req as u32,
+            a: lid,
+            b: hid,
+            round,
+            seq: next(seq),
+            kind: EventKind::Hop,
+            flags: 0,
+            worker: me as u16,
+            depth: hops.min(u16::MAX as usize) as u16,
+        });
+    }
     debug_assert!(
         fx.relocated.is_empty() && fx.removed.is_empty(),
         "discovery never mutates the tree"

@@ -41,6 +41,7 @@ pub mod mapping;
 pub mod messages;
 pub mod metrics;
 pub mod node;
+pub mod obs;
 pub mod peer;
 pub mod protocol;
 pub mod replication;
@@ -56,6 +57,7 @@ pub use error::{DlptError, Result};
 pub use key::Key;
 pub use messages::{Address, Envelope, Message, NodeMsg, PeerMsg, QueryKind};
 pub use node::NodeState;
+pub use obs::{EventKind, Histogram, MetricsRegistry, TraceEvent, TraceRing, Tracer};
 pub use peer::PeerState;
 pub use replication::{AntiEntropyReport, ReplicationStats};
 pub use system::{DlptSystem, LookupOutcome, SystemBuilder, SystemConfig};

@@ -43,6 +43,21 @@ impl SystemStats {
             + self.maintenance_messages
     }
 
+    /// Total visible work processed: every delivered protocol message
+    /// **plus** the work spent on envelopes that went nowhere —
+    /// capacity drops (`discovery_drops`), in-flight deferrals
+    /// (`requeues`) and abandoned deliveries (`undeliverable`).
+    ///
+    /// [`SystemStats::total_messages`] deliberately counts only
+    /// *delivered* messages (the paper's message-cost metric); under
+    /// contention that understates what the overlay actually did — a
+    /// dropped visit still consumed a peer's attention and a requeue
+    /// still crossed the transport. Figure report lines use this total
+    /// so contention is visible in the committed message costs.
+    pub fn total_work(&self) -> u64 {
+        self.total_messages() + self.discovery_drops + self.requeues + self.undeliverable
+    }
+
     /// Resets every counter; the simulator calls this between phases
     /// when it wants per-phase message costs.
     pub fn reset(&mut self) {
@@ -126,9 +141,14 @@ mod tests {
             host_messages: 4,
             discovery_messages: 5,
             maintenance_messages: 6,
+            discovery_drops: 7,
+            requeues: 8,
+            undeliverable: 9,
             ..Default::default()
         };
         assert_eq!(s.total_messages(), 20);
+        // total_work folds the non-delivery work back in.
+        assert_eq!(s.total_work(), 20 + 7 + 8 + 9);
         s.reset();
         assert_eq!(s, SystemStats::default());
     }

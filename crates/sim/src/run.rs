@@ -77,6 +77,19 @@ pub struct UnitMetrics {
     pub retries: u64,
     /// Requests failed explicitly at retry-budget exhaustion.
     pub requests_failed: u64,
+    /// Duplicated responses suppressed by the per-request idempotency
+    /// filter this unit (fault extension).
+    pub dedup_suppressed: u64,
+    /// Routing shortcuts learned this unit (caching extension).
+    pub cache_learned: u64,
+    /// Eager cache invalidations delivered this unit.
+    pub cache_invalidations: u64,
+    /// Total visible work this unit
+    /// ([`dlpt_core::metrics::SystemStats::total_work`]): delivered
+    /// protocol messages **plus** capacity drops, requeues and
+    /// undeliverable envelopes — the contention-honest message cost
+    /// the figure report lines quote.
+    pub work: u64,
 }
 
 impl UnitMetrics {
@@ -190,6 +203,9 @@ pub fn run_once(cfg: &ExperimentConfig, run_idx: usize) -> RunResult {
     let mut units = Vec::with_capacity(cfg.time_units as usize);
     for t in 0..cfg.time_units {
         let migrations_before = sys.stats.balance_migrations;
+        let work_before = sys.stats.total_work();
+        let learned_before = sys.cache_stats.learned;
+        let invalidations_before = sys.cache_stats.invalidations_delivered;
         if let Some(p) = &cfg.partition {
             if t == p.from {
                 sys.partition(Key::from(p.lo.as_str()), Key::from(p.hi.as_str()));
@@ -354,6 +370,11 @@ pub fn run_once(cfg: &ExperimentConfig, run_idx: usize) -> RunResult {
         m.partition_dropped = faults_after.partition_dropped - faults_before.partition_dropped;
         m.retries = faults_after.retries - faults_before.retries;
         m.requests_failed = faults_after.requests_failed - faults_before.requests_failed;
+        m.dedup_suppressed =
+            faults_after.duplicates_suppressed - faults_before.duplicates_suppressed;
+        m.cache_learned = sys.cache_stats.learned - learned_before;
+        m.cache_invalidations = sys.cache_stats.invalidations_delivered - invalidations_before;
+        m.work = sys.stats.total_work() - work_before;
         sys.end_time_unit();
         units.push(m);
     }

@@ -51,11 +51,27 @@ pub struct AveragedSeries {
     /// Steady-state faultable messages lost per run (averaged; fault
     /// extension, `figA`).
     pub steady_frames_lost: f64,
+    /// Steady-state faultable messages delivered twice per run
+    /// (averaged).
+    pub steady_frames_duplicated: f64,
+    /// Steady-state duplicated responses suppressed by the idempotency
+    /// filter per run (averaged).
+    pub steady_dedup_suppressed: f64,
     /// Steady-state request re-issues per run (averaged).
     pub steady_retries: f64,
     /// Steady-state requests failed at retry exhaustion per run
     /// (averaged).
     pub steady_requests_failed: f64,
+    /// Steady-state routing shortcuts learned per run (averaged;
+    /// caching extension, `figC`).
+    pub steady_cache_learned: f64,
+    /// Steady-state eager cache invalidations delivered per run
+    /// (averaged).
+    pub steady_cache_invalidations: f64,
+    /// Steady-state total visible work per run (averaged) —
+    /// `SystemStats::total_work`, i.e. delivered messages plus drops,
+    /// requeues and undeliverable envelopes.
+    pub steady_work: f64,
     /// Number of runs averaged.
     pub runs: usize,
 }
@@ -177,8 +193,13 @@ pub fn average(cfg: &ExperimentConfig, results: &[RunResult]) -> AveragedSeries 
         steady_cache_stale: 0.0,
         depth_visits: Vec::new(),
         steady_frames_lost: 0.0,
+        steady_frames_duplicated: 0.0,
+        steady_dedup_suppressed: 0.0,
         steady_retries: 0.0,
         steady_requests_failed: 0.0,
+        steady_cache_learned: 0.0,
+        steady_cache_invalidations: 0.0,
+        steady_work: 0.0,
         runs: results.len(),
     };
     for r in results {
@@ -198,8 +219,13 @@ pub fn average(cfg: &ExperimentConfig, results: &[RunResult]) -> AveragedSeries 
             out.steady_cache_hits += u.cache_hits as f64 / runs;
             out.steady_cache_stale += u.cache_stale as f64 / runs;
             out.steady_frames_lost += u.frames_lost as f64 / runs;
+            out.steady_frames_duplicated += u.frames_duplicated as f64 / runs;
+            out.steady_dedup_suppressed += u.dedup_suppressed as f64 / runs;
             out.steady_retries += u.retries as f64 / runs;
             out.steady_requests_failed += u.requests_failed as f64 / runs;
+            out.steady_cache_learned += u.cache_learned as f64 / runs;
+            out.steady_cache_invalidations += u.cache_invalidations as f64 / runs;
+            out.steady_work += u.work as f64 / runs;
             if out.depth_visits.len() < u.depth_visits.len() {
                 out.depth_visits.resize(u.depth_visits.len(), 0.0);
             }

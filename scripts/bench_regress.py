@@ -24,6 +24,13 @@ prefix mix than the committed full run, so the rows are trajectory
 diagnostics, not comparable throughputs. Rows only one side knows are
 reported as such — a renamed benchmark silently dropping out of the
 gate is itself worth seeing.
+
+One paired row is gated *within* the fresh run rather than against the
+baseline: when the fresh snapshot carries both ``engine_dispatch`` and
+``engine_dispatch_traced`` (identical pre-drawn plan, tracer off vs.
+ring tracer on), the traced/untraced ops_per_sec ratio must stay at or
+above ``1 - tracer_tolerance`` (default 0.90) — the observability
+subsystem's contract that tracing costs at most ~10%.
 """
 
 import argparse
@@ -64,6 +71,9 @@ def main():
                     help="allowed relative drop in ops_per_sec (default 0.25)")
     ap.add_argument("--baseline", default=None,
                     help="explicit baseline (default: latest BENCH_*.json)")
+    ap.add_argument("--tracer-tolerance", type=float, default=0.10,
+                    help="allowed relative slowdown of engine_dispatch_traced "
+                         "vs engine_dispatch within the fresh run (default 0.10)")
     args = ap.parse_args()
 
     baseline_path = args.baseline or latest_committed_baseline()
@@ -101,6 +111,21 @@ def main():
         else:
             verdict = "ok"
         print(f"{name:<28} {base[name]:>14,.0f} {fresh[name]:>14,.0f} {ratio:>6.2f}x  {verdict}")
+
+    # Tracer-overhead pair: gated inside the fresh run (both rows time
+    # the identical pre-drawn plan on the same box, so the ratio is
+    # immune to the machine-to-machine noise the baseline gate
+    # tolerates).
+    if "engine_dispatch" in fresh and "engine_dispatch_traced" in fresh:
+        off = fresh["engine_dispatch"]
+        on = fresh["engine_dispatch_traced"]
+        ratio = on / off if off else float("inf")
+        floor = 1.0 - args.tracer_tolerance
+        verdict = "ok" if ratio >= floor else "TRACER OVERHEAD REGRESSION"
+        print(f"\ntracer overhead (fresh run): traced/untraced = {ratio:.2f}x "
+              f"(floor {floor:.2f}x)  {verdict}")
+        if ratio < floor:
+            failures.append("tracer_overhead")
 
     if failures:
         print(f"\nbench-regress: FAILED — {len(failures)} benchmark(s) "

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Summarize (and validate) a JSONL trace emitted by `dlpt-core::obs`.
+
+Usage:
+    scripts/trace_summary.py <trace.jsonl> [--validate]
+
+Each line of the input is one fixed-shape event:
+
+    {"req": N, "kind": "hop", "a": .., "b": .., "depth": ..,
+     "flags": .., "round": .., "worker": .., "seq": ..}
+
+``kind`` is one of the engine's stable event names (admit, hop,
+cache_hit, cache_stale, cache_miss, branch_open, branch_close, retry,
+dedup_suppress, drop, satisfy, fail). The summary reports event counts
+per kind, per-request shape (events, hops, max depth) and the worker
+spread, so a trace can be sanity-read without tooling.
+
+``--validate`` additionally enforces the schema — every line must be a
+JSON object with exactly the nine keys above, integer-valued except
+``kind`` which must be a known name, and ``seq`` must be
+non-decreasing within each ``(round, worker)`` group (the engine's
+deterministic merge order). Any violation prints the offending line
+and exits non-zero; CI diffs two seeded runs on top of this.
+"""
+
+import argparse
+import json
+import sys
+from collections import Counter, defaultdict
+
+KINDS = {
+    "admit", "hop", "cache_hit", "cache_stale", "cache_miss",
+    "branch_open", "branch_close", "retry", "dedup_suppress",
+    "drop", "satisfy", "fail",
+}
+INT_KEYS = ("req", "a", "b", "depth", "flags", "round", "worker", "seq")
+ALL_KEYS = set(INT_KEYS) | {"kind"}
+
+
+def fail(lineno, line, why):
+    print(f"trace-summary: line {lineno}: {why}\n  {line.rstrip()}",
+          file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="JSONL trace file")
+    ap.add_argument("--validate", action="store_true",
+                    help="enforce the event schema; exit non-zero on any "
+                         "malformed line")
+    args = ap.parse_args()
+
+    kinds = Counter()
+    per_req = defaultdict(lambda: {"events": 0, "hops": 0, "max_depth": 0})
+    workers = set()
+    rounds = set()
+    last_seq = {}
+    n = 0
+    with open(args.trace) as f:
+        for lineno, line in enumerate(f, 1):
+            if not line.strip():
+                fail(lineno, line, "blank line")
+            try:
+                ev = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(lineno, line, f"not JSON: {e}")
+            if args.validate:
+                if not isinstance(ev, dict) or set(ev) != ALL_KEYS:
+                    fail(lineno, line, f"keys != {sorted(ALL_KEYS)}")
+                for k in INT_KEYS:
+                    if not isinstance(ev[k], int) or ev[k] < 0:
+                        fail(lineno, line, f"{k!r} must be a non-negative int")
+                if ev["kind"] not in KINDS:
+                    fail(lineno, line, f"unknown kind {ev['kind']!r}")
+                group = (ev["round"], ev["worker"])
+                if last_seq.get(group, -1) > ev["seq"]:
+                    fail(lineno, line,
+                         f"seq went backwards within (round, worker) {group}")
+                last_seq[group] = ev["seq"]
+            n += 1
+            kinds[ev["kind"]] += 1
+            r = per_req[ev["req"]]
+            r["events"] += 1
+            if ev["kind"] == "hop":
+                r["hops"] += 1
+            r["max_depth"] = max(r["max_depth"], ev["depth"])
+            workers.add(ev["worker"])
+            rounds.add(ev["round"])
+
+    if args.validate and n == 0:
+        print("trace-summary: empty trace", file=sys.stderr)
+        sys.exit(1)
+
+    print(f"events: {n}  requests: {len(per_req)}  "
+          f"workers: {len(workers)}  rounds: {len(rounds)}")
+    for kind in sorted(kinds):
+        print(f"  {kind:<15} {kinds[kind]:>8}")
+    if per_req:
+        hops = sorted(r["hops"] for r in per_req.values())
+        depths = sorted(r["max_depth"] for r in per_req.values())
+        mid = len(hops) // 2
+        print(f"per-request: hops median {hops[mid]}, max {hops[-1]}; "
+              f"depth median {depths[mid]}, max {depths[-1]}")
+    if args.validate:
+        print("trace-summary: valid")
+
+
+if __name__ == "__main__":
+    main()

@@ -253,4 +253,48 @@ fn routed_envelopes_are_allocation_free_in_steady_state() {
         "fault-off request admission must allocate only the entry envelope: \
          {off_allocs} allocs over {ROUNDS} requests"
     );
+
+    // ---- Phase 5: the NoopTracer deliver path allocates nothing. ---
+    // The observability hooks are threaded through `deliver`,
+    // `begin_request` and the gather fold; with the default
+    // `Tracer::Noop` every emission site must gate *before*
+    // constructing an event, and the metrics registry must record into
+    // its preallocated histograms — so a warm routed request costs the
+    // same allocations it did before the tracer existed. The budget is
+    // differential against Phase 2's own warm system: re-running the
+    // deep lookup (after asserting the tracer really is off) must stay
+    // within the same per-request envelope measured above.
+    assert!(!sys.tracing_enabled(), "tracer must default to Noop");
+    let deep = QueryKind::Exact(Key::from("101111"));
+    let entry = Key::from("01");
+    let (noop_allocs, _) = count(|| {
+        for _ in 0..ROUNDS {
+            assert!(sys.request_from(&entry, deep.clone()).unwrap().satisfied);
+        }
+    });
+    assert!(
+        noop_allocs.abs_diff(deep_allocs) <= JITTER,
+        "NoopTracer deliver path must not allocate: {noop_allocs} allocs now vs \
+         {deep_allocs} in the pre-phase run"
+    );
+
+    // Flipping the ring tracer ON allocates only at arming time (the
+    // preallocated ring) — the warm emit path itself stays flat too,
+    // events being fixed-size writes into that ring.
+    sys.set_tracing(4096);
+    for _ in 0..8 {
+        sys.request_from(&entry, deep.clone()).unwrap();
+    }
+    let (ring_allocs, _) = count(|| {
+        for _ in 0..ROUNDS {
+            assert!(sys.request_from(&entry, deep.clone()).unwrap().satisfied);
+        }
+    });
+    assert!(
+        ring_allocs.abs_diff(deep_allocs) <= JITTER,
+        "warm ring-tracer emission must write into the preallocated ring: \
+         {ring_allocs} allocs vs {deep_allocs} untraced"
+    );
+    let events = sys.take_trace();
+    assert!(!events.is_empty(), "ring tracer must have captured events");
 }

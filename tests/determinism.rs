@@ -184,6 +184,85 @@ fn cached_run_matches_golden_results_and_placement() {
     }
 }
 
+/// Observability satellite, half one: the tracer is off by default
+/// (`Tracer::Noop`) and the scripted run must reproduce the committed
+/// golden fingerprint byte for byte — the tracing hooks threaded
+/// through `deliver`/`begin_request`/gather may not perturb a single
+/// counter, RNG draw or outcome of an untraced system.
+#[test]
+fn tracing_off_reproduces_committed_golden_fingerprint() {
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/determinism_seed42.txt"
+    );
+    let (sys, outcomes) = scripted_run(42);
+    assert!(!sys.tracing_enabled(), "tracing must be off by default");
+    let got = fingerprint(&sys, &outcomes);
+    let want = std::fs::read_to_string(golden_path).expect("golden fingerprint is committed");
+    assert_eq!(
+        got, want,
+        "tracing-off system diverged from the committed golden run"
+    );
+}
+
+/// Observability satellite, half two: turning the ring tracer *on*
+/// only adds events — every observable the fingerprint covers stays
+/// byte-identical, because emission reads engine state without ever
+/// branching it.
+#[test]
+fn tracing_on_reproduces_committed_golden_fingerprint_and_captures_events() {
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/determinism_seed42.txt"
+    );
+    let traced_run = |seed: u64| {
+        let mut sys = DlptSystem::builder()
+            .alphabet(Alphabet::grid())
+            .seed(seed)
+            .peer_id_len(12)
+            .bootstrap_peers(5)
+            .build();
+        sys.set_tracing(1 << 12);
+        let mut outcomes = Vec::new();
+        for k in &KEYS[..8] {
+            sys.insert_data(*k).unwrap();
+        }
+        sys.add_peer(1_000).unwrap();
+        sys.add_peer(1_000).unwrap();
+        for k in &KEYS[8..] {
+            sys.insert_data(*k).unwrap();
+        }
+        let victim = sys.peer_ids()[1].clone();
+        sys.leave_peer(&victim).unwrap();
+        sys.remove_data(&Key::from("SGEMV")).unwrap();
+        for k in ["DGEMM", "S3L_fft", "MISSING"] {
+            outcomes.push(sys.lookup(&Key::from(k)));
+        }
+        outcomes.push(sys.request(QueryKind::Complete(Key::from("S3L"))).unwrap());
+        outcomes.push(
+            sys.request(QueryKind::Range(Key::from("D"), Key::from("E")))
+                .unwrap(),
+        );
+        sys.end_time_unit();
+        (sys, outcomes)
+    };
+    let (mut sys, outcomes) = traced_run(42);
+    let events = sys.take_trace();
+    assert!(
+        !events.is_empty(),
+        "the traced scripted run must capture events"
+    );
+    let got = fingerprint(&sys, &outcomes);
+    let want = std::fs::read_to_string(golden_path).expect("golden fingerprint is committed");
+    assert_eq!(
+        got, want,
+        "tracing-on system diverged from the committed golden run"
+    );
+    // And the event stream itself replays: same seed, same events.
+    let (mut sys_b, _) = traced_run(42);
+    assert_eq!(events, sys_b.take_trace(), "trace diverged across replays");
+}
+
 /// Fault-injection satellite, half one: the fault layer is *inert by
 /// default*. The scripted run never installs a plan, so no fault
 /// counter may move and the committed golden fingerprint must be
