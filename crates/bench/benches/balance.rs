@@ -97,6 +97,7 @@ fn mlt_fraction_ablation(c: &mut Criterion) {
             loss_rate: 0.0,
             dup_rate: 0.0,
             partition: None,
+            health_snapshots: false,
         };
         group.bench_with_input(BenchmarkId::from_parameter(fraction), &cfg, |b, cfg| {
             b.iter(|| black_box(run_once(cfg, 0).total_satisfied(4)))

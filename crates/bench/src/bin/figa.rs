@@ -18,12 +18,15 @@
 //! seeded lossy system with the tracer on and dumps the event stream
 //! as JSONL (plus a chrome://tracing span file next to it).
 
-use dlpt_bench::{scale_from_args, trace_path_from_args, write_trace_files};
+use dlpt_bench::{
+    health_path_from_args, scale_from_args, trace_path_from_args, write_health_files,
+    write_trace_files,
+};
 use dlpt_core::messages::QueryKind;
 use dlpt_core::{Alphabet, DlptSystem, FaultPlan, Key};
 use dlpt_sim::experiments::{figa_config, figa_variants, FIGA_LOSS_RATES};
 use dlpt_sim::report::{ascii_chart, results_dir};
-use dlpt_sim::runner::run_experiment;
+use dlpt_sim::runner::{average, health_jsonl, run_all};
 use std::io::Write as _;
 
 /// Per-curve, per-loss-rate fault counters persisted into the CSV so
@@ -77,6 +80,9 @@ fn traced_sample(path: &std::path::Path) {
 fn main() {
     let scale = scale_from_args();
     let trace_path = trace_path_from_args();
+    let health_path = health_path_from_args();
+    let mut health = String::new();
+    let mut last_snapshot = None;
     let variants = figa_variants();
     // satisfaction[v][l], hops[v][l], survival[v][l], faults[v][l]
     let mut satisfaction = vec![Vec::new(); variants.len()];
@@ -98,11 +104,17 @@ fn main() {
                 cfg.time_units = 50;
                 cfg.growth_units = 10;
             }
+            cfg.health_snapshots = health_path.is_some();
             eprintln!(
                 "[figA] running {} ({} runs x {} units, {} peers)…",
                 cfg.name, cfg.runs, cfg.time_units, cfg.peers
             );
-            let series = run_experiment(&cfg);
+            let results = run_all(&cfg);
+            if health_path.is_some() {
+                health.push_str(&health_jsonl(&results));
+                last_snapshot = results.last().and_then(|r| r.last_snapshot.clone());
+            }
+            let series = average(&cfg, &results);
             satisfaction[vi].push(series.steady_satisfaction());
             hops[vi].push(series.steady_mean_hops());
             survival[vi].push(series.final_survival());
@@ -216,6 +228,16 @@ fn main() {
     );
     println!("  loss rates: {FIGA_LOSS_RATES:?}");
     println!("  CSV: {}", path.display());
+    if let Some(hp) = &health_path {
+        let prom =
+            write_health_files(hp, &health, last_snapshot.as_ref()).expect("write figA health");
+        println!(
+            "  health: {} snapshots -> {} (+ {})",
+            health.lines().count(),
+            hp.display(),
+            prom.display()
+        );
+    }
     if let Some(tp) = trace_path {
         traced_sample(&tp);
     }

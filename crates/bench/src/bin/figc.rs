@@ -19,17 +19,20 @@
 //! the zipf1.2 column, uncached vs. largest cache, per 1000 issued
 //! requests — the upper-tree flattening evidence), plus ASCII charts.
 
-use dlpt_bench::scale_from_args;
+use dlpt_bench::{health_path_from_args, scale_from_args, write_health_files};
 use dlpt_sim::experiments::{figc_config, figc_workloads, FIGC_CACHE_SIZES};
 use dlpt_sim::report::{ascii_chart, results_dir};
-use dlpt_sim::runner::{run_experiment, AveragedSeries};
+use dlpt_sim::runner::{average, health_jsonl, run_all, AveragedSeries};
 use std::io::Write as _;
 
 fn main() {
     let scale = scale_from_args();
+    let health_path = health_path_from_args();
     let workloads = figc_workloads();
     // series[w][c]
     let mut series: Vec<Vec<AveragedSeries>> = Vec::with_capacity(workloads.len());
+    let mut health = String::new();
+    let mut last_snapshot = None;
     for w in &workloads {
         let mut per_cache = Vec::with_capacity(FIGC_CACHE_SIZES.len());
         for &cache in FIGC_CACHE_SIZES.iter() {
@@ -42,13 +45,29 @@ fn main() {
                 cfg.time_units = 50;
                 cfg.growth_units = 10;
             }
+            cfg.health_snapshots = health_path.is_some();
             eprintln!(
                 "[figC] running {} ({} runs x {} units, {} peers)…",
                 cfg.name, cfg.runs, cfg.time_units, cfg.peers
             );
-            per_cache.push(run_experiment(&cfg));
+            let results = run_all(&cfg);
+            if health_path.is_some() {
+                health.push_str(&health_jsonl(&results));
+                last_snapshot = results.last().and_then(|r| r.last_snapshot.clone());
+            }
+            per_cache.push(average(&cfg, &results));
         }
         series.push(per_cache);
+    }
+    if let Some(hp) = &health_path {
+        let prom =
+            write_health_files(hp, &health, last_snapshot.as_ref()).expect("write figC health");
+        println!(
+            "  health: {} snapshots -> {} (+ {})",
+            health.lines().count(),
+            hp.display(),
+            prom.display()
+        );
     }
 
     let path = results_dir().join("figC.csv");

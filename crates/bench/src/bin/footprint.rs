@@ -1,0 +1,136 @@
+//! `footprint` — per-node and per-peer memory accounting over ring
+//! size (observability extension, `dlpt-core::obs::health`).
+//!
+//! Builds a static overlay at each sweep size, registers the full grid
+//! corpus (≈1000 service names), routes one warm-up pass so the
+//! shortcut caches hold real entries, and reports the
+//! `Engine::bytes_estimate` walk: total footprint split by component
+//! (directory, peer slab, shard maps, route caches), bytes per tree
+//! node and bytes per peer. The 1k/10k rows are the committed
+//! footprint table in EXPERIMENTS.md.
+//!
+//! `cargo run --release --bin footprint [-- --scale N]`
+//!
+//! Emits `results/footprint.csv` (one row per ring size). `--scale N`
+//! divides the sweep sizes for a fast smoke pass. The invariant
+//! auditor runs at every size and the binary exits non-zero on any
+//! violation, so the sweep doubles as a large-scale consistency check.
+
+use dlpt_bench::scale_from_args;
+use dlpt_core::system::DlptSystem;
+use dlpt_core::transport::FaultStats;
+use dlpt_core::HealthMonitor;
+use dlpt_sim::report::results_dir;
+use dlpt_workloads::corpus::Corpus;
+use std::io::Write as _;
+
+const SWEEP: [usize; 3] = [100, 1_000, 10_000];
+
+struct Row {
+    peers: usize,
+    nodes: u64,
+    directory: usize,
+    slab: usize,
+    shards: usize,
+    caches: usize,
+    total: usize,
+    per_node: f64,
+    per_peer: f64,
+}
+
+fn measure(peers: usize) -> Row {
+    let corpus = Corpus::grid();
+    let mut sys = DlptSystem::builder()
+        .seed(0xF007 ^ peers as u64)
+        .peer_id_len(12)
+        .cache_capacity(64)
+        .bootstrap_peers(peers)
+        .build();
+    for k in &corpus.keys {
+        sys.insert_data(k.clone()).expect("registration");
+    }
+    // One lookup pass warms the per-peer shortcut caches so the cache
+    // column reflects a working system, not empty preallocations.
+    for k in corpus.keys.iter().take(200) {
+        sys.lookup(k);
+    }
+
+    let violations = sys.audit();
+    for v in &violations {
+        eprintln!("[footprint] {peers} peers: {v}");
+    }
+    assert!(
+        violations.is_empty(),
+        "{peers}-peer overlay must audit clean ({} violations)",
+        violations.len()
+    );
+
+    let mut mon = HealthMonitor::new();
+    sys.collect_health(0, &FaultStats::default(), &mut mon);
+    let snap = &mon.snap;
+    Row {
+        peers: snap.peers as usize,
+        nodes: snap.nodes,
+        directory: snap.bytes.directory_bytes,
+        slab: snap.bytes.slab_bytes,
+        shards: snap.bytes.shard_bytes,
+        caches: snap.bytes.cache_bytes,
+        total: snap.bytes.total(),
+        per_node: snap.bytes.per_node(snap.nodes),
+        per_peer: snap.bytes.per_peer(snap.peers),
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let mut rows = Vec::new();
+    for &peers in SWEEP.iter() {
+        let peers = (peers / scale).max(50);
+        eprintln!("[footprint] measuring {peers} peers…");
+        rows.push(measure(peers));
+    }
+
+    let path = results_dir().join("footprint.csv");
+    let mut f =
+        std::io::BufWriter::new(std::fs::File::create(&path).expect("create footprint.csv"));
+    writeln!(
+        f,
+        "peers,nodes,directory_bytes,slab_bytes,shard_bytes,cache_bytes,total_bytes,\
+         bytes_per_node,bytes_per_peer"
+    )
+    .expect("write");
+    for r in &rows {
+        writeln!(
+            f,
+            "{},{},{},{},{},{},{},{:.1},{:.1}",
+            r.peers,
+            r.nodes,
+            r.directory,
+            r.slab,
+            r.shards,
+            r.caches,
+            r.total,
+            r.per_node,
+            r.per_peer
+        )
+        .expect("write");
+    }
+    f.flush().expect("flush footprint.csv");
+
+    println!("  peers   nodes  total(KiB)  dir(KiB)  slab(KiB)  shards(KiB)  caches(KiB)  B/node  B/peer");
+    for r in &rows {
+        println!(
+            "  {:>5}  {:>6}  {:>10.1}  {:>8.1}  {:>9.1}  {:>11.1}  {:>11.1}  {:>6.1}  {:>6.1}",
+            r.peers,
+            r.nodes,
+            r.total as f64 / 1024.0,
+            r.directory as f64 / 1024.0,
+            r.slab as f64 / 1024.0,
+            r.shards as f64 / 1024.0,
+            r.caches as f64 / 1024.0,
+            r.per_node,
+            r.per_peer,
+        );
+    }
+    println!("  CSV: {}", path.display());
+}

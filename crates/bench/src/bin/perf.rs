@@ -42,6 +42,11 @@
 //!   `engine_dispatch` / `engine_dispatch_traced` op/s ratio is the
 //!   tracer-overhead gate: `scripts/bench_regress.py` fails if tracing
 //!   costs more than 10%;
+//! * `engine_dispatch_snapshot` — the identical plan again with the
+//!   health observatory on: a `HealthMonitor` snapshot is collected at
+//!   every unit boundary (`dlpt_core::obs::health`). The paired
+//!   `engine_dispatch` / `engine_dispatch_snapshot` ratio is the
+//!   snapshot-overhead gate: `bench_regress.py` fails above 5%;
 //! * `parallel_pump_discovery` — batched exact discovery through the
 //!   sharded multi-worker pump (`dlpt_core::engine::parallel`) at
 //!   `--workers N` (default 4); the acceptance gate compares its op/s
@@ -66,7 +71,9 @@ use dlpt_core::engine::{FifoTransport, Step, Transport};
 use dlpt_core::key::Key;
 use dlpt_core::messages::{DiscoveryMsg, Envelope, NodeMsg, QueryKind, RoutePhase};
 use dlpt_core::system::DlptSystem;
+use dlpt_core::transport::FaultStats;
 use dlpt_core::trie::PgcpTrie;
+use dlpt_core::HealthMonitor;
 use dlpt_net::codec;
 use dlpt_net::sim::{LatencyModel, LatencyNet};
 use dlpt_workloads::corpus::Corpus;
@@ -139,8 +146,9 @@ fn main() {
     results.extend(bench_latency_net(scale));
     results.extend(bench_gather_scaling(scale));
     results.push(bench_codec(scale));
-    results.extend(bench_engine_dispatch(scale, 0));
-    results.extend(bench_engine_dispatch(scale, 4096));
+    results.extend(bench_engine_dispatch(scale, DispatchMode::Plain));
+    results.extend(bench_engine_dispatch(scale, DispatchMode::Traced));
+    results.extend(bench_engine_dispatch(scale, DispatchMode::Snapshot));
     results.push(bench_parallel_pump(scale, workers));
 
     let date = utc_date();
@@ -547,13 +555,22 @@ fn bench_codec(scale: u64) -> BenchResult {
 /// pre-drawn plan; the reported row is the fastest round
 /// (min-of-rounds, same rationale as `latency_net_gather`).
 ///
-/// With `trace_capacity` 0 the tracer stays off (`Tracer::Noop`) and
-/// the function also emits `engine_dispatch_hops_p50` / `_p99` rows
-/// from the engine's metrics registry; with a non-zero capacity the
-/// identical plan runs with the ring tracer on and the single row is
-/// named `engine_dispatch_traced` — the paired off/on op/s ratio is
-/// the committed tracer-overhead number.
-fn bench_engine_dispatch(scale: u64, trace_capacity: usize) -> Vec<BenchResult> {
+/// In `Plain` mode every observability hook stays off
+/// (`Tracer::Noop`, no health monitor) and the function also emits
+/// `engine_dispatch_hops_p50` / `_p99` rows from the engine's metrics
+/// registry; `Traced` runs the identical plan with the ring tracer on
+/// (capacity 4096) as `engine_dispatch_traced`; `Snapshot` runs it
+/// with a `HealthMonitor` collected at every unit boundary as
+/// `engine_dispatch_snapshot`. The paired off/on op/s ratios are the
+/// committed tracer- and snapshot-overhead numbers.
+#[derive(Clone, Copy, PartialEq)]
+enum DispatchMode {
+    Plain,
+    Traced,
+    Snapshot,
+}
+
+fn bench_engine_dispatch(scale: u64, mode: DispatchMode) -> Vec<BenchResult> {
     let corpus = Corpus::grid();
     let keys: Vec<Key> = corpus.keys.iter().take(400).cloned().collect();
     let mut sys = DlptSystem::builder()
@@ -564,9 +581,24 @@ fn bench_engine_dispatch(scale: u64, trace_capacity: usize) -> Vec<BenchResult> 
     for k in &keys {
         sys.insert_data(k.clone()).expect("registration");
     }
-    sys.set_tracing(trace_capacity);
+    sys.set_tracing(if mode == DispatchMode::Traced {
+        4096
+    } else {
+        0
+    });
+    let mut monitor = HealthMonitor::new();
+    if mode == DispatchMode::Snapshot {
+        // Warm collection: grow the monitor's buffers outside the
+        // timed region so the in-loop collect is allocation-free.
+        sys.collect_health(0, &FaultStats::default(), &mut monitor);
+    }
     let rounds = 6u64;
-    let ops = (20_000 / scale).max(500);
+    // Floor high enough that the smoke run keeps the full run's
+    // 1-in-4096 snapshot cadence (two collections per round) and the
+    // paired off/on ratios stay meaningful — at 500 ops the lone
+    // i == 0 collection weighs 4× its full-run share and round noise
+    // swamps the ≤5% snapshot gate.
+    let ops = (20_000 / scale).max(8192);
     let mut rng = StdRng::seed_from_u64(17);
     // Pre-draw (entry, key) pairs so the timed loop is dispatch only.
     let plan: Vec<(Key, Key)> = (0..ops)
@@ -596,6 +628,9 @@ fn bench_engine_dispatch(scale: u64, trace_capacity: usize) -> Vec<BenchResult> 
                 satisfied += 1;
             }
             if i % 4096 == 0 {
+                if mode == DispatchMode::Snapshot {
+                    sys.collect_health((i / 4096) as u64, &FaultStats::default(), &mut monitor);
+                }
                 sys.end_time_unit();
             }
         }
@@ -606,13 +641,28 @@ fn bench_engine_dispatch(scale: u64, trace_capacity: usize) -> Vec<BenchResult> 
         // cadence.
         let _ = sys.take_trace();
     }
-    if trace_capacity > 0 {
-        return vec![BenchResult {
-            name: "engine_dispatch_traced",
-            unit: "op",
-            ops,
-            ns_total: best_round,
-        }];
+    match mode {
+        DispatchMode::Traced => {
+            return vec![BenchResult {
+                name: "engine_dispatch_traced",
+                unit: "op",
+                ops,
+                ns_total: best_round,
+            }];
+        }
+        DispatchMode::Snapshot => {
+            assert!(
+                monitor.snap.nodes > 0 && monitor.snap.bytes.total() > 0,
+                "snapshot mode must have collected real state"
+            );
+            return vec![BenchResult {
+                name: "engine_dispatch_snapshot",
+                unit: "op",
+                ops,
+                ns_total: best_round,
+            }];
+        }
+        DispatchMode::Plain => {}
     }
     // Percentile rows from the log-bucketed registry, accumulated over
     // every round. Same synthesized-`ns_total` convention as the
@@ -629,13 +679,13 @@ fn bench_engine_dispatch(scale: u64, trace_capacity: usize) -> Vec<BenchResult> 
             name: "engine_dispatch_hops_p50",
             unit: "op",
             ops: recorded,
-            ns_total: sys.metrics.hops.quantile(0.50) as u128 * recorded as u128,
+            ns_total: sys.metrics.hops.quantile(0.50).unwrap_or(0) as u128 * recorded as u128,
         },
         BenchResult {
             name: "engine_dispatch_hops_p99",
             unit: "op",
             ops: recorded,
-            ns_total: sys.metrics.hops.quantile(0.99) as u128 * recorded as u128,
+            ns_total: sys.metrics.hops.quantile(0.99).unwrap_or(0) as u128 * recorded as u128,
         },
     ]
 }

@@ -55,6 +55,39 @@ pub fn write_trace_files(
     Ok(chrome_path)
 }
 
+/// Optional health-snapshot output path parsed from `--health PATH`.
+/// `None` when absent — the observatory stays off and the run is
+/// byte-identical to an unobserved one.
+pub fn health_path_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--health" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+    }
+    None
+}
+
+/// Writes the accumulated health JSONL time series (one
+/// [`dlpt_core::HealthSnapshot`] line per unit per run, in sweep
+/// order) plus a Prometheus-style text rendering of the final
+/// snapshot at `path` with the extension replaced by `prom`. Returns
+/// the prometheus path.
+pub fn write_health_files(
+    path: &std::path::Path,
+    jsonl: &str,
+    last: Option<&dlpt_core::HealthSnapshot>,
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::write(path, jsonl)?;
+    let prom_path = path.with_extension("prom");
+    let mut prom = String::new();
+    if let Some(snap) = last {
+        snap.write_prometheus(&mut prom);
+    }
+    std::fs::write(&prom_path, prom)?;
+    Ok(prom_path)
+}
+
 /// Optional crash rate parsed from `--crash-rate X` (fraction of peers
 /// crashing non-gracefully per unit). `None` when absent, so figures
 /// keep their paper-faithful crash-free churn by default.

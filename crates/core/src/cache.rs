@@ -227,6 +227,40 @@ impl RouteCache {
         doomed.len()
     }
 
+    /// Live `(target, shortcut)` entries in most-recently-used order
+    /// (a deterministic walk of the intrusive list — the hash index's
+    /// iteration order is never observed). Read-only: unlike
+    /// [`RouteCache::hit`], iterating does not promote entries.
+    pub fn iter_shortcuts(&self) -> impl Iterator<Item = (&Key, &Shortcut)> + '_ {
+        let mut i = self.head;
+        std::iter::from_fn(move || {
+            if i == NIL {
+                return None;
+            }
+            let s = &self.slots[i as usize];
+            i = s.next;
+            Some((&s.target, &s.shortcut))
+        })
+    }
+
+    /// Estimated resident bytes: the slot vector, the free list, the
+    /// index (fixed per-entry estimate) and any spilled keys held by
+    /// live slots.
+    pub fn bytes_estimate(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = self.slots.capacity() * size_of::<Slot>()
+            + self.free.capacity() * size_of::<u32>()
+            + self.index.len() * (size_of::<Key>() + size_of::<u32>() + 8);
+        for (target, sc) in self.iter_shortcuts() {
+            for k in [target, &sc.label, &sc.host] {
+                if !k.is_inline() {
+                    bytes += k.len() + 16;
+                }
+            }
+        }
+        bytes
+    }
+
     /// Drops everything (capacity is retained).
     pub fn clear(&mut self) {
         self.index.clear();

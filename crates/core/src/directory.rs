@@ -315,6 +315,31 @@ impl Directory {
         self.sorted.iter().map(|&id| &self.keys[id as usize])
     }
 
+    /// Estimated resident bytes of the directory tables: interned key
+    /// storage (plus spilled key heap), the id map, host/sorted/epoch
+    /// arrays and follower records. Vec capacities are counted (they
+    /// are a deterministic function of the insertion history); the id
+    /// map uses a fixed per-entry estimate so the result never depends
+    /// on hash-table growth policy details.
+    pub fn bytes_estimate(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = self.keys.capacity() * size_of::<Key>()
+            + self.hosts.capacity() * size_of::<u32>()
+            + self.sorted.capacity() * size_of::<u32>()
+            + self.epochs.capacity() * size_of::<u64>()
+            + self.followers.capacity() * size_of::<Vec<u32>>();
+        for f in &self.followers {
+            bytes += f.capacity() * size_of::<u32>();
+        }
+        for k in &self.keys {
+            if !k.is_inline() {
+                // Arc<[u8]> payload plus the two refcount words.
+                bytes += k.len() + 16;
+            }
+        }
+        bytes + self.ids.len() * (size_of::<Key>() + size_of::<u32>() + 8)
+    }
+
     /// `(label, host)` pairs, ascending by label.
     pub fn iter(&self) -> impl ExactSizeIterator<Item = (&Key, &Key)> + '_ {
         self.sorted.iter().map(|&id| {

@@ -47,6 +47,9 @@ use crate::messages::{
 };
 use crate::metrics::SystemStats;
 use crate::node::NodeState;
+use crate::obs::health::{
+    imbalance_of, AuditCheck, HealthMonitor, MemoryFootprint, PeerHealth, Violation,
+};
 use crate::obs::{EventKind, MetricsRegistry, TraceEvent, TraceRing, Tracer};
 use crate::peer::PeerShard;
 use crate::protocol::{self, discovery, maintenance, repair, Effects};
@@ -2282,6 +2285,468 @@ impl Engine {
             }
         }
     }
+
+    // ------------------------------------------------------------------
+    // System-health observatory (`crate::obs::health`)
+    // ------------------------------------------------------------------
+
+    /// Audits directory↔slab↔trie↔replication cross-consistency and
+    /// returns every violation found instead of panicking, so fault and
+    /// partition scenarios can be audited mid-recovery. The checks are
+    /// read-only and cover what is *locally* verifiable: trie and ring
+    /// invariants are checked over locally hosted shards only (the
+    /// threaded runtime's engine is a router whose shards live on peer
+    /// threads), while directory, slab, mapping, replication-record and
+    /// cache-epoch checks run on every runtime. An empty result after
+    /// quiescence is the suite-wide invariant
+    /// (`tests/runtime_equivalence.rs`).
+    pub fn audit(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let mut push = |check: AuditCheck, detail: String| out.push(Violation { check, detail });
+
+        // Interner round-trip: every id resolves back to itself.
+        for id in 0..self.directory.interned_len() as u32 {
+            let k = self.directory.key_of(id);
+            if self.directory.id_of(k) != Some(id) {
+                push(
+                    AuditCheck::Directory,
+                    format!("interned id {id} ({k}) does not round-trip"),
+                );
+            }
+        }
+
+        // Slab integrity: id↔slot bijection, free-list partition, and
+        // key↔id agreement (the runtime twin of the test-only
+        // `check_slab`).
+        let slab = &self.peers;
+        let mut slot_owner: Vec<Option<u32>> = vec![None; slab.slots.len()];
+        let mut live = 0usize;
+        for (pid, &s) in slab.by_id.iter().enumerate() {
+            if s == SLOT_NONE {
+                continue;
+            }
+            live += 1;
+            match slab.slots.get(s as usize).and_then(|o| o.as_ref()) {
+                None => push(
+                    AuditCheck::Slab,
+                    format!("peer id {pid} maps to empty slot {s}"),
+                ),
+                Some(slot) => {
+                    if let Some(prev) = slot_owner[s as usize].replace(pid as u32) {
+                        push(
+                            AuditCheck::Slab,
+                            format!("slot {s} referenced by peer ids {prev} and {pid}"),
+                        );
+                    }
+                    if self.directory.id_of(&slot.key) != Some(pid as u32) {
+                        push(
+                            AuditCheck::Slab,
+                            format!("slot {s} holds {} but is indexed under id {pid}", slot.key),
+                        );
+                    }
+                    if !self.members.contains(&slot.key) {
+                        push(
+                            AuditCheck::Slab,
+                            format!("slot {s} peer {} is not a ring member", slot.key),
+                        );
+                    }
+                }
+            }
+        }
+        for &f in &slab.free {
+            if slab.slots.get(f as usize).is_none_or(|o| o.is_some()) {
+                push(
+                    AuditCheck::Slab,
+                    format!("free slot {f} still holds a peer"),
+                );
+            }
+        }
+        if live + slab.free.len() != slab.slots.len() {
+            push(
+                AuditCheck::Slab,
+                format!(
+                    "slab leak: {live} live + {} free != {} slots",
+                    slab.free.len(),
+                    slab.slots.len()
+                ),
+            );
+        }
+        if live != self.members.len() {
+            push(
+                AuditCheck::Slab,
+                format!("{live} slab slots vs {} ring members", self.members.len()),
+            );
+        }
+
+        // Directory: every live label's host is a live member with a
+        // slab slot, and obeys the mapping rule host(n) = min{P >= n}.
+        for (label, host) in self.directory.iter() {
+            if !self.members.contains(host) {
+                push(
+                    AuditCheck::Directory,
+                    format!("host {host} of {label} is not a live member"),
+                );
+                continue;
+            }
+            match self.directory.id_of(host) {
+                Some(hid) if slab.contains(hid) => {}
+                _ => push(
+                    AuditCheck::Directory,
+                    format!("host {host} of {label} has no slab slot"),
+                ),
+            }
+            match self.host_peer(label) {
+                Some(expected) if expected == host => {}
+                Some(expected) => push(
+                    AuditCheck::Mapping,
+                    format!("{label} hosted by {host}, mapping rule says {expected}"),
+                ),
+                None => push(
+                    AuditCheck::Mapping,
+                    format!("{label} is live but the ring is empty"),
+                ),
+            }
+        }
+
+        // Ring links over locally hosted shards.
+        for (id, shard) in self.shards() {
+            let (want_pred, want_succ) = (self.ring_pred(id), self.ring_succ(id));
+            if want_pred != Some(&shard.peer.pred) {
+                push(
+                    AuditCheck::Ring,
+                    format!(
+                        "{id}: pred is {}, ring order says {want_pred:?}",
+                        shard.peer.pred
+                    ),
+                );
+            }
+            if want_succ != Some(&shard.peer.succ) {
+                push(
+                    AuditCheck::Ring,
+                    format!(
+                        "{id}: succ is {}, ring order says {want_succ:?}",
+                        shard.peer.succ
+                    ),
+                );
+            }
+        }
+
+        // PGCP trie invariants (Definition 1) over local shards.
+        for shard in self.local_shards() {
+            for node in shard.nodes.values() {
+                for d in &node.data {
+                    if d != &node.label {
+                        push(
+                            AuditCheck::Trie,
+                            format!("{}: data key {d} differs from label", node.label),
+                        );
+                    }
+                }
+                if let Some(f) = &node.father {
+                    match self.node(f) {
+                        None => push(
+                            AuditCheck::Trie,
+                            format!("{}: father {f} does not resolve", node.label),
+                        ),
+                        Some(father) if !father.children.contains(&node.label) => push(
+                            AuditCheck::Trie,
+                            format!("{}: father {f} does not list it as a child", node.label),
+                        ),
+                        Some(_) => {}
+                    }
+                }
+                for c in &node.children {
+                    match self.node(c) {
+                        None => push(
+                            AuditCheck::Trie,
+                            format!("{}: child {c} does not resolve", node.label),
+                        ),
+                        Some(child) if child.father.as_ref() != Some(&node.label) => push(
+                            AuditCheck::Trie,
+                            format!("{c}: father link does not point back to {}", node.label),
+                        ),
+                        Some(_) => {}
+                    }
+                    if !node.label.is_proper_prefix_of(c) {
+                        push(
+                            AuditCheck::Trie,
+                            format!("{}: child {c} is not a proper extension", node.label),
+                        );
+                    }
+                }
+            }
+        }
+
+        // Replication records: at most k − 1 followers per label, every
+        // recorded follower a live member. (Copy presence is anti-
+        // entropy's transient concern; the snapshot reports it as
+        // `under_replicated` rather than a violation.)
+        let k = self.config.replication;
+        if k > 1 {
+            for (label, host) in self.directory.iter() {
+                let lid = self.directory.id_of(label).expect("live label is interned");
+                let fids = self.directory.follower_ids(lid);
+                if fids.len() > k - 1 {
+                    push(
+                        AuditCheck::Replication,
+                        format!("{label}: {} followers recorded, k = {k}", fids.len()),
+                    );
+                }
+                for &f in fids {
+                    let fk = self.directory.key_of(f);
+                    if !self.members.contains(fk) {
+                        push(
+                            AuditCheck::Replication,
+                            format!("{label}: follower {fk} is not a live member"),
+                        );
+                    }
+                    if fk == host {
+                        push(
+                            AuditCheck::Replication,
+                            format!("{label}: primary {host} recorded as its own follower"),
+                        );
+                    }
+                }
+            }
+        }
+
+        // Cache shortcuts must reference epochs the directory has
+        // actually issued (stale is legal; from-the-future is not).
+        for m in &self.members {
+            let Some(pid) = self.directory.id_of(m) else {
+                continue;
+            };
+            let Some(slot) = slab.get(pid) else { continue };
+            for (target, sc) in slot.cache.iter_shortcuts() {
+                if sc.epoch > self.directory.epoch_of(&sc.label) {
+                    push(
+                        AuditCheck::Cache,
+                        format!(
+                            "{m}: shortcut for {target} carries epoch {} > directory epoch {}",
+                            sc.epoch,
+                            self.directory.epoch_of(&sc.label)
+                        ),
+                    );
+                }
+            }
+        }
+
+        out
+    }
+
+    /// Estimated resident bytes of every engine component — the
+    /// deterministic walk behind the snapshot's memory accounting.
+    /// Length-based (Vec capacities plus fixed per-entry map
+    /// estimates), so two seeded runs agree byte-for-byte; never
+    /// allocates.
+    pub fn bytes_estimate(&self) -> MemoryFootprint {
+        use std::mem::size_of;
+        let slab = &self.peers;
+        let slab_bytes = slab.by_id.capacity() * size_of::<u32>()
+            + slab.slots.capacity() * size_of::<Option<PeerSlot>>()
+            + slab.free.capacity() * size_of::<u32>()
+            // Ring membership: BTreeSet entry ≈ key + tree overhead.
+            + self.members.len() * (size_of::<Key>() + 16);
+        let mut shard_bytes = 0usize;
+        let mut cache_bytes = 0usize;
+        for slot in slab.slots.iter().flatten() {
+            cache_bytes += slot.cache.bytes_estimate();
+            if let Some(shard) = &slot.shard {
+                shard_bytes += node_map_bytes(&shard.nodes) + node_map_bytes(&shard.replicas);
+            }
+        }
+        MemoryFootprint {
+            directory_bytes: self.directory.bytes_estimate(),
+            slab_bytes,
+            shard_bytes,
+            cache_bytes,
+        }
+    }
+
+    /// Fills `mon`'s snapshot from current engine state: per-depth
+    /// occupancy, per-peer load in ring order, imbalance statistics,
+    /// replication health, cache/fault counter deltas and the memory
+    /// footprint. A pure read at a unit boundary (call *before*
+    /// [`Engine::end_time_unit`] rolls the per-unit load counters), so
+    /// health-off runs are untouched and health-on runs stay
+    /// deterministic; once the monitor's buffers are warm, collection
+    /// does not allocate. `faults` is the transport's cumulative
+    /// counter block (`FaultStats::default()` on reliable transports).
+    /// `snap.audit_violations` is reset to 0 — callers that also run
+    /// [`Engine::audit`] stamp the count afterwards.
+    pub fn collect_health(
+        &self,
+        unit: u64,
+        faults: &crate::transport::FaultStats,
+        mon: &mut HealthMonitor,
+    ) {
+        let snap = &mut mon.snap;
+        snap.unit = unit;
+        snap.peers = self.members.len() as u64;
+        snap.nodes = self.directory.len() as u64;
+        snap.audit_violations = 0;
+
+        // Per-peer rows in ring order; `scratch_rows` maps interned
+        // peer id → row index so the directory pass below can attribute
+        // node counts without hashing.
+        snap.per_peer.clear();
+        mon.scratch_rows.clear();
+        mon.scratch_rows
+            .resize(self.directory.interned_len(), u32::MAX);
+        for m in &self.members {
+            let Some(pid) = self.directory.id_of(m) else {
+                continue;
+            };
+            mon.scratch_rows[pid as usize] = snap.per_peer.len() as u32;
+            let (replicas, used, capacity, messages) =
+                match self.peers.get(pid).and_then(|s| s.shard.as_ref()) {
+                    Some(shard) => {
+                        let msgs = shard.nodes.values().map(|n| n.load).sum::<u64>()
+                            + shard.replicas.values().map(|n| n.load).sum::<u64>();
+                        (
+                            shard.replicas.len() as u32,
+                            shard.peer.used,
+                            shard.peer.capacity,
+                            msgs,
+                        )
+                    }
+                    None => (0, 0, u32::MAX, 0),
+                };
+            snap.per_peer.push(PeerHealth {
+                peer: pid,
+                nodes: 0,
+                replicas,
+                used,
+                capacity,
+                messages,
+            });
+        }
+        for (_, host) in self.directory.iter() {
+            if let Some(hid) = self.directory.id_of(host) {
+                if let Some(&row) = mon.scratch_rows.get(hid as usize) {
+                    if row != u32::MAX {
+                        snap.per_peer[row as usize].nodes += 1;
+                    }
+                }
+            }
+        }
+
+        // Depth occupancy by walking father links (no memo map — the
+        // tree is shallow and this avoids allocating). Empty when no
+        // shard is hosted locally (threaded router engine).
+        snap.depth_occupancy.clear();
+        snap.max_depth = 0;
+        for shard in self.local_shards() {
+            for node in shard.nodes.values() {
+                let mut d = 0usize;
+                let mut cur = node.father.as_ref();
+                while let Some(f) = cur {
+                    d += 1;
+                    cur = self.node(f).and_then(|n| n.father.as_ref());
+                }
+                if d >= snap.depth_occupancy.len() {
+                    snap.depth_occupancy.resize(d + 1, 0);
+                }
+                snap.depth_occupancy[d] += 1;
+                snap.max_depth = snap.max_depth.max(d as u64);
+            }
+        }
+        snap.optimal_depth = if snap.nodes == 0 {
+            0.0
+        } else {
+            (snap.nodes as f64 + 1.0).log2()
+        };
+
+        mon.scratch_loads.clear();
+        mon.scratch_loads
+            .extend(snap.per_peer.iter().map(|p| p.messages));
+        let (imb, gini) = imbalance_of(&mut mon.scratch_loads);
+        snap.max_over_mean = imb;
+        snap.gini = gini;
+
+        // Replication health, read-only (anti-entropy's refresh pass
+        // mutates records; this one only counts): a label is under-
+        // replicated when fewer than min(k − 1, peers − 1) of its
+        // recorded followers are live and provably hold a copy (remote
+        // follower shards can't be inspected and count as holding).
+        snap.under_replicated = 0;
+        let k = self.config.replication;
+        if k > 1 && self.members.len() > 1 {
+            let want = (k - 1).min(self.members.len() - 1);
+            for (label, _) in self.directory.iter() {
+                let lid = self.directory.id_of(label).expect("live label is interned");
+                let live = self
+                    .directory
+                    .follower_ids(lid)
+                    .iter()
+                    .filter(|&&f| {
+                        let fk = self.directory.key_of(f);
+                        self.members.contains(fk)
+                            && self
+                                .shard(fk)
+                                .map(|s| s.replicas.contains_key(label))
+                                .unwrap_or(true)
+                    })
+                    .count();
+                if live < want {
+                    snap.under_replicated += 1;
+                }
+            }
+        }
+
+        let cs = &self.cache_stats;
+        snap.cache_hits = cs.hits.saturating_sub(mon.prev_cache.hits);
+        snap.cache_stale = cs.stale_hits.saturating_sub(mon.prev_cache.stale_hits);
+        snap.cache_learned = cs.learned.saturating_sub(mon.prev_cache.learned);
+        mon.prev_cache = cs.clone();
+
+        let p = &mon.prev_faults;
+        snap.faults = crate::transport::FaultStats {
+            lost: faults.lost.saturating_sub(p.lost),
+            duplicated: faults.duplicated.saturating_sub(p.duplicated),
+            reordered: faults.reordered.saturating_sub(p.reordered),
+            partition_dropped: faults.partition_dropped.saturating_sub(p.partition_dropped),
+            duplicates_suppressed: faults
+                .duplicates_suppressed
+                .saturating_sub(p.duplicates_suppressed),
+            retries: faults.retries.saturating_sub(p.retries),
+            requests_failed: faults.requests_failed.saturating_sub(p.requests_failed),
+            frames_exhausted: faults.frames_exhausted.saturating_sub(p.frames_exhausted),
+        };
+        mon.prev_faults = *faults;
+
+        snap.bytes = self.bytes_estimate();
+    }
+}
+
+/// Heap bytes a spilled key owns (0 for inline keys).
+fn key_heap_bytes(k: &Key) -> usize {
+    if k.is_inline() {
+        0
+    } else {
+        k.len() + 16
+    }
+}
+
+/// Estimated bytes of one shard-side node map (`nodes` or `replicas`):
+/// a fixed per-entry B-tree estimate plus each node's child/data key
+/// sets and any spilled key heap.
+fn node_map_bytes(map: &BTreeMap<Key, NodeState>) -> usize {
+    use std::mem::size_of;
+    let mut bytes = map.len() * (size_of::<Key>() + size_of::<NodeState>() + 16);
+    for (label, node) in map {
+        bytes += key_heap_bytes(label) + key_heap_bytes(&node.label);
+        if let Some(f) = &node.father {
+            bytes += key_heap_bytes(f);
+        }
+        for set in [&node.children, &node.data] {
+            bytes += set.len() * (size_of::<Key>() + 16);
+            for c in set {
+                bytes += key_heap_bytes(c);
+            }
+        }
+    }
+    bytes
 }
 
 /// Per-kind delivery counters. Free functions over the stats struct

@@ -57,6 +57,9 @@ pub use error::{DlptError, Result};
 pub use key::Key;
 pub use messages::{Address, Envelope, Message, NodeMsg, PeerMsg, QueryKind};
 pub use node::NodeState;
+pub use obs::health::{
+    AuditCheck, HealthMonitor, HealthSnapshot, MemoryFootprint, PeerHealth, Violation,
+};
 pub use obs::{EventKind, Histogram, MetricsRegistry, TraceEvent, TraceRing, Tracer};
 pub use peer::PeerState;
 pub use replication::{AntiEntropyReport, ReplicationStats};

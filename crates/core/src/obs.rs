@@ -23,6 +23,8 @@
 //! output is a pure function of the events, hence byte-stable across
 //! repeats and worker counts.
 
+pub mod health;
+
 use std::io::{self, Write};
 
 /// What happened, one discriminant per schema row. The numeric values
@@ -377,22 +379,23 @@ impl Histogram {
     }
 
     /// The `q`-quantile (`0.0..=1.0`) as the lower bound of the bucket
-    /// holding the rank-`⌊q·(n−1)⌋` observation; 0 when empty. The
-    /// reported value `r` satisfies `r ≤ true ≤ r + r/8` (exact below
-    /// 16).
-    pub fn quantile(&self, q: f64) -> u64 {
+    /// holding the rank-`⌊q·(n−1)⌋` observation; `None` when the
+    /// histogram is empty (a bucket-0 bound would be indistinguishable
+    /// from a real observation of 0). The reported value `r` satisfies
+    /// `r ≤ true ≤ r + r/8` (exact below 16).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.total == 0 {
-            return 0;
+            return None;
         }
         let rank = (q.clamp(0.0, 1.0) * (self.total - 1) as f64) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen > rank {
-                return Self::lower_bound(i);
+                return Some(Self::lower_bound(i));
             }
         }
-        Self::lower_bound(BUCKETS - 1)
+        Some(Self::lower_bound(BUCKETS - 1))
     }
 
     /// Accumulates another histogram into this one.
@@ -572,10 +575,57 @@ mod tests {
         for v in 0..16u64 {
             h.record(v);
         }
-        assert_eq!(h.quantile(0.0), 0);
-        assert_eq!(h.quantile(1.0), 15);
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(1.0), Some(15));
         assert_eq!(h.count(), 16);
         assert_eq!(h.approx_sum(), (0..16).sum::<u64>());
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(
+                h.quantile(q),
+                None,
+                "empty histogram must report None at q={q}"
+            );
+        }
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.approx_sum(), 0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let mut h = Histogram::new();
+        h.record(7);
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), Some(7));
+        }
+        // Above the exact range the single sample still owns every
+        // quantile, reported as its bucket's lower bound.
+        let mut h = Histogram::new();
+        h.record(1000);
+        let got = h.quantile(0.5).unwrap();
+        assert!(got <= 1000 && 1000 - got <= got / 8);
+        assert_eq!(h.quantile(0.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn top_bucket_saturates_without_overflow() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        // Both land in the final bucket; quantiles stay in range and
+        // report that bucket's lower bound.
+        let lb = Histogram::lower_bound(BUCKETS - 1);
+        assert_eq!(h.quantile(0.0), Some(lb));
+        assert_eq!(h.quantile(1.0), Some(lb));
+        assert_eq!(h.count(), 2);
+        // Mixing in a small sample keeps the order statistics sane.
+        h.record(1);
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(1.0), Some(lb));
     }
 
     #[test]
@@ -603,7 +653,7 @@ mod tests {
         assert_eq!(a.count(), 2);
         a.reset();
         assert_eq!(a.count(), 0);
-        assert_eq!(a.quantile(0.5), 0);
+        assert_eq!(a.quantile(0.5), None);
 
         let mut r = MetricsRegistry::default();
         r.record_request(2, 5, 1, 0);
@@ -650,7 +700,7 @@ mod tests {
             for q in qs {
                 let rank = (q * (values.len() - 1) as f64) as usize;
                 let exact = values[rank];
-                let got = h.quantile(q);
+                let got = h.quantile(q).expect("non-empty histogram has quantiles");
                 prop_assert!(got <= exact, "q={q}: histogram {got} above exact {exact}");
                 prop_assert!(
                     exact - got <= got / 8,

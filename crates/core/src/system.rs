@@ -45,7 +45,10 @@ pub struct SystemConfig {
     /// for routing loops, which the protocol makes impossible.
     pub drain_budget: usize,
     /// How many times one envelope may be requeued while its
-    /// destination is still in flight.
+    /// destination is still in flight. The effective budget is floored
+    /// at twice the ring membership: a freshly seeded node walks the
+    /// ring one hop per queue cycle before it lands, so dependent
+    /// envelopes need O(ring) retries on large rings.
     pub requeue_budget: u32,
     /// Replication factor `k`: each tree node lives on its primary
     /// (mapping-rule) host plus `k - 1` ring-successor followers
@@ -855,7 +858,14 @@ impl DlptSystem {
     }
 
     fn requeue(&mut self, requeues: u32, env: Envelope) -> Result<()> {
-        if requeues >= self.config.requeue_budget {
+        // A node seed in flight advances one ring hop per queue cycle
+        // (`protocol::data_insertion::on_host`), so an envelope waiting
+        // on that node can legitimately requeue O(ring) times before
+        // its destination lands. Floor the configured budget at twice
+        // the membership: the default stays tight on small rings while
+        // large rings get the headroom the walk actually needs.
+        let floor = (self.engine.peer_count() as u32).saturating_mul(2);
+        if requeues >= self.config.requeue_budget.max(floor) {
             return self.engine.fail_undeliverable(env);
         }
         self.engine.stats.requeues += 1;
@@ -900,6 +910,35 @@ mod tests {
             sys.insert_data(k(s)).unwrap();
         }
         sys
+    }
+
+    #[test]
+    fn requeue_budget_floors_at_ring_size() {
+        // A sibling split sends the new common parent on an O(ring)
+        // `on_host` walk while the sibling's `SearchingHost` requeues
+        // against the not-yet-installed node. A fixed budget fails
+        // that insert once the ring outgrows it (first caught by
+        // `Engine::audit` at ~2000 peers with the default 256, as two
+        // dangling trie pointers); the membership floor must absorb
+        // the wait even when the configured budget is zero.
+        let mut sys = DlptSystem::builder()
+            .seed(7)
+            .bootstrap_peers(24)
+            .config(SystemConfig {
+                alphabet: Alphabet::binary(),
+                peer_id_len: 10,
+                requeue_budget: 0,
+                ..SystemConfig::default()
+            })
+            .build();
+        for s in PAPER_KEYS {
+            sys.insert_data(k(s)).unwrap();
+        }
+        assert!(
+            sys.stats.requeues > 0,
+            "scenario must exercise the requeue path"
+        );
+        assert!(sys.audit().is_empty());
     }
 
     #[test]

@@ -278,7 +278,12 @@ impl LatencyNet {
                 match step {
                     Step::Done => {}
                     Step::Requeue(env) => {
-                        if requeues >= self.requeue_budget {
+                        // Same ring-size floor as the synchronous
+                        // pump: a seed walking the ring takes O(ring)
+                        // hops to land, and every hop is one more
+                        // requeue for the envelopes waiting on it.
+                        let floor = (self.engine.peer_count() as u32).saturating_mul(2);
+                        if requeues >= self.requeue_budget.max(floor) {
                             // A lost discovery message still resolves
                             // its request (explicit failure); anything
                             // else exhausting the budget is a routing

@@ -223,6 +223,13 @@ pub struct ExperimentConfig {
     /// Scheduled healable partition; `None` (the default) for a fully
     /// connected network.
     pub partition: Option<PartitionSpec>,
+    /// Collect a [`dlpt_core::HealthSnapshot`] at every unit boundary
+    /// (observability extension, `dlpt-core::obs::health`) and expose
+    /// the per-run JSONL time series on [`crate::run::RunResult`].
+    /// `false` (the default) skips collection entirely — snapshots are
+    /// a pure read, so either setting leaves every simulated metric
+    /// byte-identical.
+    pub health_snapshots: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -252,6 +259,7 @@ impl Default for ExperimentConfig {
             loss_rate: 0.0,
             dup_rate: 0.0,
             partition: None,
+            health_snapshots: false,
         }
     }
 }

@@ -145,6 +145,12 @@ impl UnitMetrics {
 pub struct RunResult {
     /// Per-unit metrics, index = time unit.
     pub units: Vec<UnitMetrics>,
+    /// One JSONL [`dlpt_core::HealthSnapshot`] line per unit when
+    /// [`ExperimentConfig::health_snapshots`] is set; empty otherwise.
+    pub health: String,
+    /// The final unit's snapshot (for Prometheus-style rendering of
+    /// the end-of-horizon state); `None` unless `health_snapshots`.
+    pub last_snapshot: Option<dlpt_core::HealthSnapshot>,
 }
 
 impl RunResult {
@@ -194,6 +200,9 @@ pub fn run_once(cfg: &ExperimentConfig, run_idx: usize) -> RunResult {
             seed: seed ^ 0xFA17,
         });
     }
+
+    let mut health = String::new();
+    let mut monitor = cfg.health_snapshots.then(dlpt_core::HealthMonitor::new);
 
     let mut pop = cfg.popularity.build();
     let per_unit_growth = corpus.len().div_ceil(cfg.growth_units.max(1) as usize);
@@ -375,10 +384,24 @@ pub fn run_once(cfg: &ExperimentConfig, run_idx: usize) -> RunResult {
         m.cache_learned = sys.cache_stats.learned - learned_before;
         m.cache_invalidations = sys.cache_stats.invalidations_delivered - invalidations_before;
         m.work = sys.stats.total_work() - work_before;
+        // Snapshot before `end_time_unit` rolls the per-node load
+        // counters: "messages handled this unit" is still readable
+        // here, and the collection itself is a pure read.
+        if let Some(mon) = monitor.as_mut() {
+            let violations = sys.audit();
+            sys.collect_health(t as u64, &sys.fault_stats(), mon);
+            mon.snap.audit_violations = violations.len() as u64;
+            mon.snap
+                .write_jsonl_line(&cfg.name, run_idx as u64, &mut health);
+        }
         sys.end_time_unit();
         units.push(m);
     }
-    RunResult { units }
+    RunResult {
+        units,
+        health,
+        last_snapshot: monitor.map(|mon| mon.snap),
+    }
 }
 
 #[cfg(test)]
@@ -413,6 +436,7 @@ mod tests {
             loss_rate: 0.0,
             dup_rate: 0.0,
             partition: None,
+            health_snapshots: false,
         }
     }
 
@@ -551,6 +575,39 @@ mod tests {
         let logical: u64 = res.units.iter().map(|u| u.logical_hops_sum).sum();
         assert!(any_random > 0);
         assert!(any_lex <= logical, "lexico physical ≤ logical");
+    }
+
+    #[test]
+    fn health_snapshots_are_deterministic_and_inert_when_off() {
+        let off = run_once(&tiny(LbKind::None), 0);
+        assert!(off.health.is_empty(), "off-by-default collects nothing");
+
+        let mut cfg = tiny(LbKind::None);
+        cfg.health_snapshots = true;
+        let a = run_once(&cfg, 0);
+        let b = run_once(&cfg, 0);
+        assert_eq!(a.health, b.health, "per-seed health determinism");
+        assert_eq!(a.health.lines().count(), 8, "one JSONL line per unit");
+        assert_eq!(
+            a.units, off.units,
+            "collection is a pure read: metrics are byte-identical"
+        );
+        for line in a.health.lines() {
+            assert!(line.starts_with("{\"cfg\":\"tiny\",\"run\":0,"));
+            assert!(
+                line.contains("\"violations\":0"),
+                "healthy run audits clean"
+            );
+            assert!(line.contains("\"bytes_total\":"));
+        }
+
+        // Same contract under the parallel pump.
+        let mut par = cfg.clone();
+        par.workers = 4;
+        let pa = run_once(&par, 0);
+        let pb = run_once(&par, 0);
+        assert_eq!(pa.health, pb.health, "workers > 1 stays deterministic");
+        assert_eq!(pa.health.lines().count(), 8);
     }
 
     #[test]

@@ -169,6 +169,13 @@ pub fn run_all(cfg: &ExperimentConfig) -> Vec<RunResult> {
         .collect()
 }
 
+/// Concatenates the per-run health JSONL series in run order — the
+/// file body the figure binaries write when `--health` is passed.
+/// Empty unless the config had `health_snapshots` set.
+pub fn health_jsonl(results: &[RunResult]) -> String {
+    results.iter().map(|r| r.health.as_str()).collect()
+}
+
 /// Averages run results into per-unit series.
 pub fn average(cfg: &ExperimentConfig, results: &[RunResult]) -> AveragedSeries {
     let units = cfg.time_units as usize;
@@ -280,6 +287,7 @@ mod tests {
             loss_rate: 0.0,
             dup_rate: 0.0,
             partition: None,
+            health_snapshots: false,
         }
     }
 

@@ -25,12 +25,16 @@ diagnostics, not comparable throughputs. Rows only one side knows are
 reported as such — a renamed benchmark silently dropping out of the
 gate is itself worth seeing.
 
-One paired row is gated *within* the fresh run rather than against the
-baseline: when the fresh snapshot carries both ``engine_dispatch`` and
-``engine_dispatch_traced`` (identical pre-drawn plan, tracer off vs.
-ring tracer on), the traced/untraced ops_per_sec ratio must stay at or
-above ``1 - tracer_tolerance`` (default 0.90) — the observability
-subsystem's contract that tracing costs at most ~10%.
+Two paired rows are gated *within* the fresh run rather than against
+the baseline: when the fresh snapshot carries both ``engine_dispatch``
+and ``engine_dispatch_traced`` (identical pre-drawn plan, tracer off
+vs. ring tracer on), the traced/untraced ops_per_sec ratio must stay
+at or above ``1 - tracer_tolerance`` (default 0.90) — the
+observability subsystem's contract that tracing costs at most ~10%.
+Likewise ``engine_dispatch_snapshot`` (the same plan with a
+`HealthMonitor` snapshot collected at every unit boundary) must stay
+at or above ``1 - snapshot_tolerance`` (default 0.95) of
+``engine_dispatch`` — per-unit health collection costs at most ~5%.
 """
 
 import argparse
@@ -74,6 +78,9 @@ def main():
     ap.add_argument("--tracer-tolerance", type=float, default=0.10,
                     help="allowed relative slowdown of engine_dispatch_traced "
                          "vs engine_dispatch within the fresh run (default 0.10)")
+    ap.add_argument("--snapshot-tolerance", type=float, default=0.05,
+                    help="allowed relative slowdown of engine_dispatch_snapshot "
+                         "vs engine_dispatch within the fresh run (default 0.05)")
     args = ap.parse_args()
 
     baseline_path = args.baseline or latest_committed_baseline()
@@ -126,6 +133,20 @@ def main():
               f"(floor {floor:.2f}x)  {verdict}")
         if ratio < floor:
             failures.append("tracer_overhead")
+
+    # Snapshot-overhead pair: same in-run pairing for the health
+    # observatory — per-unit `collect_health` against the identical
+    # untraced plan.
+    if "engine_dispatch" in fresh and "engine_dispatch_snapshot" in fresh:
+        off = fresh["engine_dispatch"]
+        on = fresh["engine_dispatch_snapshot"]
+        ratio = on / off if off else float("inf")
+        floor = 1.0 - args.snapshot_tolerance
+        verdict = "ok" if ratio >= floor else "SNAPSHOT OVERHEAD REGRESSION"
+        print(f"snapshot overhead (fresh run): snapshot/plain = {ratio:.2f}x "
+              f"(floor {floor:.2f}x)  {verdict}")
+        if ratio < floor:
+            failures.append("snapshot_overhead")
 
     if failures:
         print(f"\nbench-regress: FAILED — {len(failures)} benchmark(s) "

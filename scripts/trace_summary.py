@@ -12,8 +12,13 @@ Each line of the input is one fixed-shape event:
 ``kind`` is one of the engine's stable event names (admit, hop,
 cache_hit, cache_stale, cache_miss, branch_open, branch_close, retry,
 dedup_suppress, drop, satisfy, fail). The summary reports event counts
-per kind, per-request shape (events, hops, max depth) and the worker
-spread, so a trace can be sanity-read without tooling.
+for *all twelve* kinds (zero-filled — an absent counter and a zero
+counter read the same, so downstream diffs are shape-stable),
+per-request shape (events, hops, max depth) and the worker spread, so
+a trace can be sanity-read without tooling. A line with an unknown
+``kind`` always exits non-zero, with or without ``--validate``: such a
+line means the trace and this tool disagree about the event
+vocabulary, and every count in the summary would be suspect.
 
 ``--validate`` additionally enforces the schema — every line must be a
 JSON object with exactly the nine keys above, integer-valued except
@@ -71,13 +76,13 @@ def main():
                 for k in INT_KEYS:
                     if not isinstance(ev[k], int) or ev[k] < 0:
                         fail(lineno, line, f"{k!r} must be a non-negative int")
-                if ev["kind"] not in KINDS:
-                    fail(lineno, line, f"unknown kind {ev['kind']!r}")
                 group = (ev["round"], ev["worker"])
                 if last_seq.get(group, -1) > ev["seq"]:
                     fail(lineno, line,
                          f"seq went backwards within (round, worker) {group}")
                 last_seq[group] = ev["seq"]
+            if ev.get("kind") not in KINDS:
+                fail(lineno, line, f"unknown kind {ev.get('kind')!r}")
             n += 1
             kinds[ev["kind"]] += 1
             r = per_req[ev["req"]]
@@ -94,7 +99,7 @@ def main():
 
     print(f"events: {n}  requests: {len(per_req)}  "
           f"workers: {len(workers)}  rounds: {len(rounds)}")
-    for kind in sorted(kinds):
+    for kind in sorted(KINDS):
         print(f"  {kind:<15} {kinds[kind]:>8}")
     if per_req:
         hops = sorted(r["hops"] for r in per_req.values())

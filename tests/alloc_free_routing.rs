@@ -297,4 +297,42 @@ fn routed_envelopes_are_allocation_free_in_steady_state() {
     );
     let events = sys.take_trace();
     assert!(!events.is_empty(), "ring tracer must have captured events");
+
+    // ---- Phase 6: warm health collection is allocation-free. -------
+    // The observatory keeps no engine state: `collect_health` is a
+    // pure read into the monitor's own buffers. After one warm
+    // collection sizes those buffers (per-peer rows, depth occupancy,
+    // scratch vectors), every further snapshot must reuse them — the
+    // off-by-default contract's on-side twin.
+    use dlpt::core::transport::FaultStats;
+    let mut monitor = dlpt::core::HealthMonitor::new();
+    let faults = FaultStats::default();
+    sys.collect_health(0, &faults, &mut monitor);
+    assert!(
+        monitor.snap.nodes > 0 && monitor.snap.bytes.total() > 0,
+        "warm-up snapshot must observe real state"
+    );
+    let (snap_allocs, _) = count(|| {
+        for unit in 0..ROUNDS {
+            sys.collect_health(unit, &faults, &mut monitor);
+        }
+    });
+    assert!(
+        snap_allocs <= JITTER,
+        "warm collect_health must reuse the monitor's buffers: \
+         {snap_allocs} allocs over {ROUNDS} snapshots"
+    );
+    // And collection leaves the routing hot path untouched: the same
+    // warm deep lookup still costs what it did before the observatory
+    // ever ran.
+    let (post_allocs, _) = count(|| {
+        for _ in 0..ROUNDS {
+            assert!(sys.request_from(&entry, deep.clone()).unwrap().satisfied);
+        }
+    });
+    assert!(
+        post_allocs.abs_diff(ring_allocs) <= JITTER,
+        "health collection must not perturb routing: {post_allocs} allocs vs \
+         {ring_allocs} before"
+    );
 }

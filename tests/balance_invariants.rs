@@ -33,6 +33,7 @@ fn test_config(lb: LbKind, churn: ChurnModel, seed: u64) -> ExperimentConfig {
         loss_rate: 0.0,
         dup_rate: 0.0,
         partition: None,
+        health_snapshots: false,
     }
 }
 

@@ -11,7 +11,7 @@
 //! schedule differently) and anything capacity-related (only the sync
 //! pump charges capacity — kept unbounded here).
 
-use dlpt::core::{Alphabet, DlptSystem, FaultPlan, Key};
+use dlpt::core::{Alphabet, DlptSystem, FaultPlan, Key, Violation};
 use dlpt::net::{LatencyModel, LatencyNet, ThreadedDlpt};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -86,6 +86,9 @@ trait Runtime {
     fn set_faults(&mut self, plan: FaultPlan);
     fn partition(&mut self, lo: Key, hi: Key);
     fn heal(&mut self);
+    /// Runs the engine's invariant auditor
+    /// (directory↔slab↔trie↔replication cross-consistency).
+    fn audit(&self) -> Vec<Violation>;
 }
 
 struct Sync(DlptSystem);
@@ -140,6 +143,9 @@ impl Runtime for Sync {
     fn heal(&mut self) {
         self.0.heal_partition();
     }
+    fn audit(&self) -> Vec<Violation> {
+        self.0.audit()
+    }
 }
 
 struct Latency(LatencyNet);
@@ -193,6 +199,9 @@ impl Runtime for Latency {
     fn heal(&mut self) {
         self.0.heal_partition();
     }
+    fn audit(&self) -> Vec<Violation> {
+        self.0.audit()
+    }
 }
 
 struct Threaded(ThreadedDlpt);
@@ -245,6 +254,9 @@ impl Runtime for Threaded {
     }
     fn heal(&mut self) {
         self.0.heal_partition();
+    }
+    fn audit(&self) -> Vec<Violation> {
+        self.0.audit()
     }
 }
 
@@ -322,17 +334,23 @@ proptest! {
         );
         let a = drive(&mut sync, &ops, initial_peers, k);
         sync.0.check_tree().unwrap();
+        let audit = Runtime::audit(&sync);
+        prop_assert!(audit.is_empty(), "sync audits clean: {:?}", audit);
 
         let mut latency = Latency(LatencyNet::new(LatencyModel::Constant(0), seed ^ 0x5eed));
         latency.0.set_replication(k);
         latency.0.set_cache_capacity(cache);
         let b = drive(&mut latency, &ops, initial_peers, k);
         latency.0.check_tree().unwrap();
+        let audit = latency.audit();
+        prop_assert!(audit.is_empty(), "latency audits clean: {:?}", audit);
 
         let mut threaded = Threaded(ThreadedDlpt::new(Alphabet::grid(), seed ^ 0x7eed));
         threaded.0.set_replication(k);
         threaded.0.set_cache_capacity(cache);
         let c = drive(&mut threaded, &ops, initial_peers, k);
+        let audit = threaded.audit();
+        prop_assert!(audit.is_empty(), "threaded audits clean: {:?}", audit);
 
         prop_assert_eq!(&a.placements, &b.placements, "sync vs latency placements");
         prop_assert_eq!(&a.placements, &c.placements, "sync vs threaded placements");
@@ -378,11 +396,13 @@ proptest! {
             sync.set_faults(plan(seed));
             let obs = drive(&mut sync, &ops, initial_peers, 1);
             let stats = sync.0.fault_stats();
-            (obs, stats)
+            let audit = Runtime::audit(&sync);
+            (obs, stats, audit)
         };
-        let (a, a_stats) = run_sync();
+        let (a, a_stats, a_audit) = run_sync();
         prop_assert_eq!(a.results.len(), expected, "sync: every query terminates");
-        let (a2, _) = run_sync();
+        prop_assert!(a_audit.is_empty(), "sync audits clean after quiescence: {:?}", a_audit);
+        let (a2, _, _) = run_sync();
         prop_assert_eq!(&a.results, &a2.results, "seeded lossy sync reproduces");
         prop_assert_eq!(&a.placements, &a2.placements);
 
@@ -390,11 +410,15 @@ proptest! {
         latency.set_faults(plan(seed ^ 0x10));
         let b = drive(&mut latency, &ops, initial_peers, 1);
         prop_assert_eq!(b.results.len(), expected, "latency: every query terminates");
+        let b_audit = latency.audit();
+        prop_assert!(b_audit.is_empty(), "latency audits clean after quiescence: {:?}", b_audit);
 
         let mut threaded = Threaded(ThreadedDlpt::new(Alphabet::grid(), seed ^ 0x7eed));
         threaded.set_faults(plan(seed ^ 0x20));
         let c = drive(&mut threaded, &ops, initial_peers, 1);
         prop_assert_eq!(c.results.len(), expected, "threaded: every query terminates");
+        let c_audit = threaded.audit();
+        prop_assert!(c_audit.is_empty(), "threaded audits clean after quiescence: {:?}", c_audit);
 
         // Mutations and joins travel the reliable class, so the tree
         // the runtimes build is unaffected by the fault plan.
@@ -445,6 +469,11 @@ fn drive_partition_scenario<R: Runtime>(rt: &mut R, name: &str) {
         assert!(found, "{name}: key {i} must be found after the heal");
         assert_eq!(results, vec![key(i as u8)], "{name}: wrong result for {i}");
     }
+    let audit = rt.audit();
+    assert!(
+        audit.is_empty(),
+        "{name}: engine must audit clean after heal + crash + AE: {audit:?}"
+    );
 }
 
 #[test]
