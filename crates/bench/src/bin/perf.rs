@@ -48,9 +48,13 @@
 //!   `engine_dispatch` / `engine_dispatch_snapshot` ratio is the
 //!   snapshot-overhead gate: `bench_regress.py` fails above 5%;
 //! * `parallel_pump_discovery` — batched exact discovery through the
-//!   sharded multi-worker pump (`dlpt_core::engine::parallel`) at
+//!   shared-nothing slice pump (`dlpt_core::engine::parallel`) at
 //!   `--workers N` (default 4); the acceptance gate compares its op/s
-//!   against single-worker `sync_pump_discovery`.
+//!   against single-worker `sync_pump_discovery`. A `parallel_pump_w1`
+//!   / `_w2` / `_w4` / `_w8` sweep plus a derived
+//!   `pump_scaling_efficiency` ratio row (w8 op/s over 8× w1 op/s,
+//!   encoded so `ops_per_sec` *is* the ratio) feed the nproc-aware
+//!   scaling gate in `scripts/bench_regress.py`.
 //!
 //! Usage: `perf [--smoke] [--label NAME] [--out PATH] [--workers N]
 //! [--trace PATH]`
@@ -149,7 +153,7 @@ fn main() {
     results.extend(bench_engine_dispatch(scale, DispatchMode::Plain));
     results.extend(bench_engine_dispatch(scale, DispatchMode::Traced));
     results.extend(bench_engine_dispatch(scale, DispatchMode::Snapshot));
-    results.push(bench_parallel_pump(scale, workers));
+    results.extend(bench_parallel_pump(scale, workers));
 
     let date = utc_date();
     let path = out.unwrap_or_else(|| format!("BENCH_{date}.json"));
@@ -465,12 +469,22 @@ fn bench_latency_net(scale: u64) -> Vec<BenchResult> {
 /// to 4 (a handful of nodes). One row per depth, so the slowest
 /// subsystem's scaling behaviour — not just its headline mean — has a
 /// committed trajectory.
+///
+/// Two rows per depth: `gather_scaling_dN` (ns/query) and
+/// `gather_scaling_dN_visit` (ns per node visit, using the measured
+/// round's visit count). The per-visit row is what separates real
+/// fan-out from harness pathology: a depth-1 prefix covers most of the
+/// 300-key tree, so d1 legitimately visits an order of magnitude more
+/// nodes per query than d2 — its per-*query* cost is high while its
+/// per-*visit* cost stays flat. (The original single-pass harness also
+/// ran d1 first on cold buffers, inflating its row further; warm-up +
+/// min-of-rounds removes that bias.)
 fn bench_gather_scaling(scale: u64) -> Vec<BenchResult> {
-    const DEPTHS: [(&str, usize); 4] = [
-        ("gather_scaling_d1", 1),
-        ("gather_scaling_d2", 2),
-        ("gather_scaling_d3", 3),
-        ("gather_scaling_d4", 4),
+    const DEPTHS: [(&str, &str, usize); 4] = [
+        ("gather_scaling_d1", "gather_scaling_d1_visit", 1),
+        ("gather_scaling_d2", "gather_scaling_d2_visit", 2),
+        ("gather_scaling_d3", "gather_scaling_d3_visit", 3),
+        ("gather_scaling_d4", "gather_scaling_d4_visit", 4),
     ];
     let corpus = Corpus::grid();
     let keys: Vec<Key> = corpus.keys.iter().take(300).cloned().collect();
@@ -488,23 +502,43 @@ fn bench_gather_scaling(scale: u64) -> Vec<BenchResult> {
         net.insert_data(k.clone());
     }
     let queries = (400 / scale).max(25);
-    DEPTHS
-        .iter()
-        .map(|&(name, depth)| {
-            let start = Instant::now();
+    let mut rows = Vec::with_capacity(DEPTHS.len() * 2);
+    for &(name, visit_name, depth) in DEPTHS.iter() {
+        let run = |net: &mut LatencyNet| {
             for i in 0..queries {
                 let k = &keys[(i as usize * 37) % keys.len()];
                 let (ok, _results) = net.complete(&k.truncated(depth));
                 assert!(ok, "completion must reach its region");
             }
-            BenchResult {
-                name,
-                unit: "query",
-                ops: queries,
-                ns_total: start.elapsed().as_nanos(),
-            }
-        })
-        .collect()
+        };
+        // Warm-up: the first pass pays allocator growth (event queue,
+        // gather buffers) that later passes reuse.
+        run(&mut net);
+        let mut best = u128::MAX;
+        let mut visits = 0u64;
+        for _ in 0..3 {
+            let before = net.stats.discovery_messages;
+            let start = Instant::now();
+            run(&mut net);
+            best = best.min(start.elapsed().as_nanos());
+            // The query set is fixed, so the visit count is identical
+            // in every round.
+            visits = net.stats.discovery_messages - before;
+        }
+        rows.push(BenchResult {
+            name,
+            unit: "query",
+            ops: queries,
+            ns_total: best,
+        });
+        rows.push(BenchResult {
+            name: visit_name,
+            unit: "visit",
+            ops: visits.max(1),
+            ns_total: best,
+        });
+    }
+    rows
 }
 
 /// Envelope encode/decode round-trips over representative frames.
@@ -690,13 +724,10 @@ fn bench_engine_dispatch(scale: u64, mode: DispatchMode) -> Vec<BenchResult> {
     ]
 }
 
-/// Batched exact discovery through the sharded multi-worker pump
-/// (`dlpt_core::engine::parallel`): the same overlay shape as
-/// `sync_pump_discovery`, pure exact queries, processed in 4096-request
-/// batches at `workers` workers with the deterministic round-barrier
-/// merge. The ISSUE-5 acceptance gate compares this row's op/s against
-/// single-worker `sync_pump_discovery`.
-fn bench_parallel_pump(scale: u64, workers: usize) -> BenchResult {
+/// One worker count of the parallel-pump workload: the same overlay
+/// shape as `sync_pump_discovery`, pure exact queries, processed in
+/// 4096-request batches through the shared-nothing slice pump.
+fn pump_row(scale: u64, workers: usize, name: &'static str) -> BenchResult {
     let corpus = Corpus::grid();
     let keys: Vec<Key> = corpus.keys.iter().take(400).cloned().collect();
     let mut sys = DlptSystem::builder()
@@ -711,9 +742,9 @@ fn bench_parallel_pump(scale: u64, workers: usize) -> BenchResult {
     let batch = 4096usize;
     let mut rng = StdRng::seed_from_u64(19);
     // Warm-up batch grows every internal buffer (queues, gather maps)
-    // outside the timed region. Worker threads and the exchange mesh
-    // are rebuilt per batch, so the timed op/s *includes* that spawn
-    // cost — a persistent worker pool is the obvious next optimization.
+    // outside the timed region. Worker threads and the ring mesh are
+    // rebuilt per batch, so the timed op/s *includes* that spawn cost —
+    // a persistent worker pool is the obvious next optimization.
     let warm: Vec<QueryKind> = (0..256)
         .map(|_| QueryKind::Exact(keys[rng.gen_range(0..keys.len())].clone()))
         .collect();
@@ -741,11 +772,61 @@ fn bench_parallel_pump(scale: u64, workers: usize) -> BenchResult {
         assert!(satisfied > 0, "workload must find keys");
     }
     BenchResult {
-        name: "parallel_pump_discovery",
+        name,
         unit: "op",
         ops,
         ns_total: best,
     }
+}
+
+/// The parallel-pump scaling sweep: one row per worker count in
+/// {1, 2, 4, 8} (`parallel_pump_wN`), the headline
+/// `parallel_pump_discovery` row at the `--workers` argument, and the
+/// derived `pump_scaling_efficiency` row — w8 throughput over 8× the
+/// w1 throughput, encoded so `ops_per_sec` *is* the ratio (gateable by
+/// `scripts/bench_regress.py` like any other row). Efficiency on a
+/// single-core container measures overhead, not scaling — interpret it
+/// together with the recorded `nproc`.
+fn bench_parallel_pump(scale: u64, workers: usize) -> Vec<BenchResult> {
+    const SWEEP: [(usize, &str); 4] = [
+        (1, "parallel_pump_w1"),
+        (2, "parallel_pump_w2"),
+        (4, "parallel_pump_w4"),
+        (8, "parallel_pump_w8"),
+    ];
+    let mut rows: Vec<BenchResult> = SWEEP
+        .iter()
+        .map(|&(w, name)| pump_row(scale, w, name))
+        .collect();
+    let w1_ops = rows[0].ops_per_sec();
+    let w8_ops = rows[3].ops_per_sec();
+    let headline = match SWEEP.iter().position(|&(w, _)| w == workers) {
+        // The sweep already measured this worker count; reuse the
+        // timing so the two rows can never disagree.
+        Some(i) => BenchResult {
+            name: "parallel_pump_discovery",
+            unit: "op",
+            ops: rows[i].ops,
+            ns_total: rows[i].ns_total,
+        },
+        None => pump_row(scale, workers, "parallel_pump_discovery"),
+    };
+    rows.push(headline);
+    // ops_per_sec = ops·1e9/ns_total, so ops = ratio·1e6 against a
+    // fixed 1e15 ns denominator makes the reported ops_per_sec equal
+    // the efficiency ratio itself.
+    let efficiency = if w1_ops > 0.0 {
+        w8_ops / (8.0 * w1_ops)
+    } else {
+        0.0
+    };
+    rows.push(BenchResult {
+        name: "pump_scaling_efficiency",
+        unit: "ratio",
+        ops: (efficiency * 1e6).round() as u64,
+        ns_total: 1_000_000_000_000_000,
+    });
+    rows
 }
 
 // ---------------------------------------------------------------------
@@ -767,6 +848,13 @@ fn render_json(
     let _ = writeln!(s, "  \"date\": \"{date}\",");
     let _ = writeln!(s, "  \"smoke\": {smoke},");
     let _ = writeln!(s, "  \"workers\": {workers},");
+    // Hardware context: scaling rows from a single-core container are
+    // overhead measurements, not parallel speedups — record the core
+    // count so regression tooling can tell the two apart.
+    let nproc = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let _ = writeln!(s, "  \"nproc\": {nproc},");
     s.push_str("  \"benchmarks\": [\n");
     for (i, r) in results.iter().enumerate() {
         s.push_str("    {");
@@ -809,4 +897,54 @@ fn utc_date() -> String {
     let m = if mp < 10 { mp + 3 } else { mp - 9 };
     let y = if m <= 2 { y + 1 } else { y };
     format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins the `gather_scaling_d1` "anomaly" as real fan-out, not a
+    /// harness bug: on the bench's own topology, a depth-1 completion
+    /// visits an order of magnitude more nodes than a depth-2 one —
+    /// the per-query cost ratio in the committed snapshots tracks the
+    /// visit-count ratio, which is exactly what the `_visit` rows
+    /// normalize away.
+    #[test]
+    fn depth1_completions_fan_out_over_most_of_the_tree() {
+        let corpus = Corpus::grid();
+        let keys: Vec<Key> = corpus.keys.iter().take(300).cloned().collect();
+        let mut net = LatencyNet::new(LatencyModel::Uniform(1, 30), 0xFA_0C);
+        let alphabet = dlpt_core::alphabet::Alphabet::grid();
+        let mut rng = StdRng::seed_from_u64(0xFA_22);
+        let mut chosen = std::collections::BTreeSet::new();
+        while chosen.len() < 16 {
+            let id = alphabet.random_id(&mut rng, 10);
+            if chosen.insert(id.clone()) {
+                net.add_peer(id);
+            }
+        }
+        for k in &keys {
+            net.insert_data(k.clone());
+        }
+        let mut visits_at = |depth: usize| {
+            let before = net.stats.discovery_messages;
+            for i in 0..25usize {
+                let k = &keys[(i * 37) % keys.len()];
+                let (ok, _) = net.complete(&k.truncated(depth));
+                assert!(ok, "completion must reach its region");
+            }
+            net.stats.discovery_messages - before
+        };
+        let d1 = visits_at(1);
+        let d2 = visits_at(2);
+        let d4 = visits_at(4);
+        assert!(
+            d1 >= 5 * d2,
+            "depth-1 queries must fan out over far more nodes (d1={d1}, d2={d2})"
+        );
+        assert!(
+            d2 > d4,
+            "fan-out must shrink monotonically with depth (d2={d2}, d4={d4})"
+        );
+    }
 }

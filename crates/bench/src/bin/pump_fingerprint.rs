@@ -1,7 +1,7 @@
 //! `pump_fingerprint` — the parallel-pump determinism probe.
 //!
 //! Builds a seeded overlay, pushes a seeded mixed discovery workload
-//! through the sharded multi-worker pump
+//! through the shared-nothing slice pump
 //! (`dlpt_core::engine::parallel`) and prints a canonical fingerprint
 //! of everything observable: placements, per-request outcomes and the
 //! engine counters. Two invocations with the same `--seed` and

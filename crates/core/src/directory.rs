@@ -70,6 +70,26 @@ pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 /// not required, deterministic membership is).
 pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
 
+/// An explicit ownership-transfer record: the outcome of re-hosting
+/// one label. Produced by [`Directory::handoff`], which is the single
+/// entry point for every host change that *moves* ownership (balancer
+/// migration, crash promotion) as opposed to creating it (join,
+/// registration). The record names both sides of the transfer in
+/// interned-id space, so a consumer partitioned by peer id — a
+/// parallel-pump slice, a health row, a trace sink — can apply the
+/// move as a message between the two owners instead of re-deriving it
+/// from shared state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Handoff {
+    /// The transferred label's interned id.
+    pub label: u32,
+    /// The previous owner's peer id (`None` when the label was not
+    /// live — a promotion re-creating a crashed primary's entry).
+    pub from: Option<u32>,
+    /// The new owner's peer id.
+    pub to: u32,
+}
+
 /// An interned `label → host` table with incremental ordered access.
 #[derive(Debug, Default)]
 pub struct Directory {
@@ -209,6 +229,35 @@ impl Directory {
         self.hosts[lid as usize] = hid;
         self.epochs[lid as usize] += 1;
         lid
+    }
+
+    /// Transfers ownership of `label` to `new_host` and returns the
+    /// explicit [`Handoff`] record describing the move. Semantically
+    /// an [`Directory::insert`] (same epoch bump, same sorted-order
+    /// maintenance) that additionally reports who lost the label —
+    /// the protocol-level "ownership handoff message" the engine's
+    /// migration and promotion paths route between per-peer slices.
+    pub fn handoff(&mut self, label: &Key, new_host: &Key) -> Handoff {
+        let from = self
+            .ids
+            .get(label)
+            .map(|&lid| self.hosts[lid as usize])
+            .filter(|&h| h != NONE);
+        let lid = self.insert(label.clone(), new_host.clone());
+        Handoff {
+            label: lid,
+            from,
+            to: self.hosts[lid as usize],
+        }
+    }
+
+    /// Copies the current `id → host id` table into `into` (cleared
+    /// first). The parallel pump freezes this snapshot per batch so
+    /// each worker routes from its own table instead of probing shared
+    /// directory state per hop.
+    pub fn host_snapshot(&self, into: &mut Vec<u32>) {
+        into.clear();
+        into.extend_from_slice(&self.hosts);
     }
 
     /// Removes `label`; returns true iff it was present.
@@ -449,6 +498,32 @@ mod tests {
         d.bump_epoch(&k("777"));
         assert_eq!(d.epoch_of(&k("777")), 1);
         assert_eq!(d.live_epoch(&k("777")), None);
+    }
+
+    #[test]
+    fn handoff_reports_both_sides_and_bumps_the_epoch() {
+        let mut d = sample();
+        let before = d.live_epoch(&k("101")).expect("live");
+        let h = d.handoff(&k("101"), &k("P1"));
+        assert_eq!(h.label, d.id_of(&k("101")).unwrap());
+        assert_eq!(h.from, d.id_of(&k("P2")));
+        assert_eq!(h.to, d.id_of(&k("P1")).unwrap());
+        assert_eq!(d.host_of(&k("101")), Some(&k("P1")));
+        assert!(
+            d.live_epoch(&k("101")).unwrap() > before,
+            "a handoff is a structural event"
+        );
+        // Promoting a dead label reports no previous owner.
+        d.remove(&k("101"));
+        let h = d.handoff(&k("101"), &k("P7"));
+        assert_eq!(h.from, None);
+        assert_eq!(d.host_of(&k("101")), Some(&k("P7")));
+        // A snapshot mirrors the table after the moves.
+        let mut snap = Vec::new();
+        d.host_snapshot(&mut snap);
+        assert_eq!(snap.len(), d.interned_len());
+        let lid = d.id_of(&k("101")).unwrap();
+        assert_eq!(snap[lid as usize], d.id_of(&k("P7")).unwrap());
     }
 
     #[test]

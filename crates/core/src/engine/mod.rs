@@ -17,7 +17,7 @@
 //! | [`crate::system::DlptSystem`] | [`FifoTransport`] | immediate FIFO |
 //! | `dlpt-net::sim::LatencyNet` | latency event queue | sampled delay |
 //! | `dlpt-net::threaded::ThreadedDlpt` | framed channels | encoded frames to peer threads |
-//! | [`parallel::ParallelPump`] | per-worker queues | round-barrier exchange |
+//! | [`parallel::ParallelPump`] | per-slice SPSC rings | credit-based quiescence |
 //!
 //! A transport only queues envelopes; it never interprets them. The
 //! engine in turn never schedules — it reports `Requeue` when a
@@ -63,9 +63,10 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 ///
 /// Implementations queue envelopes for later processing — immediate
 /// FIFO, a latency-sampling event queue, encoded frames over crossbeam
-/// channels, or per-worker queues with a round barrier. A transport
-/// never interprets an envelope: all protocol behaviour stays in the
-/// engine, which is what keeps the three runtimes equivalent.
+/// channels, or per-slice SPSC rings drained under credit-based
+/// quiescence. A transport never interprets an envelope: all protocol
+/// behaviour stays in the engine, which is what keeps the three
+/// runtimes equivalent.
 pub trait Transport {
     /// Queues one envelope for delivery.
     fn deliver(&mut self, env: Envelope);
@@ -577,6 +578,30 @@ pub struct Engine {
     /// retries). Preallocated here so recording never allocates; kept
     /// out of [`SystemStats`] for the same golden-fingerprint reason.
     pub metrics: MetricsRegistry,
+    /// Post-batch observability record from the parallel pump: slice
+    /// ownership and ring depth of the most recent batch, read by
+    /// [`Engine::collect_health`]. Empty (and cost-free) on engines
+    /// that never ran a parallel batch.
+    pub(crate) pump_health: PumpHealth,
+}
+
+/// What the parallel pump ([`parallel::ParallelPump`]) left behind
+/// after its most recent batch: which worker slice owned each peer and
+/// the deepest inter-worker SPSC ring occupancy observed. Kept on the
+/// engine (not the pump, which is stateless) so health snapshots can
+/// report slice balance; overwritten per batch, never consulted on the
+/// routing hot path.
+#[derive(Debug, Clone, Default)]
+pub struct PumpHealth {
+    /// Interned peer id → owning worker slice index **plus one**
+    /// (0 = the peer was not part of the last parallel batch).
+    pub(crate) slice_of: Vec<u16>,
+    /// Worker-slice count of the last parallel batch (0 = none ran).
+    pub(crate) slices: u16,
+    /// Peak occupancy over every inter-worker SPSC ring of the last
+    /// parallel batch — how close the bounded mesh came to exerting
+    /// backpressure.
+    pub(crate) ring_peak: u32,
 }
 
 impl Engine {
@@ -602,6 +627,7 @@ impl Engine {
             duplicates_suppressed: 0,
             tracer: Tracer::Noop,
             metrics: MetricsRegistry::default(),
+            pump_health: PumpHealth::default(),
         }
     }
 
@@ -730,12 +756,14 @@ impl Engine {
         self.local_shards().count()
     }
 
-    /// Detaches every locally hosted shard (ring order), leaving the
-    /// slots in place — the parallel pump partitions ownership across
-    /// workers and hands the shards back via
-    /// [`Engine::restore_local_shards`].
-    pub(crate) fn take_local_shards(&mut self) -> BTreeMap<Key, PeerShard> {
-        let mut out = BTreeMap::new();
+    /// Detaches every locally hosted shard in ring order, keyed by the
+    /// peer's interned id, leaving the slots in place. The parallel
+    /// pump partitions the result into per-worker slices that *own*
+    /// their shards for the batch and hands each one back through
+    /// [`Engine::attach_shard`]. Id-keyed (not key-keyed) so slice
+    /// routing is an array index, never a map walk.
+    pub(crate) fn detach_shards(&mut self) -> Vec<(u32, PeerShard)> {
+        let mut out = Vec::with_capacity(self.members.len());
         let ids: Vec<u32> = self
             .members
             .iter()
@@ -744,20 +772,23 @@ impl Engine {
         for pid in ids {
             if let Some(slot) = self.peers.get_mut(pid) {
                 if let Some(shard) = slot.shard.take() {
-                    out.insert(slot.key.clone(), shard);
+                    out.push((pid, shard));
                 }
             }
         }
         out
     }
 
-    /// Re-attaches shards detached by [`Engine::take_local_shards`].
-    pub(crate) fn restore_local_shards(&mut self, shards: BTreeMap<Key, PeerShard>) {
-        for (id, shard) in shards {
-            let pid = self.directory.intern(&id);
-            match self.peers.get_mut(pid) {
-                Some(slot) => slot.shard = Some(shard),
-                None => self.insert_peer(id, Some(shard)),
+    /// Re-attaches one shard detached by [`Engine::detach_shards`].
+    /// The slot normally still exists (the directory is frozen while a
+    /// batch owns the shards); a vanished slot is re-created from the
+    /// interner so a failed batch can never strand a shard.
+    pub(crate) fn attach_shard(&mut self, pid: u32, shard: PeerShard) {
+        match self.peers.get_mut(pid) {
+            Some(slot) => slot.shard = Some(shard),
+            None => {
+                let id = self.directory.key_of(pid).clone();
+                self.insert_peer(id, Some(shard));
             }
         }
     }
@@ -1874,7 +1905,16 @@ impl Engine {
         self.shard_mut(&target)
             .expect("mapping points at live peers")
             .install(copy);
-        self.directory.insert(label.clone(), target.clone());
+        // Ownership transfer as an explicit handoff record: when the
+        // crashed primary's entry is still present (the crash path
+        // promotes before pruning), the record names the dead owner;
+        // a re-insert after pruning carries no previous owner.
+        let handoff = self.directory.handoff(label, &target);
+        debug_assert_ne!(
+            handoff.from,
+            Some(handoff.to),
+            "promotion must move ownership off the crashed primary"
+        );
         // Keep the surviving follower records; the next anti-entropy
         // pass re-fills the set to k - 1.
         let remaining: Vec<Key> = self
@@ -1971,7 +2011,16 @@ impl Engine {
             .evict(label)
             .expect("directory is consistent");
         self.shard_mut(to).expect("checked").install(node);
-        self.directory.insert(label.clone(), to.clone());
+        // The directory records the move as an explicit ownership
+        // handoff from the old owner to the new one — the same
+        // evict/install pair above, restated in interned-id space for
+        // slice-partitioned consumers.
+        let handoff = self.directory.handoff(label, to);
+        debug_assert_eq!(
+            handoff.from,
+            self.directory.id_of(&from),
+            "handoff must name the evicted owner"
+        );
         self.mark_touched(label);
         self.stats.balance_migrations += 1;
         // A migration stales every shortcut pointing at the old host;
@@ -2585,6 +2634,8 @@ impl Engine {
         snap.peers = self.members.len() as u64;
         snap.nodes = self.directory.len() as u64;
         snap.audit_violations = 0;
+        snap.slices = self.pump_health.slices as u64;
+        snap.ring_peak = self.pump_health.ring_peak as u64;
 
         // Per-peer rows in ring order; `scratch_rows` maps interned
         // peer id → row index so the directory pass below can attribute
@@ -2619,6 +2670,12 @@ impl Engine {
                 used,
                 capacity,
                 messages,
+                slice: self
+                    .pump_health
+                    .slice_of
+                    .get(pid as usize)
+                    .copied()
+                    .unwrap_or(0),
             });
         }
         for (_, host) in self.directory.iter() {

@@ -1,55 +1,80 @@
-//! The sharded multi-worker pump: discovery throughput that scales
-//! with cores.
+//! The shared-nothing multi-worker pump: discovery throughput that
+//! scales with cores.
 //!
 //! [`ParallelPump`] processes a *batch* of discovery requests over the
-//! unified [`Engine`] with `N` workers. Peers are partitioned across
-//! workers round-robin in ring order (each worker owns a directory
-//! shard: the [`PeerShard`]s — and therefore the capacity counters —
-//! of its partition), the delivery [`Directory`] is shared read-only,
-//! and every cross-shard envelope travels through crossbeam channels
-//! with a **deterministic round-barrier merge**:
+//! unified [`Engine`] with `N` workers. The batch is **partitioned,
+//! not shared**:
 //!
-//! 1. Each worker drains its local queue FIFO. Envelopes for nodes
-//!    hosted on another worker's partition go to a per-destination
-//!    outbox; locally hosted hops chain within the round.
-//! 2. At the barrier every worker sends each peer worker its outbox
-//!    *plus* the total number of envelopes it emitted this round, then
-//!    receives from every other worker **in worker-index order**,
-//!    appending to its queue. Because each worker learns every other
-//!    worker's emit count, all workers compute the same global total
-//!    and agree on termination (a round with zero emitted envelopes
-//!    ends the pump).
-//! 3. Discovery responses are logged locally tagged
-//!    `(round, worker, sequence)` and folded into the engine's gather
-//!    aggregation *after* the pump, sorted by that tag.
+//! * The interned [`Directory`]'s peer population is split into
+//!   per-worker **slices**: contiguous runs of the ring order, each
+//!   worker *owning* (holding by value) the [`PeerShard`]s — and
+//!   therefore the capacity counters — of its run. Ring-adjacent peers
+//!   land on the same worker, so tree hops between neighbours stay
+//!   in-slice.
+//! * Routing runs against a **frozen snapshot**: every worker carries
+//!   its own copy of the `label-id → host-id → (worker, slot)` tables
+//!   (`RouteTable`), so a delivery costs one interner hash plus
+//!   three array reads — no shared map is walked per hop. Only the
+//!   interner itself (`Key → u32`, immutable for the batch) is read
+//!   through a shared reference.
+//! * Cross-slice envelopes travel through **bounded SPSC rings**
+//!   (`Ring`), one per ordered worker pair — hand-rolled, since the
+//!   vendored crossbeam subset only ships unbounded MPMC channels.
+//! * There is **no round barrier**. Quiescence is agreed by
+//!   Chandy–Lamport-style *credits*: after draining epoch `e`, worker
+//!   `s` pushes every peer `r` a `Lane::Credit` carrying how many
+//!   envelopes it sent `r` this epoch and its global emit total.
+//!   A worker entering epoch `e + 1` consumes each sender's epoch-`e`
+//!   batch as soon as that sender's credit arrives — it stalls only
+//!   when it genuinely has no deliverable envelopes — and the summed
+//!   totals give every worker the same termination verdict (a global
+//!   total of zero ends the pump). Because rings are FIFO, a credit
+//!   proves its epoch's envelopes have already arrived.
 //!
 //! ## Determinism rules
 //!
-//! * Partitioning, local processing order, merge order and the
-//!   response fold are all pure functions of `(engine state, batch,
-//!   worker count)` — repeated seeded runs are byte-identical.
-//! * Causality is preserved without timestamps: a response generated
-//!   in round `r` on worker `w` sorts before anything it causes,
-//!   because an envelope sent in round `r` is processed in round `r`
-//!   only later on the *same* worker (larger sequence) and otherwise
-//!   in round `> r`.
+//! * Responses are logged worker-locally tagged `(round, worker,
+//!   sequence)` — the worker's log *is* its gather buffer — and folded
+//!   into the engine's aggregation after the pump, sorted by that tag.
+//!   "Round" is the credit **epoch**: worker `w` processes, in epoch
+//!   `e`, exactly the envelopes the old barrier design would have
+//!   handed it in round `e` (sender batches in worker-index order,
+//!   then its own chained hops in generation order), so the fold is
+//!   byte-identical to the round-barrier pump's and, with it, the
+//!   golden fingerprint and the `pump_fingerprint` self-check.
+//! * Partitioning, per-epoch processing order and the response fold
+//!   are pure functions of `(engine state, batch, worker count)` —
+//!   thread scheduling can change *when* a worker runs, never *what*
+//!   it computes. Repeated seeded runs are byte-identical.
+//! * Causality is preserved without timestamps: an envelope sent in
+//!   epoch `e` is consumed in epoch `e + 1` (or later on the same
+//!   worker at a larger sequence), so a response sorts before anything
+//!   it causes.
 //! * With unbounded peer capacity, outcomes are independent of the
 //!   worker count (each request's route depends only on the tree).
 //!   Under Section-4 capacity limits, which visit exhausts a peer
-//!   depends on the interleaving, so outcomes are deterministic **per
-//!   worker count**, like they are deterministic per runtime
+//!   depends on the slice interleaving, so outcomes are deterministic
+//!   **per worker count**, like they are deterministic per runtime
 //!   elsewhere.
 //! * Replica failover ([`Engine`]'s capacity-refused read path) is not
 //!   consulted here — a refused visit is a drop, as in the paper's
 //!   capacity model.
 //!
-//! The batch API is intentionally restricted to discovery: joins,
-//! registrations and churn mutate the directory and stay on the
-//! sequential pump, which matches how the experiment harness uses the
-//! system (build once, then hammer it with requests).
+//! ## Ownership and handoff
+//!
+//! A slice owns its shards outright for the batch; the directory is
+//! frozen (the pump holds `&Directory`), so no ownership moves while
+//! workers run. Between batches, ownership moves — balancer migration,
+//! crash promotion — go through [`Directory::handoff`], which restates
+//! the transfer as an explicit record in interned-id space instead of
+//! a silent mutation; the next batch's slices are carved from the
+//! post-handoff directory. The batch API is intentionally restricted
+//! to discovery: joins, registrations and churn stay on the sequential
+//! pump, which matches how the experiment harness uses the system
+//! (build once, then hammer it with requests).
 
 use super::{Engine, LookupOutcome};
-use crate::directory::{Directory, FxHashMap};
+use crate::directory::Directory;
 use crate::error::{DlptError, Result};
 use crate::key::Key;
 use crate::messages::{
@@ -58,8 +83,21 @@ use crate::messages::{
 use crate::obs::{merge_key, EventKind, TraceEvent};
 use crate::peer::PeerShard;
 use crate::protocol::{discovery, Effects};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::collections::{BTreeMap, VecDeque};
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// How long a worker parks waiting for a credit before re-checking.
+/// Unparks do the real waking (a credit send unparks its receiver);
+/// the timeout only bounds the abort-flag latency after a sibling
+/// panic and the one store/load race the parked-flag protocol leaves
+/// open, so it can be generous — a short timeout would have every
+/// blocked worker waking thousands of times a second, stealing the
+/// very core the productive worker needs.
+const PARK_TIMEOUT: Duration = Duration::from_millis(2);
 
 /// A batch-mode discovery pump over `N` workers. See the module docs.
 #[derive(Debug, Clone, Copy)]
@@ -71,6 +109,203 @@ pub struct ParallelPump {
     sabotage: Option<usize>,
 }
 
+// ---------------------------------------------------------------------
+// The bounded SPSC ring
+// ---------------------------------------------------------------------
+
+/// Ring capacity (a power of two). Deep enough that backpressure is
+/// rare on discovery fan-outs; shallow enough that `N²` rings stay a
+/// few megabytes. `push` handles overflow by blocking-with-drain, so
+/// the constant is a throughput knob, not a correctness bound.
+const RING_CAP: usize = 1024;
+
+/// Hand-rolled cache-line padding (the vendored crossbeam subset has
+/// no `CachePadded`): keeps a ring's producer and consumer cursors on
+/// different lines so SPSC traffic never false-shares.
+#[repr(align(64))]
+#[derive(Default)]
+struct CachePadded<T>(T);
+
+/// The worker roster shared across the mesh: each worker's thread
+/// handle (registered before the epochs start, for unparking) and its
+/// parked flag. A worker raises its flag before parking in
+/// [`Mesh::wait_credit`] and lowers it on wake; senders only pay the
+/// unpark syscall when the flag is up.
+struct Roster {
+    threads: Vec<OnceLock<std::thread::Thread>>,
+    parked: Vec<CachePadded<AtomicBool>>,
+}
+
+impl Roster {
+    fn new(n: usize) -> Self {
+        Roster {
+            threads: (0..n).map(|_| OnceLock::new()).collect(),
+            parked: (0..n).map(|_| CachePadded::default()).collect(),
+        }
+    }
+}
+
+/// What flows between an ordered worker pair: envelopes, then — once
+/// per epoch — the credit that closes the epoch over this lane.
+enum Lane {
+    Env(Envelope),
+    /// Epoch-close credit from the sending worker: `sent` envelopes
+    /// preceded it on this ring this epoch, and the sender's global
+    /// emit total this epoch was `total` (for termination agreement).
+    Credit {
+        epoch: u32,
+        sent: u32,
+        total: u64,
+    },
+}
+
+/// A bounded single-producer/single-consumer ring of [`Lane`]s between
+/// one ordered worker pair. Cursors are monotone (`slot = cursor &
+/// mask`); the producer owns `tail`, the consumer owns `head`, and the
+/// release/acquire pair on each makes the slot contents visible to the
+/// other side.
+struct Ring {
+    buf: Box<[UnsafeCell<MaybeUninit<Lane>>]>,
+    /// Monotone pop cursor; written by the consumer only.
+    head: CachePadded<AtomicUsize>,
+    /// Monotone push cursor; written by the producer only.
+    tail: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: a slot is written by the single producer strictly before the
+// `tail` release-store that publishes it, and read by the single
+// consumer strictly before the `head` release-store that retires it —
+// the acquire loads on the opposite cursor order the accesses, so no
+// slot is ever touched by both sides at once. The pump upholds the
+// single-producer/single-consumer discipline by construction: ring
+// `s·n + r` is pushed only by worker `s` and popped only by worker `r`.
+unsafe impl Sync for Ring {}
+
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        debug_assert!(capacity.is_power_of_two());
+        Ring {
+            buf: (0..capacity)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+            head: CachePadded::default(),
+            tail: CachePadded::default(),
+        }
+    }
+
+    /// Pushes one lane; hands it back when the ring is full. On
+    /// success returns the ring depth *after* the push (for peak
+    /// tracking).
+    ///
+    /// # Safety
+    ///
+    /// Caller must be this ring's single producer.
+    // The Err payload *is* the rejected lane — handing it back by
+    // value is the point, not an oversized error type.
+    #[allow(clippy::result_large_err)]
+    unsafe fn push(&self, lane: Lane) -> std::result::Result<usize, Lane> {
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Acquire);
+        let depth = tail - head;
+        if depth == self.buf.len() {
+            return Err(lane);
+        }
+        // SAFETY: `tail - head < len`, so this slot is retired (the
+        // consumer's release-store on `head` happened-before our
+        // acquire load) and only the producer touches it now.
+        unsafe { (*self.buf[tail & (self.buf.len() - 1)].get()).write(lane) };
+        self.tail.0.store(tail + 1, Ordering::Release);
+        Ok(depth + 1)
+    }
+
+    /// Pops the oldest lane, or `None` when the ring is empty.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be this ring's single consumer.
+    unsafe fn pop(&self) -> Option<Lane> {
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: `head < tail`, so the slot was published by the
+        // producer's release-store on `tail` and belongs to the
+        // consumer until the `head` store below retires it.
+        let lane = unsafe { (*self.buf[head & (self.buf.len() - 1)].get()).assume_init_read() };
+        self.head.0.store(head + 1, Ordering::Release);
+        Some(lane)
+    }
+}
+
+impl Drop for Ring {
+    fn drop(&mut self) {
+        // A failed batch can leave lanes in flight; drop them so their
+        // envelopes (and the keys inside) are released.
+        let head = *self.head.0.get_mut();
+        let tail = *self.tail.0.get_mut();
+        let mask = self.buf.len() - 1;
+        for i in head..tail {
+            // SAFETY: `&mut self` — no concurrent side exists; slots
+            // in `[head, tail)` are initialized and not yet consumed.
+            unsafe { self.buf[i & mask].get_mut().assume_init_drop() };
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Slices and routing
+// ---------------------------------------------------------------------
+
+/// Sentinel: label id with no live host in the snapshot.
+const NONE_HOST: u32 = u32::MAX;
+/// Sentinel: peer id owned by no worker (not a local shard).
+const NONE_WORKER: u16 = u16::MAX;
+
+/// One worker's owned partition of the directory: a contiguous run of
+/// the ring order. `RouteTable::slot_of` indexes into `shards`.
+#[derive(Default)]
+struct Slice {
+    /// Interned peer ids of the owned shards, in ring order.
+    ids: Vec<u32>,
+    /// The owned shards, parallel to `ids`.
+    shards: Vec<PeerShard>,
+}
+
+/// The frozen per-batch routing snapshot, one owned copy per worker:
+/// `hosts` mirrors the directory's `label-id → host-id` table at batch
+/// start, `worker_of`/`slot_of` map a host id to its owning slice and
+/// the shard's index inside it.
+#[derive(Clone)]
+struct RouteTable {
+    hosts: Vec<u32>,
+    worker_of: Vec<u16>,
+    slot_of: Vec<u32>,
+}
+
+impl RouteTable {
+    /// Resolves a node label to `(owning worker, slot)` — one interner
+    /// hash, three array reads. `None` when the label is unknown, not
+    /// live at snapshot time, or hosted on no local shard.
+    #[inline]
+    fn route(&self, directory: &Directory, label: &Key) -> Option<(u16, u32)> {
+        let lid = directory.id_of(label)?;
+        let hid = *self.hosts.get(lid as usize)?;
+        if hid == NONE_HOST {
+            return None;
+        }
+        let w = self.worker_of[hid as usize];
+        if w == NONE_WORKER {
+            return None;
+        }
+        Some((w, self.slot_of[hid as usize]))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker-side state
+// ---------------------------------------------------------------------
+
 /// One worker's log entry: a discovery response plus its deterministic
 /// position in the pump's causal order.
 struct LoggedOutcome {
@@ -81,7 +316,12 @@ struct LoggedOutcome {
 
 /// What one worker hands back when the pump terminates.
 struct WorkerOut {
-    shards: BTreeMap<Key, PeerShard>,
+    /// This worker's index — outs are reassembled by this tag so a
+    /// lost sibling can never misattribute the fold.
+    worker: u32,
+    /// The owned slice, handed back for re-attachment (survives a
+    /// caught panic: it lives in the worker's own frame).
+    slice: Slice,
     log: Vec<LoggedOutcome>,
     /// Trace events produced on this worker, tagged `(round, worker,
     /// seq)` with the same counters as the response log, so the
@@ -91,16 +331,197 @@ struct WorkerOut {
     discovery_messages: u64,
     discovery_drops: u64,
     undeliverable: u64,
-    /// True when this worker aborted its rounds — it panicked (caught
-    /// at the worker boundary) or a mesh peer's channel disconnected
-    /// under it. One failed worker fails the whole batch.
+    /// Deepest occupancy this worker observed pushing into any of its
+    /// outbound rings (health observability).
+    ring_peak: u32,
+    /// True when this worker aborted — it panicked (caught at the
+    /// worker boundary) or saw the shared failure flag while waiting.
+    /// One failed worker fails the whole batch.
     failed: bool,
 }
 
-/// One round's exchange payload: the sender's emitted-envelope total
-/// (for global termination agreement) and the envelopes for the
-/// receiving worker.
-type Exchange = (usize, Vec<Envelope>);
+/// Buffered arrivals from one sender, drained off the ring while this
+/// worker waits (so a blocked sender always finds room): envelopes in
+/// FIFO order plus the epoch-close credits `(epoch, sent, total)`.
+#[derive(Default)]
+struct Inbox {
+    envs: VecDeque<Envelope>,
+    credits: VecDeque<(u32, u32, u64)>,
+}
+
+/// One worker's view of the ring mesh: its outbound rings (`txs[r]` is
+/// `me → r`), inbound rings (`rxs[s]` is `s → me`), the per-sender
+/// inboxes, and the per-receiver sent counters the next credit will
+/// carry. Both wait loops drain *every* inbound ring, which is what
+/// makes blocking pushes deadlock-free: a stalled worker always keeps
+/// consuming.
+struct Mesh<'a> {
+    me: usize,
+    txs: Vec<&'a Ring>,
+    rxs: Vec<&'a Ring>,
+    inboxes: Vec<Inbox>,
+    sent: Vec<u32>,
+    failed: &'a AtomicBool,
+    /// Every worker's thread handle and parked flag, registered before
+    /// the epochs start: a credit send unparks its receiver, so a
+    /// worker blocked on [`Mesh::wait_credit`] sits off the runqueue
+    /// instead of yield-spinning — on a single core that lets the
+    /// worker with actual work run uninterrupted.
+    roster: &'a Roster,
+    ring_peak: u32,
+}
+
+impl<'a> Mesh<'a> {
+    fn new(
+        me: usize,
+        txs: Vec<&'a Ring>,
+        rxs: Vec<&'a Ring>,
+        failed: &'a AtomicBool,
+        roster: &'a Roster,
+    ) -> Self {
+        let n = txs.len();
+        Mesh {
+            me,
+            txs,
+            rxs,
+            inboxes: (0..n).map(|_| Inbox::default()).collect(),
+            sent: vec![0; n],
+            failed,
+            roster,
+            ring_peak: 0,
+        }
+    }
+
+    /// Wakes worker `r` if it is parked in [`Mesh::wait_credit`]. The
+    /// parked flag keeps the futex syscall off the sender's critical
+    /// path whenever the receiver is running; the SeqCst load pairs
+    /// with the receiver's SeqCst flag store so a receiver that missed
+    /// this push sees our wake (the park timeout backstops the one
+    /// remaining interleaving).
+    fn unpark(&self, r: usize) {
+        if self.roster.parked[r].0.load(Ordering::SeqCst) {
+            if let Some(t) = self.roster.threads[r].get() {
+                t.unpark();
+            }
+        }
+    }
+
+    /// Moves everything currently visible on the inbound rings into
+    /// the per-sender inboxes.
+    fn drain_rings(&mut self) {
+        for (s, rx) in self.rxs.iter().enumerate() {
+            if s == self.me {
+                continue;
+            }
+            // SAFETY: worker `me` is ring `s → me`'s single consumer.
+            while let Some(lane) = unsafe { rx.pop() } {
+                match lane {
+                    Lane::Env(env) => self.inboxes[s].envs.push_back(env),
+                    Lane::Credit { epoch, sent, total } => {
+                        self.inboxes[s].credits.push_back((epoch, sent, total))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pushes one lane to worker `r`, draining own arrivals while the
+    /// ring is full. Returns false when the mesh died underneath
+    /// (shared failure flag) — the caller must abort its batch.
+    fn push(&mut self, r: usize, mut lane: Lane) -> bool {
+        loop {
+            // SAFETY: worker `me` is ring `me → r`'s single producer.
+            match unsafe { self.txs[r].push(lane) } {
+                Ok(depth) => {
+                    self.ring_peak = self.ring_peak.max(depth as u32);
+                    return true;
+                }
+                Err(back) => {
+                    lane = back;
+                    if self.failed.load(Ordering::Relaxed) {
+                        return false;
+                    }
+                    // The receiver may be parked on a credit; wake it
+                    // so it can drain the full ring.
+                    self.unpark(r);
+                    self.drain_rings();
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Sends an envelope to worker `r`, counting it toward the next
+    /// credit.
+    fn send_env(&mut self, r: usize, env: Envelope) -> bool {
+        self.sent[r] += 1;
+        self.push(r, Lane::Env(env))
+    }
+
+    /// Closes `epoch` toward worker `r`: emits the credit carrying the
+    /// per-pair sent count (reset here) and this worker's global emit
+    /// total for the epoch.
+    fn send_credit(&mut self, r: usize, epoch: u32, total: u64) -> bool {
+        let sent = std::mem::take(&mut self.sent[r]);
+        let ok = self.push(r, Lane::Credit { epoch, sent, total });
+        // The credit is what unblocks the receiver's epoch; wake it.
+        self.unpark(r);
+        ok
+    }
+
+    /// Waits for sender `s`'s credit closing `epoch`, draining
+    /// arrivals meanwhile. `None` when the mesh died.
+    ///
+    /// Short waits resolve with a yield — on a loaded single core the
+    /// yield hands the CPU straight to the producer, and a park/unpark
+    /// cycle would put two futex syscalls on the critical path. Only a
+    /// wait that survives the yields parks the thread off the
+    /// runqueue.
+    fn wait_credit(&mut self, s: usize, epoch: u32) -> Option<(u32, u64)> {
+        let mut spins = 0u32;
+        loop {
+            if let Some(&(e, sent, total)) = self.inboxes[s].credits.front() {
+                debug_assert_eq!(e, epoch, "credits arrive in epoch order");
+                self.inboxes[s].credits.pop_front();
+                return Some((sent, total));
+            }
+            if self.failed.load(Ordering::Relaxed) {
+                return None;
+            }
+            self.drain_rings();
+            if self.inboxes[s].credits.front().is_some() {
+                continue;
+            }
+            if spins < 2 {
+                spins += 1;
+                std::thread::yield_now();
+                continue;
+            }
+            // Raise the parked flag (SeqCst, pairing with the sender's
+            // load in `unpark`), then re-drain: a credit pushed before
+            // the sender could see our flag is caught here, so the
+            // only wake we can miss is covered by the park timeout.
+            self.roster.parked[self.me].0.store(true, Ordering::SeqCst);
+            self.drain_rings();
+            if self.inboxes[s].credits.front().is_none() {
+                std::thread::park_timeout(PARK_TIMEOUT);
+            }
+            self.roster.parked[self.me]
+                .0
+                .store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// The next buffered envelope from sender `s`. Only called under a
+    /// consumed credit, whose FIFO position proves the envelope is
+    /// already buffered.
+    fn take_env(&mut self, s: usize) -> Envelope {
+        self.inboxes[s]
+            .envs
+            .pop_front()
+            .expect("ring FIFO: an epoch's envelopes precede its credit")
+    }
+}
 
 impl ParallelPump {
     /// A pump over `workers` workers (clamped to at least 1).
@@ -131,8 +552,10 @@ impl ParallelPump {
     ///
     /// Entry nodes must be live; route-cache consultation and shortcut
     /// learning run sequentially at batch boundaries through the same
-    /// engine flow the sequential pump uses, so cached and uncached
-    /// batches agree with their sequential counterparts.
+    /// engine flow the sequential pump uses — the cache-ownership rule
+    /// (route caches are engine state keyed by the entry peer) holds,
+    /// so cached and uncached batches agree with their sequential
+    /// counterparts.
     pub fn run_batch(
         &self,
         engine: &mut Engine,
@@ -161,21 +584,42 @@ impl ParallelPump {
             }
         }
 
-        // Partition the shards round-robin in ring order.
-        let shards = engine.take_local_shards();
-        let mut owner: FxHashMap<Key, u32> = FxHashMap::default();
-        let mut partitions: Vec<BTreeMap<Key, PeerShard>> =
-            (0..n).map(|_| BTreeMap::new()).collect();
-        for (i, (id, shard)) in shards.into_iter().enumerate() {
-            owner.insert(id.clone(), (i % n) as u32);
-            partitions[i % n].insert(id, shard);
+        // Carve the slices: contiguous runs of the ring order, so
+        // ring-adjacent peers (and with them most tree edges) share a
+        // worker. Freeze the routing snapshot against them.
+        let detached = engine.detach_shards();
+        let m = detached.len();
+        let interned = engine.directory.interned_len();
+        let mut route = RouteTable {
+            hosts: Vec::new(),
+            worker_of: vec![NONE_WORKER; interned],
+            slot_of: vec![0; interned],
+        };
+        engine.directory.host_snapshot(&mut route.hosts);
+        let mut slices: Vec<Slice> = (0..n).map(|_| Slice::default()).collect();
+        {
+            let (base, rem) = (m / n, m % n);
+            let mut shards = detached.into_iter();
+            for (w, slice) in slices.iter_mut().enumerate() {
+                for _ in 0..base + usize::from(w < rem) {
+                    let (pid, shard) = shards.next().expect("chunks cover the partition");
+                    route.worker_of[pid as usize] = w as u16;
+                    route.slot_of[pid as usize] = slice.shards.len() as u32;
+                    slice.ids.push(pid);
+                    slice.shards.push(shard);
+                }
+            }
         }
 
         // Route the initial envelopes.
         let mut queues: Vec<VecDeque<Envelope>> = (0..n).map(|_| VecDeque::new()).collect();
         let mut failed_early: Vec<DiscoveryOutcome> = Vec::new();
         for env in inits {
-            match route_of(&env, &engine.directory, &owner) {
+            let w = match &env.to {
+                Address::Node(label) => route.route(&engine.directory, label).map(|(w, _)| w),
+                _ => None,
+            };
+            match w {
                 Some(w) => queues[w as usize].push_back(env),
                 None => {
                     engine.stats.undeliverable += 1;
@@ -184,23 +628,11 @@ impl ParallelPump {
             }
         }
 
-        // The exchange mesh: one channel per ordered worker pair.
-        let mut txs: Vec<Vec<Option<Sender<Exchange>>>> =
-            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
-        let mut rxs: Vec<Vec<Option<Receiver<Exchange>>>> =
-            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
-        for s in 0..n {
-            for r in 0..n {
-                if s != r {
-                    let (tx, rx) = unbounded();
-                    txs[s][r] = Some(tx);
-                    rxs[r][s] = Some(rx);
-                }
-            }
-        }
-
+        // The bounded mesh: ring `s·n + r` carries `s → r`.
+        let rings: Vec<Ring> = (0..n * n).map(|_| Ring::new(RING_CAP)).collect();
+        let roster = Roster::new(n);
+        let failed = AtomicBool::new(false);
         let directory = &engine.directory;
-        let owner_ref = &owner;
         let charge = engine.config.charge_capacity;
         let trace = engine.tracer.enabled();
         #[cfg(test)]
@@ -209,20 +641,21 @@ impl ParallelPump {
         let sabotage: Option<usize> = None;
         let mut outs: Vec<WorkerOut> = Vec::with_capacity(n);
         // A worker that panics is caught at its own boundary (its
-        // shards come back intact); `join` can only fail if the caught
+        // slice comes back intact); `join` can only fail if the caught
         // panic itself panicked — treated as a failed worker too.
         let mut join_failed = false;
         std::thread::scope(|scope| {
+            let rings = &rings;
+            let roster = &roster;
+            let failed = &failed;
             let mut handles = Vec::with_capacity(n);
-            for (w, ((partition, queue), (tx_row, rx_row))) in partitions
-                .drain(..)
-                .zip(queues.drain(..))
-                .zip(txs.drain(..).zip(rxs.drain(..)))
-                .enumerate()
-            {
+            for (w, (slice, queue)) in slices.drain(..).zip(queues.drain(..)).enumerate() {
+                let txs: Vec<&Ring> = (0..n).map(|r| &rings[w * n + r]).collect();
+                let rxs: Vec<&Ring> = (0..n).map(|s| &rings[s * n + w]).collect();
+                let route = route.clone();
                 handles.push(scope.spawn(move || {
                     worker_loop(
-                        w, partition, queue, tx_row, rx_row, directory, owner_ref, charge, trace,
+                        w, slice, queue, txs, rxs, directory, route, charge, trace, failed, roster,
                         sabotage,
                     )
                 }));
@@ -235,14 +668,25 @@ impl ParallelPump {
             }
         });
 
-        // Reassemble the engine: shards back into one map, counters
-        // merged in worker order.
+        // Reassemble the engine: slices back onto their slots, stats
+        // merged in worker order, slice ownership recorded for health.
+        engine.pump_health.slice_of.clear();
+        engine.pump_health.slice_of.resize(interned, 0);
+        engine.pump_health.slices = n as u16;
+        let mut ring_peak = 0u32;
         for out in &mut outs {
-            engine.restore_local_shards(std::mem::take(&mut out.shards));
+            let ids = std::mem::take(&mut out.slice.ids);
+            let shards = std::mem::take(&mut out.slice.shards);
+            for (pid, shard) in ids.into_iter().zip(shards) {
+                engine.pump_health.slice_of[pid as usize] = out.worker as u16 + 1;
+                engine.attach_shard(pid, shard);
+            }
             engine.stats.discovery_messages += out.discovery_messages;
             engine.stats.discovery_drops += out.discovery_drops;
             engine.stats.undeliverable += out.undeliverable;
+            ring_peak = ring_peak.max(out.ring_peak);
         }
+        engine.pump_health.ring_peak = ring_peak;
 
         // Worker trace events merge by the same `(round, worker, seq)`
         // tag as the response fold below, so the trace interleaves
@@ -261,9 +705,9 @@ impl ParallelPump {
         // Deterministic fold: all responses in causal (round, worker,
         // sequence) order, then the failures synthesized before launch.
         let mut tagged: Vec<(u32, u32, u32, DiscoveryOutcome)> = Vec::new();
-        for (w, out) in outs.iter_mut().enumerate() {
+        for out in &mut outs {
             for e in out.log.drain(..) {
-                tagged.push((e.round, w as u32, e.seq, e.outcome));
+                tagged.push((e.round, out.worker, e.seq, e.outcome));
             }
         }
         tagged.sort_by_key(|t| (t.0, t.1, t.2));
@@ -310,316 +754,313 @@ impl ParallelPump {
     }
 }
 
-/// The worker that owns `shards`: drain local FIFO, exchange at the
-/// round barrier, repeat until the mesh agrees nothing is in flight.
-///
-/// A panic inside the rounds is caught here, at the worker boundary,
-/// so the shards survive (they live in this frame, not in the panicked
-/// closure) and the batch can fail cleanly. Returning — normally or
-/// after a catch — drops this worker's senders, which cascades a
-/// disconnect error through every live peer's barrier `recv` within
-/// one round: the whole mesh winds down instead of deadlocking on a
-/// barrier that will never complete.
+/// The worker that owns one slice. A panic inside the epochs is caught
+/// here, at the worker boundary, so the slice survives (it lives in
+/// this frame, not in the panicked closure) and the batch can fail
+/// cleanly; the shared flag tells every waiting sibling to wind down
+/// instead of spinning on a credit that will never come.
 #[allow(clippy::too_many_arguments)]
-fn worker_loop(
+fn worker_loop<'a>(
     me: usize,
-    mut shards: BTreeMap<Key, PeerShard>,
+    mut slice: Slice,
     mut queue: VecDeque<Envelope>,
-    txs: Vec<Option<Sender<Exchange>>>,
-    rxs: Vec<Option<Receiver<Exchange>>>,
+    txs: Vec<&'a Ring>,
+    rxs: Vec<&'a Ring>,
     directory: &Directory,
-    owner: &FxHashMap<Key, u32>,
+    route: RouteTable,
     charge: bool,
     trace: bool,
+    failed: &'a AtomicBool,
+    roster: &'a Roster,
     sabotage: Option<usize>,
 ) -> WorkerOut {
+    // Register this worker's handle so siblings can unpark it, then
+    // wait for the full roster: a credit may be sent the moment the
+    // epochs start, and its unpark must never miss an unregistered
+    // receiver. Registration cannot fail, so the barrier always
+    // completes — even a sabotaged worker registers before it panics.
+    roster.threads[me]
+        .set(std::thread::current())
+        .expect("worker registers its parker exactly once");
+    while roster.threads.iter().any(|p| p.get().is_none()) {
+        std::thread::yield_now();
+    }
     let mut out = WorkerOut {
-        shards: BTreeMap::new(),
+        worker: me as u32,
+        slice: Slice::default(),
         log: Vec::new(),
         events: Vec::new(),
         discovery_messages: 0,
         discovery_drops: 0,
         undeliverable: 0,
+        ring_peak: 0,
         failed: false,
     };
     let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         if sabotage == Some(me) {
             panic!("injected worker failure (test sabotage)");
         }
-        run_rounds(
-            me,
-            &mut shards,
-            &mut queue,
-            &txs,
-            &rxs,
+        let mut worker = Worker {
+            mesh: Mesh::new(me, txs, rxs, failed, roster),
+            slice: &mut slice,
+            queue: &mut queue,
             directory,
-            owner,
+            route,
             charge,
             trace,
-            &mut out,
-        );
+            fx: Effects::default(),
+            seq: 0,
+            out: &mut out,
+        };
+        worker.run_epochs();
+        worker.out.ring_peak = worker.mesh.ring_peak;
     }));
     if caught.is_err() {
         out.failed = true;
+        failed.store(true, Ordering::Release);
     }
-    out.shards = shards;
+    out.slice = slice;
     out
 }
 
-/// The barrier rounds of one worker. Returns early (marking the
-/// worker failed) when a mesh channel disconnects — i.e. some other
-/// worker died mid-round.
-#[allow(clippy::too_many_arguments)]
-fn run_rounds(
-    me: usize,
-    shards: &mut BTreeMap<Key, PeerShard>,
-    queue: &mut VecDeque<Envelope>,
-    txs: &[Option<Sender<Exchange>>],
-    rxs: &[Option<Receiver<Exchange>>],
-    directory: &Directory,
-    owner: &FxHashMap<Key, u32>,
+/// One worker's execution state: the owned slice, the local FIFO, the
+/// ring mesh and the frozen routing tables.
+struct Worker<'a> {
+    mesh: Mesh<'a>,
+    slice: &'a mut Slice,
+    queue: &'a mut VecDeque<Envelope>,
+    directory: &'a Directory,
+    route: RouteTable,
     charge: bool,
     trace: bool,
-    out: &mut WorkerOut,
-) {
-    let n = txs.len();
-    let mut outboxes: Vec<Vec<Envelope>> = (0..n).map(|_| Vec::new()).collect();
-    let mut fx = Effects::default();
-    let mut round: u32 = 0;
-    let mut seq: u32 = 0;
-    loop {
-        let mut emitted = 0usize;
-        while let Some(env) = queue.pop_front() {
-            emitted += process(
-                me,
-                env,
-                shards,
-                queue,
-                &mut outboxes,
-                directory,
-                owner,
-                charge,
-                trace,
-                &mut fx,
-                out,
-                round,
-                &mut seq,
-            );
-        }
-        // Round barrier: everyone sends to everyone (worker-index
-        // order), then receives in the same order — the merge is a
-        // pure function of the round's emissions.
-        for (r, tx) in txs.iter().enumerate() {
-            if let Some(tx) = tx {
-                let envs = std::mem::take(&mut outboxes[r]);
-                if tx.send((emitted, envs)).is_err() {
-                    out.failed = true;
-                    return;
-                }
-            }
-        }
-        let mut global = emitted;
-        for rx in rxs.iter().flatten() {
-            match rx.recv() {
-                Ok((their_emitted, envs)) => {
-                    global += their_emitted;
-                    queue.extend(envs);
-                }
-                Err(_) => {
-                    out.failed = true;
-                    return;
-                }
-            }
-        }
-        round += 1;
-        if global == 0 {
-            break;
-        }
-    }
+    fx: Effects,
+    seq: u32,
+    out: &'a mut WorkerOut,
 }
 
-/// Delivers one envelope on this worker (or forwards it). Returns how
-/// many envelopes it emitted (local chains + outbox entries), the
-/// quantity the termination barrier sums.
-#[allow(clippy::too_many_arguments)]
-fn process(
-    me: usize,
-    env: Envelope,
-    shards: &mut BTreeMap<Key, PeerShard>,
-    queue: &mut VecDeque<Envelope>,
-    outboxes: &mut [Vec<Envelope>],
-    directory: &Directory,
-    owner: &FxHashMap<Key, u32>,
-    charge: bool,
-    trace: bool,
-    fx: &mut Effects,
-    out: &mut WorkerOut,
-    round: u32,
-    seq: &mut u32,
-) -> usize {
-    match &env.to {
-        Address::Client(_) => {
-            if let Message::ClientResponse(o) = env.msg {
-                out.log.push(LoggedOutcome {
-                    round,
-                    seq: next(seq),
-                    outcome: o,
-                });
+impl Worker<'_> {
+    /// The credit epochs. Epoch `e > 0` consumes each sender's
+    /// epoch-`(e−1)` batch in worker-index order (stalling only for
+    /// the matching credit), then the worker's own chained hops, then
+    /// closes the epoch with credits. The summed epoch totals give
+    /// every worker the same termination verdict.
+    fn run_epochs(&mut self) {
+        let n = self.mesh.txs.len();
+        let me = self.mesh.me;
+        let mut epoch: u32 = 0;
+        let mut my_total: u64 = 0;
+        loop {
+            let mut total: u64 = 0;
+            if epoch > 0 {
+                let mut global = my_total;
+                for s in 0..n {
+                    if s == me {
+                        continue;
+                    }
+                    let Some((sent, their_total)) = self.mesh.wait_credit(s, epoch - 1) else {
+                        self.out.failed = true;
+                        return;
+                    };
+                    global += their_total;
+                    for _ in 0..sent {
+                        let env = self.mesh.take_env(s);
+                        total += self.deliver(env, epoch);
+                        if self.out.failed {
+                            return;
+                        }
+                    }
+                }
+                if global == 0 {
+                    return;
+                }
             }
-            return 0;
-        }
-        Address::Node(_) => {}
-        Address::Peer(_) => {
-            // Discovery batches carry no peer traffic; a stray frame is
-            // dropped (counted) rather than wedging the barrier.
-            out.undeliverable += 1;
-            return 0;
-        }
-    }
-    let Address::Node(label) = &env.to else {
-        unreachable!("matched above")
-    };
-    let Some(host) = directory.host_of(label) else {
-        // Tree mutated since the batch started — not supported; fail
-        // the request rather than deadlocking on a requeue.
-        out.undeliverable += 1;
-        out.log.push(LoggedOutcome {
-            round,
-            seq: next(seq),
-            outcome: failed_outcome(&env),
-        });
-        return 0;
-    };
-    let w = *owner.get(host).expect("directory hosts are members");
-    if w as usize != me {
-        outboxes[w as usize].push(env);
-        return 1;
-    }
-    let shard = shards.get_mut(host).expect("owned partition");
-    let Envelope { to, msg } = env;
-    let Address::Node(label) = to else {
-        unreachable!("checked above")
-    };
-    let Message::Node(NodeMsg::Discovery(m)) = msg else {
-        out.undeliverable += 1;
-        return 0;
-    };
-    // Same gate as the sequential engine dispatch, minus requeues
-    // (the directory is frozen for the batch) and replica failover
-    // (see the module docs).
-    let (req, hops) = (m.request_id, m.path.len());
-    match discovery::deliver_visit(shard, &label, m, charge, fx) {
-        discovery::VisitGate::Missing(m) => {
-            out.undeliverable += 1;
-            out.log.push(LoggedOutcome {
-                round,
-                seq: next(seq),
-                outcome: failed_discovery(&label, m),
-            });
-            return 0;
-        }
-        discovery::VisitGate::Dropped(m) => {
-            out.discovery_drops += 1;
-            let mut path = m.path;
-            path.push(label.clone());
-            if trace {
-                let (lid, hid) = directory.resolve(&label).unwrap_or((u32::MAX, u32::MAX));
-                out.events.push(TraceEvent {
-                    request: req as u32,
-                    a: lid,
-                    b: hid,
-                    round,
-                    seq: next(seq),
-                    kind: EventKind::Drop,
-                    flags: 0,
-                    worker: me as u16,
-                    depth: path.len().min(u16::MAX as usize) as u16,
-                });
+            while let Some(env) = self.queue.pop_front() {
+                total += self.deliver(env, epoch);
+                if self.out.failed {
+                    return;
+                }
             }
-            out.log.push(LoggedOutcome {
-                round,
-                seq: next(seq),
-                outcome: DiscoveryOutcome {
-                    request_id: m.request_id,
-                    satisfied: false,
-                    dropped: true,
-                    results: Vec::new(),
-                    path,
-                    pending_children: 0,
-                },
-            });
-            return 0;
+            for r in 0..n {
+                if r == me {
+                    continue;
+                }
+                if !self.mesh.send_credit(r, epoch, total) {
+                    self.out.failed = true;
+                    return;
+                }
+            }
+            my_total = total;
+            epoch += 1;
         }
-        discovery::VisitGate::Delivered => {}
     }
-    out.discovery_messages += 1;
-    if trace {
-        let (lid, hid) = directory.resolve(&label).unwrap_or((u32::MAX, u32::MAX));
-        out.events.push(TraceEvent {
-            request: req as u32,
-            a: lid,
-            b: hid,
+
+    fn next_seq(&mut self) -> u32 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    fn log(&mut self, round: u32, outcome: DiscoveryOutcome) {
+        let seq = self.next_seq();
+        self.out.log.push(LoggedOutcome {
             round,
-            seq: next(seq),
-            kind: EventKind::Hop,
-            flags: 0,
-            worker: me as u16,
-            depth: hops.min(u16::MAX as usize) as u16,
+            seq,
+            outcome,
         });
     }
-    debug_assert!(
-        fx.relocated.is_empty() && fx.removed.is_empty(),
-        "discovery never mutates the tree"
-    );
-    fx.relocated.clear();
-    fx.removed.clear();
-    let mut emitted = 0usize;
-    for env in fx.out.drain(..) {
+
+    /// Delivers one envelope on this slice (or forwards it). Returns
+    /// how many envelopes it emitted (local chains + ring pushes), the
+    /// quantity the credit totals sum for termination.
+    fn deliver(&mut self, env: Envelope, round: u32) -> u64 {
         match &env.to {
             Address::Client(_) => {
                 if let Message::ClientResponse(o) = env.msg {
-                    out.log.push(LoggedOutcome {
-                        round,
-                        seq: next(seq),
-                        outcome: o,
-                    });
+                    self.log(round, o);
                 }
+                return 0;
             }
-            Address::Node(l) => match directory.host_of(l).and_then(|h| owner.get(h)) {
-                Some(&w) if w as usize == me => {
-                    queue.push_back(env);
-                    emitted += 1;
-                }
-                Some(&w) => {
-                    outboxes[w as usize].push(env);
-                    emitted += 1;
-                }
-                None => {
-                    out.undeliverable += 1;
-                    out.log.push(LoggedOutcome {
+            Address::Node(_) => {}
+            Address::Peer(_) => {
+                // Discovery batches carry no peer traffic; a stray
+                // frame is dropped (counted) rather than wedging the
+                // mesh.
+                self.out.undeliverable += 1;
+                return 0;
+            }
+        }
+        let Address::Node(label) = &env.to else {
+            unreachable!("matched above")
+        };
+        let Some((w, slot)) = self.route.route(self.directory, label) else {
+            // Tree mutated since the batch started — not supported;
+            // fail the request rather than deadlocking on a requeue.
+            self.out.undeliverable += 1;
+            let outcome = failed_outcome(&env);
+            self.log(round, outcome);
+            return 0;
+        };
+        if w as usize != self.mesh.me {
+            if !self.mesh.send_env(w as usize, env) {
+                self.out.failed = true;
+                return 0;
+            }
+            return 1;
+        }
+        let shard = &mut self.slice.shards[slot as usize];
+        let Envelope { to, msg } = env;
+        let Address::Node(label) = to else {
+            unreachable!("checked above")
+        };
+        let Message::Node(NodeMsg::Discovery(m)) = msg else {
+            self.out.undeliverable += 1;
+            return 0;
+        };
+        // Same gate as the sequential engine dispatch, minus requeues
+        // (the directory is frozen for the batch) and replica failover
+        // (see the module docs).
+        let (req, hops) = (m.request_id, m.path.len());
+        match discovery::deliver_visit(shard, &label, m, self.charge, &mut self.fx) {
+            discovery::VisitGate::Missing(m) => {
+                self.out.undeliverable += 1;
+                let outcome = failed_discovery(&label, m);
+                self.log(round, outcome);
+                return 0;
+            }
+            discovery::VisitGate::Dropped(m) => {
+                self.out.discovery_drops += 1;
+                let mut path = m.path;
+                path.push(label.clone());
+                if self.trace {
+                    let (lid, hid) = self
+                        .directory
+                        .resolve(&label)
+                        .unwrap_or((u32::MAX, u32::MAX));
+                    let seq = self.next_seq();
+                    self.out.events.push(TraceEvent {
+                        request: req as u32,
+                        a: lid,
+                        b: hid,
                         round,
-                        seq: next(seq),
-                        outcome: failed_outcome(&env),
+                        seq,
+                        kind: EventKind::Drop,
+                        flags: 0,
+                        worker: self.mesh.me as u16,
+                        depth: path.len().min(u16::MAX as usize) as u16,
                     });
                 }
-            },
-            Address::Peer(_) => out.undeliverable += 1,
+                self.log(
+                    round,
+                    DiscoveryOutcome {
+                        request_id: m.request_id,
+                        satisfied: false,
+                        dropped: true,
+                        results: Vec::new(),
+                        path,
+                        pending_children: 0,
+                    },
+                );
+                return 0;
+            }
+            discovery::VisitGate::Delivered => {}
         }
-    }
-    emitted
-}
-
-fn next(seq: &mut u32) -> u32 {
-    let s = *seq;
-    *seq += 1;
-    s
-}
-
-/// The worker a node-addressed envelope belongs to, if resolvable.
-fn route_of(env: &Envelope, directory: &Directory, owner: &FxHashMap<Key, u32>) -> Option<u32> {
-    match &env.to {
-        Address::Node(label) => directory.host_of(label).and_then(|h| owner.get(h)).copied(),
-        _ => None,
+        self.out.discovery_messages += 1;
+        if self.trace {
+            let (lid, hid) = self
+                .directory
+                .resolve(&label)
+                .unwrap_or((u32::MAX, u32::MAX));
+            let seq = self.next_seq();
+            self.out.events.push(TraceEvent {
+                request: req as u32,
+                a: lid,
+                b: hid,
+                round,
+                seq,
+                kind: EventKind::Hop,
+                flags: 0,
+                worker: self.mesh.me as u16,
+                depth: hops.min(u16::MAX as usize) as u16,
+            });
+        }
+        debug_assert!(
+            self.fx.relocated.is_empty() && self.fx.removed.is_empty(),
+            "discovery never mutates the tree"
+        );
+        self.fx.relocated.clear();
+        self.fx.removed.clear();
+        let mut emitted = 0u64;
+        let mut fx_out = std::mem::take(&mut self.fx.out);
+        for env in fx_out.drain(..) {
+            match &env.to {
+                Address::Client(_) => {
+                    if let Message::ClientResponse(o) = env.msg {
+                        self.log(round, o);
+                    }
+                }
+                Address::Node(l) => match self.route.route(self.directory, l) {
+                    Some((w, _)) if w as usize == self.mesh.me => {
+                        self.queue.push_back(env);
+                        emitted += 1;
+                    }
+                    Some((w, _)) => {
+                        if !self.mesh.send_env(w as usize, env) {
+                            self.out.failed = true;
+                            break;
+                        }
+                        emitted += 1;
+                    }
+                    None => {
+                        self.out.undeliverable += 1;
+                        let outcome = failed_outcome(&env);
+                        self.log(round, outcome);
+                    }
+                },
+                Address::Peer(_) => self.out.undeliverable += 1,
+            }
+        }
+        self.fx.out = fx_out;
+        emitted
     }
 }
 
@@ -688,6 +1129,61 @@ mod tests {
         qs.push(QueryKind::Complete(k("S3L")));
         qs.push(QueryKind::Range(k("D"), k("E")));
         qs
+    }
+
+    #[test]
+    fn ring_is_fifo_bounded_and_drains_on_drop() {
+        let ring = Ring::new(4);
+        let env = |i: u64| {
+            Envelope::to_client(
+                i,
+                DiscoveryOutcome {
+                    request_id: i,
+                    satisfied: true,
+                    dropped: false,
+                    results: Vec::new(),
+                    path: Vec::new(),
+                    pending_children: 0,
+                },
+            )
+        };
+        // SAFETY (whole test): single thread — trivially SPSC.
+        unsafe {
+            for i in 0..4 {
+                match ring.push(Lane::Env(env(i))) {
+                    Ok(depth) => assert_eq!(depth, i as usize + 1),
+                    Err(_) => panic!("ring must accept {i}"),
+                }
+            }
+            assert!(
+                ring.push(Lane::Credit {
+                    epoch: 0,
+                    sent: 0,
+                    total: 0
+                })
+                .is_err(),
+                "a full ring hands the lane back"
+            );
+            for i in 0..2 {
+                match ring.pop() {
+                    Some(Lane::Env(e)) => match e.msg {
+                        Message::ClientResponse(o) => assert_eq!(o.request_id, i),
+                        other => panic!("unexpected message {other:?}"),
+                    },
+                    other => panic!("expected env, got {}", other.is_some()),
+                }
+            }
+            // Freed slots are reusable (cursors are monotone, slots
+            // wrap), and dropping a non-empty ring drops its lanes.
+            assert!(ring
+                .push(Lane::Credit {
+                    epoch: 7,
+                    sent: 1,
+                    total: 2
+                })
+                .is_ok());
+        }
+        drop(ring);
     }
 
     #[test]
@@ -825,12 +1321,11 @@ mod tests {
         assert_eq!(e.cache_stats.hits, 1, "{:?}", e.cache_stats);
     }
 
-    /// Satellite regression: one worker dying mid-round used to
-    /// deadlock-or-panic the whole process at the barrier
-    /// `expect("receiver alive")` / `expect("sender alive")` pair. It
-    /// must now fail the batch with an error, keep every shard, purge
-    /// the batch's in-flight aggregation state, and leave the engine
-    /// fully usable.
+    /// Satellite regression: one worker dying mid-batch used to
+    /// deadlock-or-panic the whole process at the barrier. It must
+    /// fail the batch with an error, keep every shard, purge the
+    /// batch's in-flight aggregation state, and leave the engine fully
+    /// usable.
     #[test]
     fn a_dying_worker_fails_the_batch_without_poisoning_the_engine() {
         let mut sys = built_system(17, u32::MAX >> 1);
@@ -871,5 +1366,40 @@ mod tests {
             .discover_batch(vec![QueryKind::Exact(k("DGEMM"))], 16)
             .unwrap();
         assert!(out[0].satisfied);
+    }
+
+    /// Satellite regression (observability): a batch must leave behind
+    /// the slice map and the ring high-water mark that
+    /// `Engine::collect_health` surfaces as per-peer slice occupancy.
+    #[test]
+    fn pump_health_records_slice_ownership_and_ring_depth() {
+        let mut sys = built_system(42, u32::MAX >> 1);
+        sys.discover_batch(query_mix(), 3).unwrap();
+        assert_eq!(sys.pump_health.slices, 3);
+        let assigned = sys.pump_health.slice_of.iter().filter(|&&s| s != 0).count();
+        assert_eq!(
+            assigned,
+            sys.peer_ids().len(),
+            "every local shard belongs to exactly one slice"
+        );
+        for w in 1..=3u16 {
+            assert!(
+                sys.pump_health.slice_of.contains(&w),
+                "slice {w} must own at least one peer"
+            );
+        }
+        assert!(
+            sys.pump_health.ring_peak > 0,
+            "cross-slice traffic must register on the rings"
+        );
+        // Slices are contiguous runs of the ring order: walking the
+        // members in order, the slice index never decreases.
+        let mut last = 0u16;
+        for id in sys.peer_ids() {
+            let pid = sys.directory().id_of(&id).unwrap();
+            let s = sys.pump_health.slice_of[pid as usize];
+            assert!(s >= last, "ring order must map to contiguous slices");
+            last = s;
+        }
     }
 }

@@ -50,6 +50,10 @@ pub struct PeerHealth {
     /// Messages handled since the last snapshot: discovery visits
     /// recorded on this peer's nodes and replicas in the current unit.
     pub messages: u64,
+    /// Worker-slice index (1-based) that owned this peer's shard in
+    /// the last parallel batch; 0 when no batch has run or the shard
+    /// was not partitioned (sequential pump only).
+    pub slice: u16,
 }
 
 /// Estimated resident bytes per engine component, from a deterministic
@@ -137,6 +141,12 @@ pub struct HealthSnapshot {
     /// Violations reported by the last `Engine::audit` pass, when the
     /// collector ran one (0 otherwise).
     pub audit_violations: u64,
+    /// Worker-slice count of the last parallel batch (0 when only the
+    /// sequential pump has run).
+    pub slices: u64,
+    /// Peak SPSC ring occupancy observed during the last parallel
+    /// batch (0 when only the sequential pump has run).
+    pub ring_peak: u64,
     /// Memory accounting for the whole engine at snapshot time.
     pub bytes: MemoryFootprint,
 }
@@ -255,6 +265,7 @@ impl HealthSnapshot {
              \"under_replicated\":{},\"cache_hits\":{},\"cache_stale\":{},\"cache_learned\":{},\
              \"lost\":{},\"duplicated\":{},\"reordered\":{},\"partition_dropped\":{},\
              \"dedup_suppressed\":{},\"retries\":{},\"requests_failed\":{},\"violations\":{},\
+             \"slices\":{},\"ring_peak\":{},\
              \"bytes_total\":{},\"bytes_directory\":{},\"bytes_slab\":{},\"bytes_shards\":{},\
              \"bytes_caches\":{},\"bytes_per_node\":{:.1},\"bytes_per_peer\":{:.1},\
              \"depth_occupancy\":[",
@@ -279,6 +290,8 @@ impl HealthSnapshot {
             f.retries,
             f.requests_failed,
             self.audit_violations,
+            self.slices,
+            self.ring_peak,
             self.bytes.total(),
             self.bytes.directory_bytes,
             self.bytes.slab_bytes,
@@ -300,8 +313,8 @@ impl HealthSnapshot {
             }
             let _ = write!(
                 out,
-                "[{},{},{},{},{}]",
-                p.peer, p.nodes, p.replicas, p.used, p.messages
+                "[{},{},{},{},{},{}]",
+                p.peer, p.nodes, p.replicas, p.used, p.messages, p.slice
             );
         }
         out.push_str("]}\n");
@@ -311,7 +324,7 @@ impl HealthSnapshot {
     /// `# TYPE` header per family, per-peer gauges labelled by interned
     /// id — deterministic for the same reason as the JSONL form.
     pub fn write_prometheus(&self, out: &mut String) {
-        let scalars: [(&str, f64); 10] = [
+        let scalars: [(&str, f64); 12] = [
             ("dlpt_peers", self.peers as f64),
             ("dlpt_nodes", self.nodes as f64),
             ("dlpt_max_depth", self.max_depth as f64),
@@ -322,6 +335,8 @@ impl HealthSnapshot {
             ("dlpt_audit_violations", self.audit_violations as f64),
             ("dlpt_bytes_total", self.bytes.total() as f64),
             ("dlpt_unit", self.unit as f64),
+            ("dlpt_pump_slices", self.slices as f64),
+            ("dlpt_pump_ring_peak", self.ring_peak as f64),
         ];
         for (name, v) in scalars {
             let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v:.4}");
@@ -403,15 +418,19 @@ mod tests {
                 peer: 0,
                 nodes: 3,
                 messages: 9,
+                slice: 1,
                 ..Default::default()
             },
             PeerHealth {
                 peer: 1,
                 nodes: 2,
                 messages: 3,
+                slice: 2,
                 ..Default::default()
             },
         ];
+        snap.slices = 2;
+        snap.ring_peak = 7;
         let mut a = String::new();
         let mut b = String::new();
         snap.write_jsonl_line("t", 0, &mut a);
@@ -420,11 +439,13 @@ mod tests {
         assert!(a.starts_with("{\"cfg\":\"t\",\"run\":0,\"unit\":3,"));
         assert!(a.ends_with("]}\n"));
         assert!(a.contains("\"depth_occupancy\":[1,2,2]"));
-        assert!(a.contains("\"peer_load\":[[0,3,0,0,9],[1,2,0,0,3]]"));
+        assert!(a.contains("\"slices\":2,\"ring_peak\":7"));
+        assert!(a.contains("\"peer_load\":[[0,3,0,0,9,1],[1,2,0,0,3,2]]"));
 
         let mut prom = String::new();
         snap.write_prometheus(&mut prom);
         assert!(prom.contains("dlpt_peers 2.0000"));
+        assert!(prom.contains("dlpt_pump_slices 2.0000"));
         assert!(prom.contains("dlpt_peer_nodes{peer=\"0\"} 3"));
     }
 

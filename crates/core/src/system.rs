@@ -491,13 +491,13 @@ impl DlptSystem {
         Ok(self.engine.finish_request(id))
     }
 
-    /// Runs a batch of discovery requests through the sharded
+    /// Runs a batch of discovery requests through the shared-nothing
     /// multi-worker pump ([`crate::engine::parallel`]): entry nodes are
     /// drawn from the system RNG exactly as [`DlptSystem::request`]
-    /// draws them, then the batch is partitioned across `workers`
-    /// workers with a deterministic round-barrier merge. Outcomes are
-    /// returned in input order; with unbounded capacity they equal the
-    /// sequential pump's.
+    /// draws them, then the directory is partitioned into per-worker
+    /// slices exchanging envelopes over bounded SPSC rings with
+    /// credit-based quiescence. Outcomes are returned in input order;
+    /// with unbounded capacity they equal the sequential pump's.
     pub fn discover_batch(
         &mut self,
         queries: Vec<QueryKind>,

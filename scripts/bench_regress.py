@@ -21,9 +21,12 @@ gated: percentile tails on a noisy CI box swing far wider than a real
 throughput regression. The ``gather_scaling_*`` fan-out sweep is also
 reported ungated: its smoke run draws a different (much smaller)
 prefix mix than the committed full run, so the rows are trajectory
-diagnostics, not comparable throughputs. Rows only one side knows are
-reported as such — a renamed benchmark silently dropping out of the
-gate is itself worth seeing.
+diagnostics, not comparable throughputs. The ``parallel_pump_w*`` /
+``pump_scaling_efficiency`` scaling rows are gated only when both
+snapshots record the same ``nproc`` — worker scaling measured on
+different core counts is a hardware diff, not a regression. Rows only
+one side knows are reported as such — a renamed benchmark silently
+dropping out of the gate is itself worth seeing.
 
 Two paired rows are gated *within* the fresh run rather than against
 the baseline: when the fresh snapshot carries both ``engine_dispatch``
@@ -46,6 +49,10 @@ import sys
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 UNGATED_SUFFIXES = ("_p50", "_p99")
 UNGATED_PREFIXES = ("gather_scaling_",)
+# Worker-scaling rows only compare across runs on the same core count:
+# a w8 measurement from an 8-core box against one from a single-core
+# container is a hardware diff, not a regression.
+SCALING_PREFIXES = ("parallel_pump_w", "pump_scaling_efficiency")
 
 
 def latest_committed_baseline():
@@ -56,7 +63,8 @@ def latest_committed_baseline():
 
 
 def snapshot_rows(doc, path):
-    """Extract {name: ops_per_sec} from either supported format."""
+    """Extract ({name: ops_per_sec}, nproc) from either format.
+    Snapshots predating the nproc field report nproc as None."""
     if "benchmarks" not in doc and "after" in doc:
         doc = doc["after"]
     if "benchmarks" not in doc:
@@ -65,7 +73,7 @@ def snapshot_rows(doc, path):
     rows = {}
     for b in doc["benchmarks"]:
         rows[b["name"]] = float(b["ops_per_sec"])
-    return rows
+    return rows, doc.get("nproc")
 
 
 def main():
@@ -85,13 +93,15 @@ def main():
 
     baseline_path = args.baseline or latest_committed_baseline()
     with open(baseline_path) as f:
-        base = snapshot_rows(json.load(f), baseline_path)
+        base, base_nproc = snapshot_rows(json.load(f), baseline_path)
     with open(args.fresh) as f:
-        fresh = snapshot_rows(json.load(f), args.fresh)
+        fresh, fresh_nproc = snapshot_rows(json.load(f), args.fresh)
+    same_cores = base_nproc is not None and base_nproc == fresh_nproc
 
     print(f"bench-regress: fresh {args.fresh} vs baseline "
           f"{os.path.relpath(baseline_path, REPO_ROOT)} "
-          f"(tolerance -{args.tolerance:.0%})")
+          f"(tolerance -{args.tolerance:.0%}, "
+          f"nproc {base_nproc} -> {fresh_nproc})")
     header = f"{'benchmark':<28} {'baseline op/s':>14} {'fresh op/s':>14} {'ratio':>7}  verdict"
     print(header)
     print("-" * len(header))
@@ -110,6 +120,8 @@ def main():
             verdict = "distribution row (not gated)"
         elif name.startswith(UNGATED_PREFIXES):
             verdict = "fan-out sweep row (not gated)"
+        elif name.startswith(SCALING_PREFIXES) and not same_cores:
+            verdict = "scaling row (nproc differs — not gated)"
         elif ratio < 1.0 - args.tolerance:
             verdict = "REGRESSION"
             failures.append(name)

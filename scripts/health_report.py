@@ -11,9 +11,11 @@ diff byte-identically. This tool enforces the schema: every line must
 be a JSON object with exactly the expected keys, correctly typed;
 `depth_occupancy` must be a list of non-negative ints summing to
 `nodes`; `peer_load` must be a list of `[peer, nodes, replicas, used,
-messages]` rows whose count matches `peers` and whose node total
-matches `nodes`; the byte columns must sum to `bytes_total`. Any
-violation prints the offending line and exits non-zero.
+messages, slice]` rows whose count matches `peers` and whose node
+total matches `nodes` (`slice` is the 1-based worker-slice index of
+the last parallel batch, 0 when none ran); the byte columns must sum
+to `bytes_total`. Any violation prints the offending line and exits
+non-zero.
 
 ``--expect-zero-violations`` additionally fails if any snapshot
 carries a non-zero `violations` counter (the `Engine::audit`
@@ -30,8 +32,9 @@ INT_KEYS = (
     "run", "unit", "peers", "nodes", "max_depth", "under_replicated",
     "cache_hits", "cache_stale", "cache_learned", "lost", "duplicated",
     "reordered", "partition_dropped", "dedup_suppressed", "retries",
-    "requests_failed", "violations", "bytes_total", "bytes_directory",
-    "bytes_slab", "bytes_shards", "bytes_caches",
+    "requests_failed", "violations", "slices", "ring_peak",
+    "bytes_total", "bytes_directory", "bytes_slab", "bytes_shards",
+    "bytes_caches",
 )
 FLOAT_KEYS = ("opt_depth", "imbalance", "gini", "bytes_per_node",
               "bytes_per_peer")
@@ -88,12 +91,12 @@ def main():
                      f"nodes is {snap['nodes']}")
             pl = snap["peer_load"]
             if not isinstance(pl, list) or any(
-                    not isinstance(row, list) or len(row) != 5 or
+                    not isinstance(row, list) or len(row) != 6 or
                     any(not isinstance(v, int) or v < 0 for v in row)
                     for row in pl):
                 fail(lineno, line,
                      "'peer_load' rows must be "
-                     "[peer, nodes, replicas, used, messages]")
+                     "[peer, nodes, replicas, used, messages, slice]")
             if len(pl) != snap["peers"]:
                 fail(lineno, line,
                      f"{len(pl)} peer_load rows, peers is {snap['peers']}")

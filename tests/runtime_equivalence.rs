@@ -11,7 +11,7 @@
 //! schedule differently) and anything capacity-related (only the sync
 //! pump charges capacity — kept unbounded here).
 
-use dlpt::core::{Alphabet, DlptSystem, FaultPlan, Key, Violation};
+use dlpt::core::{Alphabet, DlptSystem, FaultPlan, Key, QueryKind, Violation};
 use dlpt::net::{LatencyModel, LatencyNet, ThreadedDlpt};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -357,6 +357,185 @@ proptest! {
         prop_assert_eq!(&a.results, &b.results, "sync vs latency results");
         prop_assert_eq!(&a.results, &c.results, "sync vs threaded results");
         threaded.0.shutdown();
+    }
+}
+
+/// One op translated to the query it contributes to a batch (`None`
+/// for mutations).
+fn query_of(o: &Op) -> Option<QueryKind> {
+    match o {
+        Op::Lookup(i) => Some(QueryKind::Exact(key(*i))),
+        Op::Complete(i) => {
+            let k = key(*i);
+            Some(QueryKind::Complete(k.truncated(2.min(k.len()))))
+        }
+        Op::Range(a, b) => {
+            let (lo, hi) = ordered(*a, *b);
+            Some(QueryKind::Range(lo, hi))
+        }
+        _ => None,
+    }
+}
+
+/// Drives the workload through one `DlptSystem`, batching queries.
+/// `workers = None` is the sequential reference (`request` per query at
+/// the flush point); `Some(w)` routes each flushed batch through the
+/// shared-nothing pump at `w` workers. Flush points — before every
+/// mutation, at the mid-workload migration, and at the end — are
+/// identical in every arm, and both paths draw entry nodes from the
+/// system RNG in query order, so all arms consume the RNG identically.
+///
+/// The mid-workload churn exercises the ownership-handoff path twice:
+/// a node is migrated off its canonical host (an explicit
+/// `Directory::handoff`), the next batches run against the handed-off
+/// placement, and the node is later handed back so the final audit
+/// sees the canonical mapping.
+fn drive_batched(
+    sys: &mut DlptSystem,
+    ops: &[Op],
+    initial_peers: usize,
+    workers: Option<usize>,
+) -> Observed {
+    fn flush(
+        sys: &mut DlptSystem,
+        workers: Option<usize>,
+        batch: &mut Vec<QueryKind>,
+        results: &mut Vec<(bool, Vec<Key>)>,
+    ) {
+        if batch.is_empty() {
+            return;
+        }
+        let qs = std::mem::take(batch);
+        match workers {
+            Some(w) => {
+                for o in sys.discover_batch(qs, w).unwrap() {
+                    results.push((o.satisfied, o.results));
+                }
+            }
+            None => {
+                for q in qs {
+                    let o = sys.request(q).unwrap();
+                    results.push((o.satisfied, o.results));
+                }
+            }
+        }
+    }
+
+    for i in 0..initial_peers {
+        sys.add_peer_with_id(peer_id(i), u32::MAX >> 1).unwrap();
+    }
+    // Seed the tree so batches always have an entry node and the
+    // migration below always has a label to move.
+    for i in 0..4u8 {
+        sys.insert_data(key(i)).unwrap();
+    }
+    let mut next_peer = initial_peers;
+    let mut results = Vec::new();
+    let mut batch: Vec<QueryKind> = Vec::new();
+    let mut undo_migration: Option<(Key, Key)> = None;
+    let mid = ops.len() / 2;
+    for (at, o) in ops.iter().enumerate() {
+        if at == mid {
+            flush(sys, workers, &mut batch, &mut results);
+            // Hand a node off its canonical host: deterministic pick
+            // of the first placement and the last peer not hosting it.
+            let moved = sys
+                .directory()
+                .iter()
+                .map(|(l, h)| (l.clone(), h.clone()))
+                .next();
+            if let Some((label, home)) = moved {
+                if let Some(to) = sys.peer_ids().into_iter().rev().find(|p| *p != home) {
+                    sys.migrate_node(&label, &to).unwrap();
+                    undo_migration = Some((label, home));
+                }
+            }
+        }
+        if let Some(q) = query_of(o) {
+            batch.push(q);
+            continue;
+        }
+        flush(sys, workers, &mut batch, &mut results);
+        match o {
+            Op::Join => {
+                sys.add_peer_with_id(peer_id(next_peer), u32::MAX >> 1)
+                    .unwrap();
+                next_peer += 1;
+            }
+            Op::Insert(i) => sys.insert_data(key(*i)).unwrap(),
+            Op::Remove(i) => sys.remove_data(&key(*i)).unwrap(),
+            Op::Crash(i) => {
+                let peers = sys.peer_ids();
+                if peers.len() < 4 {
+                    continue;
+                }
+                let victim = peers[*i as usize % peers.len()].clone();
+                sys.anti_entropy().unwrap();
+                let lost = sys.crash_peer(&victim).unwrap();
+                assert!(lost.is_empty(), "k=2 + fresh anti-entropy: {lost:?}");
+                sys.anti_entropy().unwrap();
+            }
+            Op::Lookup(_) | Op::Complete(_) | Op::Range(_, _) => unreachable!("queries batch"),
+        }
+    }
+    flush(sys, workers, &mut batch, &mut results);
+    // Hand the migrated node back so the final audit sees the
+    // canonical mapping (the node may have moved again via crash
+    // promotion or been deregistered — both make the undo moot).
+    if let Some((label, home)) = undo_migration {
+        if sys.directory().iter().any(|(l, _)| *l == label) && sys.peer_ids().contains(&home) {
+            sys.migrate_node(&label, &home).unwrap();
+        }
+    }
+    flush(sys, workers, &mut batch, &mut results);
+    Observed {
+        placements: sys
+            .directory()
+            .iter()
+            .map(|(l, h)| (l.clone(), h.clone()))
+            .collect(),
+        results,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Shared-nothing pump arm: the same seeded workload — k = 2
+    /// crashes, route caches on, a mid-workload `migrate_node`
+    /// ownership handoff — driven through the sequential pump and
+    /// through `discover_batch` at workers ∈ {1, 2, 8} must agree on
+    /// placements and result sets, and every arm must audit clean.
+    #[test]
+    fn parallel_worker_counts_agree_with_the_sequential_pump(
+        ops in proptest::collection::vec(op(), 4..24),
+        seed in 0u64..200,
+        initial_peers in 4usize..6,
+    ) {
+        let build = || {
+            DlptSystem::builder()
+                .seed(seed)
+                .peer_id_len(8)
+                .replication(2)
+                .cache_capacity(32)
+                .build()
+        };
+        let mut reference = build();
+        let expect = drive_batched(&mut reference, &ops, initial_peers, None);
+        reference.check_tree().unwrap();
+        let audit = reference.audit();
+        prop_assert!(audit.is_empty(), "sequential audits clean: {:?}", audit);
+
+        for w in [1usize, 2, 8] {
+            let mut sys = build();
+            let got = drive_batched(&mut sys, &ops, initial_peers, Some(w));
+            sys.check_tree().unwrap();
+            let audit = sys.audit();
+            prop_assert!(audit.is_empty(), "workers={} audits clean: {:?}", w, audit);
+            prop_assert_eq!(&expect.placements, &got.placements,
+                "workers={} placements", w);
+            prop_assert_eq!(&expect.results, &got.results, "workers={} results", w);
+        }
     }
 }
 
